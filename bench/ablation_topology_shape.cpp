@@ -1,0 +1,76 @@
+// ABL2 — trapezoid shape ablation at fixed node budget, plus the
+// related-work baselines (§II) on the same number of replicas.
+//
+// Every (a,b,h) with Σ s_l = 8 = n−k+1 (the k=8 canonical budget) is
+// evaluated at w=1 and w=2; baselines ROWA / majority / grid protocol run
+// on m=8 full replicas. This answers "does the trapezoid's shape matter,
+// and how does it compare to the classical structures?"
+#include <cstdio>
+#include <string>
+
+#include "analysis/availability.hpp"
+#include "analysis/baselines.hpp"
+#include "common/table.hpp"
+#include "topology/grid.hpp"
+#include "topology/shape_solver.hpp"
+
+using namespace traperc;
+
+int main() {
+  const unsigned n = 15;
+  const unsigned k = 8;
+  const unsigned nbnode = n - k + 1;
+  const double p = 0.9;
+
+  {
+    Table table({"shape", "levels", "w", "Pwrite_eq8", "Pread_erc_eq13",
+                 "Pread_fr_eq10"});
+    for (const auto& shape : topology::solve_shapes(nbnode, 3)) {
+      std::string levels;
+      for (unsigned l = 0; l <= shape.h; ++l) {
+        levels += (l == 0 ? "" : ",") + std::to_string(shape.level_size(l));
+      }
+      const unsigned w_max = shape.h >= 1 ? shape.level_size(1) : 1;
+      for (unsigned w = 1; w <= w_max && w <= 2; ++w) {
+        const auto q = topology::LevelQuorums::paper_convention(shape, w);
+        table.add_row(
+            {"a" + std::to_string(shape.a) + "b" + std::to_string(shape.b) +
+                 "h" + std::to_string(shape.h),
+             levels, std::to_string(w),
+             format_double(analysis::write_availability(q, p), 4),
+             format_double(analysis::read_availability_erc(q, n, k, p), 4),
+             format_double(analysis::read_availability_fr(q, p), 4)});
+      }
+    }
+    table.print("ABL2a: every trapezoid shape with Nbnode=8 at p=0.9 "
+                "(n=15, k=8)");
+  }
+
+  {
+    Table table({"p", "trap_w", "trap_r", "majority", "rowa_w", "rowa_r",
+                 "grid_w", "grid_r", "tree_d3"});
+    const auto shape = topology::canonical_shape_for_code(n, k);
+    const auto q = topology::LevelQuorums::paper_convention(shape, 1);
+    const topology::Grid grid = topology::Grid::nearest_square(nbnode);
+    for (double pp = 0.5; pp <= 0.9501; pp += 0.05) {
+      table.add_row_numeric(
+          {pp, analysis::write_availability(q, pp),
+           analysis::read_availability_fr(q, pp),
+           analysis::majority_availability(nbnode, pp),
+           analysis::rowa_write_availability(nbnode, pp),
+           analysis::rowa_read_availability(nbnode, pp),
+           analysis::grid_write_availability(grid, pp),
+           analysis::grid_read_availability(grid, pp),
+           analysis::tree_availability(3, pp)},
+          4);
+    }
+    table.print("ABL2b: trapezoid {2,3,1} (full-replication reads) vs "
+                "majority / ROWA / grid on m=8 replicas, tree on m=7");
+  }
+
+  std::printf("\nfinding: flatter shapes push availability toward majority "
+              "voting; taller ones trade write for read availability. The\n"
+              "trapezoid with w=1 beats the grid protocol's write "
+              "availability at equal m for p <= 0.9.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// FIG1 — reproduces paper Fig. 1: the logical trapezoid for Nbnode = 15,
+// s_l = 2l + 3 (a=2, b=3, h=2), with the ERC node labelling of §III-B-2
+// (N_i on level 0, parity nodes N_{k+1}..N_n filling the remaining slots).
+//
+// Also prints the canonical shapes used for the n=15 sweeps in FIG2-FIG4
+// (DESIGN.md §4) so the other benches' configurations are auditable.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "topology/placement.hpp"
+#include "topology/shape_solver.hpp"
+#include "topology/trapezoid.hpp"
+
+using namespace traperc;
+
+int main() {
+  std::printf("FIG1: trapezoid protocol layout, Nbnode = 15, s_l = 2l+3 "
+              "(a=2, b=3, h=2)\n\n");
+
+  const topology::TrapezoidShape paper_shape{2, 3, 2};
+  const topology::Trapezoid trapezoid(paper_shape);
+
+  // Slot labels in the ERC placement: one (n=16, k=2)-style deployment has
+  // Nbnode = 15; label slot 0 as the data node N_i, the rest as parity.
+  std::vector<std::string> labels;
+  labels.emplace_back("[Ni]");
+  for (unsigned slot = 1; slot < trapezoid.total_slots(); ++slot) {
+    labels.push_back("[N" + std::to_string(slot) + "']");
+  }
+  std::printf("%s\n", trapezoid.render(labels).c_str());
+  std::printf("(slot 0 = N_i, the node holding original block b_i; the\n"
+              " other slots hold the redundant blocks alpha_j,i * b_i)\n");
+
+  Table table({"k", "Nbnode=n-k+1", "a", "b", "h", "levels", "w0=floor(b/2)+1"});
+  for (unsigned k : {1u, 4u, 6u, 8u, 10u, 12u}) {
+    const auto shape = topology::canonical_shape_for_code(15, k);
+    std::string levels;
+    for (unsigned l = 0; l <= shape.h; ++l) {
+      levels += (l == 0 ? "" : ",") + std::to_string(shape.level_size(l));
+    }
+    table.add_row({std::to_string(k), std::to_string(shape.total_nodes()),
+                   std::to_string(shape.a), std::to_string(shape.b),
+                   std::to_string(shape.h), levels,
+                   std::to_string(shape.level0_majority())});
+  }
+  table.print("canonical trapezoid shapes for the n=15 sweeps (FIG2-FIG4)");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// PERF2 — Reed-Solomon pipeline throughput: full-stripe encode, decode
+// with the worst-case erasure count, single-block delta update (the Alg. 1
+// fast path), and the decode-matrix inversion that dominates small reads.
+// The paper's (9,6) example and the benches' canonical (15,8) both appear.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "erasure/rs_code.hpp"
+#include "erasure/stripe.hpp"
+#include "erasure/wide_code.hpp"
+
+namespace {
+
+using namespace traperc::erasure;
+using traperc::Rng;
+
+constexpr std::size_t kChunk = 4096;
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const RSCode code(n, k);
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::vector<std::uint8_t>> parity(
+      n - k, std::vector<std::uint8_t>(kChunk));
+  std::vector<const std::uint8_t*> data_ptrs;
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (unsigned i = 0; i < k; ++i) {
+    data.push_back(random_bytes(kChunk, i));
+    data_ptrs.push_back(data.back().data());
+  }
+  for (auto& chunk : parity) parity_ptrs.push_back(chunk.data());
+  for (auto _ : state) {
+    code.encode(data_ptrs, parity_ptrs, kChunk);
+    benchmark::DoNotOptimize(parity_ptrs.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          kChunk);
+}
+BENCHMARK(BM_Encode)->Args({9, 6})->Args({15, 8})->Args({14, 10});
+
+void BM_DecodeWorstCase(benchmark::State& state) {
+  // Lose all n−k parity-count data blocks; decode them from parity.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const RSCode code(n, k);
+  Stripe stripe(code, kChunk);
+  stripe.write_object(random_bytes(k * kChunk, 42));
+
+  const unsigned erasures = std::min(n - k, k);
+  std::vector<unsigned> present_ids;
+  std::vector<const std::uint8_t*> present;
+  for (unsigned id = erasures; id < n; ++id) {
+    present_ids.push_back(id);
+    present.push_back(stripe.chunk(id).data());
+  }
+  std::vector<unsigned> want(erasures);
+  std::iota(want.begin(), want.end(), 0);
+  std::vector<std::vector<std::uint8_t>> out(
+      erasures, std::vector<std::uint8_t>(kChunk));
+  std::vector<std::uint8_t*> out_ptrs;
+  for (auto& chunk : out) out_ptrs.push_back(chunk.data());
+
+  for (auto _ : state) {
+    const bool ok =
+        code.reconstruct(present_ids, present, want, out_ptrs, kChunk);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          erasures * kChunk);
+  state.counters["erasures"] = erasures;
+}
+BENCHMARK(BM_DecodeWorstCase)->Args({9, 6})->Args({15, 8})->Args({14, 10});
+
+void BM_DeltaUpdate(benchmark::State& state) {
+  // The Alg. 1 in-place path: one block rewrite => n−k parity deltas.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const RSCode code(n, k);
+  Stripe stripe(code, kChunk);
+  stripe.write_object(random_bytes(k * kChunk, 7));
+  const auto fresh = random_bytes(kChunk, 8);
+  for (auto _ : state) {
+    stripe.update_data(0, fresh);
+    benchmark::DoNotOptimize(stripe.parity_chunk(0).data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (n - k + 1) * kChunk);
+}
+BENCHMARK(BM_DeltaUpdate)->Args({9, 6})->Args({15, 8});
+
+void BM_FullReencodeUpdate(benchmark::State& state) {
+  // Baseline update path from [2]: re-encode the whole stripe.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const RSCode code(n, k);
+  Stripe stripe(code, kChunk);
+  stripe.write_object(random_bytes(k * kChunk, 9));
+  const auto fresh = random_bytes(kChunk, 10);
+  for (auto _ : state) {
+    stripe.update_data(0, fresh);
+    stripe.encode_all();
+    benchmark::DoNotOptimize(stripe.parity_chunk(0).data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (n - k + 1) * kChunk);
+}
+BENCHMARK(BM_FullReencodeUpdate)->Args({9, 6})->Args({15, 8});
+
+void BM_WideEncode(benchmark::State& state) {
+  // GF(2^16) codec (scalar kernels) — the price of symbol alphabets beyond
+  // 255, relative to BM_Encode's GF(2^8) region kernels.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const WideRSCode code(n, k);
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::vector<std::uint8_t>> parity(
+      n - k, std::vector<std::uint8_t>(kChunk));
+  std::vector<const std::uint8_t*> data_ptrs;
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (unsigned i = 0; i < k; ++i) {
+    data.push_back(random_bytes(kChunk, 100 + i));
+    data_ptrs.push_back(data.back().data());
+  }
+  for (auto& chunk : parity) parity_ptrs.push_back(chunk.data());
+  for (auto _ : state) {
+    code.encode(data_ptrs, parity_ptrs, kChunk);
+    benchmark::DoNotOptimize(parity_ptrs.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          kChunk);
+}
+BENCHMARK(BM_WideEncode)->Args({15, 8})->Args({60, 40});
+
+void BM_DecodeMatrixInversion(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned k = static_cast<unsigned>(state.range(1));
+  const RSCode code(n, k);
+  // Worst-case survivor set: skip the first n−k data rows.
+  std::vector<unsigned> rows;
+  for (unsigned id = std::min(n - k, k); rows.size() < k; ++id) {
+    rows.push_back(id);
+  }
+  const Matrix decode_rows = code.generator().select_rows(rows);
+  for (auto _ : state) {
+    auto inverse = decode_rows.inverted();
+    benchmark::DoNotOptimize(inverse);
+  }
+}
+BENCHMARK(BM_DecodeMatrixInversion)->Args({9, 6})->Args({15, 8})->Args({30, 20});
+
+}  // namespace

@@ -1,0 +1,107 @@
+// PERF1 — GF(2^8) kernel throughput: scalar multiply, the two
+// mul_add_region code paths (full-table vs split-nibble), and xor_region.
+// These kernels dominate encode/decode/delta-update cost (PERF2).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
+#include "gf/region.hpp"
+
+namespace {
+
+using traperc::Rng;
+using namespace traperc::gf;
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_GF256_ScalarMul(benchmark::State& state) {
+  const auto& field = GF256::instance();
+  const auto data = random_bytes(4096, 1);
+  std::uint8_t accumulator = 1;
+  for (auto _ : state) {
+    for (std::uint8_t byte : data) {
+      accumulator = field.mul(accumulator | 1, byte | 1);
+    }
+    benchmark::DoNotOptimize(accumulator);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_GF256_ScalarMul);
+
+void BM_GF65536_ScalarMul(benchmark::State& state) {
+  const auto& field = GF65536::instance();
+  Rng rng(2);
+  std::vector<std::uint16_t> data(2048);
+  for (auto& v : data) v = static_cast<std::uint16_t>(rng.next_u64());
+  std::uint16_t accumulator = 1;
+  for (auto _ : state) {
+    for (std::uint16_t v : data) {
+      accumulator = field.mul(accumulator | 1, v | 1);
+    }
+    benchmark::DoNotOptimize(accumulator);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_GF65536_ScalarMul);
+
+void BM_MulAddRegion_Table(benchmark::State& state) {
+  const auto& field = GF256::instance();
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const auto src = random_bytes(len, 3);
+  auto dst = random_bytes(len, 4);
+  for (auto _ : state) {
+    mul_add_region_table(field, 0x57, src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+}
+BENCHMARK(BM_MulAddRegion_Table)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_MulAddRegion_Split4(benchmark::State& state) {
+  const auto& field = GF256::instance();
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const auto src = random_bytes(len, 5);
+  auto dst = random_bytes(len, 6);
+  for (auto _ : state) {
+    mul_add_region_split4(field, 0x57, src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+}
+BENCHMARK(BM_MulAddRegion_Split4)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_MulAddRegion_Dispatch(benchmark::State& state) {
+  const auto& field = GF256::instance();
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const auto src = random_bytes(len, 7);
+  auto dst = random_bytes(len, 8);
+  for (auto _ : state) {
+    mul_add_region(field, 0x57, src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+}
+BENCHMARK(BM_MulAddRegion_Dispatch)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_XorRegion(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const auto src = random_bytes(len, 9);
+  auto dst = random_bytes(len, 10);
+  for (auto _ : state) {
+    xor_region(src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+}
+BENCHMARK(BM_XorRegion)->Arg(4096)->Arg(65536);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// PERF3 — live protocol operation cost in the discrete-event simulator:
+// wall-clock per operation, simulated latency per operation, and message
+// counts, for TRAP-ERC vs TRAP-FR and for the read fast/slow paths.
+// (The simulated latency model is FixedLatency(100µs) one-way.)
+#include <benchmark/benchmark.h>
+
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace {
+
+using namespace traperc;
+using core::Mode;
+using core::ProtocolConfig;
+using core::SimCluster;
+
+ProtocolConfig bench_config(Mode mode) {
+  auto config = ProtocolConfig::for_code(15, 8, 1, mode);
+  config.chunk_len = 4096;
+  return config;
+}
+
+void BM_WriteOp(benchmark::State& state) {
+  const Mode mode = state.range(0) == 0 ? Mode::kErc : Mode::kFr;
+  SimCluster cluster(bench_config(mode));
+  const auto value = cluster.make_pattern(1);
+  BlockId stripe = 0;
+  const SimTime t0 = cluster.engine().now();
+  const auto msgs0 = cluster.network().stats().messages_sent;
+  for (auto _ : state) {
+    const auto status = cluster.write_block_sync(stripe++, 0, value);
+    if (status != OpStatus::kSuccess) state.SkipWithError("write failed");
+  }
+  const double ops = static_cast<double>(state.iterations());
+  state.counters["sim_us_per_op"] =
+      static_cast<double>(cluster.engine().now() - t0) / 1000.0 / ops;
+  state.counters["msgs_per_op"] =
+      static_cast<double>(cluster.network().stats().messages_sent - msgs0) /
+      ops;
+}
+BENCHMARK(BM_WriteOp)->Arg(0)->Arg(1)->ArgName("mode0erc1fr");
+
+void BM_ReadDirect(benchmark::State& state) {
+  const Mode mode = state.range(0) == 0 ? Mode::kErc : Mode::kFr;
+  SimCluster cluster(bench_config(mode));
+  (void)cluster.write_block_sync(0, 0, cluster.make_pattern(1));
+  const SimTime t0 = cluster.engine().now();
+  const auto msgs0 = cluster.network().stats().messages_sent;
+  for (auto _ : state) {
+    const auto outcome = cluster.read_block_sync(0, 0);
+    if (outcome.status != OpStatus::kSuccess) {
+      state.SkipWithError("read failed");
+    }
+  }
+  const double ops = static_cast<double>(state.iterations());
+  state.counters["sim_us_per_op"] =
+      static_cast<double>(cluster.engine().now() - t0) / 1000.0 / ops;
+  state.counters["msgs_per_op"] =
+      static_cast<double>(cluster.network().stats().messages_sent - msgs0) /
+      ops;
+}
+BENCHMARK(BM_ReadDirect)->Arg(0)->Arg(1)->ArgName("mode0erc1fr");
+
+void BM_ReadDecode(benchmark::State& state) {
+  // ERC slow path: N_i down, every read reconstructs from k survivors.
+  SimCluster cluster(bench_config(Mode::kErc));
+  (void)cluster.write_block_sync(0, 0, cluster.make_pattern(1));
+  cluster.fail_node(0);
+  const SimTime t0 = cluster.engine().now();
+  const auto msgs0 = cluster.network().stats().messages_sent;
+  for (auto _ : state) {
+    const auto outcome = cluster.read_block_sync(0, 0);
+    if (outcome.status != OpStatus::kSuccess || !outcome.decoded) {
+      state.SkipWithError("decode read failed");
+    }
+  }
+  const double ops = static_cast<double>(state.iterations());
+  state.counters["sim_us_per_op"] =
+      static_cast<double>(cluster.engine().now() - t0) / 1000.0 / ops;
+  state.counters["msgs_per_op"] =
+      static_cast<double>(cluster.network().stats().messages_sent - msgs0) /
+      ops;
+}
+BENCHMARK(BM_ReadDecode);
+
+void BM_RepairNode(benchmark::State& state) {
+  // Rebuild one wiped data node holding `stripes` chunks.
+  const unsigned stripes = static_cast<unsigned>(state.range(0));
+  SimCluster cluster(bench_config(Mode::kErc));
+  for (BlockId s = 0; s < stripes; ++s) {
+    (void)cluster.write_block_sync(s, 0, cluster.make_pattern(s));
+  }
+  std::vector<BlockId> ids(stripes);
+  for (BlockId s = 0; s < stripes; ++s) ids[s] = s;
+  for (auto _ : state) {
+    cluster.node(0).wipe();
+    const auto report = cluster.repair().rebuild_node(0, ids);
+    if (report.chunks_rebuilt != stripes) {
+      state.SkipWithError("repair incomplete");
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * stripes *
+                          4096);
+}
+BENCHMARK(BM_RepairNode)->Arg(4)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Quickstart: stand up a simulated TRAP-ERC cluster, write a block through
+// the trapezoid write quorum, read it back directly, then lose the data
+// node and read again through the decode path.
+//
+//   $ ./quickstart
+//
+// Walks the full public API surface in ~60 lines: ProtocolConfig ->
+// SimCluster -> write_block_sync / read_block_sync -> failure injection.
+#include <cstdio>
+
+#include "core/traperc.hpp"
+
+using namespace traperc;
+
+int main() {
+  // A (15,8) MDS deployment: 8 data nodes, 7 parity nodes. Each block's
+  // trapezoid spans n-k+1 = 8 nodes; the canonical shape is {a=2,b=3,h=1}
+  // (levels of 3 and 5 nodes), with eq. 16 thresholds at w=1.
+  auto config = core::ProtocolConfig::for_code(/*n=*/15, /*k=*/8, /*w=*/1);
+  config.chunk_len = 4096;
+  core::SimCluster cluster(config, /*seed=*/42);
+  std::printf("cluster: %s\n", config.to_string().c_str());
+
+  // Write block 0 of stripe 0. Alg. 1: read the old version, then push the
+  // new value + parity deltas level by level through the write quorum.
+  const auto value = cluster.make_pattern(/*tag=*/7);
+  const OpStatus written = cluster.write_block_sync(/*stripe=*/0,
+                                                    /*index=*/0, value);
+  std::printf("write: %s\n", to_string(written));
+
+  // Read it back: Alg. 2 finds the freshest version via a per-level check,
+  // then serves directly from N_0 (Case 1).
+  auto outcome = cluster.read_block_sync(0, 0);
+  std::printf("read:  %s version=%llu decoded=%s match=%s\n",
+              to_string(outcome.status),
+              static_cast<unsigned long long>(outcome.version),
+              outcome.decoded ? "yes" : "no",
+              outcome.value == value ? "yes" : "NO");
+
+  // Fail the data node: the same read now reconstructs the block from any
+  // k=8 of the 14 surviving chunks (Case 2).
+  cluster.fail_node(0);
+  outcome = cluster.read_block_sync(0, 0);
+  std::printf("read with N_0 down: %s decoded=%s match=%s\n",
+              to_string(outcome.status), outcome.decoded ? "yes" : "no",
+              outcome.value == value ? "yes" : "NO");
+
+  // Writes survive the data node's failure too — level 0 still has its
+  // majority through the two other level-0 nodes.
+  const OpStatus second = cluster.write_block_sync(0, 0,
+                                                   cluster.make_pattern(8));
+  std::printf("write with N_0 down: %s\n", to_string(second));
+
+  // The analysis module predicts what we just observed.
+  const auto quorums = config.quorums();
+  std::printf("\nclosed forms at p=0.9: P_write=%.4f (eq. 8), "
+              "P_read=%.4f (eq. 13), storage=%.3f blocks vs %.0f for "
+              "replication (eqs. 15/14)\n",
+              analysis::write_availability(quorums, 0.9),
+              analysis::read_availability_erc(quorums, 15, 8, 0.9),
+              analysis::storage_blocks_erc(15, 8),
+              analysis::storage_blocks_fr(15, 8));
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "analysis/availability.hpp"
+
+#include <algorithm>
+
+#include "common/binomial.hpp"
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+using topology::LevelQuorums;
+
+double write_availability(const LevelQuorums& quorums, double p) {
+  double product = 1.0;
+  for (unsigned l = 0; l < quorums.levels(); ++l) {
+    product *= phi(quorums.s(l), quorums.w(l), quorums.s(l), p);
+  }
+  return product;
+}
+
+double read_availability_fr(const LevelQuorums& quorums, double p) {
+  double miss_all = 1.0;
+  for (unsigned l = 0; l < quorums.levels(); ++l) {
+    miss_all *= 1.0 - phi(quorums.s(l), quorums.r(l), quorums.s(l), p);
+  }
+  return 1.0 - miss_all;
+}
+
+namespace {
+
+// β_l and λ_l of eqs. 11–12. Level 0 excludes N_i from the count (it is
+// conditioned on separately), hence the −1 shifts.
+unsigned beta(const LevelQuorums& q, unsigned l) {
+  const unsigned r = q.r(l);
+  if (l == 0) return r >= 2 ? r - 2 : 0;
+  return r - 1;  // r >= 1 always (w_l <= s_l)
+}
+
+unsigned lambda(const LevelQuorums& q, unsigned l) {
+  return l == 0 ? q.s(0) - 1 : q.s(l);
+}
+
+}  // namespace
+
+double read_availability_erc_direct(const LevelQuorums& quorums, unsigned n,
+                                    unsigned k, double p) {
+  TRAPERC_CHECK_MSG(quorums.shape().total_nodes() == n - k + 1,
+                    "trapezoid population must equal n-k+1 (eq. 5)");
+  double all_levels_fail = 1.0;
+  for (unsigned l = 0; l < quorums.levels(); ++l) {
+    all_levels_fail *= phi(lambda(quorums, l), 0, beta(quorums, l), p);
+  }
+  return p * (1.0 - all_levels_fail);
+}
+
+double read_availability_erc_decode(const LevelQuorums& quorums, unsigned n,
+                                    unsigned k, double p) {
+  TRAPERC_CHECK_MSG(quorums.shape().total_nodes() == n - k + 1,
+                    "trapezoid population must equal n-k+1 (eq. 5)");
+  return (1.0 - p) * phi(n - 1, k, n - 1, p);
+}
+
+double read_availability_erc(const LevelQuorums& quorums, unsigned n,
+                             unsigned k, double p) {
+  return read_availability_erc_direct(quorums, n, k, p) +
+         read_availability_erc_decode(quorums, n, k, p);
+}
+
+}  // namespace traperc::analysis

@@ -1,0 +1,43 @@
+// Closed-form availability of the trapezoid protocol — paper §IV,
+// equations 8 through 13.
+//
+// All formulas assume the paper's model: i.i.d. node availability p,
+// fail-stop nodes, reliable links, and a steady state in which every live
+// node holds the latest version. Exactness status of each formula (verified
+// against the subset-enumeration oracle in tests and EXPERIMENTS.md):
+//
+//   write (eq. 8/9)      exact, identical for FR and ERC;
+//   read FR (eq. 10)     exact;
+//   read ERC (eq. 13)    upper-bound approximation of Algorithm 2 — the P2
+//                        term skips the version-check precondition (see
+//                        DESIGN.md §2); `read_availability_erc_algorithmic`
+//                        in exact.hpp gives the true value.
+#pragma once
+
+#include "topology/trapezoid.hpp"
+
+namespace traperc::analysis {
+
+/// P_write = Π_l Φ_{s_l}(w_l, s_l) — eq. 8 (TRAP-FR) == eq. 9 (TRAP-ERC).
+[[nodiscard]] double write_availability(const topology::LevelQuorums& quorums,
+                                        double p);
+
+/// P_read = 1 − Π_l (1 − Φ_{s_l}(r_l, s_l)) — eq. 10 (TRAP-FR).
+[[nodiscard]] double read_availability_fr(const topology::LevelQuorums& quorums,
+                                          double p);
+
+/// P_read = p·(1 − Π_l Φ_{λ_l}(0, β_l)) + (1−p)·Φ_{n−1}(k, n−1) — eq. 13
+/// (TRAP-ERC), with β_0 = max(0, r_0−2), β_l = r_l−1, λ_0 = s_0−1,
+/// λ_l = s_l (eqs. 11–12). Requires quorums.shape().total_nodes() == n−k+1.
+[[nodiscard]] double read_availability_erc(const topology::LevelQuorums& quorums,
+                                           unsigned n, unsigned k, double p);
+
+/// The P1 component of eq. 13 (read served directly by N_i).
+[[nodiscard]] double read_availability_erc_direct(
+    const topology::LevelQuorums& quorums, unsigned n, unsigned k, double p);
+
+/// The P2 component of eq. 13 (read served by decoding k of n−1 survivors).
+[[nodiscard]] double read_availability_erc_decode(
+    const topology::LevelQuorums& quorums, unsigned n, unsigned k, double p);
+
+}  // namespace traperc::analysis

@@ -1,0 +1,57 @@
+#include "analysis/baselines.hpp"
+
+#include <cmath>
+
+#include "common/binomial.hpp"
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+double rowa_write_availability(unsigned m, double p) {
+  TRAPERC_CHECK_MSG(m >= 1, "need at least one replica");
+  return std::pow(p, m);
+}
+
+double rowa_read_availability(unsigned m, double p) {
+  TRAPERC_CHECK_MSG(m >= 1, "need at least one replica");
+  return 1.0 - std::pow(1.0 - p, m);
+}
+
+double majority_availability(unsigned m, double p) {
+  TRAPERC_CHECK_MSG(m >= 1, "need at least one replica");
+  return phi_at_least(m, m / 2 + 1, p);
+}
+
+double grid_write_availability(const topology::Grid& grid, double p) {
+  const unsigned rows = grid.rows();
+  const unsigned cols = grid.cols();
+  // Columns are independent. Let e = P(column has no live node) and
+  // f = P(column fully live). Write needs every column non-empty and at
+  // least one column full:
+  //   P = P(all non-empty) − P(all non-empty, none full)
+  //     = (1−e)^C − (1−e−f)^C.
+  const double empty = std::pow(1.0 - p, rows);
+  const double full = std::pow(p, rows);
+  return std::pow(1.0 - empty, cols) - std::pow(1.0 - empty - full, cols);
+}
+
+double grid_read_availability(const topology::Grid& grid, double p) {
+  const double empty = std::pow(1.0 - p, grid.rows());
+  return std::pow(1.0 - empty, grid.cols());
+}
+
+double tree_availability(unsigned depth, double p) {
+  TRAPERC_CHECK_MSG(depth >= 1, "tree depth must be at least 1");
+  double avail = p;  // single leaf
+  for (unsigned level = 1; level < depth; ++level) {
+    // Root up: one child quorum suffices; root down: need both. The two
+    // child subtrees have the same availability by symmetry.
+    const double child = avail;
+    const double either = 1.0 - (1.0 - child) * (1.0 - child);
+    const double both = child * child;
+    avail = p * either + (1.0 - p) * both;
+  }
+  return avail;
+}
+
+}  // namespace traperc::analysis

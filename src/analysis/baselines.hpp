@@ -1,0 +1,30 @@
+// Availability of the related-work quorum baselines (paper §II): ROWA,
+// majority voting [13], and the grid protocol [4]. All under the same i.i.d.
+// node-availability-p model, on m full replicas.
+#pragma once
+
+#include "topology/grid.hpp"
+
+namespace traperc::analysis {
+
+/// ROWA: writes require all m replicas, reads any one.
+[[nodiscard]] double rowa_write_availability(unsigned m, double p);
+[[nodiscard]] double rowa_read_availability(unsigned m, double p);
+
+/// Majority quorum (Thomas): both operations need ⌊m/2⌋+1 replicas.
+[[nodiscard]] double majority_availability(unsigned m, double p);
+
+/// Grid protocol on an R×C grid: write = one full column + one node from
+/// every other column; read = one node from every column.
+[[nodiscard]] double grid_write_availability(const topology::Grid& grid,
+                                             double p);
+[[nodiscard]] double grid_read_availability(const topology::Grid& grid,
+                                            double p);
+
+/// Tree quorum protocol (Agrawal & El Abbadi '91) on a complete binary tree
+/// of the given depth (2^depth − 1 nodes). Closed form via the recursion
+/// A(T) = p·(1 − (1−A_L)(1−A_R)) + (1−p)·A_L·A_R, A(leaf) = p — subtrees
+/// are node-disjoint, hence independent under the i.i.d. model.
+[[nodiscard]] double tree_availability(unsigned depth, double p);
+
+}  // namespace traperc::analysis

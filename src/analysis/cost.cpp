@@ -1,0 +1,49 @@
+#include "analysis/cost.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+OperationCost basic_erc_update_cost(unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  // Target block + each of the n−k parity blocks: one read and one write
+  // apiece (the delta must be folded into every parity chunk).
+  const unsigned touched = 1 + (n - k);
+  return OperationCost{touched, touched, touched};
+}
+
+OperationCost trap_erc_write_cost(const topology::TrapezoidShape& shape) {
+  TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
+  const unsigned nbnode = shape.total_nodes();
+  const unsigned check = shape.level_size(0);
+  OperationCost cost;
+  cost.node_reads = check /*version queries*/ + 1 /*old chunk fetch*/ +
+                    (nbnode - 1) /*parity version compares*/;
+  cost.node_writes = nbnode; /*replica write + parity adds, every level*/
+  cost.rpcs = check + 1 + nbnode;
+  return cost;
+}
+
+OperationCost trap_erc_read_direct_cost(const topology::TrapezoidShape& shape) {
+  TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
+  OperationCost cost;
+  cost.node_reads = shape.level_size(0) /*version queries*/ + 1 /*fetch*/;
+  cost.node_writes = 0;
+  cost.rpcs = shape.level_size(0) + 1;
+  return cost;
+}
+
+OperationCost trap_erc_read_decode_cost(const topology::TrapezoidShape& shape,
+                                        unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  TRAPERC_CHECK_MSG(shape.total_nodes() == n - k + 1,
+                    "trapezoid population must equal n-k+1 (eq. 5)");
+  OperationCost cost;
+  cost.node_reads = shape.level_size(0) /*version queries*/ +
+                    (n - 1) /*gather every other node*/;
+  cost.node_writes = 0;
+  cost.rpcs = shape.level_size(0) + (n - 1);
+  return cost;
+}
+
+}  // namespace traperc::analysis

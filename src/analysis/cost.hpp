@@ -1,0 +1,49 @@
+// Operation cost model: how many node operations / messages one logical
+// read or write costs — the overhead axis of the paper's §I motivation
+// ("a (9,6)-MDS will require 8 read and write operations for a single
+// block update: one read and one write for the target block, and one read
+// and one write for each of the three redundant blocks").
+//
+// Costs are failure-free ("happy path"): the Alg. 2 version check settles
+// on level 0 (the coordinator contacts its s_0 = b members), and every
+// apply message is acknowledged. The decode variant assumes N_i down but
+// level 0 still checkable (b >= 3). RPC counts match the simulator's
+// message counters exactly at 2 messages per RPC — asserted in tests.
+#pragma once
+
+#include "topology/trapezoid.hpp"
+
+namespace traperc::analysis {
+
+struct OperationCost {
+  unsigned node_reads = 0;   ///< chunk/version read operations at nodes
+  unsigned node_writes = 0;  ///< chunk-write/add operations at nodes
+  unsigned rpcs = 0;         ///< request/response round trips
+
+  [[nodiscard]] constexpr unsigned total_node_ops() const noexcept {
+    return node_reads + node_writes;
+  }
+};
+
+/// §I baseline: in-place update without a quorum protocol (read-modify-
+/// write the target block and every parity block). (9,6) ⇒ 4+4 = 8 node
+/// operations.
+[[nodiscard]] OperationCost basic_erc_update_cost(unsigned n, unsigned k);
+
+/// Algorithm 1 on a trapezoid with Σ s_l = n−k+1: READBLOCK prefix (level-0
+/// version check + one chunk fetch) then one write / compare-and-add RPC
+/// per trapezoid node across all levels.
+[[nodiscard]] OperationCost trap_erc_write_cost(
+    const topology::TrapezoidShape& shape);
+
+/// Algorithm 2 fast path (Case 1): level-0 version check + one chunk fetch
+/// from N_i.
+[[nodiscard]] OperationCost trap_erc_read_direct_cost(
+    const topology::TrapezoidShape& shape);
+
+/// Algorithm 2 slow path (Case 2): level-0 version check + gather of the
+/// other n−1 nodes, then a local decode (no further node operations).
+[[nodiscard]] OperationCost trap_erc_read_decode_cost(
+    const topology::TrapezoidShape& shape, unsigned n, unsigned k);
+
+}  // namespace traperc::analysis

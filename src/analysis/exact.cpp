@@ -1,0 +1,55 @@
+#include "analysis/exact.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+double exact_availability(unsigned num_nodes, double p,
+                          const StatePredicate& event) {
+  TRAPERC_CHECK_MSG(num_nodes >= 1 && num_nodes <= 24,
+                    "exact oracle supports 1..24 nodes");
+  // Precompute p^u (1−p)^{n−u} per up-count to avoid 2^N pow calls.
+  std::vector<double> weight_by_count(num_nodes + 1);
+  for (unsigned u = 0; u <= num_nodes; ++u) {
+    weight_by_count[u] = std::pow(p, u) * std::pow(1.0 - p, num_nodes - u);
+  }
+  std::vector<bool> up(num_nodes);
+  double total = 0.0;
+  const std::uint32_t states = 1U << num_nodes;
+  for (std::uint32_t mask = 0; mask < states; ++mask) {
+    for (unsigned i = 0; i < num_nodes; ++i) up[i] = (mask >> i) & 1U;
+    if (event(up)) total += weight_by_count[std::popcount(mask)];
+  }
+  return total;
+}
+
+double exact_write_availability(const BlockDeployment& d, double p) {
+  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+    return write_possible(d, up);
+  });
+}
+
+double exact_read_availability_fr(const BlockDeployment& d, double p) {
+  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+    return read_possible_fr(d, up);
+  });
+}
+
+double exact_read_availability_erc_algorithmic(const BlockDeployment& d,
+                                               double p) {
+  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+    return read_possible_erc_algorithmic(d, up);
+  });
+}
+
+double exact_read_availability_erc_paper_event(const BlockDeployment& d,
+                                               double p) {
+  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+    return read_possible_erc_paper_event(d, up);
+  });
+}
+
+}  // namespace traperc::analysis

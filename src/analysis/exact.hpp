@@ -1,0 +1,39 @@
+// Exact availability by exhaustive enumeration of node-state vectors.
+//
+// For a cluster of N i.i.d. nodes with availability p, the availability of
+// any event E is Σ_{S ⊆ [N]} p^|S| (1−p)^{N−|S|} · [E(S)]. With N <= 24 the
+// 2^N enumeration is exact and fast; it is the ground-truth oracle used to
+// (a) validate the closed forms that are exact (eqs. 8–10), and
+// (b) quantify the approximation gap of eq. 13 (see EXPERIMENTS.md VAL1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/predicates.hpp"
+
+namespace traperc::analysis {
+
+using StatePredicate = std::function<bool(const std::vector<bool>& up)>;
+
+/// Probability of `event` over all 2^num_nodes states. num_nodes <= 24.
+[[nodiscard]] double exact_availability(unsigned num_nodes, double p,
+                                        const StatePredicate& event);
+
+/// Exact write availability of Algorithm 1 for one block deployment.
+[[nodiscard]] double exact_write_availability(const BlockDeployment& d,
+                                              double p);
+
+/// Exact TRAP-FR read availability.
+[[nodiscard]] double exact_read_availability_fr(const BlockDeployment& d,
+                                                double p);
+
+/// Exact TRAP-ERC read availability, Algorithm 2 semantics.
+[[nodiscard]] double exact_read_availability_erc_algorithmic(
+    const BlockDeployment& d, double p);
+
+/// Exact probability of the event eq. 13 measures (for formula validation).
+[[nodiscard]] double exact_read_availability_erc_paper_event(
+    const BlockDeployment& d, double p);
+
+}  // namespace traperc::analysis

@@ -1,0 +1,75 @@
+#include "analysis/predicates.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+BlockDeployment::BlockDeployment(unsigned n, unsigned k, unsigned block,
+                                 const topology::LevelQuorums& quorums)
+    : placement_(n, k, block), quorums_(quorums) {
+  TRAPERC_CHECK_MSG(quorums.shape().total_nodes() == n - k + 1,
+                    "trapezoid population must equal n-k+1 (eq. 5)");
+  const topology::Trapezoid trapezoid(quorums.shape());
+  level_nodes_.reserve(quorums.levels());
+  for (unsigned l = 0; l < quorums.levels(); ++l) {
+    level_nodes_.push_back(placement_.level_nodes(trapezoid, l));
+  }
+}
+
+namespace {
+
+unsigned live_count(const std::vector<NodeId>& nodes,
+                    const std::vector<bool>& up) {
+  unsigned count = 0;
+  for (NodeId node : nodes) count += up[node] ? 1 : 0;
+  return count;
+}
+
+unsigned live_count_excluding(const std::vector<bool>& up, NodeId excluded) {
+  unsigned count = 0;
+  for (NodeId node = 0; node < up.size(); ++node) {
+    if (node != excluded && up[node]) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool write_possible(const BlockDeployment& d, const std::vector<bool>& up) {
+  TRAPERC_DCHECK(up.size() == d.n());
+  for (unsigned l = 0; l < d.quorums().levels(); ++l) {
+    if (live_count(d.level_nodes(l), up) < d.quorums().w(l)) return false;
+  }
+  return true;
+}
+
+bool version_check_possible(const BlockDeployment& d,
+                            const std::vector<bool>& up) {
+  TRAPERC_DCHECK(up.size() == d.n());
+  for (unsigned l = 0; l < d.quorums().levels(); ++l) {
+    if (live_count(d.level_nodes(l), up) >= d.quorums().r(l)) return true;
+  }
+  return false;
+}
+
+bool read_possible_fr(const BlockDeployment& d, const std::vector<bool>& up) {
+  return version_check_possible(d, up);
+}
+
+bool read_possible_erc_algorithmic(const BlockDeployment& d,
+                                   const std::vector<bool>& up) {
+  if (!version_check_possible(d, up)) return false;
+  const NodeId data_node = d.placement().data_node();
+  if (up[data_node]) return true;  // Alg. 2 Case 1: direct read
+  // Case 2: decode from any k fresh survivors among the other n−1 nodes.
+  return live_count_excluding(up, data_node) >= d.k();
+}
+
+bool read_possible_erc_paper_event(const BlockDeployment& d,
+                                   const std::vector<bool>& up) {
+  const NodeId data_node = d.placement().data_node();
+  if (up[data_node]) return version_check_possible(d, up);  // P1 event
+  return live_count_excluding(up, data_node) >= d.k();      // P2 event
+}
+
+}  // namespace traperc::analysis

@@ -1,0 +1,76 @@
+// Decision predicates: given which cluster nodes are up, would the trapezoid
+// protocol's write / read succeed for a block?
+//
+// These encode Algorithms 1 and 2 *as decision procedures* over a node-state
+// vector, under the steady-state assumption that every live node holds the
+// latest version. They are the shared ground truth of three consumers:
+//   * the exact subset-enumeration oracle (exact.hpp),
+//   * the Monte Carlo estimator (montecarlo/),
+//   * cross-checks against the live protocol engine (tests).
+//
+// Two read-ERC variants are provided because the paper's eq. 13 measures a
+// slightly different event than Algorithm 2 executes (see DESIGN.md §2):
+//   * `..._algorithmic`: version check must pass at some level AND the value
+//     must be obtainable (N_i up, or >= k survivors to decode);
+//   * `..._paper_event`: eq. 13's event — N_i up and some level passes, OR
+//     N_i down and >= k of the other n−1 nodes up (no version-check
+//     requirement on the decode branch).
+#pragma once
+
+#include <vector>
+
+#include "topology/placement.hpp"
+#include "topology/trapezoid.hpp"
+
+namespace traperc::analysis {
+
+/// One block's trapezoid deployment inside an (n,k) cluster: quorum
+/// thresholds plus the slot→node placement. Cheap to copy per block.
+class BlockDeployment {
+ public:
+  BlockDeployment(unsigned n, unsigned k, unsigned block,
+                  const topology::LevelQuorums& quorums);
+
+  [[nodiscard]] unsigned n() const noexcept { return placement_.n(); }
+  [[nodiscard]] unsigned k() const noexcept { return placement_.k(); }
+  [[nodiscard]] unsigned block() const noexcept { return placement_.block(); }
+  [[nodiscard]] const topology::LevelQuorums& quorums() const noexcept {
+    return quorums_;
+  }
+  [[nodiscard]] const topology::ErcPlacement& placement() const noexcept {
+    return placement_;
+  }
+
+  /// Node ids on trapezoid level l (level 0 contains the data node).
+  [[nodiscard]] const std::vector<NodeId>& level_nodes(unsigned l) const {
+    return level_nodes_[l];
+  }
+
+ private:
+  topology::ErcPlacement placement_;
+  topology::LevelQuorums quorums_;
+  std::vector<std::vector<NodeId>> level_nodes_;
+};
+
+/// Alg. 1: every level l must reach w_l live nodes.
+[[nodiscard]] bool write_possible(const BlockDeployment& d,
+                                  const std::vector<bool>& up);
+
+/// Version check of Alg. 2: some level l reaches r_l = s_l − w_l + 1 live
+/// nodes.
+[[nodiscard]] bool version_check_possible(const BlockDeployment& d,
+                                          const std::vector<bool>& up);
+
+/// TRAP-FR read: version check alone suffices (any live replica serves).
+[[nodiscard]] bool read_possible_fr(const BlockDeployment& d,
+                                    const std::vector<bool>& up);
+
+/// TRAP-ERC read, Algorithm 2 semantics.
+[[nodiscard]] bool read_possible_erc_algorithmic(const BlockDeployment& d,
+                                                 const std::vector<bool>& up);
+
+/// TRAP-ERC read, the event measured by eq. 13.
+[[nodiscard]] bool read_possible_erc_paper_event(const BlockDeployment& d,
+                                                 const std::vector<bool>& up);
+
+}  // namespace traperc::analysis

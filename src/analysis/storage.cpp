@@ -1,0 +1,21 @@
+#include "analysis/storage.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::analysis {
+
+double storage_blocks_fr(unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  return static_cast<double>(n - k + 1);
+}
+
+double storage_blocks_erc(unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  return static_cast<double>(n) / static_cast<double>(k);
+}
+
+double storage_savings(unsigned n, unsigned k) {
+  return 1.0 - storage_blocks_erc(n, k) / storage_blocks_fr(n, k);
+}
+
+}  // namespace traperc::analysis

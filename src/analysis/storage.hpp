@@ -1,0 +1,20 @@
+// Storage cost model — paper §IV-C, equations 14 and 15.
+//
+// Costs are expressed in units of blocksize (the size of one original data
+// block), per protected data block, matching the y-axis of paper Fig. 5.
+#pragma once
+
+namespace traperc::analysis {
+
+/// TRAP-FR stores the block verbatim on all n−k+1 trapezoid nodes (eq. 14):
+/// D_used = (n − k + 1) · blocksize.
+[[nodiscard]] double storage_blocks_fr(unsigned n, unsigned k);
+
+/// TRAP-ERC stores b_i (blocksize) plus one α·b_i share of each of the n−k
+/// parity blocks, each blocksize/k (eq. 15): D_used = (n / k) · blocksize.
+[[nodiscard]] double storage_blocks_erc(unsigned n, unsigned k);
+
+/// Space saved by ERC relative to FR, in [0, 1).
+[[nodiscard]] double storage_savings(unsigned n, unsigned k);
+
+}  // namespace traperc::analysis

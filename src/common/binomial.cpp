@@ -1,0 +1,83 @@
+#include "common/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc {
+
+double log_factorial(unsigned n) noexcept {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial_coefficient(unsigned n, unsigned k) noexcept {
+  TRAPERC_DCHECK(k <= n);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_coefficient(unsigned n, unsigned k) noexcept {
+  if (k > n) return 0.0;
+  // Multiplicative form keeps intermediate values small; exact up to the
+  // double mantissa.
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  // Snap to the nearest integer while the value is exactly representable;
+  // beyond 2^53 rounding cannot recover exactness anyway.
+  return result < 0x1p53 ? std::round(result) : result;
+}
+
+std::uint64_t binomial_coefficient_exact(unsigned n, unsigned k) noexcept {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    // Multiply-then-divide stays exact because C(n, i) is an integer at
+    // every step; guard the multiply against overflow.
+    const std::uint64_t factor = n - k + i;
+    TRAPERC_CHECK_MSG(result <= ~0ULL / factor,
+                      "binomial_coefficient_exact overflow");
+    result = result * factor / i;
+  }
+  return result;
+}
+
+double binomial_pmf(unsigned z, unsigned c, double p) noexcept {
+  if (c > z) return 0.0;
+  if (p <= 0.0) return c == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return c == z ? 1.0 : 0.0;
+  const double log_term = log_binomial_coefficient(z, c) +
+                          static_cast<double>(c) * std::log(p) +
+                          static_cast<double>(z - c) * std::log1p(-p);
+  return std::exp(log_term);
+}
+
+double phi(unsigned z, unsigned i, unsigned j, double p) noexcept {
+  j = std::min(j, z);
+  if (i > j) return 0.0;
+  // Sum smallest-magnitude terms first: pmf is unimodal with mode near z*p,
+  // so accumulate from both ends toward the mode.
+  const auto mode = static_cast<unsigned>(static_cast<double>(z) * p);
+  double low_sum = 0.0;   // ascending from i up to min(mode, j)
+  double high_sum = 0.0;  // descending from j down to max(mode+1, i)
+  const unsigned split = std::clamp(mode, i, j);
+  for (unsigned c = i; c <= split; ++c) low_sum += binomial_pmf(z, c, p);
+  for (unsigned c = j; c > split; --c) high_sum += binomial_pmf(z, c, p);
+  const double total = low_sum + high_sum;
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double phi_at_least(unsigned z, unsigned i, double p) noexcept {
+  return phi(z, i, z, p);
+}
+
+std::vector<double> binomial_pmf_table(unsigned z, double p) noexcept {
+  std::vector<double> table(z + 1);
+  for (unsigned c = 0; c <= z; ++c) table[c] = binomial_pmf(z, c, p);
+  return table;
+}
+
+}  // namespace traperc

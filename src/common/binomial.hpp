@@ -1,0 +1,45 @@
+// Numerically stable binomial machinery underlying the availability
+// formulas of paper §IV.
+//
+// The paper's Φ_z(i,j) = Σ_{c=i..j} C(z,c) p^c (1-p)^{z-c} involves
+// coefficients up to C(n-1, k) with n up to a few hundred in our sweeps;
+// naive double factorials overflow around n = 171, so terms are assembled in
+// log space and summed largest-first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace traperc {
+
+/// log(n!) via lgamma; exact for the n we use (checked against integers in
+/// tests up to n = 20).
+[[nodiscard]] double log_factorial(unsigned n) noexcept;
+
+/// log C(n, k); requires k <= n.
+[[nodiscard]] double log_binomial_coefficient(unsigned n, unsigned k) noexcept;
+
+/// C(n, k) as double (may round for n > 57 where the result exceeds 2^53).
+[[nodiscard]] double binomial_coefficient(unsigned n, unsigned k) noexcept;
+
+/// Exact C(n, k) in 64 bits; requires the result to fit (checked).
+[[nodiscard]] std::uint64_t binomial_coefficient_exact(unsigned n,
+                                                       unsigned k) noexcept;
+
+/// Probability of exactly c successes out of z Bernoulli(p) trials.
+[[nodiscard]] double binomial_pmf(unsigned z, unsigned c, double p) noexcept;
+
+/// The paper's Φ_z(i, j): probability that the number of available nodes out
+/// of z lies in [i, j] (eq. 7). Arguments outside [0, z] are clamped the way
+/// the formulas use them (i > j yields 0).
+[[nodiscard]] double phi(unsigned z, unsigned i, unsigned j, double p) noexcept;
+
+/// Convenience: Φ_z(i, z), the upper tail ("at least i of z available").
+[[nodiscard]] double phi_at_least(unsigned z, unsigned i, double p) noexcept;
+
+/// All PMF values [P(X=0), ..., P(X=z)] in one pass (used by the exact
+/// oracle to weight enumeration buckets).
+[[nodiscard]] std::vector<double> binomial_pmf_table(unsigned z,
+                                                     double p) noexcept;
+
+}  // namespace traperc

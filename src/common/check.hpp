@@ -1,0 +1,40 @@
+// Lightweight precondition / invariant checking.
+//
+// TRAPERC_CHECK is always on (it guards API misuse that would otherwise
+// corrupt protocol state); TRAPERC_DCHECK compiles out in NDEBUG builds and
+// is used on hot paths (GF region kernels, event queue pops).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace traperc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "traperc: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace traperc::detail
+
+#define TRAPERC_CHECK(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::traperc::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                     \
+  } while (false)
+
+#define TRAPERC_CHECK_MSG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::traperc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define TRAPERC_DCHECK(expr) ((void)0)
+#else
+#define TRAPERC_DCHECK(expr) TRAPERC_CHECK(expr)
+#endif

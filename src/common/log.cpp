@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace traperc {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buffer[1024];
+  int offset = std::snprintf(buffer, sizeof buffer, "[traperc %-5s] ",
+                             level_tag(level));
+  if (offset < 0) return;
+  va_list args;
+  va_start(args, fmt);
+  int body = std::vsnprintf(buffer + offset, sizeof buffer - offset - 1, fmt,
+                            args);
+  va_end(args);
+  if (body < 0) return;
+  std::size_t end = static_cast<std::size_t>(offset) +
+                    static_cast<std::size_t>(body);
+  if (end >= sizeof buffer - 1) end = sizeof buffer - 2;
+  buffer[end] = '\n';
+  std::fwrite(buffer, 1, end + 1, stderr);
+}
+
+}  // namespace traperc

@@ -1,0 +1,30 @@
+// Minimal leveled logger. Protocol engines log quorum decisions at kDebug;
+// benches and examples keep the default kWarn so output stays parseable.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace traperc {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging to stderr with a level tag. Thread-safe (single
+/// write syscall per message).
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define TRAPERC_LOG_DEBUG(...) \
+  ::traperc::log_message(::traperc::LogLevel::kDebug, __VA_ARGS__)
+#define TRAPERC_LOG_INFO(...) \
+  ::traperc::log_message(::traperc::LogLevel::kInfo, __VA_ARGS__)
+#define TRAPERC_LOG_WARN(...) \
+  ::traperc::log_message(::traperc::LogLevel::kWarn, __VA_ARGS__)
+#define TRAPERC_LOG_ERROR(...) \
+  ::traperc::log_message(::traperc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace traperc

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace traperc {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm.next();
+  // xoshiro256** must not be seeded with all zeros; splitmix64 of any seed
+  // yields that only with probability 2^-256, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng Rng::split(std::uint64_t child_index) const noexcept {
+  // Derive the child seed from the parent state and the child index through
+  // one splitmix64 round each, mixing both so sibling streams differ even
+  // when parents share a prefix.
+  SplitMix64 sm(state_[0] ^ rotl(state_[2], 17) ^
+                (child_index * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  return Rng(sm.next());
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_exponential(double rate) noexcept {
+  // Inverse transform; 1 - U avoids log(0).
+  return -std::log1p(-next_double()) / rate;
+}
+
+std::uint64_t Rng::next_in_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + next_below(hi - lo + 1);
+}
+
+}  // namespace traperc

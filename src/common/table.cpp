@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace traperc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TRAPERC_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TRAPERC_CHECK_MSG(cells.size() == headers_.size(),
+                    "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double value : cells) row.push_back(format_double(value, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::to_aligned() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      TRAPERC_DCHECK(row[c].find_first_of(",\"\n") == std::string::npos);
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), to_aligned().c_str());
+  const char* csv = std::getenv("TRAPERC_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    std::printf("-- csv --\n%s", to_csv().c_str());
+  }
+  std::fflush(stdout);
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace traperc

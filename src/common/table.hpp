@@ -1,0 +1,45 @@
+// Tabular output for the benchmark harness.
+//
+// Every fig*/ablation*/validation* bench emits two synchronized views:
+//  * a human-readable aligned table on stdout, and
+//  * optional CSV (same rows) when TRAPERC_CSV=1 is set in the environment,
+// so plots can be regenerated with any external tool.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace traperc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned fixed-width rendering.
+  [[nodiscard]] std::string to_aligned() const;
+
+  /// RFC-4180-ish CSV rendering (no quoting needed for our cell contents,
+  /// which is checked).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints aligned to stdout, plus CSV if TRAPERC_CSV=1.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench row helper).
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+}  // namespace traperc

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper. Used by the Monte Carlo estimator to fan trial batches across
+// cores; results are reduced by the caller.
+//
+// The design follows the explicit-parallelism style of message-passing HPC
+// codes: work units are closed over their inputs, no shared mutable state is
+// implied, and the pool never spawns nested parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace traperc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means std::thread::hardware_concurrency,
+  /// clamped to at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs body(chunk_begin, chunk_end, worker_index) over [0, count) split
+  /// into roughly equal contiguous chunks, one per worker, and blocks until
+  /// all chunks complete. worker_index is stable within a call and in
+  /// [0, size()), letting callers keep per-worker accumulators / RNG streams.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace traperc

@@ -1,0 +1,48 @@
+// Core identifier and size types shared by every traperc module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace traperc {
+
+/// Index of a storage node within a cluster ([0, n)).
+using NodeId = std::uint32_t;
+
+/// Identifier of a logical data block (the unit the quorum protocol protects).
+using BlockId = std::uint64_t;
+
+/// Monotonically increasing per-block version number. Version 0 means
+/// "never written"; every committed write bumps the version by one.
+using Version = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "unknown/invalid version" (paper Alg. 2 uses -1 / INVALID).
+inline constexpr Version kInvalidVersion = std::numeric_limits<Version>::max();
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Outcome of a quorum operation, mirroring the paper's SUCCESS / FAIL.
+enum class OpStatus : std::uint8_t {
+  kSuccess = 0,     ///< quorum satisfied, operation committed / value returned
+  kFail = 1,        ///< quorum unreachable (paper: "return FAIL" / "return ∅")
+  kDecodeError = 2, ///< read quorum found but fewer than k fresh chunks (ERC)
+};
+
+[[nodiscard]] constexpr const char* to_string(OpStatus s) noexcept {
+  switch (s) {
+    case OpStatus::kSuccess: return "SUCCESS";
+    case OpStatus::kFail: return "FAIL";
+    case OpStatus::kDecodeError: return "DECODE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace traperc

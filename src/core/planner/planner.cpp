@@ -1,0 +1,73 @@
+#include "core/planner/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/availability.hpp"
+#include "analysis/storage.hpp"
+#include "common/check.hpp"
+#include "topology/shape_solver.hpp"
+
+namespace traperc::core {
+
+std::string Plan::to_string() const {
+  std::ostringstream out;
+  out << "plan(n=" << n << ", k=" << k << ", " << shape.to_string()
+      << ", w=" << w << ", Pw=" << write_availability
+      << ", Pr=" << read_availability << ", storage=" << storage_blocks
+      << "x)";
+  return out.str();
+}
+
+std::vector<Plan> plan_deployments(const PlanQuery& query) {
+  TRAPERC_CHECK_MSG(query.p > 0.0 && query.p < 1.0,
+                    "node availability must be in (0,1)");
+  TRAPERC_CHECK_MSG(query.n_min >= 2 && query.n_min <= query.n_max,
+                    "need 2 <= n_min <= n_max");
+  std::vector<Plan> feasible;
+  for (unsigned n = query.n_min; n <= query.n_max; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      const unsigned nbnode = n - k + 1;
+      for (const auto& shape :
+           topology::solve_shapes(nbnode, query.max_h)) {
+        const unsigned w_max = shape.h >= 1 ? shape.level_size(1) : 1;
+        for (unsigned w = 1; w <= w_max; ++w) {
+          const auto quorums =
+              topology::LevelQuorums::paper_convention(shape, w);
+          const double pw = analysis::write_availability(quorums, query.p);
+          if (pw < query.min_write_availability) continue;
+          const double pr =
+              query.mode == Mode::kErc
+                  ? analysis::read_availability_erc(quorums, n, k, query.p)
+                  : analysis::read_availability_fr(quorums, query.p);
+          if (pr < query.min_read_availability) continue;
+          const double storage =
+              query.mode == Mode::kErc ? analysis::storage_blocks_erc(n, k)
+                                       : analysis::storage_blocks_fr(n, k);
+          feasible.push_back(Plan{n, k, shape, w, pw, pr, storage});
+        }
+      }
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Plan& lhs, const Plan& rhs) {
+              if (lhs.storage_blocks != rhs.storage_blocks) {
+                return lhs.storage_blocks < rhs.storage_blocks;
+              }
+              const double lhs_av =
+                  lhs.write_availability * lhs.read_availability;
+              const double rhs_av =
+                  rhs.write_availability * rhs.read_availability;
+              if (lhs_av != rhs_av) return lhs_av > rhs_av;
+              return lhs.n < rhs.n;
+            });
+  return feasible;
+}
+
+std::optional<Plan> best_plan(const PlanQuery& query) {
+  auto plans = plan_deployments(query);
+  if (plans.empty()) return std::nullopt;
+  return plans.front();
+}
+
+}  // namespace traperc::core

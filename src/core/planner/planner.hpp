@@ -1,0 +1,49 @@
+// Deployment planner — picks (n, k, a, b, h, w) for availability targets at
+// minimal storage, the design exercise the paper's conclusion motivates
+// ("allows to enlarge the use of ERC based storage systems").
+//
+// The search space is every (n, k) with k <= n <= n_max, every trapezoid
+// shape with Σ s_l = n−k+1 and h <= max_h, and every w ∈ [1, s_1] (eq. 16).
+// Availability is evaluated with the paper's closed forms (eqs. 8/13) —
+// callers who care about the eq. 13 approximation can re-rank the shortlist
+// with the exact oracle.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol/config.hpp"
+#include "topology/trapezoid.hpp"
+
+namespace traperc::core {
+
+struct PlanQuery {
+  double p = 0.9;                        ///< node availability
+  double min_write_availability = 0.99;
+  double min_read_availability = 0.99;
+  unsigned n_min = 2;
+  unsigned n_max = 24;
+  unsigned max_h = 2;
+  Mode mode = Mode::kErc;
+};
+
+struct Plan {
+  unsigned n = 0;
+  unsigned k = 0;
+  topology::TrapezoidShape shape;
+  unsigned w = 1;
+  double write_availability = 0.0;
+  double read_availability = 0.0;
+  double storage_blocks = 0.0;  ///< per protected block, units of blocksize
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// All feasible plans sorted by (storage, −write·read availability).
+[[nodiscard]] std::vector<Plan> plan_deployments(const PlanQuery& query);
+
+/// Cheapest feasible plan, if any.
+[[nodiscard]] std::optional<Plan> best_plan(const PlanQuery& query);
+
+}  // namespace traperc::core

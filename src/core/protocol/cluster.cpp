@@ -1,0 +1,108 @@
+#include "core/protocol/cluster.hpp"
+
+#include "common/check.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+
+SimCluster::SimCluster(ProtocolConfig config, std::uint64_t seed)
+    : config_(config), engine_(seed) {
+  config_.validate();
+  nodes_.reserve(config_.n);
+  for (NodeId id = 0; id < config_.n; ++id) {
+    nodes_.push_back(std::make_unique<storage::StorageNode>(
+        id, config_.k, config_.chunk_len));
+  }
+  // Endpoint n is the coordinator (client); it is never fail-stop.
+  network_ = std::make_unique<net::Network>(
+      engine_, config_.n + 1, std::make_unique<net::FixedLatency>(),
+      [this](NodeId id) {
+        return id >= config_.n ? true : nodes_[id]->up();
+      });
+  if (config_.mode == Mode::kErc) {
+    code_ = std::make_unique<erasure::RSCode>(config_.n, config_.k,
+                                              config_.generator);
+  }
+  leases_ =
+      std::make_unique<LeaseManager>(engine_, config_.lease_duration_ns);
+  std::vector<storage::StorageNode*> node_ptrs;
+  node_ptrs.reserve(nodes_.size());
+  for (auto& node : nodes_) node_ptrs.push_back(node.get());
+  coordinator_ = std::make_unique<Coordinator>(
+      config_, engine_, *network_, node_ptrs, code_.get(), leases_.get());
+  repair_ = std::make_unique<RepairManager>(config_, node_ptrs, code_.get());
+  if (config_.read_repair && config_.mode == Mode::kErc) {
+    coordinator_->set_stale_stripe_hook(
+        [this](BlockId stripe) { (void)repair_->reconcile_stripe(stripe); });
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+storage::StorageNode& SimCluster::node(NodeId id) {
+  TRAPERC_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  return *nodes_[id];
+}
+
+void SimCluster::fail_node(NodeId id) { node(id).set_up(false); }
+
+void SimCluster::recover_node(NodeId id) { node(id).set_up(true); }
+
+void SimCluster::set_node_states(const std::vector<bool>& up) {
+  TRAPERC_CHECK_MSG(up.size() == nodes_.size(), "state vector size mismatch");
+  for (NodeId id = 0; id < up.size(); ++id) nodes_[id]->set_up(up[id]);
+}
+
+std::vector<bool> SimCluster::node_states() const {
+  std::vector<bool> up(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) up[id] = nodes_[id]->up();
+  return up;
+}
+
+unsigned SimCluster::live_nodes() const {
+  unsigned count = 0;
+  for (const auto& node : nodes_) count += node->up() ? 1 : 0;
+  return count;
+}
+
+void SimCluster::enable_failure_processes(
+    storage::FailureProcess::Params params) {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    failure_processes_.push_back(std::make_unique<storage::FailureProcess>(
+        engine_, *nodes_[id], params, engine_.stream(1000 + id)));
+    failure_processes_.back()->start();
+  }
+}
+
+OpStatus SimCluster::write_block_sync(BlockId stripe, unsigned index,
+                                      std::vector<std::uint8_t> value) {
+  std::optional<OpStatus> result;
+  coordinator_->write_block(stripe, index, std::move(value),
+                            [&result](OpStatus status) { result = status; });
+  while (!result.has_value() && engine_.step()) {
+  }
+  TRAPERC_CHECK_MSG(result.has_value(),
+                    "engine drained without completing the write");
+  return *result;
+}
+
+ReadOutcome SimCluster::read_block_sync(BlockId stripe, unsigned index) {
+  std::optional<ReadOutcome> result;
+  coordinator_->read_block(stripe, index, [&result](ReadOutcome outcome) {
+    result = std::move(outcome);
+  });
+  while (!result.has_value() && engine_.step()) {
+  }
+  TRAPERC_CHECK_MSG(result.has_value(),
+                    "engine drained without completing the read");
+  return std::move(*result);
+}
+
+std::vector<std::uint8_t> SimCluster::make_pattern(std::uint64_t tag) const {
+  std::vector<std::uint8_t> out(config_.chunk_len);
+  Rng rng(tag ^ 0x7261707065726321ULL);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+}  // namespace traperc::core

@@ -1,0 +1,75 @@
+// SimCluster — one self-contained simulated deployment: engine, network,
+// n storage nodes, optional failure processes, an RS code (ERC mode) and a
+// coordinator. This is the top-level object examples and benches drive.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/protocol/config.hpp"
+#include "core/protocol/coordinator.hpp"
+#include "core/protocol/lease.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "storage/failure_model.hpp"
+#include "storage/node.hpp"
+
+namespace traperc::core {
+
+class RepairManager;
+
+class SimCluster {
+ public:
+  explicit SimCluster(ProtocolConfig config, std::uint64_t seed = 42);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  [[nodiscard]] const ProtocolConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] sim::SimEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] Coordinator& coordinator() noexcept { return *coordinator_; }
+  [[nodiscard]] RepairManager& repair() noexcept { return *repair_; }
+  [[nodiscard]] LeaseManager& leases() noexcept { return *leases_; }
+  [[nodiscard]] storage::StorageNode& node(NodeId id);
+  [[nodiscard]] const erasure::RSCode* code() const noexcept {
+    return code_ ? code_.get() : nullptr;
+  }
+
+  // -- liveness control ---------------------------------------------------
+  void fail_node(NodeId id);
+  void recover_node(NodeId id);
+  /// Applies a full liveness vector at once (Monte Carlo trials).
+  void set_node_states(const std::vector<bool>& up);
+  [[nodiscard]] std::vector<bool> node_states() const;
+  [[nodiscard]] unsigned live_nodes() const;
+
+  /// Attaches an MTTF/MTTR failure process to every node and starts them.
+  void enable_failure_processes(storage::FailureProcess::Params params);
+
+  // -- synchronous convenience API (drives the engine until completion) ---
+  OpStatus write_block_sync(BlockId stripe, unsigned index,
+                            std::vector<std::uint8_t> value);
+  [[nodiscard]] ReadOutcome read_block_sync(BlockId stripe, unsigned index);
+
+  /// Fills a chunk-sized buffer with a deterministic pattern (testing aid).
+  [[nodiscard]] std::vector<std::uint8_t> make_pattern(
+      std::uint64_t tag) const;
+
+ private:
+  ProtocolConfig config_;
+  sim::SimEngine engine_;
+  std::vector<std::unique_ptr<storage::StorageNode>> nodes_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<erasure::RSCode> code_;
+  std::unique_ptr<LeaseManager> leases_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<RepairManager> repair_;
+  std::vector<std::unique_ptr<storage::FailureProcess>> failure_processes_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,45 @@
+#include "core/protocol/config.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+ProtocolConfig ProtocolConfig::for_code(unsigned n, unsigned k, unsigned w,
+                                        Mode mode) {
+  ProtocolConfig config;
+  config.n = n;
+  config.k = k;
+  config.shape = topology::canonical_shape_for_code(n, k);
+  config.w = w;
+  config.mode = mode;
+  config.validate();
+  return config;
+}
+
+topology::LevelQuorums ProtocolConfig::quorums() const {
+  return topology::LevelQuorums::paper_convention(shape, w);
+}
+
+void ProtocolConfig::validate() const {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  TRAPERC_CHECK_MSG(n <= 255, "GF(2^8) limits n to 255");
+  TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
+  TRAPERC_CHECK_MSG(shape.total_nodes() == n - k + 1,
+                    "trapezoid population must equal n-k+1 (eq. 5)");
+  TRAPERC_CHECK_MSG(chunk_len >= 1, "chunk length must be positive");
+  if (shape.h >= 1) {
+    TRAPERC_CHECK_MSG(w >= 1 && w <= shape.level_size(1),
+                      "w outside [1, s_1] (eq. 16 constraint)");
+  }
+}
+
+std::string ProtocolConfig::to_string() const {
+  std::ostringstream out;
+  out << core::to_string(mode) << "(n=" << n << ", k=" << k << ", "
+      << shape.to_string() << ", w=" << w << ")";
+  return out.str();
+}
+
+}  // namespace traperc::core

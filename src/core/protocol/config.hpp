@@ -1,0 +1,60 @@
+// Deployment configuration for a trapezoid-protocol cluster.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+#include "erasure/rs_code.hpp"
+#include "topology/shape_solver.hpp"
+#include "topology/trapezoid.hpp"
+
+namespace traperc::core {
+
+/// Redundancy scheme: the paper's two compared systems.
+enum class Mode : std::uint8_t {
+  kErc,  ///< TRAP-ERC: (n,k) MDS chunks + per-contributor version vectors
+  kFr,   ///< TRAP-FR: full replicas on the same n−k+1 trapezoid nodes
+};
+
+[[nodiscard]] constexpr const char* to_string(Mode mode) noexcept {
+  return mode == Mode::kErc ? "TRAP-ERC" : "TRAP-FR";
+}
+
+struct ProtocolConfig {
+  unsigned n = 15;  ///< total blocks / storage nodes in the stripe
+  unsigned k = 8;   ///< original data blocks
+  topology::TrapezoidShape shape{2, 3, 1};  ///< must satisfy Σ s_l = n−k+1
+  unsigned w = 1;   ///< eq. 16 level-threshold parameter for levels >= 1
+  Mode mode = Mode::kErc;
+  erasure::GeneratorKind generator = erasure::GeneratorKind::kVandermonde;
+  std::size_t chunk_len = 4096;          ///< bytes per chunk
+  SimTime rpc_timeout_ns = 10'000'000;   ///< 10 ms: declares a node dead
+
+  /// Extension (off = paper behaviour): serialize writers per block through
+  /// an exclusive lease, eliminating the duplicate-version race of
+  /// read-then-increment versioning (see lease.hpp).
+  bool use_write_leases = false;
+  SimTime lease_duration_ns = 1'000'000'000;  ///< 1 s lease expiry
+
+  /// Extension (off = paper behaviour): when a read observes stale state
+  /// (diverging versions in a check, or excluded stale chunks in a decode
+  /// gather), asynchronously reconcile the stripe in the background.
+  bool read_repair = false;
+
+  /// Canonical config for (n,k): shape from the tier rules (DESIGN.md §4).
+  [[nodiscard]] static ProtocolConfig for_code(unsigned n, unsigned k,
+                                               unsigned w = 1,
+                                               Mode mode = Mode::kErc);
+
+  /// Per-level thresholds per eq. 16 (w_0 = ⌊b/2⌋+1, w_l = w).
+  [[nodiscard]] topology::LevelQuorums quorums() const;
+
+  /// Validates all invariants (shape population, w range, field limit);
+  /// aborts with a message on violation.
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace traperc::core

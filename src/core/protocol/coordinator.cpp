@@ -1,0 +1,608 @@
+#include "core/protocol/coordinator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::core {
+
+using storage::ParityAddReply;
+using storage::ParityReadReply;
+using storage::ReplicaReadReply;
+
+namespace {
+
+/// Phases of a read operation's state machine.
+enum class ReadPhase : std::uint8_t {
+  kCheckingLevel,  ///< Alg. 2 lines 11-30: per-level version check
+  kCase1,          ///< direct fetch from N_i
+  kCase2,          ///< decode gather
+  kFrFetch,        ///< FR mode: fetch replica from a fresh responder
+  kDone,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// State structs
+// ---------------------------------------------------------------------------
+
+struct Coordinator::ReadState {
+  BlockId stripe = 0;
+  unsigned index = 0;
+  ReadCallback done;
+
+  ReadPhase phase = ReadPhase::kCheckingLevel;
+
+  // Per-level version check bookkeeping (reset at each level).
+  unsigned level = 0;
+  unsigned responses = 0;
+  unsigned settled = 0;  ///< responses + expired level deadline marker
+  bool deadline_passed = false;
+  Version level_max = 0;
+  bool level_saw_any = false;
+  std::vector<std::pair<NodeId, Version>> level_responders;
+
+  // N_i's version, when any level check happened to hear from it.
+  std::optional<Version> ni_version;
+
+  // Read-repair: set when the read observed diverging versions.
+  bool stale_observed = false;
+
+  // Case-2 gather state.
+  struct DataReply {
+    bool have = false;
+    Version version = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  struct ParityReply {
+    bool have = false;
+    std::vector<Version> contrib;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<DataReply> data_replies;
+  std::vector<ParityReply> parity_replies;
+  unsigned gather_count = 0;
+  Version target_version = 0;
+
+  // FR fetch retry list.
+  std::vector<NodeId> fetch_candidates;
+  std::size_t fetch_next = 0;
+  Version fetch_expect = 0;
+};
+
+struct Coordinator::WriteState {
+  BlockId stripe = 0;
+  unsigned index = 0;
+  std::vector<std::uint8_t> value;
+  WriteCallback done;
+  bool finished = false;
+  LeaseToken lease;  ///< id 0 = none held
+
+  Version old_version = 0;
+  Version new_version = 0;
+  std::vector<std::uint8_t> delta;  ///< value XOR old value (ERC mode)
+
+  unsigned level = 0;
+  unsigned acks = 0;
+  unsigned settled = 0;
+  bool level_advanced = false;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(const ProtocolConfig& config, sim::SimEngine& engine,
+                         net::Network& network,
+                         std::vector<storage::StorageNode*> nodes,
+                         const erasure::RSCode* code, LeaseManager* leases)
+    : config_(config),
+      engine_(engine),
+      network_(network),
+      nodes_(std::move(nodes)),
+      code_(code),
+      leases_(leases) {
+  config_.validate();
+  TRAPERC_CHECK_MSG(!config_.use_write_leases || leases_ != nullptr,
+                    "write leases enabled but no lease manager supplied");
+  TRAPERC_CHECK_MSG(nodes_.size() == config_.n, "need one node per id");
+  TRAPERC_CHECK_MSG(network_.num_nodes() >= config_.n + 1,
+                    "network must include the client endpoint");
+  if (config_.mode == Mode::kErc) {
+    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC mode requires an RS code");
+    TRAPERC_CHECK_MSG(code_->n() == config_.n && code_->k() == config_.k,
+                      "RS code dimensions must match the config");
+  }
+  const auto quorums = config_.quorums();
+  deployments_.reserve(config_.k);
+  for (unsigned i = 0; i < config_.k; ++i) {
+    deployments_.emplace_back(config_.n, config_.k, i, quorums);
+  }
+}
+
+const analysis::BlockDeployment& Coordinator::deployment(
+    unsigned index) const {
+  TRAPERC_CHECK_MSG(index < config_.k, "block index out of range");
+  return deployments_[index];
+}
+
+// ---------------------------------------------------------------------------
+// Read path — Algorithm 2
+// ---------------------------------------------------------------------------
+
+void Coordinator::read_block(BlockId stripe, unsigned index,
+                             ReadCallback done) {
+  TRAPERC_CHECK_MSG(index < config_.k, "block index out of range");
+  ++stats_.reads_started;
+  auto st = std::make_shared<ReadState>();
+  st->stripe = stripe;
+  st->index = index;
+  st->done = std::move(done);
+  read_check_level(st, 0);
+}
+
+void Coordinator::read_check_level(std::shared_ptr<ReadState> st,
+                                   unsigned level) {
+  st->phase = ReadPhase::kCheckingLevel;
+  st->level = level;
+  st->responses = 0;
+  st->settled = 0;
+  st->deadline_passed = false;
+  st->level_max = 0;
+  st->level_saw_any = false;
+  st->level_responders.clear();
+
+  const auto& members = deployments_[st->index].level_nodes(level);
+  const NodeId data_node = deployments_[st->index].placement().data_node();
+
+  for (NodeId target : members) {
+    storage::StorageNode* node = nodes_[target];
+    const BlockId stripe = st->stripe;
+    const unsigned index = st->index;
+    if (config_.mode == Mode::kFr || target == data_node) {
+      // Replica version query (data node or FR replica).
+      network_.rpc<Version>(
+          client_id(), target, /*approx_bytes=*/16,
+          [node, stripe, index] { return node->replica_version(stripe, index); },
+          [this, st, level, target](Version v) {
+            read_level_response(st, level, target, v,
+                                /*is_data=*/true);
+          });
+    } else {
+      // Parity node: the contributor version V(i, j−k) (Alg. 2 line 22
+      // reads the whole column; the check only needs row i).
+      network_.rpc<Version>(
+          client_id(), target, /*approx_bytes=*/16,
+          [node, stripe, index] {
+            return node->parity_versions(stripe)[index];
+          },
+          [this, st, level, target](Version v) {
+            read_level_response(st, level, target, v, /*is_data=*/false);
+          });
+    }
+  }
+
+  // One deadline per level: anything unanswered by then is treated as down.
+  engine_.schedule_after(config_.rpc_timeout_ns, [this, st, level] {
+    if (st->phase != ReadPhase::kCheckingLevel || st->level != level) return;
+    st->deadline_passed = true;
+    read_level_settled(st, level);
+  });
+}
+
+void Coordinator::read_level_response(std::shared_ptr<ReadState> st,
+                                      unsigned level, NodeId node,
+                                      Version block_version, bool is_data) {
+  if (st->phase != ReadPhase::kCheckingLevel || st->level != level) {
+    return;  // stale reply from a level we already left
+  }
+  ++st->responses;
+  if (st->level_saw_any && block_version != st->level_max) {
+    st->stale_observed = true;  // responders within a level disagree
+  }
+  st->level_max = st->level_saw_any
+                      ? std::max(st->level_max, block_version)
+                      : block_version;
+  st->level_saw_any = true;
+  st->level_responders.emplace_back(node, block_version);
+  const NodeId data_node = deployments_[st->index].placement().data_node();
+  if (is_data && node == data_node) st->ni_version = block_version;
+
+  const auto& q = deployments_[st->index].quorums();
+  if (st->responses >= q.r(level)) {
+    read_level_settled(st, level);
+  }
+}
+
+void Coordinator::read_level_settled(std::shared_ptr<ReadState> st,
+                                     unsigned level) {
+  const auto& q = deployments_[st->index].quorums();
+  if (st->responses < q.r(level)) {
+    // Level check failed (Alg. 2 falls through to the next level, or fails
+    // after the last one).
+    if (level + 1 < q.levels()) {
+      read_check_level(st, level + 1);
+    } else {
+      read_finish(st, ReadOutcome{OpStatus::kFail, 0, {}, false});
+    }
+    return;
+  }
+
+  const Version freshest = st->level_max;
+  if (config_.mode == Mode::kFr) {
+    // Any responder holding the freshest version can serve the replica.
+    st->fetch_candidates.clear();
+    for (const auto& [node, version] : st->level_responders) {
+      if (version == freshest) st->fetch_candidates.push_back(node);
+    }
+    st->fetch_next = 0;
+    st->fetch_expect = freshest;
+    st->phase = ReadPhase::kFrFetch;
+    read_case1(st, freshest);  // shares the fetch machinery
+    return;
+  }
+
+  // ERC: Alg. 2 lines 30-36. Case 1 iff N_i is known to hold the freshest
+  // version; an unresponsive N_i counts as not matching (fail-stop model).
+  if (st->ni_version.has_value() && *st->ni_version == freshest) {
+    st->fetch_candidates = {deployments_[st->index].placement().data_node()};
+    st->fetch_next = 0;
+    st->fetch_expect = freshest;
+    st->phase = ReadPhase::kCase1;
+    read_case1(st, freshest);
+  } else {
+    read_case2(st, freshest);
+  }
+}
+
+void Coordinator::read_case1(std::shared_ptr<ReadState> st, Version expect) {
+  // Fetch the full replica from the next candidate; on timeout try the next
+  // one; out of candidates => the op fails (nodes died after the check).
+  if (st->fetch_next >= st->fetch_candidates.size()) {
+    read_finish(st, ReadOutcome{OpStatus::kFail, 0, {}, false});
+    return;
+  }
+  const NodeId target = st->fetch_candidates[st->fetch_next++];
+  storage::StorageNode* node = nodes_[target];
+  const BlockId stripe = st->stripe;
+  const unsigned index = st->index;
+  const ReadPhase phase_at_send = st->phase;
+  auto replied = std::make_shared<bool>(false);
+
+  network_.rpc<ReplicaReadReply>(
+      client_id(), target, /*approx_bytes=*/32,
+      [node, stripe, index] { return node->replica_read(stripe, index); },
+      [this, st, expect, replied, phase_at_send](ReplicaReadReply reply) {
+        *replied = true;
+        if (st->phase != phase_at_send) return;
+        if (reply.version >= expect) {
+          ++stats_.reads_direct;
+          read_finish(st, ReadOutcome{OpStatus::kSuccess, reply.version,
+                                      std::move(reply.payload),
+                                      /*decoded=*/false});
+        } else {
+          // Stale somehow (concurrent interference): try next candidate.
+          read_case1(st, expect);
+        }
+      });
+
+  engine_.schedule_after(config_.rpc_timeout_ns,
+                         [this, st, expect, replied, phase_at_send] {
+                           if (*replied) return;
+                           if (st->phase != phase_at_send) return;
+                           read_case1(st, expect);  // next candidate
+                         });
+}
+
+void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
+  TRAPERC_CHECK_MSG(config_.mode == Mode::kErc, "decode path is ERC-only");
+  st->phase = ReadPhase::kCase2;
+  st->target_version = target;
+  st->data_replies.assign(config_.k, {});
+  st->parity_replies.assign(config_.n - config_.k, {});
+  st->gather_count = 0;
+
+  const BlockId stripe = st->stripe;
+  const unsigned total = config_.n;
+
+  auto maybe_complete = [this, st](bool deadline) {
+    if (st->phase != ReadPhase::kCase2) return;
+    if (!deadline && st->gather_count < config_.n) return;
+    st->phase = ReadPhase::kDone;  // freeze before decoding
+
+    // If N_i itself answered with the target version (it recovered between
+    // the check and the gather), serve directly.
+    const unsigned i = st->index;
+    if (st->data_replies[i].have &&
+        st->data_replies[i].version == st->target_version) {
+      ++stats_.reads_direct;
+      st->phase = ReadPhase::kCase2;  // restore for read_finish accounting
+      read_finish(st, ReadOutcome{OpStatus::kSuccess, st->target_version,
+                                  std::move(st->data_replies[i].payload),
+                                  false});
+      return;
+    }
+
+    // Group parity replies that agree on V(i, ·) == target by their full
+    // contributor vector; the largest mutually consistent group wins.
+    std::map<std::vector<Version>, std::vector<unsigned>> groups;
+    for (unsigned j = 0; j < config_.n - config_.k; ++j) {
+      const auto& reply = st->parity_replies[j];
+      if (!reply.have) continue;
+      if (reply.contrib[i] != st->target_version) {
+        st->stale_observed = true;  // a live parity chunk missed updates
+        continue;
+      }
+      groups[reply.contrib].push_back(j);
+    }
+    if (groups.size() > 1) st->stale_observed = true;
+    const std::vector<Version>* best_vector = nullptr;
+    const std::vector<unsigned>* best_group = nullptr;
+    for (const auto& [vec, group] : groups) {
+      if (best_group == nullptr || group.size() > best_group->size()) {
+        best_vector = &vec;
+        best_group = &group;
+      }
+    }
+    if (best_group == nullptr) {
+      st->phase = ReadPhase::kCase2;
+      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true});
+      return;
+    }
+
+    // Admit data chunks whose version matches the group's snapshot.
+    std::vector<unsigned> present_ids;
+    std::vector<const std::uint8_t*> present_ptrs;
+    for (unsigned m = 0; m < config_.k; ++m) {
+      if (m == i) continue;
+      const auto& reply = st->data_replies[m];
+      if (reply.have && reply.version == (*best_vector)[m]) {
+        present_ids.push_back(m);
+        present_ptrs.push_back(reply.payload.data());
+      }
+    }
+    for (unsigned j : *best_group) {
+      present_ids.push_back(config_.k + j);
+      present_ptrs.push_back(st->parity_replies[j].payload.data());
+    }
+
+    if (present_ids.size() < config_.k) {
+      st->phase = ReadPhase::kCase2;
+      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true});
+      return;
+    }
+
+    std::vector<std::uint8_t> out(config_.chunk_len);
+    const unsigned want[] = {i};
+    std::uint8_t* outs[] = {out.data()};
+    const bool ok =
+        code_->reconstruct(present_ids, present_ptrs, want, outs,
+                           config_.chunk_len);
+    TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
+    st->phase = ReadPhase::kCase2;
+    read_finish(st, ReadOutcome{OpStatus::kSuccess, st->target_version,
+                                std::move(out), true});
+  };
+
+  for (NodeId target_node = 0; target_node < total; ++target_node) {
+    storage::StorageNode* node = nodes_[target_node];
+    if (target_node < config_.k) {
+      const unsigned m = target_node;
+      network_.rpc<ReplicaReadReply>(
+          client_id(), target_node, /*approx_bytes=*/config_.chunk_len,
+          [node, stripe, m] { return node->replica_read(stripe, m); },
+          [st, m, maybe_complete](ReplicaReadReply reply) mutable {
+            if (st->phase != ReadPhase::kCase2) return;
+            st->data_replies[m] =
+                ReadState::DataReply{true, reply.version,
+                                     std::move(reply.payload)};
+            ++st->gather_count;
+            maybe_complete(false);
+          });
+    } else {
+      const unsigned j = target_node - config_.k;
+      network_.rpc<ParityReadReply>(
+          client_id(), target_node, /*approx_bytes=*/config_.chunk_len,
+          [node, stripe] { return node->parity_read(stripe); },
+          [st, j, maybe_complete](ParityReadReply reply) mutable {
+            if (st->phase != ReadPhase::kCase2) return;
+            st->parity_replies[j] =
+                ReadState::ParityReply{true, std::move(reply.contrib),
+                                       std::move(reply.payload)};
+            ++st->gather_count;
+            maybe_complete(false);
+          });
+    }
+  }
+
+  engine_.schedule_after(config_.rpc_timeout_ns,
+                         [maybe_complete]() mutable { maybe_complete(true); });
+}
+
+void Coordinator::read_finish(std::shared_ptr<ReadState> st,
+                              ReadOutcome outcome) {
+  if (st->phase == ReadPhase::kDone) return;
+  const ReadPhase finishing_phase = st->phase;
+  st->phase = ReadPhase::kDone;
+  if (outcome.status == OpStatus::kSuccess) {
+    if (finishing_phase == ReadPhase::kCase2 && outcome.decoded) {
+      ++stats_.reads_decoded;
+    }
+    // Direct reads are counted at the fetch site.
+  } else {
+    ++stats_.reads_failed;
+  }
+  if (config_.read_repair && st->stale_observed && stale_hook_) {
+    // Background repair as its own event: never reentrant with this read.
+    engine_.schedule_after(0, [hook = stale_hook_, stripe = st->stripe] {
+      hook(stripe);
+    });
+  }
+  st->done(std::move(outcome));
+}
+
+// ---------------------------------------------------------------------------
+// Write path — Algorithm 1
+// ---------------------------------------------------------------------------
+
+void Coordinator::write_block(BlockId stripe, unsigned index,
+                              std::vector<std::uint8_t> value,
+                              WriteCallback done) {
+  TRAPERC_CHECK_MSG(index < config_.k, "block index out of range");
+  TRAPERC_CHECK_MSG(value.size() == config_.chunk_len,
+                    "value must be chunk_len bytes");
+  ++stats_.writes_started;
+
+  auto st = std::make_shared<WriteState>();
+  st->stripe = stripe;
+  st->index = index;
+  st->value = std::move(value);
+  st->done = std::move(done);
+
+  if (config_.use_write_leases) {
+    // Extension: serialize writers per block so the read-then-increment
+    // version assignment cannot race (lease.hpp).
+    leases_->acquire(stripe, index, [this, st](LeaseToken token) {
+      st->lease = token;
+      write_start(st);
+    });
+    return;
+  }
+  write_start(st);
+}
+
+void Coordinator::write_start(std::shared_ptr<WriteState> st) {
+  // Alg. 1 line 15: fetch the old value+version through a full read. The
+  // read is an internal sub-operation: its stats are not counted as a client
+  // read (we back them out below).
+  --stats_.reads_started;  // compensated by read_block's increment
+  auto self = this;
+  read_block(st->stripe, st->index, [self, st](ReadOutcome outcome) {
+    // Back out internal read accounting.
+    if (outcome.status == OpStatus::kSuccess) {
+      if (outcome.decoded) {
+        --self->stats_.reads_decoded;
+      } else {
+        --self->stats_.reads_direct;
+      }
+    } else {
+      --self->stats_.reads_failed;
+    }
+    if (outcome.status != OpStatus::kSuccess) {
+      self->write_finish(st, OpStatus::kFail);
+      return;
+    }
+    st->old_version = outcome.version;
+    st->new_version = outcome.version + 1;
+    if (self->config_.mode == Mode::kErc) {
+      st->delta = st->value;
+      gf::xor_region(outcome.value.data(), st->delta.data(),
+                     self->config_.chunk_len);
+    }
+    self->write_run_level(st, 0);
+  });
+}
+
+void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
+                                  unsigned level) {
+  st->level = level;
+  st->acks = 0;
+  st->settled = 0;
+  st->level_advanced = false;
+
+  const auto& members = deployments_[st->index].level_nodes(level);
+  const NodeId data_node = deployments_[st->index].placement().data_node();
+  const BlockId stripe = st->stripe;
+  const unsigned index = st->index;
+
+  for (NodeId target : members) {
+    storage::StorageNode* node = nodes_[target];
+    if (config_.mode == Mode::kFr || target == data_node) {
+      // Full replica write (Alg. 1 line 20).
+      const Version version = st->new_version;
+      network_.rpc<bool>(
+          client_id(), target, /*approx_bytes=*/config_.chunk_len,
+          [node, stripe, index, version, value = st->value] {
+            node->replica_write(stripe, index, version, value);
+            return true;
+          },
+          [this, st, level](bool) { write_level_ack(st, level, true); });
+    } else {
+      // Parity compare-and-add (Alg. 1 lines 25-31): the node applies
+      // α_{j,i}·delta iff its contributor version matches the version the
+      // coordinator read.
+      const unsigned j = target - config_.k;
+      std::vector<std::uint8_t> scaled(config_.chunk_len);
+      gf::mul_region(gf::GF256::instance(), code_->coefficient(j, index),
+                     st->delta.data(), scaled.data(), config_.chunk_len);
+      const Version expected = st->old_version;
+      const Version next = st->new_version;
+      network_.rpc<ParityAddReply>(
+          client_id(), target, /*approx_bytes=*/config_.chunk_len,
+          [node, stripe, index, expected, next,
+           scaled = std::move(scaled)] {
+            return node->parity_add(stripe, index, expected, next, scaled);
+          },
+          [this, st, level](ParityAddReply reply) {
+            write_level_ack(st, level, reply.applied);
+          });
+    }
+  }
+
+  // Level deadline: unanswered nodes are treated as down.
+  engine_.schedule_after(config_.rpc_timeout_ns, [this, st, level] {
+    if (st->finished || st->level != level || st->level_advanced) return;
+    const auto& q = deployments_[st->index].quorums();
+    if (st->acks < q.w(level)) {
+      write_finish(st, OpStatus::kFail);  // Alg. 1 lines 35-37
+    }
+  });
+}
+
+void Coordinator::write_level_ack(std::shared_ptr<WriteState> st,
+                                  unsigned level, bool applied) {
+  if (st->finished || st->level != level || st->level_advanced) return;
+  ++st->settled;
+  if (applied) ++st->acks;
+
+  const auto& q = deployments_[st->index].quorums();
+  const unsigned level_size = q.s(level);
+  if (st->acks >= q.w(level)) {
+    st->level_advanced = true;
+    if (level + 1 < q.levels()) {
+      write_run_level(st, level + 1);
+    } else {
+      write_finish(st, OpStatus::kSuccess);
+    }
+    return;
+  }
+  if (st->settled == level_size) {
+    // Every member answered and the quorum is unreachable; no need to wait
+    // for the deadline.
+    write_finish(st, OpStatus::kFail);
+  }
+}
+
+void Coordinator::write_finish(std::shared_ptr<WriteState> st,
+                               OpStatus status) {
+  if (st->finished) return;
+  st->finished = true;
+  if (st->lease.id != 0) {
+    leases_->release(st->lease);
+    st->lease = LeaseToken{};
+  }
+  if (status == OpStatus::kSuccess) {
+    ++stats_.writes_succeeded;
+  } else {
+    ++stats_.writes_failed;
+  }
+  st->done(status);
+}
+
+}  // namespace traperc::core

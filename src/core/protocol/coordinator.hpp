@@ -1,0 +1,139 @@
+// The client-side protocol engine: Algorithm 1 (write) and Algorithm 2
+// (read) of the paper, executed as asynchronous state machines over the
+// simulated network.
+//
+// Faithfulness notes (where engineering fills gaps the pseudo-code leaves):
+//  * Alg. 1 line 15 obtains the old value through a full READBLOCK; a write
+//    therefore fails when no read quorum is reachable, exactly as in the
+//    paper.
+//  * Alg. 1 lines 25–31 (read contributor version, compare, add) are fused
+//    into one compare-and-add RPC executed at the parity node; the decision
+//    logic is identical, the message count halves.
+//  * Alg. 2's per-level version check counts any r_l = s_l − w_l + 1
+//    responses within the level; the version variable resets per level as in
+//    the pseudo-code.
+//  * Alg. 2 Case 2 ("decode using any k nodes with the latest version")
+//    needs a consistency rule the paper leaves implicit: we group surviving
+//    parity chunks by their full contributor-version vector (mutually
+//    consistent snapshots), pick the largest group whose target-block
+//    version matches the level check's winner, admit data chunks whose
+//    versions match that vector, and decode when >= k rows survive.
+//  * Failed writes are not rolled back (the paper has no abort path); the
+//    version vectors make partial updates detectable, and RepairManager can
+//    roll them forward.
+//
+// A coordinator issues one operation at a time per call; concurrent
+// operations are simply multiple in-flight state machines (the engine
+// interleaves their events).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/predicates.hpp"
+#include "common/types.hpp"
+#include "core/protocol/config.hpp"
+#include "core/protocol/lease.hpp"
+#include "erasure/rs_code.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "storage/node.hpp"
+
+namespace traperc::core {
+
+struct ReadOutcome {
+  OpStatus status = OpStatus::kFail;
+  Version version = 0;
+  std::vector<std::uint8_t> value;
+  bool decoded = false;  ///< true when served through Alg. 2 Case 2
+};
+
+struct CoordinatorStats {
+  std::uint64_t writes_started = 0;
+  std::uint64_t writes_succeeded = 0;
+  std::uint64_t writes_failed = 0;
+  std::uint64_t reads_started = 0;
+  std::uint64_t reads_direct = 0;    ///< Alg. 2 Case 1
+  std::uint64_t reads_decoded = 0;   ///< Alg. 2 Case 2
+  std::uint64_t reads_failed = 0;
+};
+
+class Coordinator {
+ public:
+  using WriteCallback = std::function<void(OpStatus)>;
+  using ReadCallback = std::function<void(ReadOutcome)>;
+
+  /// `nodes` are the n storage nodes (indexed by NodeId); `code` is required
+  /// in ERC mode and ignored in FR mode. The coordinator itself occupies
+  /// network endpoint id n (it is a client, not a fail-stop node).
+  /// `leases` may be null unless config.use_write_leases is set.
+  Coordinator(const ProtocolConfig& config, sim::SimEngine& engine,
+              net::Network& network,
+              std::vector<storage::StorageNode*> nodes,
+              const erasure::RSCode* code, LeaseManager* leases = nullptr);
+
+  /// Alg. 1. `value` must be chunk_len bytes. `done` fires exactly once, in
+  /// simulated time.
+  void write_block(BlockId stripe, unsigned index,
+                   std::vector<std::uint8_t> value, WriteCallback done);
+
+  /// Alg. 2. `done` fires exactly once, in simulated time.
+  void read_block(BlockId stripe, unsigned index, ReadCallback done);
+
+  [[nodiscard]] const CoordinatorStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Read-repair sink: invoked (as a separate engine event, after the read
+  /// completes) with the stripe id whenever config.read_repair is on and a
+  /// read observed stale state. SimCluster wires this to
+  /// RepairManager::reconcile_stripe.
+  using StaleStripeHook = std::function<void(BlockId)>;
+  void set_stale_stripe_hook(StaleStripeHook hook) {
+    stale_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const ProtocolConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The per-block deployment (trapezoid levels as node ids).
+  [[nodiscard]] const analysis::BlockDeployment& deployment(
+      unsigned index) const;
+
+ private:
+  struct ReadState;
+  struct WriteState;
+
+  [[nodiscard]] NodeId client_id() const noexcept { return config_.n; }
+
+  // -- read path ---------------------------------------------------------
+  void read_check_level(std::shared_ptr<ReadState> st, unsigned level);
+  void read_level_response(std::shared_ptr<ReadState> st, unsigned level,
+                           NodeId node, Version block_version, bool is_data);
+  void read_level_settled(std::shared_ptr<ReadState> st, unsigned level);
+  void read_case1(std::shared_ptr<ReadState> st, Version expect);
+  void read_case2(std::shared_ptr<ReadState> st, Version target);
+  void read_finish(std::shared_ptr<ReadState> st, ReadOutcome outcome);
+
+  // -- write path --------------------------------------------------------
+  void write_start(std::shared_ptr<WriteState> st);
+  void write_run_level(std::shared_ptr<WriteState> st, unsigned level);
+  void write_level_ack(std::shared_ptr<WriteState> st, unsigned level,
+                       bool applied);
+  void write_finish(std::shared_ptr<WriteState> st, OpStatus status);
+
+  ProtocolConfig config_;
+  sim::SimEngine& engine_;
+  net::Network& network_;
+  std::vector<storage::StorageNode*> nodes_;
+  const erasure::RSCode* code_;
+  LeaseManager* leases_;
+  StaleStripeHook stale_hook_;
+  std::vector<analysis::BlockDeployment> deployments_;  // one per block
+  CoordinatorStats stats_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,75 @@
+#include "core/protocol/lease.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+LeaseManager::LeaseManager(sim::SimEngine& engine, SimTime duration_ns)
+    : engine_(engine), duration_(duration_ns) {
+  TRAPERC_CHECK_MSG(duration_ns > 0, "lease duration must be positive");
+}
+
+void LeaseManager::acquire(BlockId stripe, unsigned block,
+                           GrantCallback granted) {
+  TRAPERC_CHECK_MSG(granted != nullptr, "grant callback required");
+  const Key key{stripe, block};
+  Entry& entry = entries_[key];
+  entry.waiters.push_back(std::move(granted));
+  stats_.queued_peak = std::max<std::uint64_t>(stats_.queued_peak,
+                                               entry.waiters.size());
+  if (entry.holder == 0) grant_next(key);
+}
+
+bool LeaseManager::release(const LeaseToken& token) {
+  const Key key{token.stripe, token.block};
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.holder != token.id) {
+    return false;  // stale token (expired and reissued) — ignore
+  }
+  ++stats_.releases;
+  it->second.holder = 0;
+  grant_next(key);
+  return true;
+}
+
+bool LeaseManager::held(BlockId stripe, unsigned block) const {
+  const auto it = entries_.find(Key{stripe, block});
+  return it != entries_.end() && it->second.holder != 0;
+}
+
+void LeaseManager::grant_next(Key key) {
+  Entry& entry = entries_.at(key);
+  TRAPERC_DCHECK(entry.holder == 0);
+  if (entry.waiters.empty()) {
+    entries_.erase(key);
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  entry.holder = id;
+  ++stats_.grants;
+  GrantCallback callback = std::move(entry.waiters.front());
+  entry.waiters.pop_front();
+  const LeaseToken token{id, key.first, key.second};
+  // Grant via a zero-delay event so callers never re-enter acquire()
+  // synchronously (uniform async discipline with the rest of the DES).
+  engine_.schedule_after(0, [callback = std::move(callback), token] {
+    callback(token);
+  });
+  schedule_expiry(key, id);
+}
+
+void LeaseManager::schedule_expiry(Key key, std::uint64_t token_id) {
+  engine_.schedule_after(duration_, [this, key, token_id] {
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.holder != token_id) {
+      return;  // released in time (or re-granted): nothing to do
+    }
+    ++stats_.expirations;
+    it->second.holder = 0;
+    grant_next(key);
+  });
+}
+
+}  // namespace traperc::core

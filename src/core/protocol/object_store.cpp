@@ -1,0 +1,104 @@
+#include "core/protocol/object_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+ObjectStore::ObjectStore(SimCluster& cluster, BlockId base_stripe)
+    : cluster_(cluster), next_stripe_(base_stripe) {}
+
+std::size_t ObjectStore::stripe_capacity() const noexcept {
+  return static_cast<std::size_t>(cluster_.config().k) *
+         cluster_.config().chunk_len;
+}
+
+bool ObjectStore::write_extent(const Extent& extent,
+                               std::span<const std::uint8_t> object) {
+  const std::size_t chunk_len = cluster_.config().chunk_len;
+  const unsigned k = cluster_.config().k;
+  std::vector<std::uint8_t> chunk(chunk_len);
+  std::size_t offset = 0;
+  for (unsigned s = 0; s < extent.stripe_count; ++s) {
+    for (unsigned block = 0; block < k; ++block) {
+      if (offset >= object.size()) return true;  // tail blocks untouched
+      const std::size_t take = std::min(chunk_len, object.size() - offset);
+      std::memcpy(chunk.data(), object.data() + offset, take);
+      std::memset(chunk.data() + take, 0, chunk_len - take);
+      if (cluster_.write_block_sync(extent.first_stripe + s, block, chunk) !=
+          OpStatus::kSuccess) {
+        return false;
+      }
+      offset += take;
+    }
+  }
+  return true;
+}
+
+std::optional<ObjectStore::ObjectId> ObjectStore::put(
+    std::span<const std::uint8_t> object) {
+  TRAPERC_CHECK_MSG(!object.empty(), "cannot store an empty object");
+  const std::size_t capacity = stripe_capacity();
+  const auto stripes =
+      static_cast<unsigned>((object.size() + capacity - 1) / capacity);
+  const Extent extent{next_stripe_, stripes, object.size()};
+  next_stripe_ += stripes;  // never reused, even on failure
+  if (!write_extent(extent, object)) return std::nullopt;
+  const ObjectId id = next_object_++;
+  catalog_.emplace(id, extent);
+  return id;
+}
+
+bool ObjectStore::overwrite(ObjectId id,
+                            std::span<const std::uint8_t> object) {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) return false;
+  const std::size_t max_size =
+      static_cast<std::size_t>(it->second.stripe_count) * stripe_capacity();
+  TRAPERC_CHECK_MSG(object.size() <= max_size,
+                    "overwrite exceeds the object's allocated extent");
+  // Rewrite the full previous coverage so shrunken objects do not leak old
+  // bytes: pad the new content with zeros up to the previous size.
+  std::vector<std::uint8_t> padded(object.begin(), object.end());
+  if (padded.size() < it->second.size) padded.resize(it->second.size, 0);
+  Extent extent = it->second;
+  extent.size = padded.size();
+  if (!write_extent(extent, padded)) return false;
+  it->second.size = object.size();
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) return std::nullopt;
+  const Extent& extent = it->second;
+  const std::size_t chunk_len = cluster_.config().chunk_len;
+  const unsigned k = cluster_.config().k;
+  std::vector<std::uint8_t> out;
+  out.reserve(extent.size);
+  std::size_t remaining = extent.size;
+  for (unsigned s = 0; s < extent.stripe_count && remaining > 0; ++s) {
+    for (unsigned block = 0; block < k && remaining > 0; ++block) {
+      const auto outcome =
+          cluster_.read_block_sync(extent.first_stripe + s, block);
+      if (outcome.status != OpStatus::kSuccess) return std::nullopt;
+      const std::size_t take = std::min(chunk_len, remaining);
+      out.insert(out.end(), outcome.value.begin(),
+                 outcome.value.begin() + static_cast<long>(take));
+      remaining -= take;
+    }
+  }
+  return out;
+}
+
+bool ObjectStore::forget(ObjectId id) { return catalog_.erase(id) > 0; }
+
+std::optional<ObjectStore::Extent> ObjectStore::extent(ObjectId id) const {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace traperc::core

@@ -1,0 +1,73 @@
+// Whole-object layer over the per-block quorum protocol.
+//
+// The paper's protocol protects single blocks; real clients (the virtual
+// disks of §I) store objects. ObjectStore maps an object onto the k data
+// blocks of one or more consecutive stripes (k·chunk_len bytes per stripe,
+// zero-padded tail), drives Algorithm 1/2 per block, and keeps a client-
+// side catalog (object id → extent). An object put/get succeeds iff every
+// covered block operation succeeds; a failed put leaves already-written
+// blocks behind (the protocol has no transactions — DESIGN.md §6), and the
+// catalog entry is only created on full success.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/protocol/cluster.hpp"
+
+namespace traperc::core {
+
+class ObjectStore {
+ public:
+  using ObjectId = std::uint64_t;
+
+  struct Extent {
+    BlockId first_stripe = 0;
+    unsigned stripe_count = 0;
+    std::size_t size = 0;
+  };
+
+  /// `base_stripe` opens a stripe namespace disjoint from any stripes the
+  /// caller drives directly through the cluster.
+  explicit ObjectStore(SimCluster& cluster, BlockId base_stripe = 0);
+
+  /// Bytes one stripe can hold: k · chunk_len.
+  [[nodiscard]] std::size_t stripe_capacity() const noexcept;
+
+  /// Writes `object` into freshly allocated stripes. Returns the object id
+  /// on success, nullopt if any block write failed (no catalog entry is
+  /// created; the allocated stripe range is not reused).
+  std::optional<ObjectId> put(std::span<const std::uint8_t> object);
+
+  /// Rewrites an existing object in place with same-or-smaller size.
+  /// Returns false on quorum failure or unknown id.
+  bool overwrite(ObjectId id, std::span<const std::uint8_t> object);
+
+  /// Reads an object back; nullopt on unknown id or quorum/decode failure.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(ObjectId id);
+
+  /// Drops the catalog entry (storage is not reclaimed: the paper's model
+  /// has no delete; stale stripes age out as versions 0 of future objects
+  /// are never allocated on them).
+  bool forget(ObjectId id);
+
+  [[nodiscard]] std::optional<Extent> extent(ObjectId id) const;
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return catalog_.size();
+  }
+
+ private:
+  /// Writes the bytes of `object` covering stripes [first, first+count).
+  bool write_extent(const Extent& extent,
+                    std::span<const std::uint8_t> object);
+
+  SimCluster& cluster_;
+  BlockId next_stripe_;
+  ObjectId next_object_ = 1;
+  std::map<ObjectId, Extent> catalog_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,260 @@
+#include "core/protocol/repair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::core {
+
+RepairManager::RepairManager(const ProtocolConfig& config,
+                             std::vector<storage::StorageNode*> nodes,
+                             const erasure::RSCode* code)
+    : config_(config), nodes_(std::move(nodes)), code_(code) {
+  TRAPERC_CHECK_MSG(nodes_.size() == config_.n, "need one node per id");
+  if (config_.mode == Mode::kErc) {
+    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC repair requires the RS code");
+  }
+}
+
+bool RepairManager::decode_data_block(
+    BlockId stripe, unsigned index, NodeId exclude, Version& version_out,
+    std::vector<std::uint8_t>& payload_out) const {
+  TRAPERC_CHECK_MSG(config_.mode == Mode::kErc, "decode path is ERC-only");
+  const unsigned k = config_.k;
+  const unsigned n = config_.n;
+
+  // Snapshot live nodes (direct access: repair is co-located).
+  struct DataView {
+    bool have = false;
+    Version version = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  struct ParityView {
+    bool have = false;
+    std::vector<Version> contrib;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<DataView> data(k);
+  std::vector<ParityView> parity(n - k);
+  for (NodeId id = 0; id < n; ++id) {
+    if (id == exclude || !nodes_[id]->up()) continue;
+    if (id < k) {
+      auto reply = nodes_[id]->replica_read(stripe, id);
+      data[id] = DataView{true, reply.version, std::move(reply.payload)};
+    } else {
+      auto reply = nodes_[id]->parity_read(stripe);
+      parity[id - k] =
+          ParityView{true, std::move(reply.contrib), std::move(reply.payload)};
+    }
+  }
+
+  // Candidate versions for the target block, highest first.
+  std::set<Version, std::greater<>> candidates;
+  if (data[index].have) candidates.insert(data[index].version);
+  for (const auto& view : parity) {
+    if (view.have) candidates.insert(view.contrib[index]);
+  }
+  if (candidates.empty()) return false;
+
+  for (Version v : candidates) {
+    if (data[index].have && data[index].version == v) {
+      version_out = v;
+      payload_out = data[index].payload;
+      return true;
+    }
+    // Group consistent parity snapshots carrying version v of this block.
+    std::map<std::vector<Version>, std::vector<unsigned>> groups;
+    for (unsigned j = 0; j < n - k; ++j) {
+      if (parity[j].have && parity[j].contrib[index] == v) {
+        groups[parity[j].contrib].push_back(j);
+      }
+    }
+    for (const auto& [vec, group] : groups) {
+      std::vector<unsigned> present_ids;
+      std::vector<const std::uint8_t*> present_ptrs;
+      for (unsigned m = 0; m < k; ++m) {
+        if (m == index) continue;
+        if (data[m].have && data[m].version == vec[m]) {
+          present_ids.push_back(m);
+          present_ptrs.push_back(data[m].payload.data());
+        }
+      }
+      for (unsigned j : group) {
+        present_ids.push_back(k + j);
+        present_ptrs.push_back(parity[j].payload.data());
+      }
+      if (present_ids.size() < k) continue;
+      payload_out.assign(config_.chunk_len, 0);
+      const unsigned want[] = {index};
+      std::uint8_t* outs[] = {payload_out.data()};
+      const bool ok = code_->reconstruct(present_ids, present_ptrs, want,
+                                         outs, config_.chunk_len);
+      TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
+      version_out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+RepairReport RepairManager::rebuild_node(NodeId target,
+                                         const std::vector<BlockId>& stripes) {
+  TRAPERC_CHECK_MSG(target < config_.n, "node id out of range");
+  TRAPERC_CHECK_MSG(nodes_[target]->up(), "target must be up to be rebuilt");
+  RepairReport report;
+
+  if (config_.mode == Mode::kFr) {
+    // Replica copy: for each block the target hosts, copy the freshest live
+    // replica. Data nodes host their own block; nodes k..n−1 host them all.
+    for (BlockId stripe : stripes) {
+      std::vector<unsigned> blocks;
+      if (target < config_.k) {
+        blocks = {static_cast<unsigned>(target)};
+      } else {
+        blocks.resize(config_.k);
+        for (unsigned m = 0; m < config_.k; ++m) blocks[m] = m;
+      }
+      for (unsigned m : blocks) {
+        NodeId best_holder = kInvalidNode;
+        Version best = 0;
+        auto consider = [&](NodeId id) {
+          if (id == target || !nodes_[id]->up()) return;
+          const Version v = nodes_[id]->replica_version(stripe, m);
+          if (best_holder == kInvalidNode || v > best) {
+            best_holder = id;
+            best = v;
+          }
+        };
+        consider(m);
+        for (NodeId id = config_.k; id < config_.n; ++id) consider(id);
+        if (best_holder == kInvalidNode) {
+          ++report.chunks_unrecoverable;
+          continue;
+        }
+        auto reply = nodes_[best_holder]->replica_read(stripe, m);
+        nodes_[target]->replica_write(stripe, m, reply.version, reply.payload);
+        ++report.chunks_rebuilt;
+      }
+    }
+    return report;
+  }
+
+  // ERC mode.
+  for (BlockId stripe : stripes) {
+    if (target < config_.k) {
+      Version version = 0;
+      std::vector<std::uint8_t> payload;
+      if (decode_data_block(stripe, target, target, version, payload)) {
+        nodes_[target]->replica_write(stripe, target, version, payload);
+        ++report.chunks_rebuilt;
+      } else {
+        ++report.chunks_unrecoverable;
+      }
+      continue;
+    }
+    // Parity node: re-encode b_j from the best snapshot of all data blocks.
+    const unsigned j = target - config_.k;
+    std::vector<Version> contrib(config_.k, 0);
+    std::vector<std::vector<std::uint8_t>> blocks(config_.k);
+    bool ok = true;
+    for (unsigned m = 0; m < config_.k && ok; ++m) {
+      ok = decode_data_block(stripe, m, target, contrib[m], blocks[m]);
+    }
+    if (!ok) {
+      ++report.chunks_unrecoverable;
+      continue;
+    }
+    std::vector<std::uint8_t> parity(config_.chunk_len, 0);
+    const auto& field = gf::GF256::instance();
+    for (unsigned m = 0; m < config_.k; ++m) {
+      gf::mul_add_region(field, code_->coefficient(j, m), blocks[m].data(),
+                         parity.data(), config_.chunk_len);
+    }
+    nodes_[target]->parity_install(stripe, std::move(contrib),
+                                   std::move(parity));
+    ++report.chunks_rebuilt;
+  }
+  return report;
+}
+
+bool RepairManager::stripe_consistent(BlockId stripe) const {
+  if (config_.mode == Mode::kFr) {
+    // All live holders of each block agree on its version.
+    for (unsigned m = 0; m < config_.k; ++m) {
+      Version seen = kInvalidVersion;
+      auto check = [&](NodeId id) {
+        if (!nodes_[id]->up()) return true;
+        const Version v = nodes_[id]->replica_version(stripe, m);
+        if (seen == kInvalidVersion) {
+          seen = v;
+          return true;
+        }
+        return v == seen;
+      };
+      if (!check(m)) return false;
+      for (NodeId id = config_.k; id < config_.n; ++id) {
+        if (!check(id)) return false;
+      }
+    }
+    return true;
+  }
+  // ERC: live parity nodes agree on the full contributor vector, and live
+  // data nodes match it.
+  std::vector<Version> reference;
+  bool have_reference = false;
+  for (NodeId id = config_.k; id < config_.n; ++id) {
+    if (!nodes_[id]->up()) continue;
+    auto contrib = nodes_[id]->parity_versions(stripe);
+    if (!have_reference) {
+      reference = std::move(contrib);
+      have_reference = true;
+    } else if (contrib != reference) {
+      return false;
+    }
+  }
+  if (!have_reference) return true;  // no live parity: vacuously consistent
+  for (unsigned m = 0; m < config_.k; ++m) {
+    if (!nodes_[m]->up()) continue;
+    if (nodes_[m]->replica_version(stripe, m) != reference[m]) return false;
+  }
+  return true;
+}
+
+bool RepairManager::reconcile_stripe(BlockId stripe) {
+  TRAPERC_CHECK_MSG(config_.mode == Mode::kErc,
+                    "reconcile is defined for ERC mode");
+  // Determine the best reconstructible snapshot for every data block.
+  std::vector<Version> best(config_.k, 0);
+  std::vector<std::vector<std::uint8_t>> payloads(config_.k);
+  for (unsigned m = 0; m < config_.k; ++m) {
+    if (!decode_data_block(stripe, m, kInvalidNode, best[m], payloads[m])) {
+      return false;  // some block is unrecoverable; cannot reconcile
+    }
+  }
+  // Roll live data nodes forward.
+  for (unsigned m = 0; m < config_.k; ++m) {
+    if (!nodes_[m]->up()) continue;
+    if (nodes_[m]->replica_version(stripe, m) != best[m]) {
+      nodes_[m]->replica_write(stripe, m, best[m], payloads[m]);
+    }
+  }
+  // Reinstall parity on live parity nodes that diverge from the snapshot.
+  const auto& field = gf::GF256::instance();
+  for (NodeId id = config_.k; id < config_.n; ++id) {
+    if (!nodes_[id]->up()) continue;
+    if (nodes_[id]->parity_versions(stripe) == best) continue;
+    const unsigned j = id - config_.k;
+    std::vector<std::uint8_t> parity(config_.chunk_len, 0);
+    for (unsigned m = 0; m < config_.k; ++m) {
+      gf::mul_add_region(field, code_->coefficient(j, m), payloads[m].data(),
+                         parity.data(), config_.chunk_len);
+    }
+    nodes_[id]->parity_install(stripe, best, std::move(parity));
+  }
+  return stripe_consistent(stripe);
+}
+
+}  // namespace traperc::core

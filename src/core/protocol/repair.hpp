@@ -1,0 +1,69 @@
+// RepairManager — rebuilds a node's contents after media loss and rolls
+// forward partially applied writes.
+//
+// The paper motivates repair ("when one node fails, the blocks it owned have
+// to be reconstructed", §I) but gives no procedure; this is the standard
+// exact-repair companion:
+//  * a lost data chunk is decoded from any k consistent survivors (the same
+//    selection rule as Alg. 2 Case 2);
+//  * a lost parity chunk is re-encoded from the k data blocks (decoding any
+//    of those that are themselves unavailable);
+//  * `reconcile_stripe` detects contributor-version divergence among parity
+//    nodes (the footprint of a failed Alg. 1 write) and reinstalls
+//    consistent parity for the highest reconstructible snapshot.
+//
+// The manager runs co-located with the cluster (direct node access, no
+// simulated messages): repair traffic modelling is out of the reproduction's
+// scope and is documented as such in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/protocol/config.hpp"
+#include "erasure/rs_code.hpp"
+#include "storage/node.hpp"
+
+namespace traperc::core {
+
+struct RepairReport {
+  unsigned chunks_rebuilt = 0;
+  unsigned chunks_unrecoverable = 0;
+  unsigned stripes_reconciled = 0;
+};
+
+class RepairManager {
+ public:
+  RepairManager(const ProtocolConfig& config,
+                std::vector<storage::StorageNode*> nodes,
+                const erasure::RSCode* code);
+
+  /// Rebuilds every chunk `target` should hold for the given stripes
+  /// (typically after a wipe). The target node must be up to receive data.
+  RepairReport rebuild_node(NodeId target,
+                            const std::vector<BlockId>& stripes);
+
+  /// Repairs divergent parity contributor versions on one stripe: for each
+  /// data block, rolls every live parity node forward to the highest version
+  /// reconstructible from the live nodes. Returns true if the stripe is
+  /// fully consistent afterwards.
+  bool reconcile_stripe(BlockId stripe);
+
+  /// True iff all live parity nodes agree on their contributor vectors and
+  /// match the live data nodes' versions for this stripe.
+  [[nodiscard]] bool stripe_consistent(BlockId stripe) const;
+
+ private:
+  /// Decodes data block `index` at the best reconstructible version from
+  /// live nodes, excluding `exclude`. Returns false if unrecoverable.
+  bool decode_data_block(BlockId stripe, unsigned index, NodeId exclude,
+                         Version& version_out,
+                         std::vector<std::uint8_t>& payload_out) const;
+
+  ProtocolConfig config_;
+  std::vector<storage::StorageNode*> nodes_;
+  const erasure::RSCode* code_;
+};
+
+}  // namespace traperc::core

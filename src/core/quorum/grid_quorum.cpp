@@ -1,0 +1,46 @@
+#include "core/quorum/grid_quorum.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+GridQuorum::GridQuorum(topology::Grid grid) : grid_(grid) {}
+
+unsigned GridQuorum::universe_size() const { return grid_.total_nodes(); }
+
+bool GridQuorum::contains_write_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == universe_size());
+  bool any_full_column = false;
+  for (unsigned c = 0; c < grid_.cols(); ++c) {
+    bool full = true;
+    bool any = false;
+    for (unsigned r = 0; r < grid_.rows(); ++r) {
+      const bool m = members[grid_.slot(r, c)];
+      full = full && m;
+      any = any || m;
+    }
+    if (!any) return false;  // column cover broken
+    any_full_column = any_full_column || full;
+  }
+  return any_full_column;
+}
+
+bool GridQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == universe_size());
+  for (unsigned c = 0; c < grid_.cols(); ++c) {
+    bool any = false;
+    for (unsigned r = 0; r < grid_.rows(); ++r) {
+      any = any || members[grid_.slot(r, c)];
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+std::string GridQuorum::name() const {
+  return "grid(" + std::to_string(grid_.rows()) + "x" +
+         std::to_string(grid_.cols()) + ")";
+}
+
+}  // namespace traperc::core

@@ -1,0 +1,28 @@
+// Grid protocol quorums (Cheung/Ammar/Ahamad ICDE'90; paper ref. [4]):
+// write = one complete column plus at least one node in every other column;
+// read = at least one node in every column (a column cover).
+#pragma once
+
+#include "core/quorum/quorum_system.hpp"
+#include "topology/grid.hpp"
+
+namespace traperc::core {
+
+class GridQuorum final : public QuorumSystem {
+ public:
+  explicit GridQuorum(topology::Grid grid);
+
+  [[nodiscard]] unsigned universe_size() const override;
+  [[nodiscard]] bool contains_write_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] bool contains_read_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const topology::Grid& grid() const noexcept { return grid_; }
+
+ private:
+  topology::Grid grid_;
+};
+
+}  // namespace traperc::core

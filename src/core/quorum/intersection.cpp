@@ -1,0 +1,63 @@
+#include "core/quorum/intersection.hpp"
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+namespace {
+
+std::vector<bool> to_members(std::uint32_t mask, unsigned n) {
+  std::vector<bool> members(n);
+  for (unsigned i = 0; i < n; ++i) members[i] = (mask >> i) & 1U;
+  return members;
+}
+
+}  // namespace
+
+IntersectionReport verify_intersection(const QuorumSystem& qs) {
+  const unsigned n = qs.universe_size();
+  TRAPERC_CHECK_MSG(n >= 1 && n <= 24, "exhaustive check limited to 24 slots");
+  IntersectionReport report;
+  report.write_write_intersect = true;
+  report.read_write_intersect = true;
+  const std::uint32_t states = 1U << n;
+  const std::uint32_t full = states - 1;
+  for (std::uint32_t mask = 0; mask < states; ++mask) {
+    const auto set = to_members(mask, n);
+    if (!qs.contains_write_quorum(set)) continue;
+    const auto complement = to_members(full & ~mask, n);
+    if (qs.contains_write_quorum(complement)) {
+      report.write_write_intersect = false;
+      report.violation_witness = set;
+    }
+    if (qs.contains_read_quorum(complement)) {
+      report.read_write_intersect = false;
+      report.violation_witness = set;
+    }
+    if (!report.write_write_intersect && !report.read_write_intersect) break;
+  }
+  return report;
+}
+
+bool verify_monotone(const QuorumSystem& qs) {
+  const unsigned n = qs.universe_size();
+  TRAPERC_CHECK_MSG(n >= 1 && n <= 24, "exhaustive check limited to 24 slots");
+  const std::uint32_t states = 1U << n;
+  for (std::uint32_t mask = 0; mask < states; ++mask) {
+    const auto set = to_members(mask, n);
+    const bool write = qs.contains_write_quorum(set);
+    const bool read = qs.contains_read_quorum(set);
+    if (!write && !read) continue;
+    for (unsigned bit = 0; bit < n; ++bit) {
+      if ((mask >> bit) & 1U) continue;
+      const auto bigger = to_members(mask | (1U << bit), n);
+      if (write && !qs.contains_write_quorum(bigger)) return false;
+      if (read && !qs.contains_read_quorum(bigger)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace traperc::core

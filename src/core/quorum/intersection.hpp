@@ -1,0 +1,29 @@
+// Exhaustive verification of the quorum intersection properties — the
+// paper's equations (2) RQ ∩ WQ ≠ ∅ and (3) WQ₁ ∩ WQ₂ ≠ ∅.
+//
+// For monotone quorum predicates, two disjoint write quorums exist iff some
+// set S and its complement both contain a write quorum; likewise for
+// read/write. Scanning all 2^N subsets therefore decides both properties
+// exactly (N <= 24).
+#pragma once
+
+#include "core/quorum/quorum_system.hpp"
+
+namespace traperc::core {
+
+struct IntersectionReport {
+  bool write_write_intersect = false;  ///< eq. 3 holds for every WQ pair
+  bool read_write_intersect = false;   ///< eq. 2 holds for every RQ/WQ pair
+  /// Witness of a violation (a set whose complement also holds a quorum);
+  /// empty when both properties hold.
+  std::vector<bool> violation_witness;
+};
+
+/// Exhaustively checks both intersection properties. universe_size() <= 24.
+[[nodiscard]] IntersectionReport verify_intersection(const QuorumSystem& qs);
+
+/// Checks that both predicates are monotone (adding a node never removes a
+/// quorum) by scanning all single-bit upward transitions. <= 24 slots.
+[[nodiscard]] bool verify_monotone(const QuorumSystem& qs);
+
+}  // namespace traperc::core

@@ -1,0 +1,34 @@
+#include "core/quorum/majority.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+MajorityQuorum::MajorityQuorum(unsigned replicas) : replicas_(replicas) {
+  TRAPERC_CHECK_MSG(replicas >= 1, "need at least one replica");
+}
+
+namespace {
+unsigned count(const std::vector<bool>& members) {
+  unsigned total = 0;
+  for (bool m : members) total += m ? 1 : 0;
+  return total;
+}
+}  // namespace
+
+bool MajorityQuorum::contains_write_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == replicas_);
+  return count(members) >= threshold();
+}
+
+bool MajorityQuorum::contains_read_quorum(
+    const std::vector<bool>& members) const {
+  return contains_write_quorum(members);
+}
+
+std::string MajorityQuorum::name() const {
+  return "majority(m=" + std::to_string(replicas_) + ")";
+}
+
+}  // namespace traperc::core

@@ -1,0 +1,28 @@
+// Majority quorum consensus (Thomas 1979; paper ref. [13]): both read and
+// write quorums are any strict majority of the m replicas.
+#pragma once
+
+#include "core/quorum/quorum_system.hpp"
+
+namespace traperc::core {
+
+class MajorityQuorum final : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(unsigned replicas);
+
+  [[nodiscard]] unsigned universe_size() const override { return replicas_; }
+  [[nodiscard]] bool contains_write_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] bool contains_read_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned threshold() const noexcept {
+    return replicas_ / 2 + 1;
+  }
+
+ private:
+  unsigned replicas_;
+};
+
+}  // namespace traperc::core

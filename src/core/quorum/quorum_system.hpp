@@ -1,0 +1,32 @@
+// Abstract quorum system over a universe of slots.
+//
+// A quorum system is described by two *monotone* predicates on node sets:
+// "does this set contain a write quorum" and "... a read quorum".
+// Monotonicity (adding nodes never hurts) is what lets the intersection
+// checker reason over complements, and it is asserted by property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace traperc::core {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  /// Number of slots in the universe.
+  [[nodiscard]] virtual unsigned universe_size() const = 0;
+
+  /// True iff `members` (size universe_size) contains a write quorum.
+  [[nodiscard]] virtual bool contains_write_quorum(
+      const std::vector<bool>& members) const = 0;
+
+  /// True iff `members` contains a read quorum.
+  [[nodiscard]] virtual bool contains_read_quorum(
+      const std::vector<bool>& members) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,30 @@
+#include "core/quorum/rowa.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+RowaQuorum::RowaQuorum(unsigned replicas) : replicas_(replicas) {
+  TRAPERC_CHECK_MSG(replicas >= 1, "need at least one replica");
+}
+
+bool RowaQuorum::contains_write_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == replicas_);
+  return std::all_of(members.begin(), members.end(),
+                     [](bool m) { return m; });
+}
+
+bool RowaQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == replicas_);
+  return std::any_of(members.begin(), members.end(),
+                     [](bool m) { return m; });
+}
+
+std::string RowaQuorum::name() const {
+  return "rowa(m=" + std::to_string(replicas_) + ")";
+}
+
+}  // namespace traperc::core

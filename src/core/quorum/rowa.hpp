@@ -1,0 +1,25 @@
+// ROWA — Read One, Write All (paper §II): a write requires every replica,
+// a read any single one. Maximal read availability, minimal write
+// availability; the degenerate end of the quorum design space.
+#pragma once
+
+#include "core/quorum/quorum_system.hpp"
+
+namespace traperc::core {
+
+class RowaQuorum final : public QuorumSystem {
+ public:
+  explicit RowaQuorum(unsigned replicas);
+
+  [[nodiscard]] unsigned universe_size() const override { return replicas_; }
+  [[nodiscard]] bool contains_write_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] bool contains_read_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  unsigned replicas_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,93 @@
+#include "core/quorum/trapezoid_quorum.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+TrapezoidQuorum::TrapezoidQuorum(topology::LevelQuorums quorums)
+    : quorums_(std::move(quorums)), trapezoid_(quorums_.shape()) {}
+
+unsigned TrapezoidQuorum::universe_size() const {
+  return trapezoid_.total_slots();
+}
+
+bool TrapezoidQuorum::contains_write_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == universe_size());
+  for (unsigned l = 0; l < quorums_.levels(); ++l) {
+    unsigned count = 0;
+    for (unsigned slot : trapezoid_.slots_on_level(l)) {
+      count += members[slot] ? 1 : 0;
+    }
+    if (count < quorums_.w(l)) return false;
+  }
+  return true;
+}
+
+bool TrapezoidQuorum::contains_read_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == universe_size());
+  for (unsigned l = 0; l < quorums_.levels(); ++l) {
+    unsigned count = 0;
+    for (unsigned slot : trapezoid_.slots_on_level(l)) {
+      count += members[slot] ? 1 : 0;
+    }
+    if (count >= quorums_.r(l)) return true;
+  }
+  return false;
+}
+
+std::string TrapezoidQuorum::name() const {
+  std::ostringstream out;
+  out << "trapezoid(" << quorums_.shape().to_string() << ")";
+  return out.str();
+}
+
+std::vector<std::vector<unsigned>> TrapezoidQuorum::minimal_write_quorums()
+    const {
+  TRAPERC_CHECK_MSG(universe_size() <= 20,
+                    "minimal quorum enumeration limited to 20 slots");
+  // A minimal write quorum picks exactly w_l slots per level; enumerate the
+  // cartesian product of per-level combinations.
+  std::vector<std::vector<std::vector<unsigned>>> per_level;
+  for (unsigned l = 0; l < quorums_.levels(); ++l) {
+    const auto slots = trapezoid_.slots_on_level(l);
+    const unsigned need = quorums_.w(l);
+    std::vector<std::vector<unsigned>> combos;
+    std::vector<unsigned> pick;
+    // Recursive combination enumeration over this level's slots.
+    const auto recurse = [&](auto&& self, unsigned start) -> void {
+      if (pick.size() == need) {
+        combos.push_back(pick);
+        return;
+      }
+      for (unsigned i = start; i < slots.size(); ++i) {
+        pick.push_back(slots[i]);
+        self(self, i + 1);
+        pick.pop_back();
+      }
+    };
+    recurse(recurse, 0);
+    per_level.push_back(std::move(combos));
+  }
+  std::vector<std::vector<unsigned>> quorums;
+  std::vector<unsigned> current;
+  const auto cross = [&](auto&& self, unsigned level) -> void {
+    if (level == per_level.size()) {
+      quorums.push_back(current);
+      return;
+    }
+    for (const auto& combo : per_level[level]) {
+      const std::size_t mark = current.size();
+      current.insert(current.end(), combo.begin(), combo.end());
+      self(self, level + 1);
+      current.resize(mark);
+    }
+  };
+  cross(cross, 0);
+  return quorums;
+}
+
+}  // namespace traperc::core

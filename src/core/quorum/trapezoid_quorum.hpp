@@ -1,0 +1,44 @@
+// The trapezoid quorum system (paper §III-B-3/4) as set predicates over
+// trapezoid slots.
+//
+//  * write quorum: >= w_l slots on *every* level l (eq. 6, with
+//    w_0 = ⌊b/2⌋+1 enforced by LevelQuorums);
+//  * read quorum:  >= r_l = s_l − w_l + 1 slots on *some* level l.
+//
+// The intersection guarantees (paper eqs. 2 and 3) are verified
+// exhaustively by tests via quorum/intersection.hpp.
+#pragma once
+
+#include <vector>
+
+#include "core/quorum/quorum_system.hpp"
+#include "topology/trapezoid.hpp"
+
+namespace traperc::core {
+
+class TrapezoidQuorum final : public QuorumSystem {
+ public:
+  explicit TrapezoidQuorum(topology::LevelQuorums quorums);
+
+  [[nodiscard]] unsigned universe_size() const override;
+  [[nodiscard]] bool contains_write_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] bool contains_read_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const topology::LevelQuorums& quorums() const noexcept {
+    return quorums_;
+  }
+
+  /// Enumerates all *minimal* write quorums (small systems only; count grows
+  /// combinatorially). Used by tests to cross-check the predicates.
+  [[nodiscard]] std::vector<std::vector<unsigned>> minimal_write_quorums()
+      const;
+
+ private:
+  topology::LevelQuorums quorums_;
+  topology::Trapezoid trapezoid_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,41 @@
+#include "core/quorum/tree_quorum.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+TreeQuorum::TreeQuorum(unsigned depth)
+    : depth_(depth), nodes_((1U << depth) - 1) {
+  TRAPERC_CHECK_MSG(depth >= 1 && depth <= 24, "tree depth must be in 1..24");
+}
+
+bool TreeQuorum::subtree_quorum(const std::vector<bool>& members,
+                                unsigned slot) const {
+  const unsigned left = 2 * slot + 1;
+  const unsigned right = 2 * slot + 2;
+  if (left >= nodes_) return members[slot];  // leaf
+  if (members[slot]) {
+    if (subtree_quorum(members, left) || subtree_quorum(members, right)) {
+      return true;
+    }
+  }
+  // Root unavailable (or no child quorum with it): need both children.
+  return subtree_quorum(members, left) && subtree_quorum(members, right);
+}
+
+bool TreeQuorum::contains_write_quorum(
+    const std::vector<bool>& members) const {
+  TRAPERC_DCHECK(members.size() == nodes_);
+  return subtree_quorum(members, 0);
+}
+
+bool TreeQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+  return contains_write_quorum(members);
+}
+
+std::string TreeQuorum::name() const {
+  return "tree(depth=" + std::to_string(depth_) + ", m=" +
+         std::to_string(nodes_) + ")";
+}
+
+}  // namespace traperc::core

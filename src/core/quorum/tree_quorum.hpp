@@ -1,0 +1,43 @@
+// Tree quorum protocol (Agrawal & El Abbadi, TOCS 1991; paper ref. [1]).
+//
+// Nodes form a complete binary tree (heap layout: slot 0 is the root,
+// children of slot i are 2i+1 and 2i+2). A tree quorum for a subtree is:
+//   * the root plus a tree quorum of EITHER child, or
+//   * tree quorums of BOTH children when the root is inaccessible;
+//   * a leaf's quorum is the leaf itself.
+// Any two tree quorums intersect (verified exhaustively in tests), and the
+// same quorums serve reads and writes — the classic logarithmic-size
+// alternative to majority voting the paper cites as related work.
+#pragma once
+
+#include "core/quorum/quorum_system.hpp"
+
+namespace traperc::core {
+
+class TreeQuorum final : public QuorumSystem {
+ public:
+  /// Complete binary tree of the given depth; depth d gives 2^d − 1 nodes
+  /// (depth 1 = a single node). Requires 1 <= depth <= 24.
+  explicit TreeQuorum(unsigned depth);
+
+  [[nodiscard]] unsigned universe_size() const override { return nodes_; }
+  [[nodiscard]] bool contains_write_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] bool contains_read_quorum(
+      const std::vector<bool>& members) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+
+  /// Size of the smallest possible quorum: one root-to-leaf path (depth).
+  [[nodiscard]] unsigned min_quorum_size() const noexcept { return depth_; }
+
+ private:
+  [[nodiscard]] bool subtree_quorum(const std::vector<bool>& members,
+                                    unsigned slot) const;
+
+  unsigned depth_;
+  unsigned nodes_;
+};
+
+}  // namespace traperc::core

@@ -1,0 +1,61 @@
+// Umbrella header: the full public API of the traperc library.
+//
+//   #include "core/traperc.hpp"
+//
+// Layering (each header is also includable on its own):
+//   common/     RNG, thread pool, stable binomials, tables
+//   gf/         GF(2^8) / GF(2^16) arithmetic and region kernels
+//   erasure/    matrices, systematic (n,k) MDS Reed-Solomon, stripes
+//   topology/   trapezoid shapes/levels, placement, shape solver, grid
+//   analysis/   closed-form availability (paper §IV), exact oracle,
+//               baselines, storage model
+//   sim/ net/ storage/   discrete-event substrate: engine, RPC network,
+//               versioned fail-stop nodes, failure processes
+//   core/       quorum systems, protocol engines (Algorithms 1 & 2),
+//               cluster, repair, planner
+//   montecarlo/ parallel availability estimation
+#pragma once
+
+#include "analysis/availability.hpp"
+#include "analysis/baselines.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/exact.hpp"
+#include "analysis/predicates.hpp"
+#include "analysis/storage.hpp"
+#include "common/binomial.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/planner/planner.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/config.hpp"
+#include "core/protocol/coordinator.hpp"
+#include "core/protocol/lease.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/repair.hpp"
+#include "core/quorum/grid_quorum.hpp"
+#include "core/quorum/intersection.hpp"
+#include "core/quorum/majority.hpp"
+#include "core/quorum/quorum_system.hpp"
+#include "core/quorum/rowa.hpp"
+#include "core/quorum/trapezoid_quorum.hpp"
+#include "core/quorum/tree_quorum.hpp"
+#include "erasure/matrix.hpp"
+#include "erasure/rs_code.hpp"
+#include "erasure/stripe.hpp"
+#include "erasure/wide_code.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf65536.hpp"
+#include "gf/region.hpp"
+#include "montecarlo/estimator.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "storage/failure_model.hpp"
+#include "storage/node.hpp"
+#include "topology/grid.hpp"
+#include "topology/placement.hpp"
+#include "topology/shape_solver.hpp"
+#include "topology/trapezoid.hpp"

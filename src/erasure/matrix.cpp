@@ -1,0 +1,154 @@
+#include "erasure/matrix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace traperc::erasure {
+
+using gf::GF256;
+
+Matrix::Matrix(unsigned rows, unsigned cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+Matrix Matrix::identity(unsigned size) {
+  Matrix m(size, size);
+  for (unsigned i = 0; i < size; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(unsigned rows, unsigned cols) {
+  TRAPERC_CHECK_MSG(rows <= GF256::kOrder,
+                    "vandermonde needs distinct evaluation points");
+  const auto& field = GF256::instance();
+  Matrix m(rows, cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      m.at(r, c) = field.pow(static_cast<Element>(r), c);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(unsigned rows, unsigned cols) {
+  TRAPERC_CHECK_MSG(rows + cols <= GF256::kOrder,
+                    "cauchy needs disjoint point sets");
+  const auto& field = GF256::instance();
+  Matrix m(rows, cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      const Element x = static_cast<Element>(r + cols);
+      const Element y = static_cast<Element>(c);
+      m.at(r, c) = field.inv(GF256::add(x, y));
+    }
+  }
+  return m;
+}
+
+std::span<const Matrix::Element> Matrix::row(unsigned r) const noexcept {
+  return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  TRAPERC_CHECK_MSG(cols_ == rhs.rows_, "matrix dimension mismatch");
+  const auto& field = GF256::instance();
+  Matrix out(rows_, rhs.cols_);
+  for (unsigned r = 0; r < rows_; ++r) {
+    for (unsigned i = 0; i < cols_; ++i) {
+      const Element lhs_ri = at(r, i);
+      if (lhs_ri == 0) continue;
+      const auto& mul_row = field.mul_row(lhs_ri);
+      for (unsigned c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) ^= mul_row[rhs.at(i, c)];
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  TRAPERC_CHECK_MSG(rows_ == cols_, "inverse requires square matrix");
+  const auto& field = GF256::instance();
+  Matrix work = *this;
+  Matrix inv = identity(rows_);
+  for (unsigned col = 0; col < cols_; ++col) {
+    // Partial pivoting: any nonzero pivot works in a field.
+    unsigned pivot = col;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) return std::nullopt;
+    if (pivot != col) {
+      for (unsigned c = 0; c < cols_; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const Element pivot_inv = field.inv(work.at(col, col));
+    for (unsigned c = 0; c < cols_; ++c) {
+      work.at(col, c) = field.mul(work.at(col, c), pivot_inv);
+      inv.at(col, c) = field.mul(inv.at(col, c), pivot_inv);
+    }
+    for (unsigned r = 0; r < rows_; ++r) {
+      if (r == col) continue;
+      const Element factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (unsigned c = 0; c < cols_; ++c) {
+        work.at(r, c) ^= field.mul(factor, work.at(col, c));
+        inv.at(r, c) ^= field.mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(std::span<const unsigned> row_ids) const {
+  Matrix out(static_cast<unsigned>(row_ids.size()), cols_);
+  for (unsigned r = 0; r < row_ids.size(); ++r) {
+    TRAPERC_CHECK_MSG(row_ids[r] < rows_, "row id out of range");
+    for (unsigned c = 0; c < cols_; ++c) out.at(r, c) = at(row_ids[r], c);
+  }
+  return out;
+}
+
+unsigned Matrix::rank() const {
+  const auto& field = GF256::instance();
+  Matrix work = *this;
+  unsigned rank = 0;
+  for (unsigned col = 0; col < cols_ && rank < rows_; ++col) {
+    unsigned pivot = rank;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank) {
+      for (unsigned c = 0; c < cols_; ++c) {
+        std::swap(work.at(pivot, c), work.at(rank, c));
+      }
+    }
+    const Element pivot_inv = field.inv(work.at(rank, col));
+    for (unsigned c = 0; c < cols_; ++c) {
+      work.at(rank, c) = field.mul(work.at(rank, c), pivot_inv);
+    }
+    for (unsigned r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const Element factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (unsigned c = 0; c < cols_; ++c) {
+        work.at(r, c) ^= field.mul(factor, work.at(rank, c));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool Matrix::is_identity() const noexcept {
+  if (rows_ != cols_) return false;
+  for (unsigned r = 0; r < rows_; ++r) {
+    for (unsigned c = 0; c < cols_; ++c) {
+      if (at(r, c) != (r == c ? 1 : 0)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace traperc::erasure

@@ -1,0 +1,68 @@
+// Dense matrix algebra over GF(2^8) — just enough linear algebra for MDS
+// code construction (Vandermonde/Cauchy generators) and decoding (inversion
+// of the k×k submatrix of surviving rows).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf256.hpp"
+
+namespace traperc::erasure {
+
+class Matrix {
+ public:
+  using Element = gf::GF256::Element;
+
+  Matrix() = default;
+
+  /// Zero-initialized rows×cols matrix.
+  Matrix(unsigned rows, unsigned cols);
+
+  [[nodiscard]] static Matrix identity(unsigned size);
+
+  /// Vandermonde matrix V[r][c] = x_r^c with evaluation points x_r = r.
+  /// Every square submatrix built from distinct rows is invertible.
+  [[nodiscard]] static Matrix vandermonde(unsigned rows, unsigned cols);
+
+  /// Cauchy matrix C[r][c] = 1 / (x_r + y_c) with x_r = r + cols and
+  /// y_c = c (disjoint point sets). Totally nonsingular.
+  [[nodiscard]] static Matrix cauchy(unsigned rows, unsigned cols);
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Element at(unsigned r, unsigned c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  Element& at(unsigned r, unsigned c) noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Row view (contiguous).
+  [[nodiscard]] std::span<const Element> row(unsigned r) const noexcept;
+
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Gauss-Jordan inverse; nullopt when singular. Requires square.
+  [[nodiscard]] std::optional<Matrix> inverted() const;
+
+  /// New matrix formed from the given rows in order.
+  [[nodiscard]] Matrix select_rows(std::span<const unsigned> row_ids) const;
+
+  /// Rank by Gaussian elimination (destroys nothing; works on a copy).
+  [[nodiscard]] unsigned rank() const;
+
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  [[nodiscard]] bool operator==(const Matrix& rhs) const noexcept = default;
+
+ private:
+  unsigned rows_ = 0;
+  unsigned cols_ = 0;
+  std::vector<Element> data_;
+};
+
+}  // namespace traperc::erasure

@@ -1,0 +1,145 @@
+#include "erasure/rs_code.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::erasure {
+
+using gf::GF256;
+
+namespace {
+
+Matrix build_generator(unsigned n, unsigned k, GeneratorKind kind) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "RS code needs 1 <= k <= n");
+  TRAPERC_CHECK_MSG(n <= 255, "GF(2^8) supports at most 255 code symbols");
+  if (kind == GeneratorKind::kCauchy) {
+    Matrix gen(n, k);
+    for (unsigned r = 0; r < k; ++r) gen.at(r, r) = 1;
+    const Matrix cauchy = Matrix::cauchy(n - k, k);
+    for (unsigned r = 0; r < n - k; ++r) {
+      for (unsigned c = 0; c < k; ++c) gen.at(k + r, c) = cauchy.at(r, c);
+    }
+    return gen;
+  }
+  // Systematic Vandermonde: right-multiplying V by the inverse of its top
+  // k×k block is a column operation, which preserves the invertibility of
+  // every k-row submatrix, so the MDS property carries over.
+  const Matrix vand = Matrix::vandermonde(n, k);
+  std::vector<unsigned> top(k);
+  for (unsigned i = 0; i < k; ++i) top[i] = i;
+  const auto top_inv = vand.select_rows(top).inverted();
+  TRAPERC_CHECK_MSG(top_inv.has_value(),
+                    "vandermonde top block must be invertible");
+  return vand.multiply(*top_inv);
+}
+
+}  // namespace
+
+RSCode::RSCode(unsigned n, unsigned k, GeneratorKind kind)
+    : n_(n), k_(k), kind_(kind), gen_(build_generator(n, k, kind)) {}
+
+RSCode::Element RSCode::coefficient(unsigned parity_index,
+                                    unsigned data_index) const noexcept {
+  TRAPERC_DCHECK(parity_index < parity_count());
+  TRAPERC_DCHECK(data_index < k_);
+  return gen_.at(k_ + parity_index, data_index);
+}
+
+void RSCode::encode(std::span<const std::uint8_t* const> data,
+                    std::span<std::uint8_t* const> parity,
+                    std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  const auto& field = GF256::instance();
+  for (unsigned j = 0; j < parity_count(); ++j) {
+    std::memset(parity[j], 0, chunk_len);
+    for (unsigned i = 0; i < k_; ++i) {
+      gf::mul_add_region(field, coefficient(j, i), data[i], parity[j],
+                         chunk_len);
+    }
+  }
+}
+
+void RSCode::apply_delta(unsigned parity_index, unsigned data_index,
+                         std::span<const std::uint8_t> delta,
+                         std::span<std::uint8_t> parity) const {
+  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
+                    "delta and parity chunk sizes differ");
+  gf::mul_add_region(GF256::instance(), coefficient(parity_index, data_index),
+                     delta.data(), parity.data(), delta.size());
+}
+
+bool RSCode::can_reconstruct(
+    std::span<const unsigned> present_ids) const noexcept {
+  return present_ids.size() >= k_;
+}
+
+bool RSCode::reconstruct(std::span<const unsigned> present_ids,
+                         std::span<const std::uint8_t* const> present,
+                         std::span<const unsigned> want_ids,
+                         std::span<std::uint8_t* const> out,
+                         std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(present_ids.size() == present.size(),
+                    "present id/pointer count mismatch");
+  TRAPERC_CHECK_MSG(want_ids.size() == out.size(),
+                    "want id/pointer count mismatch");
+  if (present_ids.size() < k_) return false;
+
+  // Decode uses exactly k surviving rows; prefer data rows (identity rows
+  // make the decode matrix closer to I, i.e. cheaper back-substitution).
+  std::vector<unsigned> chosen(present_ids.begin(), present_ids.end());
+  std::sort(chosen.begin(), chosen.end());
+  chosen.resize(k_);
+
+  const Matrix decode_rows = gen_.select_rows(chosen);
+  const auto inverse = decode_rows.inverted();
+  TRAPERC_CHECK_MSG(inverse.has_value(),
+                    "MDS violation: k surviving rows not invertible");
+
+  // Map chosen global id -> index into `present`.
+  std::vector<const std::uint8_t*> chosen_chunks(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    const auto it =
+        std::find(present_ids.begin(), present_ids.end(), chosen[i]);
+    chosen_chunks[i] = present[static_cast<std::size_t>(
+        std::distance(present_ids.begin(), it))];
+  }
+
+  const auto& field = GF256::instance();
+  // data_i = Σ_c inverse[i][c] · chosen_chunk[c]; then for wanted parity
+  // rows, re-encode from the recovered data row of the generator.
+  auto decode_data_row = [&](unsigned data_index, std::uint8_t* dst) {
+    std::memset(dst, 0, chunk_len);
+    for (unsigned c = 0; c < k_; ++c) {
+      gf::mul_add_region(field, inverse->at(data_index, c), chosen_chunks[c],
+                         dst, chunk_len);
+    }
+  };
+
+  std::vector<std::uint8_t> scratch;
+  for (std::size_t w = 0; w < want_ids.size(); ++w) {
+    const unsigned id = want_ids[w];
+    TRAPERC_CHECK_MSG(id < n_, "want id out of range");
+    if (id < k_) {
+      decode_data_row(id, out[w]);
+      continue;
+    }
+    // Parity block: b_id = Σ_i gen[id][i] · data_i. Recover each data block
+    // into scratch once and accumulate.
+    std::memset(out[w], 0, chunk_len);
+    scratch.assign(chunk_len, 0);
+    for (unsigned i = 0; i < k_; ++i) {
+      const Element coeff = gen_.at(id, i);
+      if (coeff == 0) continue;
+      decode_data_row(i, scratch.data());
+      gf::mul_add_region(field, coeff, scratch.data(), out[w], chunk_len);
+    }
+  }
+  return true;
+}
+
+}  // namespace traperc::erasure

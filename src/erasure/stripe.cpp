@@ -1,0 +1,117 @@
+#include "erasure/stripe.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::erasure {
+
+Stripe::Stripe(const RSCode& code, std::size_t chunk_len)
+    : code_(&code), chunk_len_(chunk_len) {
+  TRAPERC_CHECK_MSG(chunk_len > 0, "chunk length must be positive");
+  chunks_.resize(code.n());
+  for (auto& c : chunks_) c.assign(chunk_len, 0);
+}
+
+void Stripe::write_object(std::span<const std::uint8_t> object) {
+  TRAPERC_CHECK_MSG(object.size() <= chunk_len_ * code_->k(),
+                    "object exceeds stripe capacity");
+  for (unsigned i = 0; i < code_->k(); ++i) {
+    auto& chunk = chunks_[i];
+    const std::size_t offset = static_cast<std::size_t>(i) * chunk_len_;
+    const std::size_t take =
+        offset >= object.size()
+            ? 0
+            : std::min(chunk_len_, object.size() - offset);
+    if (take > 0) std::memcpy(chunk.data(), object.data() + offset, take);
+    if (take < chunk_len_) std::memset(chunk.data() + take, 0, chunk_len_ - take);
+  }
+  encode_all();
+}
+
+std::vector<std::uint8_t> Stripe::read_object() const {
+  std::vector<std::uint8_t> out(chunk_len_ * code_->k());
+  for (unsigned i = 0; i < code_->k(); ++i) {
+    std::memcpy(out.data() + static_cast<std::size_t>(i) * chunk_len_,
+                chunks_[i].data(), chunk_len_);
+  }
+  return out;
+}
+
+std::span<const std::uint8_t> Stripe::data_chunk(unsigned i) const {
+  TRAPERC_CHECK_MSG(i < code_->k(), "data chunk index out of range");
+  return chunks_[i];
+}
+
+std::span<const std::uint8_t> Stripe::parity_chunk(unsigned j) const {
+  TRAPERC_CHECK_MSG(j < code_->parity_count(),
+                    "parity chunk index out of range");
+  return chunks_[code_->k() + j];
+}
+
+std::span<const std::uint8_t> Stripe::chunk(unsigned block_id) const {
+  TRAPERC_CHECK_MSG(block_id < code_->n(), "block id out of range");
+  return chunks_[block_id];
+}
+
+void Stripe::update_data(unsigned i, std::span<const std::uint8_t> new_chunk) {
+  TRAPERC_CHECK_MSG(i < code_->k(), "data chunk index out of range");
+  TRAPERC_CHECK_MSG(new_chunk.size() == chunk_len_, "chunk size mismatch");
+  // delta = new XOR old (addition == subtraction in GF(2^8)).
+  std::vector<std::uint8_t> delta(new_chunk.begin(), new_chunk.end());
+  gf::xor_region(chunks_[i].data(), delta.data(), chunk_len_);
+  std::memcpy(chunks_[i].data(), new_chunk.data(), chunk_len_);
+  for (unsigned j = 0; j < code_->parity_count(); ++j) {
+    code_->apply_delta(j, i, delta, chunks_[code_->k() + j]);
+  }
+}
+
+void Stripe::encode_all() {
+  std::vector<const std::uint8_t*> data(code_->k());
+  std::vector<std::uint8_t*> parity(code_->parity_count());
+  for (unsigned i = 0; i < code_->k(); ++i) data[i] = chunks_[i].data();
+  for (unsigned j = 0; j < code_->parity_count(); ++j) {
+    parity[j] = chunks_[code_->k() + j].data();
+  }
+  code_->encode(data, parity, chunk_len_);
+}
+
+bool Stripe::verify() const {
+  std::vector<const std::uint8_t*> data(code_->k());
+  for (unsigned i = 0; i < code_->k(); ++i) data[i] = chunks_[i].data();
+  std::vector<std::vector<std::uint8_t>> expect(code_->parity_count());
+  std::vector<std::uint8_t*> expect_ptr(code_->parity_count());
+  for (unsigned j = 0; j < code_->parity_count(); ++j) {
+    expect[j].assign(chunk_len_, 0);
+    expect_ptr[j] = expect[j].data();
+  }
+  code_->encode(data, expect_ptr, chunk_len_);
+  for (unsigned j = 0; j < code_->parity_count(); ++j) {
+    if (std::memcmp(expect[j].data(), chunks_[code_->k() + j].data(),
+                    chunk_len_) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Stripe::reconstruct_block(
+    unsigned block_id, std::span<const unsigned> present_ids) const {
+  std::vector<const std::uint8_t*> present(present_ids.size());
+  for (std::size_t i = 0; i < present_ids.size(); ++i) {
+    TRAPERC_CHECK_MSG(present_ids[i] != block_id,
+                      "present set must exclude the lost block");
+    present[i] = chunks_[present_ids[i]].data();
+  }
+  std::vector<std::uint8_t> out(chunk_len_);
+  const unsigned want[] = {block_id};
+  std::uint8_t* outs[] = {out.data()};
+  const bool ok = code_->reconstruct(present_ids, present, want, outs,
+                                     chunk_len_);
+  TRAPERC_CHECK_MSG(ok, "reconstruction needs at least k surviving blocks");
+  return out;
+}
+
+}  // namespace traperc::erasure

@@ -1,0 +1,66 @@
+// A stripe: the unit of erasure coding — k data chunks plus n−k parity
+// chunks of equal size, kept mutually consistent.
+//
+// The stripe owns chunk buffers and supports the two update styles the paper
+// contrasts:
+//  * full re-encode (`encode_all`) — the "basic approach" of [2];
+//  * in-place delta update (`update_data`) — the commutative GF update that
+//    Alg. 1 performs on each parity node (read old, add α·(new−old)).
+// `verify()` recomputes parity from data and is the consistency oracle used
+// throughout the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "erasure/rs_code.hpp"
+
+namespace traperc::erasure {
+
+class Stripe {
+ public:
+  /// Creates an all-zero stripe (a zero object has zero parity, so it is
+  /// born consistent).
+  Stripe(const RSCode& code, std::size_t chunk_len);
+
+  [[nodiscard]] const RSCode& code() const noexcept { return *code_; }
+  [[nodiscard]] std::size_t chunk_len() const noexcept { return chunk_len_; }
+
+  /// Splits `object` across the k data chunks (zero-padded; must fit in
+  /// k·chunk_len) and recomputes all parity.
+  void write_object(std::span<const std::uint8_t> object);
+
+  /// Reassembles the original object bytes (k·chunk_len of them).
+  [[nodiscard]] std::vector<std::uint8_t> read_object() const;
+
+  [[nodiscard]] std::span<const std::uint8_t> data_chunk(unsigned i) const;
+  [[nodiscard]] std::span<const std::uint8_t> parity_chunk(unsigned j) const;
+
+  /// Raw chunk by global block id (data 0..k−1, parity k..n−1).
+  [[nodiscard]] std::span<const std::uint8_t> chunk(unsigned block_id) const;
+
+  /// Overwrites data chunk i and delta-updates every parity chunk in place.
+  /// Cost: 1 chunk write + (n−k) mul_add regions — exactly the n−k+1 node
+  /// writes of Alg. 1, vs. k reads + (n−k) writes for a full re-encode.
+  void update_data(unsigned i, std::span<const std::uint8_t> new_chunk);
+
+  /// Full re-encode of all parity from current data (baseline update path).
+  void encode_all();
+
+  /// Recomputes parity from data and compares: the stripe invariant.
+  [[nodiscard]] bool verify() const;
+
+  /// Reconstructs block `block_id` from the surviving blocks listed in
+  /// `present_ids` (which must not include block_id and must have >= k
+  /// entries). Returns the reconstructed bytes.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_block(
+      unsigned block_id, std::span<const unsigned> present_ids) const;
+
+ private:
+  const RSCode* code_;
+  std::size_t chunk_len_;
+  std::vector<std::vector<std::uint8_t>> chunks_;  // n buffers
+};
+
+}  // namespace traperc::erasure

@@ -1,0 +1,237 @@
+#include "erasure/wide_code.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace traperc::erasure {
+
+using gf::GF65536;
+
+// ---------------------------------------------------------------------------
+// WideMatrix
+// ---------------------------------------------------------------------------
+
+WideMatrix::WideMatrix(unsigned rows, unsigned cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+WideMatrix WideMatrix::identity(unsigned size) {
+  WideMatrix m(size, size);
+  for (unsigned i = 0; i < size; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+WideMatrix WideMatrix::vandermonde(unsigned rows, unsigned cols) {
+  TRAPERC_CHECK_MSG(rows <= GF65536::kOrder,
+                    "vandermonde needs distinct evaluation points");
+  const auto& field = GF65536::instance();
+  WideMatrix m(rows, cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      m.at(r, c) = field.pow(static_cast<Element>(r), c);
+    }
+  }
+  return m;
+}
+
+WideMatrix WideMatrix::multiply(const WideMatrix& rhs) const {
+  TRAPERC_CHECK_MSG(cols_ == rhs.rows_, "matrix dimension mismatch");
+  const auto& field = GF65536::instance();
+  WideMatrix out(rows_, rhs.cols_);
+  for (unsigned r = 0; r < rows_; ++r) {
+    for (unsigned i = 0; i < cols_; ++i) {
+      const Element lhs_ri = at(r, i);
+      if (lhs_ri == 0) continue;
+      for (unsigned c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) ^= field.mul(lhs_ri, rhs.at(i, c));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<WideMatrix> WideMatrix::inverted() const {
+  TRAPERC_CHECK_MSG(rows_ == cols_, "inverse requires square matrix");
+  const auto& field = GF65536::instance();
+  WideMatrix work = *this;
+  WideMatrix inv = identity(rows_);
+  for (unsigned col = 0; col < cols_; ++col) {
+    unsigned pivot = col;
+    while (pivot < rows_ && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) return std::nullopt;
+    if (pivot != col) {
+      for (unsigned c = 0; c < cols_; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const Element pivot_inv = field.inv(work.at(col, col));
+    for (unsigned c = 0; c < cols_; ++c) {
+      work.at(col, c) = field.mul(work.at(col, c), pivot_inv);
+      inv.at(col, c) = field.mul(inv.at(col, c), pivot_inv);
+    }
+    for (unsigned r = 0; r < rows_; ++r) {
+      if (r == col) continue;
+      const Element factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (unsigned c = 0; c < cols_; ++c) {
+        work.at(r, c) ^= field.mul(factor, work.at(col, c));
+        inv.at(r, c) ^= field.mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+WideMatrix WideMatrix::select_rows(std::span<const unsigned> ids) const {
+  WideMatrix out(static_cast<unsigned>(ids.size()), cols_);
+  for (unsigned r = 0; r < ids.size(); ++r) {
+    TRAPERC_CHECK_MSG(ids[r] < rows_, "row id out of range");
+    for (unsigned c = 0; c < cols_; ++c) out.at(r, c) = at(ids[r], c);
+  }
+  return out;
+}
+
+bool WideMatrix::is_identity() const noexcept {
+  if (rows_ != cols_) return false;
+  for (unsigned r = 0; r < rows_; ++r) {
+    for (unsigned c = 0; c < cols_; ++c) {
+      if (at(r, c) != (r == c ? 1 : 0)) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// WideRSCode
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// dst words ^= c · src words (scalar GF(2^16) kernel).
+void wide_mul_add(const GF65536& field, GF65536::Element c,
+                  const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t chunk_len) {
+  if (c == 0) return;
+  TRAPERC_DCHECK(chunk_len % 2 == 0);
+  for (std::size_t i = 0; i + 2 <= chunk_len; i += 2) {
+    std::uint16_t s;
+    std::uint16_t d;
+    std::memcpy(&s, src + i, 2);
+    std::memcpy(&d, dst + i, 2);
+    d ^= field.mul(c, s);
+    std::memcpy(dst + i, &d, 2);
+  }
+}
+
+WideMatrix build_wide_generator(unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "wide RS code needs 1 <= k <= n");
+  TRAPERC_CHECK_MSG(n <= 65535, "GF(2^16) supports at most 65535 symbols");
+  const WideMatrix vand = WideMatrix::vandermonde(n, k);
+  std::vector<unsigned> top(k);
+  for (unsigned i = 0; i < k; ++i) top[i] = i;
+  const auto top_inv = vand.select_rows(top).inverted();
+  TRAPERC_CHECK_MSG(top_inv.has_value(),
+                    "vandermonde top block must be invertible");
+  return vand.multiply(*top_inv);
+}
+
+}  // namespace
+
+WideRSCode::WideRSCode(unsigned n, unsigned k)
+    : n_(n), k_(k), gen_(build_wide_generator(n, k)) {}
+
+WideRSCode::Element WideRSCode::coefficient(unsigned parity_index,
+                                            unsigned data_index) const noexcept {
+  TRAPERC_DCHECK(parity_index < parity_count());
+  TRAPERC_DCHECK(data_index < k_);
+  return gen_.at(k_ + parity_index, data_index);
+}
+
+void WideRSCode::encode(std::span<const std::uint8_t* const> data,
+                        std::span<std::uint8_t* const> parity,
+                        std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  TRAPERC_CHECK_MSG(chunk_len % 2 == 0, "chunk length must be even (u16)");
+  const auto& field = GF65536::instance();
+  for (unsigned j = 0; j < parity_count(); ++j) {
+    std::memset(parity[j], 0, chunk_len);
+    for (unsigned i = 0; i < k_; ++i) {
+      wide_mul_add(field, coefficient(j, i), data[i], parity[j], chunk_len);
+    }
+  }
+}
+
+void WideRSCode::apply_delta(unsigned parity_index, unsigned data_index,
+                             std::span<const std::uint8_t> delta,
+                             std::span<std::uint8_t> parity) const {
+  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
+                    "delta and parity chunk sizes differ");
+  TRAPERC_CHECK_MSG(delta.size() % 2 == 0, "chunk length must be even (u16)");
+  wide_mul_add(GF65536::instance(), coefficient(parity_index, data_index),
+               delta.data(), parity.data(), delta.size());
+}
+
+bool WideRSCode::reconstruct(std::span<const unsigned> present_ids,
+                             std::span<const std::uint8_t* const> present,
+                             std::span<const unsigned> want_ids,
+                             std::span<std::uint8_t* const> out,
+                             std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(present_ids.size() == present.size(),
+                    "present id/pointer count mismatch");
+  TRAPERC_CHECK_MSG(want_ids.size() == out.size(),
+                    "want id/pointer count mismatch");
+  TRAPERC_CHECK_MSG(chunk_len % 2 == 0, "chunk length must be even (u16)");
+  if (present_ids.size() < k_) return false;
+
+  std::vector<unsigned> chosen(present_ids.begin(), present_ids.end());
+  std::sort(chosen.begin(), chosen.end());
+  chosen.resize(k_);
+
+  const auto inverse = gen_.select_rows(chosen).inverted();
+  TRAPERC_CHECK_MSG(inverse.has_value(),
+                    "MDS violation: k surviving rows not invertible");
+
+  std::vector<const std::uint8_t*> chosen_chunks(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    const auto it =
+        std::find(present_ids.begin(), present_ids.end(), chosen[i]);
+    chosen_chunks[i] = present[static_cast<std::size_t>(
+        std::distance(present_ids.begin(), it))];
+  }
+
+  const auto& field = GF65536::instance();
+  auto decode_data_row = [&](unsigned data_index, std::uint8_t* dst) {
+    std::memset(dst, 0, chunk_len);
+    for (unsigned c = 0; c < k_; ++c) {
+      wide_mul_add(field, inverse->at(data_index, c), chosen_chunks[c], dst,
+                   chunk_len);
+    }
+  };
+
+  std::vector<std::uint8_t> scratch;
+  for (std::size_t w = 0; w < want_ids.size(); ++w) {
+    const unsigned id = want_ids[w];
+    TRAPERC_CHECK_MSG(id < n_, "want id out of range");
+    if (id < k_) {
+      decode_data_row(id, out[w]);
+      continue;
+    }
+    std::memset(out[w], 0, chunk_len);
+    scratch.assign(chunk_len, 0);
+    for (unsigned i = 0; i < k_; ++i) {
+      const Element coeff = gen_.at(id, i);
+      if (coeff == 0) continue;
+      decode_data_row(i, scratch.data());
+      wide_mul_add(field, coeff, scratch.data(), out[w], chunk_len);
+    }
+  }
+  return true;
+}
+
+}  // namespace traperc::erasure

@@ -1,0 +1,102 @@
+// Wide systematic MDS Reed-Solomon codec over GF(2^16).
+//
+// GF(2^8) limits a stripe to 255 symbols; datacenter-scale deployments
+// (wide stripes à la n = 300+, motivated by the ablation sweeps) need a
+// larger symbol alphabet. This codec mirrors RSCode's construction —
+// systematic Vandermonde with the MDS property preserved by the
+// right-multiplication argument — over 16-bit symbols. Chunks are byte
+// buffers of even length interpreted as little-endian u16 words; kernels
+// are scalar (log/exp per word), trading the GF(2^8) table tricks for
+// alphabet size, which the PERF2w bench quantifies.
+//
+// Deliberately separate from RSCode rather than a shared template: the two
+// fields want different storage (full product table vs log/exp) and
+// different region kernels, and the protocol engine only ever uses the
+// GF(2^8) fast path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf65536.hpp"
+
+namespace traperc::erasure {
+
+/// Dense matrix over GF(2^16) — the decode-side linear algebra.
+class WideMatrix {
+ public:
+  using Element = gf::GF65536::Element;
+
+  WideMatrix() = default;
+  WideMatrix(unsigned rows, unsigned cols);
+
+  [[nodiscard]] static WideMatrix identity(unsigned size);
+  [[nodiscard]] static WideMatrix vandermonde(unsigned rows, unsigned cols);
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Element at(unsigned r, unsigned c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  Element& at(unsigned r, unsigned c) noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  [[nodiscard]] WideMatrix multiply(const WideMatrix& rhs) const;
+  [[nodiscard]] std::optional<WideMatrix> inverted() const;
+  [[nodiscard]] WideMatrix select_rows(std::span<const unsigned> ids) const;
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  [[nodiscard]] bool operator==(const WideMatrix&) const noexcept = default;
+
+ private:
+  unsigned rows_ = 0;
+  unsigned cols_ = 0;
+  std::vector<Element> data_;
+};
+
+/// Systematic (n,k) MDS code with 1 <= k <= n <= 65535.
+class WideRSCode {
+ public:
+  using Element = gf::GF65536::Element;
+
+  WideRSCode(unsigned n, unsigned k);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned parity_count() const noexcept { return n_ - k_; }
+
+  /// α_{j,i} analogue over GF(2^16).
+  [[nodiscard]] Element coefficient(unsigned parity_index,
+                                    unsigned data_index) const noexcept;
+
+  [[nodiscard]] const WideMatrix& generator() const noexcept { return gen_; }
+
+  /// Computes all parity chunks. chunk_len must be even (u16 words).
+  void encode(std::span<const std::uint8_t* const> data,
+              std::span<std::uint8_t* const> parity,
+              std::size_t chunk_len) const;
+
+  /// In-place parity delta update: parity ^= α_{j,i} · delta.
+  void apply_delta(unsigned parity_index, unsigned data_index,
+                   std::span<const std::uint8_t> delta,
+                   std::span<std::uint8_t> parity) const;
+
+  /// Reconstructs `want_ids` from >= k survivors (same contract as
+  /// RSCode::reconstruct).
+  bool reconstruct(std::span<const unsigned> present_ids,
+                   std::span<const std::uint8_t* const> present,
+                   std::span<const unsigned> want_ids,
+                   std::span<std::uint8_t* const> out,
+                   std::size_t chunk_len) const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  WideMatrix gen_;
+};
+
+}  // namespace traperc::erasure

@@ -1,0 +1,81 @@
+#include "gf/gf256.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::gf {
+
+const GF256& GF256::instance() noexcept {
+  static const GF256 field;
+  return field;
+}
+
+GF256::Element GF256::mul_slow(Element a, Element b) noexcept {
+  // Russian-peasant multiplication with modular reduction by kPoly.
+  unsigned product = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1U) product ^= aa;
+    bb >>= 1U;
+    aa <<= 1U;
+    if (aa & 0x100U) aa ^= kPoly;
+  }
+  return static_cast<Element>(product);
+}
+
+GF256::GF256() noexcept {
+  // exp/log from the generator.
+  unsigned x = 1;
+  for (unsigned e = 0; e < kOrder - 1; ++e) {
+    exp_table_[e] = static_cast<Element>(x);
+    log_table_[x] = static_cast<std::uint8_t>(e);
+    x = mul_slow(static_cast<Element>(x), kGenerator);
+  }
+  log_table_[0] = 0;  // never read; log(0) is checked
+
+  // Full product table from log/exp (then spot-verified in tests against
+  // mul_slow).
+  for (unsigned a = 0; a < kOrder; ++a) {
+    mul_table_[a][0] = 0;
+    mul_table_[0][a] = 0;
+  }
+  for (unsigned a = 1; a < kOrder; ++a) {
+    for (unsigned b = 1; b < kOrder; ++b) {
+      const unsigned e = (log_table_[a] + log_table_[b]) % (kOrder - 1);
+      mul_table_[a][b] = exp_table_[e];
+    }
+  }
+
+  inv_table_[0] = 0;  // never read; inv(0) is checked
+  for (unsigned a = 1; a < kOrder; ++a) {
+    inv_table_[a] = exp_table_[(kOrder - 1 - log_table_[a]) % (kOrder - 1)];
+  }
+}
+
+GF256::Element GF256::div(Element a, Element b) const noexcept {
+  TRAPERC_DCHECK(b != 0);
+  if (a == 0) return 0;
+  const unsigned e =
+      (log_table_[a] + (kOrder - 1) - log_table_[b]) % (kOrder - 1);
+  return exp_table_[e];
+}
+
+GF256::Element GF256::inv(Element a) const noexcept {
+  TRAPERC_DCHECK(a != 0);
+  return inv_table_[a];
+}
+
+unsigned GF256::log(Element a) const noexcept {
+  TRAPERC_DCHECK(a != 0);
+  return log_table_[a];
+}
+
+GF256::Element GF256::pow(Element a, unsigned e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned le = (static_cast<unsigned long long>(log_table_[a]) * e) %
+                      (kOrder - 1);
+  return exp_table_[le];
+}
+
+}  // namespace traperc::gf

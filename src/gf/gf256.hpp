@@ -1,0 +1,78 @@
+// GF(2^8) arithmetic — the finite field behind the paper's eq. (1)
+// (b_j = Σ α_{j,i}·b_i "over some finite field, usually GF(2^h)").
+//
+// Representation: polynomial basis modulo the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by virtually every
+// storage Reed-Solomon implementation. α = 2 is a generator.
+//
+// All tables (exp/log, full 256×256 product, inverse) are generated at
+// static-initialization time from the polynomial — no baked-in literals —
+// and verified against first-principles carry-less multiplication in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace traperc::gf {
+
+class GF256 {
+ public:
+  using Element = std::uint8_t;
+
+  static constexpr unsigned kBits = 8;
+  static constexpr unsigned kOrder = 256;          ///< field size 2^8
+  static constexpr unsigned kPoly = 0x11D;          ///< primitive polynomial
+  static constexpr Element kGenerator = 2;          ///< α
+
+  /// Shared immutable instance (tables are ~66 KiB).
+  static const GF256& instance() noexcept;
+
+  GF256() noexcept;
+
+  /// Addition = subtraction = XOR in characteristic 2.
+  [[nodiscard]] static constexpr Element add(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] static constexpr Element sub(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] Element mul(Element a, Element b) const noexcept {
+    return mul_table_[a][b];
+  }
+
+  /// Division; b must be nonzero (checked in debug builds).
+  [[nodiscard]] Element div(Element a, Element b) const noexcept;
+
+  /// Multiplicative inverse of a nonzero element.
+  [[nodiscard]] Element inv(Element a) const noexcept;
+
+  /// α^e with e taken modulo 255 (the multiplicative group order).
+  [[nodiscard]] Element exp(unsigned e) const noexcept {
+    return exp_table_[e % (kOrder - 1)];
+  }
+
+  /// Discrete log base α of a nonzero element, in [0, 255).
+  [[nodiscard]] unsigned log(Element a) const noexcept;
+
+  /// a^e by log/exp (a may be zero: 0^0 = 1, 0^e = 0).
+  [[nodiscard]] Element pow(Element a, unsigned e) const noexcept;
+
+  /// Reference multiplication by shift-and-reduce; used only by tests to
+  /// validate the tables.
+  [[nodiscard]] static Element mul_slow(Element a, Element b) noexcept;
+
+  /// Row of the product table for a fixed constant (used by region kernels).
+  [[nodiscard]] const std::array<Element, kOrder>& mul_row(
+      Element c) const noexcept {
+    return mul_table_[c];
+  }
+
+ private:
+  std::array<std::array<Element, kOrder>, kOrder> mul_table_;
+  std::array<Element, kOrder - 1> exp_table_;
+  std::array<std::uint8_t, kOrder> log_table_;
+  std::array<Element, kOrder> inv_table_;
+};
+
+}  // namespace traperc::gf

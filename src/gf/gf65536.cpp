@@ -1,0 +1,68 @@
+#include "gf/gf65536.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::gf {
+
+const GF65536& GF65536::instance() noexcept {
+  static const GF65536 field;
+  return field;
+}
+
+GF65536::Element GF65536::mul_slow(Element a, Element b) noexcept {
+  unsigned product = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb != 0) {
+    if (bb & 1U) product ^= aa;
+    bb >>= 1U;
+    aa <<= 1U;
+    if (aa & 0x10000U) aa ^= kPoly;
+  }
+  return static_cast<Element>(product);
+}
+
+GF65536::GF65536() noexcept
+    : exp_table_(kOrder - 1), log_table_(kOrder, 0) {
+  unsigned x = 1;
+  for (unsigned e = 0; e < kOrder - 1; ++e) {
+    exp_table_[e] = static_cast<Element>(x);
+    log_table_[x] = static_cast<std::uint16_t>(e);
+    x = mul_slow(static_cast<Element>(x), kGenerator);
+  }
+}
+
+GF65536::Element GF65536::mul(Element a, Element b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  const unsigned e = (log_table_[a] + log_table_[b]) % (kOrder - 1);
+  return exp_table_[e];
+}
+
+GF65536::Element GF65536::div(Element a, Element b) const noexcept {
+  TRAPERC_DCHECK(b != 0);
+  if (a == 0) return 0;
+  const unsigned e =
+      (log_table_[a] + (kOrder - 1) - log_table_[b]) % (kOrder - 1);
+  return exp_table_[e];
+}
+
+GF65536::Element GF65536::inv(Element a) const noexcept {
+  TRAPERC_DCHECK(a != 0);
+  return exp_table_[(kOrder - 1 - log_table_[a]) % (kOrder - 1)];
+}
+
+unsigned GF65536::log(Element a) const noexcept {
+  TRAPERC_DCHECK(a != 0);
+  return log_table_[a];
+}
+
+GF65536::Element GF65536::pow(Element a, unsigned e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned le =
+      static_cast<unsigned>((static_cast<unsigned long long>(log_table_[a]) * e) %
+                            (kOrder - 1));
+  return exp_table_[le];
+}
+
+}  // namespace traperc::gf

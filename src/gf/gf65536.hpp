@@ -1,0 +1,54 @@
+// GF(2^16) arithmetic for wide codes (n up to 65535).
+//
+// The trapezoid protocol itself is field-agnostic; GF(2^16) is provided so
+// stripes wider than 255 (e.g. datacenter-scale (n,k) sweeps in the
+// ablations) still have a valid MDS code. Representation is polynomial basis
+// modulo x^16 + x^12 + x^3 + x + 1 (0x1100B), generator α = 2.
+//
+// A full product table would be 8 GiB, so multiplication goes through
+// log/exp (two 128 KiB tables).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace traperc::gf {
+
+class GF65536 {
+ public:
+  using Element = std::uint16_t;
+
+  static constexpr unsigned kBits = 16;
+  static constexpr unsigned kOrder = 65536;
+  static constexpr unsigned kPoly = 0x1100B;
+  static constexpr Element kGenerator = 2;
+
+  static const GF65536& instance() noexcept;
+
+  GF65536() noexcept;
+
+  [[nodiscard]] static constexpr Element add(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] static constexpr Element sub(Element a, Element b) noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] Element mul(Element a, Element b) const noexcept;
+  [[nodiscard]] Element div(Element a, Element b) const noexcept;
+  [[nodiscard]] Element inv(Element a) const noexcept;
+  [[nodiscard]] Element exp(unsigned e) const noexcept {
+    return exp_table_[e % (kOrder - 1)];
+  }
+  [[nodiscard]] unsigned log(Element a) const noexcept;
+  [[nodiscard]] Element pow(Element a, unsigned e) const noexcept;
+
+  /// Reference multiplication by shift-and-reduce (for table validation).
+  [[nodiscard]] static Element mul_slow(Element a, Element b) noexcept;
+
+ private:
+  std::vector<Element> exp_table_;   // size kOrder - 1
+  std::vector<std::uint16_t> log_table_;  // size kOrder
+};
+
+}  // namespace traperc::gf

@@ -1,0 +1,44 @@
+// Bulk (region) kernels over GF(2^8): the encode / decode / delta-update hot
+// loops all reduce to dst ^= c · src over whole chunks.
+//
+// Two implementations are provided and benchmarked (bench/micro_gf):
+//  * table:  one 256-entry row of the product table, byte-at-a-time;
+//  * split4: two 16-entry nibble tables expanded to 64-bit lanes, processing
+//            8 bytes per step (the gf-complete "split table" trick without
+//            SIMD intrinsics, so it stays portable).
+// mul_add_region picks split4 for regions >= kSplitThreshold bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/gf256.hpp"
+
+namespace traperc::gf {
+
+/// dst[i] ^= src[i] for i in [0, len). 8-byte vectorizable loop.
+void xor_region(const std::uint8_t* src, std::uint8_t* dst,
+                std::size_t len) noexcept;
+
+/// dst[i] = c · src[i].
+void mul_region(const GF256& field, std::uint8_t c, const std::uint8_t* src,
+                std::uint8_t* dst, std::size_t len) noexcept;
+
+/// dst[i] ^= c · src[i] — the fused kernel of eq. (1) and of the Alg. 1
+/// parity delta-update. Dispatches between the table and split4 paths.
+void mul_add_region(const GF256& field, std::uint8_t c,
+                    const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t len) noexcept;
+
+/// Forced-path variants (exposed for tests and the microbench).
+void mul_add_region_table(const GF256& field, std::uint8_t c,
+                          const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t len) noexcept;
+void mul_add_region_split4(const GF256& field, std::uint8_t c,
+                           const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t len) noexcept;
+
+/// Region length below which the split4 setup cost is not amortized.
+inline constexpr std::size_t kSplitThreshold = 64;
+
+}  // namespace traperc::gf

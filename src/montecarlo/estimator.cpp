@@ -1,0 +1,68 @@
+#include "montecarlo/estimator.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace traperc::montecarlo {
+
+Estimator::Estimator(ThreadPool& pool, std::uint64_t seed)
+    : pool_(pool), seed_(seed) {}
+
+Estimate Estimator::estimate(
+    unsigned num_nodes, double p, std::uint64_t trials,
+    const std::function<bool(const std::vector<bool>&)>& predicate) {
+  TRAPERC_CHECK_MSG(num_nodes >= 1, "need at least one node");
+  TRAPERC_CHECK_MSG(trials >= 1, "need at least one trial");
+
+  const std::uint64_t run_id = run_counter_++;
+  std::atomic<std::uint64_t> successes{0};
+
+  pool_.parallel_for(
+      trials, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        // Independent stream per (run, worker): deterministic regardless of
+        // scheduling, no sharing between workers.
+        Rng rng = Rng(seed_).split(run_id).split(worker);
+        std::vector<bool> up(num_nodes);
+        std::uint64_t local = 0;
+        for (std::size_t t = begin; t < end; ++t) {
+          for (unsigned i = 0; i < num_nodes; ++i) up[i] = rng.next_bool(p);
+          local += predicate(up) ? 1 : 0;
+        }
+        successes.fetch_add(local, std::memory_order_relaxed);
+      });
+
+  Estimate estimate;
+  estimate.trials = trials;
+  estimate.successes = successes.load();
+  estimate.mean =
+      static_cast<double>(estimate.successes) / static_cast<double>(trials);
+  estimate.stderr_ = std::sqrt(estimate.mean * (1.0 - estimate.mean) /
+                               static_cast<double>(trials));
+  return estimate;
+}
+
+Estimate Estimator::write_availability(const analysis::BlockDeployment& d,
+                                       double p, std::uint64_t trials) {
+  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+    return analysis::write_possible(d, up);
+  });
+}
+
+Estimate Estimator::read_availability_fr(const analysis::BlockDeployment& d,
+                                         double p, std::uint64_t trials) {
+  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+    return analysis::read_possible_fr(d, up);
+  });
+}
+
+Estimate Estimator::read_availability_erc(const analysis::BlockDeployment& d,
+                                          double p, std::uint64_t trials) {
+  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+    return analysis::read_possible_erc_algorithmic(d, up);
+  });
+}
+
+}  // namespace traperc::montecarlo

@@ -1,0 +1,57 @@
+// Parallel Monte Carlo availability estimation.
+//
+// Samples i.i.d. Bernoulli(p) node-state vectors and evaluates the protocol
+// decision predicates, fanning trial batches across a thread pool (one RNG
+// stream per worker, so results are deterministic for a given seed and
+// independent of scheduling). Confidence intervals use the normal
+// approximation, adequate at the trial counts the benches run (>= 10^5).
+//
+// Complements the exact oracle: the oracle is exact but 2^n; Monte Carlo
+// scales to any n and, unlike the closed forms, can estimate *any*
+// predicate — including the live-protocol outcome measured by the
+// validation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/predicates.hpp"
+#include "common/thread_pool.hpp"
+
+namespace traperc::montecarlo {
+
+struct Estimate {
+  double mean = 0.0;
+  double stderr_ = 0.0;   ///< standard error of the mean
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+
+  /// Half-width of the 95% confidence interval.
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * stderr_; }
+};
+
+class Estimator {
+ public:
+  /// `pool` may be shared across estimators; it is not owned.
+  Estimator(ThreadPool& pool, std::uint64_t seed = 42);
+
+  /// Estimates P[predicate(up)] with `up` ~ iid Bernoulli(p)^n.
+  [[nodiscard]] Estimate estimate(
+      unsigned num_nodes, double p, std::uint64_t trials,
+      const std::function<bool(const std::vector<bool>&)>& predicate);
+
+  /// Convenience wrappers for the protocol predicates.
+  [[nodiscard]] Estimate write_availability(
+      const analysis::BlockDeployment& d, double p, std::uint64_t trials);
+  [[nodiscard]] Estimate read_availability_fr(
+      const analysis::BlockDeployment& d, double p, std::uint64_t trials);
+  [[nodiscard]] Estimate read_availability_erc(
+      const analysis::BlockDeployment& d, double p, std::uint64_t trials);
+
+ private:
+  ThreadPool& pool_;
+  std::uint64_t seed_;
+  std::uint64_t run_counter_ = 0;
+};
+
+}  // namespace traperc::montecarlo

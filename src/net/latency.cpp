@@ -1,0 +1,29 @@
+#include "net/latency.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::net {
+
+UniformLatency::UniformLatency(SimTime lo_ns, SimTime hi_ns)
+    : lo_(lo_ns), hi_(hi_ns) {
+  TRAPERC_CHECK_MSG(lo_ns <= hi_ns, "uniform latency needs lo <= hi");
+}
+
+SimTime UniformLatency::sample(NodeId, NodeId, Rng& rng) const {
+  return rng.next_in_range(lo_, hi_);
+}
+
+ExponentialTailLatency::ExponentialTailLatency(SimTime base_ns,
+                                               double mean_tail_ns)
+    : base_(base_ns), mean_tail_(mean_tail_ns) {
+  TRAPERC_CHECK_MSG(mean_tail_ns > 0.0, "mean tail must be positive");
+}
+
+SimTime ExponentialTailLatency::sample(NodeId, NodeId, Rng& rng) const {
+  const double tail = rng.next_exponential(1.0 / mean_tail_);
+  return base_ + static_cast<SimTime>(std::llround(tail));
+}
+
+}  // namespace traperc::net

@@ -1,0 +1,59 @@
+// One-way message latency models for the simulated network.
+//
+// The paper assumes reliable links ("there is no failure on communication
+// links"), so latency only affects simulated operation duration, not
+// availability. Loss injection exists as an extension knob (see Network) and
+// defaults to off to match the paper's model.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace traperc::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way delay for a message from -> to.
+  [[nodiscard]] virtual SimTime sample(NodeId from, NodeId to,
+                                       Rng& rng) const = 0;
+};
+
+/// Constant delay (default 100 µs, a LAN-ish round trip of 200 µs).
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime delay_ns = 100'000) : delay_(delay_ns) {}
+  [[nodiscard]] SimTime sample(NodeId, NodeId, Rng&) const override {
+    return delay_;
+  }
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo_ns, SimTime hi_ns);
+  [[nodiscard]] SimTime sample(NodeId, NodeId, Rng& rng) const override;
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Exponential tail on top of a base delay: base + Exp(1/mean_tail) —
+/// a common model for congested storage networks.
+class ExponentialTailLatency final : public LatencyModel {
+ public:
+  ExponentialTailLatency(SimTime base_ns, double mean_tail_ns);
+  [[nodiscard]] SimTime sample(NodeId, NodeId, Rng& rng) const override;
+
+ private:
+  SimTime base_;
+  double mean_tail_;
+};
+
+}  // namespace traperc::net

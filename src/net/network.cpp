@@ -1,0 +1,50 @@
+#include "net/network.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::net {
+
+Network::Network(sim::SimEngine& engine, unsigned num_nodes,
+                 std::unique_ptr<LatencyModel> latency,
+                 std::function<bool(NodeId)> is_up)
+    : engine_(engine),
+      num_nodes_(num_nodes),
+      latency_(std::move(latency)),
+      is_up_(std::move(is_up)) {
+  TRAPERC_CHECK_MSG(latency_ != nullptr, "latency model required");
+  TRAPERC_CHECK_MSG(is_up_ != nullptr, "liveness oracle required");
+}
+
+void Network::send(NodeId from, NodeId to, std::size_t approx_bytes,
+                   std::function<void()> deliver) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += approx_bytes;
+  if (loss_probability_ > 0.0 &&
+      engine_.rng().next_bool(loss_probability_)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const SimTime delay = latency_->sample(from, to, engine_.rng());
+  engine_.schedule_after(delay, [this, to, deliver = std::move(deliver)] {
+    if (!is_up_(to)) {
+      ++stats_.requests_to_down_node;
+      return;  // fail-stop: a down node absorbs the request
+    }
+    deliver();
+  });
+}
+
+void Network::send_reply(NodeId from, NodeId to, std::size_t approx_bytes,
+                         std::function<void()> deliver) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += approx_bytes;
+  if (loss_probability_ > 0.0 &&
+      engine_.rng().next_bool(loss_probability_)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const SimTime delay = latency_->sample(from, to, engine_.rng());
+  engine_.schedule_after(delay, std::move(deliver));
+}
+
+}  // namespace traperc::net

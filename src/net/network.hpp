@@ -1,0 +1,84 @@
+// Simulated message-passing fabric with RPC semantics.
+//
+// The protocol engines talk to storage nodes through `rpc`: the request
+// travels one sampled latency, the handler executes *at the target node's
+// arrival time* iff the node is up, and the reply travels back one more
+// latency. A down target (fail-stop, paper model) never replies; the caller
+// observes that as a timeout event. Links themselves are reliable by
+// default; `set_loss_probability` is an extension knob (off = paper model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/latency.hpp"
+#include "sim/engine.hpp"
+
+namespace traperc::net {
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;      ///< requests + replies injected
+  std::uint64_t messages_dropped = 0;   ///< lost to injected link loss
+  std::uint64_t requests_to_down_node = 0;  ///< absorbed by failed targets
+  std::uint64_t bytes_sent = 0;         ///< payload accounting (approximate)
+};
+
+class Network {
+ public:
+  /// `is_up(node)` is consulted at request *arrival* time, so a node that
+  /// fails while a message is in flight correctly swallows it.
+  Network(sim::SimEngine& engine, unsigned num_nodes,
+          std::unique_ptr<LatencyModel> latency,
+          std::function<bool(NodeId)> is_up);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned num_nodes() const noexcept { return num_nodes_; }
+
+  /// Extension: independent per-message loss (0 = paper model).
+  void set_loss_probability(double p) noexcept { loss_probability_ = p; }
+
+  /// One-way fire-and-forget message: runs `deliver` at the target when it
+  /// arrives, provided the target is up; otherwise drops silently.
+  void send(NodeId from, NodeId to, std::size_t approx_bytes,
+            std::function<void()> deliver);
+
+  /// Request/response. `handler` runs at `to` (arrival time) if the node is
+  /// up and returns the response value; `on_reply` then runs back at `from`
+  /// after the return latency. If the node is down or the message is lost,
+  /// `on_reply` never fires — pair with Timer/deadline at the call site.
+  template <typename Resp>
+  void rpc(NodeId from, NodeId to, std::size_t approx_bytes,
+           std::function<Resp()> handler,
+           std::function<void(Resp)> on_reply) {
+    send(from, to, approx_bytes,
+         [this, from, to, handler = std::move(handler),
+          on_reply = std::move(on_reply)]() mutable {
+           Resp response = handler();
+           // The reply leaves the (up) target immediately; no loss/liveness
+           // check on the *sender* side — a reply to a crashed coordinator
+           // is simply ignored by the coordinator's state machine.
+           send_reply(to, from, sizeof(Resp), [on_reply = std::move(on_reply),
+                                               response = std::move(response)]() mutable {
+             on_reply(std::move(response));
+           });
+         });
+  }
+
+ private:
+  /// Reply path: subject to latency and loss, but not to the destination's
+  /// up/down state (the coordinator is a client, not a fail-stop node).
+  void send_reply(NodeId from, NodeId to, std::size_t approx_bytes,
+                  std::function<void()> deliver);
+
+  sim::SimEngine& engine_;
+  unsigned num_nodes_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::function<bool(NodeId)> is_up_;
+  double loss_probability_ = 0.0;
+  NetworkStats stats_;
+};
+
+}  // namespace traperc::net

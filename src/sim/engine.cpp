@@ -1,0 +1,48 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace traperc::sim {
+
+SimEngine::SimEngine(std::uint64_t seed) : rng_(seed) {}
+
+void SimEngine::schedule_at(SimTime t, Action action) {
+  TRAPERC_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  TRAPERC_CHECK_MSG(action != nullptr, "empty action");
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void SimEngine::schedule_after(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool SimEngine::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.top();  // copy, then pop — std::function stays valid
+  queue_.pop();
+  TRAPERC_DCHECK(event.time >= now_);
+  now_ = event.time;
+  ++processed_;
+  event.action();
+  return true;
+}
+
+std::size_t SimEngine::run_until_idle() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t SimEngine::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;  // time passes even when idle
+  return count;
+}
+
+}  // namespace traperc::sim

@@ -1,0 +1,45 @@
+#include "storage/failure_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::storage {
+
+FailureProcess::Params FailureProcess::Params::for_availability(
+    double p, double mttr_ns) {
+  TRAPERC_CHECK_MSG(p > 0.0 && p < 1.0, "availability must be in (0,1)");
+  TRAPERC_CHECK_MSG(mttr_ns > 0.0, "repair time must be positive");
+  // p = mttf / (mttf + mttr)  =>  mttf = mttr * p / (1 - p).
+  return Params{mttr_ns * p / (1.0 - p), mttr_ns};
+}
+
+FailureProcess::FailureProcess(sim::SimEngine& engine, StorageNode& node,
+                               Params params, Rng stream)
+    : engine_(engine), node_(node), params_(params), rng_(stream) {
+  TRAPERC_CHECK_MSG(params.mttf_ns > 0.0 && params.mttr_ns > 0.0,
+                    "MTTF/MTTR must be positive");
+}
+
+void FailureProcess::start() { schedule_failure(); }
+
+void FailureProcess::schedule_failure() {
+  const double wait = rng_.next_exponential(1.0 / params_.mttf_ns);
+  engine_.schedule_after(static_cast<SimTime>(std::llround(wait)), [this] {
+    node_.set_up(false);
+    ++failures_;
+    down_since_ = engine_.now();
+    schedule_repair();
+  });
+}
+
+void FailureProcess::schedule_repair() {
+  const double wait = rng_.next_exponential(1.0 / params_.mttr_ns);
+  engine_.schedule_after(static_cast<SimTime>(std::llround(wait)), [this] {
+    node_.set_up(true);
+    downtime_ += engine_.now() - down_since_;
+    schedule_failure();
+  });
+}
+
+}  // namespace traperc::storage

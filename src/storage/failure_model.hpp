@@ -1,0 +1,57 @@
+// Fail-stop / repair process driving a node's liveness in simulated time.
+//
+// Alternating exponential up (mean MTTF) and down (mean MTTR) periods — the
+// classic two-state Markov availability model whose steady-state
+// availability is p = MTTF / (MTTF + MTTR). Benches pick MTTF/MTTR to hit a
+// target p, which ties the live-protocol measurements back to the paper's
+// single parameter p.
+//
+// A crash preserves node contents (stale-on-recovery, the case the
+// version vectors guard); media loss is injected separately via
+// StorageNode::wipe in the repair drills.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "storage/node.hpp"
+
+namespace traperc::storage {
+
+class FailureProcess {
+ public:
+  struct Params {
+    double mttf_ns = 1e9;  ///< mean time to failure (exponential)
+    double mttr_ns = 1e8;  ///< mean time to repair (exponential)
+
+    [[nodiscard]] double steady_state_availability() const noexcept {
+      return mttf_ns / (mttf_ns + mttr_ns);
+    }
+
+    /// Params hitting availability p with the given repair time.
+    [[nodiscard]] static Params for_availability(double p, double mttr_ns);
+  };
+
+  FailureProcess(sim::SimEngine& engine, StorageNode& node, Params params,
+                 Rng stream);
+
+  /// Schedules the first failure; the process then self-perpetuates.
+  void start();
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] SimTime total_downtime() const noexcept { return downtime_; }
+
+ private:
+  void schedule_failure();
+  void schedule_repair();
+
+  sim::SimEngine& engine_;
+  StorageNode& node_;
+  Params params_;
+  Rng rng_;
+  std::uint64_t failures_ = 0;
+  SimTime downtime_ = 0;
+  SimTime down_since_ = 0;
+};
+
+}  // namespace traperc::storage

@@ -1,0 +1,105 @@
+#include "storage/node.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::storage {
+
+StorageNode::StorageNode(NodeId id, unsigned k, std::size_t chunk_len)
+    : id_(id), k_(k), chunk_len_(chunk_len) {
+  TRAPERC_CHECK_MSG(k >= 1, "stripe needs at least one data block");
+  TRAPERC_CHECK_MSG(chunk_len >= 1, "chunk length must be positive");
+}
+
+Version StorageNode::replica_version(BlockId stripe, unsigned index) const {
+  const auto it = replicas_.find({stripe, index});
+  return it == replicas_.end() ? 0 : it->second.version;
+}
+
+ReplicaReadReply StorageNode::replica_read(BlockId stripe,
+                                           unsigned index) const {
+  const auto it = replicas_.find({stripe, index});
+  if (it == replicas_.end()) {
+    return ReplicaReadReply{0, std::vector<std::uint8_t>(chunk_len_, 0)};
+  }
+  return ReplicaReadReply{it->second.version, it->second.payload};
+}
+
+void StorageNode::replica_write(BlockId stripe, unsigned index,
+                                Version version,
+                                std::span<const std::uint8_t> payload) {
+  TRAPERC_CHECK_MSG(payload.size() == chunk_len_, "chunk size mismatch");
+  auto& entry = replicas_[{stripe, index}];
+  if (entry.payload.empty()) bytes_stored_ += chunk_len_;
+  entry.version = version;
+  entry.payload.assign(payload.begin(), payload.end());
+}
+
+std::vector<Version> StorageNode::parity_versions(BlockId stripe) const {
+  const auto it = parity_.find(stripe);
+  if (it == parity_.end()) return std::vector<Version>(k_, 0);
+  return it->second.contrib;
+}
+
+ParityReadReply StorageNode::parity_read(BlockId stripe) const {
+  const auto it = parity_.find(stripe);
+  if (it == parity_.end()) {
+    return ParityReadReply{std::vector<Version>(k_, 0),
+                           std::vector<std::uint8_t>(chunk_len_, 0)};
+  }
+  return ParityReadReply{it->second.contrib, it->second.payload};
+}
+
+ParityAddReply StorageNode::parity_add(BlockId stripe, unsigned data_index,
+                                       Version expected, Version next,
+                                       std::span<const std::uint8_t> delta) {
+  TRAPERC_CHECK_MSG(data_index < k_, "data index out of range");
+  TRAPERC_CHECK_MSG(delta.size() == chunk_len_, "delta size mismatch");
+  auto it = parity_.find(stripe);
+  if (it == parity_.end()) {
+    it = parity_.emplace(stripe,
+                         ParityEntry{std::vector<Version>(k_, 0),
+                                     std::vector<std::uint8_t>(chunk_len_, 0)})
+             .first;
+    bytes_stored_ += chunk_len_;
+  }
+  ParityEntry& entry = it->second;
+  if (entry.contrib[data_index] != expected) {
+    return ParityAddReply{false, entry.contrib[data_index]};
+  }
+  gf::xor_region(delta.data(), entry.payload.data(), chunk_len_);
+  entry.contrib[data_index] = next;
+  return ParityAddReply{true, next};
+}
+
+void StorageNode::parity_install(BlockId stripe, std::vector<Version> contrib,
+                                 std::vector<std::uint8_t> payload) {
+  TRAPERC_CHECK_MSG(contrib.size() == k_, "contrib vector width mismatch");
+  TRAPERC_CHECK_MSG(payload.size() == chunk_len_, "chunk size mismatch");
+  auto [it, inserted] = parity_.insert_or_assign(
+      stripe, ParityEntry{std::move(contrib), std::move(payload)});
+  if (inserted) bytes_stored_ += chunk_len_;
+}
+
+std::vector<BlockId> StorageNode::stripes() const {
+  std::vector<BlockId> out;
+  for (const auto& [key, entry] : replicas_) {
+    if (out.empty() || out.back() != key.first) out.push_back(key.first);
+  }
+  for (const auto& [stripe, entry] : parity_) {
+    bool present = false;
+    for (BlockId existing : out) present = present || existing == stripe;
+    if (!present) out.push_back(stripe);
+  }
+  return out;
+}
+
+void StorageNode::wipe() {
+  replicas_.clear();
+  parity_.clear();
+  bytes_stored_ = 0;
+}
+
+}  // namespace traperc::storage

@@ -1,0 +1,116 @@
+// A versioned storage node — one of the n fail-stop servers of the paper's
+// model.
+//
+// Two stores coexist because the node plays different roles per mode:
+//  * replica store, keyed by (stripe, block index): full copies of a data
+//    block with a scalar version — used by data nodes (their own block) and
+//    by every trapezoid node in TRAP-FR mode;
+//  * parity store, keyed by stripe: one aggregated parity chunk plus the
+//    paper's per-contributor version vector V(:, j−k) (Alg. 1 line 6) — used
+//    by parity nodes in TRAP-ERC mode.
+//
+// Blocks are implicitly born at version 0 with an all-zero payload, which is
+// self-consistent (zero data ⇒ zero parity), so first writes need no special
+// case. A node that fails and recovers keeps its (possibly stale) contents —
+// exactly the situation the version vectors exist to detect.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace traperc::storage {
+
+/// Reply payloads for the node's RPC surface (plain values; the simulated
+/// network copies them by value).
+struct ReplicaReadReply {
+  Version version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ParityReadReply {
+  std::vector<Version> contrib;  ///< V(:, j−k): version per data block
+  std::vector<std::uint8_t> payload;
+};
+
+/// Result of a compare-and-add on a parity chunk.
+struct ParityAddReply {
+  bool applied = false;        ///< false when the expected version mismatched
+  Version current_version = 0; ///< contributor's version after the call
+};
+
+class StorageNode {
+ public:
+  /// `k` is the stripe's data-block count (width of parity version vectors);
+  /// `chunk_len` the fixed chunk size in bytes.
+  StorageNode(NodeId id, unsigned k, std::size_t chunk_len);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t chunk_len() const noexcept { return chunk_len_; }
+
+  // -- liveness (fail-stop) --------------------------------------------
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  void set_up(bool up) noexcept { up_ = up; }
+
+  // -- replica store ----------------------------------------------------
+  [[nodiscard]] Version replica_version(BlockId stripe, unsigned index) const;
+  [[nodiscard]] ReplicaReadReply replica_read(BlockId stripe,
+                                              unsigned index) const;
+  void replica_write(BlockId stripe, unsigned index, Version version,
+                     std::span<const std::uint8_t> payload);
+
+  // -- parity store -----------------------------------------------------
+  /// V(:, j−k) for a stripe (k zeros when never written).
+  [[nodiscard]] std::vector<Version> parity_versions(BlockId stripe) const;
+  [[nodiscard]] ParityReadReply parity_read(BlockId stripe) const;
+
+  /// Alg. 1 lines 25–31 fused into one compare-and-add: iff the stored
+  /// contributor version equals `expected`, XOR `delta` (already scaled by
+  /// α_{j,i}) into the parity payload and advance that contributor to
+  /// `next`. Returns whether it applied plus the resulting version.
+  ParityAddReply parity_add(BlockId stripe, unsigned data_index,
+                            Version expected, Version next,
+                            std::span<const std::uint8_t> delta);
+
+  /// Repair path: installs a freshly reconstructed parity chunk wholesale.
+  void parity_install(BlockId stripe, std::vector<Version> contrib,
+                      std::vector<std::uint8_t> payload);
+
+  // -- accounting & maintenance ------------------------------------------
+  /// Bytes of chunk payload held (versions/keys excluded).
+  [[nodiscard]] std::size_t bytes_stored() const noexcept {
+    return bytes_stored_;
+  }
+  /// Stripes present in either store.
+  [[nodiscard]] std::vector<BlockId> stripes() const;
+  /// Simulates unrecoverable media loss: wipes all contents (used by repair
+  /// drills; distinct from a plain crash, which preserves contents).
+  void wipe();
+
+ private:
+  struct ReplicaEntry {
+    Version version = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  struct ParityEntry {
+    std::vector<Version> contrib;
+    std::vector<std::uint8_t> payload;
+  };
+
+  using ReplicaKey = std::pair<BlockId, unsigned>;
+
+  NodeId id_;
+  unsigned k_;
+  std::size_t chunk_len_;
+  bool up_ = true;
+  std::size_t bytes_stored_ = 0;
+  std::map<ReplicaKey, ReplicaEntry> replicas_;
+  std::map<BlockId, ParityEntry> parity_;
+};
+
+}  // namespace traperc::storage

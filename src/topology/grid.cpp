@@ -1,0 +1,38 @@
+#include "topology/grid.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::topology {
+
+Grid::Grid(unsigned rows, unsigned cols) : rows_(rows), cols_(cols) {
+  TRAPERC_CHECK_MSG(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+}
+
+unsigned Grid::slot(unsigned r, unsigned c) const {
+  TRAPERC_CHECK_MSG(r < rows_ && c < cols_, "grid cell out of range");
+  return r * cols_ + c;
+}
+
+unsigned Grid::row_of(unsigned s) const {
+  TRAPERC_CHECK_MSG(s < total_nodes(), "slot out of range");
+  return s / cols_;
+}
+
+unsigned Grid::col_of(unsigned s) const {
+  TRAPERC_CHECK_MSG(s < total_nodes(), "slot out of range");
+  return s % cols_;
+}
+
+Grid Grid::nearest_square(unsigned n) {
+  TRAPERC_CHECK_MSG(n >= 1, "grid needs at least one node");
+  for (unsigned c =
+           static_cast<unsigned>(std::sqrt(static_cast<double>(n)));
+       c >= 1; --c) {
+    if (n % c == 0) return Grid(n / c, c);
+  }
+  return Grid(n, 1);
+}
+
+}  // namespace traperc::topology

@@ -1,0 +1,41 @@
+// Rectangular grid arrangement for the grid-quorum baseline
+// (Cheung, Ammar, Ahamad — ICDE'90; paper ref. [4]).
+//
+// Nodes form an R×C grid. A write quorum is one full column plus one node
+// from every other column; a read quorum is one node from every column
+// ("column cover"). Used only as a related-work availability baseline in the
+// ablation benches.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace traperc::topology {
+
+class Grid {
+ public:
+  Grid(unsigned rows, unsigned cols);
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+  [[nodiscard]] unsigned total_nodes() const noexcept {
+    return rows_ * cols_;
+  }
+
+  /// Slot index of grid cell (r, c); row-major.
+  [[nodiscard]] unsigned slot(unsigned r, unsigned c) const;
+
+  [[nodiscard]] unsigned row_of(unsigned slot) const;
+  [[nodiscard]] unsigned col_of(unsigned slot) const;
+
+  /// Nearest-to-square factorization helper: grid for n nodes (rows >= cols,
+  /// rows*cols == n, |rows−cols| minimized; falls back to 1×n for primes).
+  [[nodiscard]] static Grid nearest_square(unsigned n);
+
+ private:
+  unsigned rows_;
+  unsigned cols_;
+};
+
+}  // namespace traperc::topology

@@ -1,0 +1,37 @@
+#include "topology/placement.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::topology {
+
+ErcPlacement::ErcPlacement(unsigned n, unsigned k, unsigned block)
+    : n_(n), k_(k), block_(block) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  TRAPERC_CHECK_MSG(block < k, "block index must be < k");
+}
+
+NodeId ErcPlacement::node_at_slot(unsigned slot) const {
+  TRAPERC_CHECK_MSG(slot < nbnode(), "slot out of range");
+  if (slot == 0) return block_;
+  return k_ + slot - 1;  // parity nodes k .. n-1 in order
+}
+
+unsigned ErcPlacement::slot_of_node(NodeId node) const {
+  TRAPERC_CHECK_MSG(node < n_, "node out of range");
+  if (node == block_) return 0;
+  if (node >= k_) return node - k_ + 1;
+  return nbnode();  // another data node: not in this trapezoid
+}
+
+std::vector<NodeId> ErcPlacement::level_nodes(const Trapezoid& trapezoid,
+                                              unsigned level) const {
+  TRAPERC_CHECK_MSG(trapezoid.total_slots() == nbnode(),
+                    "trapezoid population must equal n-k+1");
+  const auto slots = trapezoid.slots_on_level(level);
+  std::vector<NodeId> nodes;
+  nodes.reserve(slots.size());
+  for (unsigned slot : slots) nodes.push_back(node_at_slot(slot));
+  return nodes;
+}
+
+}  // namespace traperc::topology

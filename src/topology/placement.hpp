@@ -1,0 +1,53 @@
+// Mapping between trapezoid slots and cluster node ids.
+//
+// For an (n,k) deployment the cluster has n nodes: 0..k−1 hold original data
+// blocks, k..n−1 hold parity. The trapezoid protecting data block i spans
+// the n−k+1 nodes {N_i, N_{k+1..n}} (paper §III-B-2); by convention slot 0
+// is N_i (level 0) and slots 1..n−k are the parity nodes in id order.
+//
+// TRAP-FR uses the *same* node set per block — each of those n−k+1 nodes
+// holds a full replica instead of a coded chunk — which is exactly the
+// "same level of availability" pairing the paper's §IV compares.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/trapezoid.hpp"
+
+namespace traperc::topology {
+
+class ErcPlacement {
+ public:
+  /// Placement of block `block` ∈ [0,k) in an (n,k) cluster.
+  ErcPlacement(unsigned n, unsigned k, unsigned block);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned block() const noexcept { return block_; }
+
+  /// Number of trapezoid slots = n − k + 1 (eq. 5).
+  [[nodiscard]] unsigned nbnode() const noexcept { return n_ - k_ + 1; }
+
+  /// The node that carries the original data block (slot 0).
+  [[nodiscard]] NodeId data_node() const noexcept { return block_; }
+
+  /// Cluster node id occupying a trapezoid slot.
+  [[nodiscard]] NodeId node_at_slot(unsigned slot) const;
+
+  /// Trapezoid slot of a cluster node, or nbnode() if the node is not in
+  /// this block's trapezoid (i.e. it is another data node).
+  [[nodiscard]] unsigned slot_of_node(NodeId node) const;
+
+  /// Node ids on a level of the given trapezoid (which must have
+  /// total_slots() == nbnode()).
+  [[nodiscard]] std::vector<NodeId> level_nodes(const Trapezoid& trapezoid,
+                                                unsigned level) const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  unsigned block_;
+};
+
+}  // namespace traperc::topology

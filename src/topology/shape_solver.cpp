@@ -1,0 +1,62 @@
+#include "topology/shape_solver.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace traperc::topology {
+
+std::vector<TrapezoidShape> solve_shapes(unsigned nbnode, unsigned max_h) {
+  std::vector<TrapezoidShape> shapes;
+  for (unsigned h = 0; h <= max_h; ++h) {
+    // (h+1)·b + a·h(h+1)/2 = nbnode; iterate b, solve for a.
+    for (unsigned b = 1; (h + 1) * b <= nbnode; ++b) {
+      const unsigned remainder = nbnode - (h + 1) * b;
+      if (h == 0) {
+        if (remainder == 0) shapes.push_back({0, b, 0});
+        continue;
+      }
+      const unsigned denom = h * (h + 1) / 2;
+      if (remainder % denom != 0) continue;
+      shapes.push_back({remainder / denom, b, h});
+    }
+  }
+  return shapes;
+}
+
+TrapezoidShape canonical_shape(unsigned nbnode) {
+  TRAPERC_CHECK_MSG(nbnode >= 1, "need at least one node");
+  const auto shapes = solve_shapes(nbnode, 2);
+
+  struct Tier {
+    unsigned h;
+    bool need_odd;
+    unsigned min_b;
+  };
+  constexpr Tier kTiers[] = {
+      {2, true, 3}, {1, true, 3}, {2, true, 1},
+      {1, true, 1}, {2, false, 1}, {1, false, 1}, {0, false, 1},
+  };
+  for (const Tier& tier : kTiers) {
+    std::optional<TrapezoidShape> best;
+    for (const auto& shape : shapes) {
+      if (shape.h != tier.h) continue;
+      if (tier.need_odd && shape.b % 2 == 0) continue;
+      if (shape.b < tier.min_b) continue;
+      if (!best || shape.a > best->a ||
+          (shape.a == best->a && shape.b < best->b)) {
+        best = shape;
+      }
+    }
+    if (best) return *best;
+  }
+  // Unreachable: h=0, b=nbnode always solves.
+  return {0, nbnode, 0};
+}
+
+TrapezoidShape canonical_shape_for_code(unsigned n, unsigned k) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
+  return canonical_shape(n - k + 1);
+}
+
+}  // namespace traperc::topology

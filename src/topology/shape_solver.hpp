@@ -1,0 +1,37 @@
+// Choosing (a, b, h) for a given node budget.
+//
+// The ERC placement pins the trapezoid population to Nbnode = n − k + 1
+// (eq. 5), but the paper never says which (a,b,h) it uses per (n,k) point in
+// Figs. 2–4. This solver enumerates every shape with Σ s_l = Nbnode and
+// applies a documented canonical preference that reproduces the paper's one
+// disclosed example (Nbnode=15 → a=2, b=3, h=2, Fig. 1):
+//
+//   tiers, first non-empty wins:
+//     1. h = 2 and b odd, b >= 3        4. h = 1 and b odd
+//     2. h = 1 and b odd, b >= 3        5. h = 2,   then h = 1, any b
+//     3. h = 2 and b odd                6. h = 0 (flat: majority voting)
+//   within a tier: maximize a (most "trapezoidal"), tie-break smaller b.
+//
+// Odd b wastes no node on the level-0 majority; b >= 3 avoids the degenerate
+// single-node level 0 that would make one node a write bottleneck.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topology/trapezoid.hpp"
+
+namespace traperc::topology {
+
+/// All shapes with total_nodes() == nbnode, h <= max_h, in (h, b, a)
+/// lexicographic order.
+[[nodiscard]] std::vector<TrapezoidShape> solve_shapes(unsigned nbnode,
+                                                       unsigned max_h = 4);
+
+/// The canonical shape per the tier rules above. nbnode must be >= 1.
+[[nodiscard]] TrapezoidShape canonical_shape(unsigned nbnode);
+
+/// Canonical shape for an (n,k) ERC deployment: Nbnode = n − k + 1 (eq. 5).
+[[nodiscard]] TrapezoidShape canonical_shape_for_code(unsigned n, unsigned k);
+
+}  // namespace traperc::topology

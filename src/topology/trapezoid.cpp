@@ -1,0 +1,97 @@
+#include "topology/trapezoid.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace traperc::topology {
+
+std::string TrapezoidShape::to_string() const {
+  std::ostringstream out;
+  out << "trapezoid(a=" << a << ", b=" << b << ", h=" << h
+      << ", Nbnode=" << total_nodes() << ")";
+  return out.str();
+}
+
+LevelQuorums::LevelQuorums(const TrapezoidShape& shape,
+                           std::vector<unsigned> w, bool enforce_majority)
+    : shape_(shape), w_(std::move(w)) {
+  TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
+  TRAPERC_CHECK_MSG(w_.size() == shape.levels(),
+                    "need one write threshold per level");
+  for (unsigned l = 0; l < shape.levels(); ++l) {
+    TRAPERC_CHECK_MSG(w_[l] >= 1 && w_[l] <= shape.level_size(l),
+                      "write threshold outside [1, s_l]");
+  }
+  if (enforce_majority) {
+    TRAPERC_CHECK_MSG(w_[0] == shape.level0_majority(),
+                      "paper requires w_0 = floor(b/2)+1");
+  }
+}
+
+LevelQuorums LevelQuorums::paper_convention(const TrapezoidShape& shape,
+                                            unsigned w) {
+  std::vector<unsigned> thresholds(shape.levels());
+  thresholds[0] = shape.level0_majority();
+  for (unsigned l = 1; l < shape.levels(); ++l) thresholds[l] = w;
+  return LevelQuorums(shape, std::move(thresholds));
+}
+
+unsigned LevelQuorums::write_quorum_size() const noexcept {
+  return std::accumulate(w_.begin(), w_.end(), 0U);
+}
+
+Trapezoid::Trapezoid(TrapezoidShape shape) : shape_(shape) {
+  TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
+  level_slots_.resize(shape.levels());
+  slot_level_.resize(shape.total_nodes());
+  unsigned slot = 0;
+  for (unsigned l = 0; l < shape.levels(); ++l) {
+    level_slots_[l].resize(shape.level_size(l));
+    for (unsigned i = 0; i < shape.level_size(l); ++i, ++slot) {
+      level_slots_[l][i] = slot;
+      slot_level_[slot] = l;
+    }
+  }
+}
+
+unsigned Trapezoid::level_of(unsigned slot) const {
+  TRAPERC_CHECK_MSG(slot < slot_level_.size(), "slot out of range");
+  return slot_level_[slot];
+}
+
+std::span<const unsigned> Trapezoid::slots_on_level(unsigned level) const {
+  TRAPERC_CHECK_MSG(level < level_slots_.size(), "level out of range");
+  return level_slots_[level];
+}
+
+std::string Trapezoid::render(std::span<const std::string> slot_labels) const {
+  // Widest level defines the line width; each level is centered beneath it,
+  // mimicking the paper's Fig. 1 drawing.
+  auto label = [&](unsigned slot) -> std::string {
+    if (slot < slot_labels.size()) return slot_labels[slot];
+    return "[" + std::to_string(slot) + "]";
+  };
+  std::vector<std::string> lines(shape_.levels());
+  std::size_t widest = 0;
+  for (unsigned l = 0; l < shape_.levels(); ++l) {
+    std::ostringstream line;
+    const auto slots = slots_on_level(l);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      line << (i == 0 ? "" : " ") << label(slots[i]);
+    }
+    lines[l] = line.str();
+    widest = std::max(widest, lines[l].size());
+  }
+  std::ostringstream out;
+  for (unsigned l = 0; l < shape_.levels(); ++l) {
+    const std::size_t pad = (widest - lines[l].size()) / 2;
+    out << "level " << l << " (s=" << shape_.level_size(l) << "): "
+        << std::string(pad, ' ') << lines[l] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace traperc::topology

@@ -1,0 +1,127 @@
+// The logical trapezoid of paper §III-B-2 (Fig. 1).
+//
+// Nodes are arranged on h+1 levels: level 0 holds b nodes and level
+// l ∈ [1,h] holds s_l = a·l + b nodes (a ≥ 0, b ≥ 1). In the ERC placement
+// the trapezoid for data block b_i holds the n−k+1 nodes
+// {N_i, N_{k+1}, …, N_n}, with N_i — the node carrying the original block —
+// on level 0 (slot 0 by convention here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace traperc::topology {
+
+/// The three integers that define a trapezoid. Immutable value type.
+struct TrapezoidShape {
+  unsigned a = 0;  ///< level width slope (a >= 0)
+  unsigned b = 1;  ///< level-0 width (b >= 1)
+  unsigned h = 0;  ///< highest level index; the trapezoid has h+1 levels
+
+  /// s_l = a·l + b.
+  [[nodiscard]] constexpr unsigned level_size(unsigned l) const noexcept {
+    return a * l + b;
+  }
+
+  [[nodiscard]] constexpr unsigned levels() const noexcept { return h + 1; }
+
+  /// Nbnode = Σ_{l=0..h} s_l = (h+1)·b + a·h(h+1)/2 (eq. 4).
+  [[nodiscard]] constexpr unsigned total_nodes() const noexcept {
+    return (h + 1) * b + a * h * (h + 1) / 2;
+  }
+
+  /// The paper-mandated level-0 write threshold ⌊b/2⌋+1 (absolute majority,
+  /// the hinge of the WQ₁∩WQ₂ ≠ ∅ proof).
+  [[nodiscard]] constexpr unsigned level0_majority() const noexcept {
+    return b / 2 + 1;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return b >= 1; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const TrapezoidShape&) const noexcept =
+      default;
+};
+
+/// Per-level write thresholds w_l and derived read thresholds
+/// r_l = s_l − w_l + 1 for one trapezoid.
+///
+/// The paper's simulation convention (eq. 16): w_0 = ⌊b/2⌋+1 fixed, and a
+/// single parameter w shared by levels 1..h.
+class LevelQuorums {
+ public:
+  /// Builds thresholds from an explicit per-level vector (size h+1).
+  /// Validates 1 <= w_l <= s_l and, when `enforce_majority`, that
+  /// w_0 = ⌊b/2⌋+1 as the paper requires for intersection.
+  LevelQuorums(const TrapezoidShape& shape, std::vector<unsigned> w,
+               bool enforce_majority = true);
+
+  /// The paper's eq. 16: w_0 = ⌊b/2⌋+1, w_l = w for l >= 1.
+  [[nodiscard]] static LevelQuorums paper_convention(
+      const TrapezoidShape& shape, unsigned w);
+
+  [[nodiscard]] const TrapezoidShape& shape() const noexcept { return shape_; }
+
+  [[nodiscard]] unsigned levels() const noexcept { return shape_.levels(); }
+
+  /// s_l — nodes on level l.
+  [[nodiscard]] unsigned s(unsigned l) const noexcept {
+    return shape_.level_size(l);
+  }
+  /// w_l — write threshold on level l.
+  [[nodiscard]] unsigned w(unsigned l) const noexcept { return w_[l]; }
+  /// r_l = s_l − w_l + 1 — version-check (read) threshold on level l.
+  [[nodiscard]] unsigned r(unsigned l) const noexcept {
+    return s(l) - w(l) + 1;
+  }
+
+  /// |WQ| = Σ w_l (eq. 6).
+  [[nodiscard]] unsigned write_quorum_size() const noexcept;
+
+  /// True iff w_0 is a strict majority of level 0 — the sufficient condition
+  /// of the paper's intersection proof.
+  [[nodiscard]] bool has_level0_majority() const noexcept {
+    return w_[0] >= shape_.level0_majority();
+  }
+
+ private:
+  TrapezoidShape shape_;
+  std::vector<unsigned> w_;
+};
+
+/// Maps trapezoid slots (0..Nbnode−1) to levels and back. Slot 0 is on
+/// level 0; in the ERC placement slot 0 carries the original data block
+/// (node N_i) and the remaining slots carry parity blocks.
+class Trapezoid {
+ public:
+  explicit Trapezoid(TrapezoidShape shape);
+
+  [[nodiscard]] const TrapezoidShape& shape() const noexcept { return shape_; }
+
+  [[nodiscard]] unsigned total_slots() const noexcept {
+    return shape_.total_nodes();
+  }
+
+  /// Level of a slot.
+  [[nodiscard]] unsigned level_of(unsigned slot) const;
+
+  /// Slots on one level, in ascending order.
+  [[nodiscard]] std::span<const unsigned> slots_on_level(unsigned level) const;
+
+  /// ASCII rendering of the trapezoid (used by bench/fig1_topology to
+  /// reproduce paper Fig. 1).
+  [[nodiscard]] std::string render(
+      std::span<const std::string> slot_labels = {}) const;
+
+ private:
+  TrapezoidShape shape_;
+  std::vector<std::vector<unsigned>> level_slots_;
+  std::vector<unsigned> slot_level_;
+};
+
+}  // namespace traperc::topology

@@ -1,0 +1,226 @@
+// Closed-form availability (paper eqs. 8-13) validated against the exact
+// subset-enumeration oracle. This is the heart of the reproduction: it pins
+// down which formulas are exact and quantifies the paper's eq. 13
+// approximation.
+#include "analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/exact.hpp"
+#include "analysis/predicates.hpp"
+#include "topology/shape_solver.hpp"
+
+namespace traperc::analysis {
+namespace {
+
+using topology::LevelQuorums;
+using topology::TrapezoidShape;
+
+struct Sweep {
+  unsigned n;
+  unsigned k;
+  unsigned w;
+};
+
+class AvailabilitySweep : public ::testing::TestWithParam<Sweep> {
+ protected:
+  [[nodiscard]] LevelQuorums quorums() const {
+    const auto [n, k, w] = GetParam();
+    return LevelQuorums::paper_convention(
+        topology::canonical_shape_for_code(n, k), w);
+  }
+  [[nodiscard]] BlockDeployment deployment(unsigned block = 0) const {
+    const auto [n, k, w] = GetParam();
+    return BlockDeployment(n, k, block, quorums());
+  }
+};
+
+TEST_P(AvailabilitySweep, WriteFormulaMatchesExactOracle) {
+  // Eq. 8/9 is exact: validate against 2^n enumeration of Algorithm 1's
+  // decision predicate at several p.
+  const auto d = deployment();
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(write_availability(quorums(), p),
+                exact_write_availability(d, p), 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST_P(AvailabilitySweep, ReadFrFormulaMatchesExactOracle) {
+  const auto d = deployment();
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(read_availability_fr(quorums(), p),
+                exact_read_availability_fr(d, p), 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST_P(AvailabilitySweep, ReadErcFormulaMatchesItsEventWhenBAtLeast3) {
+  // Eq. 13 computes the probability of the paper's event exactly when
+  // b >= 3 (the β_0 = max(0, r_0−2) clamp only distorts b <= 2).
+  const auto [n, k, w] = GetParam();
+  const auto q = quorums();
+  if (q.shape().b < 3) GTEST_SKIP() << "b<3: β_0 clamp not exact";
+  const auto d = deployment();
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(read_availability_erc(q, n, k, p),
+                exact_read_availability_erc_paper_event(d, p), 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST_P(AvailabilitySweep, ReadErcFormulaUpperBoundsAlgorithm) {
+  // The algorithmic availability (Alg. 2 semantics, including the version
+  // check on the decode branch) never exceeds eq. 13.
+  const auto [n, k, w] = GetParam();
+  const auto q = quorums();
+  if (q.shape().b < 3) GTEST_SKIP() << "b<3: β_0 clamp not exact";
+  const auto d = deployment();
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_GE(read_availability_erc(q, n, k, p) + 1e-10,
+              exact_read_availability_erc_algorithmic(d, p))
+        << "p=" << p;
+  }
+}
+
+TEST_P(AvailabilitySweep, DeploymentChoiceOfBlockDoesNotMatter) {
+  // All data blocks are symmetric under the i.i.d. model.
+  const auto [n, k, w] = GetParam();
+  if (k < 2) GTEST_SKIP();
+  const auto d0 = deployment(0);
+  const auto d1 = deployment(k - 1);
+  for (double p : {0.3, 0.8}) {
+    EXPECT_NEAR(exact_read_availability_erc_algorithmic(d0, p),
+                exact_read_availability_erc_algorithmic(d1, p), 1e-10);
+    EXPECT_NEAR(exact_write_availability(d0, p),
+                exact_write_availability(d1, p), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, AvailabilitySweep,
+    ::testing::Values(Sweep{15, 8, 1}, Sweep{15, 8, 2}, Sweep{15, 8, 3},
+                      Sweep{15, 10, 1}, Sweep{15, 10, 2}, Sweep{15, 12, 1},
+                      Sweep{12, 5, 2}, Sweep{10, 4, 1}, Sweep{9, 6, 1},
+                      Sweep{9, 6, 2}, Sweep{8, 4, 1}, Sweep{6, 3, 1}),
+    [](const ::testing::TestParamInfo<Sweep>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "k" +
+             std::to_string(param_info.param.k) + "w" +
+             std::to_string(param_info.param.w);
+    });
+
+TEST(Availability, DegenerateEndpoints) {
+  const auto q = LevelQuorums::paper_convention({2, 3, 1}, 1);
+  EXPECT_NEAR(write_availability(q, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(write_availability(q, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(read_availability_fr(q, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(read_availability_fr(q, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(read_availability_erc(q, 15, 8, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(read_availability_erc(q, 15, 8, 0.0), 0.0, 1e-12);
+}
+
+TEST(Availability, WriteMonotoneInP) {
+  const auto q = LevelQuorums::paper_convention({2, 3, 2}, 2);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.02) {
+    const double value = write_availability(q, p);
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+TEST(Availability, ReadErcMonotoneInP) {
+  const auto q = LevelQuorums::paper_convention(
+      topology::canonical_shape_for_code(15, 8), 2);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.02) {
+    const double value = read_availability_erc(q, 15, 8, p);
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+TEST(Availability, WriteIdenticalForFrAndErc) {
+  // The paper's headline observation (eqs. 8 == 9): same formula, and the
+  // exact oracle confirms the *predicates* agree too.
+  const auto q = LevelQuorums::paper_convention(
+      topology::canonical_shape_for_code(15, 8), 2);
+  const BlockDeployment d(15, 8, 0, q);
+  for (double p : {0.2, 0.5, 0.8, 0.95}) {
+    // TRAP-FR and TRAP-ERC writes use the same level thresholds over the
+    // same placement: one predicate, one formula.
+    EXPECT_NEAR(write_availability(q, p), exact_write_availability(d, p),
+                1e-10);
+  }
+}
+
+TEST(Availability, PaperClaimFig3ReadGapAtHalf) {
+  // §IV-D: "when p = 0.5, the [read] availability of the full replication
+  // scheme is about 75% while it is just 63% when an ERC scheme is used"
+  // (the text says "write availability" but describes Fig. 3, the read
+  // figure). The exact (k, w) behind Fig. 3 is not disclosed; with the
+  // canonical n=15, k=10, w=1 deployment the same qualitative gap appears
+  // (FR 0.5625 vs ERC 0.4355, a ~13-point spread matching the paper's
+  // ~12-point spread). EXPERIMENTS.md discusses the absolute offset.
+  const unsigned n = 15;
+  const unsigned k = 10;
+  const auto q = LevelQuorums::paper_convention(
+      topology::canonical_shape_for_code(n, k), /*w=*/1);
+  const double fr = read_availability_fr(q, 0.5);
+  const double erc = read_availability_erc(q, n, k, 0.5);
+  EXPECT_GT(fr, erc);                 // FR reads win at p = 0.5
+  EXPECT_NEAR(fr - erc, 0.12, 0.06);  // a gap of the paper's magnitude
+  EXPECT_NEAR(fr, 0.5625, 1e-4);      // pinned regression values
+  EXPECT_NEAR(erc, 0.4355, 1e-3);
+}
+
+TEST(Availability, PaperClaimNoDifferenceAtHighP) {
+  // §IV-D: "there is no difference when p >= 0.8" — FR and ERC read
+  // availabilities converge for usual node availabilities.
+  const unsigned n = 15;
+  for (unsigned k : {8u, 10u}) {
+    const auto q = LevelQuorums::paper_convention(
+        topology::canonical_shape_for_code(n, k), k == 8 ? 2 : 1);
+    for (double p : {0.8, 0.9, 0.95, 0.99}) {
+      EXPECT_NEAR(read_availability_fr(q, p),
+                  read_availability_erc(q, n, k, p), 0.02)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(Availability, MoreParityImprovesErcRead) {
+  // Fig. 4's claim: larger n−k (more redundant blocks) => better read
+  // availability, at fixed n and w.
+  const unsigned n = 15;
+  const double p = 0.6;
+  double prev = -1.0;
+  for (unsigned k : {12u, 10u, 8u, 6u, 4u}) {  // n−k grows
+    const auto q = LevelQuorums::paper_convention(
+        topology::canonical_shape_for_code(n, k), 1);
+    const double value = read_availability_erc(q, n, k, p);
+    EXPECT_GE(value, prev - 1e-9) << "k=" << k;
+    prev = value;
+  }
+}
+
+TEST(Availability, DirectPlusDecodeComposeEq13) {
+  const unsigned n = 15;
+  const unsigned k = 8;
+  const auto q = LevelQuorums::paper_convention(
+      topology::canonical_shape_for_code(n, k), 2);
+  for (double p : {0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(read_availability_erc(q, n, k, p),
+                read_availability_erc_direct(q, n, k, p) +
+                    read_availability_erc_decode(q, n, k, p),
+                1e-12);
+  }
+}
+
+TEST(AvailabilityDeath, ErcReadRequiresMatchingPopulation) {
+  const auto q = LevelQuorums::paper_convention({2, 3, 2}, 1);  // 15 slots
+  EXPECT_DEATH((void)read_availability_erc(q, 15, 8, 0.5), "n-k\\+1");
+}
+
+}  // namespace
+}  // namespace traperc::analysis

@@ -1,0 +1,100 @@
+#include "analysis/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/exact.hpp"
+#include "core/quorum/grid_quorum.hpp"
+#include "core/quorum/majority.hpp"
+#include "core/quorum/rowa.hpp"
+
+namespace traperc::analysis {
+namespace {
+
+TEST(Rowa, ClosedFormsMatchDefinitions) {
+  for (unsigned m : {1u, 3u, 7u}) {
+    for (double p : {0.2, 0.9}) {
+      double all = 1.0;
+      double none = 1.0;
+      for (unsigned i = 0; i < m; ++i) {
+        all *= p;
+        none *= 1.0 - p;
+      }
+      EXPECT_NEAR(rowa_write_availability(m, p), all, 1e-12);
+      EXPECT_NEAR(rowa_read_availability(m, p), 1.0 - none, 1e-12);
+    }
+  }
+}
+
+TEST(Rowa, WriteBelowReadAlways) {
+  for (unsigned m : {2u, 5u, 9u}) {
+    for (double p = 0.05; p < 1.0; p += 0.1) {
+      EXPECT_LE(rowa_write_availability(m, p), rowa_read_availability(m, p));
+    }
+  }
+}
+
+TEST(Majority, MatchesQuorumPredicateViaOracle) {
+  for (unsigned m : {3u, 5u, 8u}) {
+    const core::MajorityQuorum quorum(m);
+    for (double p : {0.3, 0.7}) {
+      const double enumerated =
+          exact_availability(m, p, [&quorum](const std::vector<bool>& up) {
+            return quorum.contains_write_quorum(up);
+          });
+      EXPECT_NEAR(majority_availability(m, p), enumerated, 1e-12);
+    }
+  }
+}
+
+TEST(Majority, OddReplicaSweetSpot) {
+  // Adding one replica to an odd group (3 -> 4) does not improve
+  // availability (threshold rises with the size).
+  for (double p : {0.6, 0.9}) {
+    EXPECT_GE(majority_availability(3, p) + 1e-12,
+              majority_availability(4, p));
+    EXPECT_GT(majority_availability(5, p), majority_availability(4, p));
+  }
+}
+
+TEST(GridProtocol, ClosedFormMatchesPredicateViaOracle) {
+  for (auto [rows, cols] : {std::pair{2u, 3u}, {3u, 3u}, {4u, 2u}}) {
+    const topology::Grid grid(rows, cols);
+    const core::GridQuorum quorum(grid);
+    for (double p : {0.4, 0.8}) {
+      const double write_enum =
+          exact_availability(grid.total_nodes(), p,
+                             [&quorum](const std::vector<bool>& up) {
+                               return quorum.contains_write_quorum(up);
+                             });
+      const double read_enum =
+          exact_availability(grid.total_nodes(), p,
+                             [&quorum](const std::vector<bool>& up) {
+                               return quorum.contains_read_quorum(up);
+                             });
+      EXPECT_NEAR(grid_write_availability(grid, p), write_enum, 1e-12)
+          << rows << "x" << cols << " p=" << p;
+      EXPECT_NEAR(grid_read_availability(grid, p), read_enum, 1e-12)
+          << rows << "x" << cols << " p=" << p;
+    }
+  }
+}
+
+TEST(GridProtocol, ReadDominatesWrite) {
+  const topology::Grid grid(3, 4);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    EXPECT_GE(grid_read_availability(grid, p) + 1e-12,
+              grid_write_availability(grid, p));
+  }
+}
+
+TEST(Baselines, DegenerateEndpoints) {
+  const topology::Grid grid(3, 3);
+  EXPECT_DOUBLE_EQ(rowa_write_availability(4, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rowa_read_availability(4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(majority_availability(5, 1.0), 1.0);
+  EXPECT_NEAR(grid_write_availability(grid, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(grid_read_availability(grid, 0.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace traperc::analysis

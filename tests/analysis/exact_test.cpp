@@ -1,0 +1,84 @@
+#include "analysis/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/binomial.hpp"
+
+namespace traperc::analysis {
+namespace {
+
+TEST(ExactAvailability, ConstantPredicates) {
+  // The 2^n weight sum carries ~1e-15 of pow() rounding; compare with a
+  // tolerance rather than exactly.
+  EXPECT_NEAR(
+      exact_availability(5, 0.3, [](const std::vector<bool>&) { return true; }),
+      1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(exact_availability(
+                       5, 0.3, [](const std::vector<bool>&) { return false; }),
+                   0.0);
+}
+
+TEST(ExactAvailability, SingleNodePredicateIsP) {
+  for (double p : {0.1, 0.5, 0.77}) {
+    EXPECT_NEAR(exact_availability(
+                    6, p, [](const std::vector<bool>& up) { return up[2]; }),
+                p, 1e-12);
+  }
+}
+
+TEST(ExactAvailability, AtLeastKMatchesBinomialTail) {
+  for (unsigned n : {4u, 9u, 14u}) {
+    for (unsigned threshold = 0; threshold <= n; ++threshold) {
+      for (double p : {0.25, 0.6}) {
+        const double enumerated = exact_availability(
+            n, p, [threshold](const std::vector<bool>& up) {
+              unsigned count = 0;
+              for (bool b : up) count += b ? 1 : 0;
+              return count >= threshold;
+            });
+        EXPECT_NEAR(enumerated, phi_at_least(n, threshold, p), 1e-10)
+            << "n=" << n << " t=" << threshold << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(ExactAvailability, IndependentConjunction) {
+  // P(up[0] and up[1]) = p^2 under independence.
+  for (double p : {0.2, 0.9}) {
+    EXPECT_NEAR(exact_availability(4, p,
+                                   [](const std::vector<bool>& up) {
+                                     return up[0] && up[1];
+                                   }),
+                p * p, 1e-12);
+  }
+}
+
+TEST(ExactAvailability, ComplementLaw) {
+  const auto predicate = [](const std::vector<bool>& up) {
+    return up[0] != up[1];  // XOR — an arbitrary non-monotone event
+  };
+  const auto complement = [&predicate](const std::vector<bool>& up) {
+    return !predicate(up);
+  };
+  for (double p : {0.35, 0.8}) {
+    EXPECT_NEAR(exact_availability(7, p, predicate) +
+                    exact_availability(7, p, complement),
+                1.0, 1e-12);
+  }
+}
+
+TEST(ExactAvailability, DegenerateP) {
+  const auto predicate = [](const std::vector<bool>& up) { return up[0]; };
+  EXPECT_DOUBLE_EQ(exact_availability(3, 0.0, predicate), 0.0);
+  EXPECT_DOUBLE_EQ(exact_availability(3, 1.0, predicate), 1.0);
+}
+
+TEST(ExactAvailabilityDeath, RejectsOversizedUniverse) {
+  EXPECT_DEATH((void)exact_availability(
+                   25, 0.5, [](const std::vector<bool>&) { return true; }),
+               "1..24");
+}
+
+}  // namespace
+}  // namespace traperc::analysis

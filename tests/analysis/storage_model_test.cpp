@@ -1,0 +1,69 @@
+#include "analysis/storage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace traperc::analysis {
+namespace {
+
+TEST(StorageModel, Equation14FullReplication) {
+  // D_used = (n − k + 1) · blocksize.
+  EXPECT_DOUBLE_EQ(storage_blocks_fr(15, 8), 8.0);
+  EXPECT_DOUBLE_EQ(storage_blocks_fr(15, 1), 15.0);
+  EXPECT_DOUBLE_EQ(storage_blocks_fr(9, 6), 4.0);
+  EXPECT_DOUBLE_EQ(storage_blocks_fr(5, 5), 1.0);
+}
+
+TEST(StorageModel, Equation15Erc) {
+  // D_used = (n / k) · blocksize.
+  EXPECT_DOUBLE_EQ(storage_blocks_erc(15, 8), 15.0 / 8.0);
+  EXPECT_DOUBLE_EQ(storage_blocks_erc(9, 6), 1.5);
+  EXPECT_DOUBLE_EQ(storage_blocks_erc(5, 5), 1.0);
+}
+
+TEST(StorageModel, ErcNeverWorseThanFr) {
+  for (unsigned n = 2; n <= 30; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_LE(storage_blocks_erc(n, k), storage_blocks_fr(n, k) + 1e-12)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(StorageModel, EqualAtKEqualsOneAndN) {
+  // k=1: ERC degenerates to replication (n copies). k=n: both store once.
+  for (unsigned n = 2; n <= 20; ++n) {
+    EXPECT_DOUBLE_EQ(storage_blocks_erc(n, 1), storage_blocks_fr(n, 1));
+    EXPECT_DOUBLE_EQ(storage_blocks_erc(n, n), storage_blocks_fr(n, n));
+  }
+}
+
+TEST(StorageModel, SavingsGrowThenShrinkOverK) {
+  // Savings are zero at the extremes and positive in between.
+  EXPECT_DOUBLE_EQ(storage_savings(15, 1), 0.0);
+  EXPECT_DOUBLE_EQ(storage_savings(15, 15), 0.0);
+  for (unsigned k = 2; k < 15; ++k) {
+    EXPECT_GT(storage_savings(15, k), 0.0) << "k=" << k;
+  }
+}
+
+TEST(StorageModel, PaperFig5NarrativeCheck) {
+  // §IV-D's prose says n=15, k=8 halves the storage ("reduced by 50%");
+  // eq. 14/15 actually give 8.0 vs 1.875 — a 77% reduction. We reproduce
+  // the *equations*; the prose inconsistency is recorded in DESIGN.md §2.
+  const double fr = storage_blocks_fr(15, 8);
+  const double erc = storage_blocks_erc(15, 8);
+  EXPECT_DOUBLE_EQ(fr, 8.0);
+  EXPECT_DOUBLE_EQ(erc, 1.875);
+  EXPECT_NEAR(storage_savings(15, 8), 0.766, 0.01);
+}
+
+TEST(StorageModel, MonotoneInN) {
+  // At fixed k, both schemes pay more for more redundancy.
+  for (unsigned n = 8; n < 20; ++n) {
+    EXPECT_LT(storage_blocks_fr(n, 6), storage_blocks_fr(n + 1, 6));
+    EXPECT_LT(storage_blocks_erc(n, 6), storage_blocks_erc(n + 1, 6));
+  }
+}
+
+}  // namespace
+}  // namespace traperc::analysis

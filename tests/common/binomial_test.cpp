@@ -1,0 +1,148 @@
+#include "common/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace traperc {
+namespace {
+
+TEST(Factorial, LogFactorialMatchesExactSmallValues) {
+  double expected = 0.0;  // log(0!) = 0
+  for (unsigned n = 1; n <= 20; ++n) {
+    expected += std::log(static_cast<double>(n));
+    EXPECT_NEAR(log_factorial(n), expected, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(BinomialCoefficient, ExactSmallValues) {
+  EXPECT_EQ(binomial_coefficient_exact(0, 0), 1u);
+  EXPECT_EQ(binomial_coefficient_exact(5, 0), 1u);
+  EXPECT_EQ(binomial_coefficient_exact(5, 5), 1u);
+  EXPECT_EQ(binomial_coefficient_exact(5, 2), 10u);
+  EXPECT_EQ(binomial_coefficient_exact(10, 3), 120u);
+  EXPECT_EQ(binomial_coefficient_exact(52, 5), 2'598'960u);
+  EXPECT_EQ(binomial_coefficient_exact(60, 30), 118'264'581'564'861'424ULL);
+}
+
+TEST(BinomialCoefficient, ZeroWhenKExceedsN) {
+  EXPECT_EQ(binomial_coefficient_exact(4, 5), 0u);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 5), 0.0);
+}
+
+TEST(BinomialCoefficient, DoubleMatchesExactUpTo50) {
+  for (unsigned n = 0; n <= 50; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial_coefficient(n, k),
+                       static_cast<double>(binomial_coefficient_exact(n, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialCoefficient, PascalIdentity) {
+  for (unsigned n = 1; n <= 40; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial_coefficient(n, k),
+                       binomial_coefficient(n - 1, k - 1) +
+                           binomial_coefficient(n - 1, k));
+    }
+  }
+}
+
+TEST(BinomialCoefficient, LogVersionConsistentWithExact) {
+  for (unsigned n = 1; n <= 60; ++n) {
+    for (unsigned k = 0; k <= n; k += 3) {
+      const double expected =
+          std::log(static_cast<double>(binomial_coefficient_exact(n, k)));
+      EXPECT_NEAR(log_binomial_coefficient(n, k), expected, 1e-8)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  for (unsigned z : {1u, 5u, 15u, 40u, 100u}) {
+    for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      double sum = 0.0;
+      for (unsigned c = 0; c <= z; ++c) sum += binomial_pmf(z, c, p);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "z=" << z << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, MatchesDirectFormulaSmall) {
+  // z = 4, p = 0.3: P(X=2) = 6 * 0.09 * 0.49.
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.3), 6 * 0.09 * 0.49, 1e-12);
+}
+
+TEST(Phi, FullRangeIsOne) {
+  for (unsigned z : {1u, 7u, 15u, 63u}) {
+    for (double p : {0.1, 0.5, 0.99}) {
+      EXPECT_NEAR(phi(z, 0, z, p), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Phi, EmptyRangeIsZero) {
+  EXPECT_DOUBLE_EQ(phi(10, 7, 6, 0.5), 0.0);
+}
+
+TEST(Phi, ClampsUpperBoundToZ) {
+  EXPECT_NEAR(phi(5, 0, 100, 0.4), 1.0, 1e-12);
+}
+
+TEST(Phi, MonotoneInP) {
+  // Upper-tail probability must not decrease as p grows.
+  for (unsigned z : {5u, 15u}) {
+    for (unsigned i = 1; i <= z; ++i) {
+      double prev = -1.0;
+      for (double p = 0.05; p < 1.0; p += 0.05) {
+        const double value = phi_at_least(z, i, p);
+        EXPECT_GE(value, prev - 1e-12) << "z=" << z << " i=" << i;
+        prev = value;
+      }
+    }
+  }
+}
+
+TEST(Phi, ComplementIdentity) {
+  // Φ_z(i, z) = 1 − Φ_z(0, i−1).
+  for (unsigned z : {6u, 15u}) {
+    for (unsigned i = 1; i <= z; ++i) {
+      for (double p : {0.2, 0.5, 0.8}) {
+        EXPECT_NEAR(phi_at_least(z, i, p), 1.0 - phi(z, 0, i - 1, p), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Phi, MatchesPaperExampleMajority) {
+  // Majority of 3 at p=0.9: 3*0.81*0.1 + 0.729 = 0.972.
+  EXPECT_NEAR(phi_at_least(3, 2, 0.9), 0.972, 1e-12);
+}
+
+TEST(Phi, LargeZStable) {
+  // n = 200: naive factorials would overflow; the log-space path must not.
+  const double value = phi_at_least(200, 100, 0.5);
+  EXPECT_GT(value, 0.5);  // includes the median
+  EXPECT_LT(value, 0.6);
+}
+
+TEST(PmfTable, MatchesPointwisePmf) {
+  const auto table = binomial_pmf_table(12, 0.35);
+  ASSERT_EQ(table.size(), 13u);
+  for (unsigned c = 0; c <= 12; ++c) {
+    EXPECT_DOUBLE_EQ(table[c], binomial_pmf(12, c, 0.35));
+  }
+}
+
+}  // namespace
+}  // namespace traperc

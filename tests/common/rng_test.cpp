@@ -1,0 +1,165 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace traperc {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentAdvancement) {
+  Rng parent(7);
+  Rng child_before = parent.split(3);
+  parent.next_u64();  // advancing the parent must not change split(3)
+  // Note: split derives from the parent *state*, so re-splitting after
+  // advancement legitimately differs; the guarantee under test is that the
+  // child stream itself is unaffected by later parent use.
+  Rng child_copy = child_before;
+  parent.next_u64();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_before.next_u64(), child_copy.next_u64());
+  }
+}
+
+TEST(Rng, SiblingSplitsDiffer) {
+  Rng parent(7);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 255ULL, 1'000'003ULL}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroAndOneReturnZero) {
+  Rng rng(11);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::array<int, kBuckets> histogram{};
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.next_below(kBuckets)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, 0.05 * kDraws / kBuckets);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(23);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 100'000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.next_bool(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(29);
+  const double rate = 0.25;  // mean 4
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_exponential(rate);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, NextInRangeInclusiveBounds) {
+  Rng rng(31);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = rng.next_in_range(5, 8);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 8u);
+    saw_lo = saw_lo || x == 5;
+    saw_hi = saw_hi || x == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(values.data(), values.size());
+  std::set<int> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(41);
+  std::vector<int> values(20);
+  for (int i = 0; i < 20; ++i) values[i] = i;
+  const std::vector<int> original = values;
+  rng.shuffle(values.data(), values.size());
+  EXPECT_NE(values, original);  // probability of identity is 1/20!
+}
+
+TEST(Rng, StateAccessorReflectsSeeding) {
+  Rng a(1);
+  Rng b(1);
+  EXPECT_EQ(a.state(), b.state());
+  a.next_u64();
+  EXPECT_NE(a.state(), b.state());
+}
+
+}  // namespace
+}  // namespace traperc

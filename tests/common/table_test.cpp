@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace traperc {
+namespace {
+
+TEST(Table, AlignedOutputContainsHeadersAndRows) {
+  Table table({"p", "Pwrite"});
+  table.add_row({"0.5", "0.75"});
+  table.add_row({"0.9", "0.99"});
+  const std::string out = table.to_aligned();
+  EXPECT_NE(out.find("p"), std::string::npos);
+  EXPECT_NE(out.find("Pwrite"), std::string::npos);
+  EXPECT_NE(out.find("0.75"), std::string::npos);
+  EXPECT_NE(out.find("0.99"), std::string::npos);
+}
+
+TEST(Table, CsvHasOneLinePerRowPlusHeader) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"4", "5", "6"});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(csv, "a,b,c\n1,2,3\n4,5,6\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"x", "y"});
+  table.add_row_numeric({0.5, 0.123456789}, 4);
+  EXPECT_EQ(table.to_csv(), "x,y\n0.5000,0.1235\n");
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table table({"only"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, AlignedColumnsPadToWidestCell) {
+  Table table({"h", "second"});
+  table.add_row({"longcell", "x"});
+  const std::string out = table.to_aligned();
+  // Header row must be padded so "second" starts after "longcell" width.
+  const auto header_pos = out.find("second");
+  const auto row_pos = out.find("x", out.find("longcell"));
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row_pos, std::string::npos);
+  // Column starts align: both appear at the same column offset of their line.
+  const auto header_line_start = out.rfind('\n', header_pos);
+  const auto row_line_start = out.rfind('\n', row_pos);
+  const auto header_col = header_pos - (header_line_start + 1);
+  const auto row_col = row_pos - (row_line_start + 1);
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace traperc

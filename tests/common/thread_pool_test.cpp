@@ -1,0 +1,107 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace traperc {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWhenEmpty) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.parallel_for(kCount,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        touched[i].fetch_add(1);
+                      }
+                    });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroCount) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForHandlesCountSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, WorkerIndexWithinBounds) {
+  ThreadPool pool(4);
+  std::atomic<bool> out_of_bounds{false};
+  pool.parallel_for(1000,
+                    [&](std::size_t, std::size_t, std::size_t worker) {
+                      if (worker >= pool.size()) out_of_bounds = true;
+                    });
+  EXPECT_FALSE(out_of_bounds.load());
+}
+
+TEST(ThreadPool, SequentialParallelForCallsDoNotInterfere) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end,
+                               std::size_t) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 10L * (99L * 100L / 2));
+}
+
+TEST(ThreadPool, TasksSubmittedFromTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    pool.submit([&] { counter.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace traperc

@@ -1,0 +1,54 @@
+#include "core/protocol/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace traperc::core {
+namespace {
+
+TEST(ProtocolConfig, ForCodePicksCanonicalShape) {
+  const auto config = ProtocolConfig::for_code(15, 8);
+  EXPECT_EQ(config.n, 15u);
+  EXPECT_EQ(config.k, 8u);
+  EXPECT_EQ(config.shape.total_nodes(), 8u);
+  EXPECT_EQ(config.mode, Mode::kErc);
+}
+
+TEST(ProtocolConfig, QuorumsFollowEq16) {
+  const auto config = ProtocolConfig::for_code(15, 8, /*w=*/2);
+  const auto q = config.quorums();
+  EXPECT_EQ(q.w(0), config.shape.level0_majority());
+  for (unsigned l = 1; l < q.levels(); ++l) EXPECT_EQ(q.w(l), 2u);
+}
+
+TEST(ProtocolConfig, ToStringMentionsModeAndShape) {
+  auto config = ProtocolConfig::for_code(15, 8);
+  EXPECT_NE(config.to_string().find("TRAP-ERC"), std::string::npos);
+  config.mode = Mode::kFr;
+  EXPECT_NE(config.to_string().find("TRAP-FR"), std::string::npos);
+  EXPECT_NE(config.to_string().find("n=15"), std::string::npos);
+}
+
+TEST(ProtocolConfigDeath, PopulationMismatchCaught) {
+  ProtocolConfig config;
+  config.n = 15;
+  config.k = 8;
+  config.shape = {2, 3, 2};  // 15 slots but n-k+1 = 8
+  EXPECT_DEATH(config.validate(), "n-k\\+1");
+}
+
+TEST(ProtocolConfigDeath, WOutOfRangeCaught) {
+  ProtocolConfig config = ProtocolConfig::for_code(15, 8);
+  config.w = config.shape.level_size(1) + 1;
+  EXPECT_DEATH(config.validate(), "eq. 16");
+}
+
+TEST(ProtocolConfigDeath, FieldLimitCaught) {
+  ProtocolConfig config;
+  config.n = 300;
+  config.k = 295;
+  config.shape = {1, 2, 1};  // population 5 < wait, 2+3=5... n-k+1=6
+  EXPECT_DEATH(config.validate(), "255");
+}
+
+}  // namespace
+}  // namespace traperc::core

@@ -1,0 +1,186 @@
+#include "core/protocol/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+namespace {
+
+TEST(LeaseManager, GrantsImmediatelyWhenFree) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1000);
+  LeaseToken token{};
+  leases.acquire(1, 0, [&](LeaseToken t) { token = t; });
+  // Deliver the grant event but stay before the expiry timer (t=1000).
+  engine.run_until(10);
+  EXPECT_NE(token.id, 0u);
+  EXPECT_EQ(token.stripe, 1u);
+  EXPECT_TRUE(leases.held(1, 0));
+}
+
+TEST(LeaseManager, SecondAcquirerWaitsForRelease) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1'000'000);
+  LeaseToken first{};
+  LeaseToken second{};
+  leases.acquire(1, 0, [&](LeaseToken t) { first = t; });
+  leases.acquire(1, 0, [&](LeaseToken t) { second = t; });
+  engine.run_until(10);
+  EXPECT_NE(first.id, 0u);
+  EXPECT_EQ(second.id, 0u);  // still queued
+  EXPECT_TRUE(leases.release(first));
+  engine.run_until_idle();
+  EXPECT_NE(second.id, 0u);
+  EXPECT_NE(second.id, first.id);
+}
+
+TEST(LeaseManager, FifoOrderAmongWaiters) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1'000'000);
+  std::vector<int> order;
+  LeaseToken held{};
+  leases.acquire(1, 0, [&](LeaseToken t) { held = t; });
+  for (int waiter = 0; waiter < 3; ++waiter) {
+    leases.acquire(1, 0, [&order, &leases, waiter](LeaseToken t) {
+      order.push_back(waiter);
+      leases.release(t);
+    });
+  }
+  engine.run_until(10);
+  leases.release(held);
+  engine.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LeaseManager, DistinctBlocksIndependent) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1'000'000);
+  int grants = 0;
+  leases.acquire(1, 0, [&](LeaseToken) { ++grants; });
+  leases.acquire(1, 1, [&](LeaseToken) { ++grants; });
+  leases.acquire(2, 0, [&](LeaseToken) { ++grants; });
+  engine.run_until_idle();
+  EXPECT_EQ(grants, 3);
+}
+
+TEST(LeaseManager, ExpiryPassesLeaseOn) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, /*duration=*/1000);
+  LeaseToken first{};
+  LeaseToken second{};
+  leases.acquire(1, 0, [&](LeaseToken t) { first = t; });
+  leases.acquire(1, 0, [&](LeaseToken t) { second = t; });
+  engine.run_until(1500);  // past the first holder's expiry only
+  EXPECT_NE(second.id, 0u);
+  EXPECT_EQ(leases.stats().expirations, 1u);
+  // The expired token is now stale.
+  EXPECT_FALSE(leases.release(first));
+  // The re-granted lease expires too if its holder never releases.
+  engine.run_until_idle();
+  EXPECT_EQ(leases.stats().expirations, 2u);
+}
+
+TEST(LeaseManager, ReleaseOfStaleTokenIsNoop) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1'000'000);
+  LeaseToken token{};
+  leases.acquire(1, 0, [&](LeaseToken t) { token = t; });
+  engine.run_until(10);
+  EXPECT_TRUE(leases.release(token));
+  EXPECT_FALSE(leases.release(token));  // double release
+  EXPECT_FALSE(leases.held(1, 0));
+}
+
+TEST(LeaseManager, StatsTrackActivity) {
+  sim::SimEngine engine;
+  LeaseManager leases(engine, 1'000'000);
+  LeaseToken token{};
+  leases.acquire(5, 2, [&](LeaseToken t) { token = t; });
+  leases.acquire(5, 2, [&leases](LeaseToken t) { leases.release(t); });
+  engine.run_until(10);
+  leases.release(token);
+  engine.run_until(20);
+  EXPECT_EQ(leases.stats().grants, 2u);
+  EXPECT_EQ(leases.stats().releases, 2u);
+  // The first acquire is granted straight away, so only the second ever
+  // sits in the queue.
+  EXPECT_EQ(leases.stats().queued_peak, 1u);
+}
+
+// --- integration with the write path ---------------------------------------
+
+ProtocolConfig leased_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 32;
+  config.use_write_leases = true;
+  return config;
+}
+
+TEST(LeasedWrites, ConcurrentWritersBothSucceedWithDistinctVersions) {
+  // The race that loses without leases (see EndToEnd.ConcurrentWrites...):
+  // with leases both writers serialize and commit versions 1 and 2.
+  SimCluster cluster(leased_config());
+  const auto a = cluster.make_pattern(1);
+  const auto b = cluster.make_pattern(2);
+  OpStatus status_a = OpStatus::kFail;
+  OpStatus status_b = OpStatus::kFail;
+  cluster.coordinator().write_block(0, 0, a,
+                                    [&](OpStatus s) { status_a = s; });
+  cluster.coordinator().write_block(0, 0, b,
+                                    [&](OpStatus s) { status_b = s; });
+  cluster.engine().run_until_idle();
+  EXPECT_EQ(status_a, OpStatus::kSuccess);
+  EXPECT_EQ(status_b, OpStatus::kSuccess);
+  const auto outcome = cluster.read_block_sync(0, 0);
+  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  EXPECT_EQ(outcome.version, 2u);
+  EXPECT_EQ(outcome.value, b);  // second writer's value, serialized after a
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+}
+
+TEST(LeasedWrites, ManyConcurrentWritersAllSucceed) {
+  SimCluster cluster(leased_config());
+  constexpr int kWriters = 10;
+  int successes = 0;
+  for (int i = 0; i < kWriters; ++i) {
+    cluster.coordinator().write_block(
+        0, 0, cluster.make_pattern(i),
+        [&successes](OpStatus s) {
+          successes += s == OpStatus::kSuccess ? 1 : 0;
+        });
+  }
+  cluster.engine().run_until_idle();
+  EXPECT_EQ(successes, kWriters);
+  const auto outcome = cluster.read_block_sync(0, 0);
+  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  EXPECT_EQ(outcome.version, static_cast<Version>(kWriters));
+}
+
+TEST(LeasedWrites, LeaseReleasedOnWriteFailure) {
+  SimCluster cluster(leased_config());
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
+            OpStatus::kFail);
+  EXPECT_FALSE(cluster.leases().held(0, 0));
+  // A later writer is not blocked.
+  for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
+  (void)cluster.repair().reconcile_stripe(0);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
+            OpStatus::kSuccess);
+}
+
+TEST(LeasedWrites, DisabledByDefaultKeepsPaperBehaviour) {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 32;
+  SimCluster cluster(config);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
+            OpStatus::kSuccess);
+  EXPECT_EQ(cluster.leases().stats().grants, 0u);
+}
+
+}  // namespace
+}  // namespace traperc::core

@@ -1,0 +1,136 @@
+#include "core/protocol/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig store_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  return config;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(ObjectStore, StripeCapacityIsKTimesChunk) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  EXPECT_EQ(store.stripe_capacity(), 8u * 64u);
+}
+
+TEST(ObjectStore, PutGetRoundTripSmallObject) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto object = random_bytes(100, 1);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.has_value());
+  const auto back = store.get(*id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, object);
+}
+
+TEST(ObjectStore, PutGetRoundTripMultiStripeObject) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto object = random_bytes(512 * 3 + 37, 2);  // 4 stripes
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.has_value());
+  const auto extent = store.extent(*id);
+  ASSERT_TRUE(extent.has_value());
+  EXPECT_EQ(extent->stripe_count, 4u);
+  EXPECT_EQ(extent->size, object.size());
+  const auto back = store.get(*id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, object);
+}
+
+TEST(ObjectStore, ObjectsOccupyDisjointStripes) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto a = random_bytes(512, 3);
+  const auto b = random_bytes(600, 4);
+  const auto id_a = store.put(a);
+  const auto id_b = store.put(b);
+  ASSERT_TRUE(id_a && id_b);
+  const auto ea = store.extent(*id_a);
+  const auto eb = store.extent(*id_b);
+  EXPECT_GE(eb->first_stripe, ea->first_stripe + ea->stripe_count);
+  EXPECT_EQ(*store.get(*id_a), a);
+  EXPECT_EQ(*store.get(*id_b), b);
+}
+
+TEST(ObjectStore, OverwriteInPlace) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto id = store.put(random_bytes(400, 5));
+  ASSERT_TRUE(id.has_value());
+  const auto replacement = random_bytes(300, 6);
+  ASSERT_TRUE(store.overwrite(*id, replacement));
+  const auto back = store.get(*id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, replacement);
+}
+
+TEST(ObjectStore, OverwriteUnknownIdFails) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  EXPECT_FALSE(store.overwrite(99, random_bytes(10, 7)));
+}
+
+TEST(ObjectStore, GetSurvivesDataNodeFailure) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto object = random_bytes(512, 8);  // covers all 8 data blocks
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.has_value());
+  cluster.fail_node(3);  // block 3's chunk must be decoded
+  const auto back = store.get(*id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, object);
+  EXPECT_GT(cluster.coordinator().stats().reads_decoded, 0u);
+}
+
+TEST(ObjectStore, PutFailsClealyUnderQuorumLoss) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  const auto id = store.put(random_bytes(100, 9));
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST(ObjectStore, ForgetDropsCatalogEntry) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto id = store.put(random_bytes(10, 10));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(store.forget(*id));
+  EXPECT_FALSE(store.forget(*id));
+  EXPECT_FALSE(store.get(*id).has_value());
+}
+
+TEST(ObjectStore, GetFailsWhenTooManyNodesDown) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto id = store.put(random_bytes(64, 11));
+  ASSERT_TRUE(id.has_value());
+  for (NodeId node = 0; node < 8; ++node) cluster.fail_node(node);
+  EXPECT_FALSE(store.get(*id).has_value());
+}
+
+TEST(ObjectStoreDeath, EmptyObjectRejected) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  EXPECT_DEATH((void)store.put({}), "empty");
+}
+
+}  // namespace
+}  // namespace traperc::core

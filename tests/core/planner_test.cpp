@@ -1,0 +1,126 @@
+#include "core/planner/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/availability.hpp"
+#include "analysis/storage.hpp"
+
+namespace traperc::core {
+namespace {
+
+TEST(Planner, FindsFeasiblePlansForModestTargets) {
+  PlanQuery query;
+  query.p = 0.9;
+  query.min_write_availability = 0.9;
+  query.min_read_availability = 0.9;
+  query.n_max = 16;
+  const auto plans = plan_deployments(query);
+  ASSERT_FALSE(plans.empty());
+  for (const auto& plan : plans) {
+    EXPECT_GE(plan.write_availability, 0.9);
+    EXPECT_GE(plan.read_availability, 0.9);
+    EXPECT_EQ(plan.shape.total_nodes(), plan.n - plan.k + 1);
+  }
+}
+
+TEST(Planner, PlansSortedByStorage) {
+  PlanQuery query;
+  query.p = 0.95;
+  query.min_write_availability = 0.95;
+  query.min_read_availability = 0.95;
+  query.n_max = 14;
+  const auto plans = plan_deployments(query);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].storage_blocks, plans[i].storage_blocks + 1e-12);
+  }
+}
+
+TEST(Planner, BestPlanAvailabilityValuesAreHonest) {
+  PlanQuery query;
+  query.p = 0.9;
+  query.min_write_availability = 0.95;
+  query.min_read_availability = 0.95;
+  query.n_max = 12;
+  const auto plan = best_plan(query);
+  ASSERT_TRUE(plan.has_value());
+  const auto quorums =
+      topology::LevelQuorums::paper_convention(plan->shape, plan->w);
+  EXPECT_NEAR(plan->write_availability,
+              analysis::write_availability(quorums, query.p), 1e-12);
+  EXPECT_NEAR(plan->read_availability,
+              analysis::read_availability_erc(quorums, plan->n, plan->k,
+                                              query.p),
+              1e-12);
+  EXPECT_NEAR(plan->storage_blocks,
+              analysis::storage_blocks_erc(plan->n, plan->k), 1e-12);
+}
+
+TEST(Planner, ImpossibleTargetsYieldNoPlan) {
+  PlanQuery query;
+  query.p = 0.5;
+  query.min_write_availability = 0.999999;
+  query.min_read_availability = 0.999999;
+  query.n_max = 8;
+  EXPECT_FALSE(best_plan(query).has_value());
+}
+
+TEST(Planner, TighterTargetsNeverCheapen) {
+  PlanQuery loose;
+  loose.p = 0.9;
+  loose.min_write_availability = 0.9;
+  loose.min_read_availability = 0.9;
+  loose.n_max = 16;
+  PlanQuery tight = loose;
+  tight.min_write_availability = 0.99;
+  tight.min_read_availability = 0.99;
+  const auto cheap = best_plan(loose);
+  const auto expensive = best_plan(tight);
+  ASSERT_TRUE(cheap.has_value());
+  if (expensive.has_value()) {
+    EXPECT_GE(expensive->storage_blocks, cheap->storage_blocks - 1e-12);
+  }
+}
+
+TEST(Planner, FrModeUsesReplicationStorage) {
+  PlanQuery query;
+  query.p = 0.9;
+  query.min_write_availability = 0.9;
+  query.min_read_availability = 0.9;
+  query.n_max = 10;
+  query.mode = Mode::kFr;
+  const auto plan = best_plan(query);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NEAR(plan->storage_blocks,
+              analysis::storage_blocks_fr(plan->n, plan->k), 1e-12);
+}
+
+TEST(Planner, ErcBeatsFrOnStorageForSameTargets) {
+  // The paper's bottom line, as a planner property.
+  PlanQuery query;
+  query.p = 0.95;
+  query.min_write_availability = 0.98;
+  query.min_read_availability = 0.98;
+  query.n_max = 16;
+  const auto erc = best_plan(query);
+  query.mode = Mode::kFr;
+  const auto fr = best_plan(query);
+  ASSERT_TRUE(erc.has_value());
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_LE(erc->storage_blocks, fr->storage_blocks + 1e-12);
+}
+
+TEST(Planner, PlanToStringIsInformative) {
+  PlanQuery query;
+  query.p = 0.9;
+  query.min_write_availability = 0.5;
+  query.min_read_availability = 0.5;
+  query.n_max = 6;
+  const auto plan = best_plan(query);
+  ASSERT_TRUE(plan.has_value());
+  const auto text = plan->to_string();
+  EXPECT_NE(text.find("n="), std::string::npos);
+  EXPECT_NE(text.find("storage="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace traperc::core

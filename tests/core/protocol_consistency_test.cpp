@@ -1,0 +1,196 @@
+// Integration: consistency invariants under failure/recovery sequences.
+//
+// Invariants asserted (see DESIGN.md §6):
+//  (a) a read that succeeds after a *committed* write returns that write's
+//      value, under any failure pattern;
+//  (b) a failed write never destroys the previous committed value;
+//  (c) the decode path returns byte-identical data to the direct path.
+// Also documents the paper-inherited dirty-read behaviour after failed
+// writes (no rollback in Alg. 1) and its resolution via reconcile.
+#include <gtest/gtest.h>
+
+#include "analysis/predicates.hpp"
+#include "common/rng.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig small_config(Mode mode = Mode::kErc, unsigned w = 1) {
+  auto config = ProtocolConfig::for_code(15, 8, w, mode);
+  config.chunk_len = 32;
+  return config;
+}
+
+TEST(Consistency, CommittedValueReadableUnderEveryReadQuorumPattern) {
+  // For a committed write, ANY node-state vector whose predicate says
+  // "readable" must yield exactly the committed value.
+  SimCluster cluster(small_config());
+  const auto value = cluster.make_pattern(1);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+
+  const auto& deployment = cluster.coordinator().deployment(0);
+  Rng rng(99);
+  int readable_patterns = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<bool> up(15);
+    for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.6);
+    cluster.set_node_states(up);
+    const auto outcome = cluster.read_block_sync(0, 0);
+    if (analysis::read_possible_erc_algorithmic(deployment, up)) {
+      ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+      ASSERT_EQ(outcome.version, 1u);
+      ASSERT_EQ(outcome.value, value) << "trial " << trial;
+      ++readable_patterns;
+    } else {
+      ASSERT_NE(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(readable_patterns, 50);  // the sweep exercised both branches
+}
+
+TEST(Consistency, LiveProtocolMatchesPredicateForWrites) {
+  // The write predicate is the exact oracle for Alg. 1's outcome — but only
+  // from a consistent state, so reset the cluster between trials by using a
+  // fresh stripe per trial.
+  SimCluster cluster(small_config());
+  const auto& deployment = cluster.coordinator().deployment(0);
+  Rng rng(101);
+  int successes = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> up(15);
+    for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.7);
+    cluster.set_node_states(up);
+    const auto status = cluster.write_block_sync(
+        /*stripe=*/1000 + trial, 0, cluster.make_pattern(trial));
+    // Note: Alg. 1's read prefix also needs a read quorum; on a virgin
+    // stripe the read succeeds iff the version check does, which the write
+    // predicate implies (r_l <= s_l thresholds overlap w_l ones).
+    if (analysis::write_possible(deployment, up) &&
+        analysis::read_possible_erc_algorithmic(deployment, up)) {
+      ASSERT_EQ(status, OpStatus::kSuccess) << "trial " << trial;
+      ++successes;
+    }
+    if (status == OpStatus::kSuccess) {
+      // Whatever succeeded must be readable once everything is back up.
+      cluster.set_node_states(std::vector<bool>(15, true));
+      const auto outcome = cluster.read_block_sync(1000 + trial, 0);
+      ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+      ASSERT_EQ(outcome.value, cluster.make_pattern(trial));
+    }
+  }
+  EXPECT_GT(successes, 20);
+}
+
+TEST(Consistency, FailedWriteNeverDestroysCommittedValue) {
+  SimCluster cluster(small_config());
+  const auto committed = cluster.make_pattern(7);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, committed), OpStatus::kSuccess);
+
+  // Make the next write fail at level 1 (level 0 fully applied).
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
+            OpStatus::kFail);
+
+  // The failed write is partially applied (dirty). Reconciliation rolls the
+  // stripe to a consistent state that still decodes every block.
+  for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
+  ASSERT_TRUE(cluster.repair().reconcile_stripe(0));
+  const auto outcome = cluster.read_block_sync(0, 0);
+  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  // Paper-faithful behaviour: no rollback, so the partially written value
+  // may win (it reached a level-0 majority). What is *guaranteed* is that
+  // the read returns one of the two values intact — never torn bytes.
+  const bool is_committed = outcome.value == committed;
+  const bool is_partial = outcome.value == cluster.make_pattern(8);
+  EXPECT_TRUE(is_committed || is_partial);
+}
+
+TEST(Consistency, DirtyReadAfterPartialWriteIsVisible) {
+  // Documents the paper-inherited dirty read: a FAILed write that reached
+  // the level-0 majority (including N_i) is immediately visible to readers.
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
+            OpStatus::kSuccess);
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  const auto dirty = cluster.make_pattern(2);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, dirty), OpStatus::kFail);
+  for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
+
+  const auto outcome = cluster.read_block_sync(0, 0);
+  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  EXPECT_EQ(outcome.version, 2u);  // the failed write's version surfaces
+  EXPECT_EQ(outcome.value, dirty);
+}
+
+TEST(Consistency, DecodePathBitIdenticalToDirectPath) {
+  SimCluster cluster(small_config());
+  for (unsigned i = 0; i < 8; ++i) {
+    ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(50 + i)),
+              OpStatus::kSuccess);
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto direct = cluster.read_block_sync(0, i);
+    ASSERT_EQ(direct.status, OpStatus::kSuccess);
+    cluster.fail_node(i);
+    const auto decoded = cluster.read_block_sync(0, i);
+    ASSERT_EQ(decoded.status, OpStatus::kSuccess);
+    EXPECT_EQ(decoded.value, direct.value) << "block " << i;
+    EXPECT_EQ(decoded.version, direct.version);
+    cluster.recover_node(i);
+  }
+}
+
+TEST(Consistency, InterleavedWritesToDifferentBlocksStayIsolated) {
+  SimCluster cluster(small_config());
+  Rng rng(55);
+  std::vector<std::vector<std::uint8_t>> latest(8);
+  std::vector<Version> latest_version(8, 0);
+  for (int op = 0; op < 60; ++op) {
+    const unsigned block = static_cast<unsigned>(rng.next_below(8));
+    const auto value = cluster.make_pattern(777 + op);
+    ASSERT_EQ(cluster.write_block_sync(0, block, value), OpStatus::kSuccess);
+    latest[block] = value;
+    ++latest_version[block];
+  }
+  for (unsigned block = 0; block < 8; ++block) {
+    if (latest[block].empty()) continue;
+    const auto outcome = cluster.read_block_sync(0, block);
+    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+    EXPECT_EQ(outcome.version, latest_version[block]);
+    EXPECT_EQ(outcome.value, latest[block]);
+  }
+}
+
+TEST(Consistency, StripeConsistencyHoldsAfterCommittedWrites) {
+  SimCluster cluster(small_config());
+  for (unsigned i = 0; i < 8; ++i) {
+    ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(i)),
+              OpStatus::kSuccess);
+  }
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+}
+
+TEST(Consistency, FrModeCommittedValueReadableUnderReadQuorums) {
+  SimCluster cluster(small_config(Mode::kFr));
+  const auto value = cluster.make_pattern(3);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  const auto& deployment = cluster.coordinator().deployment(0);
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> up(15);
+    for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.6);
+    cluster.set_node_states(up);
+    const auto outcome = cluster.read_block_sync(0, 0);
+    if (analysis::read_possible_fr(deployment, up)) {
+      ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+      ASSERT_EQ(outcome.value, value);
+    } else {
+      ASSERT_NE(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traperc::core

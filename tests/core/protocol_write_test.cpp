@@ -1,0 +1,207 @@
+// Algorithm 1 (write path) against the simulated cluster.
+//
+// Canonical deployment: n=15, k=8, trapezoid {a=2,b=3,h=1} (levels {i,8,9}
+// and {10..14}), w=1 unless stated — so w_0=2, w_1=1, r_0=2, r_1=5.
+#include <gtest/gtest.h>
+
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig small_config(Mode mode = Mode::kErc, unsigned w = 1) {
+  auto config = ProtocolConfig::for_code(15, 8, w, mode);
+  config.chunk_len = 64;
+  return config;
+}
+
+TEST(WritePath, AllNodesUpSucceeds) {
+  SimCluster cluster(small_config());
+  const auto value = cluster.make_pattern(1);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  EXPECT_EQ(cluster.coordinator().stats().writes_succeeded, 1u);
+}
+
+TEST(WritePath, WriteStoresValueAtDataNode) {
+  SimCluster cluster(small_config());
+  const auto value = cluster.make_pattern(2);
+  ASSERT_EQ(cluster.write_block_sync(0, 3, value), OpStatus::kSuccess);
+  const auto reply = cluster.node(3).replica_read(0, 3);
+  EXPECT_EQ(reply.version, 1u);
+  EXPECT_EQ(reply.payload, value);
+}
+
+TEST(WritePath, WriteUpdatesAllParityContributorVersions) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 2, cluster.make_pattern(3)),
+            OpStatus::kSuccess);
+  for (NodeId parity = 8; parity < 15; ++parity) {
+    EXPECT_EQ(cluster.node(parity).parity_versions(0)[2], 1u)
+        << "parity node " << parity;
+  }
+}
+
+TEST(WritePath, ParityContentMatchesCode) {
+  SimCluster cluster(small_config());
+  const auto value = cluster.make_pattern(4);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  // With only block 0 written, parity_j = α_{j,0} · value.
+  const auto* code = cluster.code();
+  const auto& field = gf::GF256::instance();
+  for (NodeId parity_node = 8; parity_node < 15; ++parity_node) {
+    const auto reply = cluster.node(parity_node).parity_read(0);
+    const auto coeff = code->coefficient(parity_node - 8, 0);
+    for (std::size_t byte = 0; byte < value.size(); ++byte) {
+      ASSERT_EQ(reply.payload[byte], field.mul(coeff, value[byte]))
+          << "node " << parity_node << " byte " << byte;
+    }
+  }
+}
+
+TEST(WritePath, SequentialWritesBumpVersions) {
+  SimCluster cluster(small_config());
+  for (Version v = 1; v <= 5; ++v) {
+    ASSERT_EQ(cluster.write_block_sync(0, 1, cluster.make_pattern(v)),
+              OpStatus::kSuccess);
+    EXPECT_EQ(cluster.node(1).replica_version(0, 1), v);
+  }
+}
+
+TEST(WritePath, SucceedsWithExactQuorum) {
+  // Keep N_0, one level-0 parity, one level-1 parity, plus k−1 data nodes
+  // for the decode-free read (N_0 serves the old value directly).
+  SimCluster cluster(small_config());
+  for (NodeId id : {9u, 11u, 12u, 13u, 14u}) cluster.fail_node(id);
+  // Live: 0..7 (data), 8 (level 0), 10 (level 1).
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(5)),
+            OpStatus::kSuccess);
+}
+
+TEST(WritePath, FailsWithoutLevel0Majority) {
+  SimCluster cluster(small_config());
+  cluster.fail_node(8);
+  cluster.fail_node(9);  // level 0 of block 0's trapezoid: {0, 8, 9}
+  // N_0 alone is 1 < w_0 = 2... but the read prefix may still pass via
+  // level 1. The write must fail at level 0.
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(6)),
+            OpStatus::kFail);
+  EXPECT_EQ(cluster.coordinator().stats().writes_failed, 1u);
+}
+
+TEST(WritePath, FailsWhenUpperLevelDark) {
+  SimCluster cluster(small_config());
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(7)),
+            OpStatus::kFail);
+}
+
+TEST(WritePath, HigherWNeedsMoreLevel1Nodes) {
+  auto config = small_config(Mode::kErc, /*w=*/3);
+  SimCluster cluster(config);
+  cluster.fail_node(12);
+  cluster.fail_node(13);
+  cluster.fail_node(14);  // level 1 down to 2 live < w=3
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
+            OpStatus::kFail);
+  // Node 12 comes back, but it (and the partially-applied failed write)
+  // leaves the stripe mixed: 12 is stale, so its compare-and-add cannot
+  // ack and a retry still fails — the paper's algorithm has no catch-up.
+  cluster.recover_node(12);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
+            OpStatus::kFail);
+  // After the repair daemon reconciles the stripe, 3 live == w suffices.
+  ASSERT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
+            OpStatus::kSuccess);
+}
+
+TEST(WritePath, DataNodeDownStillWritable) {
+  // The paper's quorum admits writes that miss N_i itself (w_0 = 2 can be
+  // satisfied by the two level-0 parity nodes).
+  SimCluster cluster(small_config());
+  cluster.fail_node(0);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(9)),
+            OpStatus::kSuccess);
+  // N_0 never saw the write; parity carries version 1.
+  EXPECT_EQ(cluster.node(0).replica_version(0, 0), 0u);
+  EXPECT_EQ(cluster.node(8).parity_versions(0)[0], 1u);
+}
+
+TEST(WritePath, StaleParityNodeDoesNotAck) {
+  // Node 8 misses write v1 (down), recovers, then write v2 arrives: its
+  // compare-and-add must reject (expected=1, has 0) and leave it stale.
+  SimCluster cluster(small_config());
+  cluster.fail_node(8);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(10)),
+            OpStatus::kSuccess);
+  cluster.recover_node(8);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(11)),
+            OpStatus::kSuccess);
+  EXPECT_EQ(cluster.node(8).parity_versions(0)[0], 0u);  // still virgin
+  EXPECT_EQ(cluster.node(9).parity_versions(0)[0], 2u);
+}
+
+TEST(WritePath, FrModeReplicatesToAllTrapezoidNodes) {
+  SimCluster cluster(small_config(Mode::kFr));
+  const auto value = cluster.make_pattern(12);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  for (NodeId id : {0u, 8u, 9u, 10u, 11u, 12u, 13u, 14u}) {
+    const auto reply = cluster.node(id).replica_read(0, 0);
+    EXPECT_EQ(reply.version, 1u) << "node " << id;
+    EXPECT_EQ(reply.payload, value) << "node " << id;
+  }
+}
+
+TEST(WritePath, FrModeOtherBlocksUntouched) {
+  SimCluster cluster(small_config(Mode::kFr));
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(13)),
+            OpStatus::kSuccess);
+  EXPECT_EQ(cluster.node(8).replica_version(0, 1), 0u);
+}
+
+TEST(WritePath, FrAndErcSameQuorumBehaviour) {
+  // The paper's headline: write availability identical across modes. Same
+  // failure pattern => same outcome.
+  for (Mode mode : {Mode::kErc, Mode::kFr}) {
+    SimCluster cluster(small_config(mode));
+    cluster.fail_node(8);
+    cluster.fail_node(9);
+    EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(14)),
+              OpStatus::kFail)
+        << to_string(mode);
+  }
+}
+
+TEST(WritePath, DistinctBlocksUseDistinctTrapezoids) {
+  SimCluster cluster(small_config());
+  // Failing block 0's data node must not affect a write to block 5.
+  cluster.fail_node(0);
+  EXPECT_EQ(cluster.write_block_sync(0, 5, cluster.make_pattern(15)),
+            OpStatus::kSuccess);
+}
+
+TEST(WritePath, StatsTrackOutcomes) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(16)),
+            OpStatus::kSuccess);
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(17)),
+            OpStatus::kFail);
+  const auto& stats = cluster.coordinator().stats();
+  EXPECT_EQ(stats.writes_started, 2u);
+  EXPECT_EQ(stats.writes_succeeded, 1u);
+  EXPECT_EQ(stats.writes_failed, 1u);
+  // Internal read sub-operations must not leak into read stats.
+  EXPECT_EQ(stats.reads_started, 0u);
+}
+
+TEST(WritePath, MessagesActuallyFlow) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(18)),
+            OpStatus::kSuccess);
+  EXPECT_GT(cluster.network().stats().messages_sent, 8u);
+}
+
+}  // namespace
+}  // namespace traperc::core

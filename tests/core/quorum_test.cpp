@@ -1,0 +1,188 @@
+// Quorum-system properties, including exhaustive verification of the
+// paper's intersection claims (eqs. 2 and 3) across the whole parameter
+// sweep eq. 16 allows.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/quorum/grid_quorum.hpp"
+#include "core/quorum/intersection.hpp"
+#include "core/quorum/majority.hpp"
+#include "core/quorum/rowa.hpp"
+#include "core/quorum/trapezoid_quorum.hpp"
+#include "topology/shape_solver.hpp"
+
+namespace traperc::core {
+namespace {
+
+using topology::LevelQuorums;
+using topology::TrapezoidShape;
+
+struct TrapezoidCase {
+  TrapezoidShape shape;
+  unsigned w;
+};
+
+class TrapezoidQuorumSweep : public ::testing::TestWithParam<TrapezoidCase> {
+ protected:
+  [[nodiscard]] TrapezoidQuorum make() const {
+    return TrapezoidQuorum(
+        LevelQuorums::paper_convention(GetParam().shape, GetParam().w));
+  }
+};
+
+TEST_P(TrapezoidQuorumSweep, WriteQuorumsPairwiseIntersect) {
+  // Paper eq. 3, proved via level-0 majority; verified exhaustively.
+  const auto quorum = make();
+  const auto report = verify_intersection(quorum);
+  EXPECT_TRUE(report.write_write_intersect) << quorum.name();
+}
+
+TEST_P(TrapezoidQuorumSweep, ReadQuorumsIntersectWriteQuorums) {
+  // Paper eq. 2: r_l = s_l − w_l + 1 forces overlap within the level.
+  const auto quorum = make();
+  const auto report = verify_intersection(quorum);
+  EXPECT_TRUE(report.read_write_intersect) << quorum.name();
+}
+
+TEST_P(TrapezoidQuorumSweep, PredicatesAreMonotone) {
+  const auto quorum = make();
+  EXPECT_TRUE(verify_monotone(quorum)) << quorum.name();
+}
+
+TEST_P(TrapezoidQuorumSweep, FullSetIsBothQuorums) {
+  const auto quorum = make();
+  const std::vector<bool> all(quorum.universe_size(), true);
+  EXPECT_TRUE(quorum.contains_write_quorum(all));
+  EXPECT_TRUE(quorum.contains_read_quorum(all));
+}
+
+TEST_P(TrapezoidQuorumSweep, EmptySetIsNeither) {
+  const auto quorum = make();
+  const std::vector<bool> none(quorum.universe_size(), false);
+  EXPECT_FALSE(quorum.contains_write_quorum(none));
+  EXPECT_FALSE(quorum.contains_read_quorum(none));
+}
+
+TEST_P(TrapezoidQuorumSweep, MinimalWriteQuorumsSatisfyPredicate) {
+  const auto quorum = make();
+  if (quorum.universe_size() > 12) GTEST_SKIP() << "enumeration too large";
+  const auto quorums = quorum.minimal_write_quorums();
+  ASSERT_FALSE(quorums.empty());
+  for (const auto& members : quorums) {
+    std::vector<bool> set(quorum.universe_size(), false);
+    for (unsigned slot : members) set[slot] = true;
+    EXPECT_TRUE(quorum.contains_write_quorum(set));
+    // Minimality: removing any member breaks it.
+    for (unsigned slot : members) {
+      set[slot] = false;
+      EXPECT_FALSE(quorum.contains_write_quorum(set));
+      set[slot] = true;
+    }
+  }
+}
+
+TEST_P(TrapezoidQuorumSweep, MinimalWriteQuorumSizeMatchesEq6) {
+  const auto quorum = make();
+  if (quorum.universe_size() > 12) GTEST_SKIP();
+  for (const auto& members : quorum.minimal_write_quorums()) {
+    EXPECT_EQ(members.size(), quorum.quorums().write_quorum_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Eq16Sweep, TrapezoidQuorumSweep,
+    ::testing::Values(
+        // Paper Fig. 1 shape at several w.
+        TrapezoidCase{{2, 3, 2}, 1}, TrapezoidCase{{2, 3, 2}, 3},
+        TrapezoidCase{{2, 3, 2}, 5},
+        // Canonical shapes from the DESIGN.md table.
+        TrapezoidCase{{2, 3, 1}, 1}, TrapezoidCase{{2, 3, 1}, 5},
+        TrapezoidCase{{4, 3, 1}, 2}, TrapezoidCase{{0, 3, 1}, 3},
+        TrapezoidCase{{2, 1, 1}, 1}, TrapezoidCase{{1, 3, 2}, 4},
+        // Degenerate flat shape (pure majority voting).
+        TrapezoidCase{{0, 5, 0}, 1}, TrapezoidCase{{0, 1, 0}, 1},
+        // Even b (majority still floor(b/2)+1).
+        TrapezoidCase{{2, 4, 1}, 1}, TrapezoidCase{{2, 2, 2}, 2}),
+    [](const ::testing::TestParamInfo<TrapezoidCase>& param_info) {
+      const TrapezoidShape& shape = param_info.param.shape;
+      return "a" + std::to_string(shape.a) + "b" + std::to_string(shape.b) +
+             "h" + std::to_string(shape.h) + "w" +
+             std::to_string(param_info.param.w);
+    });
+
+TEST(TrapezoidQuorumCounterexample, DroppingLevel0MajorityBreaksEq3) {
+  // Sanity check of the checker itself: w_0 = 1 on a 3-wide level 0 admits
+  // two disjoint write quorums, so eq. 3 must be reported broken.
+  const TrapezoidShape shape{2, 3, 1};
+  const LevelQuorums bad(shape, {1u, 2u}, /*enforce_majority=*/false);
+  const auto report = verify_intersection(TrapezoidQuorum(bad));
+  EXPECT_FALSE(report.write_write_intersect);
+  EXPECT_FALSE(report.violation_witness.empty());
+}
+
+TEST(MajorityQuorumProperties, IntersectionAndMonotone) {
+  for (unsigned m : {1u, 2u, 3u, 5u, 8u}) {
+    const MajorityQuorum quorum(m);
+    const auto report = verify_intersection(quorum);
+    EXPECT_TRUE(report.write_write_intersect) << quorum.name();
+    EXPECT_TRUE(report.read_write_intersect) << quorum.name();
+    EXPECT_TRUE(verify_monotone(quorum)) << quorum.name();
+  }
+}
+
+TEST(MajorityQuorumProperties, ThresholdBoundary) {
+  const MajorityQuorum quorum(5);
+  std::vector<bool> set(5, false);
+  set[0] = set[1] = true;
+  EXPECT_FALSE(quorum.contains_write_quorum(set));  // 2 < 3
+  set[2] = true;
+  EXPECT_TRUE(quorum.contains_write_quorum(set));  // 3 >= 3
+}
+
+TEST(RowaQuorumProperties, IntersectionAndMonotone) {
+  for (unsigned m : {1u, 3u, 6u}) {
+    const RowaQuorum quorum(m);
+    const auto report = verify_intersection(quorum);
+    EXPECT_TRUE(report.write_write_intersect) << quorum.name();
+    EXPECT_TRUE(report.read_write_intersect) << quorum.name();
+    EXPECT_TRUE(verify_monotone(quorum)) << quorum.name();
+  }
+}
+
+TEST(RowaQuorumProperties, SingleNodeReads) {
+  const RowaQuorum quorum(4);
+  std::vector<bool> set(4, false);
+  set[3] = true;
+  EXPECT_TRUE(quorum.contains_read_quorum(set));
+  EXPECT_FALSE(quorum.contains_write_quorum(set));
+}
+
+TEST(GridQuorumProperties, IntersectionAndMonotone) {
+  for (auto [rows, cols] : {std::pair{2u, 2u}, {3u, 3u}, {2u, 4u}, {4u, 2u}}) {
+    const GridQuorum quorum(topology::Grid(rows, cols));
+    const auto report = verify_intersection(quorum);
+    EXPECT_TRUE(report.write_write_intersect) << quorum.name();
+    EXPECT_TRUE(report.read_write_intersect) << quorum.name();
+    EXPECT_TRUE(verify_monotone(quorum)) << quorum.name();
+  }
+}
+
+TEST(GridQuorumProperties, ColumnCoverPlusFullColumn) {
+  const topology::Grid grid(2, 3);
+  const GridQuorum quorum(grid);
+  // Full column 0 + one node in columns 1, 2.
+  std::vector<bool> set(6, false);
+  set[grid.slot(0, 0)] = set[grid.slot(1, 0)] = true;
+  set[grid.slot(0, 1)] = true;
+  set[grid.slot(1, 2)] = true;
+  EXPECT_TRUE(quorum.contains_write_quorum(set));
+  // Remove the cover in column 2: still a read quorum? No — read needs a
+  // full column cover too.
+  set[grid.slot(1, 2)] = false;
+  EXPECT_FALSE(quorum.contains_write_quorum(set));
+  EXPECT_FALSE(quorum.contains_read_quorum(set));
+}
+
+}  // namespace
+}  // namespace traperc::core

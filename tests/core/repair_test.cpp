@@ -1,0 +1,161 @@
+#include "core/protocol/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol/cluster.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig small_config(Mode mode = Mode::kErc) {
+  auto config = ProtocolConfig::for_code(15, 8, 1, mode);
+  config.chunk_len = 32;
+  return config;
+}
+
+TEST(Repair, RebuildsWipedDataNode) {
+  SimCluster cluster(small_config());
+  const auto value = cluster.make_pattern(1);
+  ASSERT_EQ(cluster.write_block_sync(0, 2, value), OpStatus::kSuccess);
+  cluster.node(2).wipe();
+  const auto report = cluster.repair().rebuild_node(2, {0});
+  EXPECT_EQ(report.chunks_rebuilt, 1u);
+  EXPECT_EQ(report.chunks_unrecoverable, 0u);
+  const auto reply = cluster.node(2).replica_read(0, 2);
+  EXPECT_EQ(reply.version, 1u);
+  EXPECT_EQ(reply.payload, value);
+}
+
+TEST(Repair, RebuildsWipedParityNode) {
+  SimCluster cluster(small_config());
+  for (unsigned i = 0; i < 8; ++i) {
+    ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(10 + i)),
+              OpStatus::kSuccess);
+  }
+  const auto before = cluster.node(12).parity_read(0);
+  cluster.node(12).wipe();
+  const auto report = cluster.repair().rebuild_node(12, {0});
+  EXPECT_EQ(report.chunks_rebuilt, 1u);
+  const auto after = cluster.node(12).parity_read(0);
+  EXPECT_EQ(after.payload, before.payload);
+  EXPECT_EQ(after.contrib, before.contrib);
+}
+
+TEST(Repair, RebuildAcrossMultipleStripes) {
+  SimCluster cluster(small_config());
+  for (BlockId stripe = 0; stripe < 5; ++stripe) {
+    ASSERT_EQ(cluster.write_block_sync(stripe, 4,
+                                       cluster.make_pattern(100 + stripe)),
+              OpStatus::kSuccess);
+  }
+  cluster.node(4).wipe();
+  const auto report = cluster.repair().rebuild_node(4, {0, 1, 2, 3, 4});
+  EXPECT_EQ(report.chunks_rebuilt, 5u);
+  for (BlockId stripe = 0; stripe < 5; ++stripe) {
+    EXPECT_EQ(cluster.node(4).replica_read(stripe, 4).payload,
+              cluster.make_pattern(100 + stripe));
+  }
+}
+
+TEST(Repair, ReportsUnrecoverableWhenTooFewSurvivors) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
+            OpStatus::kSuccess);
+  cluster.node(0).wipe();
+  // Kill everything except 5 nodes (< k = 8 survivors).
+  for (NodeId id = 1; id <= 9; ++id) cluster.fail_node(id);
+  const auto report = cluster.repair().rebuild_node(0, {0});
+  EXPECT_EQ(report.chunks_rebuilt, 0u);
+  EXPECT_EQ(report.chunks_unrecoverable, 1u);
+}
+
+TEST(Repair, RebuildUsesDecodeWhenDataNodesMissing) {
+  SimCluster cluster(small_config());
+  for (unsigned i = 0; i < 8; ++i) {
+    ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(20 + i)),
+              OpStatus::kSuccess);
+  }
+  // Wipe parity node 10 and take data nodes 1..3 offline: the rebuild must
+  // decode those blocks from the remaining parity.
+  cluster.node(10).wipe();
+  cluster.fail_node(1);
+  cluster.fail_node(2);
+  cluster.fail_node(3);
+  const auto report = cluster.repair().rebuild_node(10, {0});
+  EXPECT_EQ(report.chunks_rebuilt, 1u);
+  // The rebuilt node must agree with an untouched parity peer on the
+  // contributor versions, and the stripe as a whole must verify.
+  EXPECT_EQ(cluster.node(10).parity_versions(0),
+            cluster.node(11).parity_versions(0));
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+}
+
+TEST(Repair, ReconcileRollsForwardPartialWrite) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(3)),
+            OpStatus::kSuccess);
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(4)),
+            OpStatus::kFail);  // partial: level 0 applied, level 1 missed
+  for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
+  EXPECT_FALSE(cluster.repair().stripe_consistent(0));
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+  // After reconcile, reads and writes behave normally again.
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(5)),
+            OpStatus::kSuccess);
+  const auto outcome = cluster.read_block_sync(0, 0);
+  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
+  EXPECT_EQ(outcome.value, cluster.make_pattern(5));
+}
+
+TEST(Repair, ReconcileIsIdempotent) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(6)),
+            OpStatus::kSuccess);
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+}
+
+TEST(Repair, ConsistentAfterStaleNodeRecovery) {
+  SimCluster cluster(small_config());
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(7)),
+            OpStatus::kSuccess);
+  cluster.fail_node(11);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
+            OpStatus::kSuccess);
+  cluster.recover_node(11);  // node 11 is stale now
+  EXPECT_FALSE(cluster.repair().stripe_consistent(0));
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_EQ(cluster.node(11).parity_versions(0),
+            cluster.node(12).parity_versions(0));
+}
+
+TEST(Repair, FrModeRebuildCopiesFreshestReplica) {
+  SimCluster cluster(small_config(Mode::kFr));
+  const auto value = cluster.make_pattern(9);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  cluster.node(9).wipe();
+  const auto report = cluster.repair().rebuild_node(9, {0});
+  EXPECT_GE(report.chunks_rebuilt, 1u);
+  EXPECT_EQ(cluster.node(9).replica_read(0, 0).payload, value);
+  EXPECT_EQ(cluster.node(9).replica_read(0, 0).version, 1u);
+}
+
+TEST(Repair, FrModeStaleReplicaDetectedAndFixed) {
+  SimCluster cluster(small_config(Mode::kFr));
+  ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(10)),
+            OpStatus::kSuccess);
+  cluster.fail_node(8);
+  const auto v2 = cluster.make_pattern(11);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), OpStatus::kSuccess);
+  cluster.recover_node(8);
+  EXPECT_FALSE(cluster.repair().stripe_consistent(0));
+  cluster.repair().rebuild_node(8, {0});
+  EXPECT_TRUE(cluster.repair().stripe_consistent(0));
+  EXPECT_EQ(cluster.node(8).replica_read(0, 0).payload, v2);
+}
+
+}  // namespace
+}  // namespace traperc::core

@@ -1,0 +1,111 @@
+#include "core/quorum/tree_quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/baselines.hpp"
+#include "analysis/exact.hpp"
+#include "core/quorum/intersection.hpp"
+
+namespace traperc::core {
+namespace {
+
+TEST(TreeQuorum, UniverseSizeIsTwoToDepthMinusOne) {
+  EXPECT_EQ(TreeQuorum(1).universe_size(), 1u);
+  EXPECT_EQ(TreeQuorum(2).universe_size(), 3u);
+  EXPECT_EQ(TreeQuorum(3).universe_size(), 7u);
+  EXPECT_EQ(TreeQuorum(4).universe_size(), 15u);
+}
+
+TEST(TreeQuorum, SingleNodeTreeNeedsThatNode) {
+  const TreeQuorum tree(1);
+  EXPECT_TRUE(tree.contains_write_quorum({true}));
+  EXPECT_FALSE(tree.contains_write_quorum({false}));
+}
+
+TEST(TreeQuorum, RootPlusOneChildPathSuffices) {
+  // depth 2: slots {0=root, 1, 2}. {root, left} is a quorum.
+  const TreeQuorum tree(2);
+  EXPECT_TRUE(tree.contains_write_quorum({true, true, false}));
+  EXPECT_TRUE(tree.contains_write_quorum({true, false, true}));
+  EXPECT_FALSE(tree.contains_write_quorum({true, false, false}));
+}
+
+TEST(TreeQuorum, BothChildrenReplaceDeadRoot) {
+  const TreeQuorum tree(2);
+  EXPECT_TRUE(tree.contains_write_quorum({false, true, true}));
+  EXPECT_FALSE(tree.contains_write_quorum({false, true, false}));
+}
+
+TEST(TreeQuorum, RootToLeafPathIsMinimal) {
+  // depth 3: a root-to-leaf path {0, 1, 3} is a quorum of size depth = 3.
+  const TreeQuorum tree(3);
+  std::vector<bool> path(7, false);
+  path[0] = path[1] = path[3] = true;
+  EXPECT_TRUE(tree.contains_write_quorum(path));
+  for (unsigned drop : {0u, 1u, 3u}) {
+    auto broken = path;
+    broken[drop] = false;
+    EXPECT_FALSE(tree.contains_write_quorum(broken)) << "dropped " << drop;
+  }
+  EXPECT_EQ(tree.min_quorum_size(), 3u);
+}
+
+TEST(TreeQuorum, IntersectionAndMonotoneExhaustive) {
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    const TreeQuorum tree(depth);
+    const auto report = verify_intersection(tree);
+    EXPECT_TRUE(report.write_write_intersect) << tree.name();
+    EXPECT_TRUE(report.read_write_intersect) << tree.name();
+    EXPECT_TRUE(verify_monotone(tree)) << tree.name();
+  }
+}
+
+TEST(TreeQuorum, ReadEqualsWrite) {
+  const TreeQuorum tree(3);
+  for (std::uint32_t mask = 0; mask < (1U << 7); ++mask) {
+    std::vector<bool> members(7);
+    for (unsigned i = 0; i < 7; ++i) members[i] = (mask >> i) & 1U;
+    EXPECT_EQ(tree.contains_read_quorum(members),
+              tree.contains_write_quorum(members));
+  }
+}
+
+TEST(TreeAvailability, RecursionMatchesExactOracle) {
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    const TreeQuorum tree(depth);
+    for (double p : {0.3, 0.6, 0.9}) {
+      const double enumerated = analysis::exact_availability(
+          tree.universe_size(), p, [&tree](const std::vector<bool>& up) {
+            return tree.contains_write_quorum(up);
+          });
+      EXPECT_NEAR(analysis::tree_availability(depth, p), enumerated, 1e-12)
+          << "depth=" << depth << " p=" << p;
+    }
+  }
+}
+
+TEST(TreeAvailability, BeatsMajorityOfEqualSizeAtHighP) {
+  // The classic result: tree quorums (min size log m) beat majority
+  // (size m/2+1) in quorum size while staying competitive in availability
+  // at high p.
+  const unsigned depth = 4;  // m = 15
+  const double p = 0.99;
+  EXPECT_GT(analysis::tree_availability(depth, p), 0.999);
+  EXPECT_EQ(TreeQuorum(depth).min_quorum_size(), 4u);  // vs majority's 8
+}
+
+TEST(TreeAvailability, MonotoneInP) {
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double value = analysis::tree_availability(3, p);
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+TEST(TreeQuorumDeath, DepthBounds) {
+  EXPECT_DEATH(TreeQuorum(0), "1..24");
+}
+
+}  // namespace
+}  // namespace traperc::core

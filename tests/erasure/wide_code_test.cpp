@@ -1,0 +1,177 @@
+#include "erasure/wide_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace traperc::erasure {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> encode_random(const WideRSCode& code,
+                                                     std::size_t chunk_len,
+                                                     std::uint64_t seed) {
+  std::vector<std::vector<std::uint8_t>> chunks;
+  std::vector<const std::uint8_t*> data_ptrs;
+  for (unsigned i = 0; i < code.k(); ++i) {
+    chunks.push_back(random_bytes(chunk_len, seed + i));
+    data_ptrs.push_back(chunks.back().data());
+  }
+  std::vector<std::vector<std::uint8_t>> parity(
+      code.parity_count(), std::vector<std::uint8_t>(chunk_len));
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (auto& chunk : parity) parity_ptrs.push_back(chunk.data());
+  code.encode(data_ptrs, parity_ptrs, chunk_len);
+  for (auto& chunk : parity) chunks.push_back(std::move(chunk));
+  return chunks;
+}
+
+TEST(WideMatrix, VandermondeSubmatricesInvertible) {
+  const auto vand = WideMatrix::vandermonde(6, 3);
+  for (unsigned a = 0; a < 6; ++a) {
+    for (unsigned b = a + 1; b < 6; ++b) {
+      for (unsigned c = b + 1; c < 6; ++c) {
+        const std::vector<unsigned> rows{a, b, c};
+        EXPECT_TRUE(vand.select_rows(rows).inverted().has_value());
+      }
+    }
+  }
+}
+
+TEST(WideMatrix, InverseRoundTrip) {
+  Rng rng(5);
+  WideMatrix m(5, 5);
+  for (unsigned r = 0; r < 5; ++r) {
+    for (unsigned c = 0; c < 5; ++c) {
+      m.at(r, c) = static_cast<WideMatrix::Element>(rng.next_u64());
+    }
+  }
+  const auto inverse = m.inverted();
+  if (inverse.has_value()) {
+    EXPECT_TRUE(m.multiply(*inverse).is_identity());
+  }
+}
+
+TEST(WideRSCode, SystematicGenerator) {
+  const WideRSCode code(10, 6);
+  for (unsigned r = 0; r < 6; ++r) {
+    for (unsigned c = 0; c < 6; ++c) {
+      EXPECT_EQ(code.generator().at(r, c), (r == c ? 1 : 0));
+    }
+  }
+}
+
+TEST(WideRSCode, AllKSubsetsDecodeSmallCode) {
+  const WideRSCode code(6, 3);
+  const std::size_t chunk_len = 32;
+  const auto chunks = encode_random(code, chunk_len, 7);
+  for (std::uint32_t mask = 0; mask < (1U << 6); ++mask) {
+    if (__builtin_popcount(mask) != 3) continue;
+    std::vector<unsigned> present_ids;
+    std::vector<const std::uint8_t*> present;
+    for (unsigned id = 0; id < 6; ++id) {
+      if ((mask >> id) & 1U) {
+        present_ids.push_back(id);
+        present.push_back(chunks[id].data());
+      }
+    }
+    std::vector<unsigned> want{0, 1, 2};
+    std::vector<std::vector<std::uint8_t>> out(
+        3, std::vector<std::uint8_t>(chunk_len));
+    std::vector<std::uint8_t*> out_ptrs;
+    for (auto& chunk : out) out_ptrs.push_back(chunk.data());
+    ASSERT_TRUE(
+        code.reconstruct(present_ids, present, want, out_ptrs, chunk_len));
+    for (unsigned i = 0; i < 3; ++i) {
+      ASSERT_EQ(out[i], chunks[i]) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(WideRSCode, BeyondGf256SymbolLimit) {
+  // n = 300 — impossible over GF(2^8), routine over GF(2^16).
+  const WideRSCode code(300, 250);
+  const std::size_t chunk_len = 16;
+  const auto chunks = encode_random(code, chunk_len, 11);
+  // Erase the first 50 data blocks; decode them from the tail + parity.
+  std::vector<unsigned> present_ids;
+  std::vector<const std::uint8_t*> present;
+  for (unsigned id = 50; id < 300; ++id) {
+    present_ids.push_back(id);
+    present.push_back(chunks[id].data());
+  }
+  std::vector<unsigned> want(50);
+  std::iota(want.begin(), want.end(), 0);
+  std::vector<std::vector<std::uint8_t>> out(
+      50, std::vector<std::uint8_t>(chunk_len));
+  std::vector<std::uint8_t*> out_ptrs;
+  for (auto& chunk : out) out_ptrs.push_back(chunk.data());
+  ASSERT_TRUE(
+      code.reconstruct(present_ids, present, want, out_ptrs, chunk_len));
+  for (unsigned i = 0; i < 50; ++i) ASSERT_EQ(out[i], chunks[i]);
+}
+
+TEST(WideRSCode, DeltaUpdateMatchesReencode) {
+  const WideRSCode code(8, 5);
+  const std::size_t chunk_len = 64;
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<const std::uint8_t*> data_ptrs;
+  for (unsigned i = 0; i < 5; ++i) {
+    data.push_back(random_bytes(chunk_len, 20 + i));
+    data_ptrs.push_back(data.back().data());
+  }
+  std::vector<std::vector<std::uint8_t>> parity(
+      3, std::vector<std::uint8_t>(chunk_len));
+  std::vector<std::uint8_t*> parity_ptrs;
+  for (auto& chunk : parity) parity_ptrs.push_back(chunk.data());
+  code.encode(data_ptrs, parity_ptrs, chunk_len);
+
+  const auto fresh = random_bytes(chunk_len, 30);
+  std::vector<std::uint8_t> delta(chunk_len);
+  for (std::size_t i = 0; i < chunk_len; ++i) {
+    delta[i] = static_cast<std::uint8_t>(data[2][i] ^ fresh[i]);
+  }
+  for (unsigned j = 0; j < 3; ++j) code.apply_delta(j, 2, delta, parity[j]);
+  data[2] = fresh;
+
+  std::vector<std::vector<std::uint8_t>> expected(
+      3, std::vector<std::uint8_t>(chunk_len));
+  std::vector<std::uint8_t*> expected_ptrs;
+  for (auto& chunk : expected) expected_ptrs.push_back(chunk.data());
+  code.encode(data_ptrs, expected_ptrs, chunk_len);
+  for (unsigned j = 0; j < 3; ++j) EXPECT_EQ(parity[j], expected[j]);
+}
+
+TEST(WideRSCode, ReconstructFailsBelowK) {
+  const WideRSCode code(6, 4);
+  const auto chunks = encode_random(code, 16, 13);
+  std::vector<unsigned> present_ids{1, 2, 3};
+  std::vector<const std::uint8_t*> present;
+  for (unsigned id : present_ids) present.push_back(chunks[id].data());
+  std::vector<std::uint8_t> out(16);
+  const unsigned want[] = {0};
+  std::uint8_t* outs[] = {out.data()};
+  EXPECT_FALSE(code.reconstruct(present_ids, present, want, outs, 16));
+}
+
+TEST(WideRSCodeDeath, OddChunkLengthRejected) {
+  const WideRSCode code(4, 2);
+  const auto data = random_bytes(15, 1);
+  const std::uint8_t* data_ptrs[] = {data.data(), data.data()};
+  std::vector<std::uint8_t> p0(15);
+  std::vector<std::uint8_t> p1(15);
+  std::uint8_t* parity_ptrs[] = {p0.data(), p1.data()};
+  EXPECT_DEATH(code.encode(data_ptrs, parity_ptrs, 15), "even");
+}
+
+}  // namespace
+}  // namespace traperc::erasure

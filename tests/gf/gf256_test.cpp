@@ -1,0 +1,163 @@
+#include "gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace traperc::gf {
+namespace {
+
+const GF256& F() { return GF256::instance(); }
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::sub(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+TEST(GF256, AdditiveIdentityAndSelfInverse) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto element = static_cast<GF256::Element>(a);
+    EXPECT_EQ(GF256::add(element, 0), element);
+    EXPECT_EQ(GF256::add(element, element), 0);
+  }
+}
+
+TEST(GF256, MulTableMatchesShiftAndReduceExhaustively) {
+  // 65536 products against the first-principles reference.
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(F().mul(static_cast<GF256::Element>(a),
+                        static_cast<GF256::Element>(b)),
+                GF256::mul_slow(static_cast<GF256::Element>(a),
+                                static_cast<GF256::Element>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; ++b) {
+      EXPECT_EQ(F().mul(static_cast<GF256::Element>(a),
+                        static_cast<GF256::Element>(b)),
+                F().mul(static_cast<GF256::Element>(b),
+                        static_cast<GF256::Element>(a)));
+    }
+  }
+}
+
+TEST(GF256, MultiplicativeIdentity) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(F().mul(static_cast<GF256::Element>(a), 1), a);
+  }
+}
+
+TEST(GF256, ZeroAnnihilates) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(F().mul(static_cast<GF256::Element>(a), 0), 0);
+  }
+}
+
+TEST(GF256, AssociativitySampled) {
+  // (a·b)·c == a·(b·c) on a coarse lattice (full cube would be 16M checks).
+  for (unsigned a = 1; a < 256; a += 17) {
+    for (unsigned b = 1; b < 256; b += 13) {
+      for (unsigned c = 1; c < 256; c += 11) {
+        const auto ea = static_cast<GF256::Element>(a);
+        const auto eb = static_cast<GF256::Element>(b);
+        const auto ec = static_cast<GF256::Element>(c);
+        EXPECT_EQ(F().mul(F().mul(ea, eb), ec), F().mul(ea, F().mul(eb, ec)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributivitySampled) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 0; b < 256; b += 9) {
+      for (unsigned c = 0; c < 256; c += 23) {
+        const auto ea = static_cast<GF256::Element>(a);
+        const auto eb = static_cast<GF256::Element>(b);
+        const auto ec = static_cast<GF256::Element>(c);
+        EXPECT_EQ(F().mul(ea, GF256::add(eb, ec)),
+                  GF256::add(F().mul(ea, eb), F().mul(ea, ec)));
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto element = static_cast<GF256::Element>(a);
+    const auto inverse = F().inv(element);
+    EXPECT_EQ(F().mul(element, inverse), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 1; b < 256; b += 5) {
+      const auto ea = static_cast<GF256::Element>(a);
+      const auto eb = static_cast<GF256::Element>(b);
+      EXPECT_EQ(F().div(F().mul(ea, eb), eb), ea);
+    }
+  }
+}
+
+TEST(GF256, DivideZeroByAnythingIsZero) {
+  for (unsigned b = 1; b < 256; ++b) {
+    EXPECT_EQ(F().div(0, static_cast<GF256::Element>(b)), 0);
+  }
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // α = 2 must cycle through all 255 nonzero elements.
+  GF256::Element x = 1;
+  for (unsigned i = 0; i < 254; ++i) {
+    x = F().mul(x, GF256::kGenerator);
+    EXPECT_NE(x, 1) << "premature cycle at step " << i + 1;
+  }
+  x = F().mul(x, GF256::kGenerator);
+  EXPECT_EQ(x, 1);
+}
+
+TEST(GF256, ExpLogRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto element = static_cast<GF256::Element>(a);
+    EXPECT_EQ(F().exp(F().log(element)), element);
+  }
+}
+
+TEST(GF256, ExpIsPeriodic255) {
+  for (unsigned e = 0; e < 255; ++e) {
+    EXPECT_EQ(F().exp(e), F().exp(e + 255));
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 0; a < 256; a += 29) {
+    const auto element = static_cast<GF256::Element>(a);
+    GF256::Element accumulated = 1;
+    for (unsigned e = 0; e <= 10; ++e) {
+      EXPECT_EQ(F().pow(element, e), accumulated)
+          << "a=" << a << " e=" << e;
+      accumulated = F().mul(accumulated, element);
+    }
+  }
+}
+
+TEST(GF256, PowZeroExponentIsOneEvenForZeroBase) {
+  EXPECT_EQ(F().pow(0, 0), 1);
+  EXPECT_EQ(F().pow(0, 5), 0);
+}
+
+TEST(GF256, MulRowMatchesMul) {
+  for (unsigned c = 0; c < 256; c += 31) {
+    const auto& row = F().mul_row(static_cast<GF256::Element>(c));
+    for (unsigned x = 0; x < 256; ++x) {
+      EXPECT_EQ(row[x], F().mul(static_cast<GF256::Element>(c),
+                                static_cast<GF256::Element>(x)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traperc::gf

@@ -1,0 +1,88 @@
+#include "gf/gf65536.hpp"
+
+#include <gtest/gtest.h>
+
+namespace traperc::gf {
+namespace {
+
+const GF65536& F() { return GF65536::instance(); }
+
+TEST(GF65536, MulMatchesShiftAndReduceSampled) {
+  // Full exhaustion is 2^32 products; sample a dense lattice instead.
+  for (unsigned a = 0; a < 65536; a += 251) {
+    for (unsigned b = 0; b < 65536; b += 257) {
+      ASSERT_EQ(F().mul(static_cast<GF65536::Element>(a),
+                        static_cast<GF65536::Element>(b)),
+                GF65536::mul_slow(static_cast<GF65536::Element>(a),
+                                  static_cast<GF65536::Element>(b)));
+    }
+  }
+}
+
+TEST(GF65536, IdentityAndZero) {
+  for (unsigned a = 0; a < 65536; a += 97) {
+    const auto element = static_cast<GF65536::Element>(a);
+    EXPECT_EQ(F().mul(element, 1), element);
+    EXPECT_EQ(F().mul(element, 0), 0);
+  }
+}
+
+TEST(GF65536, InverseRoundTripSampled) {
+  for (unsigned a = 1; a < 65536; a += 89) {
+    const auto element = static_cast<GF65536::Element>(a);
+    EXPECT_EQ(F().mul(element, F().inv(element)), 1) << "a=" << a;
+  }
+}
+
+TEST(GF65536, DivisionInvertsMultiplicationSampled) {
+  for (unsigned a = 0; a < 65536; a += 1013) {
+    for (unsigned b = 1; b < 65536; b += 911) {
+      const auto ea = static_cast<GF65536::Element>(a);
+      const auto eb = static_cast<GF65536::Element>(b);
+      EXPECT_EQ(F().div(F().mul(ea, eb), eb), ea);
+    }
+  }
+}
+
+TEST(GF65536, ExpLogRoundTripSampled) {
+  for (unsigned a = 1; a < 65536; a += 101) {
+    const auto element = static_cast<GF65536::Element>(a);
+    EXPECT_EQ(F().exp(F().log(element)), element);
+  }
+}
+
+TEST(GF65536, GeneratorPowersAreDistinctPrefix) {
+  // The first few thousand powers of α must not repeat (full order check
+  // would walk all 65535).
+  GF65536::Element x = 1;
+  for (unsigned i = 0; i < 5000; ++i) {
+    x = F().mul(x, GF65536::kGenerator);
+    ASSERT_NE(x, 1) << "premature cycle at step " << i + 1;
+  }
+}
+
+TEST(GF65536, DistributivitySampled) {
+  for (unsigned a = 1; a < 65536; a += 3089) {
+    for (unsigned b = 0; b < 65536; b += 2741) {
+      for (unsigned c = 0; c < 65536; c += 3301) {
+        const auto ea = static_cast<GF65536::Element>(a);
+        const auto eb = static_cast<GF65536::Element>(b);
+        const auto ec = static_cast<GF65536::Element>(c);
+        EXPECT_EQ(F().mul(ea, GF65536::add(eb, ec)),
+                  GF65536::add(F().mul(ea, eb), F().mul(ea, ec)));
+      }
+    }
+  }
+}
+
+TEST(GF65536, PowMatchesRepeatedMultiplication) {
+  const GF65536::Element base = 0x1234;
+  GF65536::Element accumulated = 1;
+  for (unsigned e = 0; e <= 16; ++e) {
+    EXPECT_EQ(F().pow(base, e), accumulated);
+    accumulated = F().mul(accumulated, base);
+  }
+}
+
+}  // namespace
+}  // namespace traperc::gf

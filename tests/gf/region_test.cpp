@@ -1,0 +1,135 @@
+#include "gf/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace traperc::gf {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+class RegionLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegionLengths, XorRegionMatchesScalar) {
+  const std::size_t len = GetParam();
+  const auto src = random_bytes(len, 1);
+  auto dst = random_bytes(len, 2);
+  auto expected = dst;
+  for (std::size_t i = 0; i < len; ++i) expected[i] ^= src[i];
+  xor_region(src.data(), dst.data(), len);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST_P(RegionLengths, MulRegionMatchesScalar) {
+  const auto& field = GF256::instance();
+  const std::size_t len = GetParam();
+  const auto src = random_bytes(len, 3);
+  for (std::uint8_t c : {0, 1, 2, 37, 255}) {
+    std::vector<std::uint8_t> dst(len, 0xAA);
+    mul_region(field, c, src.data(), dst.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(dst[i], field.mul(c, src[i])) << "c=" << int(c) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(RegionLengths, MulAddRegionMatchesScalar) {
+  const auto& field = GF256::instance();
+  const std::size_t len = GetParam();
+  const auto src = random_bytes(len, 5);
+  for (std::uint8_t c : {0, 1, 2, 37, 255}) {
+    auto dst = random_bytes(len, 7);
+    auto expected = dst;
+    for (std::size_t i = 0; i < len; ++i) {
+      expected[i] ^= field.mul(c, src[i]);
+    }
+    mul_add_region(field, c, src.data(), dst.data(), len);
+    EXPECT_EQ(dst, expected) << "c=" << int(c);
+  }
+}
+
+TEST_P(RegionLengths, TableAndSplit4PathsAgree) {
+  const auto& field = GF256::instance();
+  const std::size_t len = GetParam();
+  const auto src = random_bytes(len, 11);
+  for (unsigned c = 2; c < 256; c += 19) {
+    auto dst_table = random_bytes(len, 13);
+    auto dst_split = dst_table;
+    mul_add_region_table(field, static_cast<std::uint8_t>(c), src.data(),
+                         dst_table.data(), len);
+    mul_add_region_split4(field, static_cast<std::uint8_t>(c), src.data(),
+                          dst_split.data(), len);
+    ASSERT_EQ(dst_table, dst_split) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RegionLengths,
+                         ::testing::Values(0, 1, 7, 8, 9, 15, 16, 63, 64, 65,
+                                           255, 4096, 4097));
+
+TEST(Region, MulRegionByZeroZeroes) {
+  const auto& field = GF256::instance();
+  const auto src = random_bytes(100, 17);
+  std::vector<std::uint8_t> dst(100, 0xFF);
+  mul_region(field, 0, src.data(), dst.data(), 100);
+  for (std::uint8_t byte : dst) EXPECT_EQ(byte, 0);
+}
+
+TEST(Region, MulRegionByOneCopies) {
+  const auto& field = GF256::instance();
+  const auto src = random_bytes(100, 19);
+  std::vector<std::uint8_t> dst(100, 0);
+  mul_region(field, 1, src.data(), dst.data(), 100);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Region, MulRegionByOneInPlaceIsNoop) {
+  const auto& field = GF256::instance();
+  auto buffer = random_bytes(64, 23);
+  const auto original = buffer;
+  mul_region(field, 1, buffer.data(), buffer.data(), 64);
+  EXPECT_EQ(buffer, original);
+}
+
+TEST(Region, MulAddTwiceCancels) {
+  // In characteristic 2, applying the same delta twice is the identity.
+  const auto& field = GF256::instance();
+  const auto src = random_bytes(512, 29);
+  auto dst = random_bytes(512, 31);
+  const auto original = dst;
+  mul_add_region(field, 113, src.data(), dst.data(), 512);
+  EXPECT_NE(dst, original);
+  mul_add_region(field, 113, src.data(), dst.data(), 512);
+  EXPECT_EQ(dst, original);
+}
+
+TEST(Region, LinearityOverConstants) {
+  // (c1 ^ c2)·src == c1·src ^ c2·src applied to a zero accumulator.
+  const auto& field = GF256::instance();
+  const auto src = random_bytes(256, 37);
+  for (unsigned c1 = 3; c1 < 256; c1 += 67) {
+    for (unsigned c2 = 5; c2 < 256; c2 += 73) {
+      std::vector<std::uint8_t> lhs(256, 0);
+      std::vector<std::uint8_t> rhs(256, 0);
+      mul_add_region(field, static_cast<std::uint8_t>(c1 ^ c2), src.data(),
+                     lhs.data(), 256);
+      mul_add_region(field, static_cast<std::uint8_t>(c1), src.data(),
+                     rhs.data(), 256);
+      mul_add_region(field, static_cast<std::uint8_t>(c2), src.data(),
+                     rhs.data(), 256);
+      ASSERT_EQ(lhs, rhs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traperc::gf

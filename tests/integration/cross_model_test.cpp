@@ -1,0 +1,120 @@
+// Cross-model consistency: the repository implements the trapezoid quorum
+// three independent ways — as set predicates over trapezoid slots
+// (core/quorum), as node-state decision procedures (analysis/predicates),
+// and as closed forms (analysis/availability). They must all agree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/availability.hpp"
+#include "analysis/exact.hpp"
+#include "analysis/predicates.hpp"
+#include "common/rng.hpp"
+#include "core/quorum/trapezoid_quorum.hpp"
+#include "topology/placement.hpp"
+#include "topology/shape_solver.hpp"
+
+namespace traperc {
+namespace {
+
+using analysis::BlockDeployment;
+using core::TrapezoidQuorum;
+using topology::ErcPlacement;
+using topology::LevelQuorums;
+
+struct Config {
+  unsigned n;
+  unsigned k;
+  unsigned w;
+};
+
+class CrossModel : public ::testing::TestWithParam<Config> {
+ protected:
+  [[nodiscard]] LevelQuorums quorums() const {
+    const auto [n, k, w] = GetParam();
+    return LevelQuorums::paper_convention(
+        topology::canonical_shape_for_code(n, k), w);
+  }
+};
+
+TEST_P(CrossModel, SlotPredicatesMatchNodePredicatesExhaustively) {
+  // Map every subset of trapezoid slots to a cluster state (other data
+  // nodes held down so only trapezoid members matter) and compare the
+  // quorum-system view with the protocol-predicate view.
+  const auto [n, k, w] = GetParam();
+  const auto q = quorums();
+  const TrapezoidQuorum quorum(q);
+  const ErcPlacement placement(n, k, 0);
+  const BlockDeployment deployment(n, k, 0, q);
+  const unsigned nbnode = placement.nbnode();
+  ASSERT_LE(nbnode, 16u);
+
+  for (std::uint32_t mask = 0; mask < (1U << nbnode); ++mask) {
+    std::vector<bool> slots(nbnode);
+    std::vector<bool> up(n, false);
+    for (unsigned slot = 0; slot < nbnode; ++slot) {
+      slots[slot] = (mask >> slot) & 1U;
+      up[placement.node_at_slot(slot)] = slots[slot];
+    }
+    ASSERT_EQ(quorum.contains_write_quorum(slots),
+              analysis::write_possible(deployment, up))
+        << "mask=" << mask;
+    ASSERT_EQ(quorum.contains_read_quorum(slots),
+              analysis::version_check_possible(deployment, up))
+        << "mask=" << mask;
+  }
+}
+
+TEST_P(CrossModel, ClosedFormsMatchQuorumSystemOracle) {
+  // Eq. 8 and eq. 10 must equal exhaustive enumeration over the *slot*
+  // universe of the quorum-system predicates (a different route than the
+  // node-state oracle used elsewhere).
+  const auto q = quorums();
+  const TrapezoidQuorum quorum(q);
+  for (double p : {0.25, 0.6, 0.9}) {
+    const double write_enum = analysis::exact_availability(
+        quorum.universe_size(), p, [&quorum](const std::vector<bool>& up) {
+          return quorum.contains_write_quorum(up);
+        });
+    const double read_enum = analysis::exact_availability(
+        quorum.universe_size(), p, [&quorum](const std::vector<bool>& up) {
+          return quorum.contains_read_quorum(up);
+        });
+    EXPECT_NEAR(analysis::write_availability(q, p), write_enum, 1e-10);
+    EXPECT_NEAR(analysis::read_availability_fr(q, p), read_enum, 1e-10);
+  }
+}
+
+TEST_P(CrossModel, OtherDataNodesNeverAffectQuorumPredicates) {
+  // Nodes outside the trapezoid (the other k−1 data nodes) must be
+  // irrelevant to write and version-check decisions.
+  const auto [n, k, w] = GetParam();
+  if (k < 2) GTEST_SKIP();
+  const auto q = quorums();
+  const BlockDeployment deployment(n, k, 0, q);
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<bool> up(n);
+    for (unsigned i = 0; i < n; ++i) up[i] = rng.next_bool(0.5);
+    auto flipped = up;
+    for (unsigned data = 1; data < k; ++data) flipped[data] = !flipped[data];
+    EXPECT_EQ(analysis::write_possible(deployment, up),
+              analysis::write_possible(deployment, flipped));
+    EXPECT_EQ(analysis::version_check_possible(deployment, up),
+              analysis::version_check_possible(deployment, flipped));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossModel,
+    ::testing::Values(Config{15, 8, 1}, Config{15, 8, 3}, Config{15, 10, 2},
+                      Config{15, 4, 1}, Config{12, 5, 2}, Config{9, 6, 1},
+                      Config{10, 8, 1}),
+    [](const ::testing::TestParamInfo<Config>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "k" +
+             std::to_string(param_info.param.k) + "w" +
+             std::to_string(param_info.param.w);
+    });
+
+}  // namespace
+}  // namespace traperc

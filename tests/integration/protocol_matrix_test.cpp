@@ -1,0 +1,145 @@
+// Cross-configuration protocol matrix: for a sweep of (n, k, w, mode)
+// deployments, the live protocol's read/write outcomes must agree with the
+// analysis predicates on random node-state vectors. This generalizes the
+// single-config consistency tests to every canonical shape family,
+// including the degenerate b=1 trapezoids.
+#include <gtest/gtest.h>
+
+#include "analysis/predicates.hpp"
+#include "common/rng.hpp"
+#include "core/protocol/cluster.hpp"
+
+namespace traperc::core {
+namespace {
+
+struct MatrixCase {
+  unsigned n;
+  unsigned k;
+  unsigned w;
+  Mode mode;
+};
+
+class ProtocolMatrix : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  [[nodiscard]] ProtocolConfig config() const {
+    const auto& param = GetParam();
+    auto cfg = ProtocolConfig::for_code(param.n, param.k, param.w, param.mode);
+    cfg.chunk_len = 16;
+    return cfg;
+  }
+};
+
+TEST_P(ProtocolMatrix, LiveReadsMatchPredicates) {
+  const auto cfg = config();
+  SimCluster cluster(cfg, /*seed=*/3);
+  const analysis::BlockDeployment d(cfg.n, cfg.k, 0, cfg.quorums());
+  const auto value = cluster.make_pattern(1);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+
+  Rng rng(17);
+  int successes = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<bool> up(cfg.n);
+    for (unsigned i = 0; i < cfg.n; ++i) up[i] = rng.next_bool(0.65);
+    cluster.set_node_states(up);
+    const auto outcome = cluster.read_block_sync(0, 0);
+    const bool predicted =
+        cfg.mode == Mode::kErc
+            ? analysis::read_possible_erc_algorithmic(d, up)
+            : analysis::read_possible_fr(d, up);
+    ASSERT_EQ(outcome.status == OpStatus::kSuccess, predicted)
+        << "trial " << trial;
+    if (predicted) {
+      ASSERT_EQ(outcome.value, value) << "trial " << trial;
+      ASSERT_EQ(outcome.version, 1u);
+      ++successes;
+    }
+  }
+  EXPECT_GT(successes, 10);
+}
+
+TEST_P(ProtocolMatrix, LiveWritesMatchPredicates) {
+  const auto cfg = config();
+  SimCluster cluster(cfg, /*seed=*/5);
+  const analysis::BlockDeployment d(cfg.n, cfg.k, 0, cfg.quorums());
+  const auto all_up = std::vector<bool>(cfg.n, true);
+
+  Rng rng(19);
+  int successes = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const BlockId stripe = 100 + trial;  // fresh, consistent stripe
+    cluster.set_node_states(all_up);
+    ASSERT_EQ(cluster.write_block_sync(stripe, 0, cluster.make_pattern(trial)),
+              OpStatus::kSuccess);
+    std::vector<bool> up(cfg.n);
+    for (unsigned i = 0; i < cfg.n; ++i) up[i] = rng.next_bool(0.7);
+    cluster.set_node_states(up);
+    const auto status =
+        cluster.write_block_sync(stripe, 0, cluster.make_pattern(999 + trial));
+    // Alg. 1 needs both its read prefix and every level's write quorum.
+    const bool read_ok =
+        cfg.mode == Mode::kErc
+            ? analysis::read_possible_erc_algorithmic(d, up)
+            : analysis::read_possible_fr(d, up);
+    const bool predicted = analysis::write_possible(d, up) && read_ok;
+    ASSERT_EQ(status == OpStatus::kSuccess, predicted) << "trial " << trial;
+    successes += predicted ? 1 : 0;
+  }
+  EXPECT_GT(successes, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, ProtocolMatrix,
+    ::testing::Values(MatrixCase{15, 8, 1, Mode::kErc},
+                      MatrixCase{15, 8, 3, Mode::kErc},
+                      MatrixCase{15, 10, 1, Mode::kErc},
+                      MatrixCase{15, 4, 2, Mode::kErc},
+                      MatrixCase{12, 5, 2, Mode::kErc},
+                      MatrixCase{10, 4, 1, Mode::kErc},
+                      MatrixCase{9, 6, 1, Mode::kErc},   // b=1 level 0
+                      MatrixCase{15, 8, 1, Mode::kFr},
+                      MatrixCase{15, 10, 2, Mode::kFr}),
+    [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "k" +
+             std::to_string(param_info.param.k) + "w" +
+             std::to_string(param_info.param.w) +
+             (param_info.param.mode == Mode::kErc ? "erc" : "fr");
+    });
+
+TEST(LossyNetwork, OperationsDegradeButNeverCorrupt) {
+  // The paper assumes reliable links; with loss injected, RPCs vanish and
+  // operations time out more often — but a read that does succeed must
+  // still return committed bytes.
+  auto cfg = ProtocolConfig::for_code(15, 8, 1);
+  cfg.chunk_len = 16;
+  SimCluster cluster(cfg, 11);
+  const auto value = cluster.make_pattern(1);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+
+  cluster.network().set_loss_probability(0.15);
+  int read_ok = 0;
+  int write_ok = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto outcome = cluster.read_block_sync(0, 0);
+    if (outcome.status == OpStatus::kSuccess) {
+      ASSERT_EQ(outcome.value, value);
+      ++read_ok;
+    }
+    const BlockId stripe = 500 + trial;
+    if (cluster.write_block_sync(stripe, 2, cluster.make_pattern(trial)) ==
+        OpStatus::kSuccess) {
+      ++write_ok;
+      cluster.network().set_loss_probability(0.0);
+      const auto verify = cluster.read_block_sync(stripe, 2);
+      ASSERT_EQ(verify.status, OpStatus::kSuccess);
+      ASSERT_EQ(verify.value, cluster.make_pattern(trial));
+      cluster.network().set_loss_probability(0.15);
+    }
+  }
+  EXPECT_GT(read_ok, 10);   // 15% loss leaves most quorums reachable
+  EXPECT_GT(write_ok, 10);
+  EXPECT_GT(cluster.network().stats().messages_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace traperc::core

@@ -1,0 +1,133 @@
+// Seeded stress test: hundreds of randomly interleaved writes, reads,
+// crashes, recoveries, media wipes, rebuilds and reconciles against one
+// cluster, with a byte-integrity invariant checked on every successful
+// read and a recoverability audit at the end.
+//
+// Two deliberate scope notes, both rooted in paper-inherited limitations
+// (DESIGN.md §6):
+//  * each stripe hosts one actively written block (block s%k on stripe s):
+//    version collisions after FAILed writes can poison *cross-block*
+//    decodes, so confining writes keeps the invariant falsifiable for
+//    genuine protocol bugs rather than the documented flaw;
+//  * a stripe becomes *tainted* once a write FAILs on it — Alg. 1 has no
+//    rollback, and a later write can mint a duplicate version number whose
+//    mixed parity groups decode to garbage. Byte-integrity is asserted
+//    only for untainted stripes; tainted ones must still complete reads
+//    without crashing. The proper fix (unique write tags alongside
+//    version counters) is catalogued as future work in DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, RandomChurnPreservesIntegrity) {
+  auto cfg = ProtocolConfig::for_code(15, 8, 2);
+  cfg.chunk_len = 32;
+  SimCluster cluster(cfg, GetParam());
+  Rng rng(GetParam() * 7919 + 1);
+
+  constexpr unsigned kStripes = 4;
+  std::map<BlockId, std::vector<std::vector<std::uint8_t>>> written;
+  std::map<BlockId, bool> tainted;
+  const std::vector<std::uint8_t> zeros(cfg.chunk_len, 0);
+
+  auto value_known = [&](BlockId stripe,
+                         const std::vector<std::uint8_t>& value) {
+    bool known = value == zeros;
+    for (const auto& candidate : written[stripe]) {
+      known = known || candidate == value;
+    }
+    return known;
+  };
+
+  unsigned write_ok = 0;
+  unsigned read_ok = 0;
+  for (int op = 0; op < 250; ++op) {
+    const BlockId stripe = rng.next_below(kStripes);
+    const auto block = static_cast<unsigned>(stripe % cfg.k);
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // write
+        const auto value = cluster.make_pattern(GetParam() * 1000 + op);
+        written[stripe].push_back(value);
+        if (cluster.write_block_sync(stripe, block, value) ==
+            OpStatus::kSuccess) {
+          ++write_ok;
+        } else {
+          tainted[stripe] = true;  // partial state may now exist
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // read + integrity check
+        const auto outcome = cluster.read_block_sync(stripe, block);
+        if (outcome.status != OpStatus::kSuccess) break;
+        ++read_ok;
+        if (!tainted[stripe]) {
+          ASSERT_TRUE(value_known(stripe, outcome.value))
+              << "torn read, op " << op << " stripe " << stripe;
+        }
+        break;
+      }
+      case 4: {  // crash or recover a random node
+        const NodeId node = static_cast<NodeId>(rng.next_below(cfg.n));
+        if (cluster.node(node).up()) {
+          cluster.fail_node(node);
+        } else {
+          cluster.recover_node(node);
+        }
+        break;
+      }
+      case 5: {  // maintenance: wipe+rebuild or reconcile
+        if (rng.next_bool(0.3)) {
+          const NodeId node = static_cast<NodeId>(rng.next_below(cfg.n));
+          if (cluster.node(node).up() && cluster.live_nodes() > cfg.k) {
+            cluster.node(node).wipe();
+            std::vector<BlockId> stripes;
+            for (BlockId s = 0; s < kStripes; ++s) stripes.push_back(s);
+            (void)cluster.repair().rebuild_node(node, stripes);
+          }
+        } else {
+          (void)cluster.repair().reconcile_stripe(stripe);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_GT(write_ok, 5u);
+  EXPECT_GT(read_ok, 5u);
+
+  // Final audit: with every node up and every stripe reconciled, every
+  // actively written block must be readable; untainted stripes must also be
+  // byte-intact.
+  cluster.set_node_states(std::vector<bool>(cfg.n, true));
+  for (BlockId stripe = 0; stripe < kStripes; ++stripe) {
+    ASSERT_TRUE(cluster.repair().reconcile_stripe(stripe))
+        << "stripe " << stripe;
+    const auto block = static_cast<unsigned>(stripe % cfg.k);
+    const auto outcome = cluster.read_block_sync(stripe, block);
+    ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "stripe " << stripe;
+    if (!tainted[stripe]) {
+      EXPECT_TRUE(value_known(stripe, outcome.value))
+          << "final audit, stripe " << stripe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+}  // namespace
+}  // namespace traperc::core

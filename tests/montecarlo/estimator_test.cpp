@@ -1,0 +1,122 @@
+#include "montecarlo/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/availability.hpp"
+#include "analysis/exact.hpp"
+#include "topology/shape_solver.hpp"
+
+namespace traperc::montecarlo {
+namespace {
+
+analysis::BlockDeployment make_deployment(unsigned n = 15, unsigned k = 8,
+                                          unsigned w = 1) {
+  return analysis::BlockDeployment(
+      n, k, 0,
+      topology::LevelQuorums::paper_convention(
+          topology::canonical_shape_for_code(n, k), w));
+}
+
+TEST(Estimator, ConstantPredicates) {
+  ThreadPool pool(2);
+  Estimator estimator(pool);
+  const auto always = estimator.estimate(
+      5, 0.5, 1000, [](const std::vector<bool>&) { return true; });
+  EXPECT_DOUBLE_EQ(always.mean, 1.0);
+  EXPECT_EQ(always.successes, 1000u);
+  const auto never = estimator.estimate(
+      5, 0.5, 1000, [](const std::vector<bool>&) { return false; });
+  EXPECT_DOUBLE_EQ(never.mean, 0.0);
+}
+
+TEST(Estimator, SingleNodeMatchesP) {
+  ThreadPool pool(4);
+  Estimator estimator(pool);
+  const auto estimate = estimator.estimate(
+      3, 0.7, 200'000, [](const std::vector<bool>& up) { return up[0]; });
+  EXPECT_NEAR(estimate.mean, 0.7, 5 * estimate.stderr_ + 1e-3);
+}
+
+TEST(Estimator, DeterministicForSameSeedAndPoolSize) {
+  ThreadPool pool(4);
+  Estimator a(pool, 7);
+  Estimator b(pool, 7);
+  const auto predicate = [](const std::vector<bool>& up) { return up[1]; };
+  const auto ea = a.estimate(4, 0.4, 50'000, predicate);
+  const auto eb = b.estimate(4, 0.4, 50'000, predicate);
+  EXPECT_EQ(ea.successes, eb.successes);
+}
+
+TEST(Estimator, SequentialRunsAreIndependentStreams) {
+  ThreadPool pool(2);
+  Estimator estimator(pool, 7);
+  const auto predicate = [](const std::vector<bool>& up) { return up[0]; };
+  const auto first = estimator.estimate(2, 0.5, 10'000, predicate);
+  const auto second = estimator.estimate(2, 0.5, 10'000, predicate);
+  // Overwhelmingly likely to differ (distinct run counter => new stream).
+  EXPECT_NE(first.successes, second.successes);
+}
+
+TEST(Estimator, WriteAvailabilityMatchesExactOracle) {
+  ThreadPool pool(4);
+  Estimator estimator(pool, 11);
+  const auto d = make_deployment();
+  for (double p : {0.5, 0.9}) {
+    const auto estimate = estimator.write_availability(d, p, 400'000);
+    const double exact = analysis::exact_write_availability(d, p);
+    EXPECT_NEAR(estimate.mean, exact, 5 * estimate.stderr_ + 1e-3)
+        << "p=" << p;
+  }
+}
+
+TEST(Estimator, ReadFrMatchesExactOracle) {
+  ThreadPool pool(4);
+  Estimator estimator(pool, 13);
+  const auto d = make_deployment();
+  const auto estimate = estimator.read_availability_fr(d, 0.6, 400'000);
+  EXPECT_NEAR(estimate.mean, analysis::exact_read_availability_fr(d, 0.6),
+              5 * estimate.stderr_ + 1e-3);
+}
+
+TEST(Estimator, ReadErcMatchesExactOracleNotEq13) {
+  // The estimator samples the *algorithmic* predicate; at low p it must
+  // match the exact oracle and sit strictly below the eq. 13 closed form.
+  ThreadPool pool(4);
+  Estimator estimator(pool, 17);
+  const auto d = make_deployment();
+  const double p = 0.4;
+  const auto estimate = estimator.read_availability_erc(d, p, 600'000);
+  const double exact = analysis::exact_read_availability_erc_algorithmic(d, p);
+  const double eq13 = analysis::read_availability_erc(d.quorums(), 15, 8, p);
+  EXPECT_NEAR(estimate.mean, exact, 5 * estimate.stderr_ + 1e-3);
+  EXPECT_LT(estimate.mean, eq13);
+}
+
+TEST(Estimator, Ci95ShrinksWithTrials) {
+  ThreadPool pool(4);
+  Estimator estimator(pool, 19);
+  const auto d = make_deployment();
+  const auto small = estimator.write_availability(d, 0.7, 10'000);
+  const auto large = estimator.write_availability(d, 0.7, 1'000'000);
+  EXPECT_LT(large.ci95(), small.ci95());
+  EXPECT_GT(small.ci95(), 0.0);
+}
+
+TEST(Estimator, ScalesToLargeNBeyondExactOracle) {
+  // n = 60 is far beyond 2^n enumeration; the estimator must still agree
+  // with the closed forms that are exact (write path).
+  ThreadPool pool(4);
+  Estimator estimator(pool, 23);
+  const unsigned n = 60;
+  const unsigned k = 40;
+  const auto shape = topology::canonical_shape_for_code(n, k);
+  const auto q = topology::LevelQuorums::paper_convention(shape, 2);
+  const analysis::BlockDeployment d(n, k, 0, q);
+  const double p = 0.85;
+  const auto estimate = estimator.write_availability(d, p, 300'000);
+  EXPECT_NEAR(estimate.mean, analysis::write_availability(q, p),
+              5 * estimate.stderr_ + 1e-3);
+}
+
+}  // namespace
+}  // namespace traperc::montecarlo

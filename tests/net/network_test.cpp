@@ -1,0 +1,148 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace traperc::net {
+namespace {
+
+struct Fixture {
+  sim::SimEngine engine{7};
+  std::vector<bool> up = std::vector<bool>(4, true);
+  Network network{engine, 4, std::make_unique<FixedLatency>(1000),
+                  [this](NodeId id) { return up[id]; }};
+};
+
+TEST(Network, SendDeliversAfterLatency) {
+  Fixture f;
+  SimTime delivered_at = 0;
+  f.network.send(0, 1, 100, [&] { delivered_at = f.engine.now(); });
+  f.engine.run_until_idle();
+  EXPECT_EQ(delivered_at, 1000u);
+  EXPECT_EQ(f.network.stats().messages_sent, 1u);
+  EXPECT_EQ(f.network.stats().bytes_sent, 100u);
+}
+
+TEST(Network, DownTargetAbsorbsRequest) {
+  Fixture f;
+  f.up[2] = false;
+  bool delivered = false;
+  f.network.send(0, 2, 10, [&] { delivered = true; });
+  f.engine.run_until_idle();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.network.stats().requests_to_down_node, 1u);
+}
+
+TEST(Network, LivenessCheckedAtArrivalNotSendTime) {
+  Fixture f;
+  bool delivered = false;
+  f.network.send(0, 1, 10, [&] { delivered = true; });
+  // Node 1 dies while the message is in flight.
+  f.engine.schedule_at(500, [&] { f.up[1] = false; });
+  f.engine.run_until_idle();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, NodeRecoveringBeforeArrivalReceives) {
+  Fixture f;
+  f.up[1] = false;
+  bool delivered = false;
+  f.engine.schedule_at(200, [&] { f.up[1] = true; });
+  f.network.send(0, 1, 10, [&] { delivered = true; });
+  f.engine.run_until_idle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, RpcRoundTripTakesTwoLatencies) {
+  Fixture f;
+  SimTime reply_at = 0;
+  int reply_value = 0;
+  f.network.rpc<int>(
+      0, 1, 10, [] { return 42; },
+      [&](int value) {
+        reply_value = value;
+        reply_at = f.engine.now();
+      });
+  f.engine.run_until_idle();
+  EXPECT_EQ(reply_value, 42);
+  EXPECT_EQ(reply_at, 2000u);
+  EXPECT_EQ(f.network.stats().messages_sent, 2u);  // request + reply
+}
+
+TEST(Network, RpcToDownNodeNeverReplies) {
+  Fixture f;
+  f.up[3] = false;
+  bool replied = false;
+  f.network.rpc<int>(0, 3, 10, [] { return 1; }, [&](int) { replied = true; });
+  f.engine.run_until_idle();
+  EXPECT_FALSE(replied);
+}
+
+TEST(Network, RpcHandlerRunsAtTargetArrivalTime) {
+  Fixture f;
+  SimTime handler_time = 0;
+  f.network.rpc<int>(
+      0, 1, 10,
+      [&] {
+        handler_time = f.engine.now();
+        return 0;
+      },
+      [](int) {});
+  f.engine.run_until_idle();
+  EXPECT_EQ(handler_time, 1000u);
+}
+
+TEST(Network, ReplyDeliveredEvenIfTargetDiesAfterHandling) {
+  // The reply path is not gated on the *client's* liveness (clients are not
+  // fail-stop nodes), nor re-gated on the server once the handler ran.
+  Fixture f;
+  bool replied = false;
+  f.network.rpc<int>(0, 1, 10, [] { return 9; }, [&](int) { replied = true; });
+  f.engine.schedule_at(1500, [&] { f.up[1] = false; });  // after handling
+  f.engine.run_until_idle();
+  EXPECT_TRUE(replied);
+}
+
+TEST(Network, LossInjectionDropsMessages) {
+  Fixture f;
+  f.network.set_loss_probability(1.0);
+  bool delivered = false;
+  f.network.send(0, 1, 10, [&] { delivered = true; });
+  f.engine.run_until_idle();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.network.stats().messages_dropped, 1u);
+}
+
+TEST(Network, ZeroLossByDefaultMatchesPaperModel) {
+  Fixture f;
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.network.send(0, 1, 1, [&] { ++delivered; });
+  }
+  f.engine.run_until_idle();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(f.network.stats().messages_dropped, 0u);
+}
+
+TEST(UniformLatencyModel, SamplesWithinBounds) {
+  sim::SimEngine engine(3);
+  UniformLatency latency(100, 200);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime delay = latency.sample(0, 1, engine.rng());
+    EXPECT_GE(delay, 100u);
+    EXPECT_LE(delay, 200u);
+  }
+}
+
+TEST(ExponentialTailLatencyModel, AlwaysAtLeastBase) {
+  sim::SimEngine engine(5);
+  ExponentialTailLatency latency(500, 100.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(latency.sample(0, 1, engine.rng()), 500u);
+  }
+}
+
+}  // namespace
+}  // namespace traperc::net

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace traperc::sim {
+namespace {
+
+TEST(SimEngine, StartsAtTimeZero) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(SimEngine, EventsRunInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(SimEngine, SimultaneousEventsRunFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
+  SimEngine engine;
+  SimTime observed = 0;
+  engine.schedule_at(100, [&] {
+    engine.schedule_after(50, [&] { observed = engine.now(); });
+  });
+  engine.run_until_idle();
+  EXPECT_EQ(observed, 150u);
+}
+
+TEST(SimEngine, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.schedule_after(1, recurse);
+  };
+  engine.schedule_at(0, recurse);
+  const auto processed = engine.run_until_idle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(processed, 100u);
+  EXPECT_EQ(engine.now(), 99u);
+}
+
+TEST(SimEngine, RunUntilStopsAtDeadline) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(20, [&] { ++fired; });
+  engine.schedule_at(30, [&] { ++fired; });
+  engine.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 20u);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until_idle();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimEngine, RunUntilAdvancesClockWhenIdle) {
+  SimEngine engine;
+  engine.run_until(500);
+  EXPECT_EQ(engine.now(), 500u);
+}
+
+TEST(SimEngine, StepExecutesExactlyOneEvent) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(1, [&] { ++fired; });
+  engine.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(SimEngine, ProcessedCounterAccumulates) {
+  SimEngine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(i, [] {});
+  engine.run_until_idle();
+  EXPECT_EQ(engine.processed(), 7u);
+}
+
+TEST(SimEngine, DeterministicRngStreams) {
+  SimEngine a(123);
+  SimEngine b(123);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  Rng sa = a.stream(5);
+  Rng sb = b.stream(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+TEST(SimEngine, StreamsDifferByIndex) {
+  SimEngine engine(1);
+  Rng s0 = engine.stream(0);
+  Rng s1 = engine.stream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += s0.next_u64() == s1.next_u64() ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(SimEngineDeath, CannotScheduleInThePast) {
+  SimEngine engine;
+  engine.schedule_at(10, [] {});
+  engine.run_until_idle();
+  EXPECT_DEATH(engine.schedule_at(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace traperc::sim

@@ -1,0 +1,78 @@
+#include "storage/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace traperc::storage {
+namespace {
+
+TEST(FailureParams, SteadyStateAvailability) {
+  FailureProcess::Params params{900.0, 100.0};
+  EXPECT_DOUBLE_EQ(params.steady_state_availability(), 0.9);
+}
+
+TEST(FailureParams, ForAvailabilityInvertsFormula) {
+  for (double p : {0.5, 0.9, 0.99}) {
+    const auto params = FailureProcess::Params::for_availability(p, 1e6);
+    EXPECT_NEAR(params.steady_state_availability(), p, 1e-12);
+    EXPECT_DOUBLE_EQ(params.mttr_ns, 1e6);
+  }
+}
+
+TEST(FailureProcess, AlternatesUpAndDown) {
+  sim::SimEngine engine(11);
+  StorageNode node(0, 2, 8);
+  FailureProcess process(engine, node, {1e6, 1e5}, engine.stream(0));
+  process.start();
+  engine.run_until(50e6);
+  EXPECT_GT(process.failures(), 0u);
+}
+
+TEST(FailureProcess, EmpiricalAvailabilityNearSteadyState) {
+  sim::SimEngine engine(13);
+  StorageNode node(0, 2, 8);
+  const FailureProcess::Params params =
+      FailureProcess::Params::for_availability(0.8, 1e6);
+  FailureProcess process(engine, node, params, engine.stream(1));
+  process.start();
+
+  // Sample the node state on a fine grid over many failure cycles.
+  const SimTime horizon = 2'000'000'000;  // 2000 cycles of mttr
+  SimTime up_samples = 0;
+  SimTime total_samples = 0;
+  for (SimTime t = 0; t < horizon; t += 250'000) {
+    engine.run_until(t);
+    ++total_samples;
+    up_samples += node.up() ? 1 : 0;
+  }
+  const double empirical =
+      static_cast<double>(up_samples) / static_cast<double>(total_samples);
+  EXPECT_NEAR(empirical, 0.8, 0.03);
+}
+
+TEST(FailureProcess, DowntimeAccountingConsistent) {
+  sim::SimEngine engine(17);
+  StorageNode node(0, 2, 8);
+  FailureProcess process(engine, node, {1e6, 1e6}, engine.stream(2));
+  process.start();
+  engine.run_until(100e6);
+  if (node.up()) {
+    // All completed downtime intervals are accounted.
+    EXPECT_GT(process.total_downtime(), 0u);
+    EXPECT_LT(process.total_downtime(), engine.now());
+  }
+}
+
+TEST(FailureProcess, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::SimEngine engine(seed);
+    StorageNode node(0, 2, 8);
+    FailureProcess process(engine, node, {1e6, 1e5}, engine.stream(0));
+    process.start();
+    engine.run_until(30e6);
+    return process.failures();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+}  // namespace
+}  // namespace traperc::storage

@@ -1,0 +1,155 @@
+#include "storage/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace traperc::storage {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> values,
+                                std::size_t pad_to) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  out.resize(pad_to, 0);
+  return out;
+}
+
+TEST(StorageNode, BornUpAndEmpty) {
+  StorageNode node(0, 4, 16);
+  EXPECT_TRUE(node.up());
+  EXPECT_EQ(node.bytes_stored(), 0u);
+  EXPECT_TRUE(node.stripes().empty());
+}
+
+TEST(StorageNode, UnwrittenBlocksAreVersionZeroZeros) {
+  StorageNode node(0, 4, 16);
+  EXPECT_EQ(node.replica_version(7, 2), 0u);
+  const auto reply = node.replica_read(7, 2);
+  EXPECT_EQ(reply.version, 0u);
+  EXPECT_EQ(reply.payload, std::vector<std::uint8_t>(16, 0));
+}
+
+TEST(StorageNode, ReplicaWriteReadRoundTrip) {
+  StorageNode node(1, 4, 16);
+  const auto payload = bytes({1, 2, 3}, 16);
+  node.replica_write(5, 0, 3, payload);
+  EXPECT_EQ(node.replica_version(5, 0), 3u);
+  const auto reply = node.replica_read(5, 0);
+  EXPECT_EQ(reply.version, 3u);
+  EXPECT_EQ(reply.payload, payload);
+}
+
+TEST(StorageNode, ReplicasKeyedByStripeAndIndex) {
+  StorageNode node(1, 4, 16);
+  node.replica_write(5, 0, 1, bytes({1}, 16));
+  node.replica_write(5, 1, 2, bytes({2}, 16));
+  node.replica_write(6, 0, 3, bytes({3}, 16));
+  EXPECT_EQ(node.replica_version(5, 0), 1u);
+  EXPECT_EQ(node.replica_version(5, 1), 2u);
+  EXPECT_EQ(node.replica_version(6, 0), 3u);
+}
+
+TEST(StorageNode, UnwrittenParityIsZeroVector) {
+  StorageNode node(9, 4, 16);
+  const auto versions = node.parity_versions(3);
+  EXPECT_EQ(versions, std::vector<Version>(4, 0));
+  const auto reply = node.parity_read(3);
+  EXPECT_EQ(reply.payload, std::vector<std::uint8_t>(16, 0));
+}
+
+TEST(StorageNode, ParityAddAppliesWhenVersionMatches) {
+  StorageNode node(9, 4, 16);
+  const auto delta = bytes({0xFF, 0x0F}, 16);
+  const auto reply = node.parity_add(3, 1, /*expected=*/0, /*next=*/1, delta);
+  EXPECT_TRUE(reply.applied);
+  EXPECT_EQ(reply.current_version, 1u);
+  EXPECT_EQ(node.parity_versions(3)[1], 1u);
+  EXPECT_EQ(node.parity_read(3).payload, delta);  // zeros XOR delta
+}
+
+TEST(StorageNode, ParityAddRejectsStaleExpectedVersion) {
+  StorageNode node(9, 4, 16);
+  node.parity_add(3, 1, 0, 1, bytes({1}, 16));
+  const auto reply = node.parity_add(3, 1, /*expected=*/0, /*next=*/2,
+                                     bytes({2}, 16));
+  EXPECT_FALSE(reply.applied);
+  EXPECT_EQ(reply.current_version, 1u);       // reports its actual version
+  EXPECT_EQ(node.parity_versions(3)[1], 1u);  // unchanged
+}
+
+TEST(StorageNode, ParityAddXorAccumulates) {
+  StorageNode node(9, 2, 4);
+  node.parity_add(1, 0, 0, 1, bytes({0b1100}, 4));
+  node.parity_add(1, 0, 1, 2, bytes({0b1010}, 4));
+  EXPECT_EQ(node.parity_read(1).payload[0], 0b0110);
+}
+
+TEST(StorageNode, ParityContributorsIndependent) {
+  StorageNode node(9, 3, 4);
+  node.parity_add(1, 0, 0, 5, bytes({1}, 4));
+  node.parity_add(1, 2, 0, 7, bytes({2}, 4));
+  const auto versions = node.parity_versions(1);
+  EXPECT_EQ(versions[0], 5u);
+  EXPECT_EQ(versions[1], 0u);
+  EXPECT_EQ(versions[2], 7u);
+}
+
+TEST(StorageNode, ParityInstallOverwritesEverything) {
+  StorageNode node(9, 2, 4);
+  node.parity_add(1, 0, 0, 1, bytes({1}, 4));
+  node.parity_install(1, {4, 9}, bytes({42}, 4));
+  EXPECT_EQ(node.parity_versions(1), (std::vector<Version>{4, 9}));
+  EXPECT_EQ(node.parity_read(1).payload[0], 42);
+}
+
+TEST(StorageNode, BytesStoredCountsUniqueChunks) {
+  StorageNode node(0, 2, 16);
+  node.replica_write(1, 0, 1, bytes({1}, 16));
+  node.replica_write(1, 0, 2, bytes({2}, 16));  // overwrite: no growth
+  EXPECT_EQ(node.bytes_stored(), 16u);
+  node.parity_add(2, 0, 0, 1, bytes({1}, 16));
+  EXPECT_EQ(node.bytes_stored(), 32u);
+}
+
+TEST(StorageNode, StripesListsBothStores) {
+  StorageNode node(0, 2, 8);
+  node.replica_write(10, 0, 1, bytes({1}, 8));
+  node.parity_add(20, 0, 0, 1, bytes({1}, 8));
+  const auto stripes = node.stripes();
+  EXPECT_EQ(stripes.size(), 2u);
+}
+
+TEST(StorageNode, WipeClearsEverything) {
+  StorageNode node(0, 2, 8);
+  node.replica_write(10, 0, 1, bytes({1}, 8));
+  node.parity_add(20, 0, 0, 1, bytes({1}, 8));
+  node.wipe();
+  EXPECT_EQ(node.bytes_stored(), 0u);
+  EXPECT_EQ(node.replica_version(10, 0), 0u);
+  EXPECT_EQ(node.parity_versions(20), std::vector<Version>(2, 0));
+}
+
+TEST(StorageNode, FailRecoverPreservesContents) {
+  // A crash is not a wipe: stale-but-present data is the case the version
+  // vectors exist for.
+  StorageNode node(0, 2, 8);
+  node.replica_write(10, 0, 4, bytes({9}, 8));
+  node.set_up(false);
+  node.set_up(true);
+  EXPECT_EQ(node.replica_version(10, 0), 4u);
+}
+
+TEST(StorageNodeDeath, ChunkSizeMismatchRejected) {
+  StorageNode node(0, 2, 8);
+  EXPECT_DEATH(node.replica_write(1, 0, 1, bytes({1}, 4)), "mismatch");
+  EXPECT_DEATH(node.parity_add(1, 0, 0, 1, bytes({1}, 4)), "mismatch");
+}
+
+TEST(StorageNodeDeath, ParityIndexBounded) {
+  StorageNode node(0, 2, 8);
+  EXPECT_DEATH(node.parity_add(1, 2, 0, 1, bytes({1}, 8)), "out of range");
+}
+
+}  // namespace
+}  // namespace traperc::storage

@@ -1,0 +1,57 @@
+#include "topology/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace traperc::topology {
+namespace {
+
+TEST(Grid, SlotLayoutIsRowMajor) {
+  const Grid grid(3, 4);
+  EXPECT_EQ(grid.total_nodes(), 12u);
+  unsigned expected = 0;
+  for (unsigned r = 0; r < 3; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      EXPECT_EQ(grid.slot(r, c), expected++);
+    }
+  }
+}
+
+TEST(Grid, RowColInvertSlot) {
+  const Grid grid(4, 5);
+  for (unsigned s = 0; s < grid.total_nodes(); ++s) {
+    EXPECT_EQ(grid.slot(grid.row_of(s), grid.col_of(s)), s);
+  }
+}
+
+TEST(Grid, NearestSquareExactSquare) {
+  const Grid grid = Grid::nearest_square(16);
+  EXPECT_EQ(grid.rows(), 4u);
+  EXPECT_EQ(grid.cols(), 4u);
+}
+
+TEST(Grid, NearestSquareRectangular) {
+  const Grid grid = Grid::nearest_square(12);
+  EXPECT_EQ(grid.rows() * grid.cols(), 12u);
+  EXPECT_LE(grid.cols(), grid.rows());
+  EXPECT_LE(grid.rows() - grid.cols(), 1u);  // 4x3
+}
+
+TEST(Grid, NearestSquarePrimeFallsBackToColumn) {
+  const Grid grid = Grid::nearest_square(13);
+  EXPECT_EQ(grid.rows(), 13u);
+  EXPECT_EQ(grid.cols(), 1u);
+}
+
+TEST(Grid, NearestSquareOne) {
+  const Grid grid = Grid::nearest_square(1);
+  EXPECT_EQ(grid.total_nodes(), 1u);
+}
+
+TEST(GridDeath, RejectsZeroDimensions) {
+  EXPECT_DEATH(Grid(0, 3), "positive");
+}
+
+}  // namespace
+}  // namespace traperc::topology

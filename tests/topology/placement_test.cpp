@@ -1,0 +1,90 @@
+#include "topology/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/shape_solver.hpp"
+
+namespace traperc::topology {
+namespace {
+
+TEST(ErcPlacement, SlotZeroIsTheDataNode) {
+  for (unsigned block = 0; block < 8; ++block) {
+    const ErcPlacement placement(15, 8, block);
+    EXPECT_EQ(placement.node_at_slot(0), block);
+    EXPECT_EQ(placement.data_node(), block);
+  }
+}
+
+TEST(ErcPlacement, RemainingSlotsAreParityNodesInOrder) {
+  const ErcPlacement placement(15, 8, 3);
+  for (unsigned slot = 1; slot < placement.nbnode(); ++slot) {
+    EXPECT_EQ(placement.node_at_slot(slot), 8 + slot - 1);
+  }
+}
+
+TEST(ErcPlacement, NbnodeMatchesEquation5) {
+  for (unsigned n = 4; n <= 20; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      const ErcPlacement placement(n, k, 0);
+      EXPECT_EQ(placement.nbnode(), n - k + 1);
+    }
+  }
+}
+
+TEST(ErcPlacement, SlotOfNodeInvertsNodeAtSlot) {
+  const ErcPlacement placement(15, 8, 5);
+  for (unsigned slot = 0; slot < placement.nbnode(); ++slot) {
+    EXPECT_EQ(placement.slot_of_node(placement.node_at_slot(slot)), slot);
+  }
+}
+
+TEST(ErcPlacement, OtherDataNodesAreOutsideTheTrapezoid) {
+  const ErcPlacement placement(15, 8, 5);
+  for (NodeId node = 0; node < 8; ++node) {
+    if (node == 5) continue;
+    EXPECT_EQ(placement.slot_of_node(node), placement.nbnode());
+  }
+}
+
+TEST(ErcPlacement, TrapezoidNodesAreDistinctAndCoverParity) {
+  const ErcPlacement placement(15, 8, 2);
+  std::set<NodeId> nodes;
+  for (unsigned slot = 0; slot < placement.nbnode(); ++slot) {
+    nodes.insert(placement.node_at_slot(slot));
+  }
+  EXPECT_EQ(nodes.size(), placement.nbnode());
+  EXPECT_TRUE(nodes.count(2));
+  for (NodeId parity = 8; parity < 15; ++parity) {
+    EXPECT_TRUE(nodes.count(parity)) << "parity node " << parity;
+  }
+}
+
+TEST(ErcPlacement, LevelNodesMatchTrapezoidLevels) {
+  const ErcPlacement placement(15, 8, 1);
+  const Trapezoid trapezoid(canonical_shape(placement.nbnode()));
+  unsigned total = 0;
+  for (unsigned l = 0; l < trapezoid.shape().levels(); ++l) {
+    const auto nodes = placement.level_nodes(trapezoid, l);
+    EXPECT_EQ(nodes.size(), trapezoid.shape().level_size(l));
+    total += static_cast<unsigned>(nodes.size());
+  }
+  EXPECT_EQ(total, placement.nbnode());
+  // Level 0 must contain N_i.
+  const auto level0 = placement.level_nodes(trapezoid, 0);
+  EXPECT_EQ(level0.front(), placement.data_node());
+}
+
+TEST(ErcPlacementDeath, MismatchedTrapezoidRejected) {
+  const ErcPlacement placement(15, 8, 1);  // nbnode = 8
+  const Trapezoid wrong({2, 3, 2});        // 15 slots
+  EXPECT_DEATH(placement.level_nodes(wrong, 0), "n-k\\+1");
+}
+
+TEST(ErcPlacementDeath, BlockIndexMustBeBelowK) {
+  EXPECT_DEATH(ErcPlacement(15, 8, 8), "block index");
+}
+
+}  // namespace
+}  // namespace traperc::topology

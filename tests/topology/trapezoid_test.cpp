@@ -1,0 +1,146 @@
+#include "topology/trapezoid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace traperc::topology {
+namespace {
+
+TEST(TrapezoidShape, PaperFigure1Shape) {
+  // Fig. 1: Nbnode = 15 with s_l = 2l + 3 (a=2, b=3, h=2).
+  const TrapezoidShape shape{2, 3, 2};
+  EXPECT_EQ(shape.level_size(0), 3u);
+  EXPECT_EQ(shape.level_size(1), 5u);
+  EXPECT_EQ(shape.level_size(2), 7u);
+  EXPECT_EQ(shape.total_nodes(), 15u);
+  EXPECT_EQ(shape.levels(), 3u);
+  EXPECT_EQ(shape.level0_majority(), 2u);
+}
+
+TEST(TrapezoidShape, TotalMatchesClosedForm) {
+  for (unsigned a = 0; a <= 4; ++a) {
+    for (unsigned b = 1; b <= 5; ++b) {
+      for (unsigned h = 0; h <= 4; ++h) {
+        const TrapezoidShape shape{a, b, h};
+        unsigned manual = 0;
+        for (unsigned l = 0; l <= h; ++l) manual += a * l + b;
+        EXPECT_EQ(shape.total_nodes(), manual)
+            << "a=" << a << " b=" << b << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(TrapezoidShape, FlatShapeIsMajorityVoting) {
+  const TrapezoidShape flat{0, 7, 0};
+  EXPECT_EQ(flat.total_nodes(), 7u);
+  EXPECT_EQ(flat.level0_majority(), 4u);
+}
+
+TEST(TrapezoidShape, ValidityRequiresPositiveB) {
+  EXPECT_FALSE((TrapezoidShape{1, 0, 1}.valid()));
+  EXPECT_TRUE((TrapezoidShape{0, 1, 0}.valid()));
+}
+
+TEST(LevelQuorums, PaperConventionSetsLevel0Majority) {
+  const TrapezoidShape shape{2, 3, 2};
+  const auto q = LevelQuorums::paper_convention(shape, 2);
+  EXPECT_EQ(q.w(0), 2u);  // floor(3/2)+1
+  EXPECT_EQ(q.w(1), 2u);
+  EXPECT_EQ(q.w(2), 2u);
+  EXPECT_TRUE(q.has_level0_majority());
+}
+
+TEST(LevelQuorums, ReadThresholdIdentity) {
+  // r_l = s_l − w_l + 1 must hold for every level and every legal w.
+  const TrapezoidShape shape{2, 3, 2};
+  for (unsigned w = 1; w <= shape.level_size(1); ++w) {
+    const auto q = LevelQuorums::paper_convention(shape, w);
+    for (unsigned l = 0; l < q.levels(); ++l) {
+      EXPECT_EQ(q.r(l), q.s(l) - q.w(l) + 1);
+      EXPECT_GE(q.r(l), 1u);
+      EXPECT_LE(q.r(l), q.s(l));
+    }
+  }
+}
+
+TEST(LevelQuorums, WriteQuorumSizeIsSumOfThresholds) {
+  const TrapezoidShape shape{2, 3, 2};
+  const auto q = LevelQuorums::paper_convention(shape, 3);
+  EXPECT_EQ(q.write_quorum_size(), 2u + 3u + 3u);
+}
+
+TEST(LevelQuorums, ExplicitThresholdsAccepted) {
+  const TrapezoidShape shape{2, 3, 1};
+  const LevelQuorums q(shape, {2u, 4u});
+  EXPECT_EQ(q.w(1), 4u);
+  EXPECT_EQ(q.r(1), 2u);
+}
+
+TEST(LevelQuorumsDeath, RejectsWrongThresholdCount) {
+  const TrapezoidShape shape{2, 3, 1};
+  EXPECT_DEATH((LevelQuorums(shape, {2u})), "one write threshold per level");
+}
+
+TEST(LevelQuorumsDeath, RejectsThresholdAboveLevelSize) {
+  const TrapezoidShape shape{2, 3, 1};
+  EXPECT_DEATH((LevelQuorums(shape, {2u, 6u})), "outside");
+}
+
+TEST(LevelQuorumsDeath, RejectsNonMajorityLevel0) {
+  const TrapezoidShape shape{2, 3, 1};
+  EXPECT_DEATH((LevelQuorums(shape, {1u, 2u})), "floor");
+}
+
+TEST(Trapezoid, SlotsPartitionIntoLevels) {
+  const Trapezoid trapezoid({2, 3, 2});
+  EXPECT_EQ(trapezoid.total_slots(), 15u);
+  unsigned covered = 0;
+  for (unsigned l = 0; l < 3; ++l) {
+    for (unsigned slot : trapezoid.slots_on_level(l)) {
+      EXPECT_EQ(trapezoid.level_of(slot), l);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, 15u);
+}
+
+TEST(Trapezoid, SlotZeroIsOnLevelZero) {
+  for (unsigned a : {0u, 1u, 2u}) {
+    for (unsigned b : {1u, 3u, 5u}) {
+      const Trapezoid trapezoid({a, b, 2});
+      EXPECT_EQ(trapezoid.level_of(0), 0u);
+    }
+  }
+}
+
+TEST(Trapezoid, LevelsAreContiguousAscending) {
+  const Trapezoid trapezoid({3, 2, 2});
+  unsigned expected = 0;
+  for (unsigned l = 0; l < 3; ++l) {
+    for (unsigned slot : trapezoid.slots_on_level(l)) {
+      EXPECT_EQ(slot, expected++);
+    }
+  }
+}
+
+TEST(Trapezoid, RenderMentionsEveryLevel) {
+  const Trapezoid trapezoid({2, 3, 2});
+  const auto render = trapezoid.render();
+  EXPECT_NE(render.find("level 0 (s=3)"), std::string::npos);
+  EXPECT_NE(render.find("level 1 (s=5)"), std::string::npos);
+  EXPECT_NE(render.find("level 2 (s=7)"), std::string::npos);
+  EXPECT_NE(render.find("[14]"), std::string::npos);
+}
+
+TEST(Trapezoid, RenderUsesCustomLabels) {
+  const Trapezoid trapezoid({0, 2, 0});
+  const std::vector<std::string> labels{"Ni", "N9"};
+  const auto render = trapezoid.render(labels);
+  EXPECT_NE(render.find("Ni"), std::string::npos);
+  EXPECT_NE(render.find("N9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace traperc::topology
