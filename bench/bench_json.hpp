@@ -1,0 +1,111 @@
+// Tiny helpers shared by the micro benches' custom mains: wall-clock timing
+// of a kernel invocation (warmup + auto-calibrated repetition) and
+// machine-readable JSON emission (BENCH_gf.json / BENCH_erasure.json) so the
+// perf trajectory is tracked from PR 1 onward.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace traperc::benchjson {
+
+/// Best-of-3 throughput measurement: calls `op` (which must process
+/// `bytes_per_call` bytes) repeatedly for ~80 ms per repetition after a
+/// warmup, and returns megabytes per second. Templated on the callable so
+/// the measured loop inlines the kernel instead of paying an indirect call
+/// per iteration (which would skew small-region numbers).
+template <typename Op>
+double measure_mb_per_s(std::size_t bytes_per_call, Op&& op) {
+  using clock = std::chrono::steady_clock;
+  constexpr double kTargetSec = 0.08;
+  // Warmup + calibration: find an iteration count that runs >= kTargetSec.
+  std::size_t iters = 1;
+  double sec = 0.0;
+  for (;;) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    sec = std::chrono::duration<double>(clock::now() - start).count();
+    if (sec >= kTargetSec / 4 || iters >= (1u << 28)) break;
+    iters *= 4;
+  }
+  // Scale up so each timed repetition actually runs ~kTargetSec.
+  if (sec > 0.0 && sec < kTargetSec) {
+    iters = static_cast<std::size_t>(
+                static_cast<double>(iters) * kTargetSec / sec) +
+            1;
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const double sec = std::chrono::duration<double>(clock::now() - start)
+                           .count();
+    const double mbps = static_cast<double>(bytes_per_call) *
+                        static_cast<double>(iters) / sec / 1e6;
+    if (mbps > best) best = mbps;
+  }
+  return best;
+}
+
+/// Minimal JSON array builder (objects of scalar fields only — everything
+/// the bench sweeps need).
+class JsonWriter {
+ public:
+  void begin_object() {
+    maybe_comma();
+    out_ += '{';
+    first_ = true;
+  }
+  void end_object() {
+    out_ += '}';
+    first_ = false;
+  }
+  void begin_array(const std::string& key) {
+    maybe_comma();
+    out_ += '"' + key + "\":[";
+    first_ = true;
+  }
+  void end_array() {
+    out_ += ']';
+    first_ = false;
+  }
+  void field(const std::string& key, const std::string& value) {
+    maybe_comma();
+    out_ += '"' + key + "\":\"" + value + '"';
+  }
+  void field(const std::string& key, double value) {
+    maybe_comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+    out_ += '"' + key + "\":" + buf;
+  }
+  void field(const std::string& key, std::size_t value) {
+    maybe_comma();
+    out_ += '"' + key + "\":" + std::to_string(value);
+  }
+
+  /// Writes the accumulated document to `path`; returns false on IO error.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs(out_.c_str(), f);
+    std::fputc('\n', f);
+    return std::fclose(f) == 0;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void maybe_comma() {
+    if (!first_ && !out_.empty() && out_.back() != '{' && out_.back() != '[') {
+      out_ += ',';
+    }
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace traperc::benchjson

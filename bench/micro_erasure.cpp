@@ -161,3 +161,146 @@ void BM_DecodeMatrixInversion(benchmark::State& state) {
 BENCHMARK(BM_DecodeMatrixInversion)->Args({9, 6})->Args({15, 8})->Args({30, 20});
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Fused-encode sweep → BENCH_erasure.json
+//
+// Times RSCode::encode (fused matrix_apply path) against the pre-fusion
+// loop — k full mul_add_region passes per parity block over a zeroed
+// destination — across (n,k) × chunk-size, and emits the speedup so the
+// ">= 2x end-to-end at (14,10,64KiB)" acceptance gate is machine-checkable.
+// Pass --gbench to also run the Google Benchmark suite above.
+// ---------------------------------------------------------------------------
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
+#include "gf/region.hpp"
+
+namespace {
+
+// Unfused loop shape (k full passes per parity block over a zeroed
+// destination) with the active SIMD kernel — isolates the fusion gain.
+void encode_unfused(const RSCode& code,
+                    const std::vector<const std::uint8_t*>& data,
+                    const std::vector<std::uint8_t*>& parity,
+                    std::size_t chunk_len) {
+  const auto& field = traperc::gf::GF256::instance();
+  for (unsigned j = 0; j < code.parity_count(); ++j) {
+    std::memset(parity[j], 0, chunk_len);
+    for (unsigned i = 0; i < code.k(); ++i) {
+      traperc::gf::mul_add_region(field, code.coefficient(j, i), data[i],
+                                  parity[j], chunk_len);
+    }
+  }
+}
+
+// The seed's encode path, byte for byte: unfused loop over the portable
+// scalar split-nibble kernel (what every byte went through before this PR).
+// This is the baseline for the end-to-end acceptance gate.
+void encode_prefusion_scalar(const RSCode& code,
+                             const std::vector<const std::uint8_t*>& data,
+                             const std::vector<std::uint8_t*>& parity,
+                             std::size_t chunk_len) {
+  const auto& field = traperc::gf::GF256::instance();
+  for (unsigned j = 0; j < code.parity_count(); ++j) {
+    std::memset(parity[j], 0, chunk_len);
+    for (unsigned i = 0; i < code.k(); ++i) {
+      const std::uint8_t c = code.coefficient(j, i);
+      if (c == 0) continue;
+      if (c == 1) {
+        traperc::gf::xor_region(data[i], parity[j], chunk_len);
+      } else if (chunk_len >= traperc::gf::kSplitThreshold) {
+        traperc::gf::mul_add_region_split4(field, c, data[i], parity[j],
+                                           chunk_len);
+      } else {
+        traperc::gf::mul_add_region_table(field, c, data[i], parity[j],
+                                          chunk_len);
+      }
+    }
+  }
+}
+
+void run_sweep(const std::string& out_path) {
+  using traperc::benchjson::JsonWriter;
+  using traperc::benchjson::measure_mb_per_s;
+
+  struct Shape {
+    unsigned n;
+    unsigned k;
+  };
+  const Shape kShapes[] = {{9, 6}, {15, 8}, {14, 10}};
+  const std::size_t kChunks[] = {4096, 65536};
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", std::string("micro_erasure"));
+  json.begin_array("encode");
+  for (const Shape shape : kShapes) {
+    const RSCode code(shape.n, shape.k);
+    for (const std::size_t chunk_len : kChunks) {
+      std::vector<std::vector<std::uint8_t>> data;
+      std::vector<std::vector<std::uint8_t>> parity(
+          shape.n - shape.k, std::vector<std::uint8_t>(chunk_len));
+      std::vector<const std::uint8_t*> data_ptrs;
+      std::vector<std::uint8_t*> parity_ptrs;
+      for (unsigned i = 0; i < shape.k; ++i) {
+        data.push_back(random_bytes(chunk_len, 50 + i));
+        data_ptrs.push_back(data.back().data());
+      }
+      for (auto& c : parity) parity_ptrs.push_back(c.data());
+      const std::size_t bytes = shape.k * chunk_len;
+
+      const double fused = measure_mb_per_s(bytes, [&] {
+        code.encode(data_ptrs, parity_ptrs, chunk_len);
+        benchmark::DoNotOptimize(parity_ptrs.data());
+      });
+      const double unfused = measure_mb_per_s(bytes, [&] {
+        encode_unfused(code, data_ptrs, parity_ptrs, chunk_len);
+        benchmark::DoNotOptimize(parity_ptrs.data());
+      });
+      const double prefusion = measure_mb_per_s(bytes, [&] {
+        encode_prefusion_scalar(code, data_ptrs, parity_ptrs, chunk_len);
+        benchmark::DoNotOptimize(parity_ptrs.data());
+      });
+
+      json.begin_object();
+      json.field("n", static_cast<std::size_t>(shape.n));
+      json.field("k", static_cast<std::size_t>(shape.k));
+      json.field("chunk_len", chunk_len);
+      json.field("fused_source_mb_per_s", fused);
+      json.field("unfused_same_kernel_mb_per_s", unfused);
+      json.field("prefusion_scalar_mb_per_s", prefusion);
+      json.field("speedup_vs_prefusion", fused / prefusion);
+      json.field("speedup_fused_vs_unfused", fused / unfused);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  const char* out = std::getenv("TRAPERC_BENCH_OUT");
+  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_erasure.json");
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -105,3 +105,145 @@ void BM_XorRegion(benchmark::State& state) {
 BENCHMARK(BM_XorRegion)->Arg(4096)->Arg(65536);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernel × region-size × (n,k) sweep → BENCH_gf.json
+//
+// Runs every compiled-in, CPU-supported kernel tier through mul_add_region
+// and the fused matrix_apply, computes each tier's speedup over the scalar
+// split-nibble baseline, and writes a machine-readable JSON report (path
+// from TRAPERC_BENCH_OUT, default BENCH_gf.json). Pass --gbench to also run
+// the Google Benchmark suite above.
+// ---------------------------------------------------------------------------
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_json.hpp"
+#include "gf/kernels/kernels.hpp"
+
+namespace {
+
+void run_sweep(const std::string& out_path) {
+  using traperc::benchjson::JsonWriter;
+  using traperc::benchjson::measure_mb_per_s;
+
+  const auto& field = GF256::instance();
+  const auto tiers = traperc::gf::kernels::available();
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", std::string("micro_gf"));
+  json.field("active_kernel",
+             std::string(traperc::gf::kernels::active().name));
+  json.field("baseline_kernel", std::string("scalar"));
+
+  // mul_add_region: kernel × region size. Speedups are relative to the
+  // scalar tier at the same region size (the acceptance gate reads the
+  // len == 65536 row).
+  const std::size_t kLens[] = {64, 1024, 4096, 16384, 65536, 262144};
+  std::map<std::size_t, double> scalar_mbps;
+  json.begin_array("mul_add_region");
+  for (const auto* tier : tiers) {
+    for (const std::size_t len : kLens) {
+      const auto src = random_bytes(len, 21);
+      auto dst = random_bytes(len, 22);
+      const auto tables =
+          traperc::gf::kernels::make_nibble_tables(field, 0x57);
+      const double mbps = measure_mb_per_s(len, [&] {
+        tier->mul_add(tables, src.data(), dst.data(), len);
+        benchmark::DoNotOptimize(dst.data());
+      });
+      if (std::strcmp(tier->name, "scalar") == 0) scalar_mbps[len] = mbps;
+      json.begin_object();
+      json.field("kernel", std::string(tier->name));
+      json.field("len", len);
+      json.field("mb_per_s", mbps);
+      json.field("speedup_vs_scalar", mbps / scalar_mbps[len]);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  // Fused matrix_apply: kernel × (n,k) × region size — the encode shape
+  // (n−k destination rows from k sources).
+  struct Shape {
+    unsigned n;
+    unsigned k;
+  };
+  const Shape kShapes[] = {{9, 6}, {14, 10}};
+  const std::size_t kMatrixLens[] = {4096, 65536};
+  std::map<std::string, double> scalar_matrix_mbps;
+  json.begin_array("matrix_apply");
+  for (const auto* tier : tiers) {
+    for (const Shape shape : kShapes) {
+      for (const std::size_t len : kMatrixLens) {
+        const unsigned rows = shape.n - shape.k;
+        const unsigned cols = shape.k;
+        Rng coeff_rng(99);
+        std::vector<std::uint8_t> coeffs(
+            static_cast<std::size_t>(rows) * cols);
+        for (auto& c : coeffs) {
+          c = static_cast<std::uint8_t>(coeff_rng.next_u64() | 1);
+        }
+        std::vector<std::vector<std::uint8_t>> srcs;
+        std::vector<const std::uint8_t*> src_ptrs;
+        for (unsigned i = 0; i < cols; ++i) {
+          srcs.push_back(random_bytes(len, 30 + i));
+          src_ptrs.push_back(srcs.back().data());
+        }
+        std::vector<std::vector<std::uint8_t>> dsts(
+            rows, std::vector<std::uint8_t>(len));
+        std::vector<std::uint8_t*> dst_ptrs;
+        for (auto& d : dsts) dst_ptrs.push_back(d.data());
+        const std::size_t bytes = static_cast<std::size_t>(cols) * len;
+        const double mbps = measure_mb_per_s(bytes, [&] {
+          tier->matrix_apply(field, coeffs.data(), rows, cols,
+                             src_ptrs.data(), dst_ptrs.data(), len);
+          benchmark::DoNotOptimize(dst_ptrs.data());
+        });
+        const std::string key = std::to_string(shape.n) + "," +
+                                std::to_string(shape.k) + "," +
+                                std::to_string(len);
+        if (std::strcmp(tier->name, "scalar") == 0) {
+          scalar_matrix_mbps[key] = mbps;
+        }
+        json.begin_object();
+        json.field("kernel", std::string(tier->name));
+        json.field("n", static_cast<std::size_t>(shape.n));
+        json.field("k", static_cast<std::size_t>(shape.k));
+        json.field("len", len);
+        json.field("source_mb_per_s", mbps);
+        json.field("speedup_vs_scalar", mbps / scalar_matrix_mbps[key]);
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  const char* out = std::getenv("TRAPERC_BENCH_OUT");
+  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_gf.json");
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -24,17 +24,17 @@ namespace {
 double live_read_rate(core::SimCluster& cluster, double p, int trials,
                       std::uint64_t seed) {
   const auto value = cluster.make_pattern(1);
-  cluster.set_node_states(std::vector<bool>(15, true));
+  cluster.set_node_states(std::vector<std::uint8_t>(15, true));
   if (cluster.write_block_sync(0, 0, value) != OpStatus::kSuccess) return -1;
   Rng rng(seed);
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
     ok += cluster.read_block_sync(0, 0).status == OpStatus::kSuccess ? 1 : 0;
   }
-  cluster.set_node_states(std::vector<bool>(15, true));
+  cluster.set_node_states(std::vector<std::uint8_t>(15, true));
   return static_cast<double>(ok) / trials;
 }
 
@@ -47,12 +47,12 @@ double live_write_rate(core::SimCluster& cluster, double p, int trials,
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
     const BlockId stripe = stripe_base + t;
-    cluster.set_node_states(std::vector<bool>(15, true));
+    cluster.set_node_states(std::vector<std::uint8_t>(15, true));
     if (cluster.write_block_sync(stripe, 0, cluster.make_pattern(t)) !=
         OpStatus::kSuccess) {
       return -1;
     }
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
     ok += cluster.write_block_sync(stripe, 0, cluster.make_pattern(t + 1)) ==
@@ -60,7 +60,7 @@ double live_write_rate(core::SimCluster& cluster, double p, int trials,
               ? 1
               : 0;
   }
-  cluster.set_node_states(std::vector<bool>(15, true));
+  cluster.set_node_states(std::vector<std::uint8_t>(15, true));
   return static_cast<double>(ok) / trials;
 }
 
@@ -115,7 +115,7 @@ int main() {
     BlockId stripe_base = 1'000'000;
     for (double p : {0.5, 0.7, 0.9}) {
       const double with_prefix = analysis::exact_availability(
-          n, p, [&d](const std::vector<bool>& up) {
+          n, p, [&d](traperc::MemberSet up) {
             return analysis::write_possible(d, up) &&
                    analysis::read_possible_erc_algorithmic(d, up);
           });

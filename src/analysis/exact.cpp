@@ -16,7 +16,7 @@ double exact_availability(unsigned num_nodes, double p,
   for (unsigned u = 0; u <= num_nodes; ++u) {
     weight_by_count[u] = std::pow(p, u) * std::pow(1.0 - p, num_nodes - u);
   }
-  std::vector<bool> up(num_nodes);
+  std::vector<std::uint8_t> up(num_nodes);
   double total = 0.0;
   const std::uint32_t states = 1U << num_nodes;
   for (std::uint32_t mask = 0; mask < states; ++mask) {
@@ -27,27 +27,27 @@ double exact_availability(unsigned num_nodes, double p,
 }
 
 double exact_write_availability(const BlockDeployment& d, double p) {
-  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+  return exact_availability(d.n(), p, [&](NodeStates up) {
     return write_possible(d, up);
   });
 }
 
 double exact_read_availability_fr(const BlockDeployment& d, double p) {
-  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+  return exact_availability(d.n(), p, [&](NodeStates up) {
     return read_possible_fr(d, up);
   });
 }
 
 double exact_read_availability_erc_algorithmic(const BlockDeployment& d,
                                                double p) {
-  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+  return exact_availability(d.n(), p, [&](NodeStates up) {
     return read_possible_erc_algorithmic(d, up);
   });
 }
 
 double exact_read_availability_erc_paper_event(const BlockDeployment& d,
                                                double p) {
-  return exact_availability(d.n(), p, [&](const std::vector<bool>& up) {
+  return exact_availability(d.n(), p, [&](NodeStates up) {
     return read_possible_erc_paper_event(d, up);
   });
 }

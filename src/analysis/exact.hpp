@@ -14,7 +14,7 @@
 
 namespace traperc::analysis {
 
-using StatePredicate = std::function<bool(const std::vector<bool>& up)>;
+using StatePredicate = std::function<bool(NodeStates up)>;
 
 /// Probability of `event` over all 2^num_nodes states. num_nodes <= 24.
 [[nodiscard]] double exact_availability(unsigned num_nodes, double p,

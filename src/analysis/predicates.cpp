@@ -19,13 +19,13 @@ BlockDeployment::BlockDeployment(unsigned n, unsigned k, unsigned block,
 namespace {
 
 unsigned live_count(const std::vector<NodeId>& nodes,
-                    const std::vector<bool>& up) {
+                    NodeStates up) {
   unsigned count = 0;
   for (NodeId node : nodes) count += up[node] ? 1 : 0;
   return count;
 }
 
-unsigned live_count_excluding(const std::vector<bool>& up, NodeId excluded) {
+unsigned live_count_excluding(NodeStates up, NodeId excluded) {
   unsigned count = 0;
   for (NodeId node = 0; node < up.size(); ++node) {
     if (node != excluded && up[node]) ++count;
@@ -35,7 +35,7 @@ unsigned live_count_excluding(const std::vector<bool>& up, NodeId excluded) {
 
 }  // namespace
 
-bool write_possible(const BlockDeployment& d, const std::vector<bool>& up) {
+bool write_possible(const BlockDeployment& d, NodeStates up) {
   TRAPERC_DCHECK(up.size() == d.n());
   for (unsigned l = 0; l < d.quorums().levels(); ++l) {
     if (live_count(d.level_nodes(l), up) < d.quorums().w(l)) return false;
@@ -44,7 +44,7 @@ bool write_possible(const BlockDeployment& d, const std::vector<bool>& up) {
 }
 
 bool version_check_possible(const BlockDeployment& d,
-                            const std::vector<bool>& up) {
+                            NodeStates up) {
   TRAPERC_DCHECK(up.size() == d.n());
   for (unsigned l = 0; l < d.quorums().levels(); ++l) {
     if (live_count(d.level_nodes(l), up) >= d.quorums().r(l)) return true;
@@ -52,12 +52,12 @@ bool version_check_possible(const BlockDeployment& d,
   return false;
 }
 
-bool read_possible_fr(const BlockDeployment& d, const std::vector<bool>& up) {
+bool read_possible_fr(const BlockDeployment& d, NodeStates up) {
   return version_check_possible(d, up);
 }
 
 bool read_possible_erc_algorithmic(const BlockDeployment& d,
-                                   const std::vector<bool>& up) {
+                                   NodeStates up) {
   if (!version_check_possible(d, up)) return false;
   const NodeId data_node = d.placement().data_node();
   if (up[data_node]) return true;  // Alg. 2 Case 1: direct read
@@ -66,7 +66,7 @@ bool read_possible_erc_algorithmic(const BlockDeployment& d,
 }
 
 bool read_possible_erc_paper_event(const BlockDeployment& d,
-                                   const std::vector<bool>& up) {
+                                   NodeStates up) {
   const NodeId data_node = d.placement().data_node();
   if (up[data_node]) return version_check_possible(d, up);  // P1 event
   return live_count_excluding(up, data_node) >= d.k();      // P2 event

@@ -17,12 +17,20 @@
 //     requirement on the decode branch).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/types.hpp"
 #include "topology/placement.hpp"
 #include "topology/trapezoid.hpp"
 
 namespace traperc::analysis {
+
+/// Node-state vector view: up[i] != 0 means node i is live (see
+/// traperc::MemberSet for the rationale — no std::vector<bool> proxies in
+/// the Monte Carlo / oracle inner loops).
+using NodeStates = MemberSet;
 
 /// One block's trapezoid deployment inside an (n,k) cluster: quorum
 /// thresholds plus the slot→node placement. Cheap to copy per block.
@@ -54,23 +62,23 @@ class BlockDeployment {
 
 /// Alg. 1: every level l must reach w_l live nodes.
 [[nodiscard]] bool write_possible(const BlockDeployment& d,
-                                  const std::vector<bool>& up);
+                                  NodeStates up);
 
 /// Version check of Alg. 2: some level l reaches r_l = s_l − w_l + 1 live
 /// nodes.
 [[nodiscard]] bool version_check_possible(const BlockDeployment& d,
-                                          const std::vector<bool>& up);
+                                          NodeStates up);
 
 /// TRAP-FR read: version check alone suffices (any live replica serves).
 [[nodiscard]] bool read_possible_fr(const BlockDeployment& d,
-                                    const std::vector<bool>& up);
+                                    NodeStates up);
 
 /// TRAP-ERC read, Algorithm 2 semantics.
 [[nodiscard]] bool read_possible_erc_algorithmic(const BlockDeployment& d,
-                                                 const std::vector<bool>& up);
+                                                 NodeStates up);
 
 /// TRAP-ERC read, the event measured by eq. 13.
 [[nodiscard]] bool read_possible_erc_paper_event(const BlockDeployment& d,
-                                                 const std::vector<bool>& up);
+                                                 NodeStates up);
 
 }  // namespace traperc::analysis

@@ -4,12 +4,20 @@
 #include <cstdint>
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <string>
 
 namespace traperc {
 
 /// Index of a storage node within a cluster ([0, n)).
 using NodeId = std::uint32_t;
+
+/// Membership / node-state vector view: v[i] != 0 means node (or slot) i is
+/// in the set (live, member of the candidate quorum, ...). Plain bytes
+/// rather than std::vector<bool> so the hot decision loops (Monte Carlo
+/// sampling, 2^n oracle enumeration) index without bit-proxy overhead; any
+/// contiguous uint8_t buffer binds implicitly.
+using MemberSet = std::span<const std::uint8_t>;
 
 /// Identifier of a logical data block (the unit the quorum protocol protects).
 using BlockId = std::uint64_t;

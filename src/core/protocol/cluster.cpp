@@ -53,6 +53,13 @@ void SimCluster::set_node_states(const std::vector<bool>& up) {
   for (NodeId id = 0; id < up.size(); ++id) nodes_[id]->set_up(up[id]);
 }
 
+void SimCluster::set_node_states(MemberSet up) {
+  TRAPERC_CHECK_MSG(up.size() == nodes_.size(), "state vector size mismatch");
+  for (NodeId id = 0; id < up.size(); ++id) {
+    nodes_[id]->set_up(up[id] != 0);
+  }
+}
+
 std::vector<bool> SimCluster::node_states() const {
   std::vector<bool> up(nodes_.size());
   for (NodeId id = 0; id < nodes_.size(); ++id) up[id] = nodes_[id]->up();

@@ -45,6 +45,9 @@ class SimCluster {
   void recover_node(NodeId id);
   /// Applies a full liveness vector at once (Monte Carlo trials).
   void set_node_states(const std::vector<bool>& up);
+  /// Byte-vector overload: shares state vectors with the analysis
+  /// predicates and quorum systems (MemberSet semantics, up[i] != 0).
+  void set_node_states(MemberSet up);
   [[nodiscard]] std::vector<bool> node_states() const;
   [[nodiscard]] unsigned live_nodes() const;
 

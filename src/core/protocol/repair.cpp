@@ -167,12 +167,16 @@ RepairReport RepairManager::rebuild_node(NodeId target,
       ++report.chunks_unrecoverable;
       continue;
     }
-    std::vector<std::uint8_t> parity(config_.chunk_len, 0);
-    const auto& field = gf::GF256::instance();
+    std::vector<std::uint8_t> parity(config_.chunk_len);
+    std::vector<std::uint8_t> coeffs(config_.k);
+    std::vector<const std::uint8_t*> block_ptrs(config_.k);
     for (unsigned m = 0; m < config_.k; ++m) {
-      gf::mul_add_region(field, code_->coefficient(j, m), blocks[m].data(),
-                         parity.data(), config_.chunk_len);
+      coeffs[m] = code_->coefficient(j, m);
+      block_ptrs[m] = blocks[m].data();
     }
+    std::uint8_t* parity_ptr = parity.data();
+    gf::matrix_apply(gf::GF256::instance(), coeffs.data(), 1, config_.k,
+                     block_ptrs.data(), &parity_ptr, config_.chunk_len);
     nodes_[target]->parity_install(stripe, std::move(contrib),
                                    std::move(parity));
     ++report.chunks_rebuilt;
@@ -242,16 +246,22 @@ bool RepairManager::reconcile_stripe(BlockId stripe) {
     }
   }
   // Reinstall parity on live parity nodes that diverge from the snapshot.
-  const auto& field = gf::GF256::instance();
+  std::vector<const std::uint8_t*> payload_ptrs(config_.k);
+  for (unsigned m = 0; m < config_.k; ++m) {
+    payload_ptrs[m] = payloads[m].data();
+  }
   for (NodeId id = config_.k; id < config_.n; ++id) {
     if (!nodes_[id]->up()) continue;
     if (nodes_[id]->parity_versions(stripe) == best) continue;
     const unsigned j = id - config_.k;
-    std::vector<std::uint8_t> parity(config_.chunk_len, 0);
+    std::vector<std::uint8_t> parity(config_.chunk_len);
+    std::vector<std::uint8_t> coeffs(config_.k);
     for (unsigned m = 0; m < config_.k; ++m) {
-      gf::mul_add_region(field, code_->coefficient(j, m), payloads[m].data(),
-                         parity.data(), config_.chunk_len);
+      coeffs[m] = code_->coefficient(j, m);
     }
+    std::uint8_t* parity_ptr = parity.data();
+    gf::matrix_apply(gf::GF256::instance(), coeffs.data(), 1, config_.k,
+                     payload_ptrs.data(), &parity_ptr, config_.chunk_len);
     nodes_[id]->parity_install(stripe, best, std::move(parity));
   }
   return stripe_consistent(stripe);

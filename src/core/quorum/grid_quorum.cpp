@@ -9,7 +9,7 @@ GridQuorum::GridQuorum(topology::Grid grid) : grid_(grid) {}
 unsigned GridQuorum::universe_size() const { return grid_.total_nodes(); }
 
 bool GridQuorum::contains_write_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == universe_size());
   bool any_full_column = false;
   for (unsigned c = 0; c < grid_.cols(); ++c) {
@@ -26,7 +26,7 @@ bool GridQuorum::contains_write_quorum(
   return any_full_column;
 }
 
-bool GridQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+bool GridQuorum::contains_read_quorum(MemberSet members) const {
   TRAPERC_DCHECK(members.size() == universe_size());
   for (unsigned c = 0; c < grid_.cols(); ++c) {
     bool any = false;

@@ -14,9 +14,9 @@ class GridQuorum final : public QuorumSystem {
 
   [[nodiscard]] unsigned universe_size() const override;
   [[nodiscard]] bool contains_write_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] bool contains_read_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const topology::Grid& grid() const noexcept { return grid_; }

@@ -8,8 +8,8 @@ namespace traperc::core {
 
 namespace {
 
-std::vector<bool> to_members(std::uint32_t mask, unsigned n) {
-  std::vector<bool> members(n);
+std::vector<std::uint8_t> to_members(std::uint32_t mask, unsigned n) {
+  std::vector<std::uint8_t> members(n);
   for (unsigned i = 0; i < n; ++i) members[i] = (mask >> i) & 1U;
   return members;
 }

@@ -16,7 +16,7 @@ struct IntersectionReport {
   bool read_write_intersect = false;   ///< eq. 2 holds for every RQ/WQ pair
   /// Witness of a violation (a set whose complement also holds a quorum);
   /// empty when both properties hold.
-  std::vector<bool> violation_witness;
+  std::vector<std::uint8_t> violation_witness;
 };
 
 /// Exhaustively checks both intersection properties. universe_size() <= 24.

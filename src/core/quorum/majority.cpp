@@ -9,7 +9,7 @@ MajorityQuorum::MajorityQuorum(unsigned replicas) : replicas_(replicas) {
 }
 
 namespace {
-unsigned count(const std::vector<bool>& members) {
+unsigned count(MemberSet members) {
   unsigned total = 0;
   for (bool m : members) total += m ? 1 : 0;
   return total;
@@ -17,13 +17,13 @@ unsigned count(const std::vector<bool>& members) {
 }  // namespace
 
 bool MajorityQuorum::contains_write_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == replicas_);
   return count(members) >= threshold();
 }
 
 bool MajorityQuorum::contains_read_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   return contains_write_quorum(members);
 }
 

@@ -12,9 +12,9 @@ class MajorityQuorum final : public QuorumSystem {
 
   [[nodiscard]] unsigned universe_size() const override { return replicas_; }
   [[nodiscard]] bool contains_write_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] bool contains_read_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] unsigned threshold() const noexcept {

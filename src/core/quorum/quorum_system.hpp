@@ -9,7 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace traperc::core {
+
+using traperc::MemberSet;
 
 class QuorumSystem {
  public:
@@ -20,11 +24,11 @@ class QuorumSystem {
 
   /// True iff `members` (size universe_size) contains a write quorum.
   [[nodiscard]] virtual bool contains_write_quorum(
-      const std::vector<bool>& members) const = 0;
+      MemberSet members) const = 0;
 
   /// True iff `members` contains a read quorum.
   [[nodiscard]] virtual bool contains_read_quorum(
-      const std::vector<bool>& members) const = 0;
+      MemberSet members) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -11,13 +11,13 @@ RowaQuorum::RowaQuorum(unsigned replicas) : replicas_(replicas) {
 }
 
 bool RowaQuorum::contains_write_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == replicas_);
   return std::all_of(members.begin(), members.end(),
                      [](bool m) { return m; });
 }
 
-bool RowaQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+bool RowaQuorum::contains_read_quorum(MemberSet members) const {
   TRAPERC_DCHECK(members.size() == replicas_);
   return std::any_of(members.begin(), members.end(),
                      [](bool m) { return m; });

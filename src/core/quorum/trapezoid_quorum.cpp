@@ -14,7 +14,7 @@ unsigned TrapezoidQuorum::universe_size() const {
 }
 
 bool TrapezoidQuorum::contains_write_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == universe_size());
   for (unsigned l = 0; l < quorums_.levels(); ++l) {
     unsigned count = 0;
@@ -27,7 +27,7 @@ bool TrapezoidQuorum::contains_write_quorum(
 }
 
 bool TrapezoidQuorum::contains_read_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == universe_size());
   for (unsigned l = 0; l < quorums_.levels(); ++l) {
     unsigned count = 0;

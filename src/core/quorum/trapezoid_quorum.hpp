@@ -22,9 +22,9 @@ class TrapezoidQuorum final : public QuorumSystem {
 
   [[nodiscard]] unsigned universe_size() const override;
   [[nodiscard]] bool contains_write_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] bool contains_read_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const topology::LevelQuorums& quorums() const noexcept {

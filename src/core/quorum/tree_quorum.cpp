@@ -9,7 +9,7 @@ TreeQuorum::TreeQuorum(unsigned depth)
   TRAPERC_CHECK_MSG(depth >= 1 && depth <= 24, "tree depth must be in 1..24");
 }
 
-bool TreeQuorum::subtree_quorum(const std::vector<bool>& members,
+bool TreeQuorum::subtree_quorum(MemberSet members,
                                 unsigned slot) const {
   const unsigned left = 2 * slot + 1;
   const unsigned right = 2 * slot + 2;
@@ -24,12 +24,12 @@ bool TreeQuorum::subtree_quorum(const std::vector<bool>& members,
 }
 
 bool TreeQuorum::contains_write_quorum(
-    const std::vector<bool>& members) const {
+    MemberSet members) const {
   TRAPERC_DCHECK(members.size() == nodes_);
   return subtree_quorum(members, 0);
 }
 
-bool TreeQuorum::contains_read_quorum(const std::vector<bool>& members) const {
+bool TreeQuorum::contains_read_quorum(MemberSet members) const {
   return contains_write_quorum(members);
 }
 

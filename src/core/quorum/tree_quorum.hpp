@@ -22,9 +22,9 @@ class TreeQuorum final : public QuorumSystem {
 
   [[nodiscard]] unsigned universe_size() const override { return nodes_; }
   [[nodiscard]] bool contains_write_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] bool contains_read_quorum(
-      const std::vector<bool>& members) const override;
+      MemberSet members) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] unsigned depth() const noexcept { return depth_; }
@@ -33,7 +33,7 @@ class TreeQuorum final : public QuorumSystem {
   [[nodiscard]] unsigned min_quorum_size() const noexcept { return depth_; }
 
  private:
-  [[nodiscard]] bool subtree_quorum(const std::vector<bool>& members,
+  [[nodiscard]] bool subtree_quorum(MemberSet members,
                                     unsigned slot) const;
 
   unsigned depth_;

@@ -1,0 +1,106 @@
+// Shared two-stage fused-reconstruct driver for the GF(2^8) and GF(2^16)
+// codecs (internal to src/erasure/).
+//
+// Stage 1 decodes every needed data row exactly once from the k chosen
+// survivors — wanted data rows straight into their out buffer, rows needed
+// only for parity re-encode into one scratch arena. Stage 2 re-encodes all
+// wanted parity rows from the materialized data rows. Both stages go
+// through a single fused matrix-apply call, so each destination is produced
+// in one pass.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace traperc::erasure::detail {
+
+/// `gen_at(id, i)` returns generator element (row id, col i); `inverse_row(i)`
+/// returns a contiguous span of the decode-inverse row i (length k);
+/// `apply(coeffs, rows, cols, srcs, dsts)` performs the fused matrix apply
+/// over chunk_len bytes with overwrite semantics.
+template <typename Element, typename GenAt, typename InverseRow,
+          typename Apply>
+void reconstruct_fused(unsigned n, unsigned k,
+                       std::span<const unsigned> want_ids,
+                       std::span<std::uint8_t* const> out,
+                       std::span<const std::uint8_t* const> chosen_chunks,
+                       std::size_t chunk_len, GenAt&& gen_at,
+                       InverseRow&& inverse_row, Apply&& apply) {
+  // Plan which data rows must be materialized: every wanted data row, plus
+  // every data row feeding a wanted parity row (each decoded exactly once).
+  std::vector<std::uint8_t*> data_dst(k, nullptr);  // where data row i lands
+  std::vector<char> needed(k, 0);
+  for (std::size_t w = 0; w < want_ids.size(); ++w) {
+    const unsigned id = want_ids[w];
+    TRAPERC_CHECK_MSG(id < n, "want id out of range");
+    if (id < k) {
+      needed[id] = 1;
+      if (data_dst[id] == nullptr) data_dst[id] = out[w];
+    } else {
+      for (unsigned i = 0; i < k; ++i) {
+        if (gen_at(id, i) != 0) needed[i] = 1;
+      }
+    }
+  }
+
+  // Rows needed only for parity re-encode live in one scratch arena, reused
+  // across all wanted parity blocks.
+  std::size_t arena_rows = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    if (needed[i] && data_dst[i] == nullptr) ++arena_rows;
+  }
+  std::vector<std::uint8_t> arena(arena_rows * chunk_len);
+  std::size_t next_slot = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    if (needed[i] && data_dst[i] == nullptr) {
+      data_dst[i] = arena.data() + (next_slot++) * chunk_len;
+    }
+  }
+
+  // Stage 1 — fused decode of all needed data rows from the k survivors:
+  // data_i = Σ_c inverse[i][c] · chosen_chunk[c].
+  std::vector<Element> decode_coeffs;
+  std::vector<std::uint8_t*> decode_dsts;
+  for (unsigned i = 0; i < k; ++i) {
+    if (!needed[i]) continue;
+    const auto row = inverse_row(i);
+    decode_coeffs.insert(decode_coeffs.end(), row.begin(), row.end());
+    decode_dsts.push_back(data_dst[i]);
+  }
+  apply(decode_coeffs.data(), static_cast<unsigned>(decode_dsts.size()), k,
+        chosen_chunks.data(), decode_dsts.data());
+
+  // Stage 2 — fused re-encode of the wanted parity rows from the decoded
+  // data rows: b_id = Σ_i gen[id][i] · data_i.
+  std::vector<unsigned> used_cols;
+  for (unsigned i = 0; i < k; ++i) {
+    if (needed[i]) used_cols.push_back(i);
+  }
+  std::vector<const std::uint8_t*> parity_srcs;
+  for (unsigned i : used_cols) parity_srcs.push_back(data_dst[i]);
+  std::vector<Element> parity_coeffs;
+  std::vector<std::uint8_t*> parity_dsts;
+  for (std::size_t w = 0; w < want_ids.size(); ++w) {
+    const unsigned id = want_ids[w];
+    if (id < k) continue;
+    for (unsigned i : used_cols) parity_coeffs.push_back(gen_at(id, i));
+    parity_dsts.push_back(out[w]);
+  }
+  apply(parity_coeffs.data(), static_cast<unsigned>(parity_dsts.size()),
+        static_cast<unsigned>(used_cols.size()), parity_srcs.data(),
+        parity_dsts.data());
+
+  // Duplicate wanted data ids (rare): copy from the first materialization.
+  for (std::size_t w = 0; w < want_ids.size(); ++w) {
+    const unsigned id = want_ids[w];
+    if (id < k && out[w] != data_dst[id]) {
+      std::memcpy(out[w], data_dst[id], chunk_len);
+    }
+  }
+}
+
+}  // namespace traperc::erasure::detail

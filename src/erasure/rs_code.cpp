@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "erasure/reconstruct_plan.hpp"
 #include "gf/region.hpp"
 
 namespace traperc::erasure {
@@ -54,14 +55,12 @@ void RSCode::encode(std::span<const std::uint8_t* const> data,
   TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
   TRAPERC_CHECK_MSG(parity.size() == parity_count(),
                     "need exactly n-k parity chunks");
-  const auto& field = GF256::instance();
-  for (unsigned j = 0; j < parity_count(); ++j) {
-    std::memset(parity[j], 0, chunk_len);
-    for (unsigned i = 0; i < k_; ++i) {
-      gf::mul_add_region(field, coefficient(j, i), data[i], parity[j],
-                         chunk_len);
-    }
-  }
+  if (parity_count() == 0) return;
+  // Fused kernel: one cache-blocked pass produces every parity block from
+  // all k sources — no per-source read-modify-write over the destinations.
+  // Generator rows k..n−1 are a contiguous (n−k)×k row-major block.
+  gf::matrix_apply(GF256::instance(), gen_.row(k_).data(), parity_count(), k_,
+                   data.data(), parity.data(), chunk_len);
 }
 
 void RSCode::apply_delta(unsigned parity_index, unsigned data_index,
@@ -71,6 +70,25 @@ void RSCode::apply_delta(unsigned parity_index, unsigned data_index,
                     "delta and parity chunk sizes differ");
   gf::mul_add_region(GF256::instance(), coefficient(parity_index, data_index),
                      delta.data(), parity.data(), delta.size());
+}
+
+void RSCode::apply_delta_all(
+    unsigned data_index, std::span<const std::uint8_t> delta,
+    std::span<const std::span<std::uint8_t>> parity) const {
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  TRAPERC_CHECK_MSG(data_index < k_, "data index out of range");
+  // n−k <= 254, so fixed stack buffers keep this path allocation-free.
+  std::uint8_t coeffs[255];
+  std::uint8_t* parity_ptrs[255];
+  for (unsigned j = 0; j < parity_count(); ++j) {
+    TRAPERC_CHECK_MSG(parity[j].size() == delta.size(),
+                      "delta and parity chunk sizes differ");
+    coeffs[j] = coefficient(j, data_index);
+    parity_ptrs[j] = parity[j].data();
+  }
+  gf::mul_add_multi(GF256::instance(), coeffs, parity_count(), delta.data(),
+                    parity_ptrs, delta.size());
 }
 
 bool RSCode::can_reconstruct(
@@ -110,35 +128,16 @@ bool RSCode::reconstruct(std::span<const unsigned> present_ids,
   }
 
   const auto& field = GF256::instance();
-  // data_i = Σ_c inverse[i][c] · chosen_chunk[c]; then for wanted parity
-  // rows, re-encode from the recovered data row of the generator.
-  auto decode_data_row = [&](unsigned data_index, std::uint8_t* dst) {
-    std::memset(dst, 0, chunk_len);
-    for (unsigned c = 0; c < k_; ++c) {
-      gf::mul_add_region(field, inverse->at(data_index, c), chosen_chunks[c],
-                         dst, chunk_len);
-    }
-  };
-
-  std::vector<std::uint8_t> scratch;
-  for (std::size_t w = 0; w < want_ids.size(); ++w) {
-    const unsigned id = want_ids[w];
-    TRAPERC_CHECK_MSG(id < n_, "want id out of range");
-    if (id < k_) {
-      decode_data_row(id, out[w]);
-      continue;
-    }
-    // Parity block: b_id = Σ_i gen[id][i] · data_i. Recover each data block
-    // into scratch once and accumulate.
-    std::memset(out[w], 0, chunk_len);
-    scratch.assign(chunk_len, 0);
-    for (unsigned i = 0; i < k_; ++i) {
-      const Element coeff = gen_.at(id, i);
-      if (coeff == 0) continue;
-      decode_data_row(i, scratch.data());
-      gf::mul_add_region(field, coeff, scratch.data(), out[w], chunk_len);
-    }
-  }
+  // Each needed data row is decoded exactly once and reused across wanted
+  // blocks (previously every wanted parity block re-decoded all k rows).
+  detail::reconstruct_fused<Element>(
+      n_, k_, want_ids, out, chosen_chunks, chunk_len,
+      [this](unsigned id, unsigned i) { return gen_.at(id, i); },
+      [&inverse](unsigned i) { return inverse->row(i); },
+      [&](const Element* coeffs, unsigned rows, unsigned cols,
+          const std::uint8_t* const* srcs, std::uint8_t* const* dsts) {
+        gf::matrix_apply(field, coeffs, rows, cols, srcs, dsts, chunk_len);
+      });
   return true;
 }
 

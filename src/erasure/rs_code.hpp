@@ -59,6 +59,14 @@ class RSCode {
                    std::span<const std::uint8_t> delta,
                    std::span<std::uint8_t> parity) const;
 
+  /// Fused form of the Alg. 1 refresh: applies one data block's delta to all
+  /// n−k parity chunks in a single cache-blocked pass (the delta block stays
+  /// L1-resident across destinations). parity[j] ^= α_{j,i} · delta.
+  /// Every parity span must be exactly delta.size() bytes (checked).
+  void apply_delta_all(unsigned data_index,
+                       std::span<const std::uint8_t> delta,
+                       std::span<const std::span<std::uint8_t>> parity) const;
+
   /// Reconstructs the chunks listed in `want_ids` (global block ids, data
   /// 0..k−1 or parity k..n−1) from any >= k available blocks.
   ///

@@ -63,9 +63,14 @@ void Stripe::update_data(unsigned i, std::span<const std::uint8_t> new_chunk) {
   std::vector<std::uint8_t> delta(new_chunk.begin(), new_chunk.end());
   gf::xor_region(chunks_[i].data(), delta.data(), chunk_len_);
   std::memcpy(chunks_[i].data(), new_chunk.data(), chunk_len_);
+  // Fused refresh: all n−k parity chunks in one cache-blocked pass
+  // (n−k <= 254, stack buffer keeps the fast path allocation-free).
+  std::span<std::uint8_t> parity[255];
   for (unsigned j = 0; j < code_->parity_count(); ++j) {
-    code_->apply_delta(j, i, delta, chunks_[code_->k() + j]);
+    parity[j] = chunks_[code_->k() + j];
   }
+  code_->apply_delta_all(i, delta,
+                         {parity, code_->parity_count()});
 }
 
 void Stripe::encode_all() {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "erasure/reconstruct_plan.hpp"
 
 namespace traperc::erasure {
 
@@ -127,6 +128,57 @@ void wide_mul_add(const GF65536& field, GF65536::Element c,
   }
 }
 
+/// Fused GF(2^16) generator apply, mirroring gf::matrix_apply: overwrite
+/// semantics, cache-blocked, each destination block produced in one pass
+/// that accumulates all `cols` sources in a register.
+void wide_matrix_apply(const GF65536& field, const GF65536::Element* coeffs,
+                       unsigned rows, unsigned cols,
+                       const std::uint8_t* const* srcs,
+                       std::uint8_t* const* dsts, std::size_t len) {
+  TRAPERC_DCHECK(len % 2 == 0);
+  if (rows == 0 || len == 0) return;
+  // Flat ops/row_begin plan, same shape as the GF(2^8) MatrixPlan: ops for
+  // row r are ops[row_begin[r] .. row_begin[r+1]), two allocations total.
+  struct RowOp {
+    unsigned src;
+    GF65536::Element coeff;
+  };
+  std::vector<RowOp> ops;
+  ops.reserve(static_cast<std::size_t>(rows) * cols);
+  std::vector<std::uint32_t> row_begin(rows + 1);
+  for (unsigned r = 0; r < rows; ++r) {
+    row_begin[r] = static_cast<std::uint32_t>(ops.size());
+    for (unsigned c = 0; c < cols; ++c) {
+      const GF65536::Element coeff =
+          coeffs[static_cast<std::size_t>(r) * cols + c];
+      if (coeff != 0) ops.push_back({c, coeff});
+    }
+  }
+  row_begin[rows] = static_cast<std::uint32_t>(ops.size());
+  constexpr std::size_t kBlock = 4096;
+  for (std::size_t base = 0; base < len; base += kBlock) {
+    const std::size_t blen = len - base < kBlock ? len - base : kBlock;
+    for (unsigned r = 0; r < rows; ++r) {
+      const RowOp* op_begin = ops.data() + row_begin[r];
+      const RowOp* op_end = ops.data() + row_begin[r + 1];
+      std::uint8_t* dst = dsts[r] + base;
+      if (op_begin == op_end) {
+        std::memset(dst, 0, blen);
+        continue;
+      }
+      for (std::size_t i = 0; i + 2 <= blen; i += 2) {
+        std::uint16_t acc = 0;
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          std::uint16_t s;
+          std::memcpy(&s, srcs[op->src] + base + i, 2);
+          acc ^= field.mul(op->coeff, s);
+        }
+        std::memcpy(dst + i, &acc, 2);
+      }
+    }
+  }
+}
+
 WideMatrix build_wide_generator(unsigned n, unsigned k) {
   TRAPERC_CHECK_MSG(k >= 1 && k <= n, "wide RS code needs 1 <= k <= n");
   TRAPERC_CHECK_MSG(n <= 65535, "GF(2^16) supports at most 65535 symbols");
@@ -158,13 +210,9 @@ void WideRSCode::encode(std::span<const std::uint8_t* const> data,
   TRAPERC_CHECK_MSG(parity.size() == parity_count(),
                     "need exactly n-k parity chunks");
   TRAPERC_CHECK_MSG(chunk_len % 2 == 0, "chunk length must be even (u16)");
-  const auto& field = GF65536::instance();
-  for (unsigned j = 0; j < parity_count(); ++j) {
-    std::memset(parity[j], 0, chunk_len);
-    for (unsigned i = 0; i < k_; ++i) {
-      wide_mul_add(field, coefficient(j, i), data[i], parity[j], chunk_len);
-    }
-  }
+  if (parity_count() == 0) return;
+  wide_matrix_apply(GF65536::instance(), gen_.row(k_).data(), parity_count(),
+                    k_, data.data(), parity.data(), chunk_len);
 }
 
 void WideRSCode::apply_delta(unsigned parity_index, unsigned data_index,
@@ -206,31 +254,15 @@ bool WideRSCode::reconstruct(std::span<const unsigned> present_ids,
   }
 
   const auto& field = GF65536::instance();
-  auto decode_data_row = [&](unsigned data_index, std::uint8_t* dst) {
-    std::memset(dst, 0, chunk_len);
-    for (unsigned c = 0; c < k_; ++c) {
-      wide_mul_add(field, inverse->at(data_index, c), chosen_chunks[c], dst,
-                   chunk_len);
-    }
-  };
-
-  std::vector<std::uint8_t> scratch;
-  for (std::size_t w = 0; w < want_ids.size(); ++w) {
-    const unsigned id = want_ids[w];
-    TRAPERC_CHECK_MSG(id < n_, "want id out of range");
-    if (id < k_) {
-      decode_data_row(id, out[w]);
-      continue;
-    }
-    std::memset(out[w], 0, chunk_len);
-    scratch.assign(chunk_len, 0);
-    for (unsigned i = 0; i < k_; ++i) {
-      const Element coeff = gen_.at(id, i);
-      if (coeff == 0) continue;
-      decode_data_row(i, scratch.data());
-      wide_mul_add(field, coeff, scratch.data(), out[w], chunk_len);
-    }
-  }
+  // Same two-stage fused plan as RSCode::reconstruct (shared driver).
+  detail::reconstruct_fused<Element>(
+      n_, k_, want_ids, out, chosen_chunks, chunk_len,
+      [this](unsigned id, unsigned i) { return gen_.at(id, i); },
+      [&inverse](unsigned i) { return inverse->row(i); },
+      [&](const Element* coeffs, unsigned rows, unsigned cols,
+          const std::uint8_t* const* srcs, std::uint8_t* const* dsts) {
+        wide_matrix_apply(field, coeffs, rows, cols, srcs, dsts, chunk_len);
+      });
   return true;
 }
 

@@ -45,6 +45,11 @@ class WideMatrix {
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
 
+  /// Row view (contiguous; consecutive rows are adjacent in memory).
+  [[nodiscard]] std::span<const Element> row(unsigned r) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+  }
+
   [[nodiscard]] WideMatrix multiply(const WideMatrix& rhs) const;
   [[nodiscard]] std::optional<WideMatrix> inverted() const;
   [[nodiscard]] WideMatrix select_rows(std::span<const unsigned> ids) const;

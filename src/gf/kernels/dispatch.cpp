@@ -1,0 +1,119 @@
+// Runtime tier selection: CPU feature probe + TRAPERC_GF_KERNEL override.
+//
+// Selection happens exactly once (first call to active(), thread-safe magic
+// static) so every hot loop pays a single indirect-call's worth of dispatch
+// and the chosen tier is stable for the process lifetime.
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "common/log.hpp"
+#include "gf/kernels/kernels_impl.hpp"
+
+namespace traperc::gf::kernels {
+namespace {
+
+bool cpu_supports(const RegionKernels& tier) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (std::strcmp(tier.name, "ssse3") == 0) {
+    return __builtin_cpu_supports("ssse3") != 0;
+  }
+  if (std::strcmp(tier.name, "avx2") == 0) {
+    return __builtin_cpu_supports("avx2") != 0;
+  }
+#endif
+  // scalar is universal; neon_kernels() is only non-null on aarch64, where
+  // Advanced SIMD is architectural.
+  return true;
+}
+
+/// Compiled-in tiers in descending preference order, nullptr-padded.
+/// Function-local static so lookups are safe even from other translation
+/// units' dynamic initializers (a namespace-scope array could still be
+/// zero-initialized at that point).
+std::span<const RegionKernels* const> tier_table() noexcept {
+  static const RegionKernels* const table[] = {
+      avx2_kernels(),
+      neon_kernels(),
+      ssse3_kernels(),
+      &scalar_kernels(),
+  };
+  return table;
+}
+
+}  // namespace
+
+NibbleTables make_nibble_tables(const GF256& field, std::uint8_t c) noexcept {
+  NibbleTables t;
+  const auto& row = field.mul_row(c);
+  for (unsigned v = 0; v < 16; ++v) {
+    t.low[v] = row[v];
+    t.high[v] = row[v << 4];
+  }
+  return t;
+}
+
+MatrixPlan make_matrix_plan(const GF256& field, const std::uint8_t* coeffs,
+                            unsigned rows, unsigned cols) {
+  MatrixPlan plan;
+  plan.ops.reserve(static_cast<std::size_t>(rows) * cols);
+  plan.row_begin.resize(rows + 1);
+  for (unsigned r = 0; r < rows; ++r) {
+    plan.row_begin[r] = static_cast<std::uint32_t>(plan.ops.size());
+    for (unsigned c = 0; c < cols; ++c) {
+      const std::uint8_t coeff = coeffs[static_cast<std::size_t>(r) * cols + c];
+      if (coeff == 0) continue;
+      plan.ops.push_back({c, make_nibble_tables(field, coeff)});
+    }
+  }
+  plan.row_begin[rows] = static_cast<std::uint32_t>(plan.ops.size());
+  return plan;
+}
+
+std::vector<const RegionKernels*> available() {
+  std::vector<const RegionKernels*> out;
+  out.push_back(&scalar_kernels());
+  for (const RegionKernels* tier : tier_table()) {
+    if (tier != nullptr && tier != &scalar_kernels() && cpu_supports(*tier)) {
+      out.push_back(tier);
+    }
+  }
+  return out;
+}
+
+const RegionKernels* find(std::string_view name) noexcept {
+  for (const RegionKernels* tier : tier_table()) {
+    if (tier != nullptr && cpu_supports(*tier) && name == tier->name) {
+      return tier;
+    }
+  }
+  return nullptr;
+}
+
+const RegionKernels& resolve(const char* override_value) noexcept {
+  const RegionKernels* best = &scalar_kernels();
+  for (const RegionKernels* tier : tier_table()) {
+    if (tier != nullptr && cpu_supports(*tier)) {
+      best = tier;
+      break;
+    }
+  }
+  if (override_value == nullptr || override_value[0] == '\0' ||
+      std::strcmp(override_value, "auto") == 0) {
+    return *best;
+  }
+  if (const RegionKernels* forced = find(override_value)) return *forced;
+  TRAPERC_LOG_WARN(
+      "TRAPERC_GF_KERNEL=%s is unknown or unsupported on this CPU; "
+      "using '%s'",
+      override_value, best->name);
+  return *best;
+}
+
+const RegionKernels& active() noexcept {
+  static const RegionKernels& selected =
+      resolve(std::getenv("TRAPERC_GF_KERNEL"));
+  return selected;
+}
+
+}  // namespace traperc::gf::kernels

@@ -1,0 +1,85 @@
+// SIMD-dispatched GF(2^8) region kernel subsystem.
+//
+// Every erasure hot loop reduces to a handful of bulk operations over byte
+// regions (dst ^= c·src, dst = c·src, and the fused generator-matrix apply).
+// Each instruction-set tier implements the full set once:
+//
+//   * scalar — portable split-nibble tables expanded to 64-bit lanes
+//              (the previous region.cpp code, kept as the fallback);
+//   * ssse3  — 16-byte `pshufb` split-nibble lookups (x86);
+//   * avx2   — 32-byte `vpshufb` split-nibble lookups (x86);
+//   * neon   — 16-byte `vqtbl1q_u8` split-nibble lookups (aarch64).
+//
+// The tier is chosen once at startup from CPU feature probes
+// (`__builtin_cpu_supports` on x86; Advanced SIMD is architectural on
+// aarch64) and can be overridden for testing with
+// `TRAPERC_GF_KERNEL=scalar|ssse3|avx2|neon` ("auto"/empty keeps the probe
+// result; unknown or unsupported names fall back to the probe result with a
+// warning). See src/gf/README.md for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gf/gf256.hpp"
+
+namespace traperc::gf::kernels {
+
+/// Split-nibble product tables for a fixed constant c: the product c·b is
+/// low[b & 0xF] ^ high[b >> 4]. 32 bytes — exactly two SIMD lookup vectors.
+struct NibbleTables {
+  std::uint8_t low[16];
+  std::uint8_t high[16];
+};
+
+[[nodiscard]] NibbleTables make_nibble_tables(const GF256& field,
+                                              std::uint8_t c) noexcept;
+
+/// One instruction-set tier's kernel set. All function pointers are non-null.
+///
+/// Aliasing contract: `mul_add`/`mul` allow exact aliasing (src == dst) but
+/// not partial overlap; `matrix_apply` requires dsts disjoint from srcs and
+/// from each other.
+struct RegionKernels {
+  const char* name;  ///< "scalar" | "ssse3" | "avx2" | "neon"
+
+  /// dst[i] ^= c·src[i]. The dispatcher strips c == 0 (no-op) and c == 1
+  /// (plain XOR) before reaching this, but kernels must still be correct for
+  /// any tables.
+  void (*mul_add)(const NibbleTables& t, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t len);
+
+  /// dst[i] = c·src[i].
+  void (*mul)(const NibbleTables& t, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t len);
+
+  /// Fused generator apply: dsts[r][i] = XOR_c coeffs[r*cols + c]·srcs[c][i]
+  /// (overwrite semantics — no prior memset needed). The region is processed
+  /// in cache-sized blocks; within a block each destination is produced in a
+  /// single pass that accumulates all `cols` sources in registers.
+  void (*matrix_apply)(const GF256& field, const std::uint8_t* coeffs,
+                       unsigned rows, unsigned cols,
+                       const std::uint8_t* const* srcs,
+                       std::uint8_t* const* dsts, std::size_t len);
+};
+
+/// The tier selected at startup (feature probe + TRAPERC_GF_KERNEL
+/// override). The reference is stable for the process lifetime.
+[[nodiscard]] const RegionKernels& active() noexcept;
+
+/// All tiers compiled in AND executable on this CPU; scalar is always
+/// present and always first. Used by tests (differential checks across every
+/// tier) and the microbench sweep.
+[[nodiscard]] std::vector<const RegionKernels*> available();
+
+/// Lookup among available() by name; nullptr if unknown or unsupported.
+[[nodiscard]] const RegionKernels* find(std::string_view name) noexcept;
+
+/// The resolution rule behind active(), exposed for tests:
+/// nullptr/""/"auto" → best available tier; a known available name → that
+/// tier; anything else → best available tier (with a one-line warning).
+[[nodiscard]] const RegionKernels& resolve(const char* override_value) noexcept;
+
+}  // namespace traperc::gf::kernels

@@ -1,0 +1,57 @@
+// Internal glue between the per-ISA kernel translation units and the
+// dispatcher. Not installed with the public headers; include only from
+// src/gf/kernels/*.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/kernels/kernels.hpp"
+
+namespace traperc::gf::kernels {
+
+/// Scalar tier — always compiled, always usable.
+[[nodiscard]] const RegionKernels& scalar_kernels() noexcept;
+
+/// ISA tiers return nullptr when their TU was compiled without the
+/// extension (non-x86 build, or compiler without the flags). Whether the
+/// *CPU* supports them is the dispatcher's problem.
+[[nodiscard]] const RegionKernels* ssse3_kernels() noexcept;
+[[nodiscard]] const RegionKernels* avx2_kernels() noexcept;
+[[nodiscard]] const RegionKernels* neon_kernels() noexcept;
+
+/// Scalar split-nibble product — shared by every tier's tail handling.
+[[nodiscard]] inline std::uint8_t nib_mul(const NibbleTables& t,
+                                          std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(t.low[b & 0xF] ^ t.high[b >> 4]);
+}
+
+/// Cache block for matrix_apply: srcs-block working set stays L2-resident
+/// across the row passes (k × 4 KiB ≤ 40 KiB for the codes in use) while
+/// each destination block is produced in one pass.
+inline constexpr std::size_t kMatrixBlock = 4096;
+
+/// Per-(row,col) operand prepared by the matrix_apply drivers: source index
+/// plus the constant's nibble tables, with zero coefficients dropped.
+struct RowOp {
+  unsigned src;
+  NibbleTables tables;
+};
+
+/// Flat operand plan shared by every tier's matrix_apply: ops for row r are
+/// ops[row_begin[r] .. row_begin[r+1]). One allocation each, hot-path cheap.
+struct MatrixPlan {
+  std::vector<RowOp> ops;
+  std::vector<std::uint32_t> row_begin;
+};
+
+/// Defined out-of-line in dispatch.cpp (a flag-neutral TU) on purpose: an
+/// inline definition would be emitted as a comdat in every ISA-flagged TU
+/// that calls it, and the linker keeps an arbitrary copy — possibly one
+/// compiled with -mavx2 and reachable from the scalar path on a pre-AVX2
+/// CPU. Keep any non-trivial shared helper out-of-line like this.
+[[nodiscard]] MatrixPlan make_matrix_plan(const GF256& field,
+                                          const std::uint8_t* coeffs,
+                                          unsigned rows, unsigned cols);
+
+}  // namespace traperc::gf::kernels

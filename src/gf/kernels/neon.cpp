@@ -1,0 +1,125 @@
+// NEON tier (aarch64): 16-byte `vqtbl1q_u8` split-nibble lookups. Advanced
+// SIMD is architectural on AArch64, so no runtime probe is needed — presence
+// of the TU is the capability.
+#include "gf/kernels/kernels_impl.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cstring>
+#include <vector>
+
+namespace traperc::gf::kernels {
+namespace {
+
+struct VecTables {
+  uint8x16_t lo;
+  uint8x16_t hi;
+};
+
+VecTables load_tables(const NibbleTables& t) noexcept {
+  return {vld1q_u8(t.low), vld1q_u8(t.high)};
+}
+
+uint8x16_t mul16(const VecTables& t, uint8x16_t s) noexcept {
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  const uint8x16_t lo = vandq_u8(s, mask);
+  const uint8x16_t hi = vshrq_n_u8(s, 4);
+  return veorq_u8(vqtbl1q_u8(t.lo, lo), vqtbl1q_u8(t.hi, hi));
+}
+
+void neon_mul_add(const NibbleTables& t, const std::uint8_t* src,
+                  std::uint8_t* dst, std::size_t len) {
+  const VecTables v = load_tables(t);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t d = vld1q_u8(dst + i);
+    vst1q_u8(dst + i, veorq_u8(d, mul16(v, s)));
+  }
+  for (; i < len; ++i) dst[i] ^= nib_mul(t, src[i]);
+}
+
+void neon_mul(const NibbleTables& t, const std::uint8_t* src,
+              std::uint8_t* dst, std::size_t len) {
+  const VecTables v = load_tables(t);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    vst1q_u8(dst + i, mul16(v, vld1q_u8(src + i)));
+  }
+  for (; i < len; ++i) dst[i] = nib_mul(t, src[i]);
+}
+
+void neon_matrix_apply(const GF256& field, const std::uint8_t* coeffs,
+                       unsigned rows, unsigned cols,
+                       const std::uint8_t* const* srcs,
+                       std::uint8_t* const* dsts, std::size_t len) {
+  const MatrixPlan plan = make_matrix_plan(field, coeffs, rows, cols);
+  for (std::size_t base = 0; base < len; base += kMatrixBlock) {
+    const std::size_t blen = len - base < kMatrixBlock ? len - base
+                                                       : kMatrixBlock;
+    for (unsigned r = 0; r < rows; ++r) {
+      const RowOp* op_begin = plan.ops.data() + plan.row_begin[r];
+      const RowOp* op_end = plan.ops.data() + plan.row_begin[r + 1];
+      std::uint8_t* dst = dsts[r] + base;
+      if (op_begin == op_end) {
+        std::memset(dst, 0, blen);
+        continue;
+      }
+      std::size_t i = 0;
+      // 64-byte strips with 4 accumulators: table vectors loaded once per
+      // op per strip instead of once per 16 bytes.
+      for (; i + 64 <= blen; i += 64) {
+        uint8x16_t a0 = vdupq_n_u8(0);
+        uint8x16_t a1 = vdupq_n_u8(0);
+        uint8x16_t a2 = vdupq_n_u8(0);
+        uint8x16_t a3 = vdupq_n_u8(0);
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          const VecTables v = load_tables(op->tables);
+          const std::uint8_t* s = srcs[op->src] + base + i;
+          a0 = veorq_u8(a0, mul16(v, vld1q_u8(s)));
+          a1 = veorq_u8(a1, mul16(v, vld1q_u8(s + 16)));
+          a2 = veorq_u8(a2, mul16(v, vld1q_u8(s + 32)));
+          a3 = veorq_u8(a3, mul16(v, vld1q_u8(s + 48)));
+        }
+        vst1q_u8(dst + i, a0);
+        vst1q_u8(dst + i + 16, a1);
+        vst1q_u8(dst + i + 32, a2);
+        vst1q_u8(dst + i + 48, a3);
+      }
+      for (; i + 16 <= blen; i += 16) {
+        uint8x16_t acc = vdupq_n_u8(0);
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          const VecTables v = load_tables(op->tables);
+          acc = veorq_u8(acc, mul16(v, vld1q_u8(srcs[op->src] + base + i)));
+        }
+        vst1q_u8(dst + i, acc);
+      }
+      for (; i < blen; ++i) {
+        std::uint8_t acc = 0;
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+        }
+        dst[i] = acc;
+      }
+    }
+  }
+}
+
+constexpr RegionKernels kNeon = {"neon", neon_mul_add, neon_mul,
+                                 neon_matrix_apply};
+
+}  // namespace
+
+const RegionKernels* neon_kernels() noexcept { return &kNeon; }
+
+}  // namespace traperc::gf::kernels
+
+#else  // !aarch64 NEON
+
+namespace traperc::gf::kernels {
+const RegionKernels* neon_kernels() noexcept { return nullptr; }
+}  // namespace traperc::gf::kernels
+
+#endif

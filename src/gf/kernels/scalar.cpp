@@ -1,0 +1,93 @@
+// Portable scalar tier: split-nibble tables applied 8 bytes at a time
+// through 64-bit lanes (the gf-complete "split table" trick without SIMD
+// intrinsics). This is the previous region.cpp implementation, kept as the
+// universal fallback and as the reference the SIMD tiers are tested against.
+#include <cstring>
+#include <vector>
+
+#include "gf/kernels/kernels_impl.hpp"
+
+namespace traperc::gf::kernels {
+namespace {
+
+// Product of one 64-bit lane of bytes, byte-wise through the nibble tables.
+std::uint64_t split4_word(const NibbleTables& t, std::uint64_t s) noexcept {
+  std::uint64_t product = 0;
+  for (unsigned b = 0; b < 8; ++b) {
+    const auto byte = static_cast<std::uint8_t>(s >> (8 * b));
+    product |= static_cast<std::uint64_t>(nib_mul(t, byte)) << (8 * b);
+  }
+  return product;
+}
+
+void scalar_mul_add(const NibbleTables& t, const std::uint8_t* src,
+                    std::uint8_t* dst, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t s;
+    std::uint64_t d;
+    std::memcpy(&s, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= split4_word(t, s);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= nib_mul(t, src[i]);
+}
+
+void scalar_mul(const NibbleTables& t, const std::uint8_t* src,
+                std::uint8_t* dst, std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t s;
+    std::memcpy(&s, src + i, 8);
+    const std::uint64_t d = split4_word(t, s);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] = nib_mul(t, src[i]);
+}
+
+void scalar_matrix_apply(const GF256& field, const std::uint8_t* coeffs,
+                         unsigned rows, unsigned cols,
+                         const std::uint8_t* const* srcs,
+                         std::uint8_t* const* dsts, std::size_t len) {
+  const MatrixPlan plan = make_matrix_plan(field, coeffs, rows, cols);
+  for (std::size_t base = 0; base < len; base += kMatrixBlock) {
+    const std::size_t blen = len - base < kMatrixBlock ? len - base
+                                                       : kMatrixBlock;
+    for (unsigned r = 0; r < rows; ++r) {
+      const RowOp* op_begin = plan.ops.data() + plan.row_begin[r];
+      const RowOp* op_end = plan.ops.data() + plan.row_begin[r + 1];
+      std::uint8_t* dst = dsts[r] + base;
+      if (op_begin == op_end) {
+        std::memset(dst, 0, blen);
+        continue;
+      }
+      std::size_t i = 0;
+      for (; i + 8 <= blen; i += 8) {
+        std::uint64_t acc = 0;
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          std::uint64_t s;
+          std::memcpy(&s, srcs[op->src] + base + i, 8);
+          acc ^= split4_word(op->tables, s);
+        }
+        std::memcpy(dst + i, &acc, 8);
+      }
+      for (; i < blen; ++i) {
+        std::uint8_t acc = 0;
+        for (const RowOp* op = op_begin; op != op_end; ++op) {
+          acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+        }
+        dst[i] = acc;
+      }
+    }
+  }
+}
+
+constexpr RegionKernels kScalar = {"scalar", scalar_mul_add, scalar_mul,
+                                   scalar_matrix_apply};
+
+}  // namespace
+
+const RegionKernels& scalar_kernels() noexcept { return kScalar; }
+
+}  // namespace traperc::gf::kernels

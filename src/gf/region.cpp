@@ -1,35 +1,17 @@
 #include "gf/region.hpp"
 
 #include <cstring>
+#include <vector>
+
+#include "gf/kernels/kernels.hpp"
 
 namespace traperc::gf {
-namespace {
-
-// For each of the 16 possible low nibbles v: product c·v; for each high
-// nibble v: product c·(v<<4). A full byte product is then
-// low[b & 0xF] ^ high[b >> 4].
-struct NibbleTables {
-  std::uint8_t low[16];
-  std::uint8_t high[16];
-};
-
-NibbleTables make_nibble_tables(const GF256& field, std::uint8_t c) noexcept {
-  NibbleTables t;
-  const auto& row = field.mul_row(c);
-  for (unsigned v = 0; v < 16; ++v) {
-    t.low[v] = row[v];
-    t.high[v] = row[v << 4];
-  }
-  return t;
-}
-
-}  // namespace
 
 void xor_region(const std::uint8_t* src, std::uint8_t* dst,
                 std::size_t len) noexcept {
   std::size_t i = 0;
   // Word-at-a-time main loop; memcpy keeps it alias- and alignment-safe and
-  // compiles to plain loads/stores.
+  // compiles to plain loads/stores (auto-vectorized in release builds).
   for (; i + 8 <= len; i += 8) {
     std::uint64_t s;
     std::uint64_t d;
@@ -51,8 +33,13 @@ void mul_region(const GF256& field, std::uint8_t c, const std::uint8_t* src,
     if (dst != src) std::memmove(dst, src, len);
     return;
   }
-  const auto& row = field.mul_row(c);
-  for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+  if (len < kSplitThreshold) {
+    const auto& row = field.mul_row(c);
+    for (std::size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+    return;
+  }
+  const kernels::NibbleTables t = kernels::make_nibble_tables(field, c);
+  kernels::active().mul(t, src, dst, len);
 }
 
 void mul_add_region_table(const GF256& field, std::uint8_t c,
@@ -65,27 +52,9 @@ void mul_add_region_table(const GF256& field, std::uint8_t c,
 void mul_add_region_split4(const GF256& field, std::uint8_t c,
                            const std::uint8_t* src, std::uint8_t* dst,
                            std::size_t len) noexcept {
-  const NibbleTables t = make_nibble_tables(field, c);
-  std::size_t i = 0;
-  for (; i + 8 <= len; i += 8) {
-    std::uint64_t s;
-    std::uint64_t d;
-    std::memcpy(&s, src + i, 8);
-    std::memcpy(&d, dst + i, 8);
-    std::uint64_t product = 0;
-    for (unsigned b = 0; b < 8; ++b) {
-      const auto byte = static_cast<std::uint8_t>(s >> (8 * b));
-      const std::uint8_t prod =
-          static_cast<std::uint8_t>(t.low[byte & 0xF] ^ t.high[byte >> 4]);
-      product |= static_cast<std::uint64_t>(prod) << (8 * b);
-    }
-    d ^= product;
-    std::memcpy(dst + i, &d, 8);
-  }
-  for (; i < len; ++i) {
-    dst[i] ^= static_cast<std::uint8_t>(t.low[src[i] & 0xF] ^
-                                        t.high[src[i] >> 4]);
-  }
+  static const kernels::RegionKernels& scalar = *kernels::find("scalar");
+  const kernels::NibbleTables t = kernels::make_nibble_tables(field, c);
+  scalar.mul_add(t, src, dst, len);
 }
 
 void mul_add_region(const GF256& field, std::uint8_t c,
@@ -96,10 +65,92 @@ void mul_add_region(const GF256& field, std::uint8_t c,
     xor_region(src, dst, len);
     return;
   }
-  if (len >= kSplitThreshold) {
-    mul_add_region_split4(field, c, src, dst, len);
-  } else {
+  if (len < kSplitThreshold) {
     mul_add_region_table(field, c, src, dst, len);
+    return;
+  }
+  const kernels::NibbleTables t = kernels::make_nibble_tables(field, c);
+  kernels::active().mul_add(t, src, dst, len);
+}
+
+void matrix_apply(const GF256& field, const std::uint8_t* coeffs,
+                  unsigned rows, unsigned cols,
+                  const std::uint8_t* const* srcs, std::uint8_t* const* dsts,
+                  std::size_t len) {
+  if (rows == 0 || len == 0) return;
+  if (cols == 0) {
+    for (unsigned r = 0; r < rows; ++r) std::memset(dsts[r], 0, len);
+    return;
+  }
+  if (len < kSplitThreshold) {
+    // Tiny regions: the kernel plan's setup (allocation + per-coefficient
+    // table builds) would dominate; use the zero-setup table path.
+    for (unsigned r = 0; r < rows; ++r) {
+      std::memset(dsts[r], 0, len);
+      for (unsigned c = 0; c < cols; ++c) {
+        const std::uint8_t coeff =
+            coeffs[static_cast<std::size_t>(r) * cols + c];
+        if (coeff != 0) {
+          mul_add_region_table(field, coeff, srcs[c], dsts[r], len);
+        }
+      }
+    }
+    return;
+  }
+  kernels::active().matrix_apply(field, coeffs, rows, cols, srcs, dsts, len);
+}
+
+void mul_add_multi(const GF256& field, const std::uint8_t* coeffs,
+                   unsigned rows, const std::uint8_t* src,
+                   std::uint8_t* const* dsts, std::size_t len) {
+  if (rows == 0 || len == 0) return;
+  if (len < kSplitThreshold) {
+    // Tiny deltas: per-row table construction would dominate; the zero-setup
+    // table path matches the pre-fusion apply_delta cost.
+    for (unsigned r = 0; r < rows; ++r) {
+      mul_add_region(field, coeffs[r], src, dsts[r], len);
+    }
+    return;
+  }
+  // Tables built once per destination row, outside the block loop. Stack
+  // storage for the common case (n−k is small) keeps the Alg. 1 delta fast
+  // path allocation-free.
+  struct Op {
+    unsigned row;
+    std::uint8_t c;
+    kernels::NibbleTables tables;
+  };
+  constexpr unsigned kInlineRows = 32;
+  Op inline_ops[kInlineRows];
+  std::vector<Op> heap_ops;
+  Op* ops = inline_ops;
+  if (rows > kInlineRows) {
+    heap_ops.resize(rows);
+    ops = heap_ops.data();
+  }
+  unsigned op_count = 0;
+  for (unsigned r = 0; r < rows; ++r) {
+    const std::uint8_t c = coeffs[r];
+    if (c == 0) continue;
+    Op& op = ops[op_count++];
+    op.row = r;
+    op.c = c;
+    if (c != 1) op.tables = kernels::make_nibble_tables(field, c);
+  }
+  // Cache-block so the src block is read from L1 for every destination
+  // after the first.
+  constexpr std::size_t kBlock = 4096;
+  const auto& tier = kernels::active();
+  for (std::size_t base = 0; base < len; base += kBlock) {
+    const std::size_t blen = len - base < kBlock ? len - base : kBlock;
+    for (unsigned o = 0; o < op_count; ++o) {
+      const Op& op = ops[o];
+      if (op.c == 1) {
+        xor_region(src + base, dsts[op.row] + base, blen);
+      } else {
+        tier.mul_add(op.tables, src + base, dsts[op.row] + base, blen);
+      }
+    }
   }
 }
 

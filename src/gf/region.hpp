@@ -1,12 +1,13 @@
-// Bulk (region) kernels over GF(2^8): the encode / decode / delta-update hot
-// loops all reduce to dst ^= c · src over whole chunks.
+// Bulk (region) operations over GF(2^8): the encode / decode / delta-update
+// hot loops all reduce to dst ^= c · src (and friends) over whole chunks.
 //
-// Two implementations are provided and benchmarked (bench/micro_gf):
-//  * table:  one 256-entry row of the product table, byte-at-a-time;
-//  * split4: two 16-entry nibble tables expanded to 64-bit lanes, processing
-//            8 bytes per step (the gf-complete "split table" trick without
-//            SIMD intrinsics, so it stays portable).
-// mul_add_region picks split4 for regions >= kSplitThreshold bytes.
+// Since this PR these are thin dispatchers over the SIMD kernel subsystem in
+// gf/kernels/ (scalar split-nibble fallback, SSSE3/AVX2 pshufb on x86, NEON
+// vtbl on aarch64; tier chosen once at startup, overridable with
+// TRAPERC_GF_KERNEL — see src/gf/README.md). The erasure layer's matrix
+// loops should prefer the fused matrix_apply / mul_add_multi entry points,
+// which cache-block the region and accumulate all sources per block in one
+// pass over each destination.
 #pragma once
 
 #include <cstddef>
@@ -25,12 +26,35 @@ void mul_region(const GF256& field, std::uint8_t c, const std::uint8_t* src,
                 std::uint8_t* dst, std::size_t len) noexcept;
 
 /// dst[i] ^= c · src[i] — the fused kernel of eq. (1) and of the Alg. 1
-/// parity delta-update. Dispatches between the table and split4 paths.
+/// parity delta-update. Dispatches to the active SIMD tier.
 void mul_add_region(const GF256& field, std::uint8_t c,
                     const std::uint8_t* src, std::uint8_t* dst,
                     std::size_t len) noexcept;
 
-/// Forced-path variants (exposed for tests and the microbench).
+/// Fused generator-matrix apply:
+///   dsts[r][i] = XOR_c coeffs[r*cols + c] · srcs[c][i]
+/// for r in [0, rows), c in [0, cols), i in [0, len). Overwrite semantics —
+/// destinations need no prior memset. The kernel cache-blocks the region and
+/// produces each destination block in a single pass that accumulates all
+/// `cols` sources in registers (no per-source read-modify-write traffic).
+/// dsts must not alias srcs or each other. coeffs is row-major rows×cols.
+/// (Not noexcept: the kernels allocate a small per-call operand plan.)
+void matrix_apply(const GF256& field, const std::uint8_t* coeffs,
+                  unsigned rows, unsigned cols,
+                  const std::uint8_t* const* srcs, std::uint8_t* const* dsts,
+                  std::size_t len);
+
+/// Fused multi-destination delta update: dsts[r][i] ^= coeffs[r] · src[i]
+/// for r in [0, rows). Cache-blocked so the src block stays L1-resident
+/// across all destinations (the Alg. 1 parity refresh applies one delta to
+/// every parity chunk).
+void mul_add_multi(const GF256& field, const std::uint8_t* coeffs,
+                   unsigned rows, const std::uint8_t* src,
+                   std::uint8_t* const* dsts, std::size_t len);
+
+/// Forced-path scalar variants (exposed for tests and the microbench):
+/// byte-at-a-time full product row, and the portable 64-bit split-nibble
+/// fallback (identical to the kernel subsystem's "scalar" tier).
 void mul_add_region_table(const GF256& field, std::uint8_t c,
                           const std::uint8_t* src, std::uint8_t* dst,
                           std::size_t len) noexcept;
@@ -38,7 +62,8 @@ void mul_add_region_split4(const GF256& field, std::uint8_t c,
                            const std::uint8_t* src, std::uint8_t* dst,
                            std::size_t len) noexcept;
 
-/// Region length below which the split4 setup cost is not amortized.
+/// Region length below which per-call table setup is not amortized and the
+/// full-row table path is used instead.
 inline constexpr std::size_t kSplitThreshold = 64;
 
 }  // namespace traperc::gf

@@ -13,7 +13,7 @@ Estimator::Estimator(ThreadPool& pool, std::uint64_t seed)
 
 Estimate Estimator::estimate(
     unsigned num_nodes, double p, std::uint64_t trials,
-    const std::function<bool(const std::vector<bool>&)>& predicate) {
+    const std::function<bool(analysis::NodeStates)>& predicate) {
   TRAPERC_CHECK_MSG(num_nodes >= 1, "need at least one node");
   TRAPERC_CHECK_MSG(trials >= 1, "need at least one trial");
 
@@ -25,10 +25,14 @@ Estimate Estimator::estimate(
         // Independent stream per (run, worker): deterministic regardless of
         // scheduling, no sharing between workers.
         Rng rng = Rng(seed_).split(run_id).split(worker);
-        std::vector<bool> up(num_nodes);
+        // Reusable byte buffer: indexing and sampling compile to plain
+        // stores, unlike the bit-proxy writes of std::vector<bool>.
+        std::vector<std::uint8_t> up(num_nodes);
         std::uint64_t local = 0;
         for (std::size_t t = begin; t < end; ++t) {
-          for (unsigned i = 0; i < num_nodes; ++i) up[i] = rng.next_bool(p);
+          for (unsigned i = 0; i < num_nodes; ++i) {
+            up[i] = static_cast<std::uint8_t>(rng.next_bool(p));
+          }
           local += predicate(up) ? 1 : 0;
         }
         successes.fetch_add(local, std::memory_order_relaxed);
@@ -46,21 +50,21 @@ Estimate Estimator::estimate(
 
 Estimate Estimator::write_availability(const analysis::BlockDeployment& d,
                                        double p, std::uint64_t trials) {
-  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+  return estimate(d.n(), p, trials, [&d](analysis::NodeStates up) {
     return analysis::write_possible(d, up);
   });
 }
 
 Estimate Estimator::read_availability_fr(const analysis::BlockDeployment& d,
                                          double p, std::uint64_t trials) {
-  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+  return estimate(d.n(), p, trials, [&d](analysis::NodeStates up) {
     return analysis::read_possible_fr(d, up);
   });
 }
 
 Estimate Estimator::read_availability_erc(const analysis::BlockDeployment& d,
                                           double p, std::uint64_t trials) {
-  return estimate(d.n(), p, trials, [&d](const std::vector<bool>& up) {
+  return estimate(d.n(), p, trials, [&d](analysis::NodeStates up) {
     return analysis::read_possible_erc_algorithmic(d, up);
   });
 }

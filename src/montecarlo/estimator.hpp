@@ -35,10 +35,13 @@ class Estimator {
   /// `pool` may be shared across estimators; it is not owned.
   Estimator(ThreadPool& pool, std::uint64_t seed = 42);
 
-  /// Estimates P[predicate(up)] with `up` ~ iid Bernoulli(p)^n.
+  /// Estimates P[predicate(up)] with `up` ~ iid Bernoulli(p)^n. The state
+  /// vector is plain bytes (analysis::NodeStates) — sampled into a reusable
+  /// per-worker buffer, no std::vector<bool> proxy overhead in the inner
+  /// loop.
   [[nodiscard]] Estimate estimate(
       unsigned num_nodes, double p, std::uint64_t trials,
-      const std::function<bool(const std::vector<bool>&)>& predicate);
+      const std::function<bool(analysis::NodeStates)>& predicate);
 
   /// Convenience wrappers for the protocol predicates.
   [[nodiscard]] Estimate write_availability(

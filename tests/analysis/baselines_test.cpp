@@ -38,7 +38,7 @@ TEST(Majority, MatchesQuorumPredicateViaOracle) {
     const core::MajorityQuorum quorum(m);
     for (double p : {0.3, 0.7}) {
       const double enumerated =
-          exact_availability(m, p, [&quorum](const std::vector<bool>& up) {
+          exact_availability(m, p, [&quorum](traperc::MemberSet up) {
             return quorum.contains_write_quorum(up);
           });
       EXPECT_NEAR(majority_availability(m, p), enumerated, 1e-12);
@@ -63,12 +63,12 @@ TEST(GridProtocol, ClosedFormMatchesPredicateViaOracle) {
     for (double p : {0.4, 0.8}) {
       const double write_enum =
           exact_availability(grid.total_nodes(), p,
-                             [&quorum](const std::vector<bool>& up) {
+                             [&quorum](traperc::MemberSet up) {
                                return quorum.contains_write_quorum(up);
                              });
       const double read_enum =
           exact_availability(grid.total_nodes(), p,
-                             [&quorum](const std::vector<bool>& up) {
+                             [&quorum](traperc::MemberSet up) {
                                return quorum.contains_read_quorum(up);
                              });
       EXPECT_NEAR(grid_write_availability(grid, p), write_enum, 1e-12)

@@ -11,17 +11,17 @@ TEST(ExactAvailability, ConstantPredicates) {
   // The 2^n weight sum carries ~1e-15 of pow() rounding; compare with a
   // tolerance rather than exactly.
   EXPECT_NEAR(
-      exact_availability(5, 0.3, [](const std::vector<bool>&) { return true; }),
+      exact_availability(5, 0.3, [](traperc::MemberSet) { return true; }),
       1.0, 1e-12);
   EXPECT_DOUBLE_EQ(exact_availability(
-                       5, 0.3, [](const std::vector<bool>&) { return false; }),
+                       5, 0.3, [](traperc::MemberSet) { return false; }),
                    0.0);
 }
 
 TEST(ExactAvailability, SingleNodePredicateIsP) {
   for (double p : {0.1, 0.5, 0.77}) {
     EXPECT_NEAR(exact_availability(
-                    6, p, [](const std::vector<bool>& up) { return up[2]; }),
+                    6, p, [](traperc::MemberSet up) { return up[2]; }),
                 p, 1e-12);
   }
 }
@@ -31,7 +31,7 @@ TEST(ExactAvailability, AtLeastKMatchesBinomialTail) {
     for (unsigned threshold = 0; threshold <= n; ++threshold) {
       for (double p : {0.25, 0.6}) {
         const double enumerated = exact_availability(
-            n, p, [threshold](const std::vector<bool>& up) {
+            n, p, [threshold](traperc::MemberSet up) {
               unsigned count = 0;
               for (bool b : up) count += b ? 1 : 0;
               return count >= threshold;
@@ -47,7 +47,7 @@ TEST(ExactAvailability, IndependentConjunction) {
   // P(up[0] and up[1]) = p^2 under independence.
   for (double p : {0.2, 0.9}) {
     EXPECT_NEAR(exact_availability(4, p,
-                                   [](const std::vector<bool>& up) {
+                                   [](traperc::MemberSet up) {
                                      return up[0] && up[1];
                                    }),
                 p * p, 1e-12);
@@ -55,10 +55,10 @@ TEST(ExactAvailability, IndependentConjunction) {
 }
 
 TEST(ExactAvailability, ComplementLaw) {
-  const auto predicate = [](const std::vector<bool>& up) {
+  const auto predicate = [](traperc::MemberSet up) {
     return up[0] != up[1];  // XOR — an arbitrary non-monotone event
   };
-  const auto complement = [&predicate](const std::vector<bool>& up) {
+  const auto complement = [&predicate](traperc::MemberSet up) {
     return !predicate(up);
   };
   for (double p : {0.35, 0.8}) {
@@ -69,14 +69,14 @@ TEST(ExactAvailability, ComplementLaw) {
 }
 
 TEST(ExactAvailability, DegenerateP) {
-  const auto predicate = [](const std::vector<bool>& up) { return up[0]; };
+  const auto predicate = [](traperc::MemberSet up) { return up[0]; };
   EXPECT_DOUBLE_EQ(exact_availability(3, 0.0, predicate), 0.0);
   EXPECT_DOUBLE_EQ(exact_availability(3, 1.0, predicate), 1.0);
 }
 
 TEST(ExactAvailabilityDeath, RejectsOversizedUniverse) {
   EXPECT_DEATH((void)exact_availability(
-                   25, 0.5, [](const std::vector<bool>&) { return true; }),
+                   25, 0.5, [](traperc::MemberSet) { return true; }),
                "1..24");
 }
 

@@ -18,7 +18,7 @@ BlockDeployment make_deployment(unsigned block = 0, unsigned w = 1) {
   return BlockDeployment(15, 8, block, q);
 }
 
-std::vector<bool> all_up(unsigned n) { return std::vector<bool>(n, true); }
+std::vector<std::uint8_t> all_up(unsigned n) { return std::vector<std::uint8_t>(n, true); }
 
 TEST(BlockDeployment, LevelNodesContainDataNodeOnLevel0) {
   const auto d = make_deployment(3);
@@ -34,13 +34,13 @@ TEST(WritePossible, AllUpSucceeds) {
 
 TEST(WritePossible, AllDownFails) {
   const auto d = make_deployment();
-  EXPECT_FALSE(write_possible(d, std::vector<bool>(15, false)));
+  EXPECT_FALSE(write_possible(d, std::vector<std::uint8_t>(15, false)));
 }
 
 TEST(WritePossible, ExactlyQuorumNodesSuffice) {
   // w=1: need 2 of level 0 {0,8,9} and 1 of level 1 {10..14}.
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, false);
+  std::vector<std::uint8_t> up(15, false);
   up[0] = up[8] = true;  // level-0 majority
   up[10] = true;         // one level-1 node
   EXPECT_TRUE(write_possible(d, up));
@@ -48,21 +48,21 @@ TEST(WritePossible, ExactlyQuorumNodesSuffice) {
 
 TEST(WritePossible, MissingLevel0MajorityFails) {
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, true);
+  std::vector<std::uint8_t> up(15, true);
   up[0] = up[8] = false;  // only node 9 alive at level 0
   EXPECT_FALSE(write_possible(d, up));
 }
 
 TEST(WritePossible, EmptyUpperLevelFails) {
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, true);
+  std::vector<std::uint8_t> up(15, true);
   for (NodeId id = 10; id <= 14; ++id) up[id] = false;  // level 1 dark
   EXPECT_FALSE(write_possible(d, up));
 }
 
 TEST(WritePossible, OtherDataNodesIrrelevant) {
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, true);
+  std::vector<std::uint8_t> up(15, true);
   for (NodeId id = 1; id < 8; ++id) up[id] = false;  // other data nodes dark
   EXPECT_TRUE(write_possible(d, up));
 }
@@ -71,7 +71,7 @@ TEST(VersionCheck, NeedsRlNodesSomewhere) {
   // w=1 => r_0 = 2, r_1 = 5. With only one level-0 node and 4 level-1 nodes
   // alive, neither level reaches its read threshold.
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, false);
+  std::vector<std::uint8_t> up(15, false);
   up[0] = true;
   up[10] = up[11] = up[12] = up[13] = true;
   EXPECT_FALSE(version_check_possible(d, up));
@@ -83,7 +83,7 @@ TEST(ReadFr, EqualsVersionCheck) {
   const auto d = make_deployment(0, 2);
   Rng rng(7);
   for (int trial = 0; trial < 2000; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.5);
     EXPECT_EQ(read_possible_fr(d, up), version_check_possible(d, up));
   }
@@ -91,7 +91,7 @@ TEST(ReadFr, EqualsVersionCheck) {
 
 TEST(ReadErcAlgorithmic, DirectWhenDataNodeUp) {
   const auto d = make_deployment(0, 1);
-  std::vector<bool> up(15, false);
+  std::vector<std::uint8_t> up(15, false);
   up[0] = up[8] = true;  // level-0 check passes (r_0 = 2)
   EXPECT_TRUE(read_possible_erc_algorithmic(d, up));
 }
@@ -100,7 +100,7 @@ TEST(ReadErcAlgorithmic, DecodeNeedsKSurvivors) {
   const auto d = make_deployment(0, 1);
   // N_0 down; level-0 check passes via nodes 8,9; decode needs 8 of the
   // other 14.
-  std::vector<bool> up(15, false);
+  std::vector<std::uint8_t> up(15, false);
   up[8] = up[9] = true;
   for (NodeId id = 1; id <= 6; ++id) up[id] = true;  // 6 data + 2 parity = 8
   EXPECT_TRUE(read_possible_erc_algorithmic(d, up));
@@ -112,7 +112,7 @@ TEST(ReadErcAlgorithmic, FailsWithoutVersionCheckEvenIfDecodable) {
   // The divergence from eq. 13: plenty of survivors to decode, but no level
   // reaches its version-check threshold.
   const auto d = make_deployment(0, 1);  // r_0=2, r_1=5
-  std::vector<bool> up(15, false);
+  std::vector<std::uint8_t> up(15, false);
   for (NodeId id = 1; id < 8; ++id) up[id] = true;  // 7 data nodes
   up[10] = up[11] = true;                           // 2 level-1 parity
   // level 0: zero alive (N_0, 8, 9 down); level 1: 2 < 5.
@@ -124,7 +124,7 @@ TEST(ReadErcPaperEvent, MatchesAlgorithmWhenDataNodeUp) {
   const auto d = make_deployment(0, 2);
   Rng rng(11);
   for (int trial = 0; trial < 2000; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.6);
     if (!up[0]) continue;
     EXPECT_EQ(read_possible_erc_paper_event(d, up),
@@ -137,7 +137,7 @@ TEST(ReadErcPaperEvent, ImpliedByAlgorithmicSuccess) {
   const auto d = make_deployment(0, 1);
   Rng rng(13);
   for (int trial = 0; trial < 5000; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.4);
     if (read_possible_erc_algorithmic(d, up)) {
       EXPECT_TRUE(read_possible_erc_paper_event(d, up));
@@ -150,7 +150,7 @@ TEST(Predicates, MonotoneInNodeStates) {
   const auto d = make_deployment(0, 2);
   Rng rng(17);
   for (int trial = 0; trial < 500; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.5);
     const bool write_before = write_possible(d, up);
     const bool read_before = read_possible_erc_algorithmic(d, up);

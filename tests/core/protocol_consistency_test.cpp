@@ -34,7 +34,7 @@ TEST(Consistency, CommittedValueReadableUnderEveryReadQuorumPattern) {
   Rng rng(99);
   int readable_patterns = 0;
   for (int trial = 0; trial < 300; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.6);
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
@@ -59,7 +59,7 @@ TEST(Consistency, LiveProtocolMatchesPredicateForWrites) {
   Rng rng(101);
   int successes = 0;
   for (int trial = 0; trial < 200; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.7);
     cluster.set_node_states(up);
     const auto status = cluster.write_block_sync(
@@ -74,7 +74,7 @@ TEST(Consistency, LiveProtocolMatchesPredicateForWrites) {
     }
     if (status == OpStatus::kSuccess) {
       // Whatever succeeded must be readable once everything is back up.
-      cluster.set_node_states(std::vector<bool>(15, true));
+      cluster.set_node_states(std::vector<std::uint8_t>(15, true));
       const auto outcome = cluster.read_block_sync(1000 + trial, 0);
       ASSERT_EQ(outcome.status, OpStatus::kSuccess);
       ASSERT_EQ(outcome.value, cluster.make_pattern(trial));
@@ -179,7 +179,7 @@ TEST(Consistency, FrModeCommittedValueReadableUnderReadQuorums) {
   const auto& deployment = cluster.coordinator().deployment(0);
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.6);
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);

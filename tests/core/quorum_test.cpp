@@ -52,14 +52,14 @@ TEST_P(TrapezoidQuorumSweep, PredicatesAreMonotone) {
 
 TEST_P(TrapezoidQuorumSweep, FullSetIsBothQuorums) {
   const auto quorum = make();
-  const std::vector<bool> all(quorum.universe_size(), true);
+  const std::vector<std::uint8_t> all(quorum.universe_size(), true);
   EXPECT_TRUE(quorum.contains_write_quorum(all));
   EXPECT_TRUE(quorum.contains_read_quorum(all));
 }
 
 TEST_P(TrapezoidQuorumSweep, EmptySetIsNeither) {
   const auto quorum = make();
-  const std::vector<bool> none(quorum.universe_size(), false);
+  const std::vector<std::uint8_t> none(quorum.universe_size(), false);
   EXPECT_FALSE(quorum.contains_write_quorum(none));
   EXPECT_FALSE(quorum.contains_read_quorum(none));
 }
@@ -70,7 +70,7 @@ TEST_P(TrapezoidQuorumSweep, MinimalWriteQuorumsSatisfyPredicate) {
   const auto quorums = quorum.minimal_write_quorums();
   ASSERT_FALSE(quorums.empty());
   for (const auto& members : quorums) {
-    std::vector<bool> set(quorum.universe_size(), false);
+    std::vector<std::uint8_t> set(quorum.universe_size(), false);
     for (unsigned slot : members) set[slot] = true;
     EXPECT_TRUE(quorum.contains_write_quorum(set));
     // Minimality: removing any member breaks it.
@@ -133,7 +133,7 @@ TEST(MajorityQuorumProperties, IntersectionAndMonotone) {
 
 TEST(MajorityQuorumProperties, ThresholdBoundary) {
   const MajorityQuorum quorum(5);
-  std::vector<bool> set(5, false);
+  std::vector<std::uint8_t> set(5, false);
   set[0] = set[1] = true;
   EXPECT_FALSE(quorum.contains_write_quorum(set));  // 2 < 3
   set[2] = true;
@@ -152,7 +152,7 @@ TEST(RowaQuorumProperties, IntersectionAndMonotone) {
 
 TEST(RowaQuorumProperties, SingleNodeReads) {
   const RowaQuorum quorum(4);
-  std::vector<bool> set(4, false);
+  std::vector<std::uint8_t> set(4, false);
   set[3] = true;
   EXPECT_TRUE(quorum.contains_read_quorum(set));
   EXPECT_FALSE(quorum.contains_write_quorum(set));
@@ -172,7 +172,7 @@ TEST(GridQuorumProperties, ColumnCoverPlusFullColumn) {
   const topology::Grid grid(2, 3);
   const GridQuorum quorum(grid);
   // Full column 0 + one node in columns 1, 2.
-  std::vector<bool> set(6, false);
+  std::vector<std::uint8_t> set(6, false);
   set[grid.slot(0, 0)] = set[grid.slot(1, 0)] = true;
   set[grid.slot(0, 1)] = true;
   set[grid.slot(1, 2)] = true;

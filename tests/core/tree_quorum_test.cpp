@@ -18,28 +18,28 @@ TEST(TreeQuorum, UniverseSizeIsTwoToDepthMinusOne) {
 
 TEST(TreeQuorum, SingleNodeTreeNeedsThatNode) {
   const TreeQuorum tree(1);
-  EXPECT_TRUE(tree.contains_write_quorum({true}));
-  EXPECT_FALSE(tree.contains_write_quorum({false}));
+  EXPECT_TRUE(tree.contains_write_quorum(std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(tree.contains_write_quorum(std::vector<std::uint8_t>{0}));
 }
 
 TEST(TreeQuorum, RootPlusOneChildPathSuffices) {
   // depth 2: slots {0=root, 1, 2}. {root, left} is a quorum.
   const TreeQuorum tree(2);
-  EXPECT_TRUE(tree.contains_write_quorum({true, true, false}));
-  EXPECT_TRUE(tree.contains_write_quorum({true, false, true}));
-  EXPECT_FALSE(tree.contains_write_quorum({true, false, false}));
+  EXPECT_TRUE(tree.contains_write_quorum(std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_TRUE(tree.contains_write_quorum(std::vector<std::uint8_t>{1, 0, 1}));
+  EXPECT_FALSE(tree.contains_write_quorum(std::vector<std::uint8_t>{1, 0, 0}));
 }
 
 TEST(TreeQuorum, BothChildrenReplaceDeadRoot) {
   const TreeQuorum tree(2);
-  EXPECT_TRUE(tree.contains_write_quorum({false, true, true}));
-  EXPECT_FALSE(tree.contains_write_quorum({false, true, false}));
+  EXPECT_TRUE(tree.contains_write_quorum(std::vector<std::uint8_t>{0, 1, 1}));
+  EXPECT_FALSE(tree.contains_write_quorum(std::vector<std::uint8_t>{0, 1, 0}));
 }
 
 TEST(TreeQuorum, RootToLeafPathIsMinimal) {
   // depth 3: a root-to-leaf path {0, 1, 3} is a quorum of size depth = 3.
   const TreeQuorum tree(3);
-  std::vector<bool> path(7, false);
+  std::vector<std::uint8_t> path(7, false);
   path[0] = path[1] = path[3] = true;
   EXPECT_TRUE(tree.contains_write_quorum(path));
   for (unsigned drop : {0u, 1u, 3u}) {
@@ -63,7 +63,7 @@ TEST(TreeQuorum, IntersectionAndMonotoneExhaustive) {
 TEST(TreeQuorum, ReadEqualsWrite) {
   const TreeQuorum tree(3);
   for (std::uint32_t mask = 0; mask < (1U << 7); ++mask) {
-    std::vector<bool> members(7);
+    std::vector<std::uint8_t> members(7);
     for (unsigned i = 0; i < 7; ++i) members[i] = (mask >> i) & 1U;
     EXPECT_EQ(tree.contains_read_quorum(members),
               tree.contains_write_quorum(members));
@@ -75,7 +75,7 @@ TEST(TreeAvailability, RecursionMatchesExactOracle) {
     const TreeQuorum tree(depth);
     for (double p : {0.3, 0.6, 0.9}) {
       const double enumerated = analysis::exact_availability(
-          tree.universe_size(), p, [&tree](const std::vector<bool>& up) {
+          tree.universe_size(), p, [&tree](traperc::MemberSet up) {
             return tree.contains_write_quorum(up);
           });
       EXPECT_NEAR(analysis::tree_availability(depth, p), enumerated, 1e-12)

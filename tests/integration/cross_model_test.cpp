@@ -50,8 +50,8 @@ TEST_P(CrossModel, SlotPredicatesMatchNodePredicatesExhaustively) {
   ASSERT_LE(nbnode, 16u);
 
   for (std::uint32_t mask = 0; mask < (1U << nbnode); ++mask) {
-    std::vector<bool> slots(nbnode);
-    std::vector<bool> up(n, false);
+    std::vector<std::uint8_t> slots(nbnode);
+    std::vector<std::uint8_t> up(n, false);
     for (unsigned slot = 0; slot < nbnode; ++slot) {
       slots[slot] = (mask >> slot) & 1U;
       up[placement.node_at_slot(slot)] = slots[slot];
@@ -73,11 +73,11 @@ TEST_P(CrossModel, ClosedFormsMatchQuorumSystemOracle) {
   const TrapezoidQuorum quorum(q);
   for (double p : {0.25, 0.6, 0.9}) {
     const double write_enum = analysis::exact_availability(
-        quorum.universe_size(), p, [&quorum](const std::vector<bool>& up) {
+        quorum.universe_size(), p, [&quorum](traperc::MemberSet up) {
           return quorum.contains_write_quorum(up);
         });
     const double read_enum = analysis::exact_availability(
-        quorum.universe_size(), p, [&quorum](const std::vector<bool>& up) {
+        quorum.universe_size(), p, [&quorum](traperc::MemberSet up) {
           return quorum.contains_read_quorum(up);
         });
     EXPECT_NEAR(analysis::write_availability(q, p), write_enum, 1e-10);
@@ -94,7 +94,7 @@ TEST_P(CrossModel, OtherDataNodesNeverAffectQuorumPredicates) {
   const BlockDeployment deployment(n, k, 0, q);
   Rng rng(23);
   for (int trial = 0; trial < 500; ++trial) {
-    std::vector<bool> up(n);
+    std::vector<std::uint8_t> up(n);
     for (unsigned i = 0; i < n; ++i) up[i] = rng.next_bool(0.5);
     auto flipped = up;
     for (unsigned data = 1; data < k; ++data) flipped[data] = !flipped[data];

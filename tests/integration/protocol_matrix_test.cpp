@@ -39,7 +39,7 @@ TEST_P(ProtocolMatrix, LiveReadsMatchPredicates) {
   Rng rng(17);
   int successes = 0;
   for (int trial = 0; trial < 150; ++trial) {
-    std::vector<bool> up(cfg.n);
+    std::vector<std::uint8_t> up(cfg.n);
     for (unsigned i = 0; i < cfg.n; ++i) up[i] = rng.next_bool(0.65);
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
@@ -62,7 +62,7 @@ TEST_P(ProtocolMatrix, LiveWritesMatchPredicates) {
   const auto cfg = config();
   SimCluster cluster(cfg, /*seed=*/5);
   const analysis::BlockDeployment d(cfg.n, cfg.k, 0, cfg.quorums());
-  const auto all_up = std::vector<bool>(cfg.n, true);
+  const auto all_up = std::vector<std::uint8_t>(cfg.n, true);
 
   Rng rng(19);
   int successes = 0;
@@ -71,7 +71,7 @@ TEST_P(ProtocolMatrix, LiveWritesMatchPredicates) {
     cluster.set_node_states(all_up);
     ASSERT_EQ(cluster.write_block_sync(stripe, 0, cluster.make_pattern(trial)),
               OpStatus::kSuccess);
-    std::vector<bool> up(cfg.n);
+    std::vector<std::uint8_t> up(cfg.n);
     for (unsigned i = 0; i < cfg.n; ++i) up[i] = rng.next_bool(0.7);
     cluster.set_node_states(up);
     const auto status =

@@ -28,13 +28,13 @@ ProtocolConfig config_for(unsigned w, Mode mode = Mode::kErc) {
 double live_read_success_rate(SimCluster& cluster, double p, int trials,
                               std::uint64_t seed) {
   const auto value = cluster.make_pattern(1);
-  auto all_up = std::vector<bool>(15, true);
+  auto all_up = std::vector<std::uint8_t>(15, true);
   cluster.set_node_states(all_up);
   EXPECT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
   Rng rng(seed);
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
@@ -46,11 +46,11 @@ double live_read_success_rate(SimCluster& cluster, double p, int trials,
 
 double live_write_success_rate(SimCluster& cluster, double p, int trials,
                                std::uint64_t seed) {
-  auto all_up = std::vector<bool>(15, true);
+  auto all_up = std::vector<std::uint8_t>(15, true);
   Rng rng(seed);
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
-    std::vector<bool> up(15);
+    std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     // Fresh stripe per trial => consistent starting state.
     cluster.set_node_states(all_up);
@@ -94,7 +94,7 @@ TEST(Validation, LiveWriteSitsBetweenPrefixBoundAndEq8) {
   const double live = live_write_success_rate(cluster, p, 400, 44);
   const double eq8 = analysis::write_availability(cluster.config().quorums(), p);
   const double with_prefix = analysis::exact_availability(
-      15, p, [&d](const std::vector<bool>& up) {
+      15, p, [&d](traperc::MemberSet up) {
         return analysis::write_possible(d, up) &&
                analysis::read_possible_erc_algorithmic(d, up);
       });

@@ -21,11 +21,11 @@ TEST(Estimator, ConstantPredicates) {
   ThreadPool pool(2);
   Estimator estimator(pool);
   const auto always = estimator.estimate(
-      5, 0.5, 1000, [](const std::vector<bool>&) { return true; });
+      5, 0.5, 1000, [](traperc::MemberSet) { return true; });
   EXPECT_DOUBLE_EQ(always.mean, 1.0);
   EXPECT_EQ(always.successes, 1000u);
   const auto never = estimator.estimate(
-      5, 0.5, 1000, [](const std::vector<bool>&) { return false; });
+      5, 0.5, 1000, [](traperc::MemberSet) { return false; });
   EXPECT_DOUBLE_EQ(never.mean, 0.0);
 }
 
@@ -33,7 +33,7 @@ TEST(Estimator, SingleNodeMatchesP) {
   ThreadPool pool(4);
   Estimator estimator(pool);
   const auto estimate = estimator.estimate(
-      3, 0.7, 200'000, [](const std::vector<bool>& up) { return up[0]; });
+      3, 0.7, 200'000, [](traperc::MemberSet up) { return up[0]; });
   EXPECT_NEAR(estimate.mean, 0.7, 5 * estimate.stderr_ + 1e-3);
 }
 
@@ -41,7 +41,7 @@ TEST(Estimator, DeterministicForSameSeedAndPoolSize) {
   ThreadPool pool(4);
   Estimator a(pool, 7);
   Estimator b(pool, 7);
-  const auto predicate = [](const std::vector<bool>& up) { return up[1]; };
+  const auto predicate = [](traperc::MemberSet up) { return up[1]; };
   const auto ea = a.estimate(4, 0.4, 50'000, predicate);
   const auto eb = b.estimate(4, 0.4, 50'000, predicate);
   EXPECT_EQ(ea.successes, eb.successes);
@@ -50,7 +50,7 @@ TEST(Estimator, DeterministicForSameSeedAndPoolSize) {
 TEST(Estimator, SequentialRunsAreIndependentStreams) {
   ThreadPool pool(2);
   Estimator estimator(pool, 7);
-  const auto predicate = [](const std::vector<bool>& up) { return up[0]; };
+  const auto predicate = [](traperc::MemberSet up) { return up[0]; };
   const auto first = estimator.estimate(2, 0.5, 10'000, predicate);
   const auto second = estimator.estimate(2, 0.5, 10'000, predicate);
   // Overwhelmingly likely to differ (distinct run counter => new stream).
