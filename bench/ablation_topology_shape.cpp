@@ -28,15 +28,20 @@ int main() {
     for (const auto& shape : topology::solve_shapes(nbnode, 3)) {
       std::string levels;
       for (unsigned l = 0; l <= shape.h; ++l) {
-        levels += (l == 0 ? "" : ",") + std::to_string(shape.level_size(l));
+        if (l != 0) levels += ',';
+        levels += std::to_string(shape.level_size(l));
       }
       const unsigned w_max = shape.h >= 1 ? shape.level_size(1) : 1;
       for (unsigned w = 1; w <= w_max && w <= 2; ++w) {
         const auto q = topology::LevelQuorums::paper_convention(shape, w);
+        std::string shape_name = "a";
+        shape_name += std::to_string(shape.a);
+        shape_name += 'b';
+        shape_name += std::to_string(shape.b);
+        shape_name += 'h';
+        shape_name += std::to_string(shape.h);
         table.add_row(
-            {"a" + std::to_string(shape.a) + "b" + std::to_string(shape.b) +
-                 "h" + std::to_string(shape.h),
-             levels, std::to_string(w),
+            {shape_name, levels, std::to_string(w),
              format_double(analysis::write_availability(q, p), 4),
              format_double(analysis::read_availability_erc(q, n, k, p), 4),
              format_double(analysis::read_availability_fr(q, p), 4)});

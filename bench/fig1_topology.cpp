@@ -38,7 +38,8 @@ int main() {
     const auto shape = topology::canonical_shape_for_code(15, k);
     std::string levels;
     for (unsigned l = 0; l <= shape.h; ++l) {
-      levels += (l == 0 ? "" : ",") + std::to_string(shape.level_size(l));
+      if (l != 0) levels += ',';
+      levels += std::to_string(shape.level_size(l));
     }
     table.add_row({std::to_string(k), std::to_string(shape.total_nodes()),
                    std::to_string(shape.a), std::to_string(shape.b),

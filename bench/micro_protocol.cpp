@@ -2,16 +2,34 @@
 // wall-clock per operation, simulated latency per operation, and message
 // counts, for TRAP-ERC vs TRAP-FR and for the read fast/slow paths.
 // (The simulated latency model is FixedLatency(100µs) one-way.)
+//
+// The custom main (like micro_gf / micro_erasure) sweeps the sharded,
+// pipelined object layer — whole-object put objects/sec and node-repair MB/s
+// vs shard count, pipeline depth, and worker threads, each against the
+// serial single-shard path — and emits BENCH_protocol.json so the perf
+// trajectory is tracked from PR 2 onward. Pass --gbench to additionally run
+// the Google-Benchmark per-op cases below.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
 #include "core/protocol/cluster.hpp"
 #include "core/protocol/repair.hpp"
+#include "core/protocol/sharded_store.hpp"
 
 namespace {
 
 using namespace traperc;
 using core::Mode;
 using core::ProtocolConfig;
+using core::ShardedObjectStore;
+using core::ShardedStoreOptions;
 using core::SimCluster;
 
 ProtocolConfig bench_config(Mode mode) {
@@ -104,4 +122,189 @@ void BM_RepairNode(benchmark::State& state) {
 }
 BENCHMARK(BM_RepairNode)->Arg(4)->Arg(16);
 
+// ---------------------------------------------------------------------------
+// BENCH_protocol.json sweep: sharded/pipelined object layer vs the serial
+// single-shard path.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock seconds for `fn()`, best of `reps`.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = clock::now();
+    fn();
+    const double sec =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> sweep_object(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+struct SweepPoint {
+  unsigned shards;
+  unsigned threads;  // 0 = deterministic serial fallback (no pool)
+  unsigned depth;
+};
+
+/// Whole-object put throughput for one store configuration: `ops` puts of a
+/// `stripes_per_object`-stripe object per repetition, fresh store per rep
+/// (stripe namespaces are never reused, so reps must not accumulate).
+/// Store construction/destruction — shard cluster builds, pool spawn/join —
+/// happens outside the clock so the sharded points aren't charged setup the
+/// serial baseline doesn't pay.
+double measure_put_objects_per_s(const ProtocolConfig& config,
+                                 const SweepPoint& point, unsigned ops,
+                                 unsigned stripes_per_object) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  double best_sec = 1e100;
+  for (int rep = 0; rep < 2; ++rep) {
+    ShardedObjectStore store(config, options);
+    const auto start = clock::now();
+    for (unsigned i = 0; i < ops; ++i) {
+      if (!store.put(object).has_value()) std::abort();
+    }
+    const double sec =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (sec < best_sec) best_sec = sec;
+  }
+  return static_cast<double>(ops) / best_sec;
+}
+
+/// Node-repair throughput: rebuild a wiped data node holding its share of
+/// `objects` × `stripes_per_object` stripes; wipe+repair repeats in place.
+double measure_repair_mb_per_s(const ProtocolConfig& config,
+                               const SweepPoint& point, unsigned objects,
+                               unsigned stripes_per_object) {
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  ShardedObjectStore store(config, options);
+  const auto object = sweep_object(capacity * stripes_per_object, 11);
+  for (unsigned i = 0; i < objects; ++i) {
+    if (!store.put(object).has_value()) std::abort();
+  }
+  std::size_t rebuilt_bytes = 0;
+  const double sec = best_seconds(2, [&] {
+    store.wipe_node(0);
+    const auto report = store.repair_node(0);
+    if (report.chunks_unrecoverable != 0) std::abort();
+    rebuilt_bytes =
+        static_cast<std::size_t>(report.chunks_rebuilt) * config.chunk_len;
+  });
+  return static_cast<double>(rebuilt_bytes) / sec / 1e6;
+}
+
+void run_sweep(const std::string& out_path) {
+  auto config = ProtocolConfig::for_code(15, 8, 1, Mode::kErc);
+  config.chunk_len = 4096;
+  constexpr unsigned kStripesPerObject = 16;  // 512 KiB objects
+  constexpr unsigned kPutOps = 6;
+  constexpr unsigned kRepairObjects = 3;
+  const std::size_t object_bytes = static_cast<std::size_t>(config.k) *
+                                   config.chunk_len * kStripesPerObject;
+
+  benchjson::JsonWriter json;
+  json.begin_object();
+  json.field("bench", std::string("micro_protocol"));
+  json.field("n", static_cast<std::size_t>(config.n));
+  json.field("k", static_cast<std::size_t>(config.k));
+  json.field("chunk_len", config.chunk_len);
+  json.field("stripes_per_object", static_cast<std::size_t>(kStripesPerObject));
+  json.field("hardware_concurrency",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  // The serial path: one shard, no pool, depth 1 — the pre-PR-2 ObjectStore
+  // loop, modulo the batched per-stripe engine drive. Every other entry
+  // reports speedup against it.
+  const SweepPoint serial{1, 0, 1};
+  const SweepPoint put_points[] = {
+      serial,     {2, 2, 4}, {4, 4, 4},  {8, 8, 4},  // shard sweep
+      {4, 1, 4},  {4, 2, 4},                         // thread sweep @ 4 shards
+      {4, 4, 1},  {4, 4, 2}, {4, 4, 8},              // depth sweep @ 4 shards
+  };
+  double put_serial = 0.0;
+  json.begin_array("object_put");
+  for (const auto& point : put_points) {
+    const double ops_per_s = measure_put_objects_per_s(
+        config, point, kPutOps, kStripesPerObject);
+    if (point.shards == serial.shards && point.threads == serial.threads &&
+        point.depth == serial.depth) {
+      put_serial = ops_per_s;
+    }
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("objects_per_s", ops_per_s);
+    json.field("mb_per_s",
+               ops_per_s * static_cast<double>(object_bytes) / 1e6);
+    json.field("speedup_vs_serial", ops_per_s / put_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  const SweepPoint repair_points[] = {
+      serial, {2, 2, 4}, {4, 4, 4}, {4, 4, 1}, {4, 4, 8},
+  };
+  double repair_serial = 0.0;
+  json.begin_array("node_repair");
+  for (const auto& point : repair_points) {
+    const double mb_per_s = measure_repair_mb_per_s(
+        config, point, kRepairObjects, kStripesPerObject);
+    if (point.shards == serial.shards && point.threads == serial.threads &&
+        point.depth == serial.depth) {
+      repair_serial = mb_per_s;
+    }
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("mb_per_s", mb_per_s);
+    json.field("speedup_vs_serial", mb_per_s / repair_serial);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  const char* out = std::getenv("TRAPERC_BENCH_OUT");
+  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_protocol.json");
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

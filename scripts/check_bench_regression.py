@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare a freshly emitted BENCH_*.json against the
+committed baseline and fail on throughput regressions.
+
+Each BENCH file is one JSON object whose array-valued keys are sweep tables
+(lists of flat objects). Within a table, entries are matched between baseline
+and fresh by their identity fields (strings and integers: kernel, n, k, len,
+shards, threads, ...); the float-valued fields are the measured metrics. A
+fresh metric more than --tolerance below its baseline is a regression; a
+baseline entry with no fresh counterpart is a coverage loss. Both fail the
+check. Fresh-only entries and fresh-only metrics pass (new coverage).
+
+Absolute MB/s numbers are machine-specific, so CI compares only the
+machine-relative ratio metrics (--fields speedup) against baselines committed
+from a different machine; run without --fields for a same-machine comparison
+of every metric.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def is_metric(key, value, fields_re):
+    return isinstance(value, float) and fields_re.search(key) is not None
+
+
+def entry_identity(entry):
+    """Hashable identity: every non-float field of the entry."""
+    return tuple(
+        sorted((k, v) for k, v in entry.items() if not isinstance(v, float))
+    )
+
+
+def format_identity(identity):
+    return " ".join(f"{k}={v}" for k, v in identity) or "<unkeyed>"
+
+
+def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report):
+    fresh_by_id = {}
+    for row in fresh_rows:
+        fresh_by_id[entry_identity(row)] = row
+    failures = 0
+    for row in baseline_rows:
+        identity = entry_identity(row)
+        fresh = fresh_by_id.get(identity)
+        if fresh is None:
+            report.append(
+                f"FAIL {name}: baseline entry missing from fresh run "
+                f"({format_identity(identity)})"
+            )
+            failures += 1
+            continue
+        for key, base_value in row.items():
+            if not is_metric(key, base_value, fields_re):
+                continue
+            fresh_value = fresh.get(key)
+            if not isinstance(fresh_value, (int, float)):
+                report.append(
+                    f"FAIL {name}: metric {key} missing in fresh entry "
+                    f"({format_identity(identity)})"
+                )
+                failures += 1
+                continue
+            if base_value <= 0:
+                continue
+            ratio = fresh_value / base_value
+            line = (
+                f"{name}: {format_identity(identity)} {key} "
+                f"baseline={base_value:.2f} fresh={fresh_value:.2f} "
+                f"({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - tolerance:
+                report.append("FAIL " + line)
+                failures += 1
+            else:
+                report.append("  ok " + line)
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed JSON")
+    parser.add_argument("--fresh", required=True, help="freshly emitted JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--fields",
+        default=r"mb_per_s|objects_per_s|speedup",
+        help="regex selecting which float fields are guarded metrics",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    fields_re = re.compile(args.fields)
+
+    report = []
+    failures = 0
+    for key, base_value in baseline.items():
+        if not isinstance(base_value, list):
+            continue
+        fresh_value = fresh.get(key)
+        if not isinstance(fresh_value, list):
+            report.append(f"FAIL {key}: sweep table missing from fresh run")
+            failures += 1
+            continue
+        failures += check_table(
+            key, base_value, fresh_value, args.tolerance, fields_re, report
+        )
+
+    print(f"bench regression check: {args.fresh} vs {args.baseline}")
+    print(f"tolerance {args.tolerance:.0%}, guarded fields /{args.fields}/")
+    for line in report:
+        print(line)
+    if failures:
+        print(f"{failures} regression(s) detected")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

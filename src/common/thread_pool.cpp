@@ -77,4 +77,37 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void TaskGroup::submit(std::function<void()> task) {
+  TRAPERC_CHECK_MSG(task != nullptr, "submitted empty task");
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_->submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard lock(mutex_);
+    --pending_;
+    cv_done_.notify_all();
+  });
+}
+
+void TaskGroup::submit_bounded(std::function<void()> task, std::size_t depth) {
+  TRAPERC_CHECK_MSG(depth >= 1, "pipeline depth must be >= 1");
+  if (pool_ != nullptr) {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this, depth] { return pending_ < depth; });
+  }
+  submit(std::move(task));
+}
+
+void TaskGroup::wait() {
+  if (pool_ == nullptr) return;
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 }  // namespace traperc

@@ -1,6 +1,9 @@
-// Fixed-size worker pool with a blocking task queue and a parallel_for
-// helper. Used by the Monte Carlo estimator to fan trial batches across
-// cores; results are reduced by the caller.
+// Fixed-size worker pool with a blocking task queue, a parallel_for helper,
+// future-returning task submission, and TaskGroup — a per-caller batch with
+// its own completion tracking and bounded-depth (pipelined) submission.
+// Used by the Monte Carlo estimator to fan trial batches across cores and by
+// the sharded object store to pipeline per-stripe protocol work; results are
+// reduced by the caller.
 //
 // The design follows the explicit-parallelism style of message-passing HPC
 // codes: work units are closed over their inputs, no shared mutable state is
@@ -11,8 +14,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace traperc {
@@ -34,7 +41,21 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
+  /// `fn` are captured into the future (they must not escape a worker).
+  template <typename F>
+  auto submit_task(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until every submitted task has finished executing. Waits on the
+  /// whole pool; concurrent users that must wait on only their own tasks
+  /// should use a TaskGroup instead.
   void wait_idle();
 
   /// Runs body(chunk_begin, chunk_end, worker_index) over [0, count) split
@@ -55,6 +76,46 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+};
+
+/// One caller's batch of tasks on a shared pool. Unlike ThreadPool::
+/// wait_idle(), wait() blocks only until *this group's* tasks finish, so
+/// independent clients (e.g. concurrent object puts) can share one pool.
+/// submit_bounded() additionally blocks the producer while `depth` tasks are
+/// outstanding — the bounded-depth pipeline primitive: the producer keeps at
+/// most `depth` stripes in flight and is throttled to the consumers' pace.
+///
+/// Constructed with a null pool, the group degrades to deterministic inline
+/// execution: every task runs to completion on the submitting thread, in
+/// submission order. This is the single-threaded fallback path; callers get
+/// identical semantics with zero concurrency.
+class TaskGroup {
+ public:
+  /// `pool` may be null (inline deterministic mode). The group does not own
+  /// the pool; it must outlive the group.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins outstanding tasks (same as wait()).
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task` on the pool (or runs it inline when poolless).
+  void submit(std::function<void()> task);
+
+  /// Like submit(), but first blocks until fewer than `depth` of this
+  /// group's tasks are outstanding. `depth` must be >= 1.
+  void submit_bounded(std::function<void()> task, std::size_t depth);
+
+  /// Blocks until every task submitted through this group has finished.
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_done_;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace traperc

@@ -105,6 +105,51 @@ ReadOutcome SimCluster::read_block_sync(BlockId stripe, unsigned index) {
   return std::move(*result);
 }
 
+OpStatus SimCluster::write_stripe_sync(
+    BlockId stripe, unsigned first_index,
+    std::vector<std::vector<std::uint8_t>> blocks) {
+  TRAPERC_CHECK_MSG(first_index + blocks.size() <= config_.k,
+                    "stripe write exceeds the stripe's data blocks");
+  std::size_t done = 0;
+  OpStatus result = OpStatus::kSuccess;
+  for (unsigned i = 0; i < blocks.size(); ++i) {
+    coordinator_->write_block(stripe, first_index + i, std::move(blocks[i]),
+                              [&done, &result](OpStatus status) {
+                                if (status != OpStatus::kSuccess &&
+                                    result == OpStatus::kSuccess) {
+                                  result = status;
+                                }
+                                ++done;
+                              });
+  }
+  while (done < blocks.size() && engine_.step()) {
+  }
+  TRAPERC_CHECK_MSG(done == blocks.size(),
+                    "engine drained without completing the stripe write");
+  return result;
+}
+
+std::vector<ReadOutcome> SimCluster::read_stripe_sync(BlockId stripe,
+                                                      unsigned first_index,
+                                                      unsigned count) {
+  TRAPERC_CHECK_MSG(first_index + count <= config_.k,
+                    "stripe read exceeds the stripe's data blocks");
+  std::vector<ReadOutcome> outcomes(count);
+  std::size_t done = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    coordinator_->read_block(stripe, first_index + i,
+                             [&outcomes, &done, i](ReadOutcome outcome) {
+                               outcomes[i] = std::move(outcome);
+                               ++done;
+                             });
+  }
+  while (done < count && engine_.step()) {
+  }
+  TRAPERC_CHECK_MSG(done == count,
+                    "engine drained without completing the stripe read");
+  return outcomes;
+}
+
 std::vector<std::uint8_t> SimCluster::make_pattern(std::uint64_t tag) const {
   std::vector<std::uint8_t> out(config_.chunk_len);
   Rng rng(tag ^ 0x7261707065726321ULL);

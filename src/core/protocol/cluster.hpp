@@ -59,6 +59,27 @@ class SimCluster {
                             std::vector<std::uint8_t> value);
   [[nodiscard]] ReadOutcome read_block_sync(BlockId stripe, unsigned index);
 
+  // -- batched stripe API -------------------------------------------------
+  // Issues one protocol operation per entry as concurrent in-flight state
+  // machines (the coordinator supports this natively) and drives the engine
+  // once until all complete. The per-block quorum round-trips of one stripe
+  // overlap in simulated time, so a k-block stripe costs ~1 RPC round-trip
+  // of simulated latency instead of k. This is the object layer's stripe
+  // primitive; ShardedObjectStore overlays it with wall-clock parallelism
+  // across shards.
+
+  /// Writes blocks[i] (each chunk_len bytes) to block index first_index+i of
+  /// `stripe`. Returns kSuccess iff every write succeeded, otherwise the
+  /// first failing status (remaining writes still run to completion).
+  OpStatus write_stripe_sync(BlockId stripe, unsigned first_index,
+                             std::vector<std::vector<std::uint8_t>> blocks);
+
+  /// Reads block indices [first_index, first_index+count) of `stripe`.
+  /// outcomes[i] corresponds to block first_index+i.
+  [[nodiscard]] std::vector<ReadOutcome> read_stripe_sync(BlockId stripe,
+                                                          unsigned first_index,
+                                                          unsigned count);
+
   /// Fills a chunk-sized buffer with a deterministic pattern (testing aid).
   [[nodiscard]] std::vector<std::uint8_t> make_pattern(
       std::uint64_t tag) const;

@@ -15,23 +15,32 @@ std::size_t ObjectStore::stripe_capacity() const noexcept {
          cluster_.config().chunk_len;
 }
 
+std::vector<std::vector<std::uint8_t>> ObjectStore::stripe_chunks(
+    std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
+    std::size_t chunk_len) {
+  std::vector<std::vector<std::uint8_t>> chunks;
+  std::size_t offset =
+      static_cast<std::size_t>(stripe_index) * k * chunk_len;
+  for (unsigned block = 0; block < k && offset < object.size(); ++block) {
+    const std::size_t take = std::min(chunk_len, object.size() - offset);
+    std::vector<std::uint8_t> chunk(chunk_len, 0);
+    std::memcpy(chunk.data(), object.data() + offset, take);
+    chunks.push_back(std::move(chunk));
+    offset += take;
+  }
+  return chunks;
+}
+
 bool ObjectStore::write_extent(const Extent& extent,
                                std::span<const std::uint8_t> object) {
   const std::size_t chunk_len = cluster_.config().chunk_len;
   const unsigned k = cluster_.config().k;
-  std::vector<std::uint8_t> chunk(chunk_len);
-  std::size_t offset = 0;
   for (unsigned s = 0; s < extent.stripe_count; ++s) {
-    for (unsigned block = 0; block < k; ++block) {
-      if (offset >= object.size()) return true;  // tail blocks untouched
-      const std::size_t take = std::min(chunk_len, object.size() - offset);
-      std::memcpy(chunk.data(), object.data() + offset, take);
-      std::memset(chunk.data() + take, 0, chunk_len - take);
-      if (cluster_.write_block_sync(extent.first_stripe + s, block, chunk) !=
-          OpStatus::kSuccess) {
-        return false;
-      }
-      offset += take;
+    auto chunks = stripe_chunks(object, s, k, chunk_len);
+    if (chunks.empty()) break;  // tail blocks untouched
+    if (cluster_.write_stripe_sync(extent.first_stripe + s, 0,
+                                   std::move(chunks)) != OpStatus::kSuccess) {
+      return false;
     }
   }
   return true;
@@ -80,9 +89,11 @@ std::optional<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
   out.reserve(extent.size);
   std::size_t remaining = extent.size;
   for (unsigned s = 0; s < extent.stripe_count && remaining > 0; ++s) {
-    for (unsigned block = 0; block < k && remaining > 0; ++block) {
-      const auto outcome =
-          cluster_.read_block_sync(extent.first_stripe + s, block);
+    const auto covered = static_cast<unsigned>(std::min<std::size_t>(
+        k, (remaining + chunk_len - 1) / chunk_len));
+    auto outcomes =
+        cluster_.read_stripe_sync(extent.first_stripe + s, 0, covered);
+    for (const auto& outcome : outcomes) {
       if (outcome.status != OpStatus::kSuccess) return std::nullopt;
       const std::size_t take = std::min(chunk_len, remaining);
       out.insert(out.end(), outcome.value.begin(),

@@ -37,6 +37,14 @@ class ObjectStore {
   /// Bytes one stripe can hold: k · chunk_len.
   [[nodiscard]] std::size_t stripe_capacity() const noexcept;
 
+  /// Slices stripe `stripe_index` (counting from the object's first stripe)
+  /// out of `object`: up to k chunk_len-sized, zero-padded chunks, fewer for
+  /// the tail stripe (blocks past the object's end are omitted entirely).
+  /// Shared by the serial path and ShardedObjectStore's pipeline tasks.
+  [[nodiscard]] static std::vector<std::vector<std::uint8_t>> stripe_chunks(
+      std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
+      std::size_t chunk_len);
+
   /// Writes `object` into freshly allocated stripes. Returns the object id
   /// on success, nullopt if any block write failed (no catalog entry is
   /// created; the allocated stripe range is not reused).

@@ -31,6 +31,15 @@ struct RepairReport {
   unsigned chunks_rebuilt = 0;
   unsigned chunks_unrecoverable = 0;
   unsigned stripes_reconciled = 0;
+
+  /// Merges a partial report (one shard / stripe batch) into an aggregate;
+  /// the sharded store's pipelined repair reduces per-task reports this way.
+  RepairReport& operator+=(const RepairReport& other) noexcept {
+    chunks_rebuilt += other.chunks_rebuilt;
+    chunks_unrecoverable += other.chunks_unrecoverable;
+    stripes_reconciled += other.stripes_reconciled;
+    return *this;
+  }
 };
 
 class RepairManager {

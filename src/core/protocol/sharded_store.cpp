@@ -1,0 +1,252 @@
+#include "core/protocol/sharded_store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
+                                       ShardedStoreOptions options)
+    : options_(options) {
+  TRAPERC_CHECK_MSG(options_.shards >= 1, "need at least one shard");
+  TRAPERC_CHECK_MSG(options_.pipeline_depth >= 1,
+                    "pipeline depth must be >= 1");
+  shards_.reserve(options_.shards);
+  for (unsigned s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->cluster = std::make_unique<SimCluster>(config, options_.seed + s);
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+ShardedObjectStore::~ShardedObjectStore() = default;
+
+std::size_t ShardedObjectStore::stripe_capacity() const noexcept {
+  const auto& config = shards_.front()->cluster->config();
+  return static_cast<std::size_t>(config.k) * config.chunk_len;
+}
+
+std::size_t ShardedObjectStore::object_count() const {
+  std::lock_guard lock(catalog_mutex_);
+  return catalog_.size();
+}
+
+SimCluster& ShardedObjectStore::shard_cluster(unsigned shard) {
+  TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->cluster;
+}
+
+std::optional<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
+    std::span<const std::uint8_t> object) {
+  TRAPERC_CHECK_MSG(!object.empty(), "cannot store an empty object");
+  const std::size_t capacity = stripe_capacity();
+  const auto total =
+      static_cast<unsigned>((object.size() + capacity - 1) / capacity);
+  const unsigned n_shards = shard_count();
+  const auto& config = shards_.front()->cluster->config();
+  const unsigned k = config.k;
+  const std::size_t chunk_len = config.chunk_len;
+
+  ObjectId id = 0;
+  {
+    std::lock_guard lock(catalog_mutex_);
+    id = next_object_++;
+  }
+
+  // Allocate each shard's local stripe range up front (stripes are never
+  // reused, even when the put fails — same rule as ObjectStore).
+  std::vector<ShardExtent> extents(n_shards);
+  for (unsigned j = 0; j < n_shards; ++j) {
+    const unsigned count = total > j ? (total - j - 1) / n_shards + 1 : 0;
+    if (count == 0) continue;
+    Shard& shard = *shards_[j];
+    std::lock_guard lock(shard.mutex);
+    extents[j] = ShardExtent{shard.next_stripe, count};
+    shard.next_stripe += count;
+    shard.catalog.emplace(id, extents[j]);
+  }
+
+  std::atomic<bool> ok{true};
+  {
+    TaskGroup group(pool_.get());
+    for (unsigned i = 0; i < total; ++i) {
+      group.submit_bounded(
+          [this, &ok, &extents, object, i, k, chunk_len] {
+            if (!ok.load(std::memory_order_relaxed)) return;
+            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
+            const unsigned j = shard_of(i);
+            Shard& shard = *shards_[j];
+            const BlockId stripe = extents[j].first_stripe + local_index(i);
+            std::lock_guard lock(shard.mutex);
+            if (shard.cluster->write_stripe_sync(stripe, 0,
+                                                 std::move(chunks)) !=
+                OpStatus::kSuccess) {
+              ok.store(false, std::memory_order_relaxed);
+            }
+          },
+          options_.pipeline_depth);
+    }
+    group.wait();
+  }
+
+  if (!ok.load()) {
+    for (unsigned j = 0; j < n_shards; ++j) {
+      if (extents[j].stripe_count == 0) continue;
+      std::lock_guard lock(shards_[j]->mutex);
+      shards_[j]->catalog.erase(id);
+    }
+    return std::nullopt;
+  }
+  {
+    std::lock_guard lock(catalog_mutex_);
+    catalog_.emplace(id, ObjectInfo{object.size(), total});
+  }
+  return id;
+}
+
+std::optional<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
+  ObjectInfo info;
+  {
+    std::lock_guard lock(catalog_mutex_);
+    const auto it = catalog_.find(id);
+    if (it == catalog_.end()) return std::nullopt;
+    info = it->second;
+  }
+  const unsigned n_shards = shard_count();
+  std::vector<ShardExtent> extents(n_shards);
+  for (unsigned j = 0; j < n_shards && j < info.stripe_count; ++j) {
+    Shard& shard = *shards_[j];
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.catalog.find(id);
+    // A concurrent forget(id) may have erased the shard entries between the
+    // facade lookup and here; treat it like any other unknown id.
+    if (it == shard.catalog.end()) return std::nullopt;
+    extents[j] = it->second;
+  }
+
+  const std::size_t capacity = stripe_capacity();
+  const auto& config = shards_.front()->cluster->config();
+  const std::size_t chunk_len = config.chunk_len;
+  std::vector<std::uint8_t> out(info.size);
+  std::atomic<bool> ok{true};
+  {
+    TaskGroup group(pool_.get());
+    for (unsigned i = 0; i < info.stripe_count; ++i) {
+      // Each task fills a disjoint [offset, offset+bytes) range of `out`,
+      // so no synchronization on the output buffer is needed.
+      group.submit_bounded(
+          [this, &ok, &extents, &out, &info, i, capacity, chunk_len] {
+            if (!ok.load(std::memory_order_relaxed)) return;
+            const std::size_t offset = static_cast<std::size_t>(i) * capacity;
+            const std::size_t bytes = std::min(capacity, info.size - offset);
+            const auto covered =
+                static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
+            const unsigned j = shard_of(i);
+            Shard& shard = *shards_[j];
+            const BlockId stripe = extents[j].first_stripe + local_index(i);
+            std::vector<ReadOutcome> outcomes;
+            {
+              std::lock_guard lock(shard.mutex);
+              outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
+            }
+            for (unsigned b = 0; b < covered; ++b) {
+              if (outcomes[b].status != OpStatus::kSuccess) {
+                ok.store(false, std::memory_order_relaxed);
+                return;
+              }
+              const std::size_t block_off =
+                  static_cast<std::size_t>(b) * chunk_len;
+              const std::size_t take = std::min(chunk_len, bytes - block_off);
+              std::memcpy(out.data() + offset + block_off,
+                          outcomes[b].value.data(), take);
+            }
+          },
+          options_.pipeline_depth);
+    }
+    group.wait();
+  }
+  if (!ok.load()) return std::nullopt;
+  return out;
+}
+
+bool ShardedObjectStore::forget(ObjectId id) {
+  {
+    std::lock_guard lock(catalog_mutex_);
+    if (catalog_.erase(id) == 0) return false;
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->catalog.erase(id);
+  }
+  return true;
+}
+
+std::optional<ShardedObjectStore::ObjectInfo> ShardedObjectStore::info(
+    ObjectId id) const {
+  std::lock_guard lock(catalog_mutex_);
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ShardedObjectStore::fail_node(NodeId id) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cluster->fail_node(id);
+  }
+}
+
+void ShardedObjectStore::recover_node(NodeId id) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cluster->recover_node(id);
+  }
+}
+
+void ShardedObjectStore::wipe_node(NodeId id) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->cluster->node(id).wipe();
+  }
+}
+
+RepairReport ShardedObjectStore::repair_node(NodeId id) {
+  RepairReport total;
+  std::mutex report_mutex;
+  TaskGroup group(pool_.get());
+  // One task per stripe, at most `pipeline_depth` outstanding — the same
+  // bounded pipeline as put/get. Same-shard stripes serialize on the shard
+  // mutex (one stripe per lock hold, so racing reads interleave freely);
+  // different shards decode concurrently.
+  for (unsigned j = 0; j < shard_count(); ++j) {
+    BlockId used = 0;
+    {
+      std::lock_guard lock(shards_[j]->mutex);
+      used = shards_[j]->next_stripe;
+    }
+    for (BlockId s = 0; s < used; ++s) {
+      group.submit_bounded(
+          [this, j, id, s, &total, &report_mutex] {
+            Shard& shard = *shards_[j];
+            RepairReport report;
+            {
+              std::lock_guard lock(shard.mutex);
+              report = shard.cluster->repair().rebuild_node(id, {s});
+            }
+            std::lock_guard lock(report_mutex);
+            total += report;
+          },
+          options_.pipeline_depth);
+    }
+  }
+  group.wait();
+  return total;
+}
+
+}  // namespace traperc::core

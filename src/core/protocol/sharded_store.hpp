@@ -1,0 +1,140 @@
+// ShardedObjectStore — the whole-object layer scaled out: N independent
+// shard deployments behind one facade, with multi-stripe put/get and node
+// repair driven through common::ThreadPool as a bounded-depth pipeline.
+//
+// Sharding model (cf. MemEC's sharded coordinator and OpenEC's repair-task
+// graphs): the object's stripes are range-partitioned round-robin — object
+// stripe i lives on shard i mod N, at local stripe extent.first + i/N. Each
+// shard owns a full trapezoid deployment (its own SimCluster: engine,
+// network, n nodes, coordinator, repair manager), its own catalog, and its
+// own base-stripe namespace, so shards share no mutable state and a mutex
+// per shard is the only cross-thread serialization. Logical node id d is the
+// same physical machine in every shard's deployment; fail/recover/wipe and
+// repair therefore fan out across all shards.
+//
+// Pipelining: an operation slices its object into per-stripe tasks and feeds
+// them to the pool through a TaskGroup with at most `pipeline_depth` stripes
+// outstanding, so stripe i's encode/decode (gf::matrix_apply inside the
+// shard's protocol machinery) overlaps stripe i+1's quorum traffic on
+// another shard instead of running strictly serially. With
+// `options.threads == 0` no pool exists and every task runs inline in
+// submission order — the deterministic single-threaded fallback; results are
+// bit-identical either way, only the interleaving changes.
+//
+// Thread safety: the facade itself is safe for concurrent put/get/repair
+// calls from multiple client threads (catalog mutex + per-shard mutexes).
+// Failure semantics match ObjectStore: a failed put burns its allocated
+// stripe ranges and leaves partial blocks behind (no transactions), and the
+// catalog entry only appears on full success.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/repair.hpp"
+
+namespace traperc::core {
+
+struct ShardedStoreOptions {
+  unsigned shards = 4;          ///< independent shard deployments (>= 1)
+  unsigned pipeline_depth = 4;  ///< max stripes in flight per operation (>= 1)
+  /// Worker threads for the pipeline; 0 = no pool, deterministic inline
+  /// execution (the single-threaded fallback path).
+  unsigned threads = 0;
+  std::uint64_t seed = 42;  ///< shard s's cluster is seeded with seed + s
+};
+
+class ShardedObjectStore {
+ public:
+  using ObjectId = ObjectStore::ObjectId;
+
+  struct ObjectInfo {
+    std::size_t size = 0;
+    unsigned stripe_count = 0;  ///< total stripes across all shards
+  };
+
+  ShardedObjectStore(ProtocolConfig config, ShardedStoreOptions options = {});
+  ~ShardedObjectStore();
+
+  ShardedObjectStore(const ShardedObjectStore&) = delete;
+  ShardedObjectStore& operator=(const ShardedObjectStore&) = delete;
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] const ShardedStoreOptions& options() const noexcept {
+    return options_;
+  }
+  /// Bytes one stripe can hold: k · chunk_len (identical on every shard).
+  [[nodiscard]] std::size_t stripe_capacity() const noexcept;
+  [[nodiscard]] std::size_t object_count() const;
+
+  /// Writes `object` across the shards as a bounded-depth stripe pipeline.
+  /// Returns the object id, or nullopt if any stripe write failed.
+  std::optional<ObjectId> put(std::span<const std::uint8_t> object);
+
+  /// Reads an object back through the same pipeline; nullopt on unknown id
+  /// or any stripe's quorum/decode failure.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(ObjectId id);
+
+  /// Drops the catalog entries (facade and per-shard); storage is not
+  /// reclaimed, matching ObjectStore::forget.
+  bool forget(ObjectId id);
+
+  [[nodiscard]] std::optional<ObjectInfo> info(ObjectId id) const;
+
+  // -- cluster-wide liveness and repair ----------------------------------
+  // Logical node `id` exists in every shard's deployment; these fan out.
+  void fail_node(NodeId id);
+  void recover_node(NodeId id);
+  /// Simulates media loss: wipes node `id`'s stores in every shard.
+  void wipe_node(NodeId id);
+
+  /// Rebuilds everything node `id` should hold, across all shards, as a
+  /// bounded pipeline of per-stripe tasks (at most `pipeline_depth`
+  /// outstanding) so one stripe's decode overlaps another shard's stripe.
+  RepairReport repair_node(NodeId id);
+
+  /// Direct access to one shard's deployment (tests and benches only; not
+  /// synchronized against concurrent store operations).
+  [[nodiscard]] SimCluster& shard_cluster(unsigned shard);
+
+ private:
+  struct ShardExtent {
+    BlockId first_stripe = 0;
+    unsigned stripe_count = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<SimCluster> cluster;
+    std::mutex mutex;  ///< serializes every touch of cluster + members below
+    BlockId next_stripe = 0;
+    std::map<ObjectId, ShardExtent> catalog;
+  };
+
+  /// Shard hosting object stripe `index`, and its local position there.
+  [[nodiscard]] unsigned shard_of(unsigned stripe_index) const noexcept {
+    return stripe_index % shard_count();
+  }
+  [[nodiscard]] unsigned local_index(unsigned stripe_index) const noexcept {
+    return stripe_index / shard_count();
+  }
+
+  ShardedStoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads == 0
+
+  mutable std::mutex catalog_mutex_;
+  ObjectId next_object_ = 1;
+  std::map<ObjectId, ObjectInfo> catalog_;
+};
+
+}  // namespace traperc::core

@@ -25,6 +25,7 @@ void xor_region(const std::uint8_t* src, std::uint8_t* dst,
 
 void mul_region(const GF256& field, std::uint8_t c, const std::uint8_t* src,
                 std::uint8_t* dst, std::size_t len) noexcept {
+  if (len == 0) return;  // empty vectors may hand us null pointers
   if (c == 0) {
     std::memset(dst, 0, len);
     return;

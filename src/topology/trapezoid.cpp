@@ -72,7 +72,10 @@ std::string Trapezoid::render(std::span<const std::string> slot_labels) const {
   // mimicking the paper's Fig. 1 drawing.
   auto label = [&](unsigned slot) -> std::string {
     if (slot < slot_labels.size()) return slot_labels[slot];
-    return "[" + std::to_string(slot) + "]";
+    std::string fallback = "[";
+    fallback += std::to_string(slot);
+    fallback += ']';
+    return fallback;
   };
   std::vector<std::string> lines(shape_.levels());
   std::size_t widest = 0;
@@ -80,7 +83,8 @@ std::string Trapezoid::render(std::span<const std::string> slot_labels) const {
     std::ostringstream line;
     const auto slots = slots_on_level(l);
     for (std::size_t i = 0; i < slots.size(); ++i) {
-      line << (i == 0 ? "" : " ") << label(slots[i]);
+      if (i != 0) line << ' ';
+      line << label(slots[i]);
     }
     lines[l] = line.str();
     widest = std::max(widest, lines[l].size());

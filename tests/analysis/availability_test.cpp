@@ -104,9 +104,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Sweep{12, 5, 2}, Sweep{10, 4, 1}, Sweep{9, 6, 1},
                       Sweep{9, 6, 2}, Sweep{8, 4, 1}, Sweep{6, 3, 1}),
     [](const ::testing::TestParamInfo<Sweep>& param_info) {
-      return "n" + std::to_string(param_info.param.n) + "k" +
-             std::to_string(param_info.param.k) + "w" +
-             std::to_string(param_info.param.w);
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += 'k';
+      name += std::to_string(param_info.param.k);
+      name += 'w';
+      name += std::to_string(param_info.param.w);
+      return name;
     });
 
 TEST(Availability, DegenerateEndpoints) {

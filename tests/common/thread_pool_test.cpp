@@ -103,5 +103,103 @@ TEST(ThreadPool, TasksSubmittedFromTasksComplete) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPool, SubmitTaskReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit_task([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitTaskPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit_task([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitTaskVoidResult) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto future = pool.submit_task([&] { counter.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroup, WaitCoversOnlyOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> mine{0};
+  std::atomic<int> theirs{0};
+  // A slow foreign task keeps the pool busy; the group must not wait on it.
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  pool.submit([&theirs, released] {
+    released.wait();
+    theirs.fetch_add(1);
+  });
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.submit([&mine] { mine.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(mine.load(), 32);
+  release.set_value();
+  pool.wait_idle();
+  EXPECT_EQ(theirs.load(), 1);
+}
+
+TEST(TaskGroup, BoundedSubmitKeepsAtMostDepthInFlight) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> done{0};
+  constexpr std::size_t kDepth = 3;
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.submit_bounded(
+        [&] {
+          const int now = in_flight.fetch_add(1) + 1;
+          int seen = peak.load();
+          while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+          }
+          in_flight.fetch_sub(1);
+          done.fetch_add(1);
+        },
+        kDepth);
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_LE(peak.load(), static_cast<int>(kDepth));
+}
+
+TEST(TaskGroup, NullPoolRunsInlineInSubmissionOrder) {
+  TaskGroup group(nullptr);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    group.submit_bounded([&order, i] { order.push_back(i); }, 2);
+  }
+  group.wait();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TaskGroup, ConcurrentGroupsOnSharedPoolStayIndependent) {
+  ThreadPool pool(4);
+  constexpr int kGroups = 4;
+  static constexpr int kTasksPer = 50;
+  std::atomic<int> totals[kGroups] = {};
+  std::vector<std::thread> clients;
+  clients.reserve(kGroups);
+  for (int g = 0; g < kGroups; ++g) {
+    clients.emplace_back([&pool, &totals, g] {
+      TaskGroup group(&pool);
+      for (int i = 0; i < kTasksPer; ++i) {
+        group.submit_bounded([&totals, g] { totals[g].fetch_add(1); }, 4);
+      }
+      group.wait();
+      EXPECT_EQ(totals[g].load(), kTasksPer);
+    });
+  }
+  for (auto& client : clients) client.join();
+}
+
 }  // namespace
 }  // namespace traperc

@@ -106,9 +106,15 @@ INSTANTIATE_TEST_SUITE_P(
         TrapezoidCase{{2, 4, 1}, 1}, TrapezoidCase{{2, 2, 2}, 2}),
     [](const ::testing::TestParamInfo<TrapezoidCase>& param_info) {
       const TrapezoidShape& shape = param_info.param.shape;
-      return "a" + std::to_string(shape.a) + "b" + std::to_string(shape.b) +
-             "h" + std::to_string(shape.h) + "w" +
-             std::to_string(param_info.param.w);
+      std::string name = "a";
+      name += std::to_string(shape.a);
+      name += 'b';
+      name += std::to_string(shape.b);
+      name += 'h';
+      name += std::to_string(shape.h);
+      name += 'w';
+      name += std::to_string(param_info.param.w);
+      return name;
     });
 
 TEST(TrapezoidQuorumCounterexample, DroppingLevel0MajorityBreaksEq3) {

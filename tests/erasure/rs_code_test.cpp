@@ -183,11 +183,13 @@ INSTANTIATE_TEST_SUITE_P(
                       CodeParams{5, 5, GeneratorKind::kVandermonde},
                       CodeParams{6, 1, GeneratorKind::kVandermonde}),
     [](const ::testing::TestParamInfo<CodeParams>& param_info) {
-      return "n" + std::to_string(param_info.param.n) + "k" +
-             std::to_string(param_info.param.k) +
-             (param_info.param.kind == GeneratorKind::kVandermonde
-                  ? "vand"
-                  : "cauchy");
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += 'k';
+      name += std::to_string(param_info.param.k);
+      name += param_info.param.kind == GeneratorKind::kVandermonde ? "vand"
+                                                                   : "cauchy";
+      return name;
     });
 
 TEST(RsCode, PaperExampleNineSixUpdatesTouchAllParity) {

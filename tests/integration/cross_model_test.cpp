@@ -111,9 +111,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Config{15, 4, 1}, Config{12, 5, 2}, Config{9, 6, 1},
                       Config{10, 8, 1}),
     [](const ::testing::TestParamInfo<Config>& param_info) {
-      return "n" + std::to_string(param_info.param.n) + "k" +
-             std::to_string(param_info.param.k) + "w" +
-             std::to_string(param_info.param.w);
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += 'k';
+      name += std::to_string(param_info.param.k);
+      name += 'w';
+      name += std::to_string(param_info.param.w);
+      return name;
     });
 
 }  // namespace

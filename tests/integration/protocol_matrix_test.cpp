@@ -100,10 +100,14 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixCase{15, 8, 1, Mode::kFr},
                       MatrixCase{15, 10, 2, Mode::kFr}),
     [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
-      return "n" + std::to_string(param_info.param.n) + "k" +
-             std::to_string(param_info.param.k) + "w" +
-             std::to_string(param_info.param.w) +
-             (param_info.param.mode == Mode::kErc ? "erc" : "fr");
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += 'k';
+      name += std::to_string(param_info.param.k);
+      name += 'w';
+      name += std::to_string(param_info.param.w);
+      name += param_info.param.mode == Mode::kErc ? "erc" : "fr";
+      return name;
     });
 
 TEST(LossyNetwork, OperationsDegradeButNeverCorrupt) {

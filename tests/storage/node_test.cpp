@@ -9,9 +9,12 @@ namespace {
 
 std::vector<std::uint8_t> bytes(std::initializer_list<int> values,
                                 std::size_t pad_to) {
-  std::vector<std::uint8_t> out;
-  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
-  out.resize(pad_to, 0);
+  std::vector<std::uint8_t> out(pad_to, 0);
+  std::size_t i = 0;
+  for (int v : values) {
+    if (i >= out.size()) break;
+    out[i++] = static_cast<std::uint8_t>(v);
+  }
   return out;
 }
 
