@@ -24,7 +24,7 @@ double measured_blocks_per_block(core::Mode mode, unsigned n, unsigned k) {
   for (unsigned i = 0; i < k; ++i) {
     const auto status =
         cluster.write_block_sync(0, i, cluster.make_pattern(i));
-    if (status != OpStatus::kSuccess) return -1.0;
+    if (!status.ok()) return -1.0;
   }
   std::size_t total = 0;
   for (NodeId id = 0; id < n; ++id) total += cluster.node(id).bytes_stored();

@@ -47,7 +47,7 @@ void BM_WriteOp(benchmark::State& state) {
   const auto msgs0 = cluster.network().stats().messages_sent;
   for (auto _ : state) {
     const auto status = cluster.write_block_sync(stripe++, 0, value);
-    if (status != OpStatus::kSuccess) state.SkipWithError("write failed");
+    if (!status.ok()) state.SkipWithError("write failed");
   }
   const double ops = static_cast<double>(state.iterations());
   state.counters["sim_us_per_op"] =
@@ -66,7 +66,7 @@ void BM_ReadDirect(benchmark::State& state) {
   const auto msgs0 = cluster.network().stats().messages_sent;
   for (auto _ : state) {
     const auto outcome = cluster.read_block_sync(0, 0);
-    if (outcome.status != OpStatus::kSuccess) {
+    if (!outcome.ok()) {
       state.SkipWithError("read failed");
     }
   }
@@ -88,7 +88,7 @@ void BM_ReadDecode(benchmark::State& state) {
   const auto msgs0 = cluster.network().stats().messages_sent;
   for (auto _ : state) {
     const auto outcome = cluster.read_block_sync(0, 0);
-    if (outcome.status != OpStatus::kSuccess || !outcome.decoded) {
+    if (!outcome.ok() || !outcome->decoded) {
       state.SkipWithError("decode read failed");
     }
   }
@@ -177,7 +177,40 @@ double measure_put_objects_per_s(const ProtocolConfig& config,
     ShardedObjectStore store(config, options);
     const auto start = clock::now();
     for (unsigned i = 0; i < ops; ++i) {
-      if (!store.put(object).has_value()) std::abort();
+      if (!store.put(object).ok()) std::abort();
+    }
+    const double sec =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (sec < best_sec) best_sec = sec;
+  }
+  return static_cast<double>(ops) / best_sec;
+}
+
+/// Batched-submit throughput: the same `ops` puts issued through the async
+/// StoreClient surface (submit_put × ops, then one wait_all), so whole
+/// objects overlap across shards. window = pipeline_depth.
+double measure_batch_put_objects_per_s(const ProtocolConfig& config,
+                                       const SweepPoint& point, unsigned ops,
+                                       unsigned stripes_per_object) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  options.async_window = point.depth;
+  double best_sec = 1e100;
+  for (int rep = 0; rep < 2; ++rep) {
+    ShardedObjectStore store(config, options);
+    core::StoreClient& client = store;
+    const auto start = clock::now();
+    for (unsigned i = 0; i < ops; ++i) {
+      (void)client.submit_put(object);
+    }
+    for (const auto& result : client.wait_all()) {
+      if (!result.status.ok()) std::abort();
     }
     const double sec =
         std::chrono::duration<double>(clock::now() - start).count();
@@ -200,15 +233,15 @@ double measure_repair_mb_per_s(const ProtocolConfig& config,
   ShardedObjectStore store(config, options);
   const auto object = sweep_object(capacity * stripes_per_object, 11);
   for (unsigned i = 0; i < objects; ++i) {
-    if (!store.put(object).has_value()) std::abort();
+    if (!store.put(object).ok()) std::abort();
   }
   std::size_t rebuilt_bytes = 0;
   const double sec = best_seconds(2, [&] {
     store.wipe_node(0);
     const auto report = store.repair_node(0);
-    if (report.chunks_unrecoverable != 0) std::abort();
+    if (!report.ok() || report->chunks_unrecoverable != 0) std::abort();
     rebuilt_bytes =
-        static_cast<std::size_t>(report.chunks_rebuilt) * config.chunk_len;
+        static_cast<std::size_t>(report->chunks_rebuilt) * config.chunk_len;
   });
   return static_cast<double>(rebuilt_bytes) / sec / 1e6;
 }
@@ -258,6 +291,31 @@ void run_sweep(const std::string& out_path) {
     json.field("mb_per_s",
                ops_per_s * static_cast<double>(object_bytes) / 1e6);
     json.field("speedup_vs_serial", ops_per_s / put_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Batched async submits (StoreClient::submit_put + wait_all) against the
+  // serial put loop. `speedup_vs_serial_put` compares each point to the
+  // serial single-shard loop above — the acceptance series for async
+  // multi-object batching: at threads >= 2 on a multi-core machine the
+  // batch overlaps whole objects across shards and must not lose to the
+  // serial loop; at threads == 0 it degrades to exactly that loop.
+  const SweepPoint batch_points[] = {
+      {1, 0, 1},  {2, 2, 4}, {4, 4, 4}, {8, 8, 4}, {4, 2, 4},
+  };
+  json.begin_array("batch_put");
+  for (const auto& point : batch_points) {
+    const double ops_per_s = measure_batch_put_objects_per_s(
+        config, point, kPutOps, kStripesPerObject);
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("objects_per_s", ops_per_s);
+    json.field("mb_per_s",
+               ops_per_s * static_cast<double>(object_bytes) / 1e6);
+    json.field("speedup_vs_serial_put", ops_per_s / put_serial);
     json.end_object();
   }
   json.end_array();

@@ -25,14 +25,14 @@ double live_read_rate(core::SimCluster& cluster, double p, int trials,
                       std::uint64_t seed) {
   const auto value = cluster.make_pattern(1);
   cluster.set_node_states(std::vector<std::uint8_t>(15, true));
-  if (cluster.write_block_sync(0, 0, value) != OpStatus::kSuccess) return -1;
+  if (cluster.write_block_sync(0, 0, value).ok() == false) return -1;
   Rng rng(seed);
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
     std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
-    ok += cluster.read_block_sync(0, 0).status == OpStatus::kSuccess ? 1 : 0;
+    ok += cluster.read_block_sync(0, 0).ok() ? 1 : 0;
   }
   cluster.set_node_states(std::vector<std::uint8_t>(15, true));
   return static_cast<double>(ok) / trials;
@@ -48,15 +48,13 @@ double live_write_rate(core::SimCluster& cluster, double p, int trials,
   for (int t = 0; t < trials; ++t) {
     const BlockId stripe = stripe_base + t;
     cluster.set_node_states(std::vector<std::uint8_t>(15, true));
-    if (cluster.write_block_sync(stripe, 0, cluster.make_pattern(t)) !=
-        OpStatus::kSuccess) {
+    if (cluster.write_block_sync(stripe, 0, cluster.make_pattern(t)).ok() == false) {
       return -1;
     }
     std::vector<std::uint8_t> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
-    ok += cluster.write_block_sync(stripe, 0, cluster.make_pattern(t + 1)) ==
-                  OpStatus::kSuccess
+    ok += cluster.write_block_sync(stripe, 0, cluster.make_pattern(t + 1)).ok()
               ? 1
               : 0;
   }

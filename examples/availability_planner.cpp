@@ -53,6 +53,59 @@ void plan_and_print(double p, double target, unsigned n_max) {
   }
 }
 
+/// Stands the winning plan up as a live sharded deployment and smoke-tests
+/// it through the StoreClient surface: batched puts + gets, typed errors.
+int deploy_and_smoke(double p, double target, unsigned n_max) {
+  core::PlanQuery query;
+  query.p = p;
+  query.min_write_availability = target;
+  query.min_read_availability = target;
+  query.n_max = n_max;
+  const auto best = core::best_plan(query);
+  if (!best.has_value()) return 0;
+
+  auto config = core::ProtocolConfig::for_code(best->n, best->k, best->w);
+  config.chunk_len = 256;
+  core::ShardedStoreOptions options;
+  options.shards = 2;
+  options.threads = 0;  // deterministic smoke run
+  core::ShardedObjectStore store(config, options);
+  core::StoreClient& client = store;
+
+  std::printf("\nsmoke test: best plan %s as a 2-shard StoreClient "
+              "deployment\n",
+              best->to_string().c_str());
+  Rng rng(9);
+  std::vector<std::vector<std::uint8_t>> objects;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> object(
+        client.stripe_capacity() * (1 + i % 2) + 11);
+    for (auto& byte : object) {
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    objects.push_back(std::move(object));
+    (void)client.submit_put(objects.back());
+  }
+  unsigned put_ok = 0;
+  std::vector<core::StoreClient::ObjectId> ids;
+  for (const auto& result : client.wait_all()) {
+    if (result.status.ok()) {
+      ++put_ok;
+      ids.push_back(result.id);
+    } else {
+      std::printf("  put failed: %s\n", result.status.to_string().c_str());
+    }
+  }
+  unsigned get_ok = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto back = client.get(ids[i]);
+    get_ok += back.ok() && *back == objects[i] ? 1 : 0;
+  }
+  std::printf("  %u/4 batched puts ok, %u/%zu gets byte-exact\n", put_ok,
+              get_ok, ids.size());
+  return put_ok == 4 && get_ok == ids.size() ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -60,5 +113,5 @@ int main() {
   plan_and_print(/*p=*/0.90, /*target=*/0.99, /*n_max=*/20);
   plan_and_print(/*p=*/0.95, /*target=*/0.999, /*n_max=*/20);
   plan_and_print(/*p=*/0.99, /*target=*/0.99999, /*n_max=*/24);
-  return 0;
+  return deploy_and_smoke(/*p=*/0.90, /*target=*/0.99, /*n_max=*/20);
 }

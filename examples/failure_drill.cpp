@@ -21,10 +21,13 @@ void probe(core::SimCluster& cluster, const char* stage) {
   const auto write_status =
       cluster.write_block_sync(900, 0, cluster.make_pattern(1));
   const auto read_outcome = cluster.read_block_sync(0, 0);
-  std::printf("%-44s live=%2u  write=%-12s read=%-12s%s\n", stage,
-              cluster.live_nodes(), to_string(write_status),
-              to_string(read_outcome.status),
-              read_outcome.status == OpStatus::kSuccess && read_outcome.decoded
+  // The taxonomy distinguishes the failure modes this drill provokes:
+  // QUORUM_UNAVAILABLE when a level goes dark, DECODE_FAILED when the check
+  // passes but < k consistent chunks survive.
+  std::printf("%-44s live=%2u  write=%-20s read=%-20s%s\n", stage,
+              cluster.live_nodes(), to_string(write_status.code()),
+              to_string(read_outcome.code()),
+              read_outcome.ok() && read_outcome->decoded
                   ? " (decoded)"
                   : "");
 }
@@ -40,7 +43,7 @@ int main() {
               "level1={N10..N14} w1=1, r1=5\n\n");
 
   const auto value = cluster.make_pattern(0);
-  if (cluster.write_block_sync(0, 0, value) != OpStatus::kSuccess) return 1;
+  if (cluster.write_block_sync(0, 0, value).ok() == false) return 1;
   probe(cluster, "stage 1: healthy");
 
   // Stage 2: eat into level 1 (write needs 1, read-check needs all 5).
@@ -73,8 +76,8 @@ int main() {
   std::printf("  rebuilt %u chunks (%u unrecoverable)\n",
               report.chunks_rebuilt, report.chunks_unrecoverable);
   const auto after = cluster.read_block_sync(0, 0);
-  std::printf("  read after rebuild: %s match=%s\n", to_string(after.status),
-              after.value == value ? "yes" : "NO");
+  std::printf("  read after rebuild: %s match=%s\n", to_string(after.code()),
+              after.ok() && after->value == value ? "yes" : "NO");
 
   // Stage 5: partial write + reconciliation.
   std::printf("\nstage 5: partial write (level 1 dark mid-operation)\n");
@@ -82,14 +85,15 @@ int main() {
   const auto dirty_status =
       cluster.write_block_sync(0, 0, cluster.make_pattern(5));
   std::printf("  write returned %s (level-0 updates persist)\n",
-              to_string(dirty_status));
+              dirty_status.to_string().c_str());
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
   std::printf("  stripe consistent: %s\n",
               cluster.repair().stripe_consistent(0) ? "yes" : "no");
-  const bool reconciled = cluster.repair().reconcile_stripe(0);
-  std::printf("  after reconcile:   %s\n", reconciled ? "yes" : "no");
+  const auto reconciled = cluster.repair().reconcile_stripe(0);
+  std::printf("  after reconcile:   %s\n", reconciled.ok() ? "yes" : "no");
   const auto final_read = cluster.read_block_sync(0, 0);
-  std::printf("  final read: %s version=%llu\n", to_string(final_read.status),
-              static_cast<unsigned long long>(final_read.version));
-  return final_read.status == OpStatus::kSuccess ? 0 : 1;
+  std::printf("  final read: %s version=%llu\n", to_string(final_read.code()),
+              static_cast<unsigned long long>(
+                  final_read.ok() ? final_read->version : 0));
+  return final_read.ok() ? 0 : 1;
 }

@@ -1,11 +1,13 @@
 // Quickstart: stand up a simulated TRAP-ERC cluster, write a block through
 // the trapezoid write quorum, read it back directly, then lose the data
-// node and read again through the decode path.
+// node and read again through the decode path — finishing with the
+// whole-object StoreClient surface (typed Status errors + batched submits).
 //
 //   $ ./quickstart
 //
-// Walks the full public API surface in ~60 lines: ProtocolConfig ->
-// SimCluster -> write_block_sync / read_block_sync -> failure injection.
+// Walks the full public API surface: ProtocolConfig -> SimCluster ->
+// write_block_sync / read_block_sync (Status / Result<T>) -> failure
+// injection -> StoreClient (ObjectStore) put/get + submit/wait batching.
 #include <cstdio>
 
 #include "core/traperc.hpp"
@@ -24,32 +26,50 @@ int main() {
   // Write block 0 of stripe 0. Alg. 1: read the old version, then push the
   // new value + parity deltas level by level through the write quorum.
   const auto value = cluster.make_pattern(/*tag=*/7);
-  const OpStatus written = cluster.write_block_sync(/*stripe=*/0,
-                                                    /*index=*/0, value);
-  std::printf("write: %s\n", to_string(written));
+  const core::Status written = cluster.write_block_sync(/*stripe=*/0,
+                                                        /*index=*/0, value);
+  std::printf("write: %s\n", written.to_string().c_str());
 
   // Read it back: Alg. 2 finds the freshest version via a per-level check,
   // then serves directly from N_0 (Case 1).
   auto outcome = cluster.read_block_sync(0, 0);
   std::printf("read:  %s version=%llu decoded=%s match=%s\n",
-              to_string(outcome.status),
-              static_cast<unsigned long long>(outcome.version),
-              outcome.decoded ? "yes" : "no",
-              outcome.value == value ? "yes" : "NO");
+              to_string(outcome.code()),
+              static_cast<unsigned long long>(outcome->version),
+              outcome->decoded ? "yes" : "no",
+              outcome->value == value ? "yes" : "NO");
 
   // Fail the data node: the same read now reconstructs the block from any
   // k=8 of the 14 surviving chunks (Case 2).
   cluster.fail_node(0);
   outcome = cluster.read_block_sync(0, 0);
   std::printf("read with N_0 down: %s decoded=%s match=%s\n",
-              to_string(outcome.status), outcome.decoded ? "yes" : "no",
-              outcome.value == value ? "yes" : "NO");
+              to_string(outcome.code()), outcome->decoded ? "yes" : "no",
+              outcome->value == value ? "yes" : "NO");
 
   // Writes survive the data node's failure too — level 0 still has its
   // majority through the two other level-0 nodes.
-  const OpStatus second = cluster.write_block_sync(0, 0,
-                                                   cluster.make_pattern(8));
-  std::printf("write with N_0 down: %s\n", to_string(second));
+  const core::Status second = cluster.write_block_sync(0, 0,
+                                                       cluster.make_pattern(8));
+  std::printf("write with N_0 down: %s\n", second.to_string().c_str());
+
+  // The whole-object layer: ObjectStore implements core::StoreClient, so
+  // this block works unchanged against ShardedObjectStore too. Batched
+  // submits pipeline N objects behind one wait.
+  cluster.recover_node(0);
+  core::ObjectStore store(cluster, /*base_stripe=*/1000);
+  core::StoreClient& client = store;
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    (void)client.submit_put(cluster.make_pattern(100 + tag));
+  }
+  unsigned stored = 0;
+  for (const auto& result : client.wait_all()) {
+    stored += result.status.ok() ? 1 : 0;
+  }
+  std::printf("object layer: %u/4 batched puts ok, %zu objects cataloged\n",
+              stored, client.object_count());
+  const auto missing = client.get(/*id=*/999);
+  std::printf("get(unknown id): %s\n", missing.status().to_string().c_str());
 
   // The analysis module predicts what we just observed.
   const auto quorums = config.quorums();

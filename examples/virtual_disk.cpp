@@ -42,6 +42,10 @@ int main() {
   // Ground truth: last successfully committed value per sector.
   std::map<std::pair<BlockId, unsigned>, std::vector<std::uint8_t>> truth;
 
+  // The error taxonomy lets the "operator" see *why* ops fail under churn,
+  // not just how often.
+  std::map<core::ErrorCode, unsigned> error_tally;
+
   Rng rng(1);
   for (unsigned round = 0; round < kOpsPerVm; ++round) {
     for (unsigned vm = 0; vm < kVms; ++vm) {
@@ -53,21 +57,23 @@ int main() {
       if (rng.next_bool(0.6)) {
         const auto value =
             cluster.make_pattern(round * 1000 + vm * 100 + index);
-        if (cluster.write_block_sync(stripe, index, value) ==
-            OpStatus::kSuccess) {
+        const auto status = cluster.write_block_sync(stripe, index, value);
+        if (status.ok()) {
           truth[{stripe, index}] = value;
           ++stats[vm].writes_ok;
         } else {
           ++stats[vm].writes_failed;
+          ++error_tally[status.code()];
           // Repair-daemon role: reconcile the partially written stripe.
           (void)cluster.repair().reconcile_stripe(stripe);
         }
       } else {
         const auto outcome = cluster.read_block_sync(stripe, index);
-        if (outcome.status == OpStatus::kSuccess) {
+        if (outcome.ok()) {
           ++stats[vm].reads_ok;
         } else {
           ++stats[vm].reads_failed;
+          ++error_tally[outcome.code()];
         }
       }
     }
@@ -92,9 +98,9 @@ int main() {
   for (const auto& [key, value] : truth) {
     (void)cluster.repair().reconcile_stripe(key.first);
     const auto outcome = cluster.read_block_sync(key.first, key.second);
-    if (outcome.status != OpStatus::kSuccess) {
+    if (!outcome.ok()) {
       ++unreadable;
-    } else if (outcome.value == value) {
+    } else if (outcome->value == value) {
       ++exact;
     } else {
       // A later FAILed write that reached the level-0 majority can
@@ -102,6 +108,13 @@ int main() {
       // roll-forward, DESIGN.md §6) — intact bytes, newer version.
       ++superseded;
     }
+  }
+  if (!error_tally.empty()) {
+    std::printf("\nfailure breakdown:");
+    for (const auto& [code, count] : error_tally) {
+      std::printf(" %s=%u", core::to_string(code), count);
+    }
+    std::printf("\n");
   }
   std::printf("\naudit: %zu sectors — %u exact, %u superseded by partial "
               "writes, %u unreadable\n",

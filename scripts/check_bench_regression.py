@@ -14,6 +14,12 @@ Absolute MB/s numbers are machine-specific, so CI compares only the
 machine-relative ratio metrics (--fields speedup) against baselines committed
 from a different machine; run without --fields for a same-machine comparison
 of every metric.
+
+Scaling-guard caveat: speedup_vs_* ratios from a single-core machine are
+meaningless as a scaling baseline (every pooled configuration legitimately
+sits at <= 1x). When the committed baseline records hardware_concurrency == 1,
+metrics matching /speedup/ are skipped with a warning instead of guarded;
+re-commit the baseline from a multi-core runner to arm the guard.
 """
 
 import argparse
@@ -37,7 +43,11 @@ def format_identity(identity):
     return " ".join(f"{k}={v}" for k, v in identity) or "<unkeyed>"
 
 
-def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report):
+SPEEDUP_RE = re.compile(r"speedup")
+
+
+def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
+                skip_speedups=False):
     fresh_by_id = {}
     for row in fresh_rows:
         fresh_by_id[entry_identity(row)] = row
@@ -54,6 +64,13 @@ def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report):
             continue
         for key, base_value in row.items():
             if not is_metric(key, base_value, fields_re):
+                continue
+            if skip_speedups and SPEEDUP_RE.search(key):
+                report.append(
+                    f"WARN {name}: skipping {key} "
+                    f"({format_identity(identity)}) — baseline was emitted "
+                    f"on a 1-core machine, scaling ratios are not comparable"
+                )
                 continue
             fresh_value = fresh.get(key)
             if not isinstance(fresh_value, (int, float)):
@@ -101,8 +118,14 @@ def main():
     with open(args.fresh) as f:
         fresh = json.load(f)
     fields_re = re.compile(args.fields)
+    skip_speedups = baseline.get("hardware_concurrency") == 1
 
     report = []
+    if skip_speedups:
+        report.append(
+            "WARN: baseline hardware_concurrency == 1 — speedup_vs_* guards "
+            "are skipped; re-commit the baseline from a multi-core runner"
+        )
     failures = 0
     for key, base_value in baseline.items():
         if not isinstance(base_value, list):
@@ -113,7 +136,8 @@ def main():
             failures += 1
             continue
         failures += check_table(
-            key, base_value, fresh_value, args.tolerance, fields_re, report
+            key, base_value, fresh_value, args.tolerance, fields_re, report,
+            skip_speedups
         )
 
     print(f"bench regression check: {args.fresh} vs {args.baseline}")

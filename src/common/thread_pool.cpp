@@ -36,6 +36,14 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  const auto self = std::this_thread::get_id();
+  for (const auto& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -79,7 +87,9 @@ void ThreadPool::worker_loop() {
 
 void TaskGroup::submit(std::function<void()> task) {
   TRAPERC_CHECK_MSG(task != nullptr, "submitted empty task");
-  if (pool_ == nullptr) {
+  if (pool_ == nullptr || pool_->on_worker_thread()) {
+    // Inline path: no pool, or nested fan-out from a pool task (running the
+    // subtask on this thread is the only deadlock-free option).
     task();
     return;
   }
@@ -97,7 +107,7 @@ void TaskGroup::submit(std::function<void()> task) {
 
 void TaskGroup::submit_bounded(std::function<void()> task, std::size_t depth) {
   TRAPERC_CHECK_MSG(depth >= 1, "pipeline depth must be >= 1");
-  if (pool_ != nullptr) {
+  if (pool_ != nullptr && !pool_->on_worker_thread()) {
     std::unique_lock lock(mutex_);
     cv_done_.wait(lock, [this, depth] { return pending_ < depth; });
   }

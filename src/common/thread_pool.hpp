@@ -41,6 +41,13 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void submit(std::function<void()> task);
 
+  /// True iff the calling thread is one of this pool's workers. TaskGroup
+  /// uses this to degrade to inline execution when a pool task itself fans
+  /// out through the same pool (e.g. a batched StoreClient op running its
+  /// stripe pipeline): a worker blocking in TaskGroup::wait() on subtasks
+  /// that sit behind it in the queue would deadlock the pool.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
   /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
   /// `fn` are captured into the future (they must not escape a worker).
   template <typename F>
@@ -88,7 +95,10 @@ class ThreadPool {
 /// Constructed with a null pool, the group degrades to deterministic inline
 /// execution: every task runs to completion on the submitting thread, in
 /// submission order. This is the single-threaded fallback path; callers get
-/// identical semantics with zero concurrency.
+/// identical semantics with zero concurrency. The same inline degradation
+/// applies when the submitting thread is itself one of the pool's workers
+/// (nested fan-out from a pool task), which keeps nested parallelism — and
+/// the deadlock it could cause — structurally impossible.
 class TaskGroup {
  public:
   /// `pool` may be null (inline deterministic mode). The group does not own

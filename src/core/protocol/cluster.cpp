@@ -81,19 +81,56 @@ void SimCluster::enable_failure_processes(
   }
 }
 
-OpStatus SimCluster::write_block_sync(BlockId stripe, unsigned index,
-                                      std::vector<std::uint8_t> value) {
-  std::optional<OpStatus> result;
-  coordinator_->write_block(stripe, index, std::move(value),
-                            [&result](OpStatus status) { result = status; });
+Status SimCluster::write_status(const WriteResult& result, BlockId stripe,
+                                unsigned index) {
+  switch (result.status) {
+    case OpStatus::kSuccess:
+      return Status{};
+    case OpStatus::kDecodeError:
+      // The write's read prefix found a quorum but could not reconstruct.
+      return Status::error(ErrorCode::kDecodeFailed)
+          .at(stripe, index)
+          .with_nodes(result.suspects);
+    case OpStatus::kFail:
+      break;
+  }
+  return Status::error(result.lease_lost ? ErrorCode::kLeaseConflict
+                                         : ErrorCode::kQuorumUnavailable)
+      .at(stripe, index)
+      .with_nodes(result.suspects);
+}
+
+Status SimCluster::read_status(const ReadOutcome& outcome, BlockId stripe,
+                               unsigned index) {
+  switch (outcome.status) {
+    case OpStatus::kSuccess:
+      return Status{};
+    case OpStatus::kDecodeError:
+      return Status::error(ErrorCode::kDecodeFailed)
+          .at(stripe, index)
+          .with_nodes(outcome.suspects);
+    case OpStatus::kFail:
+      break;
+  }
+  return Status::error(ErrorCode::kQuorumUnavailable)
+      .at(stripe, index)
+      .with_nodes(outcome.suspects);
+}
+
+Status SimCluster::write_block_sync(BlockId stripe, unsigned index,
+                                    std::vector<std::uint8_t> value) {
+  std::optional<WriteResult> result;
+  coordinator_->write_block(
+      stripe, index, std::move(value),
+      [&result](const WriteResult& r) { result = r; });
   while (!result.has_value() && engine_.step()) {
   }
   TRAPERC_CHECK_MSG(result.has_value(),
                     "engine drained without completing the write");
-  return *result;
+  return write_status(*result, stripe, index);
 }
 
-ReadOutcome SimCluster::read_block_sync(BlockId stripe, unsigned index) {
+Result<BlockRead> SimCluster::read_block_sync(BlockId stripe, unsigned index) {
   std::optional<ReadOutcome> result;
   coordinator_->read_block(stripe, index, [&result](ReadOutcome outcome) {
     result = std::move(outcome);
@@ -102,22 +139,26 @@ ReadOutcome SimCluster::read_block_sync(BlockId stripe, unsigned index) {
   }
   TRAPERC_CHECK_MSG(result.has_value(),
                     "engine drained without completing the read");
-  return std::move(*result);
+  Status status = read_status(*result, stripe, index);
+  if (!status.ok()) return status;
+  return BlockRead{result->version, std::move(result->value),
+                   result->decoded};
 }
 
-OpStatus SimCluster::write_stripe_sync(
+Status SimCluster::write_stripe_sync(
     BlockId stripe, unsigned first_index,
     std::vector<std::vector<std::uint8_t>> blocks) {
   TRAPERC_CHECK_MSG(first_index + blocks.size() <= config_.k,
                     "stripe write exceeds the stripe's data blocks");
   std::size_t done = 0;
-  OpStatus result = OpStatus::kSuccess;
+  Status result = Status{};
   for (unsigned i = 0; i < blocks.size(); ++i) {
-    coordinator_->write_block(stripe, first_index + i, std::move(blocks[i]),
-                              [&done, &result](OpStatus status) {
-                                if (status != OpStatus::kSuccess &&
-                                    result == OpStatus::kSuccess) {
-                                  result = status;
+    const unsigned index = first_index + i;
+    coordinator_->write_block(stripe, index, std::move(blocks[i]),
+                              [&done, &result, stripe,
+                               index](const WriteResult& r) {
+                                if (result.ok()) {
+                                  result = write_status(r, stripe, index);
                                 }
                                 ++done;
                               });
@@ -129,9 +170,8 @@ OpStatus SimCluster::write_stripe_sync(
   return result;
 }
 
-std::vector<ReadOutcome> SimCluster::read_stripe_sync(BlockId stripe,
-                                                      unsigned first_index,
-                                                      unsigned count) {
+Result<std::vector<BlockRead>> SimCluster::read_stripe_sync(
+    BlockId stripe, unsigned first_index, unsigned count) {
   TRAPERC_CHECK_MSG(first_index + count <= config_.k,
                     "stripe read exceeds the stripe's data blocks");
   std::vector<ReadOutcome> outcomes(count);
@@ -147,7 +187,16 @@ std::vector<ReadOutcome> SimCluster::read_stripe_sync(BlockId stripe,
   }
   TRAPERC_CHECK_MSG(done == count,
                     "engine drained without completing the stripe read");
-  return outcomes;
+  std::vector<BlockRead> reads;
+  reads.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    Status status = read_status(outcomes[i], stripe, first_index + i);
+    if (!status.ok()) return status;
+    reads.push_back(BlockRead{outcomes[i].version,
+                              std::move(outcomes[i].value),
+                              outcomes[i].decoded});
+  }
+  return reads;
 }
 
 std::vector<std::uint8_t> SimCluster::make_pattern(std::uint64_t tag) const {

@@ -10,6 +10,7 @@
 #include "core/protocol/config.hpp"
 #include "core/protocol/coordinator.hpp"
 #include "core/protocol/lease.hpp"
+#include "core/protocol/result.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "storage/failure_model.hpp"
@@ -18,6 +19,14 @@
 namespace traperc::core {
 
 class RepairManager;
+
+/// Payload of a successful block read (the sync API's Result<T> value; the
+/// paper-level status lives in the surrounding Status/Result).
+struct BlockRead {
+  Version version = 0;
+  std::vector<std::uint8_t> value;
+  bool decoded = false;  ///< served through Alg. 2 Case 2
+};
 
 class SimCluster {
  public:
@@ -55,9 +64,23 @@ class SimCluster {
   void enable_failure_processes(storage::FailureProcess::Params params);
 
   // -- synchronous convenience API (drives the engine until completion) ---
-  OpStatus write_block_sync(BlockId stripe, unsigned index,
-                            std::vector<std::uint8_t> value);
-  [[nodiscard]] ReadOutcome read_block_sync(BlockId stripe, unsigned index);
+  // These translate the coordinator's paper-level outcomes into the client
+  // error taxonomy (result.hpp): FAIL becomes kQuorumUnavailable (or
+  // kLeaseConflict when the write's lease lapsed mid-operation), a decode
+  // shortfall becomes kDecodeFailed, and the Status carries the failing
+  // stripe/block plus the coordinator's suspect node set.
+  Status write_block_sync(BlockId stripe, unsigned index,
+                          std::vector<std::uint8_t> value);
+  [[nodiscard]] Result<BlockRead> read_block_sync(BlockId stripe,
+                                                  unsigned index);
+
+  /// Taxonomy mapping for a write outcome (exposed for tests and the async
+  /// layers that drive the coordinator directly).
+  [[nodiscard]] static Status write_status(const WriteResult& result,
+                                           BlockId stripe, unsigned index);
+  /// Taxonomy mapping for a read outcome; ok statuses pair with a BlockRead.
+  [[nodiscard]] static Status read_status(const ReadOutcome& outcome,
+                                          BlockId stripe, unsigned index);
 
   // -- batched stripe API -------------------------------------------------
   // Issues one protocol operation per entry as concurrent in-flight state
@@ -69,16 +92,16 @@ class SimCluster {
   // across shards.
 
   /// Writes blocks[i] (each chunk_len bytes) to block index first_index+i of
-  /// `stripe`. Returns kSuccess iff every write succeeded, otherwise the
-  /// first failing status (remaining writes still run to completion).
-  OpStatus write_stripe_sync(BlockId stripe, unsigned first_index,
-                             std::vector<std::vector<std::uint8_t>> blocks);
+  /// `stripe`. Ok iff every write succeeded, otherwise the first failing
+  /// block's Status (remaining writes still run to completion).
+  Status write_stripe_sync(BlockId stripe, unsigned first_index,
+                           std::vector<std::vector<std::uint8_t>> blocks);
 
   /// Reads block indices [first_index, first_index+count) of `stripe`.
-  /// outcomes[i] corresponds to block first_index+i.
-  [[nodiscard]] std::vector<ReadOutcome> read_stripe_sync(BlockId stripe,
-                                                          unsigned first_index,
-                                                          unsigned count);
+  /// On success, value[i] corresponds to block first_index+i; any block
+  /// failure fails the whole stripe read with that block's Status.
+  [[nodiscard]] Result<std::vector<BlockRead>> read_stripe_sync(
+      BlockId stripe, unsigned first_index, unsigned count);
 
   /// Fills a chunk-sized buffer with a deterministic pattern (testing aid).
   [[nodiscard]] std::vector<std::uint8_t> make_pattern(

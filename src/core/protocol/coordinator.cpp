@@ -92,6 +92,7 @@ struct Coordinator::WriteState {
   unsigned acks = 0;
   unsigned settled = 0;
   bool level_advanced = false;
+  std::vector<NodeId> level_appliers;  ///< nodes whose ack applied this level
 };
 
 // ---------------------------------------------------------------------------
@@ -229,7 +230,16 @@ void Coordinator::read_level_settled(std::shared_ptr<ReadState> st,
     if (level + 1 < q.levels()) {
       read_check_level(st, level + 1);
     } else {
-      read_finish(st, ReadOutcome{OpStatus::kFail, 0, {}, false});
+      // Implicate the final level's silent members.
+      ReadOutcome outcome{OpStatus::kFail, 0, {}, false, {}};
+      for (NodeId member : deployments_[st->index].level_nodes(level)) {
+        bool answered = false;
+        for (const auto& [node, version] : st->level_responders) {
+          answered = answered || node == member;
+        }
+        if (!answered) outcome.suspects.push_back(member);
+      }
+      read_finish(st, std::move(outcome));
     }
     return;
   }
@@ -265,7 +275,8 @@ void Coordinator::read_case1(std::shared_ptr<ReadState> st, Version expect) {
   // Fetch the full replica from the next candidate; on timeout try the next
   // one; out of candidates => the op fails (nodes died after the check).
   if (st->fetch_next >= st->fetch_candidates.size()) {
-    read_finish(st, ReadOutcome{OpStatus::kFail, 0, {}, false});
+    read_finish(st, ReadOutcome{OpStatus::kFail, 0, {}, false,
+                                st->fetch_candidates});
     return;
   }
   const NodeId target = st->fetch_candidates[st->fetch_next++];
@@ -285,7 +296,7 @@ void Coordinator::read_case1(std::shared_ptr<ReadState> st, Version expect) {
           ++stats_.reads_direct;
           read_finish(st, ReadOutcome{OpStatus::kSuccess, reply.version,
                                       std::move(reply.payload),
-                                      /*decoded=*/false});
+                                      /*decoded=*/false, {}});
         } else {
           // Stale somehow (concurrent interference): try next candidate.
           read_case1(st, expect);
@@ -316,6 +327,23 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
     if (!deadline && st->gather_count < config_.n) return;
     st->phase = ReadPhase::kDone;  // freeze before decoding
 
+    // Chunks the decode cannot use: unresponsive nodes plus parity whose
+    // contributor version for the target block is stale. Reported as the
+    // suspect set when the gather falls below k rows.
+    auto gather_suspects = [this, st] {
+      std::vector<NodeId> suspects;
+      for (unsigned m = 0; m < config_.k; ++m) {
+        if (!st->data_replies[m].have) suspects.push_back(m);
+      }
+      for (unsigned j = 0; j < config_.n - config_.k; ++j) {
+        const auto& reply = st->parity_replies[j];
+        if (!reply.have || reply.contrib[st->index] != st->target_version) {
+          suspects.push_back(config_.k + j);
+        }
+      }
+      return suspects;
+    };
+
     // If N_i itself answered with the target version (it recovered between
     // the check and the gather), serve directly.
     const unsigned i = st->index;
@@ -325,7 +353,7 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
       st->phase = ReadPhase::kCase2;  // restore for read_finish accounting
       read_finish(st, ReadOutcome{OpStatus::kSuccess, st->target_version,
                                   std::move(st->data_replies[i].payload),
-                                  false});
+                                  false, {}});
       return;
     }
 
@@ -352,7 +380,8 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
     }
     if (best_group == nullptr) {
       st->phase = ReadPhase::kCase2;
-      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true});
+      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true,
+                                  gather_suspects()});
       return;
     }
 
@@ -373,8 +402,18 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
     }
 
     if (present_ids.size() < config_.k) {
+      // Implicate exactly the chunks the decode could not admit: every node
+      // outside present_ids — unresponsive, or responsive but stale against
+      // the chosen snapshot (a partial write's footprint).
+      std::vector<NodeId> excluded;
+      for (NodeId id = 0; id < config_.n; ++id) {
+        bool admitted = false;
+        for (unsigned p : present_ids) admitted = admitted || p == id;
+        if (!admitted) excluded.push_back(id);
+      }
       st->phase = ReadPhase::kCase2;
-      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true});
+      read_finish(st, ReadOutcome{OpStatus::kDecodeError, 0, {}, true,
+                                  std::move(excluded)});
       return;
     }
 
@@ -387,7 +426,7 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
     TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
     st->phase = ReadPhase::kCase2;
     read_finish(st, ReadOutcome{OpStatus::kSuccess, st->target_version,
-                                std::move(out), true});
+                                std::move(out), true, {}});
   };
 
   for (NodeId target_node = 0; target_node < total; ++target_node) {
@@ -495,7 +534,8 @@ void Coordinator::write_start(std::shared_ptr<WriteState> st) {
       --self->stats_.reads_failed;
     }
     if (outcome.status != OpStatus::kSuccess) {
-      self->write_finish(st, OpStatus::kFail);
+      // Propagate the prefix's failure kind (quorum vs decode) and suspects.
+      self->write_finish(st, outcome.status, std::move(outcome.suspects));
       return;
     }
     st->old_version = outcome.version;
@@ -515,6 +555,7 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
   st->acks = 0;
   st->settled = 0;
   st->level_advanced = false;
+  st->level_appliers.clear();
 
   const auto& members = deployments_[st->index].level_nodes(level);
   const NodeId data_node = deployments_[st->index].placement().data_node();
@@ -532,7 +573,9 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
             node->replica_write(stripe, index, version, value);
             return true;
           },
-          [this, st, level](bool) { write_level_ack(st, level, true); });
+          [this, st, level, target](bool) {
+            write_level_ack(st, level, target, true);
+          });
     } else {
       // Parity compare-and-add (Alg. 1 lines 25-31): the node applies
       // α_{j,i}·delta iff its contributor version matches the version the
@@ -549,8 +592,8 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
            scaled = std::move(scaled)] {
             return node->parity_add(stripe, index, expected, next, scaled);
           },
-          [this, st, level](ParityAddReply reply) {
-            write_level_ack(st, level, reply.applied);
+          [this, st, level, target](ParityAddReply reply) {
+            write_level_ack(st, level, target, reply.applied);
           });
     }
   }
@@ -560,16 +603,32 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
     if (st->finished || st->level != level || st->level_advanced) return;
     const auto& q = deployments_[st->index].quorums();
     if (st->acks < q.w(level)) {
-      write_finish(st, OpStatus::kFail);  // Alg. 1 lines 35-37
+      // Alg. 1 lines 35-37.
+      write_finish(st, OpStatus::kFail, write_suspects(*st));
     }
   });
 }
 
+std::vector<NodeId> Coordinator::write_suspects(const WriteState& st) const {
+  std::vector<NodeId> suspects;
+  for (NodeId member : deployments_[st.index].level_nodes(st.level)) {
+    bool applied = false;
+    for (NodeId applier : st.level_appliers) {
+      applied = applied || applier == member;
+    }
+    if (!applied) suspects.push_back(member);
+  }
+  return suspects;
+}
+
 void Coordinator::write_level_ack(std::shared_ptr<WriteState> st,
-                                  unsigned level, bool applied) {
+                                  unsigned level, NodeId node, bool applied) {
   if (st->finished || st->level != level || st->level_advanced) return;
   ++st->settled;
-  if (applied) ++st->acks;
+  if (applied) {
+    ++st->acks;
+    st->level_appliers.push_back(node);
+  }
 
   const auto& q = deployments_[st->index].quorums();
   const unsigned level_size = q.s(level);
@@ -585,16 +644,21 @@ void Coordinator::write_level_ack(std::shared_ptr<WriteState> st,
   if (st->settled == level_size) {
     // Every member answered and the quorum is unreachable; no need to wait
     // for the deadline.
-    write_finish(st, OpStatus::kFail);
+    write_finish(st, OpStatus::kFail, write_suspects(*st));
   }
 }
 
-void Coordinator::write_finish(std::shared_ptr<WriteState> st,
-                               OpStatus status) {
+void Coordinator::write_finish(std::shared_ptr<WriteState> st, OpStatus status,
+                               std::vector<NodeId> suspects) {
   if (st->finished) return;
   st->finished = true;
+  WriteResult result;
+  result.status = status;
+  result.suspects = std::move(suspects);
   if (st->lease.id != 0) {
-    leases_->release(st->lease);
+    // release() returning false means the token had already expired: the
+    // lease's exclusivity lapsed mid-write and a rival writer may have run.
+    result.lease_lost = !leases_->release(st->lease);
     st->lease = LeaseToken{};
   }
   if (status == OpStatus::kSuccess) {
@@ -602,7 +666,7 @@ void Coordinator::write_finish(std::shared_ptr<WriteState> st,
   } else {
     ++stats_.writes_failed;
   }
-  st->done(status);
+  st->done(result);
 }
 
 }  // namespace traperc::core

@@ -48,6 +48,24 @@ struct ReadOutcome {
   Version version = 0;
   std::vector<std::uint8_t> value;
   bool decoded = false;  ///< true when served through Alg. 2 Case 2
+  /// On failure: the nodes implicated — quorum members that never answered
+  /// the failing level, exhausted fetch candidates, or chunks excluded from
+  /// the decode gather (unresponsive or stale). Empty on success.
+  std::vector<NodeId> suspects;
+};
+
+/// Outcome of Algorithm 1. The paper's vocabulary is SUCCESS/FAIL; the
+/// extra fields let the layers above translate a FAIL into the client error
+/// taxonomy (quorum starvation vs lease conflict, and who caused it).
+struct WriteResult {
+  OpStatus status = OpStatus::kFail;
+  /// The held write lease expired before the write finished (its protection
+  /// lapsed, so a FAIL may be a rival writer racing us rather than a dead
+  /// quorum).
+  bool lease_lost = false;
+  /// On failure: level members that did not contribute an applied ack, or
+  /// the read prefix's suspects when the prefix failed.
+  std::vector<NodeId> suspects;
 };
 
 struct CoordinatorStats {
@@ -62,7 +80,7 @@ struct CoordinatorStats {
 
 class Coordinator {
  public:
-  using WriteCallback = std::function<void(OpStatus)>;
+  using WriteCallback = std::function<void(const WriteResult&)>;
   using ReadCallback = std::function<void(ReadOutcome)>;
 
   /// `nodes` are the n storage nodes (indexed by NodeId); `code` is required
@@ -122,8 +140,13 @@ class Coordinator {
   void write_start(std::shared_ptr<WriteState> st);
   void write_run_level(std::shared_ptr<WriteState> st, unsigned level);
   void write_level_ack(std::shared_ptr<WriteState> st, unsigned level,
-                       bool applied);
-  void write_finish(std::shared_ptr<WriteState> st, OpStatus status);
+                       NodeId node, bool applied);
+  void write_finish(std::shared_ptr<WriteState> st, OpStatus status,
+                    std::vector<NodeId> suspects = {});
+
+  /// Level members minus appliers — the write-side suspect set.
+  [[nodiscard]] std::vector<NodeId> write_suspects(
+      const WriteState& st) const;
 
   ProtocolConfig config_;
   sim::SimEngine& engine_;

@@ -8,9 +8,13 @@
 namespace traperc::core {
 
 ObjectStore::ObjectStore(SimCluster& cluster, BlockId base_stripe)
-    : cluster_(cluster), next_stripe_(base_stripe) {}
+    : cluster_(cluster), next_stripe_(base_stripe) {
+  configure_async(/*pool=*/nullptr, /*window=*/1);
+}
 
-std::size_t ObjectStore::stripe_capacity() const noexcept {
+ObjectStore::~ObjectStore() { drain_async(); }
+
+std::size_t ObjectStore::stripe_capacity() const {
   return static_cast<std::size_t>(cluster_.config().k) *
          cluster_.config().chunk_len;
 }
@@ -31,57 +35,78 @@ std::vector<std::vector<std::uint8_t>> ObjectStore::stripe_chunks(
   return chunks;
 }
 
-bool ObjectStore::write_extent(const Extent& extent,
-                               std::span<const std::uint8_t> object) {
+Status ObjectStore::write_extent(const Extent& extent,
+                                 std::span<const std::uint8_t> object) {
   const std::size_t chunk_len = cluster_.config().chunk_len;
   const unsigned k = cluster_.config().k;
   for (unsigned s = 0; s < extent.stripe_count; ++s) {
     auto chunks = stripe_chunks(object, s, k, chunk_len);
     if (chunks.empty()) break;  // tail blocks untouched
-    if (cluster_.write_stripe_sync(extent.first_stripe + s, 0,
-                                   std::move(chunks)) != OpStatus::kSuccess) {
-      return false;
-    }
+    Status status = cluster_.write_stripe_sync(extent.first_stripe + s, 0,
+                                               std::move(chunks));
+    if (!status.ok()) return status;
   }
-  return true;
+  return Status{};
 }
 
-std::optional<ObjectStore::ObjectId> ObjectStore::put(
+Result<ObjectStore::ObjectId> ObjectStore::put(
     std::span<const std::uint8_t> object) {
-  TRAPERC_CHECK_MSG(!object.empty(), "cannot store an empty object");
+  if (object.empty()) {
+    return Status::error(ErrorCode::kInvalidArgument);
+  }
   const std::size_t capacity = stripe_capacity();
   const auto stripes =
       static_cast<unsigned>((object.size() + capacity - 1) / capacity);
   const Extent extent{next_stripe_, stripes, object.size()};
+  // The allocation cursor only moves forward, past every catalog extent and
+  // every burned range, so a failed put can never be silently aliased; the
+  // ledger records the ranges for operator audit. Burned extents are
+  // appended in cursor order, so checking the newest one covers them all.
+  if (!failed_extents_.empty()) {
+    TRAPERC_DCHECK(extent.first_stripe >=
+                   failed_extents_.back().first_stripe +
+                       failed_extents_.back().stripe_count);
+  }
   next_stripe_ += stripes;  // never reused, even on failure
-  if (!write_extent(extent, object)) return std::nullopt;
+  Status status = write_extent(extent, object);
+  if (!status.ok()) {
+    failed_extents_.push_back(extent);
+    return status;
+  }
   const ObjectId id = next_object_++;
   catalog_.emplace(id, extent);
   return id;
 }
 
-bool ObjectStore::overwrite(ObjectId id,
-                            std::span<const std::uint8_t> object) {
+Status ObjectStore::overwrite(ObjectId id,
+                              std::span<const std::uint8_t> object) {
   const auto it = catalog_.find(id);
-  if (it == catalog_.end()) return false;
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
   const std::size_t max_size =
       static_cast<std::size_t>(it->second.stripe_count) * stripe_capacity();
-  TRAPERC_CHECK_MSG(object.size() <= max_size,
-                    "overwrite exceeds the object's allocated extent");
+  if (object.empty() || object.size() > max_size) {
+    return Status::error(ErrorCode::kInvalidArgument)
+        .at(it->second.first_stripe);
+  }
   // Rewrite the full previous coverage so shrunken objects do not leak old
   // bytes: pad the new content with zeros up to the previous size.
   std::vector<std::uint8_t> padded(object.begin(), object.end());
   if (padded.size() < it->second.size) padded.resize(it->second.size, 0);
   Extent extent = it->second;
   extent.size = padded.size();
-  if (!write_extent(extent, padded)) return false;
+  Status status = write_extent(extent, padded);
+  if (!status.ok()) return status;
   it->second.size = object.size();
-  return true;
+  return Status{};
 }
 
-std::optional<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
+Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
   const auto it = catalog_.find(id);
-  if (it == catalog_.end()) return std::nullopt;
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
   const Extent& extent = it->second;
   const std::size_t chunk_len = cluster_.config().chunk_len;
   const unsigned k = cluster_.config().k;
@@ -93,22 +118,29 @@ std::optional<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
         k, (remaining + chunk_len - 1) / chunk_len));
     auto outcomes =
         cluster_.read_stripe_sync(extent.first_stripe + s, 0, covered);
-    for (const auto& outcome : outcomes) {
-      if (outcome.status != OpStatus::kSuccess) return std::nullopt;
+    if (!outcomes.ok()) return std::move(outcomes).status();
+    for (const auto& block : *outcomes) {
       const std::size_t take = std::min(chunk_len, remaining);
-      out.insert(out.end(), outcome.value.begin(),
-                 outcome.value.begin() + static_cast<long>(take));
+      out.insert(out.end(), block.value.begin(),
+                 block.value.begin() + static_cast<long>(take));
       remaining -= take;
     }
   }
   return out;
 }
 
-bool ObjectStore::forget(ObjectId id) { return catalog_.erase(id) > 0; }
+Status ObjectStore::forget(ObjectId id) {
+  if (catalog_.erase(id) == 0) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
+  return Status{};
+}
 
-std::optional<ObjectStore::Extent> ObjectStore::extent(ObjectId id) const {
+Result<ObjectStore::Extent> ObjectStore::extent(ObjectId id) const {
   const auto it = catalog_.find(id);
-  if (it == catalog_.end()) return std::nullopt;
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
   return it->second;
 }
 

@@ -6,24 +6,27 @@
 // zero-padded tail), drives Algorithm 1/2 per block, and keeps a client-
 // side catalog (object id → extent). An object put/get succeeds iff every
 // covered block operation succeeds; a failed put leaves already-written
-// blocks behind (the protocol has no transactions — DESIGN.md §6), and the
-// catalog entry is only created on full success.
+// blocks behind (the protocol has no transactions — DESIGN.md §6): its
+// stripe range is burned, recorded in the failed-extent ledger, and never
+// handed to a later put. The catalog entry is only created on full success.
+//
+// ObjectStore implements StoreClient; the async batched surface runs
+// inline (no pool): one SimCluster is single-threaded by construction, so
+// submits are the deterministic fallback path.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/protocol/cluster.hpp"
+#include "core/protocol/store_client.hpp"
 
 namespace traperc::core {
 
-class ObjectStore {
+class ObjectStore : public StoreClient {
  public:
-  using ObjectId = std::uint64_t;
-
   struct Extent {
     BlockId first_stripe = 0;
     unsigned stripe_count = 0;
@@ -33,9 +36,10 @@ class ObjectStore {
   /// `base_stripe` opens a stripe namespace disjoint from any stripes the
   /// caller drives directly through the cluster.
   explicit ObjectStore(SimCluster& cluster, BlockId base_stripe = 0);
+  ~ObjectStore() override;
 
   /// Bytes one stripe can hold: k · chunk_len.
-  [[nodiscard]] std::size_t stripe_capacity() const noexcept;
+  [[nodiscard]] std::size_t stripe_capacity() const override;
 
   /// Slices stripe `stripe_index` (counting from the object's first stripe)
   /// out of `object`: up to k chunk_len-sized, zero-padded chunks, fewer for
@@ -45,37 +49,44 @@ class ObjectStore {
       std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
       std::size_t chunk_len);
 
-  /// Writes `object` into freshly allocated stripes. Returns the object id
-  /// on success, nullopt if any block write failed (no catalog entry is
-  /// created; the allocated stripe range is not reused).
-  std::optional<ObjectId> put(std::span<const std::uint8_t> object);
+  /// Writes `object` into freshly allocated stripes; the object id on
+  /// success. On failure no catalog entry is created and the allocated
+  /// range moves to the failed-extent ledger (never reused).
+  Result<ObjectId> put(std::span<const std::uint8_t> object) override;
 
   /// Rewrites an existing object in place with same-or-smaller size.
-  /// Returns false on quorum failure or unknown id.
-  bool overwrite(ObjectId id, std::span<const std::uint8_t> object);
+  Status overwrite(ObjectId id, std::span<const std::uint8_t> object) override;
 
-  /// Reads an object back; nullopt on unknown id or quorum/decode failure.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(ObjectId id);
+  /// Reads an object back.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
 
   /// Drops the catalog entry (storage is not reclaimed: the paper's model
   /// has no delete; stale stripes age out as versions 0 of future objects
   /// are never allocated on them).
-  bool forget(ObjectId id);
+  Status forget(ObjectId id) override;
 
-  [[nodiscard]] std::optional<Extent> extent(ObjectId id) const;
-  [[nodiscard]] std::size_t object_count() const noexcept {
+  [[nodiscard]] Result<Extent> extent(ObjectId id) const;
+  [[nodiscard]] std::size_t object_count() const override {
     return catalog_.size();
+  }
+
+  /// Stripe ranges burned by failed puts: partially written, never part of
+  /// any object, never reallocated. Exposed so operators (and tests) can
+  /// audit that later puts cannot alias a dirty range.
+  [[nodiscard]] const std::vector<Extent>& failed_extents() const noexcept {
+    return failed_extents_;
   }
 
  private:
   /// Writes the bytes of `object` covering stripes [first, first+count).
-  bool write_extent(const Extent& extent,
-                    std::span<const std::uint8_t> object);
+  Status write_extent(const Extent& extent,
+                      std::span<const std::uint8_t> object);
 
   SimCluster& cluster_;
   BlockId next_stripe_;
   ObjectId next_object_ = 1;
   std::map<ObjectId, Extent> catalog_;
+  std::vector<Extent> failed_extents_;
 };
 
 }  // namespace traperc::core

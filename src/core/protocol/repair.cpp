@@ -227,7 +227,7 @@ bool RepairManager::stripe_consistent(BlockId stripe) const {
   return true;
 }
 
-bool RepairManager::reconcile_stripe(BlockId stripe) {
+Status RepairManager::reconcile_stripe(BlockId stripe) {
   TRAPERC_CHECK_MSG(config_.mode == Mode::kErc,
                     "reconcile is defined for ERC mode");
   // Determine the best reconstructible snapshot for every data block.
@@ -235,7 +235,14 @@ bool RepairManager::reconcile_stripe(BlockId stripe) {
   std::vector<std::vector<std::uint8_t>> payloads(config_.k);
   for (unsigned m = 0; m < config_.k; ++m) {
     if (!decode_data_block(stripe, m, kInvalidNode, best[m], payloads[m])) {
-      return false;  // some block is unrecoverable; cannot reconcile
+      // Block m is unrecoverable from the live nodes; implicate them.
+      std::vector<NodeId> down;
+      for (NodeId id = 0; id < config_.n; ++id) {
+        if (!nodes_[id]->up()) down.push_back(id);
+      }
+      return Status::error(ErrorCode::kDecodeFailed)
+          .at(stripe, m)
+          .with_nodes(std::move(down));
     }
   }
   // Roll live data nodes forward.
@@ -264,7 +271,10 @@ bool RepairManager::reconcile_stripe(BlockId stripe) {
                      payload_ptrs.data(), &parity_ptr, config_.chunk_len);
     nodes_[id]->parity_install(stripe, best, std::move(parity));
   }
-  return stripe_consistent(stripe);
+  if (!stripe_consistent(stripe)) {
+    return Status::error(ErrorCode::kDecodeFailed).at(stripe);
+  }
+  return Status{};
 }
 
 }  // namespace traperc::core

@@ -22,6 +22,7 @@
 
 #include "common/types.hpp"
 #include "core/protocol/config.hpp"
+#include "core/protocol/result.hpp"
 #include "erasure/rs_code.hpp"
 #include "storage/node.hpp"
 
@@ -55,9 +56,10 @@ class RepairManager {
 
   /// Repairs divergent parity contributor versions on one stripe: for each
   /// data block, rolls every live parity node forward to the highest version
-  /// reconstructible from the live nodes. Returns true if the stripe is
-  /// fully consistent afterwards.
-  bool reconcile_stripe(BlockId stripe);
+  /// reconstructible from the live nodes. Ok iff the stripe is fully
+  /// consistent afterwards; kDecodeFailed (with the unrecoverable block)
+  /// when too few live chunks exist to reconstruct some block.
+  Status reconcile_stripe(BlockId stripe);
 
   /// True iff all live parity nodes agree on their contributor vectors and
   /// match the live data nodes' versions for this stripe.

@@ -1,0 +1,174 @@
+// The client-facing error taxonomy: every put/get/overwrite/repair entry
+// point above the raw coordinator speaks Status / Result<T> instead of
+// bool / optional, so callers learn *why* an operation failed — quorum
+// starvation vs decode shortfall vs unknown id — and *where* (the failing
+// stripe/block, the shard, and the node set that caused it).
+//
+// The per-block coordinator keeps the paper's SUCCESS/FAIL (OpStatus):
+// Algorithms 1 and 2 have no richer vocabulary. SimCluster's synchronous
+// block API is the translation point; everything above it (ObjectStore,
+// ShardedObjectStore, StoreClient) only ever sees Status.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace traperc::core {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kQuorumUnavailable,  ///< a write/read quorum was unreachable (paper FAIL)
+  kDecodeFailed,       ///< version check passed but < k consistent chunks
+  kUnknownObject,      ///< object id not in the catalog
+  kLeaseConflict,      ///< write lease expired mid-operation and a rival won
+  kShardDown,          ///< the shard hosting the stripe is administratively down
+  kInvalidArgument,    ///< caller-supplied argument violates the API contract
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kQuorumUnavailable: return "QUORUM_UNAVAILABLE";
+    case ErrorCode::kDecodeFailed: return "DECODE_FAILED";
+    case ErrorCode::kUnknownObject: return "UNKNOWN_OBJECT";
+    case ErrorCode::kLeaseConflict: return "LEASE_CONFLICT";
+    case ErrorCode::kShardDown: return "SHARD_DOWN";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+inline std::ostream& operator<<(std::ostream& os, ErrorCode code) {
+  return os << to_string(code);
+}
+
+/// Outcome of an operation with no payload. Ok by default; error statuses
+/// carry the failing stripe/block, the shard (sharded store), and the node
+/// set implicated in the failure (unresponsive or stale quorum members).
+class [[nodiscard]] Status {
+ public:
+  static constexpr BlockId kNoStripe = std::numeric_limits<BlockId>::max();
+  static constexpr unsigned kNoBlock = ~0u;
+
+  Status() noexcept = default;  ///< ok
+
+  [[nodiscard]] static Status error(ErrorCode code) noexcept {
+    TRAPERC_DCHECK(code != ErrorCode::kOk);
+    Status status;
+    status.code_ = code;
+    return status;
+  }
+
+  // Chainable context builders (rvalue-qualified: used on fresh errors).
+  Status&& at(BlockId stripe, unsigned block = kNoBlock) && noexcept {
+    stripe_ = stripe;
+    block_ = block;
+    return std::move(*this);
+  }
+  Status&& on_shard(unsigned shard) && noexcept {
+    shard_ = static_cast<int>(shard);
+    return std::move(*this);
+  }
+  Status&& with_nodes(std::vector<NodeId> nodes) && {
+    nodes_ = std::move(nodes);
+    return std::move(*this);
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] bool has_stripe() const noexcept {
+    return stripe_ != kNoStripe;
+  }
+  [[nodiscard]] BlockId stripe() const noexcept { return stripe_; }
+  [[nodiscard]] bool has_block() const noexcept { return block_ != kNoBlock; }
+  [[nodiscard]] unsigned block() const noexcept { return block_; }
+  /// Shard index, or -1 when the operation was not sharded.
+  [[nodiscard]] int shard() const noexcept { return shard_; }
+  /// Nodes implicated in the failure: quorum members that were unresponsive
+  /// or rejected the operation. Empty on success and for catalog errors.
+  [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = core::to_string(code_);
+    if (has_stripe()) {
+      out += " stripe=" + std::to_string(stripe_);
+      if (has_block()) out += " block=" + std::to_string(block_);
+    }
+    if (shard_ >= 0) out += " shard=" + std::to_string(shard_);
+    if (!nodes_.empty()) {
+      out += " nodes={";
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(nodes_[i]);
+      }
+      out += '}';
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& status, ErrorCode code) noexcept {
+    return status.code_ == code;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Status& status) {
+    return os << status.to_string();
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  BlockId stripe_ = kNoStripe;
+  unsigned block_ = kNoBlock;
+  int shard_ = -1;
+  std::vector<NodeId> nodes_;
+};
+
+/// Either a T (ok) or a non-ok Status. Implicitly constructible from both,
+/// so `return value;` and `return Status::error(...)...;` both work.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TRAPERC_CHECK_MSG(!status_.ok(),
+                      "Result constructed from an ok Status without a value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+  [[nodiscard]] ErrorCode code() const noexcept { return status_.code(); }
+  [[nodiscard]] const Status& status() const& noexcept { return status_; }
+  [[nodiscard]] Status status() && noexcept { return std::move(status_); }
+
+  [[nodiscard]] T& value() & {
+    TRAPERC_CHECK_MSG(value_.has_value(), "Result::value() on an error");
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    TRAPERC_CHECK_MSG(value_.has_value(), "Result::value() on an error");
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    TRAPERC_CHECK_MSG(value_.has_value(), "Result::value() on an error");
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;  // engaged iff status_.ok()
+};
+
+}  // namespace traperc::core

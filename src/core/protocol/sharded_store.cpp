@@ -1,12 +1,38 @@
 #include "core/protocol/sharded_store.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace traperc::core {
+
+namespace {
+
+/// First-error latch for pipeline tasks: tasks race to record the failure
+/// that aborts the operation; later tasks bail out early once set.
+class ErrorLatch {
+ public:
+  [[nodiscard]] bool failed() const {
+    std::lock_guard lock(mutex_);
+    return !status_.ok();
+  }
+  void record(Status status) {
+    std::lock_guard lock(mutex_);
+    if (status_.ok()) status_ = std::move(status);
+  }
+  [[nodiscard]] Status take() {
+    std::lock_guard lock(mutex_);
+    return std::move(status_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Status status_;
+};
+
+}  // namespace
 
 ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
                                        ShardedStoreOptions options)
@@ -23,11 +49,16 @@ ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
   if (options_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
+  configure_async(pool_.get(), options_.async_window);
 }
 
-ShardedObjectStore::~ShardedObjectStore() = default;
+ShardedObjectStore::~ShardedObjectStore() {
+  // Batched ops still executing reference this object's shards; finish them
+  // before members tear down.
+  drain_async();
+}
 
-std::size_t ShardedObjectStore::stripe_capacity() const noexcept {
+std::size_t ShardedObjectStore::stripe_capacity() const {
   const auto& config = shards_.front()->cluster->config();
   return static_cast<std::size_t>(config.k) * config.chunk_len;
 }
@@ -42,16 +73,61 @@ SimCluster& ShardedObjectStore::shard_cluster(unsigned shard) {
   return *shards_[shard]->cluster;
 }
 
-std::optional<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
+void ShardedObjectStore::set_shard_down(unsigned shard, bool down) {
+  TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  std::lock_guard lock(shards_[shard]->mutex);
+  shards_[shard]->down = down;
+}
+
+bool ShardedObjectStore::shard_is_down(unsigned shard) const {
+  TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  std::lock_guard lock(shards_[shard]->mutex);
+  return shards_[shard]->down;
+}
+
+Status ShardedObjectStore::write_stripes(
+    std::span<const std::uint8_t> object, unsigned total,
+    const std::vector<ShardExtent>& extents) {
+  const auto& config = shards_.front()->cluster->config();
+  const unsigned k = config.k;
+  const std::size_t chunk_len = config.chunk_len;
+  ErrorLatch error;
+  {
+    TaskGroup group(pool_.get());
+    for (unsigned i = 0; i < total; ++i) {
+      group.submit_bounded(
+          [this, &error, &extents, object, i, k, chunk_len] {
+            if (error.failed()) return;
+            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
+            const unsigned j = shard_of(i);
+            Shard& shard = *shards_[j];
+            const BlockId stripe = extents[j].first_stripe + local_index(i);
+            std::lock_guard lock(shard.mutex);
+            if (shard.down) {
+              error.record(
+                  Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
+              return;
+            }
+            Status status =
+                shard.cluster->write_stripe_sync(stripe, 0, std::move(chunks));
+            if (!status.ok()) error.record(std::move(status).on_shard(j));
+          },
+          options_.pipeline_depth);
+    }
+    group.wait();
+  }
+  return error.take();
+}
+
+Result<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
     std::span<const std::uint8_t> object) {
-  TRAPERC_CHECK_MSG(!object.empty(), "cannot store an empty object");
+  if (object.empty()) {
+    return Status::error(ErrorCode::kInvalidArgument);
+  }
   const std::size_t capacity = stripe_capacity();
   const auto total =
       static_cast<unsigned>((object.size() + capacity - 1) / capacity);
   const unsigned n_shards = shard_count();
-  const auto& config = shards_.front()->cluster->config();
-  const unsigned k = config.k;
-  const std::size_t chunk_len = config.chunk_len;
 
   ObjectId id = 0;
   {
@@ -72,36 +148,14 @@ std::optional<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
     shard.catalog.emplace(id, extents[j]);
   }
 
-  std::atomic<bool> ok{true};
-  {
-    TaskGroup group(pool_.get());
-    for (unsigned i = 0; i < total; ++i) {
-      group.submit_bounded(
-          [this, &ok, &extents, object, i, k, chunk_len] {
-            if (!ok.load(std::memory_order_relaxed)) return;
-            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
-            const unsigned j = shard_of(i);
-            Shard& shard = *shards_[j];
-            const BlockId stripe = extents[j].first_stripe + local_index(i);
-            std::lock_guard lock(shard.mutex);
-            if (shard.cluster->write_stripe_sync(stripe, 0,
-                                                 std::move(chunks)) !=
-                OpStatus::kSuccess) {
-              ok.store(false, std::memory_order_relaxed);
-            }
-          },
-          options_.pipeline_depth);
-    }
-    group.wait();
-  }
-
-  if (!ok.load()) {
+  Status status = write_stripes(object, total, extents);
+  if (!status.ok()) {
     for (unsigned j = 0; j < n_shards; ++j) {
       if (extents[j].stripe_count == 0) continue;
       std::lock_guard lock(shards_[j]->mutex);
       shards_[j]->catalog.erase(id);
     }
-    return std::nullopt;
+    return status;
   }
   {
     std::lock_guard lock(catalog_mutex_);
@@ -110,88 +164,140 @@ std::optional<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
   return id;
 }
 
-std::optional<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
+Result<ShardedObjectStore::ObjectInfo> ShardedObjectStore::lookup(
+    ObjectId id, std::vector<ShardExtent>& extents) const {
   ObjectInfo info;
   {
     std::lock_guard lock(catalog_mutex_);
     const auto it = catalog_.find(id);
-    if (it == catalog_.end()) return std::nullopt;
+    if (it == catalog_.end()) {
+      return Status::error(ErrorCode::kUnknownObject);
+    }
     info = it->second;
   }
   const unsigned n_shards = shard_count();
-  std::vector<ShardExtent> extents(n_shards);
+  extents.assign(n_shards, {});
   for (unsigned j = 0; j < n_shards && j < info.stripe_count; ++j) {
     Shard& shard = *shards_[j];
     std::lock_guard lock(shard.mutex);
     const auto it = shard.catalog.find(id);
     // A concurrent forget(id) may have erased the shard entries between the
     // facade lookup and here; treat it like any other unknown id.
-    if (it == shard.catalog.end()) return std::nullopt;
+    if (it == shard.catalog.end()) {
+      return Status::error(ErrorCode::kUnknownObject).on_shard(j);
+    }
     extents[j] = it->second;
   }
+  return info;
+}
+
+Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
+  std::vector<ShardExtent> extents;
+  auto info = lookup(id, extents);
+  if (!info.ok()) return std::move(info).status();
 
   const std::size_t capacity = stripe_capacity();
   const auto& config = shards_.front()->cluster->config();
   const std::size_t chunk_len = config.chunk_len;
-  std::vector<std::uint8_t> out(info.size);
-  std::atomic<bool> ok{true};
+  std::vector<std::uint8_t> out(info->size);
+  const std::size_t object_size = info->size;
+  // After a shrinking overwrite the object spans fewer stripes than its
+  // allocated extent; only the covered prefix is read.
+  const auto used = static_cast<unsigned>(
+      std::min<std::size_t>(info->stripe_count,
+                            (object_size + capacity - 1) / capacity));
+  ErrorLatch error;
   {
     TaskGroup group(pool_.get());
-    for (unsigned i = 0; i < info.stripe_count; ++i) {
+    for (unsigned i = 0; i < used; ++i) {
       // Each task fills a disjoint [offset, offset+bytes) range of `out`,
       // so no synchronization on the output buffer is needed.
       group.submit_bounded(
-          [this, &ok, &extents, &out, &info, i, capacity, chunk_len] {
-            if (!ok.load(std::memory_order_relaxed)) return;
+          [this, &error, &extents, &out, object_size, i, capacity,
+           chunk_len] {
+            if (error.failed()) return;
             const std::size_t offset = static_cast<std::size_t>(i) * capacity;
-            const std::size_t bytes = std::min(capacity, info.size - offset);
+            const std::size_t bytes =
+                std::min(capacity, object_size - offset);
             const auto covered =
                 static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
             const unsigned j = shard_of(i);
             Shard& shard = *shards_[j];
             const BlockId stripe = extents[j].first_stripe + local_index(i);
-            std::vector<ReadOutcome> outcomes;
-            {
-              std::lock_guard lock(shard.mutex);
-              outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
+            std::lock_guard lock(shard.mutex);
+            if (shard.down) {
+              error.record(
+                  Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
+              return;
+            }
+            auto outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
+            if (!outcomes.ok()) {
+              error.record(std::move(outcomes).status().on_shard(j));
+              return;
             }
             for (unsigned b = 0; b < covered; ++b) {
-              if (outcomes[b].status != OpStatus::kSuccess) {
-                ok.store(false, std::memory_order_relaxed);
-                return;
-              }
               const std::size_t block_off =
                   static_cast<std::size_t>(b) * chunk_len;
               const std::size_t take = std::min(chunk_len, bytes - block_off);
               std::memcpy(out.data() + offset + block_off,
-                          outcomes[b].value.data(), take);
+                          (*outcomes)[b].value.data(), take);
             }
           },
           options_.pipeline_depth);
     }
     group.wait();
   }
-  if (!ok.load()) return std::nullopt;
+  Status status = error.take();
+  if (!status.ok()) return status;
   return out;
 }
 
-bool ShardedObjectStore::forget(ObjectId id) {
+Status ShardedObjectStore::overwrite(ObjectId id,
+                                     std::span<const std::uint8_t> object) {
+  std::vector<ShardExtent> extents;
+  auto info = lookup(id, extents);
+  if (!info.ok()) return std::move(info).status();
+  const std::size_t max_size =
+      static_cast<std::size_t>(info->stripe_count) * stripe_capacity();
+  if (object.empty() || object.size() > max_size) {
+    return Status::error(ErrorCode::kInvalidArgument);
+  }
+  // Pad with zeros to the previous size so shrinking leaks no stale bytes.
+  std::vector<std::uint8_t> padded(object.begin(), object.end());
+  if (padded.size() < info->size) padded.resize(info->size, 0);
+  const auto covered = static_cast<unsigned>(
+      (padded.size() + stripe_capacity() - 1) / stripe_capacity());
+  Status status = write_stripes(padded, covered, extents);
+  if (!status.ok()) return status;
   {
     std::lock_guard lock(catalog_mutex_);
-    if (catalog_.erase(id) == 0) return false;
+    const auto it = catalog_.find(id);
+    if (it != catalog_.end()) it->second.size = object.size();
+  }
+  return Status{};
+}
+
+Status ShardedObjectStore::forget(ObjectId id) {
+  {
+    std::lock_guard lock(catalog_mutex_);
+    if (catalog_.erase(id) == 0) {
+      return Status::error(ErrorCode::kUnknownObject);
+    }
   }
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->catalog.erase(id);
   }
-  return true;
+  return Status{};
 }
 
-std::optional<ShardedObjectStore::ObjectInfo> ShardedObjectStore::info(
+Result<ShardedObjectStore::ObjectInfo> ShardedObjectStore::info(
     ObjectId id) const {
   std::lock_guard lock(catalog_mutex_);
   const auto it = catalog_.find(id);
-  if (it == catalog_.end()) return std::nullopt;
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
   return it->second;
 }
 
@@ -216,36 +322,54 @@ void ShardedObjectStore::wipe_node(NodeId id) {
   }
 }
 
-RepairReport ShardedObjectStore::repair_node(NodeId id) {
-  RepairReport total;
-  std::mutex report_mutex;
-  TaskGroup group(pool_.get());
-  // One task per stripe, at most `pipeline_depth` outstanding — the same
-  // bounded pipeline as put/get. Same-shard stripes serialize on the shard
-  // mutex (one stripe per lock hold, so racing reads interleave freely);
-  // different shards decode concurrently.
+Result<RepairReport> ShardedObjectStore::repair_node(NodeId id) {
   for (unsigned j = 0; j < shard_count(); ++j) {
-    BlockId used = 0;
-    {
-      std::lock_guard lock(shards_[j]->mutex);
-      used = shards_[j]->next_stripe;
-    }
-    for (BlockId s = 0; s < used; ++s) {
-      group.submit_bounded(
-          [this, j, id, s, &total, &report_mutex] {
-            Shard& shard = *shards_[j];
-            RepairReport report;
-            {
-              std::lock_guard lock(shard.mutex);
-              report = shard.cluster->repair().rebuild_node(id, {s});
-            }
-            std::lock_guard lock(report_mutex);
-            total += report;
-          },
-          options_.pipeline_depth);
+    if (shard_is_down(j)) {
+      return Status::error(ErrorCode::kShardDown).on_shard(j);
     }
   }
-  group.wait();
+  RepairReport total;
+  std::mutex report_mutex;
+  ErrorLatch error;
+  {
+    TaskGroup group(pool_.get());
+    // One task per stripe, at most `pipeline_depth` outstanding — the same
+    // bounded pipeline as put/get. Same-shard stripes serialize on the shard
+    // mutex (one stripe per lock hold, so racing reads interleave freely);
+    // different shards decode concurrently. Each task re-checks the shard's
+    // admin state under its lock: a set_shard_down racing the rebuild must
+    // fail the repair, not be silently ignored.
+    for (unsigned j = 0; j < shard_count(); ++j) {
+      BlockId used = 0;
+      {
+        std::lock_guard lock(shards_[j]->mutex);
+        used = shards_[j]->next_stripe;
+      }
+      for (BlockId s = 0; s < used; ++s) {
+        group.submit_bounded(
+            [this, j, id, s, &total, &report_mutex, &error] {
+              if (error.failed()) return;
+              Shard& shard = *shards_[j];
+              RepairReport report;
+              {
+                std::lock_guard lock(shard.mutex);
+                if (shard.down) {
+                  error.record(
+                      Status::error(ErrorCode::kShardDown).at(s).on_shard(j));
+                  return;
+                }
+                report = shard.cluster->repair().rebuild_node(id, {s});
+              }
+              std::lock_guard lock(report_mutex);
+              total += report;
+            },
+            options_.pipeline_depth);
+      }
+    }
+    group.wait();
+  }
+  Status status = error.take();
+  if (!status.ok()) return status;
   return total;
 }
 

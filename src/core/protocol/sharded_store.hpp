@@ -1,6 +1,7 @@
 // ShardedObjectStore — the whole-object layer scaled out: N independent
-// shard deployments behind one facade, with multi-stripe put/get and node
-// repair driven through common::ThreadPool as a bounded-depth pipeline.
+// shard deployments behind one StoreClient facade, with multi-stripe
+// put/get/overwrite and node repair driven through common::ThreadPool as a
+// bounded-depth pipeline.
 //
 // Sharding model (cf. MemEC's sharded coordinator and OpenEC's repair-task
 // graphs): the object's stripes are range-partitioned round-robin — object
@@ -19,20 +20,24 @@
 // another shard instead of running strictly serially. With
 // `options.threads == 0` no pool exists and every task runs inline in
 // submission order — the deterministic single-threaded fallback; results are
-// bit-identical either way, only the interleaving changes.
+// bit-identical either way, only the interleaving changes. The same pool
+// powers the StoreClient async batch surface (submit_put/submit_get +
+// wait_all), which overlaps whole objects: a batched op on a pool worker
+// runs its stripe pipeline inline while other workers carry other objects.
 //
-// Thread safety: the facade itself is safe for concurrent put/get/repair
-// calls from multiple client threads (catalog mutex + per-shard mutexes).
-// Failure semantics match ObjectStore: a failed put burns its allocated
-// stripe ranges and leaves partial blocks behind (no transactions), and the
-// catalog entry only appears on full success.
+// Thread safety: the facade itself is safe for concurrent put/get/overwrite/
+// repair calls from multiple client threads (catalog mutex + per-shard
+// mutexes). Failure semantics match ObjectStore: a failed put burns its
+// allocated stripe ranges and leaves partial blocks behind (no
+// transactions), and the catalog entry only appears on full success. A
+// shard can be taken administratively down (set_shard_down) — operations
+// needing one of its stripes fail fast with kShardDown.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <vector>
 
@@ -40,32 +45,30 @@
 #include "core/protocol/cluster.hpp"
 #include "core/protocol/object_store.hpp"
 #include "core/protocol/repair.hpp"
+#include "core/protocol/store_client.hpp"
 
 namespace traperc::core {
 
 struct ShardedStoreOptions {
   unsigned shards = 4;          ///< independent shard deployments (>= 1)
   unsigned pipeline_depth = 4;  ///< max stripes in flight per operation (>= 1)
-  /// Worker threads for the pipeline; 0 = no pool, deterministic inline
-  /// execution (the single-threaded fallback path).
+  /// Worker threads for the pipeline and the async batch surface; 0 = no
+  /// pool, deterministic inline execution (the single-threaded fallback).
   unsigned threads = 0;
+  /// Max submitted-but-unfinished async batch operations (>= 1).
+  unsigned async_window = 8;
   std::uint64_t seed = 42;  ///< shard s's cluster is seeded with seed + s
 };
 
-class ShardedObjectStore {
+class ShardedObjectStore : public StoreClient {
  public:
-  using ObjectId = ObjectStore::ObjectId;
-
   struct ObjectInfo {
     std::size_t size = 0;
     unsigned stripe_count = 0;  ///< total stripes across all shards
   };
 
   ShardedObjectStore(ProtocolConfig config, ShardedStoreOptions options = {});
-  ~ShardedObjectStore();
-
-  ShardedObjectStore(const ShardedObjectStore&) = delete;
-  ShardedObjectStore& operator=(const ShardedObjectStore&) = delete;
+  ~ShardedObjectStore() override;
 
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
@@ -74,22 +77,32 @@ class ShardedObjectStore {
     return options_;
   }
   /// Bytes one stripe can hold: k · chunk_len (identical on every shard).
-  [[nodiscard]] std::size_t stripe_capacity() const noexcept;
-  [[nodiscard]] std::size_t object_count() const;
+  [[nodiscard]] std::size_t stripe_capacity() const override;
+  [[nodiscard]] std::size_t object_count() const override;
 
-  /// Writes `object` across the shards as a bounded-depth stripe pipeline.
-  /// Returns the object id, or nullopt if any stripe write failed.
-  std::optional<ObjectId> put(std::span<const std::uint8_t> object);
+  /// Writes `object` across the shards as a bounded-depth stripe pipeline;
+  /// the object id on success.
+  Result<ObjectId> put(std::span<const std::uint8_t> object) override;
 
-  /// Reads an object back through the same pipeline; nullopt on unknown id
-  /// or any stripe's quorum/decode failure.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(ObjectId id);
+  /// Reads an object back through the same pipeline.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
+
+  /// Rewrites an existing object in place (same-or-smaller size) through
+  /// the stripe pipeline, reusing its allocated shard extents.
+  Status overwrite(ObjectId id, std::span<const std::uint8_t> object) override;
 
   /// Drops the catalog entries (facade and per-shard); storage is not
   /// reclaimed, matching ObjectStore::forget.
-  bool forget(ObjectId id);
+  Status forget(ObjectId id) override;
 
-  [[nodiscard]] std::optional<ObjectInfo> info(ObjectId id) const;
+  [[nodiscard]] Result<ObjectInfo> info(ObjectId id) const;
+
+  // -- shard administration ----------------------------------------------
+  /// Marks one shard administratively down/up. Operations that need a
+  /// stripe on a down shard fail fast with kShardDown (no protocol traffic
+  /// is sent to it); other shards keep serving.
+  void set_shard_down(unsigned shard, bool down);
+  [[nodiscard]] bool shard_is_down(unsigned shard) const;
 
   // -- cluster-wide liveness and repair ----------------------------------
   // Logical node `id` exists in every shard's deployment; these fan out.
@@ -101,7 +114,9 @@ class ShardedObjectStore {
   /// Rebuilds everything node `id` should hold, across all shards, as a
   /// bounded pipeline of per-stripe tasks (at most `pipeline_depth`
   /// outstanding) so one stripe's decode overlaps another shard's stripe.
-  RepairReport repair_node(NodeId id);
+  /// kShardDown if any shard is administratively down (a full rebuild
+  /// cannot be certified).
+  Result<RepairReport> repair_node(NodeId id);
 
   /// Direct access to one shard's deployment (tests and benches only; not
   /// synchronized against concurrent store operations).
@@ -117,6 +132,7 @@ class ShardedObjectStore {
     std::unique_ptr<SimCluster> cluster;
     std::mutex mutex;  ///< serializes every touch of cluster + members below
     BlockId next_stripe = 0;
+    bool down = false;  ///< administratively down (kShardDown)
     std::map<ObjectId, ShardExtent> catalog;
   };
 
@@ -127,6 +143,14 @@ class ShardedObjectStore {
   [[nodiscard]] unsigned local_index(unsigned stripe_index) const noexcept {
     return stripe_index / shard_count();
   }
+
+  /// Looks up the facade info and per-shard extents for `id`.
+  Result<ObjectInfo> lookup(ObjectId id,
+                            std::vector<ShardExtent>& extents) const;
+
+  /// Pipelines `total` stripe writes of `object` into `extents`.
+  Status write_stripes(std::span<const std::uint8_t> object, unsigned total,
+                       const std::vector<ShardExtent>& extents);
 
   ShardedStoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

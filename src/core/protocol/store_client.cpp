@@ -1,0 +1,115 @@
+#include "core/protocol/store_client.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace traperc::core {
+
+StoreClient::~StoreClient() {
+  // Derived destructors must have drained; executing tasks would otherwise
+  // call pure-virtual put/get on a destroyed object.
+  TRAPERC_CHECK_MSG(executing_ == 0,
+                    "StoreClient destroyed with async operations in flight");
+}
+
+void StoreClient::configure_async(ThreadPool* pool, unsigned window) {
+  TRAPERC_CHECK_MSG(window >= 1, "async window must be >= 1");
+  pool_ = pool;
+  window_ = window;
+}
+
+void StoreClient::drain_async() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return executing_ == 0; });
+}
+
+void StoreClient::run_op(BatchResult result,
+                         std::vector<std::uint8_t> object) {
+  if (result.op == BatchResult::Op::kPut) {
+    auto put_result = put(object);
+    if (put_result.ok()) {
+      result.id = *put_result;
+    } else {
+      result.status = std::move(put_result).status();
+    }
+  } else {
+    auto get_result = get(result.id);
+    if (get_result.ok()) {
+      result.bytes = *std::move(get_result);
+    } else {
+      result.status = std::move(get_result).status();
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    --executing_;
+    completed_.emplace(result.ticket.id, std::move(result));
+  }
+  cv_.notify_all();
+}
+
+OpTicket StoreClient::submit_op(BatchResult seed,
+                                std::vector<std::uint8_t> object) {
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return executing_ < window_; });
+    seed.ticket = OpTicket{next_ticket_++};
+    ++executing_;
+  }
+  const OpTicket ticket = seed.ticket;
+  if (pool_ == nullptr) {
+    // Deterministic fallback: the operation runs to completion here, in
+    // submission order on the submitting thread.
+    run_op(std::move(seed), std::move(object));
+  } else {
+    pool_->submit([this, seed = std::move(seed),
+                   object = std::move(object)]() mutable {
+      run_op(std::move(seed), std::move(object));
+    });
+  }
+  return ticket;
+}
+
+OpTicket StoreClient::submit_put(std::vector<std::uint8_t> object) {
+  BatchResult seed;
+  seed.op = BatchResult::Op::kPut;
+  return submit_op(std::move(seed), std::move(object));
+}
+
+OpTicket StoreClient::submit_get(ObjectId id) {
+  BatchResult seed;
+  seed.op = BatchResult::Op::kGet;
+  seed.id = id;
+  return submit_op(std::move(seed), {});
+}
+
+std::vector<BatchResult> StoreClient::wait_all() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return executing_ == 0; });
+  std::vector<BatchResult> results;
+  results.reserve(completed_.size());
+  for (auto& [id, result] : completed_) {
+    results.push_back(std::move(result));  // map iteration = ticket order
+  }
+  completed_.clear();
+  return results;
+}
+
+BatchResult StoreClient::wait_any() {
+  std::unique_lock lock(mutex_);
+  TRAPERC_CHECK_MSG(executing_ > 0 || !completed_.empty(),
+                    "wait_any with no operation outstanding");
+  cv_.wait(lock, [this] { return !completed_.empty(); });
+  auto first = completed_.begin();
+  BatchResult result = std::move(first->second);
+  completed_.erase(first);
+  return result;
+}
+
+std::size_t StoreClient::pending_ops() const {
+  std::lock_guard lock(mutex_);
+  return executing_ + completed_.size();
+}
+
+}  // namespace traperc::core

@@ -1,0 +1,143 @@
+// StoreClient — the unified client API over the whole-object facades.
+//
+// Both ObjectStore (one deployment) and ShardedObjectStore (N deployments
+// behind one facade) implement this interface, so planners, examples, and
+// load generators are written once against StoreClient& and work over
+// either backend. Every operation reports through the Status / Result<T>
+// error taxonomy (result.hpp); there are no bool/optional returns.
+//
+// On top of the synchronous virtuals the base class provides an async
+// batched surface: submit_put/submit_get enqueue operations (bounded by an
+// in-flight window) and return OpTickets; wait_all/wait_any drain them.
+// With a thread pool attached (ShardedObjectStore, options.threads > 0) the
+// in-flight window executes on pool workers, so N-object workloads overlap
+// across shards instead of serializing per call — the ticket is issued
+// before the op runs. Without a pool (ObjectStore, or threads == 0) each
+// submit runs its operation inline before returning: the deterministic
+// fallback, byte-identical results in submission order.
+//
+// Nested-parallelism note: a batched op executing on a pool worker runs its
+// own per-stripe TaskGroup pipeline inline (TaskGroup degrades when already
+// on a worker thread), so batching parallelizes *across* objects while each
+// object's stripes stay serial on that worker — deadlock-free by
+// construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/protocol/result.hpp"
+
+namespace traperc::core {
+
+/// Handle for one submitted async operation. Ids are unique per client and
+/// increase in submission order.
+struct OpTicket {
+  std::uint64_t id = 0;
+
+  [[nodiscard]] friend bool operator==(OpTicket a, OpTicket b) noexcept {
+    return a.id == b.id;
+  }
+};
+
+/// Completion record for one async operation.
+struct BatchResult {
+  enum class Op : std::uint8_t { kPut, kGet };
+
+  OpTicket ticket{};
+  Op op = Op::kPut;
+  Status status;  ///< taxonomy outcome of the underlying put/get
+  /// Put: the allocated object id (0 on failure). Get: the requested id.
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> bytes;  ///< get payload; empty for puts/failures
+};
+
+class StoreClient {
+ public:
+  using ObjectId = std::uint64_t;
+
+  virtual ~StoreClient();
+
+  StoreClient(const StoreClient&) = delete;
+  StoreClient& operator=(const StoreClient&) = delete;
+
+  // -- synchronous object API --------------------------------------------
+  /// Writes `object` into freshly allocated stripes; the id on success.
+  /// kInvalidArgument for an empty object; write failures carry the failing
+  /// stripe/block and node set.
+  virtual Result<ObjectId> put(std::span<const std::uint8_t> object) = 0;
+
+  /// Reads an object back. kUnknownObject for ids not in the catalog;
+  /// kQuorumUnavailable / kDecodeFailed when a stripe cannot be served.
+  [[nodiscard]] virtual Result<std::vector<std::uint8_t>> get(ObjectId id) = 0;
+
+  /// Rewrites an existing object in place with same-or-smaller size.
+  /// kUnknownObject / kInvalidArgument / write failures as above.
+  virtual Status overwrite(ObjectId id,
+                           std::span<const std::uint8_t> object) = 0;
+
+  /// Drops the catalog entry (storage is not reclaimed; the paper's model
+  /// has no delete). kUnknownObject when the id is not in the catalog.
+  virtual Status forget(ObjectId id) = 0;
+
+  /// Bytes one stripe can hold: k · chunk_len.
+  [[nodiscard]] virtual std::size_t stripe_capacity() const = 0;
+  [[nodiscard]] virtual std::size_t object_count() const = 0;
+
+  // -- async batched surface ---------------------------------------------
+  // One logical batching client per StoreClient: submissions from multiple
+  // threads are safe, but wait_all drains *every* outstanding ticket.
+
+  /// Enqueues a put of `object` (owned by the batch). Blocks while the
+  /// in-flight window is full.
+  OpTicket submit_put(std::vector<std::uint8_t> object);
+
+  /// Enqueues a get of `id`. Blocks while the in-flight window is full.
+  OpTicket submit_get(ObjectId id);
+
+  /// Blocks until every submitted operation completed; returns all results
+  /// in ticket (submission) order and clears the completion set.
+  std::vector<BatchResult> wait_all();
+
+  /// Blocks until at least one submitted operation completed; returns the
+  /// completed result with the lowest ticket id. Requires at least one
+  /// operation submitted and not yet returned.
+  BatchResult wait_any();
+
+  /// Operations submitted but not yet returned by wait_all/wait_any.
+  [[nodiscard]] std::size_t pending_ops() const;
+
+ protected:
+  StoreClient() = default;
+
+  /// Attaches the async engine's executor. `pool` may be null (inline
+  /// deterministic submits); `window` >= 1 bounds submitted-but-unfinished
+  /// operations. Call from the derived constructor; the derived destructor
+  /// must call drain_async() before tearing down its own state.
+  void configure_async(ThreadPool* pool, unsigned window);
+
+  /// Waits for every in-flight async operation to finish executing (their
+  /// results stay queued for wait_all/wait_any).
+  void drain_async();
+
+ private:
+  void run_op(BatchResult result, std::vector<std::uint8_t> object);
+  OpTicket submit_op(BatchResult seed, std::vector<std::uint8_t> object);
+
+  ThreadPool* pool_ = nullptr;  ///< not owned; null = inline submits
+  unsigned window_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 1;
+  std::size_t executing_ = 0;  ///< submitted, not yet completed
+  std::map<std::uint64_t, BatchResult> completed_;  ///< keyed by ticket id
+};
+
+}  // namespace traperc::core

@@ -35,6 +35,9 @@
 #include "core/protocol/lease.hpp"
 #include "core/protocol/object_store.hpp"
 #include "core/protocol/repair.hpp"
+#include "core/protocol/result.hpp"
+#include "core/protocol/sharded_store.hpp"
+#include "core/protocol/store_client.hpp"
 #include "core/quorum/grid_quorum.hpp"
 #include "core/quorum/intersection.hpp"
 #include "core/quorum/majority.hpp"

@@ -51,6 +51,13 @@ std::span<const Matrix::Element> Matrix::row(unsigned r) const noexcept {
   return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
 }
 
+std::span<const Matrix::Element> Matrix::row_block(unsigned first,
+                                                   unsigned count) const {
+  TRAPERC_CHECK_MSG(first + count <= rows_, "row block out of range");
+  return {data_.data() + static_cast<std::size_t>(first) * cols_,
+          static_cast<std::size_t>(count) * cols_};
+}
+
 Matrix Matrix::multiply(const Matrix& rhs) const {
   TRAPERC_CHECK_MSG(cols_ == rhs.rows_, "matrix dimension mismatch");
   const auto& field = GF256::instance();

@@ -44,6 +44,12 @@ class Matrix {
   /// Row view (contiguous).
   [[nodiscard]] std::span<const Element> row(unsigned r) const noexcept;
 
+  /// Contiguous row-major view of rows [first, first+count) — the explicit
+  /// multi-row accessor the fused encode kernels consume, replacing the
+  /// implicit "row(k).data() and trust adjacency" convention.
+  [[nodiscard]] std::span<const Element> row_block(unsigned first,
+                                                   unsigned count) const;
+
   [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
 
   /// Gauss-Jordan inverse; nullopt when singular. Requires square.

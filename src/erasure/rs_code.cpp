@@ -58,9 +58,9 @@ void RSCode::encode(std::span<const std::uint8_t* const> data,
   if (parity_count() == 0) return;
   // Fused kernel: one cache-blocked pass produces every parity block from
   // all k sources — no per-source read-modify-write over the destinations.
-  // Generator rows k..n−1 are a contiguous (n−k)×k row-major block.
-  gf::matrix_apply(GF256::instance(), gen_.row(k_).data(), parity_count(), k_,
-                   data.data(), parity.data(), chunk_len);
+  gf::matrix_apply(GF256::instance(),
+                   gen_.row_block(k_, parity_count()).data(), parity_count(),
+                   k_, data.data(), parity.data(), chunk_len);
 }
 
 void RSCode::apply_delta(unsigned parity_index, unsigned data_index,

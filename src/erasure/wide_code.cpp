@@ -211,7 +211,8 @@ void WideRSCode::encode(std::span<const std::uint8_t* const> data,
                     "need exactly n-k parity chunks");
   TRAPERC_CHECK_MSG(chunk_len % 2 == 0, "chunk length must be even (u16)");
   if (parity_count() == 0) return;
-  wide_matrix_apply(GF65536::instance(), gen_.row(k_).data(), parity_count(),
+  wide_matrix_apply(GF65536::instance(),
+                    gen_.row_block(k_, parity_count()).data(), parity_count(),
                     k_, data.data(), parity.data(), chunk_len);
 }
 

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "gf/gf65536.hpp"
 
 namespace traperc::erasure {
@@ -48,6 +49,15 @@ class WideMatrix {
   /// Row view (contiguous; consecutive rows are adjacent in memory).
   [[nodiscard]] std::span<const Element> row(unsigned r) const noexcept {
     return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+  }
+
+  /// Contiguous row-major view of rows [first, first+count) — the explicit
+  /// multi-row accessor encode consumes (see Matrix::row_block).
+  [[nodiscard]] std::span<const Element> row_block(unsigned first,
+                                                   unsigned count) const {
+    TRAPERC_CHECK_MSG(first + count <= rows_, "row block out of range");
+    return {data_.data() + static_cast<std::size_t>(first) * cols_,
+            static_cast<std::size_t>(count) * cols_};
   }
 
   [[nodiscard]] WideMatrix multiply(const WideMatrix& rhs) const;

@@ -39,7 +39,7 @@ TEST(CostModel, TrapWriteRpcsMatchSimulatorMessageCount) {
   SimCluster cluster(config);
   const auto before = cluster.network().stats().messages_sent;
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   const auto messages = cluster.network().stats().messages_sent - before;
   EXPECT_EQ(messages, 2 * cost.rpcs);
 }
@@ -50,9 +50,9 @@ TEST(CostModel, TrapDirectReadRpcsMatchSimulator) {
   const auto cost = analysis::trap_erc_read_direct_cost(config.shape);
   SimCluster cluster(config);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   const auto before = cluster.network().stats().messages_sent;
-  ASSERT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kSuccess);
+  ASSERT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kOk);
   const auto messages = cluster.network().stats().messages_sent - before;
   EXPECT_EQ(messages, 2 * cost.rpcs);
 }
@@ -63,12 +63,12 @@ TEST(CostModel, TrapDecodeReadRpcsMatchSimulator) {
   const auto cost = analysis::trap_erc_read_decode_cost(config.shape, 15, 8);
   SimCluster cluster(config);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(0);
   const auto before = cluster.network().stats().messages_sent;
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  ASSERT_TRUE(outcome.decoded);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  ASSERT_TRUE(outcome->decoded);
   const auto messages = cluster.network().stats().messages_sent - before;
   // Bookkeeping detail: the live gather polls all n nodes (including the
   // down N_0, whose two requests go unanswered), while the model counts
@@ -97,17 +97,17 @@ ProtocolConfig rr_config() {
 TEST(ReadRepair, DecodeObservingStaleParityTriggersReconcile) {
   SimCluster cluster(rr_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   // Leave parity 10..14 stale at v1 while 8,9 move to v2.
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kFail);  // partial write
+            ErrorCode::kQuorumUnavailable);  // partial write
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
   cluster.fail_node(0);  // force the decode path, which sees the stale set
 
   ASSERT_FALSE(cluster.repair().stripe_consistent(0));
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
   cluster.engine().run_until_idle();  // deliver the background repair event
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
 }
@@ -115,14 +115,14 @@ TEST(ReadRepair, DecodeObservingStaleParityTriggersReconcile) {
 TEST(ReadRepair, VersionDisagreementInCheckTriggersReconcile) {
   SimCluster cluster(rr_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   // Node 8 misses v2: level-0 responders will disagree (8 at v1, 0/9 at v2).
   cluster.fail_node(8);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.recover_node(8);
   ASSERT_FALSE(cluster.repair().stripe_consistent(0));
-  ASSERT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kSuccess);
+  ASSERT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kOk);
   cluster.engine().run_until_idle();
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
 }
@@ -130,8 +130,8 @@ TEST(ReadRepair, VersionDisagreementInCheckTriggersReconcile) {
 TEST(ReadRepair, CleanReadsDoNotRepair) {
   SimCluster cluster(rr_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
-  ASSERT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kSuccess);
+            ErrorCode::kOk);
+  ASSERT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kOk);
   // Nothing stale: the stripe was already consistent and stays so; the
   // test's purpose is to ensure no spurious repair event corrupts state.
   cluster.engine().run_until_idle();
@@ -143,12 +143,12 @@ TEST(ReadRepair, OffByDefault) {
   config.chunk_len = 32;
   SimCluster cluster(config);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(8);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.recover_node(8);
-  ASSERT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kSuccess);
+  ASSERT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kOk);
   cluster.engine().run_until_idle();
   EXPECT_FALSE(cluster.repair().stripe_consistent(0));  // stays stale
 }
@@ -167,13 +167,13 @@ TEST(Degenerate, KEqualsNHasSingleNodeTrapezoid) {
   config.validate();
   SimCluster cluster(config);
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 3, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 3, value), ErrorCode::kOk);
   auto outcome = cluster.read_block_sync(0, 3);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.value, value);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->value, value);
   cluster.fail_node(3);
   outcome = cluster.read_block_sync(0, 3);
-  EXPECT_EQ(outcome.status, OpStatus::kFail);  // nothing to decode from
+  EXPECT_EQ(outcome.code(), ErrorCode::kQuorumUnavailable);  // nothing to decode from
 }
 
 TEST(Degenerate, KEqualsOneUsesPaperFig1Trapezoid) {
@@ -184,12 +184,12 @@ TEST(Degenerate, KEqualsOneUsesPaperFig1Trapezoid) {
   EXPECT_EQ(config.shape, (topology::TrapezoidShape{2, 3, 2}));
   SimCluster cluster(config);
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   cluster.fail_node(0);
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_TRUE(outcome.decoded);  // decoded from a single parity chunk
-  EXPECT_EQ(outcome.value, value);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_TRUE(outcome->decoded);  // decoded from a single parity chunk
+  EXPECT_EQ(outcome->value, value);
 }
 
 TEST(Degenerate, FlatTrapezoidIsMajorityVoting) {
@@ -203,18 +203,18 @@ TEST(Degenerate, FlatTrapezoidIsMajorityVoting) {
   config.validate();
   SimCluster cluster(config);
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   // Majority = 2 of {N_0, N_8, N_9}: killing one node keeps both ops up.
   cluster.fail_node(8);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.recover_node(8);
   cluster.fail_node(0);
   cluster.fail_node(9);
   // Only one of three level-0 nodes left: both ops must fail.
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(3)),
-            OpStatus::kFail);
-  EXPECT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
+  EXPECT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kQuorumUnavailable);
 }
 
 TEST(Degenerate, TallThinTrapezoid) {
@@ -229,11 +229,11 @@ TEST(Degenerate, TallThinTrapezoid) {
   config.validate();
   SimCluster cluster(config);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(9);  // one of the three trapezoid nodes
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kFail);  // its level cannot reach w=1
-  EXPECT_EQ(cluster.read_block_sync(0, 0).status, OpStatus::kSuccess);
+            ErrorCode::kQuorumUnavailable);  // its level cannot reach w=1
+  EXPECT_EQ(cluster.read_block_sync(0, 0).code(), ErrorCode::kOk);
 }
 
 }  // namespace

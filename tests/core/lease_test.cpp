@@ -128,17 +128,17 @@ TEST(LeasedWrites, ConcurrentWritersBothSucceedWithDistinctVersions) {
   const auto b = cluster.make_pattern(2);
   OpStatus status_a = OpStatus::kFail;
   OpStatus status_b = OpStatus::kFail;
-  cluster.coordinator().write_block(0, 0, a,
-                                    [&](OpStatus s) { status_a = s; });
-  cluster.coordinator().write_block(0, 0, b,
-                                    [&](OpStatus s) { status_b = s; });
+  cluster.coordinator().write_block(
+      0, 0, a, [&](const WriteResult& r) { status_a = r.status; });
+  cluster.coordinator().write_block(
+      0, 0, b, [&](const WriteResult& r) { status_b = r.status; });
   cluster.engine().run_until_idle();
   EXPECT_EQ(status_a, OpStatus::kSuccess);
   EXPECT_EQ(status_b, OpStatus::kSuccess);
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 2u);
-  EXPECT_EQ(outcome.value, b);  // second writer's value, serialized after a
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 2u);
+  EXPECT_EQ(outcome->value, b);  // second writer's value, serialized after a
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
 }
 
@@ -149,28 +149,28 @@ TEST(LeasedWrites, ManyConcurrentWritersAllSucceed) {
   for (int i = 0; i < kWriters; ++i) {
     cluster.coordinator().write_block(
         0, 0, cluster.make_pattern(i),
-        [&successes](OpStatus s) {
-          successes += s == OpStatus::kSuccess ? 1 : 0;
+        [&successes](const WriteResult& r) {
+          successes += r.status == OpStatus::kSuccess ? 1 : 0;
         });
   }
   cluster.engine().run_until_idle();
   EXPECT_EQ(successes, kWriters);
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, static_cast<Version>(kWriters));
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, static_cast<Version>(kWriters));
 }
 
 TEST(LeasedWrites, LeaseReleasedOnWriteFailure) {
   SimCluster cluster(leased_config());
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
   EXPECT_FALSE(cluster.leases().held(0, 0));
   // A later writer is not blocked.
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
   (void)cluster.repair().reconcile_stripe(0);
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
 }
 
 TEST(LeasedWrites, DisabledByDefaultKeepsPaperBehaviour) {
@@ -178,8 +178,36 @@ TEST(LeasedWrites, DisabledByDefaultKeepsPaperBehaviour) {
   config.chunk_len = 32;
   SimCluster cluster(config);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   EXPECT_EQ(cluster.leases().stats().grants, 0u);
+}
+
+TEST(LeasedWrites, ExpiredLeaseLoserSurfacesLeaseConflict) {
+  // Lease duration far below a write's intrinsic simulated duration: every
+  // leased write loses its lease mid-flight. Two concurrent writers then
+  // race exactly as without leases; the compare-and-add loser's FAIL maps
+  // to kLeaseConflict (its lease protection demonstrably lapsed), not
+  // kQuorumUnavailable.
+  auto config = leased_config();
+  config.lease_duration_ns = 1'000;  // 1 µs << one RPC round-trip
+  SimCluster cluster(config);
+  WriteResult result_a;
+  WriteResult result_b;
+  cluster.coordinator().write_block(
+      0, 0, cluster.make_pattern(1),
+      [&](const WriteResult& r) { result_a = r; });
+  cluster.coordinator().write_block(
+      0, 0, cluster.make_pattern(2),
+      [&](const WriteResult& r) { result_b = r; });
+  cluster.engine().run_until_idle();
+  const auto& loser =
+      result_a.status == OpStatus::kSuccess ? result_b : result_a;
+  ASSERT_EQ(loser.status, OpStatus::kFail);
+  EXPECT_TRUE(loser.lease_lost);
+  const Status mapped = SimCluster::write_status(loser, 0, 0);
+  EXPECT_EQ(mapped, ErrorCode::kLeaseConflict);
+  EXPECT_EQ(mapped.stripe(), 0u);
+  EXPECT_EQ(mapped.block(), 0u);
 }
 
 }  // namespace

@@ -31,9 +31,9 @@ TEST(ObjectStore, PutGetRoundTripSmallObject) {
   ObjectStore store(cluster);
   const auto object = random_bytes(100, 1);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(id.code(), ErrorCode::kOk);
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back.code(), ErrorCode::kOk);
   EXPECT_EQ(*back, object);
 }
 
@@ -42,13 +42,13 @@ TEST(ObjectStore, PutGetRoundTripMultiStripeObject) {
   ObjectStore store(cluster);
   const auto object = random_bytes(512 * 3 + 37, 2);  // 4 stripes
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   const auto extent = store.extent(*id);
-  ASSERT_TRUE(extent.has_value());
+  ASSERT_TRUE(extent.ok());
   EXPECT_EQ(extent->stripe_count, 4u);
   EXPECT_EQ(extent->size, object.size());
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, object);
 }
 
@@ -59,7 +59,7 @@ TEST(ObjectStore, ObjectsOccupyDisjointStripes) {
   const auto b = random_bytes(600, 4);
   const auto id_a = store.put(a);
   const auto id_b = store.put(b);
-  ASSERT_TRUE(id_a && id_b);
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
   const auto ea = store.extent(*id_a);
   const auto eb = store.extent(*id_b);
   EXPECT_GE(eb->first_stripe, ea->first_stripe + ea->stripe_count);
@@ -71,18 +71,28 @@ TEST(ObjectStore, OverwriteInPlace) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
   const auto id = store.put(random_bytes(400, 5));
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   const auto replacement = random_bytes(300, 6);
-  ASSERT_TRUE(store.overwrite(*id, replacement));
+  ASSERT_TRUE(store.overwrite(*id, replacement).ok());
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, replacement);
 }
 
 TEST(ObjectStore, OverwriteUnknownIdFails) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
-  EXPECT_FALSE(store.overwrite(99, random_bytes(10, 7)));
+  EXPECT_EQ(store.overwrite(99, random_bytes(10, 7)),
+            ErrorCode::kUnknownObject);
+}
+
+TEST(ObjectStore, OverwriteBeyondExtentIsInvalidArgument) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto id = store.put(random_bytes(100, 7));  // one stripe
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store.overwrite(*id, random_bytes(513, 8)),
+            ErrorCode::kInvalidArgument);
 }
 
 TEST(ObjectStore, GetSurvivesDataNodeFailure) {
@@ -90,46 +100,69 @@ TEST(ObjectStore, GetSurvivesDataNodeFailure) {
   ObjectStore store(cluster);
   const auto object = random_bytes(512, 8);  // covers all 8 data blocks
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   cluster.fail_node(3);  // block 3's chunk must be decoded
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, object);
   EXPECT_GT(cluster.coordinator().stats().reads_decoded, 0u);
 }
 
-TEST(ObjectStore, PutFailsClealyUnderQuorumLoss) {
+TEST(ObjectStore, PutFailsCleanlyUnderQuorumLoss) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   const auto id = store.put(random_bytes(100, 9));
-  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(id.code(), ErrorCode::kQuorumUnavailable);
   EXPECT_EQ(store.object_count(), 0u);
+  // The failure pinpoints the stripe/block and implicates the dark level.
+  EXPECT_TRUE(id.status().has_stripe());
+  EXPECT_FALSE(id.status().nodes().empty());
+}
+
+TEST(ObjectStore, FailedPutBurnsExtentAndLaterPutsAvoidIt) {
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
+  ASSERT_FALSE(store.put(random_bytes(512 * 2, 10)).ok());
+  ASSERT_EQ(store.failed_extents().size(), 1u);
+  const auto burned = store.failed_extents().front();
+  EXPECT_EQ(burned.stripe_count, 2u);
+
+  for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
+  const auto id = store.put(random_bytes(512, 11));
+  ASSERT_TRUE(id.ok());
+  const auto extent = store.extent(*id);
+  ASSERT_TRUE(extent.ok());
+  // The fresh extent starts past the burned range — no aliasing.
+  EXPECT_GE(extent->first_stripe,
+            burned.first_stripe + burned.stripe_count);
 }
 
 TEST(ObjectStore, ForgetDropsCatalogEntry) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
   const auto id = store.put(random_bytes(10, 10));
-  ASSERT_TRUE(id.has_value());
-  EXPECT_TRUE(store.forget(*id));
-  EXPECT_FALSE(store.forget(*id));
-  EXPECT_FALSE(store.get(*id).has_value());
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.forget(*id).ok());
+  EXPECT_EQ(store.forget(*id), ErrorCode::kUnknownObject);
+  EXPECT_EQ(store.get(*id).code(), ErrorCode::kUnknownObject);
 }
 
 TEST(ObjectStore, GetFailsWhenTooManyNodesDown) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
   const auto id = store.put(random_bytes(64, 11));
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   for (NodeId node = 0; node < 8; ++node) cluster.fail_node(node);
-  EXPECT_FALSE(store.get(*id).has_value());
+  // The level checks still pass via parity, but only 7 < k chunks survive.
+  EXPECT_EQ(store.get(*id).code(), ErrorCode::kDecodeFailed);
 }
 
-TEST(ObjectStoreDeath, EmptyObjectRejected) {
+TEST(ObjectStore, EmptyObjectIsInvalidArgument) {
   SimCluster cluster(store_config());
   ObjectStore store(cluster);
-  EXPECT_DEATH((void)store.put({}), "empty");
+  EXPECT_EQ(store.put({}).code(), ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(Consistency, CommittedValueReadableUnderEveryReadQuorumPattern) {
   // "readable" must yield exactly the committed value.
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
 
   const auto& deployment = cluster.coordinator().deployment(0);
   Rng rng(99);
@@ -39,12 +39,12 @@ TEST(Consistency, CommittedValueReadableUnderEveryReadQuorumPattern) {
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
     if (analysis::read_possible_erc_algorithmic(deployment, up)) {
-      ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "trial " << trial;
-      ASSERT_EQ(outcome.version, 1u);
-      ASSERT_EQ(outcome.value, value) << "trial " << trial;
+      ASSERT_EQ(outcome.code(), ErrorCode::kOk) << "trial " << trial;
+      ASSERT_EQ(outcome->version, 1u);
+      ASSERT_EQ(outcome->value, value) << "trial " << trial;
       ++readable_patterns;
     } else {
-      ASSERT_NE(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+      ASSERT_NE(outcome.code(), ErrorCode::kOk) << "trial " << trial;
     }
   }
   EXPECT_GT(readable_patterns, 50);  // the sweep exercised both branches
@@ -69,15 +69,15 @@ TEST(Consistency, LiveProtocolMatchesPredicateForWrites) {
     // predicate implies (r_l <= s_l thresholds overlap w_l ones).
     if (analysis::write_possible(deployment, up) &&
         analysis::read_possible_erc_algorithmic(deployment, up)) {
-      ASSERT_EQ(status, OpStatus::kSuccess) << "trial " << trial;
+      ASSERT_EQ(status, ErrorCode::kOk) << "trial " << trial;
       ++successes;
     }
-    if (status == OpStatus::kSuccess) {
+    if (status == ErrorCode::kOk) {
       // Whatever succeeded must be readable once everything is back up.
       cluster.set_node_states(std::vector<std::uint8_t>(15, true));
       const auto outcome = cluster.read_block_sync(1000 + trial, 0);
-      ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-      ASSERT_EQ(outcome.value, cluster.make_pattern(trial));
+      ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+      ASSERT_EQ(outcome->value, cluster.make_pattern(trial));
     }
   }
   EXPECT_GT(successes, 20);
@@ -86,24 +86,24 @@ TEST(Consistency, LiveProtocolMatchesPredicateForWrites) {
 TEST(Consistency, FailedWriteNeverDestroysCommittedValue) {
   SimCluster cluster(small_config());
   const auto committed = cluster.make_pattern(7);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, committed), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, committed), ErrorCode::kOk);
 
   // Make the next write fail at level 1 (level 0 fully applied).
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
 
   // The failed write is partially applied (dirty). Reconciliation rolls the
   // stripe to a consistent state that still decodes every block.
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
-  ASSERT_TRUE(cluster.repair().reconcile_stripe(0));
+  ASSERT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
   // Paper-faithful behaviour: no rollback, so the partially written value
   // may win (it reached a level-0 majority). What is *guaranteed* is that
   // the read returns one of the two values intact — never torn bytes.
-  const bool is_committed = outcome.value == committed;
-  const bool is_partial = outcome.value == cluster.make_pattern(8);
+  const bool is_committed = outcome->value == committed;
+  const bool is_partial = outcome->value == cluster.make_pattern(8);
   EXPECT_TRUE(is_committed || is_partial);
 }
 
@@ -112,32 +112,32 @@ TEST(Consistency, DirtyReadAfterPartialWriteIsVisible) {
   // the level-0 majority (including N_i) is immediately visible to readers.
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   const auto dirty = cluster.make_pattern(2);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, dirty), OpStatus::kFail);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, dirty), ErrorCode::kQuorumUnavailable);
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
 
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 2u);  // the failed write's version surfaces
-  EXPECT_EQ(outcome.value, dirty);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 2u);  // the failed write's version surfaces
+  EXPECT_EQ(outcome->value, dirty);
 }
 
 TEST(Consistency, DecodePathBitIdenticalToDirectPath) {
   SimCluster cluster(small_config());
   for (unsigned i = 0; i < 8; ++i) {
     ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(50 + i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   for (unsigned i = 0; i < 8; ++i) {
     const auto direct = cluster.read_block_sync(0, i);
-    ASSERT_EQ(direct.status, OpStatus::kSuccess);
+    ASSERT_EQ(direct.code(), ErrorCode::kOk);
     cluster.fail_node(i);
     const auto decoded = cluster.read_block_sync(0, i);
-    ASSERT_EQ(decoded.status, OpStatus::kSuccess);
-    EXPECT_EQ(decoded.value, direct.value) << "block " << i;
-    EXPECT_EQ(decoded.version, direct.version);
+    ASSERT_EQ(decoded.code(), ErrorCode::kOk);
+    EXPECT_EQ(decoded->value, direct->value) << "block " << i;
+    EXPECT_EQ(decoded->version, direct->version);
     cluster.recover_node(i);
   }
 }
@@ -150,16 +150,16 @@ TEST(Consistency, InterleavedWritesToDifferentBlocksStayIsolated) {
   for (int op = 0; op < 60; ++op) {
     const unsigned block = static_cast<unsigned>(rng.next_below(8));
     const auto value = cluster.make_pattern(777 + op);
-    ASSERT_EQ(cluster.write_block_sync(0, block, value), OpStatus::kSuccess);
+    ASSERT_EQ(cluster.write_block_sync(0, block, value), ErrorCode::kOk);
     latest[block] = value;
     ++latest_version[block];
   }
   for (unsigned block = 0; block < 8; ++block) {
     if (latest[block].empty()) continue;
     const auto outcome = cluster.read_block_sync(0, block);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-    EXPECT_EQ(outcome.version, latest_version[block]);
-    EXPECT_EQ(outcome.value, latest[block]);
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+    EXPECT_EQ(outcome->version, latest_version[block]);
+    EXPECT_EQ(outcome->value, latest[block]);
   }
 }
 
@@ -167,7 +167,7 @@ TEST(Consistency, StripeConsistencyHoldsAfterCommittedWrites) {
   SimCluster cluster(small_config());
   for (unsigned i = 0; i < 8; ++i) {
     ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
 }
@@ -175,7 +175,7 @@ TEST(Consistency, StripeConsistencyHoldsAfterCommittedWrites) {
 TEST(Consistency, FrModeCommittedValueReadableUnderReadQuorums) {
   SimCluster cluster(small_config(Mode::kFr));
   const auto value = cluster.make_pattern(3);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   const auto& deployment = cluster.coordinator().deployment(0);
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {
@@ -184,10 +184,10 @@ TEST(Consistency, FrModeCommittedValueReadableUnderReadQuorums) {
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
     if (analysis::read_possible_fr(deployment, up)) {
-      ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "trial " << trial;
-      ASSERT_EQ(outcome.value, value);
+      ASSERT_EQ(outcome.code(), ErrorCode::kOk) << "trial " << trial;
+      ASSERT_EQ(outcome->value, value);
     } else {
-      ASSERT_NE(outcome.status, OpStatus::kSuccess) << "trial " << trial;
+      ASSERT_NE(outcome.code(), ErrorCode::kOk) << "trial " << trial;
     }
   }
 }

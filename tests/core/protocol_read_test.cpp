@@ -18,41 +18,41 @@ ProtocolConfig small_config(Mode mode = Mode::kErc, unsigned w = 1) {
 TEST(ReadPath, VirginBlockReadsZerosAtVersionZero) {
   SimCluster cluster(small_config());
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 0u);
-  EXPECT_EQ(outcome.value, std::vector<std::uint8_t>(64, 0));
-  EXPECT_FALSE(outcome.decoded);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 0u);
+  EXPECT_EQ(outcome->value, std::vector<std::uint8_t>(64, 0));
+  EXPECT_FALSE(outcome->decoded);
 }
 
 TEST(ReadPath, ReadAfterWriteReturnsValueDirectly) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 1u);
-  EXPECT_EQ(outcome.value, value);
-  EXPECT_FALSE(outcome.decoded);  // Alg. 2 Case 1
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 1u);
+  EXPECT_EQ(outcome->value, value);
+  EXPECT_FALSE(outcome->decoded);  // Alg. 2 Case 1
   EXPECT_EQ(cluster.coordinator().stats().reads_direct, 1u);
 }
 
 TEST(ReadPath, DataNodeDownTriggersDecode) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(2);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   cluster.fail_node(0);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 1u);
-  EXPECT_EQ(outcome.value, value);  // decoded bytes identical (Case 2)
-  EXPECT_TRUE(outcome.decoded);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 1u);
+  EXPECT_EQ(outcome->value, value);  // decoded bytes identical (Case 2)
+  EXPECT_TRUE(outcome->decoded);
   EXPECT_EQ(cluster.coordinator().stats().reads_decoded, 1u);
 }
 
 TEST(ReadPath, DecodeWorksFromExactlyKSurvivors) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(3);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   // Kill N_0 and all but k−1=7 data + 1 parity... keep the version check
   // alive: level 1 fully up (r_1 = 5) plus survivors 1..7 and 10..14 is
   // 12 >= k = 8.
@@ -60,22 +60,22 @@ TEST(ReadPath, DecodeWorksFromExactlyKSurvivors) {
   cluster.fail_node(8);
   cluster.fail_node(9);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.value, value);
-  EXPECT_TRUE(outcome.decoded);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->value, value);
+  EXPECT_TRUE(outcome->decoded);
 }
 
 TEST(ReadPath, FailsWhenNoLevelReachesReadThreshold) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(4)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   // Level 0: {0,8,9} -> kill 8,9 and N_0, level 1 loses one node (4 < 5).
   cluster.fail_node(0);
   cluster.fail_node(8);
   cluster.fail_node(9);
   cluster.fail_node(14);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kFail);
+  EXPECT_EQ(outcome.code(), ErrorCode::kQuorumUnavailable);
   EXPECT_EQ(cluster.coordinator().stats().reads_failed, 1u);
 }
 
@@ -83,12 +83,12 @@ TEST(ReadPath, VersionCheckPassesButTooFewSurvivorsToDecode) {
   // The divergence the exact oracle quantifies: check OK, decode impossible.
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(5)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(0);
   for (NodeId id = 1; id < 8; ++id) cluster.fail_node(id);  // all data down
   // Live: parity 8..14 = 7 nodes < k = 8; level 1 still passes the check.
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kDecodeError);
+  EXPECT_EQ(outcome.code(), ErrorCode::kDecodeFailed);
 }
 
 TEST(ReadPath, DecodeUsesConsistentSnapshotAcrossBlocks) {
@@ -99,34 +99,34 @@ TEST(ReadPath, DecodeUsesConsistentSnapshotAcrossBlocks) {
   for (unsigned i = 0; i < 8; ++i) {
     values.push_back(cluster.make_pattern(100 + i));
     ASSERT_EQ(cluster.write_block_sync(0, i, values.back()),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   // Rewrite block 3 twice so versions are heterogeneous across blocks.
   values[3] = cluster.make_pattern(200);
-  ASSERT_EQ(cluster.write_block_sync(0, 3, values[3]), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 3, values[3]), ErrorCode::kOk);
   cluster.fail_node(3);
   const auto outcome = cluster.read_block_sync(0, 3);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 2u);
-  EXPECT_EQ(outcome.value, values[3]);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 2u);
+  EXPECT_EQ(outcome->value, values[3]);
 }
 
 TEST(ReadPath, ReadsOtherBlocksUnaffectedByOneTrapezoidOutage) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(6);
-  ASSERT_EQ(cluster.write_block_sync(0, 5, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 5, value), ErrorCode::kOk);
   cluster.fail_node(0);  // block 0's data node
   const auto outcome = cluster.read_block_sync(0, 5);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.value, value);
-  EXPECT_FALSE(outcome.decoded);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->value, value);
+  EXPECT_FALSE(outcome->decoded);
 }
 
 TEST(ReadPath, HigherWLowersReadThreshold) {
   // w=4 => r_1 = 2: the level-1 check survives three dead parity nodes.
   SimCluster cluster(small_config(Mode::kErc, /*w=*/4));
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(7)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(8);
   cluster.fail_node(9);
   cluster.fail_node(10);
@@ -134,30 +134,30 @@ TEST(ReadPath, HigherWLowersReadThreshold) {
   cluster.fail_node(12);
   // Level 0: only N_0 (1 < r_0 = 2). Level 1: {13,14} = 2 >= r_1 = 2.
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_FALSE(outcome.decoded);  // N_0 holds the freshest version
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_FALSE(outcome->decoded);  // N_0 holds the freshest version
 }
 
 TEST(ReadPath, FrModeReadsFromAnyFreshReplica) {
   SimCluster cluster(small_config(Mode::kFr));
   const auto value = cluster.make_pattern(8);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   cluster.fail_node(0);  // the "original" — any replica serves in FR
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.value, value);
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->value, value);
 }
 
 TEST(ReadPath, FrModeFailsWithoutAnyLevelQuorum) {
   SimCluster cluster(small_config(Mode::kFr));
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(9)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(0);
   cluster.fail_node(8);
   cluster.fail_node(9);
   cluster.fail_node(10);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kFail);
+  EXPECT_EQ(outcome.code(), ErrorCode::kQuorumUnavailable);
 }
 
 TEST(ReadPath, StaleReplicaNeverServedInFrMode) {
@@ -166,15 +166,15 @@ TEST(ReadPath, StaleReplicaNeverServedInFrMode) {
   SimCluster cluster(small_config(Mode::kFr));
   const auto v1 = cluster.make_pattern(10);
   const auto v2 = cluster.make_pattern(11);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, v1), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, v1), ErrorCode::kOk);
   cluster.fail_node(8);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), ErrorCode::kOk);
   cluster.recover_node(8);
   for (int attempt = 0; attempt < 5; ++attempt) {
     const auto outcome = cluster.read_block_sync(0, 0);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-    ASSERT_EQ(outcome.version, 2u);
-    ASSERT_EQ(outcome.value, v2);
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+    ASSERT_EQ(outcome->version, 2u);
+    ASSERT_EQ(outcome->value, v2);
   }
 }
 
@@ -184,16 +184,16 @@ TEST(ReadPath, StaleParityExcludedFromDecode) {
   SimCluster cluster(small_config());
   const auto v2 = cluster.make_pattern(13);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(12)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(8);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), ErrorCode::kOk);
   cluster.recover_node(8);
   cluster.fail_node(0);
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.version, 2u);
-  EXPECT_EQ(outcome.value, v2);
-  EXPECT_TRUE(outcome.decoded);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->version, 2u);
+  EXPECT_EQ(outcome->value, v2);
+  EXPECT_TRUE(outcome->decoded);
 }
 
 TEST(ReadPath, ManyStripesIndependent) {
@@ -201,19 +201,19 @@ TEST(ReadPath, ManyStripesIndependent) {
   for (BlockId stripe = 0; stripe < 10; ++stripe) {
     ASSERT_EQ(cluster.write_block_sync(stripe, 0,
                                        cluster.make_pattern(1000 + stripe)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   for (BlockId stripe = 0; stripe < 10; ++stripe) {
     const auto outcome = cluster.read_block_sync(stripe, 0);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-    EXPECT_EQ(outcome.value, cluster.make_pattern(1000 + stripe));
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+    EXPECT_EQ(outcome->value, cluster.make_pattern(1000 + stripe));
   }
 }
 
 TEST(ReadPath, StatsDistinguishDirectAndDecoded) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(14)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   (void)cluster.read_block_sync(0, 0);  // direct
   cluster.fail_node(0);
   (void)cluster.read_block_sync(0, 0);  // decoded

@@ -19,14 +19,14 @@ ProtocolConfig small_config(Mode mode = Mode::kErc, unsigned w = 1) {
 TEST(WritePath, AllNodesUpSucceeds) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(1);
-  EXPECT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   EXPECT_EQ(cluster.coordinator().stats().writes_succeeded, 1u);
 }
 
 TEST(WritePath, WriteStoresValueAtDataNode) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(2);
-  ASSERT_EQ(cluster.write_block_sync(0, 3, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 3, value), ErrorCode::kOk);
   const auto reply = cluster.node(3).replica_read(0, 3);
   EXPECT_EQ(reply.version, 1u);
   EXPECT_EQ(reply.payload, value);
@@ -35,7 +35,7 @@ TEST(WritePath, WriteStoresValueAtDataNode) {
 TEST(WritePath, WriteUpdatesAllParityContributorVersions) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 2, cluster.make_pattern(3)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   for (NodeId parity = 8; parity < 15; ++parity) {
     EXPECT_EQ(cluster.node(parity).parity_versions(0)[2], 1u)
         << "parity node " << parity;
@@ -45,7 +45,7 @@ TEST(WritePath, WriteUpdatesAllParityContributorVersions) {
 TEST(WritePath, ParityContentMatchesCode) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(4);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   // With only block 0 written, parity_j = α_{j,0} · value.
   const auto* code = cluster.code();
   const auto& field = gf::GF256::instance();
@@ -63,7 +63,7 @@ TEST(WritePath, SequentialWritesBumpVersions) {
   SimCluster cluster(small_config());
   for (Version v = 1; v <= 5; ++v) {
     ASSERT_EQ(cluster.write_block_sync(0, 1, cluster.make_pattern(v)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
     EXPECT_EQ(cluster.node(1).replica_version(0, 1), v);
   }
 }
@@ -75,7 +75,7 @@ TEST(WritePath, SucceedsWithExactQuorum) {
   for (NodeId id : {9u, 11u, 12u, 13u, 14u}) cluster.fail_node(id);
   // Live: 0..7 (data), 8 (level 0), 10 (level 1).
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(5)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
 }
 
 TEST(WritePath, FailsWithoutLevel0Majority) {
@@ -85,7 +85,7 @@ TEST(WritePath, FailsWithoutLevel0Majority) {
   // N_0 alone is 1 < w_0 = 2... but the read prefix may still pass via
   // level 1. The write must fail at level 0.
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(6)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
   EXPECT_EQ(cluster.coordinator().stats().writes_failed, 1u);
 }
 
@@ -93,7 +93,7 @@ TEST(WritePath, FailsWhenUpperLevelDark) {
   SimCluster cluster(small_config());
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(7)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
 }
 
 TEST(WritePath, HigherWNeedsMoreLevel1Nodes) {
@@ -103,17 +103,17 @@ TEST(WritePath, HigherWNeedsMoreLevel1Nodes) {
   cluster.fail_node(13);
   cluster.fail_node(14);  // level 1 down to 2 live < w=3
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
   // Node 12 comes back, but it (and the partially-applied failed write)
   // leaves the stripe mixed: 12 is stale, so its compare-and-add cannot
   // ack and a retry still fails — the paper's algorithm has no catch-up.
   cluster.recover_node(12);
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
   // After the repair daemon reconciles the stripe, 3 live == w suffices.
-  ASSERT_TRUE(cluster.repair().reconcile_stripe(0));
+  ASSERT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
 }
 
 TEST(WritePath, DataNodeDownStillWritable) {
@@ -122,7 +122,7 @@ TEST(WritePath, DataNodeDownStillWritable) {
   SimCluster cluster(small_config());
   cluster.fail_node(0);
   EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(9)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   // N_0 never saw the write; parity carries version 1.
   EXPECT_EQ(cluster.node(0).replica_version(0, 0), 0u);
   EXPECT_EQ(cluster.node(8).parity_versions(0)[0], 1u);
@@ -134,10 +134,10 @@ TEST(WritePath, StaleParityNodeDoesNotAck) {
   SimCluster cluster(small_config());
   cluster.fail_node(8);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(10)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.recover_node(8);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(11)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   EXPECT_EQ(cluster.node(8).parity_versions(0)[0], 0u);  // still virgin
   EXPECT_EQ(cluster.node(9).parity_versions(0)[0], 2u);
 }
@@ -145,7 +145,7 @@ TEST(WritePath, StaleParityNodeDoesNotAck) {
 TEST(WritePath, FrModeReplicatesToAllTrapezoidNodes) {
   SimCluster cluster(small_config(Mode::kFr));
   const auto value = cluster.make_pattern(12);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   for (NodeId id : {0u, 8u, 9u, 10u, 11u, 12u, 13u, 14u}) {
     const auto reply = cluster.node(id).replica_read(0, 0);
     EXPECT_EQ(reply.version, 1u) << "node " << id;
@@ -156,7 +156,7 @@ TEST(WritePath, FrModeReplicatesToAllTrapezoidNodes) {
 TEST(WritePath, FrModeOtherBlocksUntouched) {
   SimCluster cluster(small_config(Mode::kFr));
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(13)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   EXPECT_EQ(cluster.node(8).replica_version(0, 1), 0u);
 }
 
@@ -168,7 +168,7 @@ TEST(WritePath, FrAndErcSameQuorumBehaviour) {
     cluster.fail_node(8);
     cluster.fail_node(9);
     EXPECT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(14)),
-              OpStatus::kFail)
+              ErrorCode::kQuorumUnavailable)
         << to_string(mode);
   }
 }
@@ -178,16 +178,16 @@ TEST(WritePath, DistinctBlocksUseDistinctTrapezoids) {
   // Failing block 0's data node must not affect a write to block 5.
   cluster.fail_node(0);
   EXPECT_EQ(cluster.write_block_sync(0, 5, cluster.make_pattern(15)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
 }
 
 TEST(WritePath, StatsTrackOutcomes) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(16)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(17)),
-            OpStatus::kFail);
+            ErrorCode::kQuorumUnavailable);
   const auto& stats = cluster.coordinator().stats();
   EXPECT_EQ(stats.writes_started, 2u);
   EXPECT_EQ(stats.writes_succeeded, 1u);
@@ -199,7 +199,7 @@ TEST(WritePath, StatsTrackOutcomes) {
 TEST(WritePath, MessagesActuallyFlow) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(18)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   EXPECT_GT(cluster.network().stats().messages_sent, 8u);
 }
 

@@ -16,7 +16,7 @@ ProtocolConfig small_config(Mode mode = Mode::kErc) {
 TEST(Repair, RebuildsWipedDataNode) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 2, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 2, value), ErrorCode::kOk);
   cluster.node(2).wipe();
   const auto report = cluster.repair().rebuild_node(2, {0});
   EXPECT_EQ(report.chunks_rebuilt, 1u);
@@ -30,7 +30,7 @@ TEST(Repair, RebuildsWipedParityNode) {
   SimCluster cluster(small_config());
   for (unsigned i = 0; i < 8; ++i) {
     ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(10 + i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   const auto before = cluster.node(12).parity_read(0);
   cluster.node(12).wipe();
@@ -46,7 +46,7 @@ TEST(Repair, RebuildAcrossMultipleStripes) {
   for (BlockId stripe = 0; stripe < 5; ++stripe) {
     ASSERT_EQ(cluster.write_block_sync(stripe, 4,
                                        cluster.make_pattern(100 + stripe)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   cluster.node(4).wipe();
   const auto report = cluster.repair().rebuild_node(4, {0, 1, 2, 3, 4});
@@ -60,7 +60,7 @@ TEST(Repair, RebuildAcrossMultipleStripes) {
 TEST(Repair, ReportsUnrecoverableWhenTooFewSurvivors) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(2)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.node(0).wipe();
   // Kill everything except 5 nodes (< k = 8 survivors).
   for (NodeId id = 1; id <= 9; ++id) cluster.fail_node(id);
@@ -73,7 +73,7 @@ TEST(Repair, RebuildUsesDecodeWhenDataNodesMissing) {
   SimCluster cluster(small_config());
   for (unsigned i = 0; i < 8; ++i) {
     ASSERT_EQ(cluster.write_block_sync(0, i, cluster.make_pattern(20 + i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   // Wipe parity node 10 and take data nodes 1..3 offline: the rebuild must
   // decode those blocks from the remaining parity.
@@ -93,41 +93,41 @@ TEST(Repair, RebuildUsesDecodeWhenDataNodesMissing) {
 TEST(Repair, ReconcileRollsForwardPartialWrite) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(3)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   for (NodeId id = 10; id <= 14; ++id) cluster.fail_node(id);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(4)),
-            OpStatus::kFail);  // partial: level 0 applied, level 1 missed
+            ErrorCode::kQuorumUnavailable);  // partial: level 0 applied, level 1 missed
   for (NodeId id = 10; id <= 14; ++id) cluster.recover_node(id);
   EXPECT_FALSE(cluster.repair().stripe_consistent(0));
-  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
   // After reconcile, reads and writes behave normally again.
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(5)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   const auto outcome = cluster.read_block_sync(0, 0);
-  EXPECT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_EQ(outcome.value, cluster.make_pattern(5));
+  EXPECT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_EQ(outcome->value, cluster.make_pattern(5));
 }
 
 TEST(Repair, ReconcileIsIdempotent) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(6)),
-            OpStatus::kSuccess);
-  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
-  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+            ErrorCode::kOk);
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0).ok());
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   EXPECT_TRUE(cluster.repair().stripe_consistent(0));
 }
 
 TEST(Repair, ConsistentAfterStaleNodeRecovery) {
   SimCluster cluster(small_config());
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(7)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(11);
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(8)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.recover_node(11);  // node 11 is stale now
   EXPECT_FALSE(cluster.repair().stripe_consistent(0));
-  EXPECT_TRUE(cluster.repair().reconcile_stripe(0));
+  EXPECT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   EXPECT_EQ(cluster.node(11).parity_versions(0),
             cluster.node(12).parity_versions(0));
 }
@@ -135,7 +135,7 @@ TEST(Repair, ConsistentAfterStaleNodeRecovery) {
 TEST(Repair, FrModeRebuildCopiesFreshestReplica) {
   SimCluster cluster(small_config(Mode::kFr));
   const auto value = cluster.make_pattern(9);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   cluster.node(9).wipe();
   const auto report = cluster.repair().rebuild_node(9, {0});
   EXPECT_GE(report.chunks_rebuilt, 1u);
@@ -146,10 +146,10 @@ TEST(Repair, FrModeRebuildCopiesFreshestReplica) {
 TEST(Repair, FrModeStaleReplicaDetectedAndFixed) {
   SimCluster cluster(small_config(Mode::kFr));
   ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(10)),
-            OpStatus::kSuccess);
+            ErrorCode::kOk);
   cluster.fail_node(8);
   const auto v2 = cluster.make_pattern(11);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, v2), ErrorCode::kOk);
   cluster.recover_node(8);
   EXPECT_FALSE(cluster.repair().stripe_consistent(0));
   cluster.repair().rebuild_node(8, {0});

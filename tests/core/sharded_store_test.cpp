@@ -37,9 +37,9 @@ TEST(ShardedStore, RoundTripSingleStripeSerial) {
   ShardedObjectStore store(store_config(), pipelined(4, /*threads=*/0));
   const auto object = random_bytes(100, 1);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(id.code(), ErrorCode::kOk);
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back.code(), ErrorCode::kOk);
   EXPECT_EQ(*back, object);
 }
 
@@ -47,13 +47,13 @@ TEST(ShardedStore, RoundTripMultiStripeSpansShards) {
   ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/2));
   const auto object = random_bytes(512 * 7 + 13, 2);  // 8 stripes on 3 shards
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   const auto info = store.info(*id);
-  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->stripe_count, 8u);
   EXPECT_EQ(info->size, object.size());
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, object);
 }
 
@@ -66,13 +66,13 @@ TEST(ShardedStore, SerialFallbackMatchesPipelinedResult) {
   {
     ShardedObjectStore store(store_config(), pipelined(4, /*threads=*/0));
     const auto id = store.put(object);
-    ASSERT_TRUE(id.has_value());
+    ASSERT_TRUE(id.ok());
     serial_back = *store.get(*id);
   }
   {
     ShardedObjectStore store(store_config(), pipelined(4, /*threads=*/4, 2));
     const auto id = store.put(object);
-    ASSERT_TRUE(id.has_value());
+    ASSERT_TRUE(id.ok());
     pipelined_back = *store.get(*id);
   }
   EXPECT_EQ(serial_back, object);
@@ -85,19 +85,33 @@ TEST(ShardedStore, ObjectsOccupyDisjointStripesPerShard) {
   const auto b = random_bytes(512 * 4, 5);
   const auto id_a = store.put(a);
   const auto id_b = store.put(b);
-  ASSERT_TRUE(id_a && id_b);
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
   EXPECT_EQ(*store.get(*id_a), a);
   EXPECT_EQ(*store.get(*id_b), b);
   EXPECT_EQ(store.object_count(), 2u);
 }
 
+TEST(ShardedStore, OverwriteInPlaceAcrossShards) {
+  ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/2));
+  const auto id = store.put(random_bytes(512 * 5, 6));
+  ASSERT_TRUE(id.ok());
+  const auto replacement = random_bytes(512 * 3 + 7, 7);
+  ASSERT_TRUE(store.overwrite(*id, replacement).ok());
+  const auto back = store.get(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, replacement);
+  EXPECT_EQ(store.overwrite(999, replacement), ErrorCode::kUnknownObject);
+  EXPECT_EQ(store.overwrite(*id, random_bytes(512 * 6, 8)),
+            ErrorCode::kInvalidArgument);
+}
+
 TEST(ShardedStore, ForgetDropsFacadeAndShardEntries) {
   ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/0));
   const auto id = store.put(random_bytes(512 * 2, 6));
-  ASSERT_TRUE(id.has_value());
-  EXPECT_TRUE(store.forget(*id));
-  EXPECT_FALSE(store.forget(*id));
-  EXPECT_FALSE(store.get(*id).has_value());
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.forget(*id).ok());
+  EXPECT_EQ(store.forget(*id), ErrorCode::kUnknownObject);
+  EXPECT_EQ(store.get(*id).code(), ErrorCode::kUnknownObject);
   EXPECT_EQ(store.object_count(), 0u);
 }
 
@@ -105,7 +119,8 @@ TEST(ShardedStore, PutFailsCleanlyUnderQuorumLoss) {
   ShardedObjectStore store(store_config(), pipelined(2, /*threads=*/2));
   for (NodeId id = 10; id <= 14; ++id) store.fail_node(id);
   const auto id = store.put(random_bytes(512 * 4, 7));
-  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(id.code(), ErrorCode::kQuorumUnavailable);
+  EXPECT_GE(id.status().shard(), 0);  // failure names its shard
   EXPECT_EQ(store.object_count(), 0u);
 }
 
@@ -113,26 +128,45 @@ TEST(ShardedStore, GetSurvivesDataNodeFailureOnEveryShard) {
   ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/2));
   const auto object = random_bytes(512 * 6, 8);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   store.fail_node(3);  // block 3's chunk decodes on every shard
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, object);
+}
+
+TEST(ShardedStore, DownShardFailsFastWithShardDown) {
+  ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/0));
+  const auto object = random_bytes(512 * 6, 9);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.ok());
+  store.set_shard_down(1, true);
+  EXPECT_TRUE(store.shard_is_down(1));
+  const auto back = store.get(*id);
+  EXPECT_EQ(back.code(), ErrorCode::kShardDown);
+  EXPECT_EQ(back.status().shard(), 1);
+  EXPECT_EQ(store.put(object).code(), ErrorCode::kShardDown);
+  EXPECT_EQ(store.repair_node(0).code(), ErrorCode::kShardDown);
+  store.set_shard_down(1, false);
+  const auto again = store.get(*id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, object);
 }
 
 TEST(ShardedStore, RepairRebuildsWipedNodeAcrossShards) {
   ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/2, 2));
   const auto object = random_bytes(512 * 9, 9);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   store.wipe_node(0);
   const auto report = store.repair_node(0);
-  EXPECT_EQ(report.chunks_unrecoverable, 0u);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->chunks_unrecoverable, 0u);
   // 9 stripes spread over 3 shards: node 0 holds one data chunk per stripe.
-  EXPECT_EQ(report.chunks_rebuilt, 9u);
+  EXPECT_EQ(report->chunks_rebuilt, 9u);
   // With node 0 wiped-and-repaired, a read must not need decode.
   const auto back = store.get(*id);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, object);
 }
 
@@ -150,12 +184,12 @@ TEST(ShardedStore, ParallelPutsAndGetsAcrossClients) {
             512 * (1 + static_cast<std::size_t>((c + i) % 4)) + 17,
             static_cast<std::uint64_t>(100 + c * 100 + i));
         const auto id = store.put(object);
-        if (!id.has_value()) {
+        if (!id.ok()) {
           failures.fetch_add(1);
           continue;
         }
         const auto back = store.get(*id);
-        if (!back.has_value() || *back != object) failures.fetch_add(1);
+        if (!back.ok() || *back != object) failures.fetch_add(1);
       }
     });
   }
@@ -168,11 +202,11 @@ TEST(ShardedStore, ParallelPutsAndGetsAcrossClients) {
 TEST(ShardedStore, RepairRacesConcurrentReads) {
   ShardedObjectStore store(store_config(), pipelined(4, /*threads=*/4, 2));
   std::vector<std::vector<std::uint8_t>> objects;
-  std::vector<ShardedObjectStore::ObjectId> ids;
+  std::vector<StoreClient::ObjectId> ids;
   for (int i = 0; i < 6; ++i) {
     objects.push_back(random_bytes(512 * 5, static_cast<std::uint64_t>(i)));
     const auto id = store.put(objects.back());
-    ASSERT_TRUE(id.has_value());
+    ASSERT_TRUE(id.ok());
     ids.push_back(*id);
   }
   store.wipe_node(1);
@@ -183,7 +217,7 @@ TEST(ShardedStore, RepairRacesConcurrentReads) {
     for (int round = 0; round < 3; ++round) {
       for (std::size_t i = 0; i < ids.size(); ++i) {
         const auto back = store.get(ids[i]);
-        if (!back.has_value() || *back != objects[i]) {
+        if (!back.ok() || *back != objects[i]) {
           read_failures.fetch_add(1);
         }
       }
@@ -192,10 +226,11 @@ TEST(ShardedStore, RepairRacesConcurrentReads) {
   const auto report = store.repair_node(1);
   reader.join();
   EXPECT_EQ(read_failures.load(), 0);
-  EXPECT_EQ(report.chunks_unrecoverable, 0u);
-  EXPECT_GT(report.chunks_rebuilt, 0u);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->chunks_unrecoverable, 0u);
+  EXPECT_GT(report->chunks_rebuilt, 0u);
   const auto back = store.get(ids[0]);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, objects[0]);
 }
 
@@ -203,7 +238,7 @@ TEST(ShardedStore, PipelineDepthOneStillCorrect) {
   ShardedObjectStore store(store_config(), pipelined(2, /*threads=*/3, 1));
   const auto object = random_bytes(512 * 6 + 5, 11);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   EXPECT_EQ(*store.get(*id), object);
 }
 
@@ -211,13 +246,13 @@ TEST(ShardedStore, SingleShardDegradesToSerialSemantics) {
   ShardedObjectStore store(store_config(), pipelined(1, /*threads=*/2));
   const auto object = random_bytes(512 * 3 + 64, 12);
   const auto id = store.put(object);
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   EXPECT_EQ(*store.get(*id), object);
 }
 
-TEST(ShardedStoreDeath, EmptyObjectRejected) {
+TEST(ShardedStore, EmptyObjectIsInvalidArgument) {
   ShardedObjectStore store(store_config(), pipelined(2, /*threads=*/0));
-  EXPECT_DEATH((void)store.put({}), "empty");
+  EXPECT_EQ(store.put({}).code(), ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// StoreClient: the unified client surface over both object facades.
+//
+// Covers (a) polymorphic use — the same workload code driving ObjectStore
+// and ShardedObjectStore through StoreClient&; (b) the error taxonomy —
+// injected node failures, decode shortfalls, and unknown ids surface the
+// exact expected Status code at both facade levels, with stripe/block/node
+// context; (c) the async batched surface — submit_put/submit_get +
+// wait_all/wait_any ordering, the bounded window, and threads == 0
+// determinism (byte-identical to the serial path).
+#include "core/protocol/store_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/sharded_store.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig store_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  return config;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+/// Bundles a client with whatever owns its backing state, so the same test
+/// body runs against both implementations.
+struct ClientFixture {
+  std::unique_ptr<SimCluster> cluster;  // ObjectStore backend only
+  std::unique_ptr<StoreClient> client;
+  /// Fails logical node `id` in every deployment behind the client.
+  std::function<void(NodeId)> fail_node;
+};
+
+ClientFixture object_store_fixture() {
+  ClientFixture fixture;
+  fixture.cluster = std::make_unique<SimCluster>(store_config());
+  fixture.client = std::make_unique<ObjectStore>(*fixture.cluster);
+  fixture.fail_node = [cluster = fixture.cluster.get()](NodeId id) {
+    cluster->fail_node(id);
+  };
+  return fixture;
+}
+
+ClientFixture sharded_store_fixture(unsigned threads) {
+  ClientFixture fixture;
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = threads;
+  options.pipeline_depth = 2;
+  auto store = std::make_unique<ShardedObjectStore>(store_config(), options);
+  fixture.fail_node = [store = store.get()](NodeId id) {
+    store->fail_node(id);
+  };
+  fixture.client = std::move(store);
+  return fixture;
+}
+
+std::vector<ClientFixture> all_fixtures() {
+  std::vector<ClientFixture> fixtures;
+  fixtures.push_back(object_store_fixture());
+  fixtures.push_back(sharded_store_fixture(/*threads=*/0));
+  fixtures.push_back(sharded_store_fixture(/*threads=*/2));
+  return fixtures;
+}
+
+TEST(StoreClient, PolymorphicRoundTripOverBothFacades) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    const auto object = random_bytes(512 * 3 + 9, 1);
+    const auto id = client.put(object);
+    ASSERT_EQ(id.code(), ErrorCode::kOk);
+    const auto back = client.get(*id);
+    ASSERT_EQ(back.code(), ErrorCode::kOk);
+    EXPECT_EQ(*back, object);
+    const auto replacement = random_bytes(512 * 2, 2);
+    ASSERT_TRUE(client.overwrite(*id, replacement).ok());
+    EXPECT_EQ(*client.get(*id), replacement);
+    EXPECT_EQ(client.object_count(), 1u);
+    ASSERT_TRUE(client.forget(*id).ok());
+    EXPECT_EQ(client.object_count(), 0u);
+  }
+}
+
+TEST(StoreClient, UnknownIdSurfacesUnknownObjectEverywhere) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    EXPECT_EQ(client.get(12345).code(), ErrorCode::kUnknownObject);
+    EXPECT_EQ(client.overwrite(12345, random_bytes(8, 1)),
+              ErrorCode::kUnknownObject);
+    EXPECT_EQ(client.forget(12345), ErrorCode::kUnknownObject);
+  }
+}
+
+TEST(StoreClient, QuorumLossSurfacesQuorumUnavailableWithContext) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    // Level 1 of every block's trapezoid dark: no write quorum anywhere.
+    for (NodeId id = 10; id <= 14; ++id) fixture.fail_node(id);
+    const auto put = client.put(random_bytes(512 * 2, 3));
+    ASSERT_EQ(put.code(), ErrorCode::kQuorumUnavailable);
+    EXPECT_TRUE(put.status().has_stripe());
+    EXPECT_TRUE(put.status().has_block());
+    // The suspect set names (at least) the dark level-1 nodes.
+    std::set<NodeId> suspects(put.status().nodes().begin(),
+                              put.status().nodes().end());
+    for (NodeId id = 10; id <= 14; ++id) {
+      EXPECT_TRUE(suspects.count(id)) << "node " << id;
+    }
+  }
+}
+
+TEST(StoreClient, DecodeShortfallSurfacesDecodeFailed) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    const auto id = client.put(random_bytes(512, 4));
+    ASSERT_TRUE(id.ok());
+    // All 8 data nodes down: the version check passes through parity, but
+    // only 7 < k chunks survive for the decode.
+    for (NodeId node = 0; node < 8; ++node) fixture.fail_node(node);
+    const auto back = client.get(*id);
+    ASSERT_EQ(back.code(), ErrorCode::kDecodeFailed);
+    EXPECT_TRUE(back.status().has_stripe());
+    EXPECT_FALSE(back.status().nodes().empty());
+  }
+}
+
+// --- async batched surface ---------------------------------------------
+
+TEST(StoreClient, WaitAllReturnsResultsInSubmissionOrder) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    std::vector<std::vector<std::uint8_t>> objects;
+    std::vector<OpTicket> tickets;
+    for (int i = 0; i < 6; ++i) {
+      objects.push_back(random_bytes(512 * (1 + i % 3), 100 + i));
+      tickets.push_back(client.submit_put(objects.back()));
+    }
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].ticket, tickets[i]);  // submission order
+      EXPECT_EQ(results[i].op, BatchResult::Op::kPut);
+      ASSERT_TRUE(results[i].status.ok());
+      EXPECT_EQ(*client.get(results[i].id), objects[i]);
+    }
+    // Batched gets round-trip the same bytes.
+    for (const auto& result : results) (void)client.submit_get(result.id);
+    const auto reads = client.wait_all();
+    ASSERT_EQ(reads.size(), 6u);
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      EXPECT_EQ(reads[i].op, BatchResult::Op::kGet);
+      ASSERT_TRUE(reads[i].status.ok());
+      EXPECT_EQ(reads[i].bytes, objects[i]);
+    }
+  }
+}
+
+TEST(StoreClient, WaitAnyDrainsEveryTicketOnce) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    std::set<std::uint64_t> submitted;
+    for (int i = 0; i < 4; ++i) {
+      submitted.insert(client.submit_put(random_bytes(256, 200 + i)).id);
+    }
+    std::set<std::uint64_t> seen;
+    while (client.pending_ops() > 0) {
+      const auto result = client.wait_any();
+      EXPECT_TRUE(result.status.ok());
+      EXPECT_TRUE(seen.insert(result.ticket.id).second) << "duplicate";
+    }
+    EXPECT_EQ(seen, submitted);
+  }
+}
+
+TEST(StoreClient, AsyncFailuresCarryTheTaxonomy) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    (void)client.submit_get(777);  // unknown id
+    for (NodeId id = 10; id <= 14; ++id) fixture.fail_node(id);
+    (void)client.submit_put(random_bytes(512, 5));  // quorum loss
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, ErrorCode::kUnknownObject);
+    EXPECT_EQ(results[1].status, ErrorCode::kQuorumUnavailable);
+  }
+}
+
+TEST(StoreClient, InlineSubmitsAreDeterministicAndByteIdentical) {
+  // threads == 0: submits run inline in submission order, so two identical
+  // stores end in identical states, and the batched results equal the
+  // serial put/get results byte for byte.
+  ShardedStoreOptions serial_options;
+  serial_options.shards = 3;
+  serial_options.threads = 0;
+  ShardedObjectStore batched(store_config(), serial_options);
+  ShardedObjectStore serial(store_config(), serial_options);
+
+  std::vector<std::vector<std::uint8_t>> objects;
+  for (int i = 0; i < 5; ++i) {
+    objects.push_back(random_bytes(512 * (1 + i % 2) + 31, 300 + i));
+  }
+  for (const auto& object : objects) (void)batched.submit_put(object);
+  const auto batch_results = batched.wait_all();
+
+  std::vector<StoreClient::ObjectId> serial_ids;
+  for (const auto& object : objects) {
+    serial_ids.push_back(*serial.put(object));
+  }
+  ASSERT_EQ(batch_results.size(), serial_ids.size());
+  for (std::size_t i = 0; i < serial_ids.size(); ++i) {
+    ASSERT_TRUE(batch_results[i].status.ok());
+    EXPECT_EQ(batch_results[i].id, serial_ids[i]);  // same id sequence
+    EXPECT_EQ(*batched.get(batch_results[i].id), *serial.get(serial_ids[i]));
+  }
+}
+
+TEST(StoreClient, PooledBatchMatchesSerialResults) {
+  // The pooled batch (threads > 0) must return the same bytes as the
+  // deterministic path — only the interleaving may differ.
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 3;
+  options.async_window = 3;
+  ShardedObjectStore store(store_config(), options);
+  std::vector<std::vector<std::uint8_t>> objects;
+  for (int i = 0; i < 8; ++i) {
+    objects.push_back(random_bytes(512 * (1 + i % 3) + 5, 400 + i));
+  }
+  for (const auto& object : objects) (void)store.submit_put(object);
+  const auto puts = store.wait_all();
+  ASSERT_EQ(puts.size(), objects.size());
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    ASSERT_TRUE(puts[i].status.ok()) << puts[i].status;
+    (void)store.submit_get(puts[i].id);
+  }
+  const auto gets = store.wait_all();
+  ASSERT_EQ(gets.size(), objects.size());
+  for (std::size_t i = 0; i < gets.size(); ++i) {
+    ASSERT_TRUE(gets[i].status.ok()) << gets[i].status;
+    EXPECT_EQ(gets[i].bytes, objects[i]);
+  }
+}
+
+}  // namespace
+}  // namespace traperc::core

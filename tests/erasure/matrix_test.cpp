@@ -140,5 +140,25 @@ TEST(Matrix, RowSpanIsContiguousView) {
   for (unsigned c = 0; c < 7; ++c) EXPECT_EQ(row[c], m.at(1, c));
 }
 
+TEST(Matrix, RowBlockSpansConsecutiveRows) {
+  const auto m = random_matrix(6, 5, 22);
+  const auto block = m.row_block(2, 3);  // rows 2..4
+  ASSERT_EQ(block.size(), 3u * 5u);
+  for (unsigned r = 0; r < 3; ++r) {
+    for (unsigned c = 0; c < 5; ++c) {
+      EXPECT_EQ(block[r * 5 + c], m.at(2 + r, c)) << r << "," << c;
+    }
+  }
+  // A single-row block is exactly row(r); the full block is all of data.
+  EXPECT_EQ(m.row_block(4, 1).data(), m.row(4).data());
+  EXPECT_EQ(m.row_block(4, 1).size(), m.row(4).size());
+  EXPECT_EQ(m.row_block(0, 6).size(), 6u * 5u);
+}
+
+TEST(MatrixDeath, RowBlockOutOfRangeRejected) {
+  const auto m = random_matrix(4, 3, 23);
+  EXPECT_DEATH((void)m.row_block(2, 3), "row block");
+}
+
 }  // namespace
 }  // namespace traperc::erasure

@@ -61,6 +61,18 @@ TEST(WideMatrix, InverseRoundTrip) {
   }
 }
 
+TEST(WideMatrix, RowBlockSpansConsecutiveRows) {
+  const auto vand = WideMatrix::vandermonde(6, 4);
+  const auto block = vand.row_block(2, 3);  // rows 2..4
+  ASSERT_EQ(block.size(), 3u * 4u);
+  for (unsigned r = 0; r < 3; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      EXPECT_EQ(block[r * 4 + c], vand.at(2 + r, c));
+    }
+  }
+  EXPECT_EQ(vand.row_block(5, 1).data(), vand.row(5).data());
+}
+
 TEST(WideRSCode, SystematicGenerator) {
   const WideRSCode code(10, 6);
   for (unsigned r = 0; r < 6; ++r) {

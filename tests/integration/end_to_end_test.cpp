@@ -27,13 +27,13 @@ TEST(EndToEnd, VirtualDiskWorkloadAllUp) {
     const auto index = static_cast<unsigned>(rng.next_below(8));
     const auto value = cluster.make_pattern(10'000 + op);
     ASSERT_EQ(cluster.write_block_sync(stripe, index, value),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
     truth[{stripe, index}] = value;
   }
   for (const auto& [key, value] : truth) {
     const auto outcome = cluster.read_block_sync(key.first, key.second);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-    ASSERT_EQ(outcome.value, value);
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+    ASSERT_EQ(outcome->value, value);
   }
 }
 
@@ -45,7 +45,9 @@ TEST(EndToEnd, ConcurrentOperationsInterleaveSafely) {
   for (unsigned i = 0; i < 8; ++i) {
     cluster.coordinator().write_block(
         0, i, cluster.make_pattern(i),
-        [&write_results, i](OpStatus status) { write_results[i] = status; });
+        [&write_results, i](const WriteResult& result) {
+          write_results[i] = result.status;
+        });
   }
   cluster.engine().run_until_idle();
   for (unsigned i = 0; i < 8; ++i) {
@@ -53,8 +55,8 @@ TEST(EndToEnd, ConcurrentOperationsInterleaveSafely) {
   }
   for (unsigned i = 0; i < 8; ++i) {
     const auto outcome = cluster.read_block_sync(0, i);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-    EXPECT_EQ(outcome.value, cluster.make_pattern(i));
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+    EXPECT_EQ(outcome->value, cluster.make_pattern(i));
   }
 }
 
@@ -69,18 +71,18 @@ TEST(EndToEnd, ConcurrentWritesToSameBlockRaceSafely) {
   const auto b = cluster.make_pattern(2);
   OpStatus status_a = OpStatus::kFail;
   OpStatus status_b = OpStatus::kFail;
-  cluster.coordinator().write_block(0, 0, a,
-                                    [&](OpStatus s) { status_a = s; });
-  cluster.coordinator().write_block(0, 0, b,
-                                    [&](OpStatus s) { status_b = s; });
+  cluster.coordinator().write_block(
+      0, 0, a, [&](const WriteResult& r) { status_a = r.status; });
+  cluster.coordinator().write_block(
+      0, 0, b, [&](const WriteResult& r) { status_b = r.status; });
   cluster.engine().run_until_idle();
   const int successes = (status_a == OpStatus::kSuccess ? 1 : 0) +
                         (status_b == OpStatus::kSuccess ? 1 : 0);
   EXPECT_EQ(successes, 1);  // exactly one writer wins the race
-  ASSERT_TRUE(cluster.repair().reconcile_stripe(0));
+  ASSERT_TRUE(cluster.repair().reconcile_stripe(0).ok());
   const auto outcome = cluster.read_block_sync(0, 0);
-  ASSERT_EQ(outcome.status, OpStatus::kSuccess);
-  EXPECT_TRUE(outcome.value == a || outcome.value == b);
+  ASSERT_EQ(outcome.code(), ErrorCode::kOk);
+  EXPECT_TRUE(outcome->value == a || outcome->value == b);
 }
 
 TEST(EndToEnd, SurvivesBackgroundFailureChurn) {
@@ -102,19 +104,19 @@ TEST(EndToEnd, SurvivesBackgroundFailureChurn) {
   for (int round = 0; round < 120; ++round) {
     const auto value = cluster.make_pattern(round);
     written.push_back(value);
-    if (cluster.write_block_sync(0, 0, value) == OpStatus::kSuccess) {
+    if (cluster.write_block_sync(0, 0, value).ok()) {
       ++write_ok;
     } else {
       // Repair-daemon role: roll partial writes to a consistent snapshot.
       (void)cluster.repair().reconcile_stripe(0);
     }
     const auto outcome = cluster.read_block_sync(0, 0);
-    if (outcome.status == OpStatus::kSuccess) {
+    if (outcome.ok()) {
       ++read_ok;
-      if (outcome.version > 0) {
+      if (outcome->version > 0) {
         bool known = false;
         for (const auto& candidate : written) {
-          known = known || candidate == outcome.value;
+          known = known || candidate == outcome->value;
         }
         EXPECT_TRUE(known) << "torn read at round " << round;
       }
@@ -136,18 +138,18 @@ TEST(EndToEnd, FrAndErcAgreeOnOutcomesUnderSameFailures) {
     std::vector<bool> up(15);
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(0.7);
 
-    std::vector<OpStatus> results;
+    std::vector<Status> results;
     for (Mode mode : {Mode::kErc, Mode::kFr}) {
       SimCluster cluster(vd_config(mode));
       ASSERT_EQ(cluster.write_block_sync(0, 0, cluster.make_pattern(1)),
-                OpStatus::kSuccess)
+                ErrorCode::kOk)
           << "priming write";
       cluster.set_node_states(up);
       results.push_back(
           cluster.write_block_sync(0, 0, cluster.make_pattern(2)));
     }
-    if (results[0] == OpStatus::kSuccess) {
-      EXPECT_EQ(results[1], OpStatus::kSuccess) << "pattern " << pattern;
+    if (results[0] == ErrorCode::kOk) {
+      EXPECT_EQ(results[1], ErrorCode::kOk) << "pattern " << pattern;
     }
   }
 }
@@ -163,9 +165,9 @@ TEST(EndToEnd, StorageFootprintMatchesEq14And15) {
   SimCluster fr(fr_config);
   for (unsigned i = 0; i < 8; ++i) {
     ASSERT_EQ(erc.write_block_sync(0, i, erc.make_pattern(i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
     ASSERT_EQ(fr.write_block_sync(0, i, fr.make_pattern(i)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
   }
   auto total_bytes = [&](SimCluster& cluster) {
     std::size_t total = 0;

@@ -34,7 +34,7 @@ TEST_P(ProtocolMatrix, LiveReadsMatchPredicates) {
   SimCluster cluster(cfg, /*seed=*/3);
   const analysis::BlockDeployment d(cfg.n, cfg.k, 0, cfg.quorums());
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
 
   Rng rng(17);
   int successes = 0;
@@ -47,11 +47,11 @@ TEST_P(ProtocolMatrix, LiveReadsMatchPredicates) {
         cfg.mode == Mode::kErc
             ? analysis::read_possible_erc_algorithmic(d, up)
             : analysis::read_possible_fr(d, up);
-    ASSERT_EQ(outcome.status == OpStatus::kSuccess, predicted)
+    ASSERT_EQ(outcome.ok(), predicted)
         << "trial " << trial;
     if (predicted) {
-      ASSERT_EQ(outcome.value, value) << "trial " << trial;
-      ASSERT_EQ(outcome.version, 1u);
+      ASSERT_EQ(outcome->value, value) << "trial " << trial;
+      ASSERT_EQ(outcome->version, 1u);
       ++successes;
     }
   }
@@ -70,7 +70,7 @@ TEST_P(ProtocolMatrix, LiveWritesMatchPredicates) {
     const BlockId stripe = 100 + trial;  // fresh, consistent stripe
     cluster.set_node_states(all_up);
     ASSERT_EQ(cluster.write_block_sync(stripe, 0, cluster.make_pattern(trial)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
     std::vector<std::uint8_t> up(cfg.n);
     for (unsigned i = 0; i < cfg.n; ++i) up[i] = rng.next_bool(0.7);
     cluster.set_node_states(up);
@@ -82,7 +82,7 @@ TEST_P(ProtocolMatrix, LiveWritesMatchPredicates) {
             ? analysis::read_possible_erc_algorithmic(d, up)
             : analysis::read_possible_fr(d, up);
     const bool predicted = analysis::write_possible(d, up) && read_ok;
-    ASSERT_EQ(status == OpStatus::kSuccess, predicted) << "trial " << trial;
+    ASSERT_EQ(status.ok(), predicted) << "trial " << trial;
     successes += predicted ? 1 : 0;
   }
   EXPECT_GT(successes, 10);
@@ -118,25 +118,24 @@ TEST(LossyNetwork, OperationsDegradeButNeverCorrupt) {
   cfg.chunk_len = 16;
   SimCluster cluster(cfg, 11);
   const auto value = cluster.make_pattern(1);
-  ASSERT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
 
   cluster.network().set_loss_probability(0.15);
   int read_ok = 0;
   int write_ok = 0;
   for (int trial = 0; trial < 60; ++trial) {
     const auto outcome = cluster.read_block_sync(0, 0);
-    if (outcome.status == OpStatus::kSuccess) {
-      ASSERT_EQ(outcome.value, value);
+    if (outcome.ok()) {
+      ASSERT_EQ(outcome->value, value);
       ++read_ok;
     }
     const BlockId stripe = 500 + trial;
-    if (cluster.write_block_sync(stripe, 2, cluster.make_pattern(trial)) ==
-        OpStatus::kSuccess) {
+    if (cluster.write_block_sync(stripe, 2, cluster.make_pattern(trial)).ok()) {
       ++write_ok;
       cluster.network().set_loss_probability(0.0);
       const auto verify = cluster.read_block_sync(stripe, 2);
-      ASSERT_EQ(verify.status, OpStatus::kSuccess);
-      ASSERT_EQ(verify.value, cluster.make_pattern(trial));
+      ASSERT_EQ(verify.code(), ErrorCode::kOk);
+      ASSERT_EQ(verify->value, cluster.make_pattern(trial));
       cluster.network().set_loss_probability(0.15);
     }
   }

@@ -59,8 +59,7 @@ TEST_P(StressTest, RandomChurnPreservesIntegrity) {
       case 1: {  // write
         const auto value = cluster.make_pattern(GetParam() * 1000 + op);
         written[stripe].push_back(value);
-        if (cluster.write_block_sync(stripe, block, value) ==
-            OpStatus::kSuccess) {
+        if (cluster.write_block_sync(stripe, block, value).ok()) {
           ++write_ok;
         } else {
           tainted[stripe] = true;  // partial state may now exist
@@ -70,10 +69,10 @@ TEST_P(StressTest, RandomChurnPreservesIntegrity) {
       case 2:
       case 3: {  // read + integrity check
         const auto outcome = cluster.read_block_sync(stripe, block);
-        if (outcome.status != OpStatus::kSuccess) break;
+        if (!outcome.ok()) break;
         ++read_ok;
         if (!tainted[stripe]) {
-          ASSERT_TRUE(value_known(stripe, outcome.value))
+          ASSERT_TRUE(value_known(stripe, outcome->value))
               << "torn read, op " << op << " stripe " << stripe;
         }
         break;
@@ -111,13 +110,13 @@ TEST_P(StressTest, RandomChurnPreservesIntegrity) {
   // byte-intact.
   cluster.set_node_states(std::vector<bool>(cfg.n, true));
   for (BlockId stripe = 0; stripe < kStripes; ++stripe) {
-    ASSERT_TRUE(cluster.repair().reconcile_stripe(stripe))
+    ASSERT_TRUE(cluster.repair().reconcile_stripe(stripe).ok())
         << "stripe " << stripe;
     const auto block = static_cast<unsigned>(stripe % cfg.k);
     const auto outcome = cluster.read_block_sync(stripe, block);
-    ASSERT_EQ(outcome.status, OpStatus::kSuccess) << "stripe " << stripe;
+    ASSERT_EQ(outcome.code(), ErrorCode::kOk) << "stripe " << stripe;
     if (!tainted[stripe]) {
-      EXPECT_TRUE(value_known(stripe, outcome.value))
+      EXPECT_TRUE(value_known(stripe, outcome->value))
           << "final audit, stripe " << stripe;
     }
   }

@@ -12,6 +12,7 @@ namespace traperc {
 namespace {
 
 using analysis::BlockDeployment;
+using core::ErrorCode;
 using core::Mode;
 using core::ProtocolConfig;
 using core::SimCluster;
@@ -30,7 +31,7 @@ double live_read_success_rate(SimCluster& cluster, double p, int trials,
   const auto value = cluster.make_pattern(1);
   auto all_up = std::vector<std::uint8_t>(15, true);
   cluster.set_node_states(all_up);
-  EXPECT_EQ(cluster.write_block_sync(0, 0, value), OpStatus::kSuccess);
+  EXPECT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
   Rng rng(seed);
   int ok = 0;
   for (int t = 0; t < trials; ++t) {
@@ -38,7 +39,7 @@ double live_read_success_rate(SimCluster& cluster, double p, int trials,
     for (unsigned i = 0; i < 15; ++i) up[i] = rng.next_bool(p);
     cluster.set_node_states(up);
     const auto outcome = cluster.read_block_sync(0, 0);
-    ok += outcome.status == OpStatus::kSuccess ? 1 : 0;
+    ok += outcome.ok() ? 1 : 0;
   }
   cluster.set_node_states(all_up);
   return static_cast<double>(ok) / trials;
@@ -55,11 +56,11 @@ double live_write_success_rate(SimCluster& cluster, double p, int trials,
     // Fresh stripe per trial => consistent starting state.
     cluster.set_node_states(all_up);
     EXPECT_EQ(cluster.write_block_sync(100 + t, 0, cluster.make_pattern(t)),
-              OpStatus::kSuccess);
+              ErrorCode::kOk);
     cluster.set_node_states(up);
     const auto status =
         cluster.write_block_sync(100 + t, 0, cluster.make_pattern(1000 + t));
-    ok += status == OpStatus::kSuccess ? 1 : 0;
+    ok += status.ok() ? 1 : 0;
   }
   cluster.set_node_states(all_up);
   return static_cast<double>(ok) / trials;
