@@ -219,6 +219,89 @@ double measure_batch_put_objects_per_s(const ProtocolConfig& config,
   return static_cast<double>(ops) / best_sec;
 }
 
+/// Serial whole-object get throughput: `ops` objects put up front (outside
+/// the clock), then a plain get() loop — the baseline the streaming series
+/// is compared against.
+double measure_get_objects_per_s(const ProtocolConfig& config,
+                                 const SweepPoint& point, unsigned ops,
+                                 unsigned stripes_per_object,
+                                 bool streaming) {
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  options.async_window = point.depth;
+  ShardedObjectStore store(config, options);
+  core::StoreClient& client = store;
+  std::vector<core::StoreClient::ObjectId> ids;
+  for (unsigned i = 0; i < ops; ++i) {
+    const auto id = store.put(object);
+    if (!id.ok()) std::abort();
+    ids.push_back(*id);
+  }
+  const double sec = best_seconds(2, [&] {
+    if (streaming) {
+      // One kGetStripe ticket per stripe; whole objects overlap across the
+      // async window while each object's stripes stream in order.
+      for (const auto id : ids) {
+        (void)client.submit_get_streaming(id);
+      }
+      for (const auto& result : client.wait_all()) {
+        if (!result.status.ok()) std::abort();
+      }
+    } else {
+      for (const auto id : ids) {
+        if (!client.get(id).ok()) std::abort();
+      }
+    }
+  });
+  return static_cast<double>(ops) / sec;
+}
+
+/// Overwrite throughput: `ops` objects put up front, then every object
+/// rewritten in place — serially, or batched through submit_overwrite +
+/// wait_all.
+double measure_overwrite_objects_per_s(const ProtocolConfig& config,
+                                       const SweepPoint& point, unsigned ops,
+                                       unsigned stripes_per_object,
+                                       bool batched) {
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  const auto replacement = sweep_object(capacity * stripes_per_object, 13);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  options.async_window = point.depth;
+  ShardedObjectStore store(config, options);
+  core::StoreClient& client = store;
+  std::vector<core::StoreClient::ObjectId> ids;
+  for (unsigned i = 0; i < ops; ++i) {
+    const auto id = store.put(object);
+    if (!id.ok()) std::abort();
+    ids.push_back(*id);
+  }
+  const double sec = best_seconds(2, [&] {
+    if (batched) {
+      for (const auto id : ids) {
+        (void)client.submit_overwrite(id, replacement);
+      }
+      for (const auto& result : client.wait_all()) {
+        if (!result.status.ok()) std::abort();
+      }
+    } else {
+      for (const auto id : ids) {
+        if (!client.overwrite(id, replacement).ok()) std::abort();
+      }
+    }
+  });
+  return static_cast<double>(ops) / sec;
+}
+
 /// Node-repair throughput: rebuild a wiped data node holding its share of
 /// `objects` × `stripes_per_object` stripes; wipe+repair repeats in place.
 double measure_repair_mb_per_s(const ProtocolConfig& config,
@@ -316,6 +399,54 @@ void run_sweep(const std::string& out_path) {
     json.field("mb_per_s",
                ops_per_s * static_cast<double>(object_bytes) / 1e6);
     json.field("speedup_vs_serial_put", ops_per_s / put_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Streaming gets (submit_get_streaming: one ticket per stripe) against
+  // the serial get() loop at the serial point. At threads == 0 the stream
+  // degrades to exactly that loop; at threads >= 2 whole objects overlap
+  // across the window while each object's stripes publish in order.
+  const double get_serial = measure_get_objects_per_s(
+      config, serial, kPutOps, kStripesPerObject, /*streaming=*/false);
+  const SweepPoint stream_points[] = {
+      {1, 0, 1}, {2, 2, 4}, {4, 4, 4}, {8, 8, 4}, {4, 2, 4},
+  };
+  json.begin_array("streaming_get");
+  for (const auto& point : stream_points) {
+    const double ops_per_s = measure_get_objects_per_s(
+        config, point, kPutOps, kStripesPerObject, /*streaming=*/true);
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("objects_per_s", ops_per_s);
+    json.field("mb_per_s",
+               ops_per_s * static_cast<double>(object_bytes) / 1e6);
+    json.field("speedup_vs_serial_get", ops_per_s / get_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Batched in-place rewrites (submit_overwrite + wait_all) against the
+  // serial overwrite loop at the serial point.
+  const double overwrite_serial = measure_overwrite_objects_per_s(
+      config, serial, kPutOps, kStripesPerObject, /*batched=*/false);
+  const SweepPoint overwrite_points[] = {
+      {1, 0, 1}, {2, 2, 4}, {4, 4, 4}, {8, 8, 4}, {4, 2, 4},
+  };
+  json.begin_array("batch_overwrite");
+  for (const auto& point : overwrite_points) {
+    const double ops_per_s = measure_overwrite_objects_per_s(
+        config, point, kPutOps, kStripesPerObject, /*batched=*/true);
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("objects_per_s", ops_per_s);
+    json.field("mb_per_s",
+               ops_per_s * static_cast<double>(object_bytes) / 1e6);
+    json.field("speedup_vs_serial_overwrite", ops_per_s / overwrite_serial);
     json.end_object();
   }
   json.end_array();

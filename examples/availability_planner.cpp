@@ -98,12 +98,41 @@ int deploy_and_smoke(double p, double target, unsigned n_max) {
   }
   unsigned get_ok = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto back = client.get(ids[i]);
-    get_ok += back.ok() && *back == objects[i] ? 1 : 0;
+    // Streaming read: one ticket per stripe, assembled in arrival order
+    // (publication is ordered per object, so this is exactly get()).
+    const auto tickets = client.submit_get_streaming(ids[i]);
+    std::vector<std::uint8_t> assembled;
+    bool ok = true;
+    for (std::size_t s = 0; s < tickets.size(); ++s) {
+      const auto stripe = client.wait_any();
+      ok = ok && stripe.status.ok();
+      assembled.insert(assembled.end(), stripe.bytes.begin(),
+                       stripe.bytes.end());
+    }
+    get_ok += ok && assembled == objects[i] ? 1 : 0;
   }
-  std::printf("  %u/4 batched puts ok, %u/%zu gets byte-exact\n", put_ok,
-              get_ok, ids.size());
-  return put_ok == 4 && get_ok == ids.size() ? 0 : 1;
+  // Batched in-place rewrites ride the same ticket window.
+  for (const auto id : ids) {
+    (void)client.submit_overwrite(id, objects.front());
+  }
+  unsigned overwrite_ok = 0;
+  for (const auto& result : client.wait_all()) {
+    overwrite_ok += result.status.ok() ? 1 : 0;
+  }
+  const auto stats = client.stats();
+  std::printf("  %u/4 batched puts ok, %u/%zu streamed gets byte-exact, "
+              "%u/%zu batched overwrites ok\n",
+              put_ok, get_ok, ids.size(), overwrite_ok, ids.size());
+  std::printf("  client stats: %llu ok / %llu failed ops across %zu shards, "
+              "stripe writes=%llu reads=%llu\n",
+              static_cast<unsigned long long>(stats.ops_succeeded),
+              static_cast<unsigned long long>(stats.ops_failed),
+              stats.shard_queue_depth.size(),
+              static_cast<unsigned long long>(stats.stripe_writes),
+              static_cast<unsigned long long>(stats.stripe_reads));
+  return put_ok == 4 && get_ok == ids.size() && overwrite_ok == ids.size()
+             ? 0
+             : 1;
 }
 
 }  // namespace

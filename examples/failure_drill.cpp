@@ -8,7 +8,9 @@
 //   3. kill the data node: reads switch to decode, then die at < k
 //      survivors;
 //   4. disk loss + rebuild via the repair manager;
-//   5. partial (failed) write, then reconciliation.
+//   5. partial (failed) write, then reconciliation;
+//   6. object layer under decode shortfall: a streaming get reports
+//      DECODE_FAILED per stripe ticket, then recovers end-to-end.
 #include <cstdio>
 
 #include "core/traperc.hpp"
@@ -95,5 +97,43 @@ int main() {
   std::printf("  final read: %s version=%llu\n", to_string(final_read.code()),
               static_cast<unsigned long long>(
                   final_read.ok() ? final_read->version : 0));
-  return final_read.ok() ? 0 : 1;
+  if (!final_read.ok()) return 1;
+
+  // Stage 6: the whole-object view of stage 3's decode cliff. Each stripe
+  // ticket of a streaming get carries its own taxonomy outcome, so an
+  // operator sees exactly which stripes of an object are unreadable.
+  std::printf("\nstage 6: streaming get under decode shortfall\n");
+  core::ObjectStore store(cluster, /*base_stripe=*/2000);
+  core::StoreClient& client = store;
+  std::vector<std::uint8_t> object;
+  for (std::uint64_t tag = 40; tag < 72; ++tag) {  // 4 stripes of 8 chunks
+    const auto chunk = cluster.make_pattern(tag);
+    object.insert(object.end(), chunk.begin(), chunk.end());
+  }
+  const auto id = client.put(object);
+  if (!id.ok()) return 1;
+  for (NodeId node = 0; node < 8; ++node) cluster.fail_node(node);
+  (void)client.submit_get_streaming(*id);
+  unsigned failed_stripes = 0;
+  for (const auto& stripe : client.wait_all()) {
+    std::printf("  stripe %u: %s\n", stripe.stripe_index,
+                to_string(stripe.status.code()));
+    failed_stripes += stripe.status.ok() ? 0 : 1;
+  }
+  for (NodeId node = 0; node < 8; ++node) cluster.recover_node(node);
+  std::vector<std::uint8_t> assembled;
+  (void)client.submit_get_streaming(*id);
+  while (client.pending_ops() > 0) {
+    const auto stripe = client.wait_any();
+    if (!stripe.status.ok()) return 1;
+    assembled.insert(assembled.end(), stripe.bytes.begin(),
+                     stripe.bytes.end());
+  }
+  const auto stats = client.stats();
+  std::printf("  after recovery: %zu B streamed, match=%s "
+              "(%llu ok / %llu failed async ops)\n",
+              assembled.size(), assembled == object ? "yes" : "NO",
+              static_cast<unsigned long long>(stats.ops_succeeded),
+              static_cast<unsigned long long>(stats.ops_failed));
+  return failed_stripes == 4 && assembled == object ? 0 : 1;
 }

@@ -17,13 +17,20 @@ of every metric.
 
 Scaling-guard caveat: speedup_vs_* ratios from a single-core machine are
 meaningless as a scaling baseline (every pooled configuration legitimately
-sits at <= 1x). When the committed baseline records hardware_concurrency == 1,
-metrics matching /speedup/ are skipped with a warning instead of guarded;
-re-commit the baseline from a multi-core runner to arm the guard.
+sits at <= 1x). When the committed baseline records hardware_concurrency == 1
+there are two cases:
+
+* the fresh run is also single-core: /speedup/ metrics are skipped with a
+  warning (nothing useful to compare, and nothing better to commit);
+* the fresh run is multi-core (CI): the check FAILS. A multi-core run just
+  produced a baseline-quality JSON — re-commit it (CI uploads the fresh
+  file as an artifact) instead of letting the stale 1-core baseline disarm
+  the scaling guard forever.
 """
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -118,15 +125,28 @@ def main():
     with open(args.fresh) as f:
         fresh = json.load(f)
     fields_re = re.compile(args.fields)
-    skip_speedups = baseline.get("hardware_concurrency") == 1
+    baseline_cores = baseline.get("hardware_concurrency")
+    fresh_cores = fresh.get("hardware_concurrency") or os.cpu_count() or 1
+    skip_speedups = baseline_cores == 1
 
     report = []
-    if skip_speedups:
+    failures = 0
+    if skip_speedups and fresh_cores > 1:
+        # A stale 1-core baseline on a multi-core runner is not a warning:
+        # this very run produced a committable multi-core JSON, so make the
+        # staleness impossible to ignore.
+        report.append(
+            f"FAIL: baseline records hardware_concurrency == 1 but this "
+            f"runner has {fresh_cores} cores — the scaling guard is unarmed. "
+            f"Re-commit {args.fresh} (uploaded as a CI artifact) as the new "
+            f"baseline."
+        )
+        failures += 1
+    elif skip_speedups:
         report.append(
             "WARN: baseline hardware_concurrency == 1 — speedup_vs_* guards "
             "are skipped; re-commit the baseline from a multi-core runner"
         )
-    failures = 0
     for key, base_value in baseline.items():
         if not isinstance(base_value, list):
             continue

@@ -150,6 +150,8 @@ Status SimCluster::write_stripe_sync(
     std::vector<std::vector<std::uint8_t>> blocks) {
   TRAPERC_CHECK_MSG(first_index + blocks.size() <= config_.k,
                     "stripe write exceeds the stripe's data blocks");
+  stripe_writes_.fetch_add(1, std::memory_order_relaxed);
+  blocks_written_.fetch_add(blocks.size(), std::memory_order_relaxed);
   std::size_t done = 0;
   Status result = Status{};
   for (unsigned i = 0; i < blocks.size(); ++i) {
@@ -174,6 +176,8 @@ Result<std::vector<BlockRead>> SimCluster::read_stripe_sync(
     BlockId stripe, unsigned first_index, unsigned count) {
   TRAPERC_CHECK_MSG(first_index + count <= config_.k,
                     "stripe read exceeds the stripe's data blocks");
+  stripe_reads_.fetch_add(1, std::memory_order_relaxed);
+  blocks_read_.fetch_add(count, std::memory_order_relaxed);
   std::vector<ReadOutcome> outcomes(count);
   std::size_t done = 0;
   for (unsigned i = 0; i < count; ++i) {

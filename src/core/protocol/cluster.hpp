@@ -3,6 +3,7 @@
 // coordinator. This is the top-level object examples and benches drive.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -26,6 +27,18 @@ struct BlockRead {
   Version version = 0;
   std::vector<std::uint8_t> value;
   bool decoded = false;  ///< served through Alg. 2 Case 2
+};
+
+/// Lifetime counters of the batched stripe API (stripe_sync_stats()):
+/// stripe-level operations issued and the per-block protocol operations
+/// they fanned into. The object facades aggregate these across shards into
+/// StoreStats, so a client can see how much protocol traffic its workload
+/// generated.
+struct StripeSyncStats {
+  std::uint64_t stripe_writes = 0;
+  std::uint64_t stripe_reads = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t blocks_read = 0;
 };
 
 class SimCluster {
@@ -107,6 +120,17 @@ class SimCluster {
   [[nodiscard]] std::vector<std::uint8_t> make_pattern(
       std::uint64_t tag) const;
 
+  /// Snapshot of the stripe-sync layer's lifetime op counters. Safe to call
+  /// from a thread other than the one driving the cluster (relaxed atomics),
+  /// so the facades can report live queue-depth/throughput stats.
+  [[nodiscard]] StripeSyncStats stripe_sync_stats() const noexcept {
+    return StripeSyncStats{
+        stripe_writes_.load(std::memory_order_relaxed),
+        stripe_reads_.load(std::memory_order_relaxed),
+        blocks_written_.load(std::memory_order_relaxed),
+        blocks_read_.load(std::memory_order_relaxed)};
+  }
+
  private:
   ProtocolConfig config_;
   sim::SimEngine engine_;
@@ -117,6 +141,11 @@ class SimCluster {
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<RepairManager> repair_;
   std::vector<std::unique_ptr<storage::FailureProcess>> failure_processes_;
+
+  std::atomic<std::uint64_t> stripe_writes_{0};
+  std::atomic<std::uint64_t> stripe_reads_{0};
+  std::atomic<std::uint64_t> blocks_written_{0};
+  std::atomic<std::uint64_t> blocks_read_{0};
 };
 
 }  // namespace traperc::core

@@ -42,6 +42,8 @@ Status ObjectStore::write_extent(const Extent& extent,
   for (unsigned s = 0; s < extent.stripe_count; ++s) {
     auto chunks = stripe_chunks(object, s, k, chunk_len);
     if (chunks.empty()) break;  // tail blocks untouched
+    stripe_ops_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    QueueDepthLease lease(stripe_ops_in_flight_);
     Status status = cluster_.write_stripe_sync(extent.first_stripe + s, 0,
                                                std::move(chunks));
     if (!status.ok()) return status;
@@ -102,31 +104,97 @@ Status ObjectStore::overwrite(ObjectId id,
   return Status{};
 }
 
+void ObjectStore::copy_stripe_bytes(const std::vector<BlockRead>& blocks,
+                                    std::size_t chunk_len, std::size_t bytes,
+                                    std::uint8_t* dest) {
+  std::size_t remaining = bytes;
+  for (const auto& block : blocks) {
+    const std::size_t take = std::min(chunk_len, remaining);
+    std::memcpy(dest, block.value.data(), take);
+    dest += take;
+    remaining -= take;
+  }
+  TRAPERC_DCHECK(remaining == 0);
+}
+
+Status ObjectStore::read_extent_stripe(const Extent& extent,
+                                       unsigned stripe_index,
+                                       std::uint8_t* dest) {
+  const std::size_t chunk_len = cluster_.config().chunk_len;
+  const std::size_t capacity = stripe_capacity();
+  const std::size_t offset =
+      static_cast<std::size_t>(stripe_index) * capacity;
+  TRAPERC_DCHECK(offset < extent.size);
+  const std::size_t bytes = std::min(capacity, extent.size - offset);
+  const auto covered =
+      static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
+  stripe_ops_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  QueueDepthLease lease(stripe_ops_in_flight_);
+  auto outcomes =
+      cluster_.read_stripe_sync(extent.first_stripe + stripe_index, 0,
+                                covered);
+  if (!outcomes.ok()) return std::move(outcomes).status();
+  copy_stripe_bytes(*outcomes, chunk_len, bytes, dest);
+  return Status{};
+}
+
 Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
   }
   const Extent& extent = it->second;
-  const std::size_t chunk_len = cluster_.config().chunk_len;
-  const unsigned k = cluster_.config().k;
-  std::vector<std::uint8_t> out;
-  out.reserve(extent.size);
-  std::size_t remaining = extent.size;
-  for (unsigned s = 0; s < extent.stripe_count && remaining > 0; ++s) {
-    const auto covered = static_cast<unsigned>(std::min<std::size_t>(
-        k, (remaining + chunk_len - 1) / chunk_len));
-    auto outcomes =
-        cluster_.read_stripe_sync(extent.first_stripe + s, 0, covered);
-    if (!outcomes.ok()) return std::move(outcomes).status();
-    for (const auto& block : *outcomes) {
-      const std::size_t take = std::min(chunk_len, remaining);
-      out.insert(out.end(), block.value.begin(),
-                 block.value.begin() + static_cast<long>(take));
-      remaining -= take;
-    }
+  const std::size_t capacity = stripe_capacity();
+  const auto used = static_cast<unsigned>(
+      (extent.size + capacity - 1) / capacity);
+  std::vector<std::uint8_t> out(extent.size);
+  for (unsigned s = 0; s < used; ++s) {
+    Status status = read_extent_stripe(extent, s,
+                                       out.data() + s * capacity);
+    if (!status.ok()) return status;
   }
   return out;
+}
+
+Result<StoreClient::GetPlan> ObjectStore::plan_get(ObjectId id) const {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
+  const std::size_t capacity = stripe_capacity();
+  return GetPlan{it->second.size,
+                 static_cast<unsigned>(
+                     (it->second.size + capacity - 1) / capacity)};
+}
+
+Result<std::vector<std::uint8_t>> ObjectStore::read_object_stripe(
+    ObjectId id, unsigned stripe_index) {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
+  const Extent& extent = it->second;
+  const std::size_t capacity = stripe_capacity();
+  const auto used = static_cast<unsigned>(
+      (extent.size + capacity - 1) / capacity);
+  if (stripe_index >= used) {
+    return Status::error(ErrorCode::kInvalidArgument)
+        .at(extent.first_stripe + stripe_index);
+  }
+  const std::size_t offset =
+      static_cast<std::size_t>(stripe_index) * capacity;
+  std::vector<std::uint8_t> out(std::min(capacity, extent.size - offset));
+  Status status = read_extent_stripe(extent, stripe_index, out.data());
+  if (!status.ok()) return status;
+  return out;
+}
+
+void ObjectStore::fill_backend_stats(StoreStats& stats) const {
+  stats.shard_queue_depth.assign(
+      1, stripe_ops_in_flight_.load(std::memory_order_relaxed));
+  const auto cluster_stats = cluster_.stripe_sync_stats();
+  stats.stripe_writes = cluster_stats.stripe_writes;
+  stats.stripe_reads = cluster_stats.stripe_reads;
 }
 
 Status ObjectStore::forget(ObjectId id) {

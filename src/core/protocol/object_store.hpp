@@ -15,6 +15,7 @@
 // submits are the deterministic fallback path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -49,6 +50,13 @@ class ObjectStore : public StoreClient {
       std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
       std::size_t chunk_len);
 
+  /// stripe_chunks' read-side inverse: copies `bytes` object bytes out of
+  /// one stripe's block reads into `dest`, trimming the tail block. Shared
+  /// by both facades' get / streaming paths.
+  static void copy_stripe_bytes(const std::vector<BlockRead>& blocks,
+                                std::size_t chunk_len, std::size_t bytes,
+                                std::uint8_t* dest);
+
   /// Writes `object` into freshly allocated stripes; the object id on
   /// success. On failure no catalog entry is created and the allocated
   /// range moves to the failed-extent ledger (never reused).
@@ -59,6 +67,13 @@ class ObjectStore : public StoreClient {
 
   /// Reads an object back.
   [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
+
+  /// Streaming-get layout: object size and covered stripe count.
+  [[nodiscard]] Result<GetPlan> plan_get(ObjectId id) const override;
+
+  /// Reads one object stripe's bytes (trimmed at the object's tail).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
+      ObjectId id, unsigned stripe_index) override;
 
   /// Drops the catalog entry (storage is not reclaimed: the paper's model
   /// has no delete; stale stripes age out as versions 0 of future objects
@@ -77,16 +92,30 @@ class ObjectStore : public StoreClient {
     return failed_extents_;
   }
 
+ protected:
+  /// One pseudo-shard entry (the single deployment) plus the cluster's
+  /// stripe-sync counters.
+  void fill_backend_stats(StoreStats& stats) const override;
+
  private:
   /// Writes the bytes of `object` covering stripes [first, first+count).
   Status write_extent(const Extent& extent,
                       std::span<const std::uint8_t> object);
+
+  /// Reads stripe `stripe_index` of `extent` into `dest` (the caller
+  /// validated the index and sized the buffer for the covered bytes).
+  /// Shared by get() (writing straight into the output object) and
+  /// read_object_stripe().
+  Status read_extent_stripe(const Extent& extent, unsigned stripe_index,
+                            std::uint8_t* dest);
 
   SimCluster& cluster_;
   BlockId next_stripe_;
   ObjectId next_object_ = 1;
   std::map<ObjectId, Extent> catalog_;
   std::vector<Extent> failed_extents_;
+  /// Stripe ops currently running against the cluster (StoreStats).
+  std::atomic<std::size_t> stripe_ops_in_flight_{0};
 };
 
 }  // namespace traperc::core

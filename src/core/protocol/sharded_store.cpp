@@ -95,12 +95,18 @@ Status ShardedObjectStore::write_stripes(
   {
     TaskGroup group(pool_.get());
     for (unsigned i = 0; i < total; ++i) {
+      // Queue-depth accounting happens at admission: the producer knows the
+      // target shard here, so stats() sees stripes waiting in the pipeline,
+      // not just the ones holding a shard mutex.
+      shards_[shard_of(i)]->queue_depth.fetch_add(1,
+                                                  std::memory_order_relaxed);
       group.submit_bounded(
           [this, &error, &extents, object, i, k, chunk_len] {
-            if (error.failed()) return;
-            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
             const unsigned j = shard_of(i);
             Shard& shard = *shards_[j];
+            QueueDepthLease lease(shard.queue_depth);
+            if (error.failed()) return;
+            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
             const BlockId stripe = extents[j].first_stripe + local_index(i);
             std::lock_guard lock(shard.mutex);
             if (shard.down) {
@@ -210,19 +216,22 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
   {
     TaskGroup group(pool_.get());
     for (unsigned i = 0; i < used; ++i) {
+      shards_[shard_of(i)]->queue_depth.fetch_add(1,
+                                                  std::memory_order_relaxed);
       // Each task fills a disjoint [offset, offset+bytes) range of `out`,
       // so no synchronization on the output buffer is needed.
       group.submit_bounded(
           [this, &error, &extents, &out, object_size, i, capacity,
            chunk_len] {
+            const unsigned j = shard_of(i);
+            Shard& shard = *shards_[j];
+            QueueDepthLease lease(shard.queue_depth);
             if (error.failed()) return;
             const std::size_t offset = static_cast<std::size_t>(i) * capacity;
             const std::size_t bytes =
                 std::min(capacity, object_size - offset);
             const auto covered =
                 static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
-            const unsigned j = shard_of(i);
-            Shard& shard = *shards_[j];
             const BlockId stripe = extents[j].first_stripe + local_index(i);
             std::lock_guard lock(shard.mutex);
             if (shard.down) {
@@ -235,13 +244,8 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
               error.record(std::move(outcomes).status().on_shard(j));
               return;
             }
-            for (unsigned b = 0; b < covered; ++b) {
-              const std::size_t block_off =
-                  static_cast<std::size_t>(b) * chunk_len;
-              const std::size_t take = std::min(chunk_len, bytes - block_off);
-              std::memcpy(out.data() + offset + block_off,
-                          (*outcomes)[b].value.data(), take);
-            }
+            ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes,
+                                           out.data() + offset);
           },
           options_.pipeline_depth);
     }
@@ -250,6 +254,69 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
   Status status = error.take();
   if (!status.ok()) return status;
   return out;
+}
+
+Result<StoreClient::GetPlan> ShardedObjectStore::plan_get(ObjectId id) const {
+  ObjectInfo info;
+  {
+    std::lock_guard lock(catalog_mutex_);
+    const auto it = catalog_.find(id);
+    if (it == catalog_.end()) {
+      return Status::error(ErrorCode::kUnknownObject);
+    }
+    info = it->second;
+  }
+  const std::size_t capacity = stripe_capacity();
+  // After a shrinking overwrite the object spans fewer stripes than its
+  // allocated extent; the stream covers only the used prefix (same rule as
+  // get()).
+  const auto used = static_cast<unsigned>(std::min<std::size_t>(
+      info.stripe_count, (info.size + capacity - 1) / capacity));
+  return GetPlan{info.size, used};
+}
+
+Result<std::vector<std::uint8_t>> ShardedObjectStore::read_object_stripe(
+    ObjectId id, unsigned stripe_index) {
+  std::vector<ShardExtent> extents;
+  auto info = lookup(id, extents);
+  if (!info.ok()) return std::move(info).status();
+  const std::size_t capacity = stripe_capacity();
+  const std::size_t object_size = info->size;
+  const auto used = static_cast<unsigned>(std::min<std::size_t>(
+      info->stripe_count, (object_size + capacity - 1) / capacity));
+  if (stripe_index >= used) {
+    return Status::error(ErrorCode::kInvalidArgument);
+  }
+  const std::size_t chunk_len = shards_.front()->cluster->config().chunk_len;
+  const std::size_t offset = static_cast<std::size_t>(stripe_index) * capacity;
+  const std::size_t bytes = std::min(capacity, object_size - offset);
+  const auto covered =
+      static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
+  const unsigned j = shard_of(stripe_index);
+  Shard& shard = *shards_[j];
+  shard.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  QueueDepthLease lease(shard.queue_depth);
+  const BlockId stripe = extents[j].first_stripe + local_index(stripe_index);
+  std::lock_guard lock(shard.mutex);
+  if (shard.down) {
+    return Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j);
+  }
+  auto outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
+  if (!outcomes.ok()) return std::move(outcomes).status().on_shard(j);
+  std::vector<std::uint8_t> out(bytes);
+  ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes, out.data());
+  return out;
+}
+
+void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
+  stats.shard_queue_depth.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.shard_queue_depth.push_back(
+        shard->queue_depth.load(std::memory_order_relaxed));
+    const auto cluster_stats = shard->cluster->stripe_sync_stats();
+    stats.stripe_writes += cluster_stats.stripe_writes;
+    stats.stripe_reads += cluster_stats.stripe_reads;
+  }
 }
 
 Status ShardedObjectStore::overwrite(ObjectId id,
@@ -346,10 +413,12 @@ Result<RepairReport> ShardedObjectStore::repair_node(NodeId id) {
         used = shards_[j]->next_stripe;
       }
       for (BlockId s = 0; s < used; ++s) {
+        shards_[j]->queue_depth.fetch_add(1, std::memory_order_relaxed);
         group.submit_bounded(
             [this, j, id, s, &total, &report_mutex, &error] {
-              if (error.failed()) return;
               Shard& shard = *shards_[j];
+              QueueDepthLease lease(shard.queue_depth);
+              if (error.failed()) return;
               RepairReport report;
               {
                 std::lock_guard lock(shard.mutex);

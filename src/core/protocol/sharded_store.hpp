@@ -34,6 +34,7 @@
 // needing one of its stripes fail fast with kShardDown.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -87,6 +88,14 @@ class ShardedObjectStore : public StoreClient {
   /// Reads an object back through the same pipeline.
   [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
 
+  /// Streaming-get layout: object size and covered stripe count.
+  [[nodiscard]] Result<GetPlan> plan_get(ObjectId id) const override;
+
+  /// Reads one object stripe from its shard (trimmed at the object's tail);
+  /// kShardDown when that stripe's shard is administratively down.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
+      ObjectId id, unsigned stripe_index) override;
+
   /// Rewrites an existing object in place (same-or-smaller size) through
   /// the stripe pipeline, reusing its allocated shard extents.
   Status overwrite(ObjectId id, std::span<const std::uint8_t> object) override;
@@ -122,6 +131,10 @@ class ShardedObjectStore : public StoreClient {
   /// synchronized against concurrent store operations).
   [[nodiscard]] SimCluster& shard_cluster(unsigned shard);
 
+ protected:
+  /// Per-shard pipeline queue depth plus aggregated stripe-sync counters.
+  void fill_backend_stats(StoreStats& stats) const override;
+
  private:
   struct ShardExtent {
     BlockId first_stripe = 0;
@@ -134,6 +147,9 @@ class ShardedObjectStore : public StoreClient {
     BlockId next_stripe = 0;
     bool down = false;  ///< administratively down (kShardDown)
     std::map<ObjectId, ShardExtent> catalog;
+    /// Stripe ops admitted to this shard's pipeline (submitted or running)
+    /// and not yet finished — StoreStats::shard_queue_depth.
+    std::atomic<std::size_t> queue_depth{0};
   };
 
   /// Shard hosting object stripe `index`, and its local position there.

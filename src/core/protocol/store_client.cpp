@@ -24,33 +24,78 @@ void StoreClient::drain_async() {
   cv_.wait(lock, [this] { return executing_ == 0; });
 }
 
-void StoreClient::run_op(BatchResult result,
-                         std::vector<std::uint8_t> object) {
-  if (result.op == BatchResult::Op::kPut) {
-    auto put_result = put(object);
-    if (put_result.ok()) {
-      result.id = *put_result;
-    } else {
-      result.status = std::move(put_result).status();
-    }
-  } else {
-    auto get_result = get(result.id);
-    if (get_result.ok()) {
-      result.bytes = *std::move(get_result);
-    } else {
-      result.status = std::move(get_result).status();
+void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
+                         const std::shared_ptr<StreamState>& stream) {
+  // A seed that already carries an error (a streaming get whose plan
+  // failed) publishes as-is; nothing to execute.
+  if (result.status.ok()) {
+    switch (result.op) {
+      case BatchResult::Op::kPut: {
+        auto put_result = put(object);
+        if (put_result.ok()) {
+          result.id = *put_result;
+        } else {
+          result.status = std::move(put_result).status();
+        }
+        break;
+      }
+      case BatchResult::Op::kGet: {
+        auto get_result = get(result.id);
+        if (get_result.ok()) {
+          result.bytes = *std::move(get_result);
+        } else {
+          result.status = std::move(get_result).status();
+        }
+        break;
+      }
+      case BatchResult::Op::kOverwrite:
+        result.status = overwrite(result.id, object);
+        break;
+      case BatchResult::Op::kForget:
+        result.status = forget(result.id);
+        break;
+      case BatchResult::Op::kGetStripe: {
+        auto read = read_object_stripe(result.id, result.stripe_index);
+        if (read.ok()) {
+          result.bytes = *std::move(read);
+        } else {
+          result.status = std::move(read).status();
+        }
+        break;
+      }
     }
   }
   {
     std::lock_guard lock(mutex_);
-    --executing_;
-    completed_.emplace(result.ticket.id, std::move(result));
+    if (result.status.ok()) {
+      ++ops_succeeded_;
+    } else {
+      ++ops_failed_;
+    }
+    if (stream == nullptr) {
+      --executing_;
+      completed_.emplace(result.ticket.id, std::move(result));
+    } else {
+      // Ordered publication per object: park the stripe until every earlier
+      // stripe has published, then flush the consecutive run. The last
+      // finishing stripe always drains the buffer, so executing_ reaches 0
+      // exactly when every result is visible.
+      stream->done.emplace(result.stripe_index, std::move(result));
+      auto it = stream->done.find(stream->next_publish);
+      while (it != stream->done.end()) {
+        --executing_;
+        completed_.emplace(it->second.ticket.id, std::move(it->second));
+        stream->done.erase(it);
+        it = stream->done.find(++stream->next_publish);
+      }
+    }
   }
   cv_.notify_all();
 }
 
 OpTicket StoreClient::submit_op(BatchResult seed,
-                                std::vector<std::uint8_t> object) {
+                                std::vector<std::uint8_t> object,
+                                std::shared_ptr<StreamState> stream) {
   {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [this] { return executing_ < window_; });
@@ -61,11 +106,11 @@ OpTicket StoreClient::submit_op(BatchResult seed,
   if (pool_ == nullptr) {
     // Deterministic fallback: the operation runs to completion here, in
     // submission order on the submitting thread.
-    run_op(std::move(seed), std::move(object));
+    run_op(std::move(seed), std::move(object), stream);
   } else {
-    pool_->submit([this, seed = std::move(seed),
-                   object = std::move(object)]() mutable {
-      run_op(std::move(seed), std::move(object));
+    pool_->submit([this, seed = std::move(seed), object = std::move(object),
+                   stream = std::move(stream)]() mutable {
+      run_op(std::move(seed), std::move(object), stream);
     });
   }
   return ticket;
@@ -82,6 +127,46 @@ OpTicket StoreClient::submit_get(ObjectId id) {
   seed.op = BatchResult::Op::kGet;
   seed.id = id;
   return submit_op(std::move(seed), {});
+}
+
+OpTicket StoreClient::submit_overwrite(ObjectId id,
+                                       std::vector<std::uint8_t> object) {
+  BatchResult seed;
+  seed.op = BatchResult::Op::kOverwrite;
+  seed.id = id;
+  return submit_op(std::move(seed), std::move(object));
+}
+
+OpTicket StoreClient::submit_forget(ObjectId id) {
+  BatchResult seed;
+  seed.op = BatchResult::Op::kForget;
+  seed.id = id;
+  return submit_op(std::move(seed), {});
+}
+
+std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id) {
+  std::vector<OpTicket> tickets;
+  auto plan = plan_get(id);
+  if (!plan.ok()) {
+    // One already-failed ticket carries the plan error, so every streaming
+    // consumer drains through the same wait_all/wait_any loop.
+    BatchResult seed;
+    seed.op = BatchResult::Op::kGetStripe;
+    seed.id = id;
+    seed.status = std::move(plan).status();
+    tickets.push_back(submit_op(std::move(seed), {}));
+    return tickets;
+  }
+  auto stream = std::make_shared<StreamState>();
+  tickets.reserve(plan->stripes);
+  for (unsigned s = 0; s < plan->stripes; ++s) {
+    BatchResult seed;
+    seed.op = BatchResult::Op::kGetStripe;
+    seed.id = id;
+    seed.stripe_index = s;
+    tickets.push_back(submit_op(std::move(seed), {}, stream));
+  }
+  return tickets;
 }
 
 std::vector<BatchResult> StoreClient::wait_all() {
@@ -110,6 +195,20 @@ BatchResult StoreClient::wait_any() {
 std::size_t StoreClient::pending_ops() const {
   std::lock_guard lock(mutex_);
   return executing_ + completed_.size();
+}
+
+StoreStats StoreClient::stats() const {
+  StoreStats out;
+  {
+    std::lock_guard lock(mutex_);
+    out.async_window = window_;
+    out.in_flight = executing_;
+    out.queued_results = completed_.size();
+    out.ops_succeeded = ops_succeeded_;
+    out.ops_failed = ops_failed_;
+  }
+  fill_backend_stats(out);
+  return out;
 }
 
 }  // namespace traperc::core

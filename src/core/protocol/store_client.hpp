@@ -7,14 +7,24 @@
 // error taxonomy (result.hpp); there are no bool/optional returns.
 //
 // On top of the synchronous virtuals the base class provides an async
-// batched surface: submit_put/submit_get enqueue operations (bounded by an
-// in-flight window) and return OpTickets; wait_all/wait_any drain them.
-// With a thread pool attached (ShardedObjectStore, options.threads > 0) the
-// in-flight window executes on pool workers, so N-object workloads overlap
-// across shards instead of serializing per call — the ticket is issued
-// before the op runs. Without a pool (ObjectStore, or threads == 0) each
-// submit runs its operation inline before returning: the deterministic
-// fallback, byte-identical results in submission order.
+// batched surface: submit_put/submit_get/submit_overwrite/submit_forget
+// enqueue operations (bounded by an in-flight window) and return OpTickets;
+// wait_all/wait_any drain them. With a thread pool attached
+// (ShardedObjectStore, options.threads > 0) the in-flight window executes on
+// pool workers, so N-object workloads overlap across shards instead of
+// serializing per call — the ticket is issued before the op runs. Without a
+// pool (ObjectStore, or threads == 0) each submit runs its operation inline
+// before returning: the deterministic fallback, byte-identical results in
+// submission order.
+//
+// Streaming get: submit_get_streaming(id) fans one object read into one
+// ticket *per stripe* (Op::kGetStripe). Stripe tickets publish in stripe
+// order per object — wait_any never surfaces stripe i+1 of an object before
+// stripe i — so a consumer can append payloads as tickets land and ends with
+// exactly the bytes get(id) would have returned. Stripes of one object may
+// *execute* out of order on the pool (a finished stripe is buffered until
+// its predecessors publish); with no pool they execute inline in stripe
+// order, byte-identical to the serial get.
 //
 // Nested-parallelism note: a batched op executing on a pool worker runs its
 // own per-stripe TaskGroup pipeline inline (TaskGroup degrades when already
@@ -23,10 +33,12 @@
 // construction.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -48,14 +60,54 @@ struct OpTicket {
 
 /// Completion record for one async operation.
 struct BatchResult {
-  enum class Op : std::uint8_t { kPut, kGet };
+  enum class Op : std::uint8_t { kPut, kGet, kOverwrite, kForget, kGetStripe };
 
   OpTicket ticket{};
   Op op = Op::kPut;
-  Status status;  ///< taxonomy outcome of the underlying put/get
-  /// Put: the allocated object id (0 on failure). Get: the requested id.
+  Status status;  ///< taxonomy outcome of the underlying operation
+  /// Put: the allocated object id (0 on failure). Everything else: the
+  /// requested id.
   std::uint64_t id = 0;
-  std::vector<std::uint8_t> bytes;  ///< get payload; empty for puts/failures
+  /// kGetStripe only: which object stripe (0-based) this ticket covers.
+  unsigned stripe_index = 0;
+  /// Get payload / streaming stripe payload; empty for puts, overwrites,
+  /// forgets, and failures.
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Point-in-time observability snapshot of one StoreClient (stats()).
+/// The async fields come from the batching engine; shard_queue_depth comes
+/// from the backend: stripe operations admitted to each shard's pipeline
+/// (submitted or executing) and not yet finished. ObjectStore reports a
+/// single pseudo-shard entry. stripe_writes/stripe_reads aggregate the
+/// SimCluster stripe-sync layer's lifetime counters across every deployment
+/// behind the client.
+struct StoreStats {
+  std::size_t async_window = 0;     ///< configured in-flight bound
+  std::size_t in_flight = 0;        ///< submitted, not yet visible to wait_*
+  std::size_t queued_results = 0;   ///< completed, not yet waited
+  std::uint64_t ops_succeeded = 0;  ///< async ops finished ok (lifetime)
+  std::uint64_t ops_failed = 0;     ///< async ops finished with an error
+  std::vector<std::size_t> shard_queue_depth;  ///< per-shard pending stripes
+  std::uint64_t stripe_writes = 0;  ///< protocol stripe writes (all shards)
+  std::uint64_t stripe_reads = 0;   ///< protocol stripe reads (all shards)
+};
+
+/// RAII release for one StoreStats::shard_queue_depth slot whose increment
+/// happened when the stripe op was admitted (the producer knows the target
+/// shard before the task runs); the destructor keeps the counter exact
+/// across every early-return path of the op.
+class QueueDepthLease {
+ public:
+  explicit QueueDepthLease(std::atomic<std::size_t>& depth) noexcept
+      : depth_(&depth) {}
+  ~QueueDepthLease() { depth_->fetch_sub(1, std::memory_order_relaxed); }
+
+  QueueDepthLease(const QueueDepthLease&) = delete;
+  QueueDepthLease& operator=(const QueueDepthLease&) = delete;
+
+ private:
+  std::atomic<std::size_t>* depth_;
 };
 
 class StoreClient {
@@ -86,6 +138,22 @@ class StoreClient {
   /// has no delete). kUnknownObject when the id is not in the catalog.
   virtual Status forget(ObjectId id) = 0;
 
+  // -- per-stripe read surface (the streaming get's building blocks) ------
+  /// Layout snapshot for a streaming get of `id`: object size and the
+  /// number of stripes covering it (>= 1). kUnknownObject when missing.
+  struct GetPlan {
+    std::size_t size = 0;
+    unsigned stripes = 0;
+  };
+  [[nodiscard]] virtual Result<GetPlan> plan_get(ObjectId id) const = 0;
+
+  /// Reads object stripe `stripe_index` (0-based, counting from the
+  /// object's first stripe): up to stripe_capacity() bytes, trimmed at the
+  /// object's tail. kInvalidArgument past the last covered stripe;
+  /// otherwise the same taxonomy as get(), scoped to this stripe only.
+  [[nodiscard]] virtual Result<std::vector<std::uint8_t>> read_object_stripe(
+      ObjectId id, unsigned stripe_index) = 0;
+
   /// Bytes one stripe can hold: k · chunk_len.
   [[nodiscard]] virtual std::size_t stripe_capacity() const = 0;
   [[nodiscard]] virtual std::size_t object_count() const = 0;
@@ -101,6 +169,24 @@ class StoreClient {
   /// Enqueues a get of `id`. Blocks while the in-flight window is full.
   OpTicket submit_get(ObjectId id);
 
+  /// Enqueues an in-place rewrite of `id` with `object` (owned by the
+  /// batch). Blocks while the in-flight window is full.
+  OpTicket submit_overwrite(ObjectId id, std::vector<std::uint8_t> object);
+
+  /// Enqueues a catalog drop of `id`. Blocks while the in-flight window is
+  /// full.
+  OpTicket submit_forget(ObjectId id);
+
+  /// Enqueues a streaming get of `id`: one kGetStripe ticket per covered
+  /// stripe, in stripe order (sharing the same in-flight window as every
+  /// other submit, so this blocks while the window is full). Stripe results
+  /// publish in stripe order per object; concatenating the payloads in
+  /// ticket order yields exactly get(id)'s bytes. A stripe failure occupies
+  /// only its own ticket — siblings still deliver their stripes. When the
+  /// object cannot be planned (unknown id), a single already-failed ticket
+  /// carries that status.
+  std::vector<OpTicket> submit_get_streaming(ObjectId id);
+
   /// Blocks until every submitted operation completed; returns all results
   /// in ticket (submission) order and clears the completion set.
   std::vector<BatchResult> wait_all();
@@ -112,6 +198,10 @@ class StoreClient {
 
   /// Operations submitted but not yet returned by wait_all/wait_any.
   [[nodiscard]] std::size_t pending_ops() const;
+
+  /// Observability snapshot: async window occupancy, queued results,
+  /// lifetime op counters, and the backend's per-shard queue depths.
+  [[nodiscard]] StoreStats stats() const;
 
  protected:
   StoreClient() = default;
@@ -126,9 +216,22 @@ class StoreClient {
   /// results stay queued for wait_all/wait_any).
   void drain_async();
 
+  /// Backend contribution to stats(): shard queue depths and the
+  /// SimCluster stripe-sync counters.
+  virtual void fill_backend_stats(StoreStats& stats) const = 0;
+
  private:
-  void run_op(BatchResult result, std::vector<std::uint8_t> object);
-  OpTicket submit_op(BatchResult seed, std::vector<std::uint8_t> object);
+  /// Reorder buffer for one streaming get: finished stripes park in `done`
+  /// until every earlier stripe of the same object has published.
+  struct StreamState {
+    unsigned next_publish = 0;
+    std::map<unsigned, BatchResult> done;
+  };
+
+  void run_op(BatchResult result, std::vector<std::uint8_t> object,
+              const std::shared_ptr<StreamState>& stream);
+  OpTicket submit_op(BatchResult seed, std::vector<std::uint8_t> object,
+                     std::shared_ptr<StreamState> stream = nullptr);
 
   ThreadPool* pool_ = nullptr;  ///< not owned; null = inline submits
   unsigned window_ = 1;
@@ -136,7 +239,9 @@ class StoreClient {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t next_ticket_ = 1;
-  std::size_t executing_ = 0;  ///< submitted, not yet completed
+  std::size_t executing_ = 0;  ///< submitted, not yet published
+  std::uint64_t ops_succeeded_ = 0;
+  std::uint64_t ops_failed_ = 0;
   std::map<std::uint64_t, BatchResult> completed_;  ///< keyed by ticket id
 };
 

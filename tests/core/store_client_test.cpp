@@ -227,6 +227,41 @@ TEST(StoreClient, InlineSubmitsAreDeterministicAndByteIdentical) {
   }
 }
 
+TEST(StoreClient, StatsSnapshotCountsOpsAndExposesShardDepths) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    const auto idle = client.stats();
+    EXPECT_EQ(idle.in_flight, 0u);
+    EXPECT_EQ(idle.queued_results, 0u);
+    EXPECT_EQ(idle.ops_succeeded, 0u);
+    EXPECT_EQ(idle.ops_failed, 0u);
+    EXPECT_GE(idle.async_window, 1u);
+    // One entry per shard (ObjectStore reports its single deployment).
+    ASSERT_FALSE(idle.shard_queue_depth.empty());
+    EXPECT_EQ(idle.stripe_writes, 0u);
+    EXPECT_EQ(idle.stripe_reads, 0u);
+
+    (void)client.submit_put(random_bytes(512 * 2, 7));
+    (void)client.submit_get(4242);  // unknown: must count as failed
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 2u);
+    const auto after = client.stats();
+    EXPECT_EQ(after.in_flight, 0u);
+    EXPECT_EQ(after.queued_results, 0u);
+    EXPECT_EQ(after.ops_succeeded, 1u);
+    EXPECT_EQ(after.ops_failed, 1u);
+    EXPECT_GT(after.stripe_writes, 0u);
+    for (const auto depth : after.shard_queue_depth) {
+      EXPECT_EQ(depth, 0u);  // idle again
+    }
+    // Streaming tickets count one op each.
+    const auto tickets = client.submit_get_streaming(results[0].id);
+    client.wait_all();
+    EXPECT_EQ(client.stats().ops_succeeded, 1u + tickets.size());
+    EXPECT_GT(client.stats().stripe_reads, 0u);
+  }
+}
+
 TEST(StoreClient, PooledBatchMatchesSerialResults) {
   // The pooled batch (threads > 0) must return the same bytes as the
   // deterministic path — only the interleaving may differ.

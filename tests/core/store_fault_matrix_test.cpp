@@ -1,0 +1,320 @@
+// Fault-injection matrix for the async StoreClient surface: set_shard_down
+// and node kills injected mid-batch and mid-stream, across both facades and
+// thread counts. Asserts the *exact* ErrorCode, the shard/stripe context,
+// and the suspect node sets — and that a streaming get confines a failure
+// to the failing stripe's ticket without poisoning sibling tickets.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/sharded_store.hpp"
+#include "core/protocol/store_client.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig fault_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  return config;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(len);
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+std::unique_ptr<ShardedObjectStore> make_store(unsigned threads) {
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = threads;
+  options.pipeline_depth = 2;
+  options.async_window = 4;
+  return std::make_unique<ShardedObjectStore>(fault_config(), options);
+}
+
+// -- shard down, mid-batch, inline (deterministic injection point) --------
+
+TEST(StoreFaultMatrix, ShardDownMidBatchInlineExactCodes) {
+  auto store = make_store(/*threads=*/0);
+  const auto capacity = store->stripe_capacity();
+  const auto spanning = pattern_bytes(capacity * 3, 1);  // shards 0,1,2
+  const auto narrow = pattern_bytes(capacity - 9, 2);    // shard 0 only
+
+  const auto before = store->put(spanning);
+  ASSERT_TRUE(before.ok());
+
+  // Injection point: between submits. Everything after the toggle that
+  // needs shard 1 must fail fast with kShardDown + shard context; ops that
+  // never touch shard 1 keep serving.
+  (void)store->submit_put(spanning);  // runs inline pre-toggle: ok
+  store->set_shard_down(1, true);
+  (void)store->submit_put(spanning);   // spans shard 1: kShardDown
+  (void)store->submit_get(*before);    // stripe 1 lives on shard 1
+  (void)store->submit_put(narrow);     // shard 0 only: still ok
+  (void)store->submit_forget(*before); // catalog-only: unaffected
+  const auto results = store->wait_all();
+  ASSERT_EQ(results.size(), 5u);
+
+  EXPECT_EQ(results[0].status.code(), ErrorCode::kOk);
+  EXPECT_EQ(results[1].status.code(), ErrorCode::kShardDown);
+  EXPECT_EQ(results[1].status.shard(), 1);
+  EXPECT_TRUE(results[1].status.has_stripe());
+  EXPECT_EQ(results[2].status.code(), ErrorCode::kShardDown);
+  EXPECT_EQ(results[2].status.shard(), 1);
+  EXPECT_EQ(results[3].status.code(), ErrorCode::kOk);
+  EXPECT_EQ(*store->get(results[3].id), narrow);
+  EXPECT_EQ(results[4].status.code(), ErrorCode::kOk);
+
+  // The failed put burned its allocation: only the three successful puts
+  // (minus the forgotten one) are cataloged, and the shard serves again.
+  store->set_shard_down(1, false);
+  EXPECT_EQ(store->object_count(), 2u);
+  EXPECT_TRUE(store->overwrite(results[0].id, spanning).ok());
+}
+
+// -- shard down, mid-batch, pooled (racing injection) ---------------------
+
+TEST(StoreFaultMatrix, ShardDownMidBatchPooledConsistentOutcome) {
+  auto store = make_store(/*threads=*/2);
+  const auto capacity = store->stripe_capacity();
+  std::vector<std::vector<std::uint8_t>> objects;
+  std::vector<OpTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    objects.push_back(pattern_bytes(capacity * 3 + i, 10 + i));
+    tickets.push_back(store->submit_put(objects.back()));
+    if (i == 3) store->set_shard_down(1, true);  // race with in-flight puts
+  }
+  const auto results = store->wait_all();
+  store->set_shard_down(1, false);
+  ASSERT_EQ(results.size(), objects.size());
+  std::size_t ok_count = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].ticket, tickets[i]);
+    if (results[i].status.ok()) {
+      // Every op the batch reported ok must be fully readable.
+      EXPECT_EQ(*store->get(results[i].id), objects[i]) << "put " << i;
+      ++ok_count;
+    } else {
+      // The only legal failure is the injected one, with context.
+      ASSERT_EQ(results[i].status.code(), ErrorCode::kShardDown)
+          << results[i].status;
+      EXPECT_EQ(results[i].status.shard(), 1);
+    }
+  }
+  // Failed puts burned their allocations: nothing else is cataloged.
+  EXPECT_EQ(store->object_count(), ok_count);
+}
+
+// -- node kills mid-batch: exact code + suspect set -----------------------
+
+TEST(StoreFaultMatrix, NodeKillMidBatchSurfacesQuorumLossWithSuspects) {
+  // Both facades, through the same client surface. Level 1 dark kills the
+  // write quorum, so the overwrite reports kQuorumUnavailable naming
+  // exactly the dark nodes, while sibling ops in the same batch keep their
+  // own outcomes: reads still serve from the surviving nodes and catalog
+  // misses keep their own taxonomy.
+  for (unsigned threads : {0u, 2u}) {
+    auto store = make_store(threads);
+    StoreClient& client = *store;
+    const auto capacity = client.stripe_capacity();
+    const auto object = pattern_bytes(capacity * 2, 3);
+    const auto id = client.put(object);
+    ASSERT_TRUE(id.ok());
+    const auto untouched = client.put(pattern_bytes(capacity, 30));
+    ASSERT_TRUE(untouched.ok());
+
+    (void)client.submit_overwrite(*id, object);  // pre-kill: ok
+    const auto warmup = client.wait_all();
+    ASSERT_TRUE(warmup.at(0).status.ok());
+
+    for (NodeId node = 10; node <= 14; ++node) store->fail_node(node);
+    (void)client.submit_overwrite(*id, object);
+    (void)client.submit_get(*untouched);
+    (void)client.submit_get(999999);  // catalog miss: not a quorum problem
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 3u);
+
+    ASSERT_EQ(results[0].status.code(), ErrorCode::kQuorumUnavailable)
+        << "threads=" << threads;
+    EXPECT_TRUE(results[0].status.has_stripe());
+    EXPECT_TRUE(results[0].status.has_block());
+    // Exact suspect set: the five dark level-1 nodes, nothing else.
+    const std::set<NodeId> suspects(results[0].status.nodes().begin(),
+                                    results[0].status.nodes().end());
+    const std::set<NodeId> expected{10, 11, 12, 13, 14};
+    EXPECT_EQ(suspects, expected) << "threads=" << threads;
+    // Reads stay on the surviving quorum mid-batch.
+    ASSERT_EQ(results[1].status.code(), ErrorCode::kOk);
+    EXPECT_EQ(results[1].bytes, pattern_bytes(capacity, 30));
+    EXPECT_EQ(results[2].status.code(), ErrorCode::kUnknownObject);
+
+    // Recovery: the untouched object reads back byte-exact.
+    for (NodeId node = 10; node <= 14; ++node) store->recover_node(node);
+    EXPECT_EQ(*client.get(*untouched), pattern_bytes(capacity, 30));
+  }
+}
+
+// -- streaming: decode failure isolated to the failing stripe -------------
+
+TEST(StoreFaultMatrix, StreamingDecodeFailedDoesNotPoisonSiblings) {
+  for (unsigned threads : {0u, 2u}) {
+    auto store = make_store(threads);
+    const auto capacity = store->stripe_capacity();
+    const auto object = pattern_bytes(capacity * 3, 4);  // shards 0,1,2
+    const auto id = store->put(object);
+    ASSERT_TRUE(id.ok());
+
+    // Kill 8 of 15 nodes in *shard 1 only*: its stripes still pass the
+    // version check through parity but cannot gather k = 8 chunks.
+    for (NodeId node = 0; node < 8; ++node) {
+      store->shard_cluster(1).fail_node(node);
+    }
+    const auto tickets = store->submit_get_streaming(*id);
+    ASSERT_EQ(tickets.size(), 3u);
+    const auto results = store->wait_all();
+    ASSERT_EQ(results.size(), 3u);
+    for (unsigned s = 0; s < 3; ++s) {
+      ASSERT_EQ(results[s].ticket, tickets[s]);
+      ASSERT_EQ(results[s].stripe_index, s);
+      if (s == 1) {  // object stripe 1 lives on shard 1
+        ASSERT_EQ(results[s].status.code(), ErrorCode::kDecodeFailed)
+            << "threads=" << threads << ": " << results[s].status;
+        EXPECT_EQ(results[s].status.shard(), 1);
+        EXPECT_FALSE(results[s].status.nodes().empty());
+        EXPECT_TRUE(results[s].bytes.empty());
+      } else {
+        ASSERT_EQ(results[s].status.code(), ErrorCode::kOk)
+            << "threads=" << threads << " sibling stripe " << s
+            << " poisoned: " << results[s].status;
+        EXPECT_EQ(results[s].bytes,
+                  std::vector<std::uint8_t>(
+                      object.begin() + s * capacity,
+                      object.begin() + (s + 1) * capacity));
+      }
+    }
+
+    // Recovery: the same stream serves end-to-end once the nodes return.
+    for (NodeId node = 0; node < 8; ++node) {
+      store->shard_cluster(1).recover_node(node);
+    }
+    (void)store->submit_get_streaming(*id);
+    std::vector<std::uint8_t> assembled;
+    for (const auto& result : store->wait_all()) {
+      ASSERT_TRUE(result.status.ok());
+      assembled.insert(assembled.end(), result.bytes.begin(),
+                       result.bytes.end());
+    }
+    EXPECT_EQ(assembled, object);
+  }
+}
+
+TEST(StoreFaultMatrix, StreamingDecodeFailedOnObjectStorePerStripeTickets) {
+  // Single-deployment facade: every stripe fails its own decode, every
+  // ticket reports it independently — order preserved, no crash, and the
+  // stream recovers after the nodes come back.
+  SimCluster cluster(fault_config());
+  ObjectStore store(cluster);
+  const auto object = pattern_bytes(store.stripe_capacity() * 2 + 33, 5);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.ok());
+
+  for (NodeId node = 0; node < 8; ++node) cluster.fail_node(node);
+  const auto tickets = store.submit_get_streaming(*id);
+  ASSERT_EQ(tickets.size(), 3u);
+  const auto results = store.wait_all();
+  ASSERT_EQ(results.size(), 3u);
+  for (unsigned s = 0; s < 3; ++s) {
+    ASSERT_EQ(results[s].ticket, tickets[s]);
+    EXPECT_EQ(results[s].stripe_index, s);
+    ASSERT_EQ(results[s].status.code(), ErrorCode::kDecodeFailed)
+        << "stripe " << s;
+    EXPECT_TRUE(results[s].status.has_stripe());
+    EXPECT_FALSE(results[s].status.nodes().empty());
+  }
+
+  for (NodeId node = 0; node < 8; ++node) cluster.recover_node(node);
+  (void)store.submit_get_streaming(*id);
+  std::vector<std::uint8_t> assembled;
+  for (const auto& result : store.wait_all()) {
+    ASSERT_TRUE(result.status.ok());
+    assembled.insert(assembled.end(), result.bytes.begin(),
+                     result.bytes.end());
+  }
+  EXPECT_EQ(assembled, object);
+}
+
+// -- streaming: shard taken down mid-stream (pooled race) -----------------
+
+TEST(StoreFaultMatrix, StreamingShardDownMidStreamPooled) {
+  auto store = make_store(/*threads=*/2);
+  const auto capacity = store->stripe_capacity();
+  const auto object = pattern_bytes(capacity * 9, 6);  // 3 stripes per shard
+  const auto id = store->put(object);
+  ASSERT_TRUE(id.ok());
+
+  const auto tickets = store->submit_get_streaming(*id);
+  store->set_shard_down(1, true);  // race with in-flight stripe reads
+  const auto results = store->wait_all();
+  store->set_shard_down(1, false);
+  ASSERT_EQ(results.size(), 9u);
+  for (unsigned s = 0; s < 9; ++s) {
+    ASSERT_EQ(results[s].ticket, tickets[s]);
+    ASSERT_EQ(results[s].stripe_index, s);
+    if (results[s].status.ok()) {
+      EXPECT_EQ(results[s].bytes,
+                std::vector<std::uint8_t>(
+                    object.begin() + s * capacity,
+                    object.begin() + (s + 1) * capacity))
+          << "stripe " << s;
+    } else {
+      // Only the injected failure is legal, only on shard 1's stripes.
+      ASSERT_EQ(results[s].status.code(), ErrorCode::kShardDown)
+          << "stripe " << s << ": " << results[s].status;
+      EXPECT_EQ(results[s].status.shard(), 1);
+      EXPECT_EQ(s % 3, 1u) << "stripe " << s << " is not on shard 1";
+    }
+  }
+
+  // Full stream once the shard returns.
+  (void)store->submit_get_streaming(*id);
+  std::vector<std::uint8_t> assembled;
+  for (const auto& result : store->wait_all()) {
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    assembled.insert(assembled.end(), result.bytes.begin(),
+                     result.bytes.end());
+  }
+  EXPECT_EQ(assembled, object);
+}
+
+// -- forget/overwrite tickets under shard-down ----------------------------
+
+TEST(StoreFaultMatrix, AsyncOverwriteForgetUnderShardDown) {
+  auto store = make_store(/*threads=*/0);
+  const auto capacity = store->stripe_capacity();
+  const auto object = pattern_bytes(capacity * 3, 7);
+  const auto id = store->put(object);
+  ASSERT_TRUE(id.ok());
+
+  store->set_shard_down(2, true);
+  (void)store->submit_overwrite(*id, pattern_bytes(capacity * 3, 8));
+  (void)store->submit_forget(*id);  // catalog-only: succeeds regardless
+  const auto results = store->wait_all();
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].op, BatchResult::Op::kOverwrite);
+  EXPECT_EQ(results[0].status.code(), ErrorCode::kShardDown);
+  EXPECT_EQ(results[0].status.shard(), 2);
+  ASSERT_EQ(results[1].op, BatchResult::Op::kForget);
+  EXPECT_EQ(results[1].status.code(), ErrorCode::kOk);
+  EXPECT_EQ(store->object_count(), 0u);
+}
+
+}  // namespace
+}  // namespace traperc::core

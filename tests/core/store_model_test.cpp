@@ -1,0 +1,526 @@
+// Model-based differential harness for the StoreClient surface.
+//
+// Seeded random sequences of put/get/overwrite/forget — issued serially,
+// through the async batched surface, and as streaming gets — run against
+// both facades (ObjectStore; ShardedObjectStore at threads 0/2/4) and are
+// checked op-for-op against an in-memory reference map. The runs are
+// fault-free, so every outcome is exactly predictable: bytes, error codes,
+// and (on the deterministic inline paths) the id sequence itself. Pooled
+// runs may assign put ids in any order within one batch, so there the
+// harness checks the id *set* plus per-ticket status/bytes.
+//
+// Every assertion carries the seed + facade + op index, so a failure
+// replays with a one-line filter:
+//   ./traperc_core_tests --gtest_filter='Seeds/StoreModelTest.*seedN*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/sharded_store.hpp"
+#include "core/protocol/store_client.hpp"
+
+namespace traperc::core {
+namespace {
+
+ProtocolConfig model_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 32;  // stripe capacity = 8 * 32 = 256 bytes
+  return config;
+}
+
+/// One client under test plus everything that owns its backing state.
+struct ModelFixture {
+  std::string name;
+  bool deterministic = false;  ///< inline submits: exact id sequence
+  std::unique_ptr<SimCluster> cluster;  // ObjectStore backend only
+  std::unique_ptr<StoreClient> client;
+};
+
+std::vector<ModelFixture> model_fixtures() {
+  std::vector<ModelFixture> fixtures;
+  {
+    ModelFixture fixture;
+    fixture.name = "ObjectStore";
+    fixture.deterministic = true;
+    fixture.cluster = std::make_unique<SimCluster>(model_config());
+    fixture.client = std::make_unique<ObjectStore>(*fixture.cluster);
+    fixtures.push_back(std::move(fixture));
+  }
+  for (unsigned threads : {0u, 2u, 4u}) {
+    ModelFixture fixture;
+    fixture.name = "Sharded/t" + std::to_string(threads);
+    fixture.deterministic = threads == 0;
+    ShardedStoreOptions options;
+    options.shards = 3;
+    options.threads = threads;
+    options.pipeline_depth = 2;
+    options.async_window = 4;
+    fixture.client =
+        std::make_unique<ShardedObjectStore>(model_config(), options);
+    fixtures.push_back(std::move(fixture));
+  }
+  return fixtures;
+}
+
+/// Reference state + op driver for one (client, seed) run.
+class ModelHarness {
+ public:
+  ModelHarness(StoreClient& client, bool deterministic, std::uint64_t seed,
+               std::string name)
+      : client_(client),
+        deterministic_(deterministic),
+        seed_(seed),
+        name_(std::move(name)),
+        rng_(seed * 0x9e3779b97f4a7c15ULL + 17) {}
+
+  void run(unsigned target_ops) {
+    while (ops_ < target_ops) {
+      const auto episode = rng_.next_below(10);
+      if (episode < 5) {
+        ASSERT_NO_FATAL_FAILURE(serial_op());
+      } else if (episode < 8) {
+        ASSERT_NO_FATAL_FAILURE(batch_episode());
+      } else {
+        ASSERT_NO_FATAL_FAILURE(streaming_episode());
+      }
+      ASSERT_NO_FATAL_FAILURE(check_idle_stats());
+    }
+    // Final audit: every live object reads back exactly, serially and
+    // streamed.
+    for (const auto& [id, entry] : model_) {
+      const auto back = client_.get(id);
+      ASSERT_EQ(back.code(), ErrorCode::kOk) << trace("final get");
+      ASSERT_EQ(*back, entry.bytes) << trace("final get bytes");
+    }
+  }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::size_t max_size = 0;  ///< allocated capacity (stripes · capacity)
+  };
+
+  std::string trace(const char* what) const {
+    return std::string(what) + " [" + name_ +
+           " seed=" + std::to_string(seed_) + " op=" + std::to_string(ops_) +
+           "]";
+  }
+
+  std::size_t capacity() const { return client_.stripe_capacity(); }
+
+  std::vector<std::uint8_t> random_object() {
+    // 1..3 stripes; exact stripe multiples ~25% of the time to exercise
+    // tail-free layouts.
+    const auto stripes = 1 + rng_.next_below(3);
+    std::size_t size = stripes * capacity();
+    if (!rng_.next_bool(0.25)) {
+      size = 1 + rng_.next_below(size);
+    }
+    std::vector<std::uint8_t> out(size);
+    for (auto& byte : out) byte = static_cast<std::uint8_t>(rng_.next_u64());
+    return out;
+  }
+
+  StoreClient::ObjectId pick_existing() {
+    if (model_.empty()) return 0;
+    auto it = model_.begin();
+    std::advance(it, static_cast<long>(rng_.next_below(model_.size())));
+    return it->first;
+  }
+
+  StoreClient::ObjectId pick_unknown() {
+    if (!forgotten_.empty() && rng_.next_bool(0.5)) {
+      return forgotten_[rng_.next_below(forgotten_.size())];
+    }
+    return 1'000'000 + rng_.next_below(1000);
+  }
+
+  void apply_put(StoreClient::ObjectId id, std::vector<std::uint8_t> bytes) {
+    Entry entry;
+    entry.max_size =
+        (bytes.size() + capacity() - 1) / capacity() * capacity();
+    entry.bytes = std::move(bytes);
+    model_.emplace(id, std::move(entry));
+  }
+
+  // -- serial ops ---------------------------------------------------------
+
+  void serial_op() {
+    ++ops_;
+    const bool crowded = model_.size() >= 12;
+    switch (crowded ? 4 + rng_.next_below(2) : rng_.next_below(6)) {
+      case 0: {  // put (occasionally empty -> kInvalidArgument)
+        if (rng_.next_bool(0.05)) {
+          ASSERT_EQ(client_.put({}).code(), ErrorCode::kInvalidArgument)
+              << trace("empty put");
+          return;
+        }
+        auto bytes = random_object();
+        const auto id = client_.put(bytes);
+        ASSERT_EQ(id.code(), ErrorCode::kOk) << trace("put");
+        ASSERT_EQ(*id, next_id_) << trace("put id sequence");
+        ++next_id_;
+        apply_put(*id, std::move(bytes));
+        return;
+      }
+      case 1: {  // get existing
+        const auto id = pick_existing();
+        if (id == 0) return;
+        const auto back = client_.get(id);
+        ASSERT_EQ(back.code(), ErrorCode::kOk) << trace("get");
+        ASSERT_EQ(*back, model_.at(id).bytes) << trace("get bytes");
+        return;
+      }
+      case 2: {  // overwrite (sometimes oversize -> kInvalidArgument)
+        const auto id = pick_existing();
+        if (id == 0) return;
+        Entry& entry = model_.at(id);
+        if (rng_.next_bool(0.15)) {
+          std::vector<std::uint8_t> oversize(entry.max_size + 1, 0xAB);
+          ASSERT_EQ(client_.overwrite(id, oversize).code(),
+                    ErrorCode::kInvalidArgument)
+              << trace("oversize overwrite");
+          return;
+        }
+        std::vector<std::uint8_t> bytes(1 +
+                                        rng_.next_below(entry.max_size));
+        for (auto& byte : bytes) {
+          byte = static_cast<std::uint8_t>(rng_.next_u64());
+        }
+        ASSERT_TRUE(client_.overwrite(id, bytes).ok()) << trace("overwrite");
+        entry.bytes = std::move(bytes);
+        return;
+      }
+      case 3: {  // probe unknown ids across the whole surface
+        const auto id = pick_unknown();
+        const std::vector<std::uint8_t> one{0x1};
+        ASSERT_EQ(client_.get(id).code(), ErrorCode::kUnknownObject)
+            << trace("unknown get");
+        ASSERT_EQ(client_.overwrite(id, one).code(),
+                  ErrorCode::kUnknownObject)
+            << trace("unknown overwrite");
+        ASSERT_EQ(client_.forget(id).code(), ErrorCode::kUnknownObject)
+            << trace("unknown forget");
+        return;
+      }
+      case 4: {  // forget existing
+        const auto id = pick_existing();
+        if (id == 0) return;
+        ASSERT_TRUE(client_.forget(id).ok()) << trace("forget");
+        model_.erase(id);
+        forgotten_.push_back(id);
+        return;
+      }
+      default: {  // per-stripe sync read
+        const auto id = pick_existing();
+        if (id == 0) return;
+        const Entry& entry = model_.at(id);
+        const auto used = static_cast<unsigned>(
+            (entry.bytes.size() + capacity() - 1) / capacity());
+        const auto stripe =
+            static_cast<unsigned>(rng_.next_below(used));
+        const auto part = client_.read_object_stripe(id, stripe);
+        ASSERT_EQ(part.code(), ErrorCode::kOk) << trace("stripe read");
+        const std::size_t offset =
+            static_cast<std::size_t>(stripe) * capacity();
+        const std::size_t bytes =
+            std::min(capacity(), entry.bytes.size() - offset);
+        ASSERT_EQ(part->size(), bytes) << trace("stripe read size");
+        ASSERT_TRUE(std::equal(part->begin(), part->end(),
+                               entry.bytes.begin() + static_cast<long>(
+                                                         offset)))
+            << trace("stripe read bytes");
+        ASSERT_EQ(client_.read_object_stripe(id, used).code(),
+                  ErrorCode::kInvalidArgument)
+            << trace("stripe read past end");
+        return;
+      }
+    }
+  }
+
+  // -- batched episode ----------------------------------------------------
+
+  void batch_episode() {
+    struct Planned {
+      BatchResult::Op op = BatchResult::Op::kPut;
+      OpTicket ticket{};
+      StoreClient::ObjectId id = 0;  // target for get/overwrite/forget
+      std::vector<std::uint8_t> bytes;  // put/overwrite payload
+      bool expect_unknown = false;
+    };
+    std::vector<Planned> planned;
+    std::set<StoreClient::ObjectId> used_targets;
+    const auto count = 2 + rng_.next_below(4);
+    unsigned puts = 0;
+    for (unsigned i = 0; i < count; ++i) {
+      ++ops_;
+      Planned p;
+      switch (rng_.next_below(5)) {
+        case 0:
+        case 1: {
+          p.op = BatchResult::Op::kPut;
+          p.bytes = random_object();
+          p.ticket = client_.submit_put(p.bytes);
+          ++puts;
+          break;
+        }
+        case 2: {
+          const auto id = pick_existing();
+          if (id == 0 || !used_targets.insert(id).second) {
+            p.op = BatchResult::Op::kGet;
+            p.id = pick_unknown();
+            p.expect_unknown = true;
+            p.ticket = client_.submit_get(p.id);
+            break;
+          }
+          p.op = BatchResult::Op::kGet;
+          p.id = id;
+          p.ticket = client_.submit_get(id);
+          break;
+        }
+        case 3: {
+          const auto id = pick_existing();
+          if (id == 0 || !used_targets.insert(id).second) {
+            p.op = BatchResult::Op::kForget;
+            p.id = pick_unknown();
+            p.expect_unknown = true;
+            p.ticket = client_.submit_forget(p.id);
+            break;
+          }
+          p.op = BatchResult::Op::kOverwrite;
+          p.id = id;
+          p.bytes.assign(1 + rng_.next_below(model_.at(id).max_size), 0);
+          for (auto& byte : p.bytes) {
+            byte = static_cast<std::uint8_t>(rng_.next_u64());
+          }
+          p.ticket = client_.submit_overwrite(id, p.bytes);
+          break;
+        }
+        default: {
+          const auto id = pick_existing();
+          if (id == 0 || !used_targets.insert(id).second) {
+            p.op = BatchResult::Op::kGet;
+            p.id = pick_unknown();
+            p.expect_unknown = true;
+            p.ticket = client_.submit_get(p.id);
+            break;
+          }
+          p.op = BatchResult::Op::kForget;
+          p.id = id;
+          p.ticket = client_.submit_forget(id);
+          break;
+        }
+      }
+      planned.push_back(std::move(p));
+    }
+
+    const auto results = client_.wait_all();
+    ASSERT_EQ(results.size(), planned.size()) << trace("batch size");
+    // Pooled puts may claim ids in any order within the batch; collect the
+    // expected id range and check set membership instead.
+    std::set<StoreClient::ObjectId> expected_new_ids;
+    for (unsigned i = 0; i < puts; ++i) expected_new_ids.insert(next_id_ + i);
+    unsigned put_index = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& result = results[i];
+      const auto& p = planned[i];
+      ASSERT_EQ(result.ticket, p.ticket) << trace("batch ticket order");
+      ASSERT_EQ(result.op, p.op) << trace("batch op kind");
+      switch (p.op) {
+        case BatchResult::Op::kPut: {
+          ASSERT_TRUE(result.status.ok()) << trace("batch put");
+          if (deterministic_) {
+            ASSERT_EQ(result.id, next_id_ + put_index)
+                << trace("batch put id sequence");
+          }
+          ASSERT_EQ(expected_new_ids.erase(result.id), 1u)
+              << trace("batch put id set");
+          ++put_index;
+          apply_put(result.id, p.bytes);
+          break;
+        }
+        case BatchResult::Op::kGet: {
+          if (p.expect_unknown) {
+            ASSERT_EQ(result.status.code(), ErrorCode::kUnknownObject)
+                << trace("batch unknown get");
+            break;
+          }
+          ASSERT_TRUE(result.status.ok()) << trace("batch get");
+          ASSERT_EQ(result.bytes, model_.at(p.id).bytes)
+              << trace("batch get bytes");
+          break;
+        }
+        case BatchResult::Op::kOverwrite: {
+          ASSERT_TRUE(result.status.ok()) << trace("batch overwrite");
+          model_.at(p.id).bytes = p.bytes;
+          break;
+        }
+        case BatchResult::Op::kForget: {
+          if (p.expect_unknown) {
+            ASSERT_EQ(result.status.code(), ErrorCode::kUnknownObject)
+                << trace("batch unknown forget");
+            break;
+          }
+          ASSERT_TRUE(result.status.ok()) << trace("batch forget");
+          model_.erase(p.id);
+          forgotten_.push_back(p.id);
+          break;
+        }
+        case BatchResult::Op::kGetStripe:
+          FAIL() << trace("unexpected stripe ticket");
+      }
+    }
+    ASSERT_TRUE(expected_new_ids.empty()) << trace("batch ids unclaimed");
+    next_id_ += puts;
+  }
+
+  // -- streaming episode --------------------------------------------------
+
+  void streaming_episode() {
+    if (rng_.next_bool(0.15) || model_.empty()) {
+      // Unknown id: one already-failed ticket.
+      ++ops_;
+      const auto id = pick_unknown();
+      const auto tickets = client_.submit_get_streaming(id);
+      ASSERT_EQ(tickets.size(), 1u) << trace("unknown stream tickets");
+      const auto result = client_.wait_any();
+      ASSERT_EQ(result.ticket, tickets[0]) << trace("unknown stream ticket");
+      ASSERT_EQ(result.op, BatchResult::Op::kGetStripe)
+          << trace("unknown stream op");
+      ASSERT_EQ(result.status.code(), ErrorCode::kUnknownObject)
+          << trace("unknown stream code");
+      ASSERT_EQ(client_.pending_ops(), 0u) << trace("unknown stream drained");
+      return;
+    }
+    const auto id = pick_existing();
+    const Entry& entry = model_.at(id);
+    const auto expected_stripes = static_cast<unsigned>(
+        (entry.bytes.size() + capacity() - 1) / capacity());
+    const auto tickets = client_.submit_get_streaming(id);
+    ops_ += static_cast<unsigned>(tickets.size());
+    ASSERT_EQ(tickets.size(), expected_stripes) << trace("stream tickets");
+    // Ordered publication: wait_any surfaces stripes strictly in stripe
+    // order for every thread count, and the concatenation is get(id).
+    std::vector<std::uint8_t> assembled;
+    for (unsigned s = 0; s < expected_stripes; ++s) {
+      const auto result = client_.wait_any();
+      ASSERT_EQ(result.ticket, tickets[s]) << trace("stream order");
+      ASSERT_EQ(result.op, BatchResult::Op::kGetStripe)
+          << trace("stream op");
+      ASSERT_EQ(result.id, id) << trace("stream id");
+      ASSERT_EQ(result.stripe_index, s) << trace("stream stripe index");
+      ASSERT_TRUE(result.status.ok()) << trace("stream status");
+      const std::size_t offset = static_cast<std::size_t>(s) * capacity();
+      ASSERT_EQ(result.bytes.size(),
+                std::min(capacity(), entry.bytes.size() - offset))
+          << trace("stream stripe size");
+      assembled.insert(assembled.end(), result.bytes.begin(),
+                       result.bytes.end());
+    }
+    ASSERT_EQ(assembled, entry.bytes) << trace("stream bytes");
+    ASSERT_EQ(client_.pending_ops(), 0u) << trace("stream drained");
+  }
+
+  // -- stats invariants ----------------------------------------------------
+
+  void check_idle_stats() {
+    const auto stats = client_.stats();
+    ASSERT_EQ(stats.in_flight, 0u) << trace("idle in_flight");
+    ASSERT_EQ(stats.queued_results, 0u) << trace("idle queued_results");
+    ASSERT_GE(stats.async_window, 1u) << trace("window");
+    ASSERT_FALSE(stats.shard_queue_depth.empty()) << trace("shard depths");
+    for (std::size_t j = 0; j < stats.shard_queue_depth.size(); ++j) {
+      ASSERT_EQ(stats.shard_queue_depth[j], 0u)
+          << trace("idle shard depth") << " shard=" << j;
+    }
+    ASSERT_GE(stats.ops_succeeded + stats.ops_failed, last_finished_)
+        << trace("op counters monotonic");
+    last_finished_ = stats.ops_succeeded + stats.ops_failed;
+    ASSERT_GE(stats.stripe_writes + stats.stripe_reads, last_stripe_ops_)
+        << trace("stripe counters monotonic");
+    last_stripe_ops_ = stats.stripe_writes + stats.stripe_reads;
+  }
+
+  StoreClient& client_;
+  bool deterministic_;
+  std::uint64_t seed_;
+  std::string name_;
+  Rng rng_;
+  std::map<StoreClient::ObjectId, Entry> model_;
+  std::vector<StoreClient::ObjectId> forgotten_;
+  StoreClient::ObjectId next_id_ = 1;
+  unsigned ops_ = 0;
+  std::uint64_t last_finished_ = 0;
+  std::uint64_t last_stripe_ops_ = 0;
+};
+
+class StoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreModelTest, RandomOpsMatchReferenceModel) {
+  for (auto& fixture : model_fixtures()) {
+    SCOPED_TRACE(fixture.name + " seed=" + std::to_string(GetParam()));
+    ModelHarness harness(*fixture.client, fixture.deterministic, GetParam(),
+                         fixture.name);
+    ASSERT_NO_FATAL_FAILURE(harness.run(/*target_ops=*/1000));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest,
+                         ::testing::Values(17u, 42u, 20260728u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+// The inline submits (threads == 0) must be byte-identical to the serial
+// path: the same op sequence issued batched on one store and serially on a
+// twin store ends in identical catalogs, ids, and bytes.
+TEST(StoreModelDeterminism, InlineBatchTwinsSerialStore) {
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 0;
+  ShardedObjectStore batched(model_config(), options);
+  ShardedObjectStore serial(model_config(), options);
+  Rng rng(99);
+
+  std::vector<std::vector<std::uint8_t>> objects;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<std::uint8_t> object(1 + rng.next_below(700));
+    for (auto& byte : object) {
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    objects.push_back(std::move(object));
+  }
+  for (const auto& object : objects) {
+    (void)batched.submit_put(object);
+  }
+  const auto batch_results = batched.wait_all();
+  std::vector<StoreClient::ObjectId> serial_ids;
+  for (const auto& object : objects) {
+    serial_ids.push_back(*serial.put(object));
+  }
+  ASSERT_EQ(batch_results.size(), serial_ids.size());
+  for (std::size_t i = 0; i < serial_ids.size(); ++i) {
+    ASSERT_TRUE(batch_results[i].status.ok());
+    EXPECT_EQ(batch_results[i].id, serial_ids[i]);
+    // Streaming get on the batched store == serial get on the twin.
+    const auto tickets = batched.submit_get_streaming(batch_results[i].id);
+    std::vector<std::uint8_t> streamed;
+    for (std::size_t s = 0; s < tickets.size(); ++s) {
+      const auto part = batched.wait_any();
+      ASSERT_TRUE(part.status.ok());
+      streamed.insert(streamed.end(), part.bytes.begin(), part.bytes.end());
+    }
+    EXPECT_EQ(streamed, *serial.get(serial_ids[i]));
+  }
+}
+
+}  // namespace
+}  // namespace traperc::core
