@@ -111,18 +111,43 @@ int deploy_and_smoke(double p, double target, unsigned n_max) {
     }
     get_ok += ok && assembled == objects[i] ? 1 : 0;
   }
-  // Batched in-place rewrites ride the same ticket window.
+  // Batched in-place rewrites ride the same ticket window; this smoke run
+  // drains them through the completion callback instead of wait_any.
+  unsigned overwrite_ok = 0;
+  client.on_complete([&overwrite_ok](const core::BatchResult& result) {
+    overwrite_ok += result.status.ok() ? 1 : 0;
+  });
   for (const auto id : ids) {
     (void)client.submit_overwrite(id, objects.front());
   }
-  unsigned overwrite_ok = 0;
-  for (const auto& result : client.wait_all()) {
-    overwrite_ok += result.status.ok() ? 1 : 0;
+  (void)client.wait_all();  // flush barrier: callbacks all fired
+  client.on_complete(nullptr);
+
+  // Lease sanity: a rival holding the object lease must push a writer to
+  // LEASE_CONFLICT (with the holder's token), and cancel() of an inline
+  // ticket must lose — the op already ran.
+  bool lease_ok = false;
+  if (!ids.empty()) {
+    const auto rival = client.object_leases().try_acquire(ids.front());
+    const auto blocked = client.overwrite(ids.front(), objects.front());
+    lease_ok = rival.ok() &&
+               blocked.code() == core::ErrorCode::kLeaseConflict &&
+               blocked.holder() == rival->id &&
+               client.object_leases().release(*rival);
   }
+  bool cancel_lost = false;
+  if (!ids.empty()) {
+    const auto probe = client.submit_get(ids.front());
+    cancel_lost = !client.cancel(probe);  // inline: already ran
+    (void)client.wait_all();
+  }
+
   const auto stats = client.stats();
   std::printf("  %u/4 batched puts ok, %u/%zu streamed gets byte-exact, "
-              "%u/%zu batched overwrites ok\n",
-              put_ok, get_ok, ids.size(), overwrite_ok, ids.size());
+              "%u/%zu callback-drained overwrites ok, lease conflict "
+              "surfaced=%s, inline cancel lost=%s\n",
+              put_ok, get_ok, ids.size(), overwrite_ok, ids.size(),
+              lease_ok ? "yes" : "NO", cancel_lost ? "yes" : "NO");
   std::printf("  client stats: %llu ok / %llu failed ops across %zu shards, "
               "stripe writes=%llu reads=%llu\n",
               static_cast<unsigned long long>(stats.ops_succeeded),
@@ -130,7 +155,8 @@ int deploy_and_smoke(double p, double target, unsigned n_max) {
               stats.shard_queue_depth.size(),
               static_cast<unsigned long long>(stats.stripe_writes),
               static_cast<unsigned long long>(stats.stripe_reads));
-  return put_ok == 4 && get_ok == ids.size() && overwrite_ok == ids.size()
+  return put_ok == 4 && get_ok == ids.size() &&
+                 overwrite_ok == ids.size() && lease_ok && cancel_lost
              ? 0
              : 1;
 }

@@ -135,5 +135,29 @@ int main() {
               assembled.size(), assembled == object ? "yes" : "NO",
               static_cast<unsigned long long>(stats.ops_succeeded),
               static_cast<unsigned long long>(stats.ops_failed));
-  return failed_stripes == 4 && assembled == object ? 0 : 1;
+  if (failed_stripes != 4 || assembled != object) return 1;
+
+  // Stage 7: crashed-writer drill at the object layer. The writer that
+  // took the object's write lease dies; every rival write fails fast with
+  // LEASE_CONFLICT naming the dead holder's token until the operator (or
+  // the tick-driven expiry) ages the lease out — then writes resume.
+  std::printf("\nstage 7: crashed writer holding the object lease\n");
+  const auto crashed = client.object_leases().try_acquire(*id);
+  if (!crashed.ok()) return 1;
+  const auto blocked = client.overwrite(*id, object);
+  std::printf("  rival overwrite: %s\n", blocked.to_string().c_str());
+  if (blocked.code() != core::ErrorCode::kLeaseConflict ||
+      blocked.holder() != crashed->id) {
+    return 1;
+  }
+  client.object_leases().advance(1'000'000'000);  // crash recovery
+  const auto resumed = client.overwrite(*id, object);
+  const auto lease_stats = client.stats().object_leases;
+  std::printf("  after forced expiry: %s (lease stats: %llu grants, "
+              "%llu conflicts, %llu expirations)\n",
+              resumed.to_string().c_str(),
+              static_cast<unsigned long long>(lease_stats.grants),
+              static_cast<unsigned long long>(lease_stats.conflicts),
+              static_cast<unsigned long long>(lease_stats.expirations));
+  return resumed.ok() ? 0 : 1;
 }

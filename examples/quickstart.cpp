@@ -91,24 +91,65 @@ int main() {
   }
   std::printf(" total %zu/%zu B\n", streamed, big.size());
 
-  // Async overwrite/forget share the same ticket window, and stats()
-  // exposes what the client engine and the shard pipelines are doing.
+  // Async overwrite rides the same ticket window as every other submit.
   (void)client.submit_overwrite(*big_id, cluster.make_pattern(300));
-  (void)client.submit_forget(*big_id);
   for (const auto& result : client.wait_all()) {
-    std::printf("async %s: %s\n",
-                result.op == core::BatchResult::Op::kOverwrite ? "overwrite"
-                                                               : "forget",
-                result.status.to_string().c_str());
+    std::printf("async overwrite: %s\n", result.status.to_string().c_str());
   }
+
+  // Object-level write leases: writers take the object's exclusive lease
+  // for the duration of the operation, so a racing writer (here: a
+  // simulated crashed client that never released) loses fast with
+  // LEASE_CONFLICT naming the holder's token instead of interleaving
+  // stripes. Reads are lease-free. advance() is the operator's crash
+  // recovery: it ages the lease past its duration and hands the object
+  // back.
+  const auto crashed = client.object_leases().try_acquire(*big_id);
+  const auto blocked = client.overwrite(*big_id, cluster.make_pattern(301));
+  std::printf("overwrite vs crashed writer: %s\n",
+              blocked.to_string().c_str());
+  client.object_leases().advance(1'000'000'000);  // force expiry
+  std::printf("after lease expiry: %s (stale release honored: %s)\n",
+              client.overwrite(*big_id, cluster.make_pattern(301))
+                  .to_string()
+                  .c_str(),
+              client.object_leases().release(*crashed) ? "yes" : "no");
+
+  // Per-ticket cancellation is best-effort: an op still queued aborts with
+  // CANCELLED; one past admission (always the case for inline submits like
+  // this ObjectStore) runs to completion and cancel() says so by returning
+  // false.
+  const auto doomed = client.submit_forget(*big_id);
+  std::printf("cancel(inline forget) won: %s\n",
+              client.cancel(doomed) ? "yes" : "no (already ran)");
+  (void)client.wait_all();
+
+  // Completion callbacks replace the wait_any loop: results are delivered
+  // in publication order, never under the client's internal mutex.
+  unsigned delivered = 0;
+  client.on_complete([&delivered](const core::BatchResult& result) {
+    delivered += result.status.ok() ? 1 : 0;
+  });
+  for (std::uint64_t tag = 0; tag < 3; ++tag) {
+    (void)client.submit_put(cluster.make_pattern(400 + tag));
+  }
+  (void)client.wait_all();  // flush barrier: every callback has fired
+  client.on_complete(nullptr);
+  std::printf("callback-drained batch: %u/3 ok\n", delivered);
+
   const auto stats = client.stats();
-  std::printf("client stats: %llu ok / %llu failed ops, window=%zu, "
-              "stripe writes=%llu reads=%llu\n",
+  std::printf("client stats: %llu ok / %llu failed / %llu cancelled ops, "
+              "window=%zu, stripe writes=%llu reads=%llu, object leases "
+              "%llu granted / %llu conflicts\n",
               static_cast<unsigned long long>(stats.ops_succeeded),
               static_cast<unsigned long long>(stats.ops_failed),
+              static_cast<unsigned long long>(stats.ops_cancelled),
               stats.async_window,
               static_cast<unsigned long long>(stats.stripe_writes),
-              static_cast<unsigned long long>(stats.stripe_reads));
+              static_cast<unsigned long long>(stats.stripe_reads),
+              static_cast<unsigned long long>(stats.object_leases.grants),
+              static_cast<unsigned long long>(
+                  stats.object_leases.conflicts));
 
   // The analysis module predicts what we just observed.
   const auto quorums = config.quorums();

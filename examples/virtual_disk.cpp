@@ -145,29 +145,60 @@ int main() {
   const auto snap_id = snap_result.front().id;
   (void)snapshot;
 
-  // Revise the snapshot in place (first sector zeroed, say) and stream the
-  // archived image back out stripe by stripe.
+  // The backup daemon takes the snapshot's object lease while revising it
+  // in place, so a concurrent archiver (simulated here by a second
+  // overwrite attempt under a held rival lease) fails fast with
+  // LEASE_CONFLICT — naming the holder's token — instead of interleaving
+  // stripes.
   std::vector<std::uint8_t> revised = image;
   std::fill(revised.begin(), revised.begin() + 512, 0);
+  const auto archiver = backup.object_leases().try_acquire(snap_id);
+  if (!archiver.ok()) return 1;
+  const auto rival_status = backup.overwrite(snap_id, revised);
+  std::printf("concurrent archiver blocked: %s\n",
+              rival_status.to_string().c_str());
+  if (rival_status.code() != core::ErrorCode::kLeaseConflict ||
+      rival_status.holder() != archiver->id) {
+    return 1;
+  }
+  if (!backup.object_leases().release(*archiver)) return 1;
   (void)backup.submit_overwrite(snap_id, revised);
   if (!backup.wait_all().front().status.ok()) return 1;
+
+  // Stream the archived image back out stripe by stripe, drained through
+  // the completion callback (no wait_any loop): publication order is
+  // stripe order, so appending reassembles the image. A best-effort
+  // cancel on the last stripe ticket demonstrates the per-ticket contract:
+  // with threads == 0 every ticket already ran, so the cancel must lose.
   std::vector<std::uint8_t> restored;
-  const auto tickets = backup.submit_get_streaming(snap_id);
-  while (backup.pending_ops() > 0) {
-    const auto stripe = backup.wait_any();
-    if (!stripe.status.ok()) return 1;
+  bool restore_ok = true;
+  backup.on_complete([&restored, &restore_ok](
+                         const core::BatchResult& stripe) {
+    restore_ok = restore_ok && stripe.status.ok();
     restored.insert(restored.end(), stripe.bytes.begin(),
                     stripe.bytes.end());
-  }
+  });
+  const auto tickets = backup.submit_get_streaming(snap_id);
+  const bool cancel_lost = !backup.cancel(tickets.back());
+  (void)backup.wait_all();  // flush barrier: every callback has fired
+  backup.on_complete(nullptr);
+  if (!restore_ok || !cancel_lost) return 1;
+
   const auto backup_stats = backup.stats();
-  std::printf("archive: %zu B snapshot over %zu stripes, streamed restore "
-              "match=%s; %llu ok / %llu failed async ops, stripe "
-              "writes=%llu reads=%llu\n",
+  std::printf("archive: %zu B snapshot over %zu stripes, callback-drained "
+              "restore match=%s; %llu ok / %llu failed / %llu cancelled "
+              "async ops, stripe writes=%llu reads=%llu, object leases "
+              "%llu granted / %llu conflicts\n",
               image.size(), tickets.size(),
               restored == revised ? "yes" : "NO",
               static_cast<unsigned long long>(backup_stats.ops_succeeded),
               static_cast<unsigned long long>(backup_stats.ops_failed),
+              static_cast<unsigned long long>(backup_stats.ops_cancelled),
               static_cast<unsigned long long>(backup_stats.stripe_writes),
-              static_cast<unsigned long long>(backup_stats.stripe_reads));
+              static_cast<unsigned long long>(backup_stats.stripe_reads),
+              static_cast<unsigned long long>(
+                  backup_stats.object_leases.grants),
+              static_cast<unsigned long long>(
+                  backup_stats.object_leases.conflicts));
   return restored == revised ? 0 : 1;
 }

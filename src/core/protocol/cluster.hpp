@@ -57,6 +57,13 @@ class SimCluster {
   [[nodiscard]] Coordinator& coordinator() noexcept { return *coordinator_; }
   [[nodiscard]] RepairManager& repair() noexcept { return *repair_; }
   [[nodiscard]] LeaseManager& leases() noexcept { return *leases_; }
+  /// Const view for stats aggregation (StoreStats block-lease counters).
+  /// Not synchronized against a thread driving this cluster — the sharded
+  /// facade reads it under its per-shard mutex; ObjectStore relies on its
+  /// single-threaded data-path contract.
+  [[nodiscard]] const LeaseManager& leases() const noexcept {
+    return *leases_;
+  }
   [[nodiscard]] storage::StorageNode& node(NodeId id);
   [[nodiscard]] const erasure::RSCode* code() const noexcept {
     return code_ ? code_.get() : nullptr;

@@ -39,6 +39,11 @@ bool LeaseManager::held(BlockId stripe, unsigned block) const {
   return it != entries_.end() && it->second.holder != 0;
 }
 
+std::uint64_t LeaseManager::holder(BlockId stripe, unsigned block) const {
+  const auto it = entries_.find(Key{stripe, block});
+  return it != entries_.end() ? it->second.holder : 0;
+}
+
 void LeaseManager::grant_next(Key key) {
   Entry& entry = entries_.at(key);
   TRAPERC_DCHECK(entry.holder == 0);
@@ -70,6 +75,68 @@ void LeaseManager::schedule_expiry(Key key, std::uint64_t token_id) {
     it->second.holder = 0;
     grant_next(key);
   });
+}
+
+// --- ObjectLeaseManager ----------------------------------------------------
+
+ObjectLeaseManager::ObjectLeaseManager(SimTime duration_ns)
+    : leases_(engine_, duration_ns) {}
+
+void ObjectLeaseManager::apply_pending_ticks_locked() const {
+  const SimTime delta =
+      pending_ticks_.exchange(0, std::memory_order_relaxed);
+  if (delta != 0) engine_.run_until(engine_.now() + delta);
+}
+
+Result<LeaseToken> ObjectLeaseManager::try_acquire(ObjectId id) {
+  std::lock_guard lock(mutex_);
+  apply_pending_ticks_locked();
+  if (const std::uint64_t rival = leases_.holder(id, 0); rival != 0) {
+    ++conflicts_;
+    return Status::error(ErrorCode::kLeaseConflict).with_holder(rival);
+  }
+  LeaseToken token{};
+  leases_.acquire(id, 0, [&token](LeaseToken t) { token = t; });
+  // Deliver the zero-delay grant event without advancing the clock, so the
+  // fresh lease's expiry timer (now + duration) stays in the future.
+  engine_.run_until(engine_.now());
+  TRAPERC_CHECK_MSG(token.id != 0, "free object lease was not granted");
+  return token;
+}
+
+bool ObjectLeaseManager::release(const LeaseToken& token) {
+  std::lock_guard lock(mutex_);
+  // Apply first: a lease whose duration elapsed during the operation must
+  // be seen as lapsed here, not kept alive because nobody else looked.
+  apply_pending_ticks_locked();
+  return leases_.release(token);
+}
+
+bool ObjectLeaseManager::held(ObjectId id) const {
+  std::lock_guard lock(mutex_);
+  apply_pending_ticks_locked();
+  return leases_.held(id, 0);
+}
+
+std::uint64_t ObjectLeaseManager::holder(ObjectId id) const {
+  std::lock_guard lock(mutex_);
+  apply_pending_ticks_locked();
+  return leases_.holder(id, 0);
+}
+
+void ObjectLeaseManager::advance(SimTime ns) {
+  std::lock_guard lock(mutex_);
+  apply_pending_ticks_locked();
+  engine_.run_until(engine_.now() + ns);
+}
+
+ObjectLeaseStats ObjectLeaseManager::stats() const {
+  std::lock_guard lock(mutex_);
+  apply_pending_ticks_locked();
+  ObjectLeaseStats out;
+  static_cast<LeaseStats&>(out) = leases_.stats();
+  out.conflicts = conflicts_;
+  return out;
 }
 
 }  // namespace traperc::core

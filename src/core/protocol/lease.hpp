@@ -16,13 +16,16 @@
 // consensus protocol, which is outside the paper's scope (DESIGN.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "common/types.hpp"
+#include "core/protocol/result.hpp"
 #include "sim/engine.hpp"
 
 namespace traperc::core {
@@ -58,6 +61,9 @@ class LeaseManager {
   /// True iff some writer currently holds (stripe, block).
   [[nodiscard]] bool held(BlockId stripe, unsigned block) const;
 
+  /// Token id of the current holder of (stripe, block); 0 when free.
+  [[nodiscard]] std::uint64_t holder(BlockId stripe, unsigned block) const;
+
   [[nodiscard]] const LeaseStats& stats() const noexcept { return stats_; }
 
  private:
@@ -75,6 +81,80 @@ class LeaseManager {
   std::uint64_t next_id_ = 1;
   std::map<Key, Entry> entries_;
   LeaseStats stats_;
+};
+
+/// LeaseStats plus the object layer's conflict counter: try_acquire calls
+/// refused because a rival held the object.
+struct ObjectLeaseStats : LeaseStats {
+  std::uint64_t conflicts = 0;
+};
+
+/// Object-level write leases — the small, strongly-consistent metadata path
+/// layered over the bulk erasure-coded data path (cf. "Erasure-Coded
+/// Byzantine Storage with Separate Metadata"): one logical lease per
+/// ObjectId, spanning every stripe of the object, acquired by put /
+/// overwrite / forget on both whole-object facades so racing writers to one
+/// object serialize instead of interleaving stripes.
+///
+/// Unlike the per-block LeaseManager (FIFO queue inside one deployment's
+/// simulated time), the object layer is driven from real client threads, so
+/// the surface is synchronous and fail-fast: try_acquire() either grants
+/// immediately or refuses with kLeaseConflict carrying the rival holder's
+/// token — callers never queue. Expiry (crashed-writer protection) lives in
+/// a private simulated clock that advances one tick per stripe operation the
+/// owning facade performs (tick()): a lease not released within
+/// `duration_ns` ticks lapses, so a crashed writer's lease ages out as other
+/// traffic flows, deterministically and without wall-clock timers. advance()
+/// is the administrative / test hook for forcing expiry directly.
+///
+/// Thread safety: all methods are safe from any thread (one internal mutex;
+/// the underlying LeaseManager and engine are only touched under it).
+class ObjectLeaseManager {
+ public:
+  using ObjectId = std::uint64_t;
+
+  explicit ObjectLeaseManager(SimTime duration_ns = 1'000'000'000);
+
+  /// Grants the exclusive write lease on `id`, or refuses with
+  /// kLeaseConflict (holder token in the payload) if a rival holds it.
+  /// Never blocks, never queues.
+  [[nodiscard]] Result<LeaseToken> try_acquire(ObjectId id);
+
+  /// Releases a held lease. False iff the token is stale (the lease
+  /// expired mid-operation — a rival may have acquired since).
+  bool release(const LeaseToken& token);
+
+  [[nodiscard]] bool held(ObjectId id) const;
+  /// Current holder's token id; 0 when the object is unleased.
+  [[nodiscard]] std::uint64_t holder(ObjectId id) const;
+
+  /// Advances the lease clock by one stripe-operation tick. The owning
+  /// facade calls this once per stripe write it performs, so lease age is
+  /// measured in protocol work, not wall-clock time. Lock-free (a relaxed
+  /// atomic increment): ticks accumulate and are applied — firing any due
+  /// expiries — on the next mutex-taking lease operation, so the data hot
+  /// path never contends on the lease mutex.
+  void tick() noexcept {
+    pending_ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Advances the lease clock by `ns` ticks at once, firing any expiries
+  /// that fall due (administrative / test hook for crashed-writer drills).
+  void advance(SimTime ns);
+
+  [[nodiscard]] ObjectLeaseStats stats() const;
+
+ private:
+  /// Folds accumulated ticks into the engine clock (expiries fire here).
+  /// Callers hold mutex_. Const because every reader must observe elapsed
+  /// lease time too — hence the mutable clock below.
+  void apply_pending_ticks_locked() const;
+
+  mutable std::mutex mutex_;
+  mutable std::atomic<SimTime> pending_ticks_{0};
+  mutable sim::SimEngine engine_;
+  mutable LeaseManager leases_;
+  std::uint64_t conflicts_ = 0;
 };
 
 }  // namespace traperc::core

@@ -7,8 +7,11 @@
 
 namespace traperc::core {
 
-ObjectStore::ObjectStore(SimCluster& cluster, BlockId base_stripe)
-    : cluster_(cluster), next_stripe_(base_stripe) {
+ObjectStore::ObjectStore(SimCluster& cluster, BlockId base_stripe,
+                         SimTime object_lease_duration_ns)
+    : cluster_(cluster),
+      object_leases_(object_lease_duration_ns),
+      next_stripe_(base_stripe) {
   configure_async(/*pool=*/nullptr, /*window=*/1);
 }
 
@@ -44,6 +47,9 @@ Status ObjectStore::write_extent(const Extent& extent,
     if (chunks.empty()) break;  // tail blocks untouched
     stripe_ops_in_flight_.fetch_add(1, std::memory_order_relaxed);
     QueueDepthLease lease(stripe_ops_in_flight_);
+    // One stripe write = one tick of the object-lease clock, so unreleased
+    // (crashed-writer) leases age out as protocol work flows.
+    object_leases_.tick();
     Status status = cluster_.write_stripe_sync(extent.first_stripe + s, 0,
                                                std::move(chunks));
     if (!status.ok()) return status;
@@ -55,6 +61,15 @@ Result<ObjectStore::ObjectId> ObjectStore::put(
     std::span<const std::uint8_t> object) {
   if (object.empty()) {
     return Status::error(ErrorCode::kInvalidArgument);
+  }
+  // The object lease is taken on the id the catalog will assign, before any
+  // stripe is written, so a rival writer probing that id serializes here.
+  // A conflict burns the probed id (as ShardedObjectStore does), so one
+  // held lease can only ever fail one put, not wedge the allocator.
+  auto lease = object_leases_.try_acquire(next_object_);
+  if (!lease.ok()) {
+    ++next_object_;
+    return std::move(lease).status();
   }
   const std::size_t capacity = stripe_capacity();
   const auto stripes =
@@ -73,15 +88,20 @@ Result<ObjectStore::ObjectId> ObjectStore::put(
   Status status = write_extent(extent, object);
   if (!status.ok()) {
     failed_extents_.push_back(extent);
+    object_leases_.release(*lease);
     return status;
   }
   const ObjectId id = next_object_++;
   catalog_.emplace(id, extent);
+  // A stale release here means the put's own lease expired mid-write; no
+  // rival can have won (the id is unpublished until this line), so the put
+  // still reports success.
+  object_leases_.release(*lease);
   return id;
 }
 
-Status ObjectStore::overwrite(ObjectId id,
-                              std::span<const std::uint8_t> object) {
+Status ObjectStore::overwrite_leased(ObjectId id,
+                                     std::span<const std::uint8_t> object) {
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
@@ -195,9 +215,17 @@ void ObjectStore::fill_backend_stats(StoreStats& stats) const {
   const auto cluster_stats = cluster_.stripe_sync_stats();
   stats.stripe_writes = cluster_stats.stripe_writes;
   stats.stripe_reads = cluster_stats.stripe_reads;
+  stats.object_leases = object_leases_.stats();
+  // Plain counters with no cross-thread synchronization: ObjectStore's
+  // data path is single-threaded by contract (unlike the sharded facade,
+  // which reads these under its shard mutex), so these two fields are only
+  // exact when no operation is concurrently mutating the cluster.
+  const LeaseStats& block_leases = cluster_.leases().stats();
+  stats.block_lease_grants = block_leases.grants;
+  stats.block_lease_expirations = block_leases.expirations;
 }
 
-Status ObjectStore::forget(ObjectId id) {
+Status ObjectStore::forget_leased(ObjectId id) {
   if (catalog_.erase(id) == 0) {
     return Status::error(ErrorCode::kUnknownObject);
   }

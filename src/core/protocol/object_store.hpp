@@ -35,9 +35,18 @@ class ObjectStore : public StoreClient {
   };
 
   /// `base_stripe` opens a stripe namespace disjoint from any stripes the
-  /// caller drives directly through the cluster.
-  explicit ObjectStore(SimCluster& cluster, BlockId base_stripe = 0);
+  /// caller drives directly through the cluster. `object_lease_duration_ns`
+  /// bounds how long a crashed writer can hold an object's write lease,
+  /// measured in stripe-operation ticks (see ObjectLeaseManager).
+  explicit ObjectStore(SimCluster& cluster, BlockId base_stripe = 0,
+                       SimTime object_lease_duration_ns = 1'000'000'000);
   ~ObjectStore() override;
+
+  /// Object-level write leases: put/overwrite/forget hold the object's
+  /// lease for the duration of the operation (StoreClient contract).
+  [[nodiscard]] ObjectLeaseManager& object_leases() noexcept override {
+    return object_leases_;
+  }
 
   /// Bytes one stripe can hold: k · chunk_len.
   [[nodiscard]] std::size_t stripe_capacity() const override;
@@ -62,9 +71,6 @@ class ObjectStore : public StoreClient {
   /// range moves to the failed-extent ledger (never reused).
   Result<ObjectId> put(std::span<const std::uint8_t> object) override;
 
-  /// Rewrites an existing object in place with same-or-smaller size.
-  Status overwrite(ObjectId id, std::span<const std::uint8_t> object) override;
-
   /// Reads an object back.
   [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
 
@@ -74,11 +80,6 @@ class ObjectStore : public StoreClient {
   /// Reads one object stripe's bytes (trimmed at the object's tail).
   [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
       ObjectId id, unsigned stripe_index) override;
-
-  /// Drops the catalog entry (storage is not reclaimed: the paper's model
-  /// has no delete; stale stripes age out as versions 0 of future objects
-  /// are never allocated on them).
-  Status forget(ObjectId id) override;
 
   [[nodiscard]] Result<Extent> extent(ObjectId id) const;
   [[nodiscard]] std::size_t object_count() const override {
@@ -93,6 +94,16 @@ class ObjectStore : public StoreClient {
   }
 
  protected:
+  /// Rewrites an existing object in place with same-or-smaller size
+  /// (StoreClient::overwrite holds the object lease around this).
+  Status overwrite_leased(ObjectId id,
+                          std::span<const std::uint8_t> object) override;
+
+  /// Drops the catalog entry (storage is not reclaimed: the paper's model
+  /// has no delete; stale stripes age out as versions 0 of future objects
+  /// are never allocated on them).
+  Status forget_leased(ObjectId id) override;
+
   /// One pseudo-shard entry (the single deployment) plus the cluster's
   /// stripe-sync counters.
   void fill_backend_stats(StoreStats& stats) const override;
@@ -110,6 +121,7 @@ class ObjectStore : public StoreClient {
                             std::uint8_t* dest);
 
   SimCluster& cluster_;
+  ObjectLeaseManager object_leases_;
   BlockId next_stripe_;
   ObjectId next_object_ = 1;
   std::map<ObjectId, Extent> catalog_;

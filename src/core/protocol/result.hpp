@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
   kLeaseConflict,      ///< write lease expired mid-operation and a rival won
   kShardDown,          ///< the shard hosting the stripe is administratively down
   kInvalidArgument,    ///< caller-supplied argument violates the API contract
+  kCancelled,          ///< async op cancelled before admission (never executed)
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
@@ -42,6 +43,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kLeaseConflict: return "LEASE_CONFLICT";
     case ErrorCode::kShardDown: return "SHARD_DOWN";
     case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -81,6 +83,12 @@ class [[nodiscard]] Status {
     nodes_ = std::move(nodes);
     return std::move(*this);
   }
+  /// kLeaseConflict only: the rival lease's token id (0 when the lease
+  /// lapsed with no successor holder).
+  Status&& with_holder(std::uint64_t token_id) && noexcept {
+    holder_ = token_id;
+    return std::move(*this);
+  }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
   [[nodiscard]] ErrorCode code() const noexcept { return code_; }
@@ -97,6 +105,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
     return nodes_;
   }
+  /// kLeaseConflict: the token id of the lease that beat this operation
+  /// (0 when the loser's own lease lapsed and nobody has re-acquired).
+  [[nodiscard]] std::uint64_t holder() const noexcept { return holder_; }
 
   [[nodiscard]] std::string to_string() const {
     std::string out = core::to_string(code_);
@@ -105,6 +116,7 @@ class [[nodiscard]] Status {
       if (has_block()) out += " block=" + std::to_string(block_);
     }
     if (shard_ >= 0) out += " shard=" + std::to_string(shard_);
+    if (holder_ != 0) out += " holder=" + std::to_string(holder_);
     if (!nodes_.empty()) {
       out += " nodes={";
       for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -128,6 +140,7 @@ class [[nodiscard]] Status {
   BlockId stripe_ = kNoStripe;
   unsigned block_ = kNoBlock;
   int shard_ = -1;
+  std::uint64_t holder_ = 0;
   std::vector<NodeId> nodes_;
 };
 

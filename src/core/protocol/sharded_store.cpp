@@ -36,7 +36,7 @@ class ErrorLatch {
 
 ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
                                        ShardedStoreOptions options)
-    : options_(options) {
+    : options_(options), object_leases_(options.object_lease_duration_ns) {
   TRAPERC_CHECK_MSG(options_.shards >= 1, "need at least one shard");
   TRAPERC_CHECK_MSG(options_.pipeline_depth >= 1,
                     "pipeline depth must be >= 1");
@@ -106,6 +106,9 @@ Status ShardedObjectStore::write_stripes(
             Shard& shard = *shards_[j];
             QueueDepthLease lease(shard.queue_depth);
             if (error.failed()) return;
+            // One stripe write = one tick of the object-lease clock, so
+            // unreleased (crashed-writer) leases age out under traffic.
+            object_leases_.tick();
             auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
             const BlockId stripe = extents[j].first_stripe + local_index(i);
             std::lock_guard lock(shard.mutex);
@@ -140,6 +143,11 @@ Result<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
     std::lock_guard lock(catalog_mutex_);
     id = next_object_++;
   }
+  // Lease the freshly allocated id before any shard state is touched: a
+  // rival writer probing that id serializes here (the id is burned if the
+  // put then fails — same rule as any failed put).
+  auto object_lease = object_leases_.try_acquire(id);
+  if (!object_lease.ok()) return std::move(object_lease).status();
 
   // Allocate each shard's local stripe range up front (stripes are never
   // reused, even when the put fails — same rule as ObjectStore).
@@ -161,12 +169,17 @@ Result<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
       std::lock_guard lock(shards_[j]->mutex);
       shards_[j]->catalog.erase(id);
     }
+    object_leases_.release(*object_lease);
     return status;
   }
   {
     std::lock_guard lock(catalog_mutex_);
     catalog_.emplace(id, ObjectInfo{object.size(), total});
   }
+  // A stale release means the put's own lease expired mid-write; no rival
+  // can have won (the id is unpublished until the line above), so the put
+  // still reports success.
+  object_leases_.release(*object_lease);
   return id;
 }
 
@@ -316,11 +329,19 @@ void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
     const auto cluster_stats = shard->cluster->stripe_sync_stats();
     stats.stripe_writes += cluster_stats.stripe_writes;
     stats.stripe_reads += cluster_stats.stripe_reads;
+    // Block-lease counters are plain fields mutated while the shard mutex
+    // is held, so the aggregation takes it too.
+    std::lock_guard lock(shard->mutex);
+    const LeaseStats& block_leases =
+        std::as_const(*shard->cluster).leases().stats();
+    stats.block_lease_grants += block_leases.grants;
+    stats.block_lease_expirations += block_leases.expirations;
   }
+  stats.object_leases = object_leases_.stats();
 }
 
-Status ShardedObjectStore::overwrite(ObjectId id,
-                                     std::span<const std::uint8_t> object) {
+Status ShardedObjectStore::overwrite_leased(
+    ObjectId id, std::span<const std::uint8_t> object) {
   std::vector<ShardExtent> extents;
   auto info = lookup(id, extents);
   if (!info.ok()) return std::move(info).status();
@@ -344,7 +365,7 @@ Status ShardedObjectStore::overwrite(ObjectId id,
   return Status{};
 }
 
-Status ShardedObjectStore::forget(ObjectId id) {
+Status ShardedObjectStore::forget_leased(ObjectId id) {
   {
     std::lock_guard lock(catalog_mutex_);
     if (catalog_.erase(id) == 0) {

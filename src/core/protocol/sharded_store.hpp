@@ -59,6 +59,10 @@ struct ShardedStoreOptions {
   /// Max submitted-but-unfinished async batch operations (>= 1).
   unsigned async_window = 8;
   std::uint64_t seed = 42;  ///< shard s's cluster is seeded with seed + s
+  /// Crashed-writer bound on object write leases, in stripe-operation ticks
+  /// (see ObjectLeaseManager): an unreleased lease lapses after this many
+  /// stripe writes have flowed through the facade.
+  SimTime object_lease_duration_ns = 1'000'000'000;
 };
 
 class ShardedObjectStore : public StoreClient {
@@ -81,6 +85,12 @@ class ShardedObjectStore : public StoreClient {
   [[nodiscard]] std::size_t stripe_capacity() const override;
   [[nodiscard]] std::size_t object_count() const override;
 
+  /// Object-level write leases spanning every shard: put/overwrite/forget
+  /// hold the object's lease for the operation (StoreClient contract).
+  [[nodiscard]] ObjectLeaseManager& object_leases() noexcept override {
+    return object_leases_;
+  }
+
   /// Writes `object` across the shards as a bounded-depth stripe pipeline;
   /// the object id on success.
   Result<ObjectId> put(std::span<const std::uint8_t> object) override;
@@ -95,14 +105,6 @@ class ShardedObjectStore : public StoreClient {
   /// kShardDown when that stripe's shard is administratively down.
   [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
       ObjectId id, unsigned stripe_index) override;
-
-  /// Rewrites an existing object in place (same-or-smaller size) through
-  /// the stripe pipeline, reusing its allocated shard extents.
-  Status overwrite(ObjectId id, std::span<const std::uint8_t> object) override;
-
-  /// Drops the catalog entries (facade and per-shard); storage is not
-  /// reclaimed, matching ObjectStore::forget.
-  Status forget(ObjectId id) override;
 
   [[nodiscard]] Result<ObjectInfo> info(ObjectId id) const;
 
@@ -132,6 +134,16 @@ class ShardedObjectStore : public StoreClient {
   [[nodiscard]] SimCluster& shard_cluster(unsigned shard);
 
  protected:
+  /// Rewrites an existing object in place (same-or-smaller size) through
+  /// the stripe pipeline, reusing its allocated shard extents
+  /// (StoreClient::overwrite holds the object lease around this).
+  Status overwrite_leased(ObjectId id,
+                          std::span<const std::uint8_t> object) override;
+
+  /// Drops the catalog entries (facade and per-shard); storage is not
+  /// reclaimed, matching ObjectStore.
+  Status forget_leased(ObjectId id) override;
+
   /// Per-shard pipeline queue depth plus aggregated stripe-sync counters.
   void fill_backend_stats(StoreStats& stats) const override;
 
@@ -169,6 +181,7 @@ class ShardedObjectStore : public StoreClient {
                        const std::vector<ShardExtent>& extents);
 
   ShardedStoreOptions options_;
+  ObjectLeaseManager object_leases_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads == 0
 

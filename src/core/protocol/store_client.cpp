@@ -13,6 +13,15 @@ StoreClient::~StoreClient() {
                     "StoreClient destroyed with async operations in flight");
 }
 
+Status StoreClient::overwrite(ObjectId id,
+                              std::span<const std::uint8_t> object) {
+  return leased_op(id, [&] { return overwrite_leased(id, object); });
+}
+
+Status StoreClient::forget(ObjectId id) {
+  return leased_op(id, [&] { return forget_leased(id); });
+}
+
 void StoreClient::configure_async(ThreadPool* pool, unsigned window) {
   TRAPERC_CHECK_MSG(window >= 1, "async window must be >= 1");
   pool_ = pool;
@@ -21,13 +30,27 @@ void StoreClient::configure_async(ThreadPool* pool, unsigned window) {
 
 void StoreClient::drain_async() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return executing_ == 0; });
+  TRAPERC_CHECK_MSG(!delivering_ || deliverer_ != std::this_thread::get_id(),
+                    "drain called from inside a completion callback");
+  cv_.wait(lock, [this] {
+    return executing_ == 0 && callback_queue_.empty() && !delivering_;
+  });
 }
 
 void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
                          const std::shared_ptr<StreamState>& stream) {
-  // A seed that already carries an error (a streaming get whose plan
-  // failed) publishes as-is; nothing to execute.
+  {
+    // Admission point: the op leaves the queued set and — unless a cancel
+    // raced it there — commits to executing its true outcome.
+    std::lock_guard lock(mutex_);
+    queued_.erase(result.ticket.id);
+    if (cancelled_.erase(result.ticket.id) != 0) {
+      result.status = Status::error(ErrorCode::kCancelled);
+      result.bytes.clear();
+    }
+  }
+  // A seed that already carries an error (a cancelled op, or a streaming
+  // get whose plan failed) publishes as-is; nothing to execute.
   if (result.status.ok()) {
     switch (result.op) {
       case BatchResult::Op::kPut: {
@@ -67,14 +90,9 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
   }
   {
     std::lock_guard lock(mutex_);
-    if (result.status.ok()) {
-      ++ops_succeeded_;
-    } else {
-      ++ops_failed_;
-    }
     if (stream == nullptr) {
       --executing_;
-      completed_.emplace(result.ticket.id, std::move(result));
+      publish_locked(std::move(result));
     } else {
       // Ordered publication per object: park the stripe until every earlier
       // stripe has published, then flush the consecutive run. The last
@@ -84,12 +102,62 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
       auto it = stream->done.find(stream->next_publish);
       while (it != stream->done.end()) {
         --executing_;
-        completed_.emplace(it->second.ticket.id, std::move(it->second));
+        publish_locked(std::move(it->second));
         stream->done.erase(it);
         it = stream->done.find(++stream->next_publish);
       }
     }
   }
+  cv_.notify_all();
+  deliver_callbacks();
+}
+
+void StoreClient::publish_locked(BatchResult result) {
+  if (result.status.ok()) {
+    ++ops_succeeded_;
+  } else if (result.status == ErrorCode::kCancelled) {
+    ++ops_cancelled_;
+  } else {
+    ++ops_failed_;
+  }
+  if (callback_ != nullptr) {
+    callback_queue_.push_back(std::move(result));
+  } else {
+    completed_.emplace(result.ticket.id, std::move(result));
+  }
+}
+
+void StoreClient::deliver_callbacks() {
+  // Single-deliverer drain: whichever publisher finds the queue non-idle
+  // claims the role and hands results out strictly in publication order, so
+  // callbacks never run concurrently, never reorder (streaming stripes stay
+  // in stripe order), and never execute under mutex_.
+  std::unique_lock lock(mutex_);
+  if (delivering_ || callback_queue_.empty()) return;
+  delivering_ = true;
+  deliverer_ = std::this_thread::get_id();
+  try {
+    while (!callback_queue_.empty()) {
+      BatchResult result = std::move(callback_queue_.front());
+      callback_queue_.pop_front();
+      lock.unlock();
+      callback_(result);
+      lock.lock();
+    }
+  } catch (...) {
+    // A throwing callback must not wedge the client: surrender the
+    // deliverer role (another publisher will drain the remainder) before
+    // letting the exception reach the submit that triggered delivery.
+    lock.lock();
+    delivering_ = false;
+    deliverer_ = std::thread::id{};
+    lock.unlock();
+    cv_.notify_all();
+    throw;
+  }
+  delivering_ = false;
+  deliverer_ = std::thread::id{};
+  lock.unlock();
   cv_.notify_all();
 }
 
@@ -101,6 +169,7 @@ OpTicket StoreClient::submit_op(BatchResult seed,
     cv_.wait(lock, [this] { return executing_ < window_; });
     seed.ticket = OpTicket{next_ticket_++};
     ++executing_;
+    queued_.insert(seed.ticket.id);
   }
   const OpTicket ticket = seed.ticket;
   if (pool_ == nullptr) {
@@ -169,9 +238,33 @@ std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id) {
   return tickets;
 }
 
+bool StoreClient::cancel(OpTicket ticket) {
+  std::lock_guard lock(mutex_);
+  if (queued_.find(ticket.id) == queued_.end()) {
+    return false;  // past admission (or already completed): runs to the end
+  }
+  cancelled_.insert(ticket.id);
+  return true;  // will surface kCancelled without executing
+}
+
+void StoreClient::on_complete(OpCallback callback) {
+  std::lock_guard lock(mutex_);
+  TRAPERC_CHECK_MSG(executing_ == 0 && completed_.empty() &&
+                        callback_queue_.empty() && !delivering_,
+                    "on_complete requires an idle client (no pending ops or "
+                    "undelivered results)");
+  callback_ = std::move(callback);
+}
+
 std::vector<BatchResult> StoreClient::wait_all() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return executing_ == 0; });
+  // Fail fast instead of deadlocking: the deliverer waiting on itself to
+  // finish delivering can never make progress.
+  TRAPERC_CHECK_MSG(!delivering_ || deliverer_ != std::this_thread::get_id(),
+                    "wait_all called from inside a completion callback");
+  cv_.wait(lock, [this] {
+    return executing_ == 0 && callback_queue_.empty() && !delivering_;
+  });
   std::vector<BatchResult> results;
   results.reserve(completed_.size());
   for (auto& [id, result] : completed_) {
@@ -183,6 +276,8 @@ std::vector<BatchResult> StoreClient::wait_all() {
 
 BatchResult StoreClient::wait_any() {
   std::unique_lock lock(mutex_);
+  TRAPERC_CHECK_MSG(callback_ == nullptr,
+                    "wait_any is unavailable in callback mode");
   TRAPERC_CHECK_MSG(executing_ > 0 || !completed_.empty(),
                     "wait_any with no operation outstanding");
   cv_.wait(lock, [this] { return !completed_.empty(); });
@@ -194,7 +289,11 @@ BatchResult StoreClient::wait_any() {
 
 std::size_t StoreClient::pending_ops() const {
   std::lock_guard lock(mutex_);
-  return executing_ + completed_.size();
+  // A result popped for delivery but whose callback is still running is
+  // counted via delivering_, so pollers never observe 0 while a callback
+  // can still touch caller state.
+  return executing_ + completed_.size() + callback_queue_.size() +
+         (delivering_ ? 1 : 0);
 }
 
 StoreStats StoreClient::stats() const {
@@ -203,9 +302,11 @@ StoreStats StoreClient::stats() const {
     std::lock_guard lock(mutex_);
     out.async_window = window_;
     out.in_flight = executing_;
-    out.queued_results = completed_.size();
+    out.queued_results = completed_.size() + callback_queue_.size() +
+                         (delivering_ ? 1 : 0);
     out.ops_succeeded = ops_succeeded_;
     out.ops_failed = ops_failed_;
+    out.ops_cancelled = ops_cancelled_;
   }
   fill_backend_stats(out);
   return out;

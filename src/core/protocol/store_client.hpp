@@ -31,19 +31,31 @@
 // on a worker thread), so batching parallelizes *across* objects while each
 // object's stripes stay serial on that worker — deadlock-free by
 // construction.
+//
+// Cancellation and callbacks: cancel(ticket) aborts an op that is still
+// queued (it surfaces kCancelled without ever executing) and is a no-op for
+// ops past admission — the admission point is the linearization point, so a
+// result is always exactly one of kCancelled or the op's true outcome.
+// on_complete(cb) replaces the wait_any drain loop: results are handed to
+// the callback in publication order, on pool workers (inline when no pool),
+// never while the window mutex is held.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/protocol/lease.hpp"
 #include "core/protocol/result.hpp"
 
 namespace traperc::core {
@@ -88,9 +100,17 @@ struct StoreStats {
   std::size_t queued_results = 0;   ///< completed, not yet waited
   std::uint64_t ops_succeeded = 0;  ///< async ops finished ok (lifetime)
   std::uint64_t ops_failed = 0;     ///< async ops finished with an error
+  std::uint64_t ops_cancelled = 0;  ///< async ops aborted before admission
   std::vector<std::size_t> shard_queue_depth;  ///< per-shard pending stripes
   std::uint64_t stripe_writes = 0;  ///< protocol stripe writes (all shards)
   std::uint64_t stripe_reads = 0;   ///< protocol stripe reads (all shards)
+  /// Object-lease counters from the facade's ObjectLeaseManager: grants /
+  /// releases / expirations / queued_peak plus fail-fast conflicts.
+  ObjectLeaseStats object_leases;
+  /// Per-block write-lease activity aggregated across every deployment
+  /// behind the client (zero unless config.use_write_leases).
+  std::uint64_t block_lease_grants = 0;
+  std::uint64_t block_lease_expirations = 0;
 };
 
 /// RAII release for one StoreStats::shard_queue_depth slot whose increment
@@ -129,14 +149,17 @@ class StoreClient {
   /// kQuorumUnavailable / kDecodeFailed when a stripe cannot be served.
   [[nodiscard]] virtual Result<std::vector<std::uint8_t>> get(ObjectId id) = 0;
 
-  /// Rewrites an existing object in place with same-or-smaller size.
+  /// Rewrites an existing object in place with same-or-smaller size, under
+  /// the object's write lease: a rival holder means kLeaseConflict (holder
+  /// token in the payload) before any state is touched, and a lease that
+  /// lapses mid-operation surfaces kLeaseConflict at release. Otherwise
   /// kUnknownObject / kInvalidArgument / write failures as above.
-  virtual Status overwrite(ObjectId id,
-                           std::span<const std::uint8_t> object) = 0;
+  Status overwrite(ObjectId id, std::span<const std::uint8_t> object);
 
-  /// Drops the catalog entry (storage is not reclaimed; the paper's model
-  /// has no delete). kUnknownObject when the id is not in the catalog.
-  virtual Status forget(ObjectId id) = 0;
+  /// Drops the catalog entry under the object's write lease (storage is
+  /// not reclaimed; the paper's model has no delete). kUnknownObject when
+  /// the id is not in the catalog, kLeaseConflict when a rival holds it.
+  Status forget(ObjectId id);
 
   // -- per-stripe read surface (the streaming get's building blocks) ------
   /// Layout snapshot for a streaming get of `id`: object size and the
@@ -157,6 +180,14 @@ class StoreClient {
   /// Bytes one stripe can hold: k · chunk_len.
   [[nodiscard]] virtual std::size_t stripe_capacity() const = 0;
   [[nodiscard]] virtual std::size_t object_count() const = 0;
+
+  /// The facade's object-level lease service: put/overwrite/forget acquire
+  /// the object's exclusive write lease for the duration of the operation,
+  /// so racing writers to one object serialize and the loser reports
+  /// kLeaseConflict (holder token in the payload) instead of interleaving
+  /// stripes. Exposed so operators can inspect holders, force expiry after
+  /// a writer crash (advance), and read the lease counters.
+  [[nodiscard]] virtual ObjectLeaseManager& object_leases() noexcept = 0;
 
   // -- async batched surface ---------------------------------------------
   // One logical batching client per StoreClient: submissions from multiple
@@ -187,13 +218,43 @@ class StoreClient {
   /// carries that status.
   std::vector<OpTicket> submit_get_streaming(ObjectId id);
 
+  /// Best-effort cancellation of one submitted operation. An op still
+  /// queued (not yet admitted to execution) aborts: it never runs and its
+  /// result surfaces ErrorCode::kCancelled — cancel returns true. An op
+  /// past admission (executing or already completed) is untouched: it runs
+  /// to completion and reports its true outcome — cancel returns false.
+  /// Exactly one of the two happens (linearizable at the admission point);
+  /// a cancelled ticket still publishes, so wait_all/wait_any never block
+  /// on it. With inline submits (no pool / threads == 0) every op completes
+  /// inside its submit, so cancel always returns false.
+  bool cancel(OpTicket ticket);
+
+  /// Completion callback delivered per finished op. Installing a callback
+  /// (on an idle client — no ops pending) reroutes results away from the
+  /// wait_all/wait_any completion set: each result is handed to `callback`
+  /// exactly once, in publication order (streaming stripes stay in stripe
+  /// order per object). Callbacks fire on pool workers — inline on the
+  /// submitting thread when there is no pool — and never while the window
+  /// mutex is held, so a callback may safely call stats(), pending_ops(),
+  /// cancel(), or submit more work. Caveat on submitting: a submit still
+  /// blocks while the in-flight window is full, and on a single-worker
+  /// pool the blocked callback IS the worker — keep a window slot free for
+  /// callback-submitted work (or size threads > 1). wait_all() still acts
+  /// as a flush barrier (blocks until every callback has fired, returns
+  /// empty); wait_any() is unavailable in callback mode. Pass nullptr to
+  /// uninstall.
+  using OpCallback = std::function<void(const BatchResult&)>;
+  void on_complete(OpCallback callback);
+
   /// Blocks until every submitted operation completed; returns all results
-  /// in ticket (submission) order and clears the completion set.
+  /// in ticket (submission) order and clears the completion set. In
+  /// callback mode: blocks until every callback fired, returns empty.
   std::vector<BatchResult> wait_all();
 
   /// Blocks until at least one submitted operation completed; returns the
   /// completed result with the lowest ticket id. Requires at least one
-  /// operation submitted and not yet returned.
+  /// operation submitted and not yet returned, and no completion callback
+  /// installed.
   BatchResult wait_any();
 
   /// Operations submitted but not yet returned by wait_all/wait_any.
@@ -205,6 +266,14 @@ class StoreClient {
 
  protected:
   StoreClient() = default;
+
+  /// overwrite() / forget() bodies, entered with the object lease held —
+  /// the lease wrap itself (acquire, conflict mapping, release, lapse
+  /// detection) lives once in the base class so the facades cannot
+  /// diverge on the contract.
+  virtual Status overwrite_leased(ObjectId id,
+                                  std::span<const std::uint8_t> object) = 0;
+  virtual Status forget_leased(ObjectId id) = 0;
 
   /// Attaches the async engine's executor. `pool` may be null (inline
   /// deterministic submits); `window` >= 1 bounds submitted-but-unfinished
@@ -228,10 +297,38 @@ class StoreClient {
     std::map<unsigned, BatchResult> done;
   };
 
+  /// The one copy of the lease wrap shared by overwrite()/forget():
+  /// acquire (conflict → kLeaseConflict + holder), run `body`, detect a
+  /// mid-operation lapse at release. Templated so the data path pays no
+  /// type-erasure allocation per write op.
+  template <typename Fn>
+  Status leased_op(ObjectId id, Fn&& body) {
+    // Lease first, catalog second: a loser returns kLeaseConflict (with
+    // the holder's token) before touching any shared state, so racing
+    // writers to one object serialize instead of interleaving stripes.
+    auto lease = object_leases().try_acquire(id);
+    if (!lease.ok()) return std::move(lease).status();
+    Status status = body();
+    if (!object_leases().release(*lease) && status.ok()) {
+      // The lease lapsed mid-operation (crashed-writer protection fired):
+      // a rival may have acquired and raced it since — the outcome is
+      // theirs.
+      return Status::error(ErrorCode::kLeaseConflict)
+          .with_holder(object_leases().holder(id));
+    }
+    return status;
+  }
+
   void run_op(BatchResult result, std::vector<std::uint8_t> object,
               const std::shared_ptr<StreamState>& stream);
   OpTicket submit_op(BatchResult seed, std::vector<std::uint8_t> object,
                      std::shared_ptr<StreamState> stream = nullptr);
+  /// Publishes one finished result under mutex_: counters, then either the
+  /// completion map (wait_* mode) or the callback delivery queue.
+  void publish_locked(BatchResult result);
+  /// Drains the callback delivery queue if this thread won the deliverer
+  /// role: invokes callbacks in publication order, never under mutex_.
+  void deliver_callbacks();
 
   ThreadPool* pool_ = nullptr;  ///< not owned; null = inline submits
   unsigned window_ = 1;
@@ -242,7 +339,14 @@ class StoreClient {
   std::size_t executing_ = 0;  ///< submitted, not yet published
   std::uint64_t ops_succeeded_ = 0;
   std::uint64_t ops_failed_ = 0;
+  std::uint64_t ops_cancelled_ = 0;
+  std::set<std::uint64_t> queued_;     ///< submitted, not yet admitted
+  std::set<std::uint64_t> cancelled_;  ///< cancel() hit while queued
   std::map<std::uint64_t, BatchResult> completed_;  ///< keyed by ticket id
+  OpCallback callback_;                   ///< non-null = callback mode
+  std::deque<BatchResult> callback_queue_;  ///< published, not yet delivered
+  bool delivering_ = false;  ///< one thread at a time drains the queue
+  std::thread::id deliverer_;  ///< the draining thread (callback re-entry CHECK)
 };
 
 }  // namespace traperc::core

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -260,6 +261,201 @@ TEST(StoreClient, StatsSnapshotCountsOpsAndExposesShardDepths) {
     EXPECT_EQ(client.stats().ops_succeeded, 1u + tickets.size());
     EXPECT_GT(client.stats().stripe_reads, 0u);
   }
+}
+
+// --- cancellation -------------------------------------------------------
+
+TEST(StoreClient, InlineCancelAlwaysLosesAndOpsRunToCompletion) {
+  // Inline submits (ObjectStore; sharded threads == 0) complete every op
+  // inside its submit call, so by the time the caller holds the ticket the
+  // op is past admission: cancel must return false and the true outcome
+  // must surface — the deterministic half of the linearizability contract.
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    const auto object = random_bytes(512 * 2, 8);
+    const auto ticket = client.submit_put(object);
+    const bool cancelled = client.cancel(ticket);
+    const auto results = client.wait_all();
+    ASSERT_EQ(results.size(), 1u);
+    if (cancelled) {
+      // Only a pooled fixture may win the race.
+      EXPECT_EQ(results[0].status.code(), ErrorCode::kCancelled);
+    } else {
+      ASSERT_TRUE(results[0].status.ok());
+      EXPECT_EQ(*client.get(results[0].id), object);
+    }
+    // A ticket that already drained is always past cancellation.
+    EXPECT_FALSE(client.cancel(ticket));
+    // Unknown tickets are never "queued".
+    EXPECT_FALSE(client.cancel(OpTicket{99999}));
+  }
+}
+
+TEST(StoreClient, CancelledTicketCountsInStatsAndNeverBlocksWaitAll) {
+  // Saturate two workers with multi-stripe puts, then cancel the tail of
+  // the queue: every cancel() == true must surface kCancelled, be counted
+  // in ops_cancelled, and wait_all must drain everything regardless.
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 2;
+  options.async_window = 16;
+  ShardedObjectStore store(store_config(), options);
+  std::vector<OpTicket> tickets;
+  std::vector<bool> cancel_won;
+  for (int i = 0; i < 10; ++i) {
+    tickets.push_back(store.submit_put(random_bytes(512 * 3, 500 + i)));
+  }
+  for (const auto& ticket : tickets) {
+    cancel_won.push_back(store.cancel(ticket));
+  }
+  const auto results = store.wait_all();
+  ASSERT_EQ(results.size(), tickets.size());
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (cancel_won[i]) {
+      EXPECT_EQ(results[i].status.code(), ErrorCode::kCancelled) << i;
+      ++cancelled;
+    } else {
+      EXPECT_TRUE(results[i].status.ok()) << i << ": " << results[i].status;
+    }
+  }
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.ops_cancelled, cancelled);
+  EXPECT_EQ(stats.ops_succeeded, results.size() - cancelled);
+  EXPECT_EQ(store.object_count(), results.size() - cancelled);
+}
+
+// --- completion callbacks -----------------------------------------------
+
+TEST(StoreClient, OnCompleteDeliversInlineInPublicationOrder) {
+  // No pool: callbacks fire on the submitting thread, inside the submit
+  // call, in ticket order — and never under the window mutex, so a
+  // callback may call stats()/pending_ops()/cancel() freely.
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  StoreClient& client = store;
+  std::vector<std::uint64_t> delivered;
+  client.on_complete([&](const BatchResult& result) {
+    delivered.push_back(result.ticket.id);
+    // Re-entrancy probe: these all take the engine mutex internally and
+    // would deadlock if the callback ran under it.
+    (void)client.stats();
+    (void)client.pending_ops();
+    EXPECT_FALSE(client.cancel(result.ticket));
+  });
+  std::vector<OpTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(client.submit_put(random_bytes(512, 600 + i)));
+    // Inline: the callback has already fired by the time submit returns.
+    ASSERT_EQ(delivered.size(), static_cast<std::size_t>(i + 1));
+    EXPECT_EQ(delivered.back(), tickets.back().id);
+  }
+  // wait_all is a flush barrier and returns nothing: the callback consumed
+  // every result.
+  EXPECT_TRUE(client.wait_all().empty());
+  EXPECT_EQ(client.pending_ops(), 0u);
+  EXPECT_EQ(client.stats().ops_succeeded, 3u);
+
+  // Uninstalling restores the wait_all/wait_any drain path.
+  client.on_complete(nullptr);
+  (void)client.submit_get(1);
+  const auto results = client.wait_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok());
+}
+
+TEST(StoreClient, OnCompletePooledKeepsStreamOrderPerObject) {
+  // Pooled: callbacks fire on worker threads, but the publication contract
+  // holds — an object's streaming stripes reach the callback strictly in
+  // stripe order, and the wait_all barrier blocks until the last callback
+  // has fired.
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 2;
+  options.async_window = 8;
+  ShardedObjectStore store(store_config(), options);
+  const auto object = random_bytes(512 * 6, 9);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.ok());
+
+  std::mutex order_mutex;
+  std::vector<unsigned> stripe_order;
+  std::vector<std::uint8_t> assembled;
+  store.on_complete([&](const BatchResult& result) {
+    std::lock_guard lock(order_mutex);
+    ASSERT_EQ(result.op, BatchResult::Op::kGetStripe);
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    stripe_order.push_back(result.stripe_index);
+    assembled.insert(assembled.end(), result.bytes.begin(),
+                     result.bytes.end());
+  });
+  const auto tickets = store.submit_get_streaming(*id);
+  ASSERT_EQ(tickets.size(), 6u);
+  EXPECT_TRUE(store.wait_all().empty());  // barrier: all callbacks fired
+  EXPECT_EQ(stripe_order, (std::vector<unsigned>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(assembled, object);
+  store.on_complete(nullptr);
+}
+
+// --- lease + stats contract ---------------------------------------------
+
+TEST(StoreClient, StatsExposeLeaseLedgerOnBothFacades) {
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    EXPECT_EQ(client.stats().object_leases.grants, 0u);
+    const auto id = client.put(random_bytes(512, 10));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(client.overwrite(*id, random_bytes(256, 11)).ok());
+    const auto idle = client.stats();
+    // put + overwrite each took and returned the object lease.
+    EXPECT_EQ(idle.object_leases.grants, 2u);
+    EXPECT_EQ(idle.object_leases.releases, 2u);
+    EXPECT_EQ(idle.object_leases.expirations, 0u);
+    EXPECT_EQ(idle.object_leases.conflicts, 0u);
+    // Block leases are off by default: the paper's write path runs bare.
+    EXPECT_EQ(idle.block_lease_grants, 0u);
+
+    const auto rival = client.object_leases().try_acquire(*id);
+    ASSERT_TRUE(rival.ok());
+    EXPECT_EQ(client.overwrite(*id, random_bytes(256, 12)).code(),
+              ErrorCode::kLeaseConflict);
+    EXPECT_EQ(client.stats().object_leases.conflicts, 1u);
+    ASSERT_TRUE(client.object_leases().release(*rival));
+  }
+}
+
+TEST(StoreClient, PutLeaseConflictBurnsTheProbedId) {
+  // A rival can guess the next sequential id and lease it; the colliding
+  // put must fail with the rival's token AND burn the probed id, so one
+  // held lease fails at most one put instead of wedging the allocator.
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto first = store.put(random_bytes(256, 14));
+  ASSERT_TRUE(first.ok());
+  const auto rival = store.object_leases().try_acquire(*first + 1);
+  ASSERT_TRUE(rival.ok());
+  const auto blocked = store.put(random_bytes(256, 15));
+  ASSERT_EQ(blocked.code(), ErrorCode::kLeaseConflict);
+  EXPECT_EQ(blocked.status().holder(), rival->id);
+  const auto next = store.put(random_bytes(256, 16));
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ(*next, *first + 2);  // the leased id was burned, not retried
+  ASSERT_TRUE(store.object_leases().release(*rival));
+}
+
+TEST(StoreClient, StatsAggregateBlockLeaseGrantsWhenEnabled) {
+  // With the per-block lease extension on, every block write takes a block
+  // lease; the client stats surface that traffic across all deployments.
+  auto config = store_config();
+  config.use_write_leases = true;
+  ShardedStoreOptions options;
+  options.shards = 2;
+  ShardedObjectStore store(config, options);
+  const auto id = store.put(random_bytes(512 * 2, 13));  // 2 stripes, k=8
+  ASSERT_TRUE(id.ok());
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.block_lease_grants, 16u);  // 2 stripes × 8 data blocks
+  EXPECT_EQ(stats.block_lease_expirations, 0u);
 }
 
 TEST(StoreClient, PooledBatchMatchesSerialResults) {

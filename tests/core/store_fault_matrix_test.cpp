@@ -3,6 +3,14 @@
 // thread counts. Asserts the *exact* ErrorCode, the shard/stripe context,
 // and the suspect node sets — and that a streaming get confines a failure
 // to the failing stripe's ticket without poisoning sibling tickets.
+//
+// The lease/cancel rows: a crashed writer's object lease makes rival
+// writers lose with kLeaseConflict carrying the exact holder token until
+// the lease expires; an overwrite whose own lease lapses mid-operation
+// reports the conflict at release; and cancel() racing completion on a
+// pooled backend is linearizable — every ticket resolves to exactly one of
+// kCancelled or its true outcome, and wait_all never blocks on a cancelled
+// ticket.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -292,6 +300,178 @@ TEST(StoreFaultMatrix, StreamingShardDownMidStreamPooled) {
                      result.bytes.end());
   }
   EXPECT_EQ(assembled, object);
+}
+
+// -- crashed writer: lease conflict until expiry, on both facades ---------
+
+TEST(StoreFaultMatrix, CrashedWriterLeaseConflictThenExpiryHandsOff) {
+  // A writer that acquired the object lease and died: every rival writer
+  // (sync and async, both facades) loses with kLeaseConflict naming the
+  // crashed holder's exact token and an empty suspect set (no storage node
+  // is implicated — the conflict is pure metadata). Reads are lease-free
+  // and keep serving. Forcing expiry (the crashed-writer protection) hands
+  // the object back.
+  SimCluster cluster(fault_config());
+  ObjectStore single(cluster);
+  auto sharded = make_store(/*threads=*/0);
+  StoreClient* clients[] = {&single, sharded.get()};
+  for (StoreClient* client : clients) {
+    const auto object = pattern_bytes(client->stripe_capacity() * 3, 21);
+    const auto id = client->put(object);
+    ASSERT_TRUE(id.ok());
+
+    const auto crashed = client->object_leases().try_acquire(*id);
+    ASSERT_TRUE(crashed.ok());
+
+    const Status sync_loss = client->overwrite(*id, object);
+    ASSERT_EQ(sync_loss.code(), ErrorCode::kLeaseConflict) << sync_loss;
+    EXPECT_EQ(sync_loss.holder(), crashed->id);
+    EXPECT_TRUE(sync_loss.nodes().empty());
+
+    const Status forget_loss = client->forget(*id);
+    ASSERT_EQ(forget_loss.code(), ErrorCode::kLeaseConflict);
+    EXPECT_EQ(forget_loss.holder(), crashed->id);
+
+    (void)client->submit_overwrite(*id, object);
+    const auto results = client->wait_all();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].status.code(), ErrorCode::kLeaseConflict);
+    EXPECT_EQ(results[0].status.holder(), crashed->id);
+
+    // Reads never take the object lease.
+    EXPECT_EQ(*client->get(*id), object);
+
+    // The crashed writer's protection: force the lease past its duration;
+    // the next writer acquires cleanly and the stale token is refused.
+    client->object_leases().advance(1'000'000'000);
+    EXPECT_EQ(client->object_leases().holder(*id), 0u);
+    EXPECT_TRUE(client->overwrite(*id, pattern_bytes(object.size(), 22)).ok());
+    EXPECT_FALSE(client->object_leases().release(*crashed));
+    const auto stats = client->stats();
+    EXPECT_GE(stats.object_leases.conflicts, 3u);
+    EXPECT_EQ(stats.object_leases.expirations, 1u);
+  }
+}
+
+// -- lease expiry mid-overwrite (the writer itself is the crash victim) ---
+
+TEST(StoreFaultMatrix, LeaseExpiryMidOverwriteSurfacesConflictAtRelease) {
+  // Lease duration of 2 stripe-ticks on a 4-stripe object: the overwrite's
+  // own lease lapses while its stripe writes are still flowing, so the op
+  // completes its writes but must report kLeaseConflict — its serialization
+  // guarantee demonstrably lapsed mid-operation. No rival has re-acquired,
+  // so the holder payload is 0 and the suspect set stays empty.
+  for (const bool use_sharded : {false, true}) {
+    std::unique_ptr<SimCluster> cluster;
+    std::unique_ptr<StoreClient> owner;
+    if (use_sharded) {
+      ShardedStoreOptions options;
+      options.shards = 3;
+      options.threads = 0;
+      options.object_lease_duration_ns = 2;
+      owner = std::make_unique<ShardedObjectStore>(fault_config(), options);
+    } else {
+      cluster = std::make_unique<SimCluster>(fault_config());
+      owner = std::make_unique<ObjectStore>(*cluster, /*base_stripe=*/0,
+                                            /*object_lease_duration_ns=*/2);
+    }
+    StoreClient& client = *owner;
+    const auto object = pattern_bytes(client.stripe_capacity() * 4, 23);
+    // The put's own lease lapses mid-write too, but no rival can exist for
+    // an unpublished id, so the put still succeeds.
+    const auto id = client.put(object);
+    ASSERT_TRUE(id.ok()) << "sharded=" << use_sharded;
+
+    const auto updated = pattern_bytes(object.size(), 24);
+    const Status status = client.overwrite(*id, updated);
+    ASSERT_EQ(status.code(), ErrorCode::kLeaseConflict)
+        << "sharded=" << use_sharded << ": " << status;
+    EXPECT_EQ(status.holder(), 0u);
+    EXPECT_TRUE(status.nodes().empty());
+    EXPECT_GE(client.stats().object_leases.expirations, 1u);
+    // The stripe writes themselves completed before the conflict was
+    // detected at release — the bytes are the new writer's.
+    EXPECT_EQ(*client.get(*id), updated);
+    // The object is not wedged: the next overwrite starts a fresh lease
+    // (which will itself lapse — the duration is pathological by design).
+    EXPECT_EQ(client.overwrite(*id, object).code(),
+              ErrorCode::kLeaseConflict);
+  }
+}
+
+// -- cancel racing completion: linearizable under TSan --------------------
+
+TEST(StoreFaultMatrix, CancelRacingCompletionIsLinearizable) {
+  // Pooled backend: cancel() races ops already draining through the
+  // workers. The admission point linearizes the race — cancel returns true
+  // iff the op will surface kCancelled (never ran), false iff it runs to
+  // completion and reports its true outcome. Either way every ticket
+  // publishes and wait_all returns.
+  auto store = make_store(/*threads=*/2);
+  const auto capacity = store->stripe_capacity();
+
+  std::vector<std::vector<std::uint8_t>> objects;
+  std::vector<OpTicket> tickets;
+  std::vector<bool> cancel_won;
+  for (int i = 0; i < 12; ++i) {
+    objects.push_back(pattern_bytes(capacity * 3, 40 + i));
+    tickets.push_back(store->submit_put(objects.back()));
+    // Cancel every other ticket immediately after submitting it, while the
+    // two workers are still busy with earlier multi-stripe puts.
+    cancel_won.push_back(i % 2 == 1 && store->cancel(tickets.back()));
+  }
+  const auto results = store->wait_all();
+  ASSERT_EQ(results.size(), objects.size());
+
+  std::size_t ok_count = 0;
+  std::size_t cancelled_count = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].ticket, tickets[i]);
+    if (cancel_won[i]) {
+      // cancel() == true promises the op never executed.
+      ASSERT_EQ(results[i].status.code(), ErrorCode::kCancelled)
+          << "put " << i;
+      EXPECT_EQ(results[i].id, 0u);
+      ++cancelled_count;
+    } else {
+      // cancel() == false (or no cancel) promises the true outcome; the
+      // run is fault-free, so that outcome is success.
+      ASSERT_EQ(results[i].status.code(), ErrorCode::kOk)
+          << "put " << i << ": " << results[i].status;
+      EXPECT_EQ(*store->get(results[i].id), objects[i]) << "put " << i;
+      ++ok_count;
+    }
+  }
+  EXPECT_EQ(store->object_count(), ok_count);
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.ops_succeeded, ok_count);
+  EXPECT_EQ(stats.ops_cancelled, cancelled_count);
+  EXPECT_EQ(stats.ops_failed, 0u);
+
+  // A cancelled ticket in a stream keeps publication ordered and confined:
+  // siblings deliver their stripes, the stream still drains.
+  const auto victim = store->put(pattern_bytes(capacity * 9, 60));
+  ASSERT_TRUE(victim.ok());
+  const auto stream = store->submit_get_streaming(*victim);
+  ASSERT_EQ(stream.size(), 9u);
+  std::vector<bool> stream_cancelled;
+  for (const auto& ticket : stream) {
+    stream_cancelled.push_back(store->cancel(ticket));
+  }
+  const auto stripes = store->wait_all();
+  ASSERT_EQ(stripes.size(), 9u);
+  for (unsigned s = 0; s < 9; ++s) {
+    ASSERT_EQ(stripes[s].ticket, stream[s]);
+    ASSERT_EQ(stripes[s].stripe_index, s);
+    if (stream_cancelled[s]) {
+      ASSERT_EQ(stripes[s].status.code(), ErrorCode::kCancelled);
+      EXPECT_TRUE(stripes[s].bytes.empty());
+    } else {
+      ASSERT_EQ(stripes[s].status.code(), ErrorCode::kOk)
+          << "stripe " << s << ": " << stripes[s].status;
+      EXPECT_EQ(stripes[s].bytes.size(), capacity);
+    }
+  }
 }
 
 // -- forget/overwrite tickets under shard-down ----------------------------

@@ -9,6 +9,19 @@
 // runs may assign put ids in any order within one batch, so there the
 // harness checks the id *set* plus per-ticket status/bytes.
 //
+// Two adversarial op kinds ride inside the sequences:
+//  * lease episodes — a rival holds the object's write lease, so every
+//    writer (sync overwrite/forget and async submit_overwrite) must lose
+//    with kLeaseConflict carrying the rival's exact token while reads keep
+//    serving; releasing the lease restores write access. At every idle
+//    point the lease ledger must balance: grants == releases, zero
+//    expirations, and exactly the conflicts the harness provoked.
+//  * random cancels — batch and streaming tickets are cancelled right
+//    after submission. cancel() == true is a promise of kCancelled (the
+//    reference model stays unchanged); cancel() == false promises the true
+//    outcome (the model applies it). Inline fixtures complete ops inside
+//    submit, so there cancel must always return false.
+//
 // Every assertion carries the seed + facade + op index, so a failure
 // replays with a one-line filter:
 //   ./traperc_core_tests --gtest_filter='Seeds/StoreModelTest.*seedN*'
@@ -83,13 +96,15 @@ class ModelHarness {
 
   void run(unsigned target_ops) {
     while (ops_ < target_ops) {
-      const auto episode = rng_.next_below(10);
+      const auto episode = rng_.next_below(12);
       if (episode < 5) {
         ASSERT_NO_FATAL_FAILURE(serial_op());
       } else if (episode < 8) {
         ASSERT_NO_FATAL_FAILURE(batch_episode());
-      } else {
+      } else if (episode < 10) {
         ASSERT_NO_FATAL_FAILURE(streaming_episode());
+      } else {
+        ASSERT_NO_FATAL_FAILURE(lease_episode());
       }
       ASSERT_NO_FATAL_FAILURE(check_idle_stats());
     }
@@ -255,6 +270,7 @@ class ModelHarness {
       StoreClient::ObjectId id = 0;  // target for get/overwrite/forget
       std::vector<std::uint8_t> bytes;  // put/overwrite payload
       bool expect_unknown = false;
+      bool cancel_won = false;  ///< cancel() promised kCancelled
     };
     std::vector<Planned> planned;
     std::set<StoreClient::ObjectId> used_targets;
@@ -322,18 +338,43 @@ class ModelHarness {
       planned.push_back(std::move(p));
     }
 
+    // Random cancels race the in-flight batch. The cancel() return value is
+    // a promise either way; inline fixtures finish every op inside its
+    // submit, so there the cancel must always lose.
+    unsigned cancelled_puts = 0;
+    for (auto& p : planned) {
+      if (!rng_.next_bool(0.3)) continue;
+      p.cancel_won = client_.cancel(p.ticket);
+      if (deterministic_) {
+        ASSERT_FALSE(p.cancel_won) << trace("inline cancel won");
+      }
+      if (p.cancel_won && p.op == BatchResult::Op::kPut) ++cancelled_puts;
+    }
+
     const auto results = client_.wait_all();
     ASSERT_EQ(results.size(), planned.size()) << trace("batch size");
-    // Pooled puts may claim ids in any order within the batch; collect the
-    // expected id range and check set membership instead.
+    // Pooled puts may claim ids in any order within the batch, and a
+    // cancelled put never allocates one; collect the expected id range of
+    // the puts that actually executed and check set membership.
     std::set<StoreClient::ObjectId> expected_new_ids;
-    for (unsigned i = 0; i < puts; ++i) expected_new_ids.insert(next_id_ + i);
+    for (unsigned i = 0; i < puts - cancelled_puts; ++i) {
+      expected_new_ids.insert(next_id_ + i);
+    }
     unsigned put_index = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& result = results[i];
       const auto& p = planned[i];
       ASSERT_EQ(result.ticket, p.ticket) << trace("batch ticket order");
       ASSERT_EQ(result.op, p.op) << trace("batch op kind");
+      if (p.cancel_won) {
+        // The promise: the op never executed and the model is untouched.
+        ASSERT_EQ(result.status.code(), ErrorCode::kCancelled)
+            << trace("cancelled ticket outcome");
+        ASSERT_TRUE(result.bytes.empty()) << trace("cancelled ticket bytes");
+        continue;
+      }
+      ASSERT_NE(result.status.code(), ErrorCode::kCancelled)
+          << trace("uncancelled ticket reported cancelled");
       switch (p.op) {
         case BatchResult::Op::kPut: {
           ASSERT_TRUE(result.status.ok()) << trace("batch put");
@@ -379,7 +420,58 @@ class ModelHarness {
       }
     }
     ASSERT_TRUE(expected_new_ids.empty()) << trace("batch ids unclaimed");
-    next_id_ += puts;
+    next_id_ += puts - cancelled_puts;
+  }
+
+  // -- lease episode ------------------------------------------------------
+  // A rival writer (simulated crashed client) holds the object lease: every
+  // write path must lose with kLeaseConflict naming the rival's exact
+  // token, reads must keep serving, and releasing the lease restores write
+  // access. The idle-stats audit then checks the conflict counter exactly.
+
+  void lease_episode() {
+    ++ops_;
+    const auto id = pick_existing();
+    if (id == 0) return;
+    auto& leases = client_.object_leases();
+    const auto rival = leases.try_acquire(id);
+    ASSERT_TRUE(rival.ok()) << trace("rival acquire");
+
+    Entry& entry = model_.at(id);
+    std::vector<std::uint8_t> bytes(1 + rng_.next_below(entry.max_size));
+    for (auto& byte : bytes) {
+      byte = static_cast<std::uint8_t>(rng_.next_u64());
+    }
+
+    const Status sync_loss = client_.overwrite(id, bytes);
+    ASSERT_EQ(sync_loss.code(), ErrorCode::kLeaseConflict)
+        << trace("leased overwrite");
+    ASSERT_EQ(sync_loss.holder(), rival->id) << trace("leased holder");
+    const Status forget_loss = client_.forget(id);
+    ASSERT_EQ(forget_loss.code(), ErrorCode::kLeaseConflict)
+        << trace("leased forget");
+    ASSERT_EQ(forget_loss.holder(), rival->id)
+        << trace("leased forget holder");
+    (void)client_.submit_overwrite(id, bytes);
+    const auto results = client_.wait_all();
+    ASSERT_EQ(results.size(), 1u) << trace("leased batch size");
+    ASSERT_EQ(results[0].status.code(), ErrorCode::kLeaseConflict)
+        << trace("leased submit_overwrite");
+    ASSERT_EQ(results[0].status.holder(), rival->id)
+        << trace("leased submit holder");
+    expected_lease_conflicts_ += 3;
+    ops_ += 3;
+
+    // Reads are lease-free; the losers changed nothing.
+    const auto back = client_.get(id);
+    ASSERT_EQ(back.code(), ErrorCode::kOk) << trace("leased get");
+    ASSERT_EQ(*back, entry.bytes) << trace("leased get bytes");
+
+    ASSERT_TRUE(leases.release(*rival)) << trace("rival release");
+    ASSERT_TRUE(client_.overwrite(id, bytes).ok())
+        << trace("post-release overwrite");
+    entry.bytes = std::move(bytes);
+    ++ops_;
   }
 
   // -- streaming episode --------------------------------------------------
@@ -407,8 +499,22 @@ class ModelHarness {
     const auto tickets = client_.submit_get_streaming(id);
     ops_ += static_cast<unsigned>(tickets.size());
     ASSERT_EQ(tickets.size(), expected_stripes) << trace("stream tickets");
+    // Random cancels: a cancelled stripe ticket must surface kCancelled in
+    // its ordered slot without poisoning sibling stripes.
+    std::vector<bool> cancel_won(tickets.size(), false);
+    if (rng_.next_bool(0.25)) {
+      for (std::size_t s = 0; s < tickets.size(); ++s) {
+        if (!rng_.next_bool(0.5)) continue;
+        cancel_won[s] = client_.cancel(tickets[s]);
+        if (deterministic_) {
+          ASSERT_FALSE(cancel_won[s]) << trace("inline stream cancel won");
+        }
+      }
+    }
     // Ordered publication: wait_any surfaces stripes strictly in stripe
-    // order for every thread count, and the concatenation is get(id).
+    // order for every thread count, and the concatenation of the delivered
+    // stripes matches the model's slices.
+    bool any_cancelled = false;
     std::vector<std::uint8_t> assembled;
     for (unsigned s = 0; s < expected_stripes; ++s) {
       const auto result = client_.wait_any();
@@ -417,15 +523,27 @@ class ModelHarness {
           << trace("stream op");
       ASSERT_EQ(result.id, id) << trace("stream id");
       ASSERT_EQ(result.stripe_index, s) << trace("stream stripe index");
+      if (cancel_won[s]) {
+        ASSERT_EQ(result.status.code(), ErrorCode::kCancelled)
+            << trace("cancelled stripe outcome");
+        ASSERT_TRUE(result.bytes.empty()) << trace("cancelled stripe bytes");
+        any_cancelled = true;
+        continue;
+      }
       ASSERT_TRUE(result.status.ok()) << trace("stream status");
       const std::size_t offset = static_cast<std::size_t>(s) * capacity();
       ASSERT_EQ(result.bytes.size(),
                 std::min(capacity(), entry.bytes.size() - offset))
           << trace("stream stripe size");
+      ASSERT_TRUE(std::equal(result.bytes.begin(), result.bytes.end(),
+                             entry.bytes.begin() + static_cast<long>(offset)))
+          << trace("stream stripe bytes");
       assembled.insert(assembled.end(), result.bytes.begin(),
                        result.bytes.end());
     }
-    ASSERT_EQ(assembled, entry.bytes) << trace("stream bytes");
+    if (!any_cancelled) {
+      ASSERT_EQ(assembled, entry.bytes) << trace("stream bytes");
+    }
     ASSERT_EQ(client_.pending_ops(), 0u) << trace("stream drained");
   }
 
@@ -441,12 +559,23 @@ class ModelHarness {
       ASSERT_EQ(stats.shard_queue_depth[j], 0u)
           << trace("idle shard depth") << " shard=" << j;
     }
-    ASSERT_GE(stats.ops_succeeded + stats.ops_failed, last_finished_)
+    ASSERT_GE(stats.ops_succeeded + stats.ops_failed + stats.ops_cancelled,
+              last_finished_)
         << trace("op counters monotonic");
-    last_finished_ = stats.ops_succeeded + stats.ops_failed;
+    last_finished_ =
+        stats.ops_succeeded + stats.ops_failed + stats.ops_cancelled;
     ASSERT_GE(stats.stripe_writes + stats.stripe_reads, last_stripe_ops_)
         << trace("stripe counters monotonic");
     last_stripe_ops_ = stats.stripe_writes + stats.stripe_reads;
+    // Object-lease ledger: at idle every granted lease has been released —
+    // the default duration is far beyond any run, so nothing ever expires —
+    // and the only conflicts are the ones the lease episodes provoked.
+    ASSERT_EQ(stats.object_leases.grants, stats.object_leases.releases)
+        << trace("lease ledger balanced");
+    ASSERT_EQ(stats.object_leases.expirations, 0u)
+        << trace("no lease expirations");
+    ASSERT_EQ(stats.object_leases.conflicts, expected_lease_conflicts_)
+        << trace("lease conflicts exact");
   }
 
   StoreClient& client_;
@@ -460,6 +589,7 @@ class ModelHarness {
   unsigned ops_ = 0;
   std::uint64_t last_finished_ = 0;
   std::uint64_t last_stripe_ops_ = 0;
+  std::uint64_t expected_lease_conflicts_ = 0;
 };
 
 class StoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
