@@ -301,6 +301,43 @@ double measure_get_objects_per_s(const ProtocolConfig& config,
   return static_cast<double>(ops) / sec;
 }
 
+/// Degraded-read throughput: `ops` objects put up front, then a node-kill
+/// window starves every block's read quorum ({0, 8, 9, 10, 11, 12} dead
+/// leaves level 0 of each block and the final parity level below quorum
+/// while 9 >= k survivors remain), and the get() loop runs with
+/// allow_degraded — every stripe serves through survivor reconstruction.
+/// Measures the serve-through-failure tax against the healthy get path.
+double measure_degraded_get_objects_per_s(const ProtocolConfig& config,
+                                          const SweepPoint& point,
+                                          unsigned ops,
+                                          unsigned stripes_per_object) {
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  options.async_window = point.depth;
+  ShardedObjectStore store(config, options);
+  core::StoreClient& client = store;
+  std::vector<core::StoreClient::ObjectId> ids;
+  for (unsigned i = 0; i < ops; ++i) {
+    const auto id = store.put(object);
+    if (!id.ok()) std::abort();
+    ids.push_back(*id);
+  }
+  for (const NodeId node : {0, 8, 9, 10, 11, 12}) store.fail_node(node);
+  core::ReadOptions degraded;
+  degraded.allow_degraded = true;
+  const double sec = best_seconds(2, [&] {
+    for (const auto id : ids) {
+      if (!client.get(id, degraded).ok()) std::abort();
+    }
+  });
+  return static_cast<double>(ops) / sec;
+}
+
 /// Overwrite throughput: `ops` objects put up front, then every object
 /// rewritten in place — serially, or batched through submit_overwrite +
 /// wait_all.
@@ -492,6 +529,29 @@ void run_sweep(const std::string& out_path) {
     json.field("mb_per_s",
                ops_per_s * static_cast<double>(object_bytes) / 1e6);
     json.field("speedup_vs_serial_get", ops_per_s / get_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Degraded gets (allow_degraded under a quorum-starving node-kill window)
+  // against the healthy serial get loop: the serve-through-failure tax.
+  // Reconstruction decodes one block per stripe, so the ratio sits below
+  // 1x by design — the guard tracks that it doesn't collapse further.
+  const SweepPoint degraded_points[] = {
+      {1, 0, 1}, {2, 2, 4}, {4, 4, 4},
+  };
+  json.begin_array("degraded_get");
+  for (const auto& point : degraded_points) {
+    const double ops_per_s = measure_degraded_get_objects_per_s(
+        config, point, kPutOps, kStripesPerObject);
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(point.shards));
+    json.field("threads", static_cast<std::size_t>(point.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(point.depth));
+    json.field("objects_per_s", ops_per_s);
+    json.field("mb_per_s",
+               ops_per_s * static_cast<double>(object_bytes) / 1e6);
+    json.field("ratio_vs_healthy_get", ops_per_s / get_serial);
     json.end_object();
   }
   json.end_array();

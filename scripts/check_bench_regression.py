@@ -56,7 +56,10 @@ def format_identity(identity):
     return " ".join(f"{k}={v}" for k, v in identity) or "<unkeyed>"
 
 
-SPEEDUP_RE = re.compile(r"speedup")
+# Machine-relative ratios: speedup_vs_* (parallel vs serial) and ratio_vs_*
+# (e.g. degraded_get vs the healthy get loop). Both are comparable across
+# machines but meaningless as baselines when emitted on one core.
+SPEEDUP_RE = re.compile(r"speedup|ratio_vs")
 
 
 def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
@@ -121,8 +124,15 @@ def main():
     )
     parser.add_argument(
         "--fields",
-        default=r"mb_per_s|objects_per_s|speedup",
+        default=r"mb_per_s|objects_per_s|speedup|ratio_vs",
         help="regex selecting which float fields are guarded metrics",
+    )
+    parser.add_argument(
+        "--require-tables",
+        default="",
+        help="comma-separated sweep tables that must exist in BOTH files "
+        "(catches a series silently dropped from the bench before a "
+        "baseline ever recorded it)",
     )
     args = parser.parse_args()
 
@@ -166,6 +176,14 @@ def main():
             "WARN: baseline hardware_concurrency == 1 — speedup_vs_* guards "
             "are skipped; re-commit the baseline from a multi-core runner"
         )
+    for name in filter(None, args.require_tables.split(",")):
+        for label, doc in (("baseline", baseline), ("fresh", fresh)):
+            if not isinstance(doc.get(name), list):
+                report.append(
+                    f"FAIL {name}: required sweep table missing from "
+                    f"{label} file"
+                )
+                failures += 1
     for key, base_value in baseline.items():
         if not isinstance(base_value, list):
             continue

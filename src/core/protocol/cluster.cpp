@@ -203,6 +203,22 @@ Result<std::vector<BlockRead>> SimCluster::read_stripe_sync(
   return reads;
 }
 
+Result<std::vector<BlockRead>> SimCluster::read_stripe_degraded(
+    BlockId stripe, unsigned first_index, unsigned count,
+    std::span<const NodeId> avoid, std::vector<NodeId>& avoided_out) {
+  auto degraded =
+      repair_->read_stripe_degraded(stripe, first_index, count, avoid,
+                                    avoided_out);
+  if (!degraded.ok()) return std::move(degraded).status();
+  std::vector<BlockRead> reads;
+  reads.reserve(degraded->size());
+  for (auto& block : *degraded) {
+    reads.push_back(
+        BlockRead{block.version, std::move(block.payload), block.decoded});
+  }
+  return reads;
+}
+
 std::vector<std::uint8_t> SimCluster::make_pattern(std::uint64_t tag) const {
   std::vector<std::uint8_t> out(config_.chunk_len);
   Rng rng(tag ^ 0x7261707065726321ULL);

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/protocol/config.hpp"
@@ -122,6 +123,16 @@ class SimCluster {
   /// failure fails the whole stripe read with that block's Status.
   [[nodiscard]] Result<std::vector<BlockRead>> read_stripe_sync(
       BlockId stripe, unsigned first_index, unsigned count);
+
+  /// Degraded stripe read: bypasses the quorum protocol and serves the same
+  /// blocks from any k survivors via the repair decode path, steering away
+  /// from `avoid`. Bytes are identical to read_stripe_sync on a consistent
+  /// stripe; `avoided_out` reports which avoid-hints were honoured. The
+  /// degraded path keeps no StripeSyncStats — the facades' DegradedReadLedger
+  /// is the single source of degraded-read accounting.
+  [[nodiscard]] Result<std::vector<BlockRead>> read_stripe_degraded(
+      BlockId stripe, unsigned first_index, unsigned count,
+      std::span<const NodeId> avoid, std::vector<NodeId>& avoided_out);
 
   /// Fills a chunk-sized buffer with a deterministic pattern (testing aid).
   [[nodiscard]] std::vector<std::uint8_t> make_pattern(

@@ -7,6 +7,19 @@
 
 namespace traperc::core {
 
+namespace {
+
+/// Recoverable stripe-read failures the degraded path may convert into a
+/// serve; everything else (kUnknownObject, kInvalidArgument, ...) stays
+/// fail-fast even with allow_degraded.
+bool degradable(const Status& status) {
+  return status == ErrorCode::kQuorumUnavailable ||
+         status == ErrorCode::kDecodeFailed ||
+         status == ErrorCode::kShardDown;
+}
+
+}  // namespace
+
 ObjectStore::ObjectStore(SimCluster& cluster, BlockId base_stripe,
                          SimTime object_lease_duration_ns)
     : cluster_(cluster),
@@ -137,9 +150,10 @@ void ObjectStore::copy_stripe_bytes(const std::vector<BlockRead>& blocks,
   TRAPERC_DCHECK(remaining == 0);
 }
 
-Status ObjectStore::read_extent_stripe(const Extent& extent,
+Status ObjectStore::read_extent_stripe(ObjectId id, const Extent& extent,
                                        unsigned stripe_index,
-                                       std::uint8_t* dest) {
+                                       std::uint8_t* dest,
+                                       const ReadOptions& options) {
   const std::size_t chunk_len = cluster_.config().chunk_len;
   const std::size_t capacity = stripe_capacity();
   const std::size_t offset =
@@ -153,12 +167,32 @@ Status ObjectStore::read_extent_stripe(const Extent& extent,
   auto outcomes =
       cluster_.read_stripe_sync(extent.first_stripe + stripe_index, 0,
                                 covered);
-  if (!outcomes.ok()) return std::move(outcomes).status();
+  if (!outcomes.ok()) {
+    Status status = std::move(outcomes).status();
+    if (!options.allow_degraded || !degradable(status)) return status;
+    // Degraded fallback: steer around the caller's hints plus the suspects
+    // the failed quorum read implicated, serve from any k survivors. Never
+    // takes the object lease — degraded reads are read-only and lease-free.
+    std::vector<NodeId> avoid = options.avoid_nodes;
+    avoid.insert(avoid.end(), status.nodes().begin(), status.nodes().end());
+    std::vector<NodeId> avoided;
+    auto degraded = cluster_.read_stripe_degraded(
+        extent.first_stripe + stripe_index, 0, covered, avoid, avoided);
+    if (!degraded.ok()) return std::move(degraded).status();
+    unsigned blocks_decoded = 0;
+    for (const auto& block : *degraded) {
+      if (block.decoded) ++blocks_decoded;
+    }
+    degraded_.record(id, blocks_decoded, avoided);
+    copy_stripe_bytes(*degraded, chunk_len, bytes, dest);
+    return Status{};
+  }
   copy_stripe_bytes(*outcomes, chunk_len, bytes, dest);
   return Status{};
 }
 
-Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
+Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id,
+                                                   const ReadOptions& options) {
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
@@ -169,8 +203,8 @@ Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id) {
       (extent.size + capacity - 1) / capacity);
   std::vector<std::uint8_t> out(extent.size);
   for (unsigned s = 0; s < used; ++s) {
-    Status status = read_extent_stripe(extent, s,
-                                       out.data() + s * capacity);
+    Status status = read_extent_stripe(id, extent, s,
+                                       out.data() + s * capacity, options);
     if (!status.ok()) return status;
   }
   return out;
@@ -188,7 +222,7 @@ Result<StoreClient::GetPlan> ObjectStore::plan_get(ObjectId id) const {
 }
 
 Result<std::vector<std::uint8_t>> ObjectStore::read_object_stripe(
-    ObjectId id, unsigned stripe_index) {
+    ObjectId id, unsigned stripe_index, const ReadOptions& options) {
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
@@ -204,7 +238,8 @@ Result<std::vector<std::uint8_t>> ObjectStore::read_object_stripe(
   const std::size_t offset =
       static_cast<std::size_t>(stripe_index) * capacity;
   std::vector<std::uint8_t> out(std::min(capacity, extent.size - offset));
-  Status status = read_extent_stripe(extent, stripe_index, out.data());
+  Status status =
+      read_extent_stripe(id, extent, stripe_index, out.data(), options);
   if (!status.ok()) return status;
   return out;
 }
@@ -216,6 +251,8 @@ void ObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.stripe_writes = cluster_stats.stripe_writes;
   stats.stripe_reads = cluster_stats.stripe_reads;
   stats.object_leases = object_leases_.stats();
+  stats.degraded = degraded_.snapshot();
+  // stats.remap stays zero: a single deployment has no shards to remap to.
   // Plain counters with no cross-thread synchronization: ObjectStore's
   // data path is single-threaded by contract (unlike the sharded facade,
   // which reads these under its shard mutex), so these two fields are only

@@ -71,15 +71,21 @@ class ObjectStore : public StoreClient {
   /// range moves to the failed-extent ledger (never reused).
   Result<ObjectId> put(std::span<const std::uint8_t> object) override;
 
-  /// Reads an object back.
-  [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
+  /// Reads an object back. With options.allow_degraded, a stripe whose
+  /// quorum read fails recoverably (kQuorumUnavailable / kDecodeFailed) is
+  /// re-served through the repair decode path, avoiding the failure's
+  /// suspect nodes plus options.avoid_nodes — byte-identical on success,
+  /// recorded in StoreStats::degraded.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> get(
+      ObjectId id, const ReadOptions& options = {}) override;
 
   /// Streaming-get layout: object size and covered stripe count.
   [[nodiscard]] Result<GetPlan> plan_get(ObjectId id) const override;
 
   /// Reads one object stripe's bytes (trimmed at the object's tail).
   [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
-      ObjectId id, unsigned stripe_index) override;
+      ObjectId id, unsigned stripe_index,
+      const ReadOptions& options = {}) override;
 
   [[nodiscard]] Result<Extent> extent(ObjectId id) const;
   [[nodiscard]] std::size_t object_count() const override {
@@ -116,12 +122,15 @@ class ObjectStore : public StoreClient {
   /// Reads stripe `stripe_index` of `extent` into `dest` (the caller
   /// validated the index and sized the buffer for the covered bytes).
   /// Shared by get() (writing straight into the output object) and
-  /// read_object_stripe().
-  Status read_extent_stripe(const Extent& extent, unsigned stripe_index,
-                            std::uint8_t* dest);
+  /// read_object_stripe(). `id` labels the degraded ledger entry when the
+  /// options enable the degraded fallback.
+  Status read_extent_stripe(ObjectId id, const Extent& extent,
+                            unsigned stripe_index, std::uint8_t* dest,
+                            const ReadOptions& options);
 
   SimCluster& cluster_;
   ObjectLeaseManager object_leases_;
+  DegradedReadLedger degraded_;
   BlockId next_stripe_;
   ObjectId next_object_ = 1;
   std::map<ObjectId, Extent> catalog_;

@@ -1,0 +1,66 @@
+#include "core/protocol/remap.hpp"
+
+namespace traperc::core {
+
+void RemapLedger::record(const RemapEntry& entry) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  entries_[Key{entry.object_id, entry.stripe_index}] = entry;
+}
+
+std::optional<RemapEntry> RemapLedger::find(std::uint64_t object_id,
+                                            unsigned stripe_index) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(Key{object_id, stripe_index});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RemapEntry> RemapLedger::entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<RemapEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+bool RemapLedger::erase_drained(std::uint64_t object_id,
+                                unsigned stripe_index) {
+  std::lock_guard lock(mutex_);
+  if (entries_.erase(Key{object_id, stripe_index}) == 0) return false;
+  ++drained_;
+  return true;
+}
+
+std::size_t RemapLedger::drop_object(std::uint64_t object_id) {
+  std::lock_guard lock(mutex_);
+  const auto first = entries_.lower_bound(Key{object_id, 0});
+  auto last = first;
+  std::size_t dropped = 0;
+  while (last != entries_.end() && last->first.first == object_id) {
+    ++last;
+    ++dropped;
+  }
+  entries_.erase(first, last);
+  dropped_ += dropped;
+  return dropped;
+}
+
+bool RemapLedger::drop_entry(std::uint64_t object_id, unsigned stripe_index) {
+  std::lock_guard lock(mutex_);
+  if (entries_.erase(Key{object_id, stripe_index}) == 0) return false;
+  ++dropped_;
+  return true;
+}
+
+std::size_t RemapLedger::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+RemapStats RemapLedger::stats() const {
+  std::lock_guard lock(mutex_);
+  return RemapStats{recorded_, entries_.size(), drained_, dropped_};
+}
+
+}  // namespace traperc::core

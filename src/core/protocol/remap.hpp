@@ -1,0 +1,88 @@
+// RemapLedger — the separate-metadata record of stripes written away from
+// home.
+//
+// When a put/overwrite hits a down shard and remapping is enabled, the
+// stripe's bytes land on a healthy shard and the *only* authoritative
+// record of that detour is a ledger entry (object, stripe_index) →
+// (home shard, target shard, target stripe). This follows AWE's
+// separate-metadata design: the data path stays erasure-coded and dumb,
+// while the small strongly-consistent ledger arbitrates where each stripe
+// currently lives. Reads consult the ledger first; drain_remaps() migrates
+// entries home under the object write lease and balances the ledger back
+// to zero; forget drops an object's entries so repair can never resurrect
+// stripes of a deleted object.
+//
+// The ledger is internally synchronized (one mutex): entries are touched
+// from pool workers (writes, reads) and from the repair path (drain),
+// while stats() snapshots come from any stats() caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/protocol/store_client.hpp"
+
+namespace traperc::core {
+
+/// One remapped stripe: object stripe `stripe_index` of `object_id` lives
+/// at stripe `target_stripe` of shard `target_shard` instead of its home
+/// extent slot on `home_shard`.
+struct RemapEntry {
+  std::uint64_t object_id = 0;
+  unsigned stripe_index = 0;
+  unsigned home_shard = 0;
+  unsigned target_shard = 0;
+  BlockId target_stripe = 0;
+};
+
+class RemapLedger {
+ public:
+  /// Records (or refreshes) the entry for (object, stripe). Every call
+  /// counts one remapped stripe write in stats — an overwrite re-landing
+  /// on an existing entry is still a write served away from home.
+  void record(const RemapEntry& entry);
+
+  /// The entry for (object, stripe), if that stripe currently lives away
+  /// from home.
+  [[nodiscard]] std::optional<RemapEntry> find(std::uint64_t object_id,
+                                              unsigned stripe_index) const;
+
+  /// Snapshot of all active entries (drain iterates this).
+  [[nodiscard]] std::vector<RemapEntry> entries() const;
+
+  /// Removes one entry after its stripe was migrated home. Counts toward
+  /// stripes_drained. Returns false if the entry was already gone (a
+  /// racing forget dropped it).
+  bool erase_drained(std::uint64_t object_id, unsigned stripe_index);
+
+  /// Drops every entry of one object (forget, or drain discovering the
+  /// object vanished from the catalog). Counts toward entries_dropped.
+  /// Returns how many entries were dropped.
+  std::size_t drop_object(std::uint64_t object_id);
+
+  /// Drops one entry without migrating it (drain discovering the stripe is
+  /// no longer covered after a shrinking overwrite). Counts toward
+  /// entries_dropped. Returns false if the entry was already gone.
+  bool drop_entry(std::uint64_t object_id, unsigned stripe_index);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Lifetime counters plus the current active-entry count.
+  [[nodiscard]] RemapStats stats() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, unsigned>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, RemapEntry> entries_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace traperc::core

@@ -19,12 +19,30 @@ RepairManager::RepairManager(const ProtocolConfig& config,
   }
 }
 
-bool RepairManager::decode_data_block(
-    BlockId stripe, unsigned index, NodeId exclude, Version& version_out,
-    std::vector<std::uint8_t>& payload_out) const {
+bool RepairManager::decode_data_block(BlockId stripe, unsigned index,
+                                      std::span<const NodeId> exclude,
+                                      std::span<const NodeId> avoid,
+                                      Version& version_out,
+                                      std::vector<std::uint8_t>& payload_out,
+                                      bool* decoded_out,
+                                      std::vector<NodeId>* used_out) const {
   TRAPERC_CHECK_MSG(config_.mode == Mode::kErc, "decode path is ERC-only");
   const unsigned k = config_.k;
   const unsigned n = config_.n;
+  const auto excluded = [&](NodeId id) {
+    return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
+  };
+  const auto avoided = [&](NodeId id) {
+    return std::find(avoid.begin(), avoid.end(), id) != avoid.end();
+  };
+  const auto serve = [&](Version v, std::vector<std::uint8_t> payload,
+                         bool decoded, std::vector<NodeId> used) {
+    version_out = v;
+    payload_out = std::move(payload);
+    if (decoded_out != nullptr) *decoded_out = decoded;
+    if (used_out != nullptr) *used_out = std::move(used);
+    return true;
+  };
 
   // Snapshot live nodes (direct access: repair is co-located).
   struct DataView {
@@ -40,7 +58,7 @@ bool RepairManager::decode_data_block(
   std::vector<DataView> data(k);
   std::vector<ParityView> parity(n - k);
   for (NodeId id = 0; id < n; ++id) {
-    if (id == exclude || !nodes_[id]->up()) continue;
+    if (excluded(id) || !nodes_[id]->up()) continue;
     if (id < k) {
       auto reply = nodes_[id]->replica_read(stripe, id);
       data[id] = DataView{true, reply.version, std::move(reply.payload)};
@@ -51,7 +69,10 @@ bool RepairManager::decode_data_block(
     }
   }
 
-  // Candidate versions for the target block, highest first.
+  // Candidate versions for the target block, highest first. Candidates are
+  // computed over ALL live snapshots — avoidance never changes *which*
+  // version is served (byte-identity with the healthy path), only which
+  // rows produce it.
   std::set<Version, std::greater<>> candidates;
   if (data[index].have) candidates.insert(data[index].version);
   for (const auto& view : parity) {
@@ -60,10 +81,10 @@ bool RepairManager::decode_data_block(
   if (candidates.empty()) return false;
 
   for (Version v : candidates) {
-    if (data[index].have && data[index].version == v) {
-      version_out = v;
-      payload_out = data[index].payload;
-      return true;
+    const bool direct_possible = data[index].have && data[index].version == v;
+    if (direct_possible && !avoided(static_cast<NodeId>(index))) {
+      return serve(v, data[index].payload, /*decoded=*/false,
+                   {static_cast<NodeId>(index)});
     }
     // Group consistent parity snapshots carrying version v of this block.
     std::map<std::vector<Version>, std::vector<unsigned>> groups;
@@ -73,20 +94,41 @@ bool RepairManager::decode_data_block(
       }
     }
     for (const auto& [vec, group] : groups) {
-      std::vector<unsigned> present_ids;
-      std::vector<const std::uint8_t*> present_ptrs;
+      // Qualifying rows for this consistent snapshot. Non-avoided rows
+      // sort first (stably: data ascending, then parity ascending), and
+      // exactly k of them feed the decoder — reconstruct() picks the
+      // lowest-id k of whatever it is handed, so the selection must happen
+      // here for avoidance to bite.
+      struct Row {
+        unsigned block;  // global block id fed to reconstruct
+        const std::uint8_t* ptr;
+      };
+      std::vector<Row> rows;
       for (unsigned m = 0; m < k; ++m) {
         if (m == index) continue;
         if (data[m].have && data[m].version == vec[m]) {
-          present_ids.push_back(m);
-          present_ptrs.push_back(data[m].payload.data());
+          rows.push_back(Row{m, data[m].payload.data()});
         }
       }
       for (unsigned j : group) {
-        present_ids.push_back(k + j);
-        present_ptrs.push_back(parity[j].payload.data());
+        rows.push_back(Row{k + j, parity[j].payload.data()});
       }
-      if (present_ids.size() < k) continue;
+      if (rows.size() < k) continue;
+      std::stable_partition(rows.begin(), rows.end(), [&](const Row& row) {
+        return !avoided(static_cast<NodeId>(row.block));
+      });
+      rows.resize(k);
+      std::vector<unsigned> present_ids;
+      std::vector<const std::uint8_t*> present_ptrs;
+      std::vector<NodeId> used;
+      present_ids.reserve(k);
+      present_ptrs.reserve(k);
+      used.reserve(k);
+      for (const Row& row : rows) {
+        present_ids.push_back(row.block);
+        present_ptrs.push_back(row.ptr);
+        used.push_back(static_cast<NodeId>(row.block));
+      }
       payload_out.assign(config_.chunk_len, 0);
       const unsigned want[] = {index};
       std::uint8_t* outs[] = {payload_out.data()};
@@ -94,10 +136,86 @@ bool RepairManager::decode_data_block(
                                          outs, config_.chunk_len);
       TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
       version_out = v;
+      if (decoded_out != nullptr) *decoded_out = true;
+      if (used_out != nullptr) *used_out = std::move(used);
       return true;
+    }
+    // Avoidance must not fail a recoverable block: if the home node holds
+    // this version and no k-row alternative exists, serve it regardless.
+    if (direct_possible) {
+      return serve(v, data[index].payload, /*decoded=*/false,
+                   {static_cast<NodeId>(index)});
     }
   }
   return false;
+}
+
+Result<std::vector<DegradedBlock>> RepairManager::read_stripe_degraded(
+    BlockId stripe, unsigned first_index, unsigned count,
+    std::span<const NodeId> avoid, std::vector<NodeId>& avoided_out) const {
+  TRAPERC_CHECK_MSG(first_index + count <= config_.k,
+                    "degraded read range exceeds data blocks");
+  const auto fail_at = [&](unsigned m) {
+    std::vector<NodeId> down;
+    for (NodeId id = 0; id < config_.n; ++id) {
+      if (!nodes_[id]->up()) down.push_back(id);
+    }
+    return Status::error(ErrorCode::kDecodeFailed)
+        .at(stripe, m)
+        .with_nodes(std::move(down));
+  };
+  std::vector<DegradedBlock> blocks(count);
+  std::set<NodeId> used_nodes;
+
+  if (config_.mode == Mode::kFr) {
+    // Replicated mode: serve each block from its freshest live replica,
+    // preferring non-avoided holders among the freshest.
+    for (unsigned i = 0; i < count; ++i) {
+      const unsigned m = first_index + i;
+      NodeId best_holder = kInvalidNode;
+      Version best = 0;
+      bool best_avoided = false;
+      auto consider = [&](NodeId id) {
+        if (!nodes_[id]->up()) return;
+        const Version v = nodes_[id]->replica_version(stripe, m);
+        const bool is_avoided =
+            std::find(avoid.begin(), avoid.end(), id) != avoid.end();
+        if (best_holder == kInvalidNode || v > best ||
+            (v == best && best_avoided && !is_avoided)) {
+          best_holder = id;
+          best = v;
+          best_avoided = is_avoided;
+        }
+      };
+      consider(m);
+      for (NodeId id = config_.k; id < config_.n; ++id) consider(id);
+      if (best_holder == kInvalidNode) return fail_at(m);
+      auto reply = nodes_[best_holder]->replica_read(stripe, m);
+      blocks[i] = DegradedBlock{reply.version, std::move(reply.payload),
+                                /*decoded=*/false};
+      used_nodes.insert(best_holder);
+    }
+  } else {
+    for (unsigned i = 0; i < count; ++i) {
+      const unsigned m = first_index + i;
+      std::vector<NodeId> used;
+      if (!decode_data_block(stripe, m, /*exclude=*/{}, avoid,
+                             blocks[i].version, blocks[i].payload,
+                             &blocks[i].decoded, &used)) {
+        return fail_at(m);
+      }
+      used_nodes.insert(used.begin(), used.end());
+    }
+  }
+
+  // Report which avoid-hints the read genuinely honoured.
+  avoided_out.clear();
+  for (NodeId id : avoid) {
+    if (used_nodes.count(id) != 0) continue;
+    auto it = std::lower_bound(avoided_out.begin(), avoided_out.end(), id);
+    if (it == avoided_out.end() || *it != id) avoided_out.insert(it, id);
+  }
+  return blocks;
 }
 
 RepairReport RepairManager::rebuild_node(NodeId target,
@@ -147,7 +265,9 @@ RepairReport RepairManager::rebuild_node(NodeId target,
     if (target < config_.k) {
       Version version = 0;
       std::vector<std::uint8_t> payload;
-      if (decode_data_block(stripe, target, target, version, payload)) {
+      const NodeId self[] = {target};
+      if (decode_data_block(stripe, target, self, /*avoid=*/{}, version,
+                            payload)) {
         nodes_[target]->replica_write(stripe, target, version, payload);
         ++report.chunks_rebuilt;
       } else {
@@ -160,8 +280,10 @@ RepairReport RepairManager::rebuild_node(NodeId target,
     std::vector<Version> contrib(config_.k, 0);
     std::vector<std::vector<std::uint8_t>> blocks(config_.k);
     bool ok = true;
+    const NodeId self[] = {target};
     for (unsigned m = 0; m < config_.k && ok; ++m) {
-      ok = decode_data_block(stripe, m, target, contrib[m], blocks[m]);
+      ok = decode_data_block(stripe, m, self, /*avoid=*/{}, contrib[m],
+                             blocks[m]);
     }
     if (!ok) {
       ++report.chunks_unrecoverable;
@@ -234,7 +356,8 @@ Status RepairManager::reconcile_stripe(BlockId stripe) {
   std::vector<Version> best(config_.k, 0);
   std::vector<std::vector<std::uint8_t>> payloads(config_.k);
   for (unsigned m = 0; m < config_.k; ++m) {
-    if (!decode_data_block(stripe, m, kInvalidNode, best[m], payloads[m])) {
+    if (!decode_data_block(stripe, m, /*exclude=*/{}, /*avoid=*/{}, best[m],
+                           payloads[m])) {
       // Block m is unrecoverable from the live nodes; implicate them.
       std::vector<NodeId> down;
       for (NodeId id = 0; id < config_.n; ++id) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -43,6 +44,16 @@ struct RepairReport {
   }
 };
 
+/// One data block served by the degraded-read path: the payload is
+/// byte-identical to what the healthy read path would have returned for the
+/// same version; `decoded` distinguishes an inline reconstruction from a
+/// direct serve off the (possibly slow but live) home node.
+struct DegradedBlock {
+  Version version = 0;
+  std::vector<std::uint8_t> payload;
+  bool decoded = false;  ///< reconstructed from k survivors, not direct-read
+};
+
 class RepairManager {
  public:
   RepairManager(const ProtocolConfig& config,
@@ -65,12 +76,34 @@ class RepairManager {
   /// match the live data nodes' versions for this stripe.
   [[nodiscard]] bool stripe_consistent(BlockId stripe) const;
 
+  /// Degraded read: serves data blocks [first_index, first_index + count)
+  /// of one stripe from whatever k survivors exist, steering away from
+  /// `avoid` (down/suspect/hot nodes) whenever an alternative selection of
+  /// k rows still covers the block. Avoidance only reorders row selection:
+  /// it can never turn a recoverable block into a failure — if the only
+  /// rows left include avoided nodes, they are used. The bytes returned are
+  /// identical to the healthy read path for the same versions.
+  ///
+  /// `avoided_out` receives, sorted and deduplicated, the subset of `avoid`
+  /// that the read genuinely steered around (asked to avoid and not used).
+  /// Failure (< k consistent survivors for some block) is kDecodeFailed at
+  /// the stripe/block, implicating the down nodes.
+  Result<std::vector<DegradedBlock>> read_stripe_degraded(
+      BlockId stripe, unsigned first_index, unsigned count,
+      std::span<const NodeId> avoid, std::vector<NodeId>& avoided_out) const;
+
  private:
   /// Decodes data block `index` at the best reconstructible version from
-  /// live nodes, excluding `exclude`. Returns false if unrecoverable.
-  bool decode_data_block(BlockId stripe, unsigned index, NodeId exclude,
-                         Version& version_out,
-                         std::vector<std::uint8_t>& payload_out) const;
+  /// live nodes, excluding `exclude` and preferring rows outside `avoid`.
+  /// Returns false if unrecoverable. `decoded_out` (when non-null) reports
+  /// whether the block was reconstructed (vs direct-served); `used_out`
+  /// (when non-null) collects the node ids whose chunks were consumed.
+  bool decode_data_block(BlockId stripe, unsigned index,
+                         std::span<const NodeId> exclude,
+                         std::span<const NodeId> avoid, Version& version_out,
+                         std::vector<std::uint8_t>& payload_out,
+                         bool* decoded_out = nullptr,
+                         std::vector<NodeId>* used_out = nullptr) const;
 
   ProtocolConfig config_;
   std::vector<storage::StorageNode*> nodes_;

@@ -12,6 +12,13 @@ namespace {
 
 /// First-error latch for pipeline tasks: tasks race to record the failure
 /// that aborts the operation; later tasks bail out early once set.
+/// Recoverable stripe-read failures the degraded path may convert into a
+/// serve; everything else stays fail-fast even with allow_degraded.
+bool degradable(const Status& status) {
+  return status == ErrorCode::kQuorumUnavailable ||
+         status == ErrorCode::kDecodeFailed;
+}
+
 class ErrorLatch {
  public:
   [[nodiscard]] bool failed() const {
@@ -85,8 +92,49 @@ bool ShardedObjectStore::shard_is_down(unsigned shard) const {
   return shards_[shard]->down;
 }
 
+Status ShardedObjectStore::write_remapped_stripe(
+    ObjectId id, unsigned stripe_index, unsigned home_shard,
+    std::vector<std::vector<std::uint8_t>> chunks) {
+  for (;;) {
+    // Least-loaded healthy shard, ties to the lowest index (deterministic
+    // in idle runs). queue_depth is a relaxed atomic; the down flag needs
+    // the shard mutex, taken briefly per candidate — never while another
+    // shard mutex is held.
+    unsigned best = shard_count();
+    std::size_t best_depth = 0;
+    for (unsigned t = 0; t < shard_count(); ++t) {
+      {
+        std::lock_guard lock(shards_[t]->mutex);
+        if (shards_[t]->down) continue;
+      }
+      const std::size_t depth =
+          shards_[t]->queue_depth.load(std::memory_order_relaxed);
+      if (best == shard_count() || depth < best_depth) {
+        best = t;
+        best_depth = depth;
+      }
+    }
+    if (best == shard_count()) {
+      return Status::error(ErrorCode::kShardDown).on_shard(home_shard);
+    }
+    Shard& target = *shards_[best];
+    std::lock_guard lock(target.mutex);
+    if (target.down) continue;  // raced an admin-down; reselect
+    const BlockId target_stripe = target.next_stripe++;
+    // Ledger before data (AWE's separate-metadata rule): once the entry is
+    // visible, every read routes through the target — even if the write
+    // below then partially fails, the stripe's state matches the ledger,
+    // not a stale home slot (the protocol has no transactions).
+    remap_ledger_.record(
+        RemapEntry{id, stripe_index, home_shard, best, target_stripe});
+    return target.cluster->write_stripe_sync(target_stripe, 0,
+                                             std::move(chunks))
+        .on_shard(best);
+  }
+}
+
 Status ShardedObjectStore::write_stripes(
-    std::span<const std::uint8_t> object, unsigned total,
+    ObjectId id, std::span<const std::uint8_t> object, unsigned total,
     const std::vector<ShardExtent>& extents) {
   const auto& config = shards_.front()->cluster->config();
   const unsigned k = config.k;
@@ -101,7 +149,7 @@ Status ShardedObjectStore::write_stripes(
       shards_[shard_of(i)]->queue_depth.fetch_add(1,
                                                   std::memory_order_relaxed);
       group.submit_bounded(
-          [this, &error, &extents, object, i, k, chunk_len] {
+          [this, &error, &extents, object, id, i, k, chunk_len] {
             const unsigned j = shard_of(i);
             Shard& shard = *shards_[j];
             QueueDepthLease lease(shard.queue_depth);
@@ -110,16 +158,49 @@ Status ShardedObjectStore::write_stripes(
             // unreleased (crashed-writer) leases age out under traffic.
             object_leases_.tick();
             auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
+            // Ledger-first: a stripe already living away from home re-lands
+            // at its recorded target (an overwrite must hit the bytes a
+            // reader will be routed to).
+            if (const auto entry = remap_ledger_.find(id, i)) {
+              Shard& target = *shards_[entry->target_shard];
+              std::lock_guard lock(target.mutex);
+              if (target.down) {
+                error.record(Status::error(ErrorCode::kShardDown)
+                                 .at(entry->target_stripe)
+                                 .on_shard(entry->target_shard));
+                return;
+              }
+              // Refresh the entry: this overwrite is one more stripe write
+              // served away from home.
+              remap_ledger_.record(*entry);
+              Status status = target.cluster->write_stripe_sync(
+                  entry->target_stripe, 0, std::move(chunks));
+              if (!status.ok()) {
+                error.record(std::move(status).on_shard(entry->target_shard));
+              }
+              return;
+            }
             const BlockId stripe = extents[j].first_stripe + local_index(i);
-            std::lock_guard lock(shard.mutex);
-            if (shard.down) {
+            {
+              std::lock_guard lock(shard.mutex);
+              if (!shard.down) {
+                Status status = shard.cluster->write_stripe_sync(
+                    stripe, 0, std::move(chunks));
+                if (!status.ok()) error.record(std::move(status).on_shard(j));
+                return;
+              }
+            }
+            // Home shard is down: fail fast (PR-5 contract) or detour to a
+            // healthy shard under the remap ledger. The home mutex is
+            // released first — target selection takes other shard mutexes.
+            if (!options_.remap_on_shard_down) {
               error.record(
                   Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
               return;
             }
             Status status =
-                shard.cluster->write_stripe_sync(stripe, 0, std::move(chunks));
-            if (!status.ok()) error.record(std::move(status).on_shard(j));
+                write_remapped_stripe(id, i, j, std::move(chunks));
+            if (!status.ok()) error.record(std::move(status));
           },
           options_.pipeline_depth);
     }
@@ -162,13 +243,16 @@ Result<ShardedObjectStore::ObjectId> ShardedObjectStore::put(
     shard.catalog.emplace(id, extents[j]);
   }
 
-  Status status = write_stripes(object, total, extents);
+  Status status = write_stripes(id, object, total, extents);
   if (!status.ok()) {
     for (unsigned j = 0; j < n_shards; ++j) {
       if (extents[j].stripe_count == 0) continue;
       std::lock_guard lock(shards_[j]->mutex);
       shards_[j]->catalog.erase(id);
     }
+    // A failed put's id is burned; any stripes it detoured through the
+    // remap ledger die with it (they were never published).
+    remap_ledger_.drop_object(id);
     object_leases_.release(*object_lease);
     return status;
   }
@@ -210,7 +294,75 @@ Result<ShardedObjectStore::ObjectInfo> ShardedObjectStore::lookup(
   return info;
 }
 
-Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
+ShardedObjectStore::StripeRoute ShardedObjectStore::route_stripe(
+    ObjectId id, const std::vector<ShardExtent>& extents,
+    unsigned stripe_index) const {
+  // Ledger-first: a remapped stripe is served from its target. A route can
+  // only go stale against a concurrent drain (the entry retires after the
+  // home copy lands), and stale targets still hold the correct bytes —
+  // stripe storage is never reclaimed — so racing reads stay correct.
+  if (const auto entry = remap_ledger_.find(id, stripe_index)) {
+    return StripeRoute{entry->target_shard, entry->target_stripe};
+  }
+  const unsigned j = shard_of(stripe_index);
+  return StripeRoute{j, extents[j].first_stripe + local_index(stripe_index)};
+}
+
+Status ShardedObjectStore::read_routed_stripe(ObjectId id,
+                                              unsigned shard_index,
+                                              BlockId stripe, unsigned covered,
+                                              std::size_t bytes,
+                                              std::uint8_t* dest,
+                                              const ReadOptions& options) {
+  const std::size_t chunk_len = shards_.front()->cluster->config().chunk_len;
+  Shard& shard = *shards_[shard_index];
+  const auto serve_degraded = [&](std::vector<NodeId> avoid) -> Status {
+    // Degraded serve: co-located repair decode off the shard's surviving
+    // chunks, bypassing the quorum protocol. Lease-free by design —
+    // degraded reads never touch the object write lease.
+    std::vector<NodeId> avoided;
+    auto degraded =
+        shard.cluster->read_stripe_degraded(stripe, 0, covered, avoid,
+                                            avoided);
+    if (!degraded.ok()) {
+      return std::move(degraded).status().on_shard(shard_index);
+    }
+    unsigned blocks_decoded = 0;
+    for (const auto& block : *degraded) {
+      if (block.decoded) ++blocks_decoded;
+    }
+    degraded_.record(id, blocks_decoded, avoided);
+    ObjectStore::copy_stripe_bytes(*degraded, chunk_len, bytes, dest);
+    return Status{};
+  };
+  std::lock_guard lock(shard.mutex);
+  if (shard.down) {
+    if (!options.allow_degraded) {
+      return Status::error(ErrorCode::kShardDown)
+          .at(stripe)
+          .on_shard(shard_index);
+    }
+    // Administratively down means "no quorum traffic", not "media gone":
+    // the degraded path reads whatever chunks survive, directly.
+    return serve_degraded(options.avoid_nodes);
+  }
+  auto outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
+  if (!outcomes.ok()) {
+    Status status = std::move(outcomes).status();
+    if (!options.allow_degraded || !degradable(status)) {
+      return std::move(status).on_shard(shard_index);
+    }
+    // Steer around the caller's hints plus the failed read's suspects.
+    std::vector<NodeId> avoid = options.avoid_nodes;
+    avoid.insert(avoid.end(), status.nodes().begin(), status.nodes().end());
+    return serve_degraded(std::move(avoid));
+  }
+  ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes, dest);
+  return Status{};
+}
+
+Result<std::vector<std::uint8_t>> ShardedObjectStore::get(
+    ObjectId id, const ReadOptions& options) {
   std::vector<ShardExtent> extents;
   auto info = lookup(id, extents);
   if (!info.ok()) return std::move(info).status();
@@ -229,36 +381,28 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::get(ObjectId id) {
   {
     TaskGroup group(pool_.get());
     for (unsigned i = 0; i < used; ++i) {
-      shards_[shard_of(i)]->queue_depth.fetch_add(1,
+      // The route is pinned at admission so queue-depth accounting and
+      // execution hit the same shard (remapped stripes execute against
+      // their ledger target, not their home).
+      const StripeRoute route = route_stripe(id, extents, i);
+      shards_[route.shard]->queue_depth.fetch_add(1,
                                                   std::memory_order_relaxed);
       // Each task fills a disjoint [offset, offset+bytes) range of `out`,
       // so no synchronization on the output buffer is needed.
       group.submit_bounded(
-          [this, &error, &extents, &out, object_size, i, capacity,
+          [this, &error, &out, &options, object_size, id, i, route, capacity,
            chunk_len] {
-            const unsigned j = shard_of(i);
-            Shard& shard = *shards_[j];
-            QueueDepthLease lease(shard.queue_depth);
+            QueueDepthLease lease(shards_[route.shard]->queue_depth);
             if (error.failed()) return;
             const std::size_t offset = static_cast<std::size_t>(i) * capacity;
             const std::size_t bytes =
                 std::min(capacity, object_size - offset);
             const auto covered =
                 static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
-            const BlockId stripe = extents[j].first_stripe + local_index(i);
-            std::lock_guard lock(shard.mutex);
-            if (shard.down) {
-              error.record(
-                  Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
-              return;
-            }
-            auto outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
-            if (!outcomes.ok()) {
-              error.record(std::move(outcomes).status().on_shard(j));
-              return;
-            }
-            ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes,
-                                           out.data() + offset);
+            Status status =
+                read_routed_stripe(id, route.shard, route.stripe, covered,
+                                   bytes, out.data() + offset, options);
+            if (!status.ok()) error.record(std::move(status));
           },
           options_.pipeline_depth);
     }
@@ -289,7 +433,7 @@ Result<StoreClient::GetPlan> ShardedObjectStore::plan_get(ObjectId id) const {
 }
 
 Result<std::vector<std::uint8_t>> ShardedObjectStore::read_object_stripe(
-    ObjectId id, unsigned stripe_index) {
+    ObjectId id, unsigned stripe_index, const ReadOptions& options) {
   std::vector<ShardExtent> extents;
   auto info = lookup(id, extents);
   if (!info.ok()) return std::move(info).status();
@@ -305,19 +449,13 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::read_object_stripe(
   const std::size_t bytes = std::min(capacity, object_size - offset);
   const auto covered =
       static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
-  const unsigned j = shard_of(stripe_index);
-  Shard& shard = *shards_[j];
-  shard.queue_depth.fetch_add(1, std::memory_order_relaxed);
-  QueueDepthLease lease(shard.queue_depth);
-  const BlockId stripe = extents[j].first_stripe + local_index(stripe_index);
-  std::lock_guard lock(shard.mutex);
-  if (shard.down) {
-    return Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j);
-  }
-  auto outcomes = shard.cluster->read_stripe_sync(stripe, 0, covered);
-  if (!outcomes.ok()) return std::move(outcomes).status().on_shard(j);
+  const StripeRoute route = route_stripe(id, extents, stripe_index);
+  shards_[route.shard]->queue_depth.fetch_add(1, std::memory_order_relaxed);
+  QueueDepthLease lease(shards_[route.shard]->queue_depth);
   std::vector<std::uint8_t> out(bytes);
-  ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes, out.data());
+  Status status = read_routed_stripe(id, route.shard, route.stripe, covered,
+                                     bytes, out.data(), options);
+  if (!status.ok()) return status;
   return out;
 }
 
@@ -338,6 +476,8 @@ void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
     stats.block_lease_expirations += block_leases.expirations;
   }
   stats.object_leases = object_leases_.stats();
+  stats.degraded = degraded_.snapshot();
+  stats.remap = remap_ledger_.stats();
 }
 
 Status ShardedObjectStore::overwrite_leased(
@@ -355,7 +495,7 @@ Status ShardedObjectStore::overwrite_leased(
   if (padded.size() < info->size) padded.resize(info->size, 0);
   const auto covered = static_cast<unsigned>(
       (padded.size() + stripe_capacity() - 1) / stripe_capacity());
-  Status status = write_stripes(padded, covered, extents);
+  Status status = write_stripes(id, padded, covered, extents);
   if (!status.ok()) return status;
   {
     std::lock_guard lock(catalog_mutex_);
@@ -376,6 +516,10 @@ Status ShardedObjectStore::forget_leased(ObjectId id) {
     std::lock_guard lock(shard->mutex);
     shard->catalog.erase(id);
   }
+  // Forget wins over repair: dropping the entries here (under the object
+  // lease the caller holds) guarantees a later drain_remaps can never
+  // resurrect stripes of a deleted object.
+  remap_ledger_.drop_object(id);
   return Status{};
 }
 
@@ -408,6 +552,104 @@ void ShardedObjectStore::wipe_node(NodeId id) {
     std::lock_guard lock(shard->mutex);
     shard->cluster->node(id).wipe();
   }
+}
+
+RemapDrainReport ShardedObjectStore::drain_remaps() {
+  RemapDrainReport report;
+  const std::size_t capacity = stripe_capacity();
+  const std::size_t chunk_len = shards_.front()->cluster->config().chunk_len;
+  // Group the snapshot by object: migration rewrites home stripes, so each
+  // object's group runs under its write lease — drain serializes with
+  // overwrite/forget like any other writer, and a conflict just defers the
+  // object to a later pass.
+  std::map<ObjectId, std::vector<RemapEntry>> by_object;
+  for (const RemapEntry& entry : remap_ledger_.entries()) {
+    by_object[entry.object_id].push_back(entry);
+  }
+  for (const auto& [id, group] : by_object) {
+    auto lease = object_leases_.try_acquire(id);
+    if (!lease.ok()) {
+      report.skipped += static_cast<unsigned>(group.size());
+      continue;
+    }
+    std::vector<ShardExtent> extents;
+    auto info = lookup(id, extents);
+    if (!info.ok()) {
+      // A forget won the race before we took the lease: the object is
+      // gone, its remapped stripes must never be resurrected.
+      report.dropped +=
+          static_cast<unsigned>(remap_ledger_.drop_object(id));
+      object_leases_.release(*lease);
+      continue;
+    }
+    const std::size_t object_size = info->size;
+    const auto used = static_cast<unsigned>(std::min<std::size_t>(
+        info->stripe_count, (object_size + capacity - 1) / capacity));
+    for (const RemapEntry& entry : group) {
+      if (entry.stripe_index >= used) {
+        // A shrinking overwrite left this stripe outside the object; its
+        // bytes are unreachable, so the entry just retires.
+        if (remap_ledger_.drop_entry(id, entry.stripe_index)) {
+          ++report.dropped;
+        }
+        continue;
+      }
+      if (shard_is_down(entry.target_shard) ||
+          shard_is_down(entry.home_shard)) {
+        ++report.skipped;  // migration needs both ends serving
+        continue;
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(entry.stripe_index) * capacity;
+      const std::size_t bytes = std::min(capacity, object_size - offset);
+      const auto covered =
+          static_cast<unsigned>((bytes + chunk_len - 1) / chunk_len);
+      // Read the remapped bytes from the target, then rewrite the home
+      // slot — two separate shard locks, taken sequentially, never nested.
+      std::vector<std::vector<std::uint8_t>> chunks;
+      {
+        Shard& target = *shards_[entry.target_shard];
+        std::lock_guard lock(target.mutex);
+        if (target.down) {
+          ++report.skipped;
+          continue;
+        }
+        auto outcomes =
+            target.cluster->read_stripe_sync(entry.target_stripe, 0, covered);
+        if (!outcomes.ok()) {
+          ++report.skipped;
+          continue;
+        }
+        chunks.reserve(outcomes->size());
+        for (auto& block : *outcomes) chunks.push_back(std::move(block.value));
+      }
+      const BlockId home_stripe =
+          extents[entry.home_shard].first_stripe +
+          local_index(entry.stripe_index);
+      {
+        Shard& home = *shards_[entry.home_shard];
+        std::lock_guard lock(home.mutex);
+        if (home.down) {
+          ++report.skipped;
+          continue;
+        }
+        object_leases_.tick();
+        Status status =
+            home.cluster->write_stripe_sync(home_stripe, 0, std::move(chunks));
+        if (!status.ok()) {
+          // The home write failed mid-migration; the ledger entry stays,
+          // reads keep routing to the intact target copy.
+          ++report.skipped;
+          continue;
+        }
+      }
+      if (remap_ledger_.erase_drained(id, entry.stripe_index)) {
+        ++report.migrated;
+      }
+    }
+    object_leases_.release(*lease);
+  }
+  return report;
 }
 
 Result<RepairReport> ShardedObjectStore::repair_node(NodeId id) {

@@ -45,6 +45,7 @@
 #include "common/thread_pool.hpp"
 #include "core/protocol/cluster.hpp"
 #include "core/protocol/object_store.hpp"
+#include "core/protocol/remap.hpp"
 #include "core/protocol/repair.hpp"
 #include "core/protocol/store_client.hpp"
 
@@ -63,6 +64,19 @@ struct ShardedStoreOptions {
   /// (see ObjectLeaseManager): an unreleased lease lapses after this many
   /// stripe writes have flowed through the facade.
   SimTime object_lease_duration_ns = 1'000'000'000;
+  /// When a put/overwrite stripe targets an administratively down shard:
+  /// true (default) lands it on the least-loaded healthy shard and records
+  /// the detour in the remap ledger; false keeps the PR-5 fail-fast
+  /// contract (kShardDown, no bytes written).
+  bool remap_on_shard_down = true;
+};
+
+/// Outcome of one drain_remaps() pass over the remap ledger.
+struct RemapDrainReport {
+  unsigned migrated = 0;  ///< stripes copied home, ledger entries retired
+  unsigned dropped = 0;   ///< entries for vanished/shrunk objects discarded
+  unsigned skipped = 0;   ///< left for a later pass (lease conflict, down
+                          ///< shard, or a failed migration step)
 };
 
 class ShardedObjectStore : public StoreClient {
@@ -95,16 +109,23 @@ class ShardedObjectStore : public StoreClient {
   /// the object id on success.
   Result<ObjectId> put(std::span<const std::uint8_t> object) override;
 
-  /// Reads an object back through the same pipeline.
-  [[nodiscard]] Result<std::vector<std::uint8_t>> get(ObjectId id) override;
+  /// Reads an object back through the same pipeline. Remapped stripes are
+  /// served from their ledger targets transparently. With
+  /// options.allow_degraded, a down shard or a failed quorum read is
+  /// re-served through the shard's repair decode path (byte-identical,
+  /// lease-free, recorded in StoreStats::degraded).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> get(
+      ObjectId id, const ReadOptions& options = {}) override;
 
   /// Streaming-get layout: object size and covered stripe count.
   [[nodiscard]] Result<GetPlan> plan_get(ObjectId id) const override;
 
   /// Reads one object stripe from its shard (trimmed at the object's tail);
-  /// kShardDown when that stripe's shard is administratively down.
+  /// kShardDown when that stripe's shard is administratively down and the
+  /// options don't allow a degraded serve.
   [[nodiscard]] Result<std::vector<std::uint8_t>> read_object_stripe(
-      ObjectId id, unsigned stripe_index) override;
+      ObjectId id, unsigned stripe_index,
+      const ReadOptions& options = {}) override;
 
   [[nodiscard]] Result<ObjectInfo> info(ObjectId id) const;
 
@@ -128,6 +149,21 @@ class ShardedObjectStore : public StoreClient {
   /// kShardDown if any shard is administratively down (a full rebuild
   /// cannot be certified).
   Result<RepairReport> repair_node(NodeId id);
+
+  /// Repair-path API: migrates every remapped stripe back to its home
+  /// shard and retires its ledger entry. Per object, the pass takes the
+  /// object's write lease (drain serializes with overwrite/forget like any
+  /// writer — a conflict skips that object for a later pass); entries whose
+  /// object vanished from the catalog (a racing forget won) are dropped,
+  /// never resurrected. A clean pass with every shard up balances the
+  /// ledger to zero (StoreStats::remap.entries_active == 0).
+  RemapDrainReport drain_remaps();
+
+  /// The remap ledger's live view (tests, operators). Entries are also
+  /// summarized in StoreStats::remap.
+  [[nodiscard]] const RemapLedger& remap_ledger() const noexcept {
+    return remap_ledger_;
+  }
 
   /// Direct access to one shard's deployment (tests and benches only; not
   /// synchronized against concurrent store operations).
@@ -176,14 +212,44 @@ class ShardedObjectStore : public StoreClient {
   Result<ObjectInfo> lookup(ObjectId id,
                             std::vector<ShardExtent>& extents) const;
 
-  /// Pipelines `total` stripe writes of `object` into `extents`.
-  Status write_stripes(std::span<const std::uint8_t> object, unsigned total,
+  /// Where one object stripe currently lives: its remap target when the
+  /// ledger has an entry, its home slot otherwise.
+  struct StripeRoute {
+    unsigned shard = 0;
+    BlockId stripe = 0;
+  };
+  [[nodiscard]] StripeRoute route_stripe(
+      ObjectId id, const std::vector<ShardExtent>& extents,
+      unsigned stripe_index) const;
+
+  /// Reads `covered` blocks of `stripe` on `shard_index` into `dest`
+  /// (`bytes` object bytes), applying the degraded fallback per `options`.
+  /// Takes the shard mutex internally.
+  Status read_routed_stripe(ObjectId id, unsigned shard_index, BlockId stripe,
+                            unsigned covered, std::size_t bytes,
+                            std::uint8_t* dest, const ReadOptions& options);
+
+  /// Lands stripe `stripe_index` of `id` on the least-loaded healthy shard
+  /// after its home shard was found down (remap_on_shard_down). Records the
+  /// ledger entry before the data write (ledger-first: reads route through
+  /// the entry even if the write then partially fails — the no-transaction
+  /// rule). kShardDown when no healthy shard exists.
+  Status write_remapped_stripe(ObjectId id, unsigned stripe_index,
+                               unsigned home_shard,
+                               std::vector<std::vector<std::uint8_t>> chunks);
+
+  /// Pipelines `total` stripe writes of `object` into `extents`; `id`
+  /// routes remapped stripes and labels new ledger entries.
+  Status write_stripes(ObjectId id, std::span<const std::uint8_t> object,
+                       unsigned total,
                        const std::vector<ShardExtent>& extents);
 
   ShardedStoreOptions options_;
   ObjectLeaseManager object_leases_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads == 0
+  RemapLedger remap_ledger_;
+  DegradedReadLedger degraded_;
 
   mutable std::mutex catalog_mutex_;
   ObjectId next_object_ = 1;

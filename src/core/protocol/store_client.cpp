@@ -1,10 +1,32 @@
 #include "core/protocol/store_client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace traperc::core {
+
+void DegradedReadLedger::record(std::uint64_t object_id,
+                                unsigned blocks_decoded,
+                                std::span<const NodeId> avoided) {
+  std::lock_guard lock(mutex_);
+  ++stats_.stripe_reads;
+  stats_.blocks_decoded += blocks_decoded;
+  ++stats_.per_object[object_id];
+  for (NodeId node : avoided) {
+    auto it = std::lower_bound(stats_.nodes_avoided.begin(),
+                               stats_.nodes_avoided.end(), node);
+    if (it == stats_.nodes_avoided.end() || *it != node) {
+      stats_.nodes_avoided.insert(it, node);
+    }
+  }
+}
+
+DegradedReadStats DegradedReadLedger::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
 
 StoreClient::~StoreClient() {
   // Derived destructors must have drained; executing tasks would otherwise
@@ -44,6 +66,7 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
     // raced it there — commits to executing its true outcome.
     std::lock_guard lock(mutex_);
     queued_.erase(result.ticket.id);
+    queued_batch_.erase(result.ticket.id);
     if (cancelled_.erase(result.ticket.id) != 0) {
       result.status = Status::error(ErrorCode::kCancelled);
       result.bytes.clear();
@@ -63,7 +86,7 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
         break;
       }
       case BatchResult::Op::kGet: {
-        auto get_result = get(result.id);
+        auto get_result = get(result.id, result.read_options);
         if (get_result.ok()) {
           result.bytes = *std::move(get_result);
         } else {
@@ -78,7 +101,9 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
         result.status = forget(result.id);
         break;
       case BatchResult::Op::kGetStripe: {
-        auto read = read_object_stripe(result.id, result.stripe_index);
+        auto read =
+            read_object_stripe(result.id, result.stripe_index,
+                               result.read_options);
         if (read.ok()) {
           result.bytes = *std::move(read);
         } else {
@@ -163,13 +188,16 @@ void StoreClient::deliver_callbacks() {
 
 OpTicket StoreClient::submit_op(BatchResult seed,
                                 std::vector<std::uint8_t> object,
-                                std::shared_ptr<StreamState> stream) {
+                                std::shared_ptr<StreamState> stream,
+                                BatchId batch) {
   {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [this] { return executing_ < window_; });
-    seed.ticket = OpTicket{next_ticket_++};
+    if (batch.id == 0) batch = BatchId{next_batch_++};
+    seed.ticket = OpTicket{next_ticket_++, batch};
     ++executing_;
     queued_.insert(seed.ticket.id);
+    queued_batch_.emplace(seed.ticket.id, batch.id);
   }
   const OpTicket ticket = seed.ticket;
   if (pool_ == nullptr) {
@@ -191,10 +219,11 @@ OpTicket StoreClient::submit_put(std::vector<std::uint8_t> object) {
   return submit_op(std::move(seed), std::move(object));
 }
 
-OpTicket StoreClient::submit_get(ObjectId id) {
+OpTicket StoreClient::submit_get(ObjectId id, ReadOptions options) {
   BatchResult seed;
   seed.op = BatchResult::Op::kGet;
   seed.id = id;
+  seed.read_options = std::move(options);
   return submit_op(std::move(seed), {});
 }
 
@@ -213,7 +242,8 @@ OpTicket StoreClient::submit_forget(ObjectId id) {
   return submit_op(std::move(seed), {});
 }
 
-std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id) {
+std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id,
+                                                        ReadOptions options) {
   std::vector<OpTicket> tickets;
   auto plan = plan_get(id);
   if (!plan.ok()) {
@@ -226,6 +256,13 @@ std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id) {
     tickets.push_back(submit_op(std::move(seed), {}));
     return tickets;
   }
+  // Every stripe ticket of one stream shares one cancel group, so
+  // cancel_batch(tickets.front().batch) aborts the whole stream at once.
+  BatchId batch;
+  {
+    std::lock_guard lock(mutex_);
+    batch = BatchId{next_batch_++};
+  }
   auto stream = std::make_shared<StreamState>();
   tickets.reserve(plan->stripes);
   for (unsigned s = 0; s < plan->stripes; ++s) {
@@ -233,7 +270,8 @@ std::vector<OpTicket> StoreClient::submit_get_streaming(ObjectId id) {
     seed.op = BatchResult::Op::kGetStripe;
     seed.id = id;
     seed.stripe_index = s;
-    tickets.push_back(submit_op(std::move(seed), {}, stream));
+    seed.read_options = options;
+    tickets.push_back(submit_op(std::move(seed), {}, stream, batch));
   }
   return tickets;
 }
@@ -245,6 +283,16 @@ bool StoreClient::cancel(OpTicket ticket) {
   }
   cancelled_.insert(ticket.id);
   return true;  // will surface kCancelled without executing
+}
+
+std::size_t StoreClient::cancel_batch(BatchId batch) {
+  std::lock_guard lock(mutex_);
+  std::size_t hit = 0;
+  for (const auto& [ticket_id, batch_id] : queued_batch_) {
+    if (batch_id != batch.id) continue;
+    if (cancelled_.insert(ticket_id).second) ++hit;
+  }
+  return hit;
 }
 
 void StoreClient::on_complete(OpCallback callback) {

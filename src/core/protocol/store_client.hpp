@@ -60,10 +60,42 @@
 
 namespace traperc::core {
 
+/// Per-read knobs for get / read_object_stripe / submit_get /
+/// submit_get_streaming. The default is the fail-fast contract unchanged.
+struct ReadOptions {
+  /// Serve through failure: when a stripe's protocol read fails with
+  /// kQuorumUnavailable / kDecodeFailed — or the stripe's shard is
+  /// administratively down — reconstruct the covered data blocks from any
+  /// k surviving chunks (the repair path's co-located decode) instead of
+  /// failing the read. The bytes are identical to the healthy path: the
+  /// decode serves each block's best reconstructible version, which in a
+  /// quiescent cluster is exactly what Algorithm 2 would return. Degraded
+  /// reads never take object leases and send no protocol traffic to the
+  /// avoided nodes.
+  bool allow_degraded = false;
+  /// Nodes the degraded gather should skip (hot or suspect); merged with
+  /// the suspect set of the protocol read that failed. Best-effort: an
+  /// avoided node is still used when fewer than k chunks survive without
+  /// it, so avoidance never turns a recoverable read into a failure.
+  std::vector<NodeId> avoid_nodes;
+};
+
+/// Cancel group: every submit_* mints one (submit_get_streaming shares a
+/// single batch across all of its stripe tickets) so a whole batch can be
+/// cancelled in one cancel_batch call. Ids are unique per client.
+struct BatchId {
+  std::uint64_t id = 0;
+
+  [[nodiscard]] friend bool operator==(BatchId a, BatchId b) noexcept {
+    return a.id == b.id;
+  }
+};
+
 /// Handle for one submitted async operation. Ids are unique per client and
 /// increase in submission order.
 struct OpTicket {
   std::uint64_t id = 0;
+  BatchId batch{};  ///< cancel group this ticket belongs to
 
   [[nodiscard]] friend bool operator==(OpTicket a, OpTicket b) noexcept {
     return a.id == b.id;
@@ -82,9 +114,34 @@ struct BatchResult {
   std::uint64_t id = 0;
   /// kGetStripe only: which object stripe (0-based) this ticket covers.
   unsigned stripe_index = 0;
+  /// kGet / kGetStripe only: the read knobs this ticket was submitted with
+  /// (degraded serving, avoid set); defaults for every other op.
+  ReadOptions read_options;
   /// Get payload / streaming stripe payload; empty for puts, overwrites,
   /// forgets, and failures.
   std::vector<std::uint8_t> bytes;
+};
+
+/// Exact degraded-read accounting (StoreStats::degraded): every stripe read
+/// served through ReadOptions::allow_degraded instead of the protocol path.
+struct DegradedReadStats {
+  std::uint64_t stripe_reads = 0;    ///< stripe reads served degraded
+  std::uint64_t blocks_decoded = 0;  ///< data blocks reconstructed inline
+  /// object id → degraded stripe reads served for it (lifetime).
+  std::map<std::uint64_t, std::uint64_t> per_object;
+  /// Sorted union of the nodes degraded serves skipped (caller avoid set +
+  /// protocol suspects that ended up unused by the decode).
+  std::vector<NodeId> nodes_avoided;
+};
+
+/// Remap-ledger accounting (StoreStats::remap): sharded facade only, all
+/// zeros on ObjectStore. Lifetime counters plus the live entry count; the
+/// ledger is balanced when entries_active == 0.
+struct RemapStats {
+  std::uint64_t stripes_remapped = 0;  ///< stripe writes landed off-home
+  std::uint64_t entries_active = 0;    ///< remapped stripes not yet drained
+  std::uint64_t stripes_drained = 0;   ///< entries migrated home (lifetime)
+  std::uint64_t entries_dropped = 0;   ///< entries dropped: object forgotten
 };
 
 /// Point-in-time observability snapshot of one StoreClient (stats()).
@@ -111,6 +168,24 @@ struct StoreStats {
   /// behind the client (zero unless config.use_write_leases).
   std::uint64_t block_lease_grants = 0;
   std::uint64_t block_lease_expirations = 0;
+  /// Degraded-read accounting (exact; see DegradedReadStats).
+  DegradedReadStats degraded;
+  /// Remap-ledger accounting (sharded facade; see RemapStats).
+  RemapStats remap;
+};
+
+/// Thread-safe accumulator behind StoreStats::degraded: each facade owns
+/// one and records a sample per degraded stripe serve (under the mutex so
+/// pooled stripe tasks can record concurrently).
+class DegradedReadLedger {
+ public:
+  void record(std::uint64_t object_id, unsigned blocks_decoded,
+              std::span<const NodeId> avoided);
+  [[nodiscard]] DegradedReadStats snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  DegradedReadStats stats_;
 };
 
 /// RAII release for one StoreStats::shard_queue_depth slot whose increment
@@ -146,8 +221,12 @@ class StoreClient {
   virtual Result<ObjectId> put(std::span<const std::uint8_t> object) = 0;
 
   /// Reads an object back. kUnknownObject for ids not in the catalog;
-  /// kQuorumUnavailable / kDecodeFailed when a stripe cannot be served.
-  [[nodiscard]] virtual Result<std::vector<std::uint8_t>> get(ObjectId id) = 0;
+  /// kQuorumUnavailable / kDecodeFailed when a stripe cannot be served —
+  /// unless options.allow_degraded, which converts a recoverable stripe
+  /// failure into a degraded serve (byte-identical, lease-free, recorded in
+  /// StoreStats::degraded).
+  [[nodiscard]] virtual Result<std::vector<std::uint8_t>> get(
+      ObjectId id, const ReadOptions& options = {}) = 0;
 
   /// Rewrites an existing object in place with same-or-smaller size, under
   /// the object's write lease: a rival holder means kLeaseConflict (holder
@@ -173,9 +252,10 @@ class StoreClient {
   /// Reads object stripe `stripe_index` (0-based, counting from the
   /// object's first stripe): up to stripe_capacity() bytes, trimmed at the
   /// object's tail. kInvalidArgument past the last covered stripe;
-  /// otherwise the same taxonomy as get(), scoped to this stripe only.
+  /// otherwise the same taxonomy as get(), scoped to this stripe only,
+  /// including the degraded fallback when options.allow_degraded.
   [[nodiscard]] virtual Result<std::vector<std::uint8_t>> read_object_stripe(
-      ObjectId id, unsigned stripe_index) = 0;
+      ObjectId id, unsigned stripe_index, const ReadOptions& options = {}) = 0;
 
   /// Bytes one stripe can hold: k · chunk_len.
   [[nodiscard]] virtual std::size_t stripe_capacity() const = 0;
@@ -198,7 +278,7 @@ class StoreClient {
   OpTicket submit_put(std::vector<std::uint8_t> object);
 
   /// Enqueues a get of `id`. Blocks while the in-flight window is full.
-  OpTicket submit_get(ObjectId id);
+  OpTicket submit_get(ObjectId id, ReadOptions options = {});
 
   /// Enqueues an in-place rewrite of `id` with `object` (owned by the
   /// batch). Blocks while the in-flight window is full.
@@ -215,8 +295,10 @@ class StoreClient {
   /// ticket order yields exactly get(id)'s bytes. A stripe failure occupies
   /// only its own ticket — siblings still deliver their stripes. When the
   /// object cannot be planned (unknown id), a single already-failed ticket
-  /// carries that status.
-  std::vector<OpTicket> submit_get_streaming(ObjectId id);
+  /// carries that status. All stripe tickets share one BatchId, so the
+  /// whole stream is one cancel_batch call.
+  std::vector<OpTicket> submit_get_streaming(ObjectId id,
+                                             ReadOptions options = {});
 
   /// Best-effort cancellation of one submitted operation. An op still
   /// queued (not yet admitted to execution) aborts: it never runs and its
@@ -228,6 +310,12 @@ class StoreClient {
   /// on it. With inline submits (no pool / threads == 0) every op completes
   /// inside its submit, so cancel always returns false.
   bool cancel(OpTicket ticket);
+
+  /// Batch-level cancel group: cancels every still-queued ticket of one
+  /// batch (OpTicket::batch) in a single call, with the same per-ticket
+  /// queued/admitted semantics as cancel() — tickets past admission run to
+  /// completion. Returns how many tickets will surface kCancelled.
+  std::size_t cancel_batch(BatchId batch);
 
   /// Completion callback delivered per finished op. Installing a callback
   /// (on an idle client — no ops pending) reroutes results away from the
@@ -321,8 +409,11 @@ class StoreClient {
 
   void run_op(BatchResult result, std::vector<std::uint8_t> object,
               const std::shared_ptr<StreamState>& stream);
+  /// `batch` groups tickets for cancel_batch; a default (id 0) batch means
+  /// "mint a fresh one for this ticket".
   OpTicket submit_op(BatchResult seed, std::vector<std::uint8_t> object,
-                     std::shared_ptr<StreamState> stream = nullptr);
+                     std::shared_ptr<StreamState> stream = nullptr,
+                     BatchId batch = {});
   /// Publishes one finished result under mutex_: counters, then either the
   /// completion map (wait_* mode) or the callback delivery queue.
   void publish_locked(BatchResult result);
@@ -336,12 +427,14 @@ class StoreClient {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_batch_ = 1;
   std::size_t executing_ = 0;  ///< submitted, not yet published
   std::uint64_t ops_succeeded_ = 0;
   std::uint64_t ops_failed_ = 0;
   std::uint64_t ops_cancelled_ = 0;
   std::set<std::uint64_t> queued_;     ///< submitted, not yet admitted
   std::set<std::uint64_t> cancelled_;  ///< cancel() hit while queued
+  std::map<std::uint64_t, std::uint64_t> queued_batch_;  ///< ticket → batch
   std::map<std::uint64_t, BatchResult> completed_;  ///< keyed by ticket id
   OpCallback callback_;                   ///< non-null = callback mode
   std::deque<BatchResult> callback_queue_;  ///< published, not yet delivered

@@ -136,7 +136,11 @@ TEST(ShardedStore, GetSurvivesDataNodeFailureOnEveryShard) {
 }
 
 TEST(ShardedStore, DownShardFailsFastWithShardDown) {
-  ShardedObjectStore store(store_config(), pipelined(3, /*threads=*/0));
+  // Remapping off: this row pins the fail-fast contract a client gets when
+  // it opts out of shard-down write remapping.
+  auto options = pipelined(3, /*threads=*/0);
+  options.remap_on_shard_down = false;
+  ShardedObjectStore store(store_config(), options);
   const auto object = random_bytes(512 * 6, 9);
   const auto id = store.put(object);
   ASSERT_TRUE(id.ok());

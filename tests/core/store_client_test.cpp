@@ -325,6 +325,128 @@ TEST(StoreClient, CancelledTicketCountsInStatsAndNeverBlocksWaitAll) {
   EXPECT_EQ(store.object_count(), results.size() - cancelled);
 }
 
+// --- batch cancellation -------------------------------------------------
+
+TEST(StoreClient, StreamingTicketsShareOneBatchSingletonsGetTheirOwn) {
+  // Every stripe ticket of one stream carries the same BatchId, so the
+  // whole stream is one cancel group; independent submits each mint a
+  // fresh batch. Holds on both facades.
+  for (auto& fixture : all_fixtures()) {
+    StoreClient& client = *fixture.client;
+    const auto id = client.put(random_bytes(512 * 3, 700));
+    ASSERT_TRUE(id.ok());
+    const auto stream = client.submit_get_streaming(*id);
+    ASSERT_EQ(stream.size(), 3u);
+    ASSERT_NE(stream[0].batch.id, 0u);
+    for (const auto& ticket : stream) {
+      EXPECT_EQ(ticket.batch, stream[0].batch);
+    }
+    const auto solo_a = client.submit_get(*id);
+    const auto solo_b = client.submit_put(random_bytes(512, 701));
+    EXPECT_NE(solo_a.batch, stream[0].batch);
+    EXPECT_NE(solo_b.batch, stream[0].batch);
+    EXPECT_NE(solo_a.batch, solo_b.batch);
+    client.wait_all();
+  }
+}
+
+TEST(StoreClient, InlineCancelBatchAlwaysLosesAfterSubmit) {
+  // Inline submits drain each op inside its submit call, so by the time
+  // the caller holds the tickets nothing of the batch is still queued:
+  // cancel_batch must report zero and every stripe must carry its true
+  // outcome.
+  SimCluster cluster(store_config());
+  ObjectStore store(cluster);
+  const auto object = random_bytes(512 * 3, 710);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.ok());
+  const auto stream = store.submit_get_streaming(*id);
+  EXPECT_EQ(store.cancel_batch(stream[0].batch), 0u);
+  const auto results = store.wait_all();
+  ASSERT_EQ(results.size(), 3u);
+  std::vector<std::uint8_t> assembled;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    assembled.insert(assembled.end(), result.bytes.begin(),
+                     result.bytes.end());
+  }
+  EXPECT_EQ(assembled, object);
+  // A drained or unknown batch is never queued.
+  EXPECT_EQ(store.cancel_batch(stream[0].batch), 0u);
+  EXPECT_EQ(store.cancel_batch(BatchId{99999}), 0u);
+}
+
+TEST(StoreClient, CancelBatchAbortsQueuedStreamStripesExactly) {
+  // Pooled: cancel_batch returns how many stripe tickets it reached while
+  // still queued; exactly that many surface kCancelled, the rest carry
+  // their true bytes, and ops_cancelled matches. The linearizable
+  // per-ticket contract, lifted to the group.
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 2;
+  options.async_window = 16;
+  ShardedObjectStore store(store_config(), options);
+  const auto object = random_bytes(512 * 12, 720);
+  const auto id = store.put(object);
+  ASSERT_TRUE(id.ok());
+  const auto stream = store.submit_get_streaming(*id);
+  const std::size_t hit = store.cancel_batch(stream[0].batch);
+  EXPECT_LE(hit, stream.size());
+  const auto results = store.wait_all();
+  ASSERT_EQ(results.size(), stream.size());
+  std::size_t cancelled = 0;
+  for (const auto& result : results) {
+    if (result.status.code() == ErrorCode::kCancelled) {
+      ++cancelled;
+    } else {
+      ASSERT_TRUE(result.status.ok()) << result.status;
+      EXPECT_EQ(result.bytes,
+                std::vector<std::uint8_t>(
+                    object.begin() + result.stripe_index * 512,
+                    object.begin() + (result.stripe_index + 1) * 512));
+    }
+  }
+  EXPECT_EQ(cancelled, hit);
+  EXPECT_EQ(store.stats().ops_cancelled, hit);
+  // The batch has fully drained: a second sweep finds nothing.
+  EXPECT_EQ(store.cancel_batch(stream[0].batch), 0u);
+}
+
+TEST(StoreClient, CancelBatchLeavesOtherBatchesUntouched) {
+  // Two concurrent streams: cancelling one group must never clip the
+  // other — its stripes all complete with correct bytes.
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = 2;
+  options.async_window = 32;
+  ShardedObjectStore store(store_config(), options);
+  const auto victim = random_bytes(512 * 8, 730);
+  const auto bystander = random_bytes(512 * 8, 731);
+  const auto victim_id = store.put(victim);
+  const auto bystander_id = store.put(bystander);
+  ASSERT_TRUE(victim_id.ok() && bystander_id.ok());
+  const auto victim_stream = store.submit_get_streaming(*victim_id);
+  const auto bystander_stream = store.submit_get_streaming(*bystander_id);
+  ASSERT_NE(victim_stream[0].batch, bystander_stream[0].batch);
+  (void)store.cancel_batch(victim_stream[0].batch);
+  const auto results = store.wait_all();
+  ASSERT_EQ(results.size(), victim_stream.size() + bystander_stream.size());
+  for (const auto& result : results) {
+    if (result.ticket.batch == bystander_stream[0].batch) {
+      ASSERT_TRUE(result.status.ok()) << result.status;
+      EXPECT_EQ(result.bytes,
+                std::vector<std::uint8_t>(
+                    bystander.begin() + result.stripe_index * 512,
+                    bystander.begin() + (result.stripe_index + 1) * 512));
+    } else {
+      EXPECT_EQ(result.ticket.batch, victim_stream[0].batch);
+      EXPECT_TRUE(result.status.ok() ||
+                  result.status.code() == ErrorCode::kCancelled)
+          << result.status;
+    }
+  }
+}
+
 // --- completion callbacks -----------------------------------------------
 
 TEST(StoreClient, OnCompleteDeliversInlineInPublicationOrder) {

@@ -39,19 +39,23 @@ std::vector<std::uint8_t> pattern_bytes(std::size_t len, std::uint64_t seed) {
   return out;
 }
 
-std::unique_ptr<ShardedObjectStore> make_store(unsigned threads) {
+std::unique_ptr<ShardedObjectStore> make_store(unsigned threads,
+                                               bool remap = true) {
   ShardedStoreOptions options;
   options.shards = 3;
   options.threads = threads;
   options.pipeline_depth = 2;
   options.async_window = 4;
+  options.remap_on_shard_down = remap;
   return std::make_unique<ShardedObjectStore>(fault_config(), options);
 }
 
 // -- shard down, mid-batch, inline (deterministic injection point) --------
 
 TEST(StoreFaultMatrix, ShardDownMidBatchInlineExactCodes) {
-  auto store = make_store(/*threads=*/0);
+  // Remapping off: this row pins the fail-fast contract for clients that
+  // opt out of shard-down write remapping (the PR-5 behavior).
+  auto store = make_store(/*threads=*/0, /*remap=*/false);
   const auto capacity = store->stripe_capacity();
   const auto spanning = pattern_bytes(capacity * 3, 1);  // shards 0,1,2
   const auto narrow = pattern_bytes(capacity - 9, 2);    // shard 0 only
@@ -91,7 +95,8 @@ TEST(StoreFaultMatrix, ShardDownMidBatchInlineExactCodes) {
 // -- shard down, mid-batch, pooled (racing injection) ---------------------
 
 TEST(StoreFaultMatrix, ShardDownMidBatchPooledConsistentOutcome) {
-  auto store = make_store(/*threads=*/2);
+  // Remapping off: racing puts must land exactly ok or kShardDown.
+  auto store = make_store(/*threads=*/2, /*remap=*/false);
   const auto capacity = store->stripe_capacity();
   std::vector<std::vector<std::uint8_t>> objects;
   std::vector<OpTicket> tickets;
@@ -477,7 +482,8 @@ TEST(StoreFaultMatrix, CancelRacingCompletionIsLinearizable) {
 // -- forget/overwrite tickets under shard-down ----------------------------
 
 TEST(StoreFaultMatrix, AsyncOverwriteForgetUnderShardDown) {
-  auto store = make_store(/*threads=*/0);
+  // Remapping off: the overwrite against the down shard must fail fast.
+  auto store = make_store(/*threads=*/0, /*remap=*/false);
   const auto capacity = store->stripe_capacity();
   const auto object = pattern_bytes(capacity * 3, 7);
   const auto id = store->put(object);

@@ -21,13 +21,24 @@
 //    reference model stays unchanged); cancel() == false promises the true
 //    outcome (the model applies it). Inline fixtures complete ops inside
 //    submit, so there cancel must always return false.
+//  * degraded episodes — a node-kill window starves every read quorum (no
+//    writes are issued inside it): the plain get must fail with
+//    kQuorumUnavailable, the allow_degraded retry must return the model's
+//    exact bytes, and the idle audit then checks the degraded ledger
+//    (stripe serves, decodes, per-object counts, nodes avoided) exactly.
+//  * remap episodes (sharded fixtures) — an overwrite against a down shard
+//    must land remapped and keep serving byte-identically through the
+//    ledger; drain_remaps() after the shard returns must migrate exactly
+//    the remapped stripes and balance the ledger back to zero.
 //
 // Every assertion carries the seed + facade + op index, so a failure
 // replays with a one-line filter:
 //   ./traperc_core_tests --gtest_filter='Seeds/StoreModelTest.*seedN*'
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -55,6 +66,10 @@ struct ModelFixture {
   bool deterministic = false;  ///< inline submits: exact id sequence
   std::unique_ptr<SimCluster> cluster;  // ObjectStore backend only
   std::unique_ptr<StoreClient> client;
+  /// Fault hooks reaching every deployment behind the client.
+  std::function<void(NodeId)> fail_node;
+  std::function<void(NodeId)> recover_node;
+  ShardedObjectStore* sharded = nullptr;  ///< remap episodes; null = skip
 };
 
 std::vector<ModelFixture> model_fixtures() {
@@ -65,6 +80,12 @@ std::vector<ModelFixture> model_fixtures() {
     fixture.deterministic = true;
     fixture.cluster = std::make_unique<SimCluster>(model_config());
     fixture.client = std::make_unique<ObjectStore>(*fixture.cluster);
+    fixture.fail_node = [cluster = fixture.cluster.get()](NodeId id) {
+      cluster->fail_node(id);
+    };
+    fixture.recover_node = [cluster = fixture.cluster.get()](NodeId id) {
+      cluster->recover_node(id);
+    };
     fixtures.push_back(std::move(fixture));
   }
   for (unsigned threads : {0u, 2u, 4u}) {
@@ -76,8 +97,15 @@ std::vector<ModelFixture> model_fixtures() {
     options.threads = threads;
     options.pipeline_depth = 2;
     options.async_window = 4;
-    fixture.client =
-        std::make_unique<ShardedObjectStore>(model_config(), options);
+    auto store = std::make_unique<ShardedObjectStore>(model_config(), options);
+    fixture.sharded = store.get();
+    fixture.fail_node = [store = store.get()](NodeId id) {
+      store->fail_node(id);
+    };
+    fixture.recover_node = [store = store.get()](NodeId id) {
+      store->recover_node(id);
+    };
+    fixture.client = std::move(store);
     fixtures.push_back(std::move(fixture));
   }
   return fixtures;
@@ -86,25 +114,31 @@ std::vector<ModelFixture> model_fixtures() {
 /// Reference state + op driver for one (client, seed) run.
 class ModelHarness {
  public:
-  ModelHarness(StoreClient& client, bool deterministic, std::uint64_t seed,
-               std::string name)
-      : client_(client),
-        deterministic_(deterministic),
+  ModelHarness(ModelFixture& fixture, std::uint64_t seed)
+      : client_(*fixture.client),
+        deterministic_(fixture.deterministic),
+        fail_node_(fixture.fail_node),
+        recover_node_(fixture.recover_node),
+        sharded_(fixture.sharded),
         seed_(seed),
-        name_(std::move(name)),
+        name_(fixture.name),
         rng_(seed * 0x9e3779b97f4a7c15ULL + 17) {}
 
   void run(unsigned target_ops) {
     while (ops_ < target_ops) {
-      const auto episode = rng_.next_below(12);
+      const auto episode = rng_.next_below(14);
       if (episode < 5) {
         ASSERT_NO_FATAL_FAILURE(serial_op());
       } else if (episode < 8) {
         ASSERT_NO_FATAL_FAILURE(batch_episode());
       } else if (episode < 10) {
         ASSERT_NO_FATAL_FAILURE(streaming_episode());
-      } else {
+      } else if (episode < 12) {
         ASSERT_NO_FATAL_FAILURE(lease_episode());
+      } else if (episode == 12) {
+        ASSERT_NO_FATAL_FAILURE(degraded_episode());
+      } else {
+        ASSERT_NO_FATAL_FAILURE(remap_episode());
       }
       ASSERT_NO_FATAL_FAILURE(check_idle_stats());
     }
@@ -474,6 +508,110 @@ class ModelHarness {
     ++ops_;
   }
 
+  // -- degraded episode ----------------------------------------------------
+  // A node-kill window starves every block's read quorum while leaving
+  // 9 >= k = 8 chunks alive: level 0 of block i is {i, 8, 9} and the final
+  // level {10..14} drops below r_1 = 3 live members. No writes are issued
+  // inside the window, so the model is untouched; the plain get must fail
+  // fast and the allow_degraded retry must return the model's exact bytes.
+
+  void degraded_episode() {
+    ++ops_;
+    const auto id = pick_existing();
+    if (id == 0) return;
+    const Entry& entry = model_.at(id);
+    const auto used = static_cast<unsigned>(
+        (entry.bytes.size() + capacity() - 1) / capacity());
+    static constexpr NodeId kKills[] = {0, 8, 9, 10, 11, 12};
+    for (NodeId node : kKills) fail_node_(node);
+    const auto failed = client_.get(id);
+    ASSERT_EQ(failed.code(), ErrorCode::kQuorumUnavailable)
+        << trace("degraded plain get");
+
+    ReadOptions options;
+    options.allow_degraded = true;
+    options.avoid_nodes = {8, 9};
+    const auto degraded = client_.get(id, options);
+    ASSERT_EQ(degraded.code(), ErrorCode::kOk) << trace("degraded get");
+    ASSERT_EQ(*degraded, entry.bytes) << trace("degraded get bytes");
+
+    for (NodeId node : kKills) recover_node_(node);
+    const auto healthy = client_.get(id);
+    ASSERT_EQ(healthy.code(), ErrorCode::kOk) << trace("post-recovery get");
+    ASSERT_EQ(*healthy, entry.bytes) << trace("post-recovery bytes");
+    ops_ += 2;
+
+    // Exact ledger expectations: one degraded serve per stripe, and block
+    // 0's home node is dead in every stripe, so exactly one block decodes
+    // per stripe. The avoided set accumulates the caller hints plus the
+    // suspects the failed read surfaced — all dead, so never used.
+    expected_degraded_reads_ += used;
+    expected_degraded_decodes_ += used;
+    expected_degraded_per_object_[id] += used;
+    for (NodeId node : options.avoid_nodes) expected_avoided_.insert(node);
+    for (NodeId node : failed.status().nodes()) expected_avoided_.insert(node);
+  }
+
+  // -- remap episode (sharded fixtures only) -------------------------------
+  // An overwrite against a down shard lands its stripes remapped onto the
+  // healthy shards and keeps serving byte-identically through the ledger;
+  // once the shard returns, drain_remaps() migrates exactly the remapped
+  // stripes home and the ledger balances back to zero.
+
+  void remap_episode() {
+    if (sharded_ == nullptr) return;
+    ++ops_;
+    const auto id = pick_existing();
+    if (id == 0) return;
+    Entry& entry = model_.at(id);
+    std::vector<std::uint8_t> bytes(1 + rng_.next_below(entry.max_size));
+    for (auto& byte : bytes) {
+      byte = static_cast<std::uint8_t>(rng_.next_u64());
+    }
+    const auto used = static_cast<unsigned>(
+        (bytes.size() + capacity() - 1) / capacity());
+    // Overwrite zero-pads shrinking payloads to the previous size, so it
+    // writes max(new, old) stripes; with round-robin placement (object
+    // stripe s lives on shard s mod 3) exactly the stripes congruent to
+    // the down shard remap. A shrink leaves the tail entries pointing past
+    // the object — drain retires those as drops, not migrations.
+    constexpr unsigned kDownShard = 1;
+    const auto prev_used = static_cast<unsigned>(
+        (entry.bytes.size() + capacity() - 1) / capacity());
+    const unsigned written = std::max(used, prev_used);
+    unsigned remapped = 0;
+    unsigned migratable = 0;
+    for (unsigned s = 0; s < written; ++s) {
+      if (s % 3 != kDownShard) continue;
+      ++remapped;
+      if (s < used) ++migratable;
+    }
+
+    sharded_->set_shard_down(kDownShard, true);
+    ASSERT_TRUE(client_.overwrite(id, bytes).ok())
+        << trace("remapped overwrite");
+    entry.bytes = bytes;
+    const auto through_ledger = client_.get(id);
+    ASSERT_EQ(through_ledger.code(), ErrorCode::kOk)
+        << trace("remapped get while down");
+    ASSERT_EQ(*through_ledger, entry.bytes)
+        << trace("remapped get bytes while down");
+    sharded_->set_shard_down(kDownShard, false);
+
+    const auto report = sharded_->drain_remaps();
+    ASSERT_EQ(report.migrated, migratable) << trace("drain migrated");
+    ASSERT_EQ(report.dropped, remapped - migratable) << trace("drain dropped");
+    ASSERT_EQ(report.skipped, 0u) << trace("drain skipped");
+    const auto home = client_.get(id);
+    ASSERT_EQ(home.code(), ErrorCode::kOk) << trace("post-drain get");
+    ASSERT_EQ(*home, entry.bytes) << trace("post-drain bytes");
+    ops_ += 3;
+
+    expected_remap_recorded_ += remapped;
+    expected_remap_drained_ += migratable;
+    expected_remap_dropped_ += remapped - migratable;
+  }
+
   // -- streaming episode --------------------------------------------------
 
   void streaming_episode() {
@@ -576,10 +714,34 @@ class ModelHarness {
         << trace("no lease expirations");
     ASSERT_EQ(stats.object_leases.conflicts, expected_lease_conflicts_)
         << trace("lease conflicts exact");
+    // Degraded-read ledger: exactly the serves/decodes the degraded
+    // episodes provoked, per object, with the accumulated avoided set.
+    ASSERT_EQ(stats.degraded.stripe_reads, expected_degraded_reads_)
+        << trace("degraded stripe reads exact");
+    ASSERT_EQ(stats.degraded.blocks_decoded, expected_degraded_decodes_)
+        << trace("degraded decodes exact");
+    ASSERT_EQ(stats.degraded.per_object, expected_degraded_per_object_)
+        << trace("degraded per-object exact");
+    const std::vector<NodeId> avoided(expected_avoided_.begin(),
+                                      expected_avoided_.end());
+    ASSERT_EQ(stats.degraded.nodes_avoided, avoided)
+        << trace("degraded avoided set exact");
+    // Remap ledger: every episode drains fully, so at idle the ledger is
+    // balanced — recorded == drained, nothing active, nothing dropped.
+    ASSERT_EQ(stats.remap.stripes_remapped, expected_remap_recorded_)
+        << trace("remap recorded exact");
+    ASSERT_EQ(stats.remap.stripes_drained, expected_remap_drained_)
+        << trace("remap drained exact");
+    ASSERT_EQ(stats.remap.entries_active, 0u) << trace("remap ledger idle");
+    ASSERT_EQ(stats.remap.entries_dropped, expected_remap_dropped_)
+        << trace("remap drops exact");
   }
 
   StoreClient& client_;
   bool deterministic_;
+  std::function<void(NodeId)> fail_node_;
+  std::function<void(NodeId)> recover_node_;
+  ShardedObjectStore* sharded_;
   std::uint64_t seed_;
   std::string name_;
   Rng rng_;
@@ -590,6 +752,13 @@ class ModelHarness {
   std::uint64_t last_finished_ = 0;
   std::uint64_t last_stripe_ops_ = 0;
   std::uint64_t expected_lease_conflicts_ = 0;
+  std::uint64_t expected_degraded_reads_ = 0;
+  std::uint64_t expected_degraded_decodes_ = 0;
+  std::map<std::uint64_t, std::uint64_t> expected_degraded_per_object_;
+  std::set<NodeId> expected_avoided_;
+  std::uint64_t expected_remap_recorded_ = 0;
+  std::uint64_t expected_remap_drained_ = 0;
+  std::uint64_t expected_remap_dropped_ = 0;
 };
 
 class StoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -597,8 +766,7 @@ class StoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(StoreModelTest, RandomOpsMatchReferenceModel) {
   for (auto& fixture : model_fixtures()) {
     SCOPED_TRACE(fixture.name + " seed=" + std::to_string(GetParam()));
-    ModelHarness harness(*fixture.client, fixture.deterministic, GetParam(),
-                         fixture.name);
+    ModelHarness harness(fixture, GetParam());
     ASSERT_NO_FATAL_FAILURE(harness.run(/*target_ops=*/1000));
   }
 }
