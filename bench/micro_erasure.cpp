@@ -2,6 +2,8 @@
 // with the worst-case erasure count, single-block delta update (the Alg. 1
 // fast path), and the decode-matrix inversion that dominates small reads.
 // The paper's (9,6) example and the benches' canonical (15,8) both appear.
+// The JSON sweep adds a per-family repair-bandwidth series (blocks read
+// per repaired block for rs / azure_lrc / wide_rs at equal (n, k)).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -177,6 +179,7 @@ BENCHMARK(BM_DecodeMatrixInversion)->Args({9, 6})->Args({15, 8})->Args({30, 20})
 #include <string>
 
 #include "bench_json.hpp"
+#include "erasure/erasure_code.hpp"
 #include "gf/region.hpp"
 
 namespace {
@@ -277,6 +280,74 @@ void run_sweep(const std::string& out_path) {
       json.field("speedup_fused_vs_unfused", fused / unfused);
       json.end_object();
     }
+  }
+  json.end_array();
+
+  // Per-family repair bandwidth: mean blocks read per repaired block over
+  // all single-block losses (straight from repair_plan), the ratio against
+  // the MDS any-k read, and the measured repair throughput. At equal (n,k)
+  // the azure_lrc rows must read strictly fewer blocks than rs — the
+  // locality the family buys.
+  struct RepairShape {
+    const char* family;
+    unsigned n;
+    unsigned k;
+    unsigned l;
+    unsigned g;
+  };
+  const RepairShape kRepairShapes[] = {
+      {"rs", 12, 8, 0, 0},        {"azure_lrc", 12, 8, 2, 2},
+      {"wide_rs", 12, 8, 0, 0},   {"rs", 15, 8, 0, 0},
+      {"azure_lrc", 15, 8, 4, 3}, {"wide_rs", 15, 8, 0, 0},
+  };
+  json.begin_array("repair_bandwidth");
+  for (const RepairShape& shape : kRepairShapes) {
+    ECPolicy policy;
+    policy.family = shape.family;
+    policy.n = shape.n;
+    policy.k = shape.k;
+    policy.local_groups = shape.l;
+    policy.global_parities = shape.g;
+    const auto code = make_code(policy);
+    const std::size_t chunk_len = 65536;
+    Stripe stripe(*code, chunk_len);
+    stripe.write_object(random_bytes(shape.k * chunk_len, 77));
+
+    std::size_t total_reads = 0;
+    for (unsigned lost = 0; lost < shape.n; ++lost) {
+      total_reads += code->repair_plan(lost).read_blocks.size();
+    }
+    const double mean_reads =
+        static_cast<double>(total_reads) / static_cast<double>(shape.n);
+
+    unsigned next_lost = 0;
+    std::vector<std::uint8_t> out(chunk_len);
+    const double repair_mbps = measure_mb_per_s(chunk_len, [&] {
+      const unsigned lost = next_lost++ % shape.n;
+      const auto plan = code->repair_plan(lost);
+      std::vector<const std::uint8_t*> present;
+      present.reserve(plan.read_blocks.size());
+      for (unsigned id : plan.read_blocks) {
+        present.push_back(stripe.chunk(id).data());
+      }
+      const unsigned want[] = {lost};
+      std::uint8_t* outs[] = {out.data()};
+      const bool ok =
+          code->reconstruct(plan.read_blocks, present, want, outs, chunk_len);
+      benchmark::DoNotOptimize(ok);
+    });
+
+    json.begin_object();
+    json.field("family", std::string(shape.family));
+    json.field("n", static_cast<std::size_t>(shape.n));
+    json.field("k", static_cast<std::size_t>(shape.k));
+    json.field("l", static_cast<std::size_t>(shape.l));
+    json.field("g", static_cast<std::size_t>(shape.g));
+    json.field("blocks_read_per_repair", mean_reads);
+    json.field("ratio_vs_any_k_read",
+               static_cast<double>(shape.k) / mean_reads);
+    json.field("repair_mb_per_s", repair_mbps);
+    json.end_object();
   }
   json.end_array();
   json.end_object();

@@ -20,8 +20,7 @@ SimCluster::SimCluster(ProtocolConfig config, std::uint64_t seed)
         return id >= config_.n ? true : nodes_[id]->up();
       });
   if (config_.mode == Mode::kErc) {
-    code_ = std::make_unique<erasure::RSCode>(config_.n, config_.k,
-                                              config_.generator);
+    code_ = erasure::make_code(config_.policy());
   }
   leases_ =
       std::make_unique<LeaseManager>(engine_, config_.lease_duration_ns);

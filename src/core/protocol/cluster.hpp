@@ -1,6 +1,7 @@
 // SimCluster — one self-contained simulated deployment: engine, network,
-// n storage nodes, optional failure processes, an RS code (ERC mode) and a
-// coordinator. This is the top-level object examples and benches drive.
+// n storage nodes, optional failure processes, an erasure code selected by
+// the config's ECPolicy (ERC mode) and a coordinator. This is the top-level
+// object examples and benches drive.
 #pragma once
 
 #include <atomic>
@@ -66,7 +67,9 @@ class SimCluster {
     return *leases_;
   }
   [[nodiscard]] storage::StorageNode& node(NodeId id);
-  [[nodiscard]] const erasure::RSCode* code() const noexcept {
+  /// The erasure code built from config().policy() — nullptr in TRAP-FR
+  /// mode. The cluster owns it; collaborators borrow.
+  [[nodiscard]] const erasure::ErasureCode* code() const noexcept {
     return code_ ? code_.get() : nullptr;
   }
 
@@ -154,7 +157,7 @@ class SimCluster {
   sim::SimEngine engine_;
   std::vector<std::unique_ptr<storage::StorageNode>> nodes_;
   std::unique_ptr<net::Network> network_;
-  std::unique_ptr<erasure::RSCode> code_;
+  std::unique_ptr<erasure::ErasureCode> code_;
   std::unique_ptr<LeaseManager> leases_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<RepairManager> repair_;

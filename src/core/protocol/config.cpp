@@ -22,13 +22,33 @@ topology::LevelQuorums ProtocolConfig::quorums() const {
   return topology::LevelQuorums::paper_convention(shape, w);
 }
 
+erasure::ECPolicy ProtocolConfig::policy() const {
+  erasure::ECPolicy resolved = ec;
+  if (resolved.n == 0) resolved.n = n;
+  if (resolved.k == 0) resolved.k = k;
+  return resolved;
+}
+
 void ProtocolConfig::validate() const {
   TRAPERC_CHECK_MSG(k >= 1 && k <= n, "need 1 <= k <= n");
-  TRAPERC_CHECK_MSG(n <= 255, "GF(2^8) limits n to 255");
+  // The protocol's node/block addressing is still 8-bit either way; wide
+  // codes lift the *code's* symbol limit, not the deployment's.
+  TRAPERC_CHECK_MSG(n <= 255, "deployment limited to 255 nodes");
   TRAPERC_CHECK_MSG(shape.valid(), "invalid trapezoid shape");
   TRAPERC_CHECK_MSG(shape.total_nodes() == n - k + 1,
                     "trapezoid population must equal n-k+1 (eq. 5)");
   TRAPERC_CHECK_MSG(chunk_len >= 1, "chunk length must be positive");
+  if (mode == Mode::kErc) {
+    const erasure::ECPolicy resolved = policy();
+    TRAPERC_CHECK_MSG(resolved.n == n && resolved.k == k,
+                      "ec policy geometry must match the deployment (n, k)");
+    resolved.validate();
+    const erasure::CodeFamily* fam =
+        erasure::find_code_family(resolved.family);
+    TRAPERC_CHECK_MSG(
+        fam != nullptr && chunk_len % fam->chunk_granularity == 0,
+        "chunk length must honour the code family's granularity");
+  }
   if (shape.h >= 1) {
     TRAPERC_CHECK_MSG(w >= 1 && w <= shape.level_size(1),
                       "w outside [1, s_1] (eq. 16 constraint)");
@@ -38,7 +58,9 @@ void ProtocolConfig::validate() const {
 std::string ProtocolConfig::to_string() const {
   std::ostringstream out;
   out << core::to_string(mode) << "(n=" << n << ", k=" << k << ", "
-      << shape.to_string() << ", w=" << w << ")";
+      << shape.to_string() << ", w=" << w;
+  if (mode == Mode::kErc) out << ", ec=" << policy().to_string();
+  out << ")";
   return out.str();
 }
 

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "erasure/rs_code.hpp"
+#include "erasure/erasure_code.hpp"
 #include "topology/shape_solver.hpp"
 #include "topology/trapezoid.hpp"
 
@@ -27,7 +27,11 @@ struct ProtocolConfig {
   topology::TrapezoidShape shape{2, 3, 1};  ///< must satisfy Σ s_l = n−k+1
   unsigned w = 1;   ///< eq. 16 level-threshold parameter for levels >= 1
   Mode mode = Mode::kErc;
-  erasure::GeneratorKind generator = erasure::GeneratorKind::kVandermonde;
+  /// Erasure-code selection (TRAP-ERC only): family + parameters, resolved
+  /// against the deployment by policy() and validated by validate(). The
+  /// default inherits (n, k) and builds a Vandermonde RS code — the
+  /// pre-policy behaviour.
+  erasure::ECPolicy ec{};
   std::size_t chunk_len = 4096;          ///< bytes per chunk
   SimTime rpc_timeout_ns = 10'000'000;   ///< 10 ms: declares a node dead
 
@@ -49,6 +53,10 @@ struct ProtocolConfig {
 
   /// Per-level thresholds per eq. 16 (w_0 = ⌊b/2⌋+1, w_l = w).
   [[nodiscard]] topology::LevelQuorums quorums() const;
+
+  /// The ec policy with n/k of 0 resolved to the deployment's n/k — the
+  /// form handed to erasure::make_code.
+  [[nodiscard]] erasure::ECPolicy policy() const;
 
   /// Validates all invariants (shape population, w range, field limit);
   /// aborts with a message on violation.

@@ -102,7 +102,7 @@ struct Coordinator::WriteState {
 Coordinator::Coordinator(const ProtocolConfig& config, sim::SimEngine& engine,
                          net::Network& network,
                          std::vector<storage::StorageNode*> nodes,
-                         const erasure::RSCode* code, LeaseManager* leases)
+                         const erasure::ErasureCode* code, LeaseManager* leases)
     : config_(config),
       engine_(engine),
       network_(network),
@@ -116,9 +116,9 @@ Coordinator::Coordinator(const ProtocolConfig& config, sim::SimEngine& engine,
   TRAPERC_CHECK_MSG(network_.num_nodes() >= config_.n + 1,
                     "network must include the client endpoint");
   if (config_.mode == Mode::kErc) {
-    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC mode requires an RS code");
+    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC mode requires an erasure code");
     TRAPERC_CHECK_MSG(code_->n() == config_.n && code_->k() == config_.k,
-                      "RS code dimensions must match the config");
+                      "erasure code dimensions must match the config");
   }
   const auto quorums = config_.quorums();
   deployments_.reserve(config_.k);
@@ -401,7 +401,16 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
       present_ptrs.push_back(st->parity_replies[j].payload.data());
     }
 
-    if (present_ids.size() < config_.k) {
+    std::vector<std::uint8_t> out(config_.chunk_len);
+    const unsigned want[] = {i};
+    std::uint8_t* outs[] = {out.data()};
+    // The code decides decodability — a locality-aware family can express
+    // one block from fewer than k admitted rows, so there is no row-count
+    // pre-check here; reconstruct() returning false is the decode failure.
+    const bool ok =
+        code_->reconstruct(present_ids, present_ptrs, want, outs,
+                           config_.chunk_len);
+    if (!ok) {
       // Implicate exactly the chunks the decode could not admit: every node
       // outside present_ids — unresponsive, or responsive but stale against
       // the chosen snapshot (a partial write's footprint).
@@ -416,14 +425,6 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
                                   std::move(excluded)});
       return;
     }
-
-    std::vector<std::uint8_t> out(config_.chunk_len);
-    const unsigned want[] = {i};
-    std::uint8_t* outs[] = {out.data()};
-    const bool ok =
-        code_->reconstruct(present_ids, present_ptrs, want, outs,
-                           config_.chunk_len);
-    TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
     st->phase = ReadPhase::kCase2;
     read_finish(st, ReadOutcome{OpStatus::kSuccess, st->target_version,
                                 std::move(out), true, {}});
@@ -582,8 +583,9 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
       // coordinator read.
       const unsigned j = target - config_.k;
       std::vector<std::uint8_t> scaled(config_.chunk_len);
-      gf::mul_region(gf::GF256::instance(), code_->coefficient(j, index),
-                     st->delta.data(), scaled.data(), config_.chunk_len);
+      // A zero α_{j,i} (e.g. a parity outside an LRC local group) still
+      // ships a zeroed delta so the node's contributor version advances.
+      code_->scale_delta(j, index, st->delta, scaled);
       const Version expected = st->old_version;
       const Version next = st->new_version;
       network_.rpc<ParityAddReply>(

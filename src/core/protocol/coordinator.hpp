@@ -36,7 +36,7 @@
 #include "common/types.hpp"
 #include "core/protocol/config.hpp"
 #include "core/protocol/lease.hpp"
-#include "erasure/rs_code.hpp"
+#include "erasure/erasure_code.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "storage/node.hpp"
@@ -90,7 +90,7 @@ class Coordinator {
   Coordinator(const ProtocolConfig& config, sim::SimEngine& engine,
               net::Network& network,
               std::vector<storage::StorageNode*> nodes,
-              const erasure::RSCode* code, LeaseManager* leases = nullptr);
+              const erasure::ErasureCode* code, LeaseManager* leases = nullptr);
 
   /// Alg. 1. `value` must be chunk_len bytes. `done` fires exactly once, in
   /// simulated time.
@@ -152,7 +152,7 @@ class Coordinator {
   sim::SimEngine& engine_;
   net::Network& network_;
   std::vector<storage::StorageNode*> nodes_;
-  const erasure::RSCode* code_;
+  const erasure::ErasureCode* code_;
   LeaseManager* leases_;
   StaleStripeHook stale_hook_;
   std::vector<analysis::BlockDeployment> deployments_;  // one per block

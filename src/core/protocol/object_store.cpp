@@ -252,6 +252,9 @@ void ObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.stripe_reads = cluster_stats.stripe_reads;
   stats.object_leases = object_leases_.stats();
   stats.degraded = degraded_.snapshot();
+  stats.ec_policy = cluster_.code() != nullptr
+                        ? cluster_.code()->describe()
+                        : "none (TRAP-FR replication)";
   // stats.remap stays zero: a single deployment has no shards to remap to.
   // Plain counters with no cross-thread synchronization: ObjectStore's
   // data path is single-threaded by contract (unlike the sharded facade,

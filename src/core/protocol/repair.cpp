@@ -5,17 +5,16 @@
 #include <set>
 
 #include "common/check.hpp"
-#include "gf/region.hpp"
 
 namespace traperc::core {
 
 RepairManager::RepairManager(const ProtocolConfig& config,
                              std::vector<storage::StorageNode*> nodes,
-                             const erasure::RSCode* code)
+                             const erasure::ErasureCode* code)
     : config_(config), nodes_(std::move(nodes)), code_(code) {
   TRAPERC_CHECK_MSG(nodes_.size() == config_.n, "need one node per id");
   if (config_.mode == Mode::kErc) {
-    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC repair requires the RS code");
+    TRAPERC_CHECK_MSG(code_ != nullptr, "ERC repair requires an erasure code");
   }
 }
 
@@ -94,13 +93,15 @@ bool RepairManager::decode_data_block(BlockId stripe, unsigned index,
       }
     }
     for (const auto& [vec, group] : groups) {
-      // Qualifying rows for this consistent snapshot. Non-avoided rows
-      // sort first (stably: data ascending, then parity ascending), and
-      // exactly k of them feed the decoder — reconstruct() picks the
-      // lowest-id k of whatever it is handed, so the selection must happen
-      // here for avoidance to bite.
+      // Qualifying rows for this consistent snapshot, non-avoided rows
+      // first (stably: data ascending, then parity ascending). The code's
+      // decode_plan treats row order as read preference and prunes to the
+      // rows the block actually needs — a locality-aware family reads its
+      // local group, an MDS family its preferred k. Avoided rows only join
+      // the plan when the non-avoided prefix alone cannot express the
+      // block, so avoidance never fails a recoverable read.
       struct Row {
-        unsigned block;  // global block id fed to reconstruct
+        unsigned block;  // global block id fed to the decoder
         const std::uint8_t* ptr;
       };
       std::vector<Row> rows;
@@ -113,28 +114,42 @@ bool RepairManager::decode_data_block(BlockId stripe, unsigned index,
       for (unsigned j : group) {
         rows.push_back(Row{k + j, parity[j].payload.data()});
       }
-      if (rows.size() < k) continue;
-      std::stable_partition(rows.begin(), rows.end(), [&](const Row& row) {
-        return !avoided(static_cast<NodeId>(row.block));
-      });
-      rows.resize(k);
+      const auto mid = std::stable_partition(
+          rows.begin(), rows.end(), [&](const Row& row) {
+            return !avoided(static_cast<NodeId>(row.block));
+          });
+      std::vector<unsigned> ids;
+      ids.reserve(rows.size());
+      for (const Row& row : rows) ids.push_back(row.block);
+      const unsigned want[] = {index};
+      const std::size_t preferred =
+          static_cast<std::size_t>(mid - rows.begin());
+      auto plan = code_->decode_plan(
+          std::span<const unsigned>(ids).first(preferred), want);
+      if (!plan) plan = code_->decode_plan(ids, want);
+      if (!plan) continue;
+      // Feed the decoder exactly the plan's read set, so `used` reports
+      // the rows that actually produced the bytes.
       std::vector<unsigned> present_ids;
       std::vector<const std::uint8_t*> present_ptrs;
       std::vector<NodeId> used;
-      present_ids.reserve(k);
-      present_ptrs.reserve(k);
-      used.reserve(k);
-      for (const Row& row : rows) {
-        present_ids.push_back(row.block);
-        present_ptrs.push_back(row.ptr);
-        used.push_back(static_cast<NodeId>(row.block));
+      present_ids.reserve(plan->read_blocks.size());
+      present_ptrs.reserve(plan->read_blocks.size());
+      used.reserve(plan->read_blocks.size());
+      for (unsigned block : plan->read_blocks) {
+        const auto it =
+            std::find_if(rows.begin(), rows.end(), [&](const Row& row) {
+              return row.block == block;
+            });
+        present_ids.push_back(block);
+        present_ptrs.push_back(it->ptr);
+        used.push_back(static_cast<NodeId>(block));
       }
       payload_out.assign(config_.chunk_len, 0);
-      const unsigned want[] = {index};
       std::uint8_t* outs[] = {payload_out.data()};
       const bool ok = code_->reconstruct(present_ids, present_ptrs, want,
                                          outs, config_.chunk_len);
-      TRAPERC_CHECK_MSG(ok, "reconstruct with >= k rows cannot fail");
+      TRAPERC_CHECK_MSG(ok, "reconstruct must honour its own decode plan");
       version_out = v;
       if (decoded_out != nullptr) *decoded_out = true;
       if (used_out != nullptr) *used_out = std::move(used);
@@ -290,15 +305,11 @@ RepairReport RepairManager::rebuild_node(NodeId target,
       continue;
     }
     std::vector<std::uint8_t> parity(config_.chunk_len);
-    std::vector<std::uint8_t> coeffs(config_.k);
     std::vector<const std::uint8_t*> block_ptrs(config_.k);
     for (unsigned m = 0; m < config_.k; ++m) {
-      coeffs[m] = code_->coefficient(j, m);
       block_ptrs[m] = blocks[m].data();
     }
-    std::uint8_t* parity_ptr = parity.data();
-    gf::matrix_apply(gf::GF256::instance(), coeffs.data(), 1, config_.k,
-                     block_ptrs.data(), &parity_ptr, config_.chunk_len);
+    code_->encode_block(j, block_ptrs, parity);
     nodes_[target]->parity_install(stripe, std::move(contrib),
                                    std::move(parity));
     ++report.chunks_rebuilt;
@@ -385,13 +396,7 @@ Status RepairManager::reconcile_stripe(BlockId stripe) {
     if (nodes_[id]->parity_versions(stripe) == best) continue;
     const unsigned j = id - config_.k;
     std::vector<std::uint8_t> parity(config_.chunk_len);
-    std::vector<std::uint8_t> coeffs(config_.k);
-    for (unsigned m = 0; m < config_.k; ++m) {
-      coeffs[m] = code_->coefficient(j, m);
-    }
-    std::uint8_t* parity_ptr = parity.data();
-    gf::matrix_apply(gf::GF256::instance(), coeffs.data(), 1, config_.k,
-                     payload_ptrs.data(), &parity_ptr, config_.chunk_len);
+    code_->encode_block(j, payload_ptrs, parity);
     nodes_[id]->parity_install(stripe, best, std::move(parity));
   }
   if (!stripe_consistent(stripe)) {

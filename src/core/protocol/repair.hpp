@@ -4,7 +4,7 @@
 // The paper motivates repair ("when one node fails, the blocks it owned have
 // to be reconstructed", §I) but gives no procedure; this is the standard
 // exact-repair companion:
-//  * a lost data chunk is decoded from any k consistent survivors (the same
+//  * a lost data chunk is decoded from the code's minimal consistent read set (the same
 //    selection rule as Alg. 2 Case 2);
 //  * a lost parity chunk is re-encoded from the k data blocks (decoding any
 //    of those that are themselves unavailable);
@@ -24,7 +24,7 @@
 #include "common/types.hpp"
 #include "core/protocol/config.hpp"
 #include "core/protocol/result.hpp"
-#include "erasure/rs_code.hpp"
+#include "erasure/erasure_code.hpp"
 #include "storage/node.hpp"
 
 namespace traperc::core {
@@ -58,7 +58,7 @@ class RepairManager {
  public:
   RepairManager(const ProtocolConfig& config,
                 std::vector<storage::StorageNode*> nodes,
-                const erasure::RSCode* code);
+                const erasure::ErasureCode* code);
 
   /// Rebuilds every chunk `target` should hold for the given stripes
   /// (typically after a wipe). The target node must be up to receive data.
@@ -107,7 +107,7 @@ class RepairManager {
 
   ProtocolConfig config_;
   std::vector<storage::StorageNode*> nodes_;
-  const erasure::RSCode* code_;
+  const erasure::ErasureCode* code_;
 };
 
 }  // namespace traperc::core

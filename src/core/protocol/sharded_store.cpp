@@ -478,6 +478,11 @@ void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.object_leases = object_leases_.stats();
   stats.degraded = degraded_.snapshot();
   stats.remap = remap_ledger_.stats();
+  // All shards share one config, so the first shard's code describes them
+  // all.
+  const auto* code = shards_.front()->cluster->code();
+  stats.ec_policy =
+      code != nullptr ? code->describe() : "none (TRAP-FR replication)";
 }
 
 Status ShardedObjectStore::overwrite_leased(

@@ -172,6 +172,9 @@ struct StoreStats {
   DegradedReadStats degraded;
   /// Remap-ledger accounting (sharded facade; see RemapStats).
   RemapStats remap;
+  /// The erasure code behind the store — describe() of the code built from
+  /// the config's ECPolicy, or "none (TRAP-FR replication)".
+  std::string ec_policy;
 };
 
 /// Thread-safe accumulator behind StoreStats::degraded: each facade owns

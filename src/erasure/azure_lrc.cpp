@@ -1,0 +1,79 @@
+#include "erasure/azure_lrc.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::erasure {
+
+namespace {
+
+unsigned lrc_group_of(unsigned data_index, unsigned k, unsigned l) noexcept {
+  return static_cast<unsigned>(
+      (static_cast<unsigned long long>(data_index) * l) / k);
+}
+
+Matrix build_lrc_generator(unsigned k, unsigned l, unsigned g) {
+  TRAPERC_CHECK_MSG(k >= 1, "azure_lrc needs k >= 1");
+  TRAPERC_CHECK_MSG(l >= 1 && l <= k, "azure_lrc needs 1 <= l <= k");
+  TRAPERC_CHECK_MSG(g >= 1, "azure_lrc needs g >= 1");
+  const unsigned n = k + l + g;
+  TRAPERC_CHECK_MSG(n <= 255, "GF(2^8) supports at most 255 code symbols");
+  Matrix gen(n, k);
+  for (unsigned i = 0; i < k; ++i) gen.at(i, i) = 1;
+  // Local parities: XOR of each contiguous group.
+  for (unsigned i = 0; i < k; ++i) gen.at(k + lrc_group_of(i, k, l), i) = 1;
+  // Global parities: Cauchy rows — every g×g submatrix over distinct data
+  // columns is invertible, the strongest generic choice for the globals.
+  const Matrix cauchy = Matrix::cauchy(g, k);
+  for (unsigned r = 0; r < g; ++r) {
+    for (unsigned c = 0; c < k; ++c) gen.at(k + l + r, c) = cauchy.at(r, c);
+  }
+  return gen;
+}
+
+}  // namespace
+
+AzureLRC::AzureLRC(unsigned k, unsigned l, unsigned g)
+    : LinearCode(k + l + g, k, build_lrc_generator(k, l, g)),
+      l_(l),
+      g_(g) {}
+
+unsigned AzureLRC::group_of(unsigned data_index) const noexcept {
+  TRAPERC_DCHECK(data_index < k());
+  return lrc_group_of(data_index, k(), l_);
+}
+
+std::vector<unsigned> AzureLRC::group_members(unsigned group) const {
+  TRAPERC_CHECK_MSG(group < l_, "local group out of range");
+  std::vector<unsigned> members;
+  for (unsigned i = 0; i < k(); ++i) {
+    if (group_of(i) == group) members.push_back(i);
+  }
+  return members;
+}
+
+std::string AzureLRC::describe() const {
+  return "azure_lrc(n=" + std::to_string(n()) + ", k=" + std::to_string(k()) +
+         ", l=" + std::to_string(l_) + ", g=" + std::to_string(g_) + ")";
+}
+
+ReconstructPlan AzureLRC::repair_plan(unsigned lost_block) const {
+  TRAPERC_CHECK_MSG(lost_block < n(), "block id out of range");
+  ReconstructPlan plan;
+  if (lost_block < k()) {
+    // Lost data: group peers + the group's local parity recover it by XOR.
+    const unsigned group = group_of(lost_block);
+    for (const unsigned m : group_members(group)) {
+      if (m != lost_block) plan.read_blocks.push_back(m);
+    }
+    plan.read_blocks.push_back(k() + group);
+  } else if (lost_block < k() + l_) {
+    // Lost local parity: re-XOR its group.
+    plan.read_blocks = group_members(lost_block - k());
+  } else {
+    // Lost global parity: re-encode from all k data blocks.
+    for (unsigned i = 0; i < k(); ++i) plan.read_blocks.push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace traperc::erasure

@@ -1,0 +1,57 @@
+// Azure-LRC(k, l, g): k data blocks, l local XOR parities, g global RS
+// parities — n = k + l + g (Huang et al., "Erasure Coding in Windows Azure
+// Storage"). Data blocks are split into l contiguous, balanced groups;
+// each local parity is the XOR of its group, and the globals are Cauchy
+// rows over all k data blocks.
+//
+// The point of the family is repair locality, not MDS-ness: losing one
+// data block costs a read of its local group (⌈k/l⌉ blocks) instead of k,
+// which `repair_plan` encodes and the repair-bandwidth bench series
+// measures. The code is NOT MDS — decodability is rank-based (LinearCode's
+// generic can_reconstruct), and a single wanted block can be decodable
+// from fewer than k survivors, which the shared decode solver exploits.
+//
+// Registered in the code-family registry as "azure_lrc" with
+// ECPolicy{family="azure_lrc", k, local_groups=l, global_parities=g}.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "erasure/linear_code.hpp"
+
+namespace traperc::erasure {
+
+class AzureLRC final : public LinearCode {
+ public:
+  /// Requires k >= 1, 1 <= l <= k, g >= 1, k + l + g <= 255.
+  AzureLRC(unsigned k, unsigned l, unsigned g);
+
+  [[nodiscard]] unsigned local_groups() const noexcept { return l_; }
+  [[nodiscard]] unsigned global_parities() const noexcept { return g_; }
+
+  /// Local group of data block i ∈ [0,k): contiguous balanced split
+  /// (⌊i·l/k⌋, so k=8,l=2 gives two groups of four).
+  [[nodiscard]] unsigned group_of(unsigned data_index) const noexcept;
+
+  /// Data block ids in local group `group` ∈ [0,l), ascending.
+  [[nodiscard]] std::vector<unsigned> group_members(unsigned group) const;
+
+  [[nodiscard]] std::string_view family() const noexcept override {
+    return "azure_lrc";
+  }
+  [[nodiscard]] std::string describe() const override;
+
+  /// Locality-aware minimal repair: a lost data block reads its group
+  /// peers + local parity; a lost local parity reads its group; only a
+  /// lost global parity needs all k data blocks.
+  [[nodiscard]] ReconstructPlan repair_plan(
+      unsigned lost_block) const override;
+
+ private:
+  unsigned l_;
+  unsigned g_;
+};
+
+}  // namespace traperc::erasure

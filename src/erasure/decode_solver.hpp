@@ -1,0 +1,165 @@
+// Shared decode solver, templated over the field: given the generator rows
+// of the present blocks (in caller-preference order) and a set of wanted
+// blocks, find coefficients expressing every want as a linear combination
+// of a subset of the present rows.
+//
+// This replaces the old "pick k rows and invert" decode: it works for
+// non-MDS codes (Azure-LRC, where a want can be decodable from fewer than k
+// rows and full rank may need specific rows), degrades to the classic MDS
+// behaviour for RS, and — because rows the wants do not reference are pruned
+// from the solution — it doubles as the minimal-read-plan computation.
+//
+// Algorithm: incremental Gauss-Jordan over the candidate rows. Each accepted
+// row is normalised (pivot coefficient 1) and kept fully reduced against the
+// others; alongside its k-vector we track its expression over the *original*
+// accepted rows, and each pending want maintains the invariant
+//     G[want] = rem ⊕ Σ_j wexpr[j] · G[accepted[j]]
+// so when rem hits zero, wexpr is the decode row. Candidates stop being
+// consumed once every want is expressed, so earlier (preferred) rows win.
+//
+// Fields must have characteristic 2 (addition == XOR): GF(2^8), GF(2^16).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace traperc::erasure {
+
+/// rows[j] are indices into the caller's present set, in acceptance order;
+/// coeffs is want-major: want w = Σ_j coeffs[w·rows.size()+j] · present[rows[j]].
+template <typename Element>
+struct DecodeSolution {
+  std::vector<unsigned> rows;
+  std::vector<Element> coeffs;
+};
+
+/// `gen_row(global_block_id)` must return a length-k row view of the
+/// generator (std::span<const Element> or similar). `field` needs mul/inv.
+template <typename Element, typename Field, typename GenRow>
+[[nodiscard]] std::optional<DecodeSolution<Element>> solve_decode(
+    const Field& field, unsigned k, std::span<const unsigned> present_ids,
+    std::span<const unsigned> want_ids, GenRow&& gen_row) {
+  const std::size_t want_count = want_ids.size();
+
+  struct Want {
+    std::vector<Element> rem;   // residual row, length k
+    std::vector<Element> expr;  // coefficients over accepted rows, length k
+    bool done = false;
+  };
+  std::vector<Want> wants(want_count);
+  std::size_t undone = 0;
+  for (std::size_t w = 0; w < want_count; ++w) {
+    const auto row = gen_row(want_ids[w]);
+    wants[w].rem.assign(row.begin(), row.end());
+    wants[w].expr.assign(k, Element{0});
+    if (std::all_of(wants[w].rem.begin(), wants[w].rem.end(),
+                    [](Element e) { return e == Element{0}; })) {
+      wants[w].done = true;  // zero row — decodes to zeros from nothing
+    } else {
+      ++undone;
+    }
+  }
+
+  struct EchelonRow {
+    std::vector<Element> vec;   // length k, Jordan-reduced, vec[pivot] == 1
+    std::vector<Element> expr;  // expression over accepted rows
+    unsigned pivot;
+  };
+  std::vector<EchelonRow> ech;
+  std::vector<unsigned> accepted;
+  ech.reserve(k);
+  accepted.reserve(k);
+
+  std::vector<Element> vec(k);
+  std::vector<Element> expr(k);
+  for (std::size_t c = 0; c < present_ids.size() && undone > 0; ++c) {
+    const auto row = gen_row(present_ids[c]);
+    std::copy(row.begin(), row.end(), vec.begin());
+    std::fill(expr.begin(), expr.end(), Element{0});
+    // Prospective self-reference: if accepted, this row becomes index
+    // accepted.size() and its expression starts as "1 · itself".
+    expr[accepted.size()] = Element{1};
+
+    for (const EchelonRow& e : ech) {
+      const Element f = vec[e.pivot];
+      if (f == Element{0}) continue;
+      for (unsigned i = 0; i < k; ++i) {
+        vec[i] = static_cast<Element>(vec[i] ^ field.mul(f, e.vec[i]));
+        expr[i] = static_cast<Element>(expr[i] ^ field.mul(f, e.expr[i]));
+      }
+    }
+    unsigned pivot = k;
+    for (unsigned i = 0; i < k; ++i) {
+      if (vec[i] != Element{0}) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == k) continue;  // dependent on already-accepted rows
+
+    if (vec[pivot] != Element{1}) {
+      const Element inv = field.inv(vec[pivot]);
+      for (unsigned i = 0; i < k; ++i) {
+        vec[i] = field.mul(inv, vec[i]);
+        expr[i] = field.mul(inv, expr[i]);
+      }
+    }
+    // Keep the basis fully reduced so candidate reduction above is a single
+    // in-order pass.
+    for (EchelonRow& e : ech) {
+      const Element f = e.vec[pivot];
+      if (f == Element{0}) continue;
+      for (unsigned i = 0; i < k; ++i) {
+        e.vec[i] = static_cast<Element>(e.vec[i] ^ field.mul(f, vec[i]));
+        e.expr[i] = static_cast<Element>(e.expr[i] ^ field.mul(f, expr[i]));
+      }
+    }
+    for (Want& wt : wants) {
+      if (wt.done) continue;
+      const Element f = wt.rem[pivot];
+      if (f != Element{0}) {
+        for (unsigned i = 0; i < k; ++i) {
+          wt.rem[i] = static_cast<Element>(wt.rem[i] ^ field.mul(f, vec[i]));
+          wt.expr[i] =
+              static_cast<Element>(wt.expr[i] ^ field.mul(f, expr[i]));
+        }
+        if (std::all_of(wt.rem.begin(), wt.rem.end(),
+                        [](Element e) { return e == Element{0}; })) {
+          wt.done = true;
+          --undone;
+        }
+      }
+    }
+    ech.push_back(EchelonRow{vec, expr, pivot});
+    accepted.push_back(static_cast<unsigned>(c));
+  }
+  if (undone > 0) return std::nullopt;
+
+  // Prune accepted rows no want references — for a locality-aware code this
+  // is what shrinks an intra-group decode to the local group.
+  const std::size_t acc = accepted.size();
+  std::vector<bool> used(acc, false);
+  for (const Want& wt : wants) {
+    for (std::size_t j = 0; j < acc; ++j) {
+      if (wt.expr[j] != Element{0}) used[j] = true;
+    }
+  }
+  DecodeSolution<Element> sol;
+  for (std::size_t j = 0; j < acc; ++j) {
+    if (used[j]) sol.rows.push_back(accepted[j]);
+  }
+  sol.coeffs.resize(want_count * sol.rows.size());
+  for (std::size_t w = 0; w < want_count; ++w) {
+    std::size_t out = 0;
+    for (std::size_t j = 0; j < acc; ++j) {
+      if (used[j]) {
+        sol.coeffs[w * sol.rows.size() + out++] = wants[w].expr[j];
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace traperc::erasure

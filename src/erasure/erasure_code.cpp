@@ -1,0 +1,161 @@
+#include "erasure/erasure_code.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "erasure/azure_lrc.hpp"
+#include "erasure/rs_code.hpp"
+#include "erasure/wide_code.hpp"
+
+namespace traperc::erasure {
+
+ReconstructPlan ErasureCode::repair_plan(unsigned lost_block) const {
+  TRAPERC_CHECK_MSG(lost_block < n(), "block id out of range");
+  // Default: decode the lost block from everything else, data rows first
+  // (the solver honours that preference) — k reads for an MDS code.
+  std::vector<unsigned> others;
+  others.reserve(n() - 1);
+  for (unsigned id = 0; id < n(); ++id) {
+    if (id != lost_block) others.push_back(id);
+  }
+  const unsigned want[] = {lost_block};
+  auto plan = decode_plan(others, want);
+  TRAPERC_CHECK_MSG(plan.has_value(),
+                    "single block loss must be repairable from all others");
+  return *std::move(plan);
+}
+
+void ErasureCode::apply_delta_all(
+    unsigned data_index, std::span<const std::uint8_t> delta,
+    std::span<const std::span<std::uint8_t>> parity) const {
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  for (unsigned j = 0; j < parity_count(); ++j) {
+    apply_delta(j, data_index, delta, parity[j]);
+  }
+}
+
+namespace {
+
+void validate_rs(const ECPolicy& p) {
+  TRAPERC_CHECK_MSG(p.n <= 255, "rs: GF(2^8) supports at most 255 symbols");
+  TRAPERC_CHECK_MSG(p.local_groups == 0 && p.global_parities == 0,
+                    "rs takes no locality parameters");
+}
+
+void validate_wide_rs(const ECPolicy& p) {
+  TRAPERC_CHECK_MSG(p.n <= 65535,
+                    "wide_rs: GF(2^16) supports at most 65535 symbols");
+  TRAPERC_CHECK_MSG(p.local_groups == 0 && p.global_parities == 0,
+                    "wide_rs takes no locality parameters");
+}
+
+void validate_azure_lrc(const ECPolicy& p) {
+  TRAPERC_CHECK_MSG(p.local_groups >= 1 && p.local_groups <= p.k,
+                    "azure_lrc needs 1 <= local_groups <= k");
+  TRAPERC_CHECK_MSG(p.global_parities >= 1, "azure_lrc needs g >= 1");
+  TRAPERC_CHECK_MSG(p.n == p.k + p.local_groups + p.global_parities,
+                    "azure_lrc needs n == k + l + g");
+  TRAPERC_CHECK_MSG(p.n <= 255,
+                    "azure_lrc: GF(2^8) supports at most 255 symbols");
+}
+
+class CodeRegistry {
+ public:
+  static CodeRegistry& instance() {
+    static CodeRegistry registry;
+    return registry;
+  }
+
+  void add(std::string name, CodeFamily family) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    families_[std::move(name)] = family;
+  }
+
+  [[nodiscard]] const CodeFamily* find(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = families_.find(name);
+    return it == families_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::vector<std::string> names() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(families_.size());
+    for (const auto& [name, _] : families_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  // Builtins live in the constructor so the registry is complete the first
+  // time instance() returns, with no cross-TU static-init ordering.
+  CodeRegistry() {
+    families_["rs"] = CodeFamily{
+        1, validate_rs, [](const ECPolicy& p) -> std::unique_ptr<ErasureCode> {
+          return std::make_unique<RSCode>(p.n, p.k, p.generator);
+        }};
+    families_["wide_rs"] = CodeFamily{
+        2, validate_wide_rs,
+        [](const ECPolicy& p) -> std::unique_ptr<ErasureCode> {
+          return std::make_unique<WideRSCode>(p.n, p.k);
+        }};
+    families_["azure_lrc"] = CodeFamily{
+        1, validate_azure_lrc,
+        [](const ECPolicy& p) -> std::unique_ptr<ErasureCode> {
+          return std::make_unique<AzureLRC>(p.k, p.local_groups,
+                                            p.global_parities);
+        }};
+  }
+
+  std::mutex mu_;
+  std::map<std::string, CodeFamily, std::less<>> families_;
+};
+
+}  // namespace
+
+void ECPolicy::validate() const {
+  const CodeFamily* fam = find_code_family(family);
+  TRAPERC_CHECK_MSG(fam != nullptr, "unknown erasure code family");
+  TRAPERC_CHECK_MSG(n >= 1 && k >= 1, "ECPolicy needs resolved n and k");
+  TRAPERC_CHECK_MSG(k <= n, "ECPolicy needs k <= n");
+  if (fam->validate != nullptr) fam->validate(*this);
+}
+
+std::string ECPolicy::to_string() const {
+  std::string out = family + "(n=" + std::to_string(n) +
+                    ", k=" + std::to_string(k);
+  if (family == "rs") {
+    out += ", gen=";
+    out += generator == GeneratorKind::kCauchy ? "cauchy" : "vandermonde";
+  } else if (family == "azure_lrc") {
+    out += ", l=" + std::to_string(local_groups) +
+           ", g=" + std::to_string(global_parities);
+  }
+  out += ")";
+  return out;
+}
+
+void register_code_family(std::string name, CodeFamily family) {
+  TRAPERC_CHECK_MSG(family.build != nullptr,
+                    "code family needs a build function");
+  CodeRegistry::instance().add(std::move(name), family);
+}
+
+const CodeFamily* find_code_family(std::string_view name) {
+  return CodeRegistry::instance().find(name);
+}
+
+std::vector<std::string> code_family_names() {
+  return CodeRegistry::instance().names();
+}
+
+std::unique_ptr<ErasureCode> make_code(const ECPolicy& policy) {
+  policy.validate();
+  const CodeFamily* fam = find_code_family(policy.family);
+  TRAPERC_CHECK_MSG(fam != nullptr, "unknown erasure code family");
+  return fam->build(policy);
+}
+
+}  // namespace traperc::erasure

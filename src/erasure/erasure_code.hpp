@@ -1,0 +1,181 @@
+// Abstract erasure-code interface — the trapezoid protocol (paper §III) is
+// defined over *any* erasure-resilient coding scheme, so the protocol engine
+// talks to this interface and the concrete family (Reed-Solomon, wide RS,
+// Azure-LRC, ...) is an `ECPolicy` config choice resolved through a registry.
+//
+// Contract highlights (see src/erasure/README.md for the full implementer
+// contract):
+//  * Blocks are addressed by global id: data 0..k-1, parity k..n-1.
+//  * `decode_plan(present, want)` treats the *order* of `present_ids` as the
+//    caller's read preference and returns the cheapest plan it can build by
+//    greedily accepting rows in that order, pruned to the rows actually used
+//    by the wanted blocks. nullopt iff the wants are not in the span.
+//  * `repair_plan(lost)` is the code's *minimal* read set for rebuilding a
+//    single block — locality-aware codes (Azure-LRC) return a local group,
+//    MDS codes fall back to a k-row decode plan.
+//  * `reconstruct` must succeed exactly when `decode_plan` finds a plan
+//    (returns false otherwise); bytes produced are identical regardless of
+//    which valid plan is used (exact decoding, verified in tests).
+//  * `scale_delta`/`apply_delta`/`apply_delta_all` are the Alg. 1 in-place
+//    parity-update primitives: parity_j ^= α_{j,i}·delta. A code whose
+//    parity rows are linear over the data (all current families) supports
+//    them mechanically; `scale_delta` with a zero coefficient must still
+//    zero-fill the output so version vectors stay consistent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace traperc::erasure {
+
+/// Generator construction for the GF(2^8) Reed-Solomon family.
+enum class GeneratorKind : std::uint8_t { kVandermonde, kCauchy };
+
+/// The read set a decode or repair needs: global block ids to fetch.
+struct ReconstructPlan {
+  std::vector<unsigned> read_blocks;
+};
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  ErasureCode(const ErasureCode&) = delete;
+  ErasureCode& operator=(const ErasureCode&) = delete;
+
+  [[nodiscard]] virtual unsigned n() const noexcept = 0;
+  [[nodiscard]] virtual unsigned k() const noexcept = 0;
+  [[nodiscard]] unsigned parity_count() const noexcept { return n() - k(); }
+
+  /// Registry name of the family ("rs", "wide_rs", "azure_lrc", ...).
+  [[nodiscard]] virtual std::string_view family() const noexcept = 0;
+
+  /// Human-readable identity, e.g. "azure_lrc(n=12, k=8, l=2, g=2)" —
+  /// matches ECPolicy::to_string for the policy that built it; surfaced in
+  /// StoreStats::ec_policy.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Chunk lengths must be a multiple of this (wide codes work on u16
+  /// words, so theirs is 2).
+  [[nodiscard]] virtual std::size_t chunk_granularity() const noexcept {
+    return 1;
+  }
+
+  /// Computes all n-k parity chunks from the k data chunks.
+  /// data[i] and parity[j] each point at chunk_len bytes.
+  virtual void encode(std::span<const std::uint8_t* const> data,
+                      std::span<std::uint8_t* const> parity,
+                      std::size_t chunk_len) const = 0;
+
+  /// Computes a single parity chunk (out.size() bytes per data chunk) —
+  /// the rebuild path recomputes one node's block without touching the
+  /// other parities.
+  virtual void encode_block(unsigned parity_index,
+                            std::span<const std::uint8_t* const> data,
+                            std::span<std::uint8_t> out) const = 0;
+
+  /// True when the surviving block ids suffice to decode *all* blocks of
+  /// the stripe (full-rank test). Note: a single wanted block can be
+  /// decodable even when this is false (non-MDS codes); use decode_plan /
+  /// reconstruct's return value for per-read decisions.
+  [[nodiscard]] virtual bool can_reconstruct(
+      std::span<const unsigned> present_ids) const = 0;
+
+  /// Minimal-ish read plan expressing every id in `want_ids` from the
+  /// blocks in `present_ids`. Rows are accepted greedily in present order
+  /// (caller order == read preference) and pruned to those the wants use.
+  /// nullopt iff some want is not in the span of the present rows.
+  [[nodiscard]] virtual std::optional<ReconstructPlan> decode_plan(
+      std::span<const unsigned> present_ids,
+      std::span<const unsigned> want_ids) const = 0;
+
+  /// The code's minimal read set for repairing `lost_block` when every
+  /// other block is available. Default: a decode plan over all other
+  /// blocks, data rows preferred — k blocks for an MDS code. Locality-aware
+  /// codes override this to return the local group.
+  [[nodiscard]] virtual ReconstructPlan repair_plan(unsigned lost_block) const;
+
+  /// Reconstructs the chunks listed in `want_ids` from the present blocks
+  /// (present_ids[i] describes present[i]; order = read preference).
+  /// out[w] receives chunk_len bytes for want_ids[w]. Returns false iff no
+  /// decode plan exists for the wants.
+  virtual bool reconstruct(std::span<const unsigned> present_ids,
+                           std::span<const std::uint8_t* const> present,
+                           std::span<const unsigned> want_ids,
+                           std::span<std::uint8_t* const> out,
+                           std::size_t chunk_len) const = 0;
+
+  /// out = α_{j,i} · delta — the scaled parity delta Alg. 1 ships to parity
+  /// node j when data block i changes. Zero coefficient => zeroed output
+  /// (the write still happens, keeping contributor-version vectors exact).
+  virtual void scale_delta(unsigned parity_index, unsigned data_index,
+                           std::span<const std::uint8_t> delta,
+                           std::span<std::uint8_t> out) const = 0;
+
+  /// In-place parity refresh: parity ^= α_{j,i} · delta.
+  virtual void apply_delta(unsigned parity_index, unsigned data_index,
+                           std::span<const std::uint8_t> delta,
+                           std::span<std::uint8_t> parity) const = 0;
+
+  /// Applies one data block's delta to all n-k parity chunks. Default is a
+  /// per-parity apply_delta loop; GF(2^8) codes override with the fused
+  /// cache-blocked kernel.
+  virtual void apply_delta_all(
+      unsigned data_index, std::span<const std::uint8_t> delta,
+      std::span<const std::span<std::uint8_t>> parity) const;
+
+ protected:
+  ErasureCode() = default;
+};
+
+/// OpenEC-style code-selection policy: family name + parameters, validated
+/// against the family registry before construction. `n`/`k` of 0 mean
+/// "inherit from the deployment" (core::ProtocolConfig::policy() resolves
+/// them before validation).
+struct ECPolicy {
+  std::string family = "rs";
+  unsigned n = 0;
+  unsigned k = 0;
+  /// rs only: generator construction.
+  GeneratorKind generator = GeneratorKind::kVandermonde;
+  /// azure_lrc only: number of local XOR groups (l) and global parities (g);
+  /// n must equal k + l + g.
+  unsigned local_groups = 0;
+  unsigned global_parities = 0;
+
+  /// Aborts (CHECK) unless the policy names a registered family and its
+  /// parameters satisfy that family's constraints. Requires resolved n/k.
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Registry entry for one code family. `validate` aborts on bad parameters;
+/// `build` constructs a validated policy's code.
+struct CodeFamily {
+  std::size_t chunk_granularity = 1;
+  void (*validate)(const ECPolicy&) = nullptr;
+  std::unique_ptr<ErasureCode> (*build)(const ECPolicy&) = nullptr;
+};
+
+/// Adds a family to the process-wide registry (thread-safe; replaces an
+/// existing entry with the same name). "rs", "wide_rs" and "azure_lrc" are
+/// pre-registered.
+void register_code_family(std::string name, CodeFamily family);
+
+/// nullptr when the family is unknown.
+[[nodiscard]] const CodeFamily* find_code_family(std::string_view name);
+
+/// Registered family names, sorted (diagnostics / error messages).
+[[nodiscard]] std::vector<std::string> code_family_names();
+
+/// Validates the policy and builds its code.
+[[nodiscard]] std::unique_ptr<ErasureCode> make_code(const ECPolicy& policy);
+
+}  // namespace traperc::erasure

@@ -1,0 +1,150 @@
+#include "erasure/linear_code.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "erasure/decode_solver.hpp"
+#include "gf/region.hpp"
+
+namespace traperc::erasure {
+
+using gf::GF256;
+
+LinearCode::LinearCode(unsigned n, unsigned k, Matrix gen)
+    : n_(n), k_(k), gen_(std::move(gen)) {
+  TRAPERC_CHECK_MSG(k >= 1 && k <= n, "linear code needs 1 <= k <= n");
+  TRAPERC_CHECK_MSG(n <= 255, "GF(2^8) supports at most 255 code symbols");
+  TRAPERC_CHECK_MSG(gen_.rows() == n_ && gen_.cols() == k_,
+                    "generator must be n x k");
+  // Systematic top block: the protocol stores data blocks verbatim and
+  // derives α_{j,i} from the parity rows, so this is load-bearing.
+  for (unsigned r = 0; r < k_; ++r) {
+    for (unsigned c = 0; c < k_; ++c) {
+      TRAPERC_CHECK_MSG(gen_.at(r, c) == (r == c ? 1 : 0),
+                        "generator top block must be the identity");
+    }
+  }
+}
+
+LinearCode::Element LinearCode::coefficient(
+    unsigned parity_index, unsigned data_index) const noexcept {
+  TRAPERC_DCHECK(parity_index < parity_count());
+  TRAPERC_DCHECK(data_index < k_);
+  return gen_.at(k_ + parity_index, data_index);
+}
+
+void LinearCode::encode(std::span<const std::uint8_t* const> data,
+                        std::span<std::uint8_t* const> parity,
+                        std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  if (parity_count() == 0) return;
+  // Fused kernel: one cache-blocked pass produces every parity block from
+  // all k sources — no per-source read-modify-write over the destinations.
+  gf::matrix_apply(GF256::instance(),
+                   gen_.row_block(k_, parity_count()).data(), parity_count(),
+                   k_, data.data(), parity.data(), chunk_len);
+}
+
+void LinearCode::encode_block(unsigned parity_index,
+                              std::span<const std::uint8_t* const> data,
+                              std::span<std::uint8_t> out) const {
+  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
+  TRAPERC_CHECK_MSG(parity_index < parity_count(),
+                    "parity index out of range");
+  std::uint8_t* dst = out.data();
+  gf::matrix_apply(GF256::instance(), gen_.row(k_ + parity_index).data(), 1,
+                   k_, data.data(), &dst, out.size());
+}
+
+bool LinearCode::can_reconstruct(
+    std::span<const unsigned> present_ids) const {
+  if (present_ids.size() < k_) return false;
+  for (const unsigned id : present_ids) {
+    TRAPERC_CHECK_MSG(id < n_, "block id out of range");
+  }
+  return gen_.select_rows(present_ids).rank() == k_;
+}
+
+std::optional<ReconstructPlan> LinearCode::decode_plan(
+    std::span<const unsigned> present_ids,
+    std::span<const unsigned> want_ids) const {
+  const auto sol = solve_decode<Element>(
+      GF256::instance(), k_, present_ids, want_ids,
+      [this](unsigned id) { return gen_.row(id); });
+  if (!sol) return std::nullopt;
+  ReconstructPlan plan;
+  plan.read_blocks.reserve(sol->rows.size());
+  for (const unsigned idx : sol->rows) {
+    plan.read_blocks.push_back(present_ids[idx]);
+  }
+  return plan;
+}
+
+bool LinearCode::reconstruct(std::span<const unsigned> present_ids,
+                             std::span<const std::uint8_t* const> present,
+                             std::span<const unsigned> want_ids,
+                             std::span<std::uint8_t* const> out,
+                             std::size_t chunk_len) const {
+  TRAPERC_CHECK_MSG(present_ids.size() == present.size(),
+                    "present id/pointer count mismatch");
+  TRAPERC_CHECK_MSG(want_ids.size() == out.size(),
+                    "want id/pointer count mismatch");
+  const auto sol = solve_decode<Element>(
+      GF256::instance(), k_, present_ids, want_ids,
+      [this](unsigned id) { return gen_.row(id); });
+  if (!sol) return false;
+  // One fused pass: every wanted block is a linear combination of the
+  // solution rows, so the decode is a |want| × |rows| matrix_apply.
+  std::vector<const std::uint8_t*> srcs(sol->rows.size());
+  for (std::size_t j = 0; j < sol->rows.size(); ++j) {
+    srcs[j] = present[sol->rows[j]];
+  }
+  gf::matrix_apply(GF256::instance(), sol->coeffs.data(),
+                   static_cast<unsigned>(want_ids.size()),
+                   static_cast<unsigned>(sol->rows.size()), srcs.data(),
+                   out.data(), chunk_len);
+  return true;
+}
+
+void LinearCode::scale_delta(unsigned parity_index, unsigned data_index,
+                             std::span<const std::uint8_t> delta,
+                             std::span<std::uint8_t> out) const {
+  TRAPERC_CHECK_MSG(delta.size() == out.size(),
+                    "delta and output chunk sizes differ");
+  // mul_region zero-fills on a zero coefficient — required so parity nodes
+  // outside a local group still record the write (version consistency).
+  gf::mul_region(GF256::instance(), coefficient(parity_index, data_index),
+                 delta.data(), out.data(), delta.size());
+}
+
+void LinearCode::apply_delta(unsigned parity_index, unsigned data_index,
+                             std::span<const std::uint8_t> delta,
+                             std::span<std::uint8_t> parity) const {
+  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
+                    "delta and parity chunk sizes differ");
+  gf::mul_add_region(GF256::instance(), coefficient(parity_index, data_index),
+                     delta.data(), parity.data(), delta.size());
+}
+
+void LinearCode::apply_delta_all(
+    unsigned data_index, std::span<const std::uint8_t> delta,
+    std::span<const std::span<std::uint8_t>> parity) const {
+  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
+                    "need exactly n-k parity chunks");
+  TRAPERC_CHECK_MSG(data_index < k_, "data index out of range");
+  // n−k <= 254, so fixed stack buffers keep this path allocation-free.
+  std::uint8_t coeffs[255];
+  std::uint8_t* parity_ptrs[255];
+  for (unsigned j = 0; j < parity_count(); ++j) {
+    TRAPERC_CHECK_MSG(parity[j].size() == delta.size(),
+                      "delta and parity chunk sizes differ");
+    coeffs[j] = coefficient(j, data_index);
+    parity_ptrs[j] = parity[j].data();
+  }
+  gf::mul_add_multi(GF256::instance(), coeffs, parity_count(), delta.data(),
+                    parity_ptrs, delta.size());
+}
+
+}  // namespace traperc::erasure

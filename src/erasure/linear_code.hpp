@@ -1,0 +1,83 @@
+// Shared base for systematic linear codes over GF(2^8): any code whose
+// generator is an n×k matrix with identity top block (data stored verbatim,
+// parity rows linear over the data). Implements the whole ErasureCode
+// surface from the generator alone — encode via the fused matrix kernel,
+// decode/plan via the shared Gauss-Jordan solver, delta updates via the
+// region kernels — so a concrete family (RSCode, AzureLRC) only supplies
+// its generator, identity strings, and any structure-aware overrides
+// (cheap can_reconstruct, local repair plans).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "erasure/erasure_code.hpp"
+#include "erasure/matrix.hpp"
+#include "gf/gf256.hpp"
+
+namespace traperc::erasure {
+
+class LinearCode : public ErasureCode {
+ public:
+  using Element = gf::GF256::Element;
+
+  [[nodiscard]] unsigned n() const noexcept override { return n_; }
+  [[nodiscard]] unsigned k() const noexcept override { return k_; }
+
+  /// The paper's α_{j,i} with 0-based indices: contribution of data block
+  /// `data_index` ∈ [0,k) to parity block `parity_index` ∈ [0,n−k).
+  [[nodiscard]] Element coefficient(unsigned parity_index,
+                                    unsigned data_index) const noexcept;
+
+  /// Full generator (n×k, top block identity); exposed for analysis/tests.
+  [[nodiscard]] const Matrix& generator() const noexcept { return gen_; }
+
+  void encode(std::span<const std::uint8_t* const> data,
+              std::span<std::uint8_t* const> parity,
+              std::size_t chunk_len) const override;
+
+  void encode_block(unsigned parity_index,
+                    std::span<const std::uint8_t* const> data,
+                    std::span<std::uint8_t> out) const override;
+
+  /// Generic full-rank test over the surviving rows. MDS subclasses
+  /// override with the O(1) |present| >= k check.
+  [[nodiscard]] bool can_reconstruct(
+      std::span<const unsigned> present_ids) const override;
+
+  [[nodiscard]] std::optional<ReconstructPlan> decode_plan(
+      std::span<const unsigned> present_ids,
+      std::span<const unsigned> want_ids) const override;
+
+  bool reconstruct(std::span<const unsigned> present_ids,
+                   std::span<const std::uint8_t* const> present,
+                   std::span<const unsigned> want_ids,
+                   std::span<std::uint8_t* const> out,
+                   std::size_t chunk_len) const override;
+
+  void scale_delta(unsigned parity_index, unsigned data_index,
+                   std::span<const std::uint8_t> delta,
+                   std::span<std::uint8_t> out) const override;
+
+  void apply_delta(unsigned parity_index, unsigned data_index,
+                   std::span<const std::uint8_t> delta,
+                   std::span<std::uint8_t> parity) const override;
+
+  /// Fused refresh: all n−k parity chunks in a single cache-blocked pass
+  /// (the delta block stays L1-resident across destinations).
+  void apply_delta_all(
+      unsigned data_index, std::span<const std::uint8_t> delta,
+      std::span<const std::span<std::uint8_t>> parity) const override;
+
+ protected:
+  /// Requires 1 <= k <= n <= 255 and a systematic n×k generator.
+  LinearCode(unsigned n, unsigned k, Matrix gen);
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  Matrix gen_;  // n×k, rows 0..k-1 form the identity
+};
+
+}  // namespace traperc::erasure

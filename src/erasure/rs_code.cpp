@@ -1,15 +1,10 @@
 #include "erasure/rs_code.hpp"
 
-#include <algorithm>
-#include <cstring>
+#include <vector>
 
 #include "common/check.hpp"
-#include "erasure/reconstruct_plan.hpp"
-#include "gf/region.hpp"
 
 namespace traperc::erasure {
-
-using gf::GF256;
 
 namespace {
 
@@ -40,105 +35,18 @@ Matrix build_generator(unsigned n, unsigned k, GeneratorKind kind) {
 }  // namespace
 
 RSCode::RSCode(unsigned n, unsigned k, GeneratorKind kind)
-    : n_(n), k_(k), kind_(kind), gen_(build_generator(n, k, kind)) {}
+    : LinearCode(n, k, build_generator(n, k, kind)), kind_(kind) {}
 
-RSCode::Element RSCode::coefficient(unsigned parity_index,
-                                    unsigned data_index) const noexcept {
-  TRAPERC_DCHECK(parity_index < parity_count());
-  TRAPERC_DCHECK(data_index < k_);
-  return gen_.at(k_ + parity_index, data_index);
+std::string RSCode::describe() const {
+  std::string out = "rs(n=" + std::to_string(n()) +
+                    ", k=" + std::to_string(k()) + ", gen=";
+  out += kind_ == GeneratorKind::kCauchy ? "cauchy" : "vandermonde";
+  out += ")";
+  return out;
 }
 
-void RSCode::encode(std::span<const std::uint8_t* const> data,
-                    std::span<std::uint8_t* const> parity,
-                    std::size_t chunk_len) const {
-  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
-  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
-                    "need exactly n-k parity chunks");
-  if (parity_count() == 0) return;
-  // Fused kernel: one cache-blocked pass produces every parity block from
-  // all k sources — no per-source read-modify-write over the destinations.
-  gf::matrix_apply(GF256::instance(),
-                   gen_.row_block(k_, parity_count()).data(), parity_count(),
-                   k_, data.data(), parity.data(), chunk_len);
-}
-
-void RSCode::apply_delta(unsigned parity_index, unsigned data_index,
-                         std::span<const std::uint8_t> delta,
-                         std::span<std::uint8_t> parity) const {
-  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
-                    "delta and parity chunk sizes differ");
-  gf::mul_add_region(GF256::instance(), coefficient(parity_index, data_index),
-                     delta.data(), parity.data(), delta.size());
-}
-
-void RSCode::apply_delta_all(
-    unsigned data_index, std::span<const std::uint8_t> delta,
-    std::span<const std::span<std::uint8_t>> parity) const {
-  TRAPERC_CHECK_MSG(parity.size() == parity_count(),
-                    "need exactly n-k parity chunks");
-  TRAPERC_CHECK_MSG(data_index < k_, "data index out of range");
-  // n−k <= 254, so fixed stack buffers keep this path allocation-free.
-  std::uint8_t coeffs[255];
-  std::uint8_t* parity_ptrs[255];
-  for (unsigned j = 0; j < parity_count(); ++j) {
-    TRAPERC_CHECK_MSG(parity[j].size() == delta.size(),
-                      "delta and parity chunk sizes differ");
-    coeffs[j] = coefficient(j, data_index);
-    parity_ptrs[j] = parity[j].data();
-  }
-  gf::mul_add_multi(GF256::instance(), coeffs, parity_count(), delta.data(),
-                    parity_ptrs, delta.size());
-}
-
-bool RSCode::can_reconstruct(
-    std::span<const unsigned> present_ids) const noexcept {
-  return present_ids.size() >= k_;
-}
-
-bool RSCode::reconstruct(std::span<const unsigned> present_ids,
-                         std::span<const std::uint8_t* const> present,
-                         std::span<const unsigned> want_ids,
-                         std::span<std::uint8_t* const> out,
-                         std::size_t chunk_len) const {
-  TRAPERC_CHECK_MSG(present_ids.size() == present.size(),
-                    "present id/pointer count mismatch");
-  TRAPERC_CHECK_MSG(want_ids.size() == out.size(),
-                    "want id/pointer count mismatch");
-  if (present_ids.size() < k_) return false;
-
-  // Decode uses exactly k surviving rows; prefer data rows (identity rows
-  // make the decode matrix closer to I, i.e. cheaper back-substitution).
-  std::vector<unsigned> chosen(present_ids.begin(), present_ids.end());
-  std::sort(chosen.begin(), chosen.end());
-  chosen.resize(k_);
-
-  const Matrix decode_rows = gen_.select_rows(chosen);
-  const auto inverse = decode_rows.inverted();
-  TRAPERC_CHECK_MSG(inverse.has_value(),
-                    "MDS violation: k surviving rows not invertible");
-
-  // Map chosen global id -> index into `present`.
-  std::vector<const std::uint8_t*> chosen_chunks(k_);
-  for (unsigned i = 0; i < k_; ++i) {
-    const auto it =
-        std::find(present_ids.begin(), present_ids.end(), chosen[i]);
-    chosen_chunks[i] = present[static_cast<std::size_t>(
-        std::distance(present_ids.begin(), it))];
-  }
-
-  const auto& field = GF256::instance();
-  // Each needed data row is decoded exactly once and reused across wanted
-  // blocks (previously every wanted parity block re-decoded all k rows).
-  detail::reconstruct_fused<Element>(
-      n_, k_, want_ids, out, chosen_chunks, chunk_len,
-      [this](unsigned id, unsigned i) { return gen_.at(id, i); },
-      [&inverse](unsigned i) { return inverse->row(i); },
-      [&](const Element* coeffs, unsigned rows, unsigned cols,
-          const std::uint8_t* const* srcs, std::uint8_t* const* dsts) {
-        gf::matrix_apply(field, coeffs, rows, cols, srcs, dsts, chunk_len);
-      });
-  return true;
+bool RSCode::can_reconstruct(std::span<const unsigned> present_ids) const {
+  return present_ids.size() >= k();
 }
 
 }  // namespace traperc::erasure

@@ -11,85 +11,38 @@
 //  * kVandermonde — V(n,k) right-multiplied by the inverse of its top block
 //    (Plank's classic systematic construction);
 //  * kCauchy     — [I ; Cauchy], totally nonsingular by construction.
+//
+// Registered in the code-family registry as "rs"; everything but the
+// construction and the O(1) MDS decodability test comes from LinearCode.
 #pragma once
 
-#include <cstdint>
 #include <span>
-#include <vector>
+#include <string>
+#include <string_view>
 
-#include "erasure/matrix.hpp"
-#include "gf/gf256.hpp"
+#include "erasure/linear_code.hpp"
 
 namespace traperc::erasure {
 
-enum class GeneratorKind : std::uint8_t { kVandermonde, kCauchy };
-
-class RSCode {
+class RSCode final : public LinearCode {
  public:
-  using Element = gf::GF256::Element;
-
   /// Requires 1 <= k <= n <= 255 (GF(2^8) limit on distinct code symbols).
   RSCode(unsigned n, unsigned k,
          GeneratorKind kind = GeneratorKind::kVandermonde);
 
-  [[nodiscard]] unsigned n() const noexcept { return n_; }
-  [[nodiscard]] unsigned k() const noexcept { return k_; }
-  [[nodiscard]] unsigned parity_count() const noexcept { return n_ - k_; }
   [[nodiscard]] GeneratorKind kind() const noexcept { return kind_; }
 
-  /// The paper's α_{j,i} with 0-based indices: contribution of data block
-  /// `data_index` ∈ [0,k) to parity block `parity_index` ∈ [0,n−k).
-  [[nodiscard]] Element coefficient(unsigned parity_index,
-                                    unsigned data_index) const noexcept;
+  [[nodiscard]] std::string_view family() const noexcept override {
+    return "rs";
+  }
+  [[nodiscard]] std::string describe() const override;
 
-  /// Full generator (n×k, top block identity); exposed for analysis/tests.
-  [[nodiscard]] const Matrix& generator() const noexcept { return gen_; }
-
-  /// Computes all n−k parity chunks from the k data chunks.
-  /// data[i] and parity[j] each point at chunk_len bytes.
-  void encode(std::span<const std::uint8_t* const> data,
-              std::span<std::uint8_t* const> parity,
-              std::size_t chunk_len) const;
-
-  /// In-place parity refresh for a single-block update (Alg. 1 line 27):
-  /// parity_j ^= α_{j,i} · delta where delta = new_chunk − old_chunk
-  /// (XOR in GF(2^8)). The caller holds delta; this is the commutative
-  /// Galois-field update the paper relies on for in-place writes.
-  void apply_delta(unsigned parity_index, unsigned data_index,
-                   std::span<const std::uint8_t> delta,
-                   std::span<std::uint8_t> parity) const;
-
-  /// Fused form of the Alg. 1 refresh: applies one data block's delta to all
-  /// n−k parity chunks in a single cache-blocked pass (the delta block stays
-  /// L1-resident across destinations). parity[j] ^= α_{j,i} · delta.
-  /// Every parity span must be exactly delta.size() bytes (checked).
-  void apply_delta_all(unsigned data_index,
-                       std::span<const std::uint8_t> delta,
-                       std::span<const std::span<std::uint8_t>> parity) const;
-
-  /// Reconstructs the chunks listed in `want_ids` (global block ids, data
-  /// 0..k−1 or parity k..n−1) from any >= k available blocks.
-  ///
-  /// present_ids/present give the surviving blocks (global id + chunk
-  /// pointer); out[w] receives chunk_len bytes for want_ids[w].
-  /// Returns false iff fewer than k blocks are present (the MDS bound).
-  bool reconstruct(std::span<const unsigned> present_ids,
-                   std::span<const std::uint8_t* const> present,
-                   std::span<const unsigned> want_ids,
-                   std::span<std::uint8_t* const> out,
-                   std::size_t chunk_len) const;
-
-  /// True when the set of surviving block ids suffices to decode (|set|>=k;
-  /// the decode matrix is always invertible for this code — checked in
-  /// tests over every k-subset).
+  /// MDS: any k distinct surviving blocks decode — no rank computation.
   [[nodiscard]] bool can_reconstruct(
-      std::span<const unsigned> present_ids) const noexcept;
+      std::span<const unsigned> present_ids) const override;
 
  private:
-  unsigned n_;
-  unsigned k_;
   GeneratorKind kind_;
-  Matrix gen_;  // n×k, rows 0..k-1 form the identity
 };
 
 }  // namespace traperc::erasure

@@ -8,9 +8,11 @@
 
 namespace traperc::erasure {
 
-Stripe::Stripe(const RSCode& code, std::size_t chunk_len)
+Stripe::Stripe(const ErasureCode& code, std::size_t chunk_len)
     : code_(&code), chunk_len_(chunk_len) {
   TRAPERC_CHECK_MSG(chunk_len > 0, "chunk length must be positive");
+  TRAPERC_CHECK_MSG(chunk_len % code.chunk_granularity() == 0,
+                    "chunk length must honour the code's granularity");
   chunks_.resize(code.n());
   for (auto& c : chunks_) c.assign(chunk_len, 0);
 }
@@ -63,14 +65,13 @@ void Stripe::update_data(unsigned i, std::span<const std::uint8_t> new_chunk) {
   std::vector<std::uint8_t> delta(new_chunk.begin(), new_chunk.end());
   gf::xor_region(chunks_[i].data(), delta.data(), chunk_len_);
   std::memcpy(chunks_[i].data(), new_chunk.data(), chunk_len_);
-  // Fused refresh: all n−k parity chunks in one cache-blocked pass
-  // (n−k <= 254, stack buffer keeps the fast path allocation-free).
-  std::span<std::uint8_t> parity[255];
+  // Fused refresh: all n−k parity chunks in one pass (wide codes may have
+  // parity_count > 255, so the span table is heap-allocated here).
+  std::vector<std::span<std::uint8_t>> parity(code_->parity_count());
   for (unsigned j = 0; j < code_->parity_count(); ++j) {
     parity[j] = chunks_[code_->k() + j];
   }
-  code_->apply_delta_all(i, delta,
-                         {parity, code_->parity_count()});
+  code_->apply_delta_all(i, delta, parity);
 }
 
 void Stripe::encode_all() {
@@ -115,7 +116,7 @@ std::vector<std::uint8_t> Stripe::reconstruct_block(
   std::uint8_t* outs[] = {out.data()};
   const bool ok = code_->reconstruct(present_ids, present, want, outs,
                                      chunk_len_);
-  TRAPERC_CHECK_MSG(ok, "reconstruction needs at least k surviving blocks");
+  TRAPERC_CHECK_MSG(ok, "present set cannot reconstruct the requested block");
   return out;
 }
 

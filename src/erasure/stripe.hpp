@@ -14,17 +14,17 @@
 #include <span>
 #include <vector>
 
-#include "erasure/rs_code.hpp"
+#include "erasure/erasure_code.hpp"
 
 namespace traperc::erasure {
 
 class Stripe {
  public:
   /// Creates an all-zero stripe (a zero object has zero parity, so it is
-  /// born consistent).
-  Stripe(const RSCode& code, std::size_t chunk_len);
+  /// born consistent). chunk_len must honour the code's granularity.
+  Stripe(const ErasureCode& code, std::size_t chunk_len);
 
-  [[nodiscard]] const RSCode& code() const noexcept { return *code_; }
+  [[nodiscard]] const ErasureCode& code() const noexcept { return *code_; }
   [[nodiscard]] std::size_t chunk_len() const noexcept { return chunk_len_; }
 
   /// Splits `object` across the k data chunks (zero-padded; must fit in
@@ -52,13 +52,13 @@ class Stripe {
   [[nodiscard]] bool verify() const;
 
   /// Reconstructs block `block_id` from the surviving blocks listed in
-  /// `present_ids` (which must not include block_id and must have >= k
-  /// entries). Returns the reconstructed bytes.
+  /// `present_ids` (which must not include block_id and must form a
+  /// decodable set for it). Returns the reconstructed bytes.
   [[nodiscard]] std::vector<std::uint8_t> reconstruct_block(
       unsigned block_id, std::span<const unsigned> present_ids) const;
 
  private:
-  const RSCode* code_;
+  const ErasureCode* code_;
   std::size_t chunk_len_;
   std::vector<std::vector<std::uint8_t>> chunks_;  // n buffers
 };

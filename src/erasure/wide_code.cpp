@@ -4,7 +4,8 @@
 #include <cstring>
 
 #include "common/check.hpp"
-#include "erasure/reconstruct_plan.hpp"
+#include "erasure/decode_solver.hpp"
+#include "gf/matrix_driver.hpp"
 
 namespace traperc::erasure {
 
@@ -128,55 +129,59 @@ void wide_mul_add(const GF65536& field, GF65536::Element c,
   }
 }
 
+/// dst words = c · src words (zero-fills when c == 0).
+void wide_mul(const GF65536& field, GF65536::Element c,
+              const std::uint8_t* src, std::uint8_t* dst,
+              std::size_t chunk_len) {
+  TRAPERC_DCHECK(chunk_len % 2 == 0);
+  if (c == 0) {
+    std::memset(dst, 0, chunk_len);
+    return;
+  }
+  for (std::size_t i = 0; i + 2 <= chunk_len; i += 2) {
+    std::uint16_t s;
+    std::memcpy(&s, src + i, 2);
+    const std::uint16_t d = field.mul(c, s);
+    std::memcpy(dst + i, &d, 2);
+  }
+}
+
+/// Per-(row,col) operand for the shared blocked driver: source index plus
+/// the GF(2^16) constant (no table expansion — the scalar kernel multiplies
+/// through log/exp).
+struct WideRowOp {
+  unsigned src;
+  GF65536::Element coeff;
+};
+
 /// Fused GF(2^16) generator apply, mirroring gf::matrix_apply: overwrite
 /// semantics, cache-blocked, each destination block produced in one pass
-/// that accumulates all `cols` sources in a register.
+/// that accumulates all `cols` sources in a register. Plan construction and
+/// the block/memset skeleton come from the shared gf/matrix_driver.hpp
+/// templates (instantiated here with TU-local types — flag-neutral TU).
 void wide_matrix_apply(const GF65536& field, const GF65536::Element* coeffs,
                        unsigned rows, unsigned cols,
                        const std::uint8_t* const* srcs,
                        std::uint8_t* const* dsts, std::size_t len) {
   TRAPERC_DCHECK(len % 2 == 0);
-  if (rows == 0 || len == 0) return;
-  // Flat ops/row_begin plan, same shape as the GF(2^8) MatrixPlan: ops for
-  // row r are ops[row_begin[r] .. row_begin[r+1]), two allocations total.
-  struct RowOp {
-    unsigned src;
-    GF65536::Element coeff;
-  };
-  std::vector<RowOp> ops;
-  ops.reserve(static_cast<std::size_t>(rows) * cols);
-  std::vector<std::uint32_t> row_begin(rows + 1);
-  for (unsigned r = 0; r < rows; ++r) {
-    row_begin[r] = static_cast<std::uint32_t>(ops.size());
-    for (unsigned c = 0; c < cols; ++c) {
-      const GF65536::Element coeff =
-          coeffs[static_cast<std::size_t>(r) * cols + c];
-      if (coeff != 0) ops.push_back({c, coeff});
-    }
-  }
-  row_begin[rows] = static_cast<std::uint32_t>(ops.size());
   constexpr std::size_t kBlock = 4096;
-  for (std::size_t base = 0; base < len; base += kBlock) {
-    const std::size_t blen = len - base < kBlock ? len - base : kBlock;
-    for (unsigned r = 0; r < rows; ++r) {
-      const RowOp* op_begin = ops.data() + row_begin[r];
-      const RowOp* op_end = ops.data() + row_begin[r + 1];
-      std::uint8_t* dst = dsts[r] + base;
-      if (op_begin == op_end) {
-        std::memset(dst, 0, blen);
-        continue;
-      }
-      for (std::size_t i = 0; i + 2 <= blen; i += 2) {
-        std::uint16_t acc = 0;
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          std::uint16_t s;
-          std::memcpy(&s, srcs[op->src] + base + i, 2);
-          acc ^= field.mul(op->coeff, s);
+  const auto plan = gf::build_matrix_op_plan<WideRowOp>(
+      coeffs, rows, cols,
+      [](unsigned c, GF65536::Element coeff) { return WideRowOp{c, coeff}; });
+  gf::blocked_matrix_apply(
+      plan, rows, dsts, len, kBlock,
+      [&field, srcs](const WideRowOp* op_begin, const WideRowOp* op_end,
+                     std::uint8_t* dst, std::size_t base, std::size_t blen) {
+        for (std::size_t i = 0; i + 2 <= blen; i += 2) {
+          std::uint16_t acc = 0;
+          for (const WideRowOp* op = op_begin; op != op_end; ++op) {
+            std::uint16_t s;
+            std::memcpy(&s, srcs[op->src] + base + i, 2);
+            acc ^= field.mul(op->coeff, s);
+          }
+          std::memcpy(dst + i, &acc, 2);
         }
-        std::memcpy(dst + i, &acc, 2);
-      }
-    }
-  }
+      });
 }
 
 WideMatrix build_wide_generator(unsigned n, unsigned k) {
@@ -195,6 +200,11 @@ WideMatrix build_wide_generator(unsigned n, unsigned k) {
 
 WideRSCode::WideRSCode(unsigned n, unsigned k)
     : n_(n), k_(k), gen_(build_wide_generator(n, k)) {}
+
+std::string WideRSCode::describe() const {
+  return "wide_rs(n=" + std::to_string(n_) + ", k=" + std::to_string(k_) +
+         ")";
+}
 
 WideRSCode::Element WideRSCode::coefficient(unsigned parity_index,
                                             unsigned data_index) const noexcept {
@@ -216,14 +226,36 @@ void WideRSCode::encode(std::span<const std::uint8_t* const> data,
                     k_, data.data(), parity.data(), chunk_len);
 }
 
-void WideRSCode::apply_delta(unsigned parity_index, unsigned data_index,
-                             std::span<const std::uint8_t> delta,
-                             std::span<std::uint8_t> parity) const {
-  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
-                    "delta and parity chunk sizes differ");
-  TRAPERC_CHECK_MSG(delta.size() % 2 == 0, "chunk length must be even (u16)");
-  wide_mul_add(GF65536::instance(), coefficient(parity_index, data_index),
-               delta.data(), parity.data(), delta.size());
+void WideRSCode::encode_block(unsigned parity_index,
+                              std::span<const std::uint8_t* const> data,
+                              std::span<std::uint8_t> out) const {
+  TRAPERC_CHECK_MSG(data.size() == k_, "need exactly k data chunks");
+  TRAPERC_CHECK_MSG(parity_index < parity_count(),
+                    "parity index out of range");
+  TRAPERC_CHECK_MSG(out.size() % 2 == 0, "chunk length must be even (u16)");
+  std::uint8_t* dst = out.data();
+  wide_matrix_apply(GF65536::instance(), gen_.row(k_ + parity_index).data(),
+                    1, k_, data.data(), &dst, out.size());
+}
+
+bool WideRSCode::can_reconstruct(
+    std::span<const unsigned> present_ids) const {
+  return present_ids.size() >= k_;
+}
+
+std::optional<ReconstructPlan> WideRSCode::decode_plan(
+    std::span<const unsigned> present_ids,
+    std::span<const unsigned> want_ids) const {
+  const auto sol = solve_decode<Element>(
+      GF65536::instance(), k_, present_ids, want_ids,
+      [this](unsigned id) { return gen_.row(id); });
+  if (!sol) return std::nullopt;
+  ReconstructPlan plan;
+  plan.read_blocks.reserve(sol->rows.size());
+  for (const unsigned idx : sol->rows) {
+    plan.read_blocks.push_back(present_ids[idx]);
+  }
+  return plan;
 }
 
 bool WideRSCode::reconstruct(std::span<const unsigned> present_ids,
@@ -236,35 +268,39 @@ bool WideRSCode::reconstruct(std::span<const unsigned> present_ids,
   TRAPERC_CHECK_MSG(want_ids.size() == out.size(),
                     "want id/pointer count mismatch");
   TRAPERC_CHECK_MSG(chunk_len % 2 == 0, "chunk length must be even (u16)");
-  if (present_ids.size() < k_) return false;
-
-  std::vector<unsigned> chosen(present_ids.begin(), present_ids.end());
-  std::sort(chosen.begin(), chosen.end());
-  chosen.resize(k_);
-
-  const auto inverse = gen_.select_rows(chosen).inverted();
-  TRAPERC_CHECK_MSG(inverse.has_value(),
-                    "MDS violation: k surviving rows not invertible");
-
-  std::vector<const std::uint8_t*> chosen_chunks(k_);
-  for (unsigned i = 0; i < k_; ++i) {
-    const auto it =
-        std::find(present_ids.begin(), present_ids.end(), chosen[i]);
-    chosen_chunks[i] = present[static_cast<std::size_t>(
-        std::distance(present_ids.begin(), it))];
+  const auto sol = solve_decode<Element>(
+      GF65536::instance(), k_, present_ids, want_ids,
+      [this](unsigned id) { return gen_.row(id); });
+  if (!sol) return false;
+  std::vector<const std::uint8_t*> srcs(sol->rows.size());
+  for (std::size_t j = 0; j < sol->rows.size(); ++j) {
+    srcs[j] = present[sol->rows[j]];
   }
-
-  const auto& field = GF65536::instance();
-  // Same two-stage fused plan as RSCode::reconstruct (shared driver).
-  detail::reconstruct_fused<Element>(
-      n_, k_, want_ids, out, chosen_chunks, chunk_len,
-      [this](unsigned id, unsigned i) { return gen_.at(id, i); },
-      [&inverse](unsigned i) { return inverse->row(i); },
-      [&](const Element* coeffs, unsigned rows, unsigned cols,
-          const std::uint8_t* const* srcs, std::uint8_t* const* dsts) {
-        wide_matrix_apply(field, coeffs, rows, cols, srcs, dsts, chunk_len);
-      });
+  wide_matrix_apply(GF65536::instance(), sol->coeffs.data(),
+                    static_cast<unsigned>(want_ids.size()),
+                    static_cast<unsigned>(sol->rows.size()), srcs.data(),
+                    out.data(), chunk_len);
   return true;
+}
+
+void WideRSCode::scale_delta(unsigned parity_index, unsigned data_index,
+                             std::span<const std::uint8_t> delta,
+                             std::span<std::uint8_t> out) const {
+  TRAPERC_CHECK_MSG(delta.size() == out.size(),
+                    "delta and output chunk sizes differ");
+  TRAPERC_CHECK_MSG(delta.size() % 2 == 0, "chunk length must be even (u16)");
+  wide_mul(GF65536::instance(), coefficient(parity_index, data_index),
+           delta.data(), out.data(), delta.size());
+}
+
+void WideRSCode::apply_delta(unsigned parity_index, unsigned data_index,
+                             std::span<const std::uint8_t> delta,
+                             std::span<std::uint8_t> parity) const {
+  TRAPERC_CHECK_MSG(delta.size() == parity.size(),
+                    "delta and parity chunk sizes differ");
+  TRAPERC_CHECK_MSG(delta.size() % 2 == 0, "chunk length must be even (u16)");
+  wide_mul_add(GF65536::instance(), coefficient(parity_index, data_index),
+               delta.data(), parity.data(), delta.size());
 }
 
 }  // namespace traperc::erasure

@@ -5,22 +5,25 @@
 // larger symbol alphabet. This codec mirrors RSCode's construction —
 // systematic Vandermonde with the MDS property preserved by the
 // right-multiplication argument — over 16-bit symbols. Chunks are byte
-// buffers of even length interpreted as little-endian u16 words; kernels
-// are scalar (log/exp per word), trading the GF(2^8) table tricks for
-// alphabet size, which the PERF2w bench quantifies.
+// buffers of even length interpreted as little-endian u16 words
+// (chunk_granularity() == 2); kernels are scalar (log/exp per word),
+// trading the GF(2^8) table tricks for alphabet size, which the PERF2w
+// bench quantifies.
 //
-// Deliberately separate from RSCode rather than a shared template: the two
-// fields want different storage (full product table vs log/exp) and
-// different region kernels, and the protocol engine only ever uses the
-// GF(2^8) fast path.
+// Implements ErasureCode directly rather than via the GF(2^8) LinearCode
+// base: the two fields want different storage (full product table vs
+// log/exp) and different region kernels. Registered as "wide_rs".
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/check.hpp"
+#include "erasure/erasure_code.hpp"
 #include "gf/gf65536.hpp"
 
 namespace traperc::erasure {
@@ -74,15 +77,22 @@ class WideMatrix {
 };
 
 /// Systematic (n,k) MDS code with 1 <= k <= n <= 65535.
-class WideRSCode {
+class WideRSCode final : public ErasureCode {
  public:
   using Element = gf::GF65536::Element;
 
   WideRSCode(unsigned n, unsigned k);
 
-  [[nodiscard]] unsigned n() const noexcept { return n_; }
-  [[nodiscard]] unsigned k() const noexcept { return k_; }
-  [[nodiscard]] unsigned parity_count() const noexcept { return n_ - k_; }
+  [[nodiscard]] unsigned n() const noexcept override { return n_; }
+  [[nodiscard]] unsigned k() const noexcept override { return k_; }
+
+  [[nodiscard]] std::string_view family() const noexcept override {
+    return "wide_rs";
+  }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t chunk_granularity() const noexcept override {
+    return 2;
+  }
 
   /// α_{j,i} analogue over GF(2^16).
   [[nodiscard]] Element coefficient(unsigned parity_index,
@@ -93,20 +103,35 @@ class WideRSCode {
   /// Computes all parity chunks. chunk_len must be even (u16 words).
   void encode(std::span<const std::uint8_t* const> data,
               std::span<std::uint8_t* const> parity,
-              std::size_t chunk_len) const;
+              std::size_t chunk_len) const override;
 
-  /// In-place parity delta update: parity ^= α_{j,i} · delta.
-  void apply_delta(unsigned parity_index, unsigned data_index,
-                   std::span<const std::uint8_t> delta,
-                   std::span<std::uint8_t> parity) const;
+  void encode_block(unsigned parity_index,
+                    std::span<const std::uint8_t* const> data,
+                    std::span<std::uint8_t> out) const override;
 
-  /// Reconstructs `want_ids` from >= k survivors (same contract as
-  /// RSCode::reconstruct).
+  /// MDS: any k distinct surviving blocks decode.
+  [[nodiscard]] bool can_reconstruct(
+      std::span<const unsigned> present_ids) const override;
+
+  [[nodiscard]] std::optional<ReconstructPlan> decode_plan(
+      std::span<const unsigned> present_ids,
+      std::span<const unsigned> want_ids) const override;
+
   bool reconstruct(std::span<const unsigned> present_ids,
                    std::span<const std::uint8_t* const> present,
                    std::span<const unsigned> want_ids,
                    std::span<std::uint8_t* const> out,
-                   std::size_t chunk_len) const;
+                   std::size_t chunk_len) const override;
+
+  /// out = α_{j,i} · delta (zero-fills on a zero coefficient).
+  void scale_delta(unsigned parity_index, unsigned data_index,
+                   std::span<const std::uint8_t> delta,
+                   std::span<std::uint8_t> out) const override;
+
+  /// In-place parity delta update: parity ^= α_{j,i} · delta.
+  void apply_delta(unsigned parity_index, unsigned data_index,
+                   std::span<const std::uint8_t> delta,
+                   std::span<std::uint8_t> parity) const override;
 
  private:
   unsigned n_;

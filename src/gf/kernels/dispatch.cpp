@@ -55,19 +55,10 @@ NibbleTables make_nibble_tables(const GF256& field, std::uint8_t c) noexcept {
 
 MatrixPlan make_matrix_plan(const GF256& field, const std::uint8_t* coeffs,
                             unsigned rows, unsigned cols) {
-  MatrixPlan plan;
-  plan.ops.reserve(static_cast<std::size_t>(rows) * cols);
-  plan.row_begin.resize(rows + 1);
-  for (unsigned r = 0; r < rows; ++r) {
-    plan.row_begin[r] = static_cast<std::uint32_t>(plan.ops.size());
-    for (unsigned c = 0; c < cols; ++c) {
-      const std::uint8_t coeff = coeffs[static_cast<std::size_t>(r) * cols + c];
-      if (coeff == 0) continue;
-      plan.ops.push_back({c, make_nibble_tables(field, coeff)});
-    }
-  }
-  plan.row_begin[rows] = static_cast<std::uint32_t>(plan.ops.size());
-  return plan;
+  return build_matrix_op_plan<RowOp>(
+      coeffs, rows, cols, [&field](unsigned c, std::uint8_t coeff) {
+        return RowOp{c, make_nibble_tables(field, coeff)};
+      });
 }
 
 std::vector<const RegionKernels*> available() {

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "gf/kernels/kernels.hpp"
+#include "gf/matrix_driver.hpp"
 
 namespace traperc::gf::kernels {
 
@@ -38,12 +39,10 @@ struct RowOp {
   NibbleTables tables;
 };
 
-/// Flat operand plan shared by every tier's matrix_apply: ops for row r are
-/// ops[row_begin[r] .. row_begin[r+1]). One allocation each, hot-path cheap.
-struct MatrixPlan {
-  std::vector<RowOp> ops;
-  std::vector<std::uint32_t> row_begin;
-};
+/// Flat operand plan shared by every tier's matrix_apply (the generic
+/// skeleton lives in gf/matrix_driver.hpp; GF(2^16) builds the same shape
+/// over its own operand type).
+using MatrixPlan = MatrixOpPlan<RowOp>;
 
 /// Defined out-of-line in dispatch.cpp (a flag-neutral TU) on purpose: an
 /// inline definition would be emitted as a comdat in every ISA-flagged TU

@@ -51,36 +51,28 @@ void scalar_matrix_apply(const GF256& field, const std::uint8_t* coeffs,
                          const std::uint8_t* const* srcs,
                          std::uint8_t* const* dsts, std::size_t len) {
   const MatrixPlan plan = make_matrix_plan(field, coeffs, rows, cols);
-  for (std::size_t base = 0; base < len; base += kMatrixBlock) {
-    const std::size_t blen = len - base < kMatrixBlock ? len - base
-                                                       : kMatrixBlock;
-    for (unsigned r = 0; r < rows; ++r) {
-      const RowOp* op_begin = plan.ops.data() + plan.row_begin[r];
-      const RowOp* op_end = plan.ops.data() + plan.row_begin[r + 1];
-      std::uint8_t* dst = dsts[r] + base;
-      if (op_begin == op_end) {
-        std::memset(dst, 0, blen);
-        continue;
-      }
-      std::size_t i = 0;
-      for (; i + 8 <= blen; i += 8) {
-        std::uint64_t acc = 0;
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          std::uint64_t s;
-          std::memcpy(&s, srcs[op->src] + base + i, 8);
-          acc ^= split4_word(op->tables, s);
+  blocked_matrix_apply(
+      plan, rows, dsts, len, kMatrixBlock,
+      [srcs](const RowOp* op_begin, const RowOp* op_end, std::uint8_t* dst,
+             std::size_t base, std::size_t blen) {
+        std::size_t i = 0;
+        for (; i + 8 <= blen; i += 8) {
+          std::uint64_t acc = 0;
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            std::uint64_t s;
+            std::memcpy(&s, srcs[op->src] + base + i, 8);
+            acc ^= split4_word(op->tables, s);
+          }
+          std::memcpy(dst + i, &acc, 8);
         }
-        std::memcpy(dst + i, &acc, 8);
-      }
-      for (; i < blen; ++i) {
-        std::uint8_t acc = 0;
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+        for (; i < blen; ++i) {
+          std::uint8_t acc = 0;
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+          }
+          dst[i] = acc;
         }
-        dst[i] = acc;
-      }
-    }
-  }
+      });
 }
 
 constexpr RegionKernels kScalar = {"scalar", scalar_mul_add, scalar_mul,

@@ -87,66 +87,60 @@ void avx2_matrix_apply(const GF256& field, const std::uint8_t* coeffs,
                        const std::uint8_t* const* srcs,
                        std::uint8_t* const* dsts, std::size_t len) {
   const MatrixPlan plan = make_matrix_plan(field, coeffs, rows, cols);
-  for (std::size_t base = 0; base < len; base += kMatrixBlock) {
-    const std::size_t blen = len - base < kMatrixBlock ? len - base
-                                                       : kMatrixBlock;
-    for (unsigned r = 0; r < rows; ++r) {
-      const RowOp* op_begin = plan.ops.data() + plan.row_begin[r];
-      const RowOp* op_end = plan.ops.data() + plan.row_begin[r + 1];
-      std::uint8_t* dst = dsts[r] + base;
-      if (op_begin == op_end) {
-        std::memset(dst, 0, blen);
-        continue;
-      }
-      std::size_t i = 0;
-      // 128-byte strips with 4 accumulators: the two table vectors are
-      // loaded once per op per strip instead of once per 32 bytes, cutting
-      // the load-port traffic of the hottest loop by more than half.
-      for (; i + 128 <= blen; i += 128) {
-        __m256i a0 = _mm256_setzero_si256();
-        __m256i a1 = _mm256_setzero_si256();
-        __m256i a2 = _mm256_setzero_si256();
-        __m256i a3 = _mm256_setzero_si256();
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          const VecTables v = load_tables(op->tables);
-          const std::uint8_t* s = srcs[op->src] + base + i;
-          a0 = _mm256_xor_si256(
-              a0, mul32(v, _mm256_loadu_si256(
-                             reinterpret_cast<const __m256i*>(s))));
-          a1 = _mm256_xor_si256(
-              a1, mul32(v, _mm256_loadu_si256(
-                             reinterpret_cast<const __m256i*>(s + 32))));
-          a2 = _mm256_xor_si256(
-              a2, mul32(v, _mm256_loadu_si256(
-                             reinterpret_cast<const __m256i*>(s + 64))));
-          a3 = _mm256_xor_si256(
-              a3, mul32(v, _mm256_loadu_si256(
-                             reinterpret_cast<const __m256i*>(s + 96))));
+  // The lambda type is TU-local, so this blocked_matrix_apply instantiation
+  // is unique to this -mavx2 TU (see the ODR note in gf/matrix_driver.hpp).
+  blocked_matrix_apply(
+      plan, rows, dsts, len, kMatrixBlock,
+      [srcs](const RowOp* op_begin, const RowOp* op_end, std::uint8_t* dst,
+             std::size_t base, std::size_t blen) {
+        std::size_t i = 0;
+        // 128-byte strips with 4 accumulators: the two table vectors are
+        // loaded once per op per strip instead of once per 32 bytes, cutting
+        // the load-port traffic of the hottest loop by more than half.
+        for (; i + 128 <= blen; i += 128) {
+          __m256i a0 = _mm256_setzero_si256();
+          __m256i a1 = _mm256_setzero_si256();
+          __m256i a2 = _mm256_setzero_si256();
+          __m256i a3 = _mm256_setzero_si256();
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            const VecTables v = load_tables(op->tables);
+            const std::uint8_t* s = srcs[op->src] + base + i;
+            a0 = _mm256_xor_si256(
+                a0, mul32(v, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(s))));
+            a1 = _mm256_xor_si256(
+                a1, mul32(v, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(s + 32))));
+            a2 = _mm256_xor_si256(
+                a2, mul32(v, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(s + 64))));
+            a3 = _mm256_xor_si256(
+                a3, mul32(v, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(s + 96))));
+          }
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), a1);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 64), a2);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 96), a3);
         }
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a0);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), a1);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 64), a2);
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 96), a3);
-      }
-      for (; i + 32 <= blen; i += 32) {
-        __m256i acc = _mm256_setzero_si256();
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          const VecTables v = load_tables(op->tables);
-          const __m256i s = _mm256_loadu_si256(
-              reinterpret_cast<const __m256i*>(srcs[op->src] + base + i));
-          acc = _mm256_xor_si256(acc, mul32(v, s));
+        for (; i + 32 <= blen; i += 32) {
+          __m256i acc = _mm256_setzero_si256();
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            const VecTables v = load_tables(op->tables);
+            const __m256i s = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(srcs[op->src] + base + i));
+            acc = _mm256_xor_si256(acc, mul32(v, s));
+          }
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
         }
-        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
-      }
-      for (; i < blen; ++i) {
-        std::uint8_t acc = 0;
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+        for (; i < blen; ++i) {
+          std::uint8_t acc = 0;
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+          }
+          dst[i] = acc;
         }
-        dst[i] = acc;
-      }
-    }
-  }
+      });
 }
 
 constexpr RegionKernels kAvx2 = {"avx2", avx2_mul_add, avx2_mul,

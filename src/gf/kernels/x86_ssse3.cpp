@@ -70,65 +70,59 @@ void ssse3_matrix_apply(const GF256& field, const std::uint8_t* coeffs,
                         const std::uint8_t* const* srcs,
                         std::uint8_t* const* dsts, std::size_t len) {
   const MatrixPlan plan = make_matrix_plan(field, coeffs, rows, cols);
-  for (std::size_t base = 0; base < len; base += kMatrixBlock) {
-    const std::size_t blen = len - base < kMatrixBlock ? len - base
-                                                       : kMatrixBlock;
-    for (unsigned r = 0; r < rows; ++r) {
-      const RowOp* op_begin = plan.ops.data() + plan.row_begin[r];
-      const RowOp* op_end = plan.ops.data() + plan.row_begin[r + 1];
-      std::uint8_t* dst = dsts[r] + base;
-      if (op_begin == op_end) {
-        std::memset(dst, 0, blen);
-        continue;
-      }
-      std::size_t i = 0;
-      // 64-byte strips with 4 accumulators: table vectors loaded once per
-      // op per strip instead of once per 16 bytes.
-      for (; i + 64 <= blen; i += 64) {
-        __m128i a0 = _mm_setzero_si128();
-        __m128i a1 = _mm_setzero_si128();
-        __m128i a2 = _mm_setzero_si128();
-        __m128i a3 = _mm_setzero_si128();
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          const VecTables v = load_tables(op->tables);
-          const std::uint8_t* s = srcs[op->src] + base + i;
-          a0 = _mm_xor_si128(
-              a0, mul16(v, _mm_loadu_si128(
-                             reinterpret_cast<const __m128i*>(s))));
-          a1 = _mm_xor_si128(
-              a1, mul16(v, _mm_loadu_si128(
-                             reinterpret_cast<const __m128i*>(s + 16))));
-          a2 = _mm_xor_si128(
-              a2, mul16(v, _mm_loadu_si128(
-                             reinterpret_cast<const __m128i*>(s + 32))));
-          a3 = _mm_xor_si128(
-              a3, mul16(v, _mm_loadu_si128(
-                             reinterpret_cast<const __m128i*>(s + 48))));
+  // The lambda type is TU-local, so this blocked_matrix_apply instantiation
+  // is unique to this -mssse3 TU (see the ODR note in gf/matrix_driver.hpp).
+  blocked_matrix_apply(
+      plan, rows, dsts, len, kMatrixBlock,
+      [srcs](const RowOp* op_begin, const RowOp* op_end, std::uint8_t* dst,
+             std::size_t base, std::size_t blen) {
+        std::size_t i = 0;
+        // 64-byte strips with 4 accumulators: table vectors loaded once per
+        // op per strip instead of once per 16 bytes.
+        for (; i + 64 <= blen; i += 64) {
+          __m128i a0 = _mm_setzero_si128();
+          __m128i a1 = _mm_setzero_si128();
+          __m128i a2 = _mm_setzero_si128();
+          __m128i a3 = _mm_setzero_si128();
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            const VecTables v = load_tables(op->tables);
+            const std::uint8_t* s = srcs[op->src] + base + i;
+            a0 = _mm_xor_si128(
+                a0, mul16(v, _mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(s))));
+            a1 = _mm_xor_si128(
+                a1, mul16(v, _mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(s + 16))));
+            a2 = _mm_xor_si128(
+                a2, mul16(v, _mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(s + 32))));
+            a3 = _mm_xor_si128(
+                a3, mul16(v, _mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(s + 48))));
+          }
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), a0);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), a1);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 32), a2);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 48), a3);
         }
-        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), a0);
-        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), a1);
-        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 32), a2);
-        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 48), a3);
-      }
-      for (; i + 16 <= blen; i += 16) {
-        __m128i acc = _mm_setzero_si128();
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          const VecTables v = load_tables(op->tables);
-          const __m128i s = _mm_loadu_si128(
-              reinterpret_cast<const __m128i*>(srcs[op->src] + base + i));
-          acc = _mm_xor_si128(acc, mul16(v, s));
+        for (; i + 16 <= blen; i += 16) {
+          __m128i acc = _mm_setzero_si128();
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            const VecTables v = load_tables(op->tables);
+            const __m128i s = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(srcs[op->src] + base + i));
+            acc = _mm_xor_si128(acc, mul16(v, s));
+          }
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
         }
-        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
-      }
-      for (; i < blen; ++i) {
-        std::uint8_t acc = 0;
-        for (const RowOp* op = op_begin; op != op_end; ++op) {
-          acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+        for (; i < blen; ++i) {
+          std::uint8_t acc = 0;
+          for (const RowOp* op = op_begin; op != op_end; ++op) {
+            acc ^= nib_mul(op->tables, srcs[op->src][base + i]);
+          }
+          dst[i] = acc;
         }
-        dst[i] = acc;
-      }
-    }
-  }
+      });
 }
 
 constexpr RegionKernels kSsse3 = {"ssse3", ssse3_mul_add, ssse3_mul,

@@ -1,0 +1,81 @@
+// Shared cache-blocked matrix-apply skeleton, templated over the field.
+//
+// Every fused generator/decode apply in the tree has the same shape: build a
+// flat per-row operand plan with zero coefficients dropped, then walk the
+// destination in cache-sized blocks, producing each destination row in one
+// pass (memset for all-zero rows). Only the operand type and the innermost
+// per-row accumulation loop differ between GF(2^8) (nibble tables) and
+// GF(2^16) (log/exp words), so those are the two customization points:
+// `make_op` turns a nonzero coefficient into an operand, `row_pass` runs one
+// row's operands over one block.
+//
+// ODR/ISA caveat (same rule as make_matrix_plan in dispatch.cpp): these
+// templates are emitted as comdats in every TU that instantiates them, and
+// the linker keeps an arbitrary copy. Instantiate them only from
+// flag-neutral TUs, or with a TU-local functor type (a lambda defined in the
+// TU makes the whole instantiation's symbol unique), so an ISA-flagged copy
+// can never be linked into the portable path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace traperc::gf {
+
+/// Flat operand plan: ops for destination row r are
+/// ops[row_begin[r] .. row_begin[r+1]). Two allocations, hot-path cheap.
+template <typename Op>
+struct MatrixOpPlan {
+  std::vector<Op> ops;
+  std::vector<std::uint32_t> row_begin;
+};
+
+/// Builds the plan from a dense row-major rows×cols coefficient block.
+/// `make_op(col, coeff)` produces the operand for one nonzero coefficient.
+template <typename Op, typename Coeff, typename MakeOp>
+[[nodiscard]] MatrixOpPlan<Op> build_matrix_op_plan(const Coeff* coeffs,
+                                                    unsigned rows,
+                                                    unsigned cols,
+                                                    MakeOp&& make_op) {
+  MatrixOpPlan<Op> plan;
+  plan.ops.reserve(static_cast<std::size_t>(rows) * cols);
+  plan.row_begin.resize(rows + 1);
+  for (unsigned r = 0; r < rows; ++r) {
+    plan.row_begin[r] = static_cast<std::uint32_t>(plan.ops.size());
+    for (unsigned c = 0; c < cols; ++c) {
+      const Coeff coeff = coeffs[static_cast<std::size_t>(r) * cols + c];
+      if (coeff == Coeff{0}) continue;
+      plan.ops.push_back(make_op(c, coeff));
+    }
+  }
+  plan.row_begin[rows] = static_cast<std::uint32_t>(plan.ops.size());
+  return plan;
+}
+
+/// The blocked apply: for each cache block, each destination row is either
+/// memset to zero (no operands) or handed to
+/// `row_pass(op_begin, op_end, dst, base, blen)`, which must accumulate all
+/// operands' contributions over bytes [base, base+blen) of the sources into
+/// dst (overwrite semantics; dst already points at the block).
+template <typename Op, typename RowPass>
+void blocked_matrix_apply(const MatrixOpPlan<Op>& plan, unsigned rows,
+                          std::uint8_t* const* dsts, std::size_t len,
+                          std::size_t block, RowPass&& row_pass) {
+  if (rows == 0 || len == 0) return;
+  for (std::size_t base = 0; base < len; base += block) {
+    const std::size_t blen = len - base < block ? len - base : block;
+    for (unsigned r = 0; r < rows; ++r) {
+      const Op* op_begin = plan.ops.data() + plan.row_begin[r];
+      const Op* op_end = plan.ops.data() + plan.row_begin[r + 1];
+      std::uint8_t* dst = dsts[r] + base;
+      if (op_begin == op_end) {
+        std::memset(dst, 0, blen);
+        continue;
+      }
+      row_pass(op_begin, op_end, dst, base, blen);
+    }
+  }
+}
+
+}  // namespace traperc::gf

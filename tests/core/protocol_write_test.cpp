@@ -46,16 +46,14 @@ TEST(WritePath, ParityContentMatchesCode) {
   SimCluster cluster(small_config());
   const auto value = cluster.make_pattern(4);
   ASSERT_EQ(cluster.write_block_sync(0, 0, value), ErrorCode::kOk);
-  // With only block 0 written, parity_j = α_{j,0} · value.
+  // With only block 0 written, the first delta is the value itself, so
+  // parity_j must equal the code's scaled delta α_{j,0} · value.
   const auto* code = cluster.code();
-  const auto& field = gf::GF256::instance();
   for (NodeId parity_node = 8; parity_node < 15; ++parity_node) {
     const auto reply = cluster.node(parity_node).parity_read(0);
-    const auto coeff = code->coefficient(parity_node - 8, 0);
-    for (std::size_t byte = 0; byte < value.size(); ++byte) {
-      ASSERT_EQ(reply.payload[byte], field.mul(coeff, value[byte]))
-          << "node " << parity_node << " byte " << byte;
-    }
+    std::vector<std::uint8_t> expected(value.size());
+    code->scale_delta(parity_node - 8, 0, value, expected);
+    ASSERT_EQ(reply.payload, expected) << "node " << parity_node;
   }
 }
 

@@ -27,9 +27,17 @@
 namespace traperc::core {
 namespace {
 
-ProtocolConfig degraded_config() {
+/// `family` swaps the erasure code under the same (15, 8) deployment —
+/// azure_lrc(8, 3, 4) also has n = 15, so the quorum-starving kill set
+/// below applies to both families unchanged.
+ProtocolConfig degraded_config(const char* family = "rs") {
   auto config = ProtocolConfig::for_code(15, 8, 1);
   config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  config.ec.family = family;
+  if (config.ec.family == "azure_lrc") {
+    config.ec.local_groups = 3;
+    config.ec.global_parities = 4;
+  }
   return config;
 }
 
@@ -68,7 +76,9 @@ std::set<NodeId> merged_avoid(const Status& failure,
 // -- byte identity: node kill, single-deployment facade -------------------
 
 TEST(StoreDegraded, NodeKillDegradedGetByteIdenticalOnObjectStore) {
-  SimCluster cluster(degraded_config());
+  for (const char* family : {"rs", "azure_lrc"}) {
+  SCOPED_TRACE(family);
+  SimCluster cluster(degraded_config(family));
   ObjectStore store(cluster);
   const auto capacity = store.stripe_capacity();
   const auto object = pattern_bytes(capacity * 3, 1);
@@ -108,6 +118,7 @@ TEST(StoreDegraded, NodeKillDegradedGetByteIdenticalOnObjectStore) {
   for (NodeId node : kReadStarveKills) cluster.recover_node(node);
   EXPECT_EQ(*store.get(*id), object);
   EXPECT_EQ(store.stats().degraded.stripe_reads, 3u);
+  }
 }
 
 // -- byte identity: node kill, sharded facade -----------------------------

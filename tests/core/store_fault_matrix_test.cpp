@@ -26,9 +26,17 @@
 namespace traperc::core {
 namespace {
 
-ProtocolConfig fault_config() {
+/// `family` swaps the erasure code under the same (15, 8) deployment:
+/// azure_lrc(8, 3, 4) also has n = 15, so every kill set and quorum
+/// expectation in this matrix applies to both families unchanged.
+ProtocolConfig fault_config(const char* family = "rs") {
   auto config = ProtocolConfig::for_code(15, 8, 1);
   config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  config.ec.family = family;
+  if (config.ec.family == "azure_lrc") {
+    config.ec.local_groups = 3;
+    config.ec.global_parities = 4;
+  }
   return config;
 }
 
@@ -40,14 +48,15 @@ std::vector<std::uint8_t> pattern_bytes(std::size_t len, std::uint64_t seed) {
 }
 
 std::unique_ptr<ShardedObjectStore> make_store(unsigned threads,
-                                               bool remap = true) {
+                                               bool remap = true,
+                                               const char* family = "rs") {
   ShardedStoreOptions options;
   options.shards = 3;
   options.threads = threads;
   options.pipeline_depth = 2;
   options.async_window = 4;
   options.remap_on_shard_down = remap;
-  return std::make_unique<ShardedObjectStore>(fault_config(), options);
+  return std::make_unique<ShardedObjectStore>(fault_config(family), options);
 }
 
 // -- shard down, mid-batch, inline (deterministic injection point) --------
@@ -178,8 +187,10 @@ TEST(StoreFaultMatrix, NodeKillMidBatchSurfacesQuorumLossWithSuspects) {
 // -- streaming: decode failure isolated to the failing stripe -------------
 
 TEST(StoreFaultMatrix, StreamingDecodeFailedDoesNotPoisonSiblings) {
+  for (const char* family : {"rs", "azure_lrc"})
   for (unsigned threads : {0u, 2u}) {
-    auto store = make_store(threads);
+    SCOPED_TRACE(family);
+    auto store = make_store(threads, /*remap=*/true, family);
     const auto capacity = store->stripe_capacity();
     const auto object = pattern_bytes(capacity * 3, 4);  // shards 0,1,2
     const auto id = store->put(object);
@@ -232,8 +243,12 @@ TEST(StoreFaultMatrix, StreamingDecodeFailedDoesNotPoisonSiblings) {
 TEST(StoreFaultMatrix, StreamingDecodeFailedOnObjectStorePerStripeTickets) {
   // Single-deployment facade: every stripe fails its own decode, every
   // ticket reports it independently — order preserved, no crash, and the
-  // stream recovers after the nodes come back.
-  SimCluster cluster(fault_config());
+  // stream recovers after the nodes come back. All-data-dark is
+  // undecodable for both families: rs has < k rows, azure_lrc(8, 3, 4)
+  // leaves 7 parity rows whose span contains no unit vector.
+  for (const char* family : {"rs", "azure_lrc"}) {
+  SCOPED_TRACE(family);
+  SimCluster cluster(fault_config(family));
   ObjectStore store(cluster);
   const auto object = pattern_bytes(store.stripe_capacity() * 2 + 33, 5);
   const auto id = store.put(object);
@@ -262,6 +277,7 @@ TEST(StoreFaultMatrix, StreamingDecodeFailedOnObjectStorePerStripeTickets) {
                      result.bytes.end());
   }
   EXPECT_EQ(assembled, object);
+  }
 }
 
 // -- streaming: shard taken down mid-stream (pooled race) -----------------

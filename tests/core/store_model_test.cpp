@@ -60,6 +60,17 @@ ProtocolConfig model_config() {
   return config;
 }
 
+/// Same deployment geometry, locality-aware family: Azure-LRC(8, 3, 4)
+/// also has n = 15, so every episode (and the degraded kill window tuned
+/// to the (15, 8) trapezoid) applies unchanged.
+ProtocolConfig lrc_model_config() {
+  auto config = model_config();
+  config.ec = erasure::ECPolicy{.family = "azure_lrc",
+                                .local_groups = 3,
+                                .global_parities = 4};
+  return config;
+}
+
 /// One client under test plus everything that owns its backing state.
 struct ModelFixture {
   std::string name;
@@ -88,16 +99,33 @@ std::vector<ModelFixture> model_fixtures() {
     };
     fixtures.push_back(std::move(fixture));
   }
-  for (unsigned threads : {0u, 2u, 4u}) {
+  {
     ModelFixture fixture;
-    fixture.name = "Sharded/t" + std::to_string(threads);
+    fixture.name = "ObjectStore/azure_lrc";
+    fixture.deterministic = true;
+    fixture.cluster = std::make_unique<SimCluster>(lrc_model_config());
+    fixture.client = std::make_unique<ObjectStore>(*fixture.cluster);
+    fixture.fail_node = [cluster = fixture.cluster.get()](NodeId id) {
+      cluster->fail_node(id);
+    };
+    fixture.recover_node = [cluster = fixture.cluster.get()](NodeId id) {
+      cluster->recover_node(id);
+    };
+    fixtures.push_back(std::move(fixture));
+  }
+  for (unsigned threads : {0u, 2u, 4u}) {
+    const bool lrc = threads == 2;  // one pooled fixture per family
+    ModelFixture fixture;
+    fixture.name = "Sharded/t" + std::to_string(threads) +
+                   (lrc ? "/azure_lrc" : "");
     fixture.deterministic = threads == 0;
     ShardedStoreOptions options;
     options.shards = 3;
     options.threads = threads;
     options.pipeline_depth = 2;
     options.async_window = 4;
-    auto store = std::make_unique<ShardedObjectStore>(model_config(), options);
+    auto store = std::make_unique<ShardedObjectStore>(
+        lrc ? lrc_model_config() : model_config(), options);
     fixture.sharded = store.get();
     fixture.fail_node = [store = store.get()](NodeId id) {
       store->fail_node(id);

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "erasure/erasure_code.hpp"
+#include "erasure/rs_code.hpp"
+
+namespace traperc::erasure {
+namespace {
+
+TEST(EcPolicy, BuildsEveryBuiltinFamily) {
+  ECPolicy rs{.family = "rs", .n = 15, .k = 8};
+  auto rs_code = make_code(rs);
+  EXPECT_EQ(rs_code->family(), "rs");
+  EXPECT_EQ(rs_code->n(), 15u);
+  EXPECT_EQ(rs_code->k(), 8u);
+  EXPECT_EQ(rs_code->chunk_granularity(), 1u);
+
+  ECPolicy wide{.family = "wide_rs", .n = 300, .k = 200};
+  auto wide_code = make_code(wide);
+  EXPECT_EQ(wide_code->family(), "wide_rs");
+  EXPECT_EQ(wide_code->n(), 300u);
+  EXPECT_EQ(wide_code->chunk_granularity(), 2u);
+
+  ECPolicy lrc{.family = "azure_lrc",
+               .n = 12,
+               .k = 8,
+               .local_groups = 2,
+               .global_parities = 2};
+  auto lrc_code = make_code(lrc);
+  EXPECT_EQ(lrc_code->family(), "azure_lrc");
+  EXPECT_EQ(lrc_code->n(), 12u);
+  EXPECT_EQ(lrc_code->parity_count(), 4u);
+}
+
+// The policy's to_string and the built code's describe() are the same
+// string — stats() reports either interchangeably.
+TEST(EcPolicy, ToStringMatchesBuiltDescribe) {
+  const ECPolicy policies[] = {
+      ECPolicy{.family = "rs", .n = 15, .k = 8},
+      ECPolicy{.family = "rs",
+               .n = 15,
+               .k = 8,
+               .generator = GeneratorKind::kCauchy},
+      ECPolicy{.family = "wide_rs", .n = 300, .k = 200},
+      ECPolicy{.family = "azure_lrc",
+               .n = 12,
+               .k = 8,
+               .local_groups = 2,
+               .global_parities = 2},
+  };
+  for (const auto& policy : policies) {
+    EXPECT_EQ(make_code(policy)->describe(), policy.to_string());
+  }
+}
+
+TEST(EcPolicy, GeneratorKindSelectsRsConstruction) {
+  ECPolicy cauchy{.family = "rs",
+                  .n = 10,
+                  .k = 6,
+                  .generator = GeneratorKind::kCauchy};
+  auto code = make_code(cauchy);
+  const auto* rs = dynamic_cast<const RSCode*>(code.get());
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->kind(), GeneratorKind::kCauchy);
+}
+
+TEST(EcPolicy, RegistryListsBuiltins) {
+  const auto names = code_family_names();
+  for (const char* expected : {"azure_lrc", "rs", "wide_rs"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_NE(find_code_family("rs"), nullptr);
+  EXPECT_EQ(find_code_family("raptor"), nullptr);
+}
+
+// Leaf extension point: a new family registered at runtime is buildable
+// through the same policy path as the builtins.
+TEST(EcPolicy, RegistersCustomFamily) {
+  CodeFamily family;
+  family.chunk_granularity = 1;
+  family.validate = [](const ECPolicy&) {};
+  family.build = [](const ECPolicy& policy)
+      -> std::unique_ptr<ErasureCode> {
+    return std::make_unique<RSCode>(policy.n, policy.k);
+  };
+  register_code_family("test_rs_alias", family);
+  ASSERT_NE(find_code_family("test_rs_alias"), nullptr);
+  ECPolicy policy{.family = "test_rs_alias", .n = 6, .k = 4};
+  auto code = make_code(policy);
+  EXPECT_EQ(code->family(), "rs");
+  EXPECT_EQ(code->n(), 6u);
+}
+
+using EcPolicyDeath = ::testing::Test;
+
+TEST(EcPolicyDeath, RejectsUnknownFamily) {
+  ECPolicy policy{.family = "raptor", .n = 10, .k = 6};
+  EXPECT_DEATH(policy.validate(), "unknown erasure code family");
+}
+
+TEST(EcPolicyDeath, RejectsUnresolvedGeometry) {
+  ECPolicy policy{.family = "rs", .n = 0, .k = 0};
+  EXPECT_DEATH(policy.validate(), "resolved n and k");
+}
+
+TEST(EcPolicyDeath, RejectsLocalityParamsOnRs) {
+  ECPolicy policy{.family = "rs", .n = 10, .k = 6, .local_groups = 2};
+  EXPECT_DEATH(policy.validate(), "no locality parameters");
+}
+
+TEST(EcPolicyDeath, RejectsLrcGeometryMismatch) {
+  ECPolicy policy{.family = "azure_lrc",
+                  .n = 12,
+                  .k = 8,
+                  .local_groups = 2,
+                  .global_parities = 1};  // 8 + 2 + 1 != 12
+  EXPECT_DEATH(policy.validate(), "n == k \\+ l \\+ g");
+}
+
+TEST(EcPolicyDeath, RejectsTooManyLocalGroups) {
+  ECPolicy policy{.family = "azure_lrc",
+                  .n = 14,
+                  .k = 4,
+                  .local_groups = 6,
+                  .global_parities = 4};
+  EXPECT_DEATH(policy.validate(), "local_groups <= k");
+}
+
+TEST(EcPolicyDeath, RejectsNarrowFieldOverflow) {
+  ECPolicy policy{.family = "rs", .n = 300, .k = 200};
+  EXPECT_DEATH(policy.validate(), "255");
+}
+
+}  // namespace
+}  // namespace traperc::erasure

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "erasure/rs_code.hpp"
 
 namespace traperc::erasure {
 namespace {
