@@ -6,7 +6,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace traperc::benchjson {
 
@@ -107,5 +109,59 @@ class JsonWriter {
   std::string out_;
   bool first_ = true;
 };
+
+/// Stamps the host fields every BENCH document carries: the probed
+/// `hardware_concurrency`, plus the `pending_multicore_baseline` marker when
+/// the probe reports a single core (or fails and reports zero). The marker
+/// tells the regression guard that ratio metrics from this emission are not
+/// trustworthy as a multicore baseline; CI keeps warning until a multicore
+/// run replaces the committed file. Returns true when the marker was
+/// stamped so callers can print the reminder.
+inline bool stamp_host_fields(JsonWriter& json) {
+  const auto cores =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
+  json.field("hardware_concurrency", cores);
+  if (cores <= 1) {
+    json.field("pending_multicore_baseline", std::size_t{1});
+    return true;
+  }
+  return false;
+}
+
+/// Resolves the emission path: the TRAPERC_BENCH_OUT env var overrides the
+/// bench's default file name (CI uses this to write BENCH_*_fresh.json next
+/// to the committed baseline).
+inline std::string resolve_out_path(const char* default_path) {
+  const char* out = std::getenv("TRAPERC_BENCH_OUT");
+  return (out != nullptr && out[0] != '\0') ? out : default_path;
+}
+
+/// Writes the document and echoes it to stdout; returns false (after
+/// printing to stderr) on IO failure so mains can exit non-zero.
+inline bool emit(const JsonWriter& json, const std::string& path) {
+  if (!json.write_file(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n%s\n", path.c_str(), json.str().c_str());
+  return true;
+}
+
+/// True when the committed JSON document at `path` still carries the
+/// pending_multicore_baseline marker (missing file → false). Used by the
+/// workload bench to keep reminding, loudly, that the protocol baseline
+/// needs a multicore re-commit.
+inline bool file_has_pending_marker(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  std::string contents;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(f);
+  return contents.find("\"pending_multicore_baseline\"") != std::string::npos;
+}
 
 }  // namespace traperc::benchjson

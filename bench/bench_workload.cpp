@@ -1,0 +1,264 @@
+// Workload bench: YCSB-style op mixes driven by concurrent closed-loop
+// clients over one ShardedObjectStore, reporting per-op-type latency
+// percentiles (p50/p90/p99/p999, from the harness's mergeable log-linear
+// histograms) and throughput into BENCH_workload.json — one "workload"
+// sweep table row per mix.
+//
+// Two read-only rows bracket the serve-through-failure story: `ycsb_c`
+// runs healthy, `ycsb_c_faulted` injects the quorum-starving kill set
+// {0, 8, 9, 10, 11, 12} at 50% progress (for (15, 8, 1): every read quorum
+// dies, 9 >= k survivors keep all blocks reconstructible) with
+// allow_degraded reads. The faulted run must complete with ZERO failed ops
+// — degraded reconstruction absorbs the fault — and nonzero
+// stats().degraded counters; the bench aborts otherwise, so the CI smoke
+// run is also a correctness gate. `read_p99_over_healthy` reports the tail
+// tax of serving through the fault as a machine-relative ratio the
+// regression guard can compare across runners.
+//
+// Absolute microsecond latencies are machine-specific: CI guards only the
+// `_over_` ratio metrics (see scripts/check_bench_regression.py and the
+// guard invocation in .github/workflows/ci.yml); run the checker without
+// --fields for a same-machine comparison of every metric.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/sharded_store.hpp"
+#include "workload/fault_schedule.hpp"
+#include "workload/harness.hpp"
+
+namespace {
+
+using traperc::NodeId;
+using traperc::core::Mode;
+using traperc::core::ProtocolConfig;
+using traperc::core::ShardedObjectStore;
+using traperc::core::ShardedStoreOptions;
+using traperc::workload::FaultEvent;
+using traperc::workload::FaultSchedule;
+using traperc::workload::KeyDist;
+using traperc::workload::kOpTypes;
+using traperc::workload::OpMix;
+using traperc::workload::OpType;
+using traperc::workload::op_type_name;
+using traperc::workload::ShardedFaultTarget;
+using traperc::workload::WorkloadHarness;
+using traperc::workload::WorkloadOptions;
+using traperc::workload::WorkloadReport;
+namespace benchjson = traperc::benchjson;
+
+// Fixed run shape: identity fields must match between the committed
+// baseline and every fresh run, so none of these may depend on the machine.
+constexpr unsigned kShards = 4;
+constexpr unsigned kStoreThreads = 4;
+constexpr unsigned kClients = 8;
+constexpr unsigned kOpsPerClient = 2000;  // 16k ops/mix: p999 has support
+constexpr std::uint64_t kPopulation = 64;
+constexpr std::size_t kValueLen = 8192;       // 1 stripe at 8 KiB capacity
+constexpr std::size_t kScanValueLen = 24576;  // 3 stripes — real streams
+
+/// Quorum-starving kill set for (15, 8, 1); see tests/core/store_degraded.
+constexpr NodeId kReadStarveKills[] = {0, 8, 9, 10, 11, 12};
+
+const char* key_dist_name(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipfian: return "zipfian";
+    case KeyDist::kLatest: return "latest";
+  }
+  return "?";
+}
+
+struct MixSpec {
+  std::string name;  ///< row identity (mix profile name, or a variant of it)
+  OpMix mix;
+  KeyDist dist = KeyDist::kZipfian;
+  std::size_t value_len = kValueLen;
+  bool faulted = false;  ///< kill set at 50% progress, degraded reads on
+};
+
+/// Runs one mix on a fresh store. For faulted specs, verifies the
+/// absorption contract (aborting the bench otherwise) and reports the
+/// degraded-stripe count through `degraded_out`.
+WorkloadReport run_mix(const MixSpec& spec, double* degraded_out) {
+  auto config = ProtocolConfig::for_code(15, 8, 1, Mode::kErc);
+  config.chunk_len = 1024;  // stripe capacity = 8 KiB
+
+  ShardedStoreOptions store_options;
+  store_options.shards = kShards;
+  store_options.threads = kStoreThreads;
+  store_options.pipeline_depth = 4;
+  store_options.async_window = 16;
+  ShardedObjectStore store(config, store_options);
+
+  WorkloadOptions options;
+  options.clients = kClients;
+  options.ops_per_client = kOpsPerClient;
+  options.initial_population = kPopulation;
+  options.value_len = spec.value_len;
+  options.seed = 2026;
+  options.client_threads = kClients;
+  options.mix = spec.mix;
+  options.key_dist = spec.dist;
+
+  std::vector<FaultEvent> events;
+  if (spec.faulted) {
+    for (const NodeId node : kReadStarveKills) {
+      events.push_back({0.5, FaultEvent::Kind::kKillNode, node});
+    }
+  }
+  FaultSchedule faults(std::move(events));
+  ShardedFaultTarget target(store);
+  if (spec.faulted) {
+    options.read_options.allow_degraded = true;
+    options.faults = &faults;
+    options.fault_target = &target;
+  }
+
+  WorkloadHarness harness(store, options);
+  auto report = harness.run();
+
+  if (spec.faulted) {
+    // The faulted row doubles as the serve-through-failure acceptance gate:
+    // every kill fired mid-run, no op failed, and the degraded ledger
+    // proves the second half was reconstructed from survivors.
+    const auto stats = store.stats();
+    if (faults.fired() != std::size(kReadStarveKills) ||
+        report.failed != 0 || stats.degraded.stripe_reads == 0) {
+      std::fprintf(stderr,
+                   "%s: fault injection not absorbed (fired=%zu failed=%llu "
+                   "degraded_stripe_reads=%llu)\n",
+                   spec.name.c_str(), faults.fired(),
+                   static_cast<unsigned long long>(report.failed),
+                   static_cast<unsigned long long>(
+                       stats.degraded.stripe_reads));
+      std::exit(1);
+    }
+    *degraded_out = static_cast<double>(stats.degraded.stripe_reads);
+  } else if (report.failed != 0) {
+    std::fprintf(stderr, "%s: %llu ops failed on a healthy store\n",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(report.failed));
+    std::exit(1);
+  }
+  return report;
+}
+
+/// Nanoseconds → microseconds for emission.
+double us(double ns) { return ns / 1000.0; }
+
+void emit_mix_row(benchjson::JsonWriter& json, const MixSpec& spec,
+                  const WorkloadReport& report, double degraded_stripe_reads,
+                  double healthy_read_p99_us) {
+  json.begin_object();
+  // Identity (strings + integers): the run shape, constant across machines.
+  json.field("mix", spec.name);
+  json.field("key_dist", std::string(key_dist_name(spec.dist)));
+  json.field("clients", static_cast<std::size_t>(kClients));
+  json.field("shards", static_cast<std::size_t>(kShards));
+  json.field("store_threads", static_cast<std::size_t>(kStoreThreads));
+  json.field("ops_per_client", static_cast<std::size_t>(kOpsPerClient));
+  json.field("value_len", spec.value_len);
+  // Metrics (floats). failed/lease_conflicts are emitted as floats on
+  // purpose: identity fields must never vary run-to-run, and conflict
+  // counts legitimately do under concurrent clients.
+  json.field("ops_per_s", report.ops_per_s);
+  json.field("failed", static_cast<double>(report.failed));
+  json.field("lease_conflicts",
+             static_cast<double>(report.lease_conflicts));
+  for (unsigned t = 0; t < kOpTypes; ++t) {
+    const auto type = static_cast<OpType>(t);
+    const auto& per_type = report.per_type[t];
+    if (per_type.ops == 0) continue;
+    const std::string prefix = op_type_name(type);
+    json.field(prefix + "_ops_per_s",
+               static_cast<double>(per_type.ops) / report.wall_seconds);
+    json.field(prefix + "_p50_us", us(per_type.latency.quantile(0.5)));
+    json.field(prefix + "_p90_us", us(per_type.latency.quantile(0.9)));
+    json.field(prefix + "_p99_us", us(per_type.latency.quantile(0.99)));
+    json.field(prefix + "_p999_us", us(per_type.latency.quantile(0.999)));
+    json.field(prefix + "_mean_us", us(per_type.latency.mean()));
+  }
+  // Machine-relative tail ratios — the metrics CI guards across runners.
+  const auto& reads = report.type(OpType::kRead);
+  if (reads.ops > 0) {
+    json.field("read_p99_over_p50",
+               reads.latency.quantile(0.99) /
+                   reads.latency.quantile(0.5));
+  }
+  if (spec.faulted) {
+    json.field("degraded_stripe_reads", degraded_stripe_reads);
+    if (healthy_read_p99_us > 0.0) {
+      json.field("read_p99_over_healthy",
+                 us(reads.latency.quantile(0.99)) / healthy_read_p99_us);
+    }
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<MixSpec> specs = {
+      {"ycsb_a", OpMix::ycsb_a()},
+      {"ycsb_b", OpMix::ycsb_b()},
+      {"ycsb_c", OpMix::ycsb_c()},
+      {"write_heavy", OpMix::write_heavy(), KeyDist::kLatest},
+      {"scan_streaming", OpMix::scan_streaming(), KeyDist::kUniform,
+       kScanValueLen},
+      {"ycsb_c_faulted", OpMix::ycsb_c(), KeyDist::kZipfian, kValueLen,
+       /*faulted=*/true},
+  };
+
+  benchjson::JsonWriter json;
+  json.begin_object();
+  json.field("bench", std::string("workload"));
+  json.field("n", std::size_t{15});
+  json.field("k", std::size_t{8});
+  json.field("chunk_len", std::size_t{1024});
+  const bool own_pending = benchjson::stamp_host_fields(json);
+
+  double healthy_read_p99_us = 0.0;
+  json.begin_array("workload");
+  for (const auto& spec : specs) {
+    std::printf("running mix %s ...\n", spec.name.c_str());
+    std::fflush(stdout);
+
+    double degraded_stripe_reads = 0.0;
+    const WorkloadReport report = run_mix(spec, &degraded_stripe_reads);
+    if (spec.name == "ycsb_c") {
+      healthy_read_p99_us =
+          us(report.type(OpType::kRead).latency.quantile(0.99));
+    }
+    emit_mix_row(json, spec, report, degraded_stripe_reads,
+                 healthy_read_p99_us);
+  }
+  json.end_array();
+  json.end_object();
+
+  if (!benchjson::emit(json, benchjson::resolve_out_path(
+                                 "BENCH_workload.json"))) {
+    return 1;
+  }
+
+  // Loud reminder while any committed baseline is still a single-core
+  // emission (this box, or the protocol baseline from PR 2): the scaling
+  // guard stays unarmed until the CI artifact replaces the file. See
+  // bench/README.md.
+  if (own_pending || benchjson::file_has_pending_marker(
+                         "BENCH_protocol.json")) {
+    std::printf(
+        "\n"
+        "*****************************************************************\n"
+        "* REMINDER: a committed BENCH baseline still carries            *\n"
+        "* pending_multicore_baseline (this emission and/or              *\n"
+        "* BENCH_protocol.json). Scaling-ratio guards stay DISARMED      *\n"
+        "* until the baseline is re-committed from a multi-core run —    *\n"
+        "* grab the *_fresh.json CI artifact. See bench/README.md.       *\n"
+        "*****************************************************************\n");
+  }
+  return 0;
+}

@@ -182,6 +182,8 @@ BENCHMARK(BM_DecodeMatrixInversion)->Args({9, 6})->Args({15, 8})->Args({30, 20})
 #include "erasure/erasure_code.hpp"
 #include "gf/region.hpp"
 
+namespace benchjson = traperc::benchjson;
+
 namespace {
 
 // Unfused loop shape (k full passes per parity block over a zeroed
@@ -352,11 +354,7 @@ void run_sweep(const std::string& out_path) {
   json.end_array();
   json.end_object();
 
-  if (!json.write_file(out_path)) {
-    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
-  } else {
-    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
-  }
+  benchjson::emit(json, out_path);
 }
 
 }  // namespace
@@ -366,8 +364,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
   }
-  const char* out = std::getenv("TRAPERC_BENCH_OUT");
-  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_erasure.json");
+  run_sweep(benchjson::resolve_out_path("BENCH_erasure.json"));
   if (gbench) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -124,6 +124,8 @@ BENCHMARK(BM_XorRegion)->Arg(4096)->Arg(65536);
 #include "bench_json.hpp"
 #include "gf/kernels/kernels.hpp"
 
+namespace benchjson = traperc::benchjson;
+
 namespace {
 
 void run_sweep(const std::string& out_path) {
@@ -224,11 +226,7 @@ void run_sweep(const std::string& out_path) {
   json.end_array();
   json.end_object();
 
-  if (!json.write_file(out_path)) {
-    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
-  } else {
-    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
-  }
+  benchjson::emit(json, out_path);
 }
 
 }  // namespace
@@ -238,8 +236,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
   }
-  const char* out = std::getenv("TRAPERC_BENCH_OUT");
-  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_gf.json");
+  run_sweep(benchjson::resolve_out_path("BENCH_gf.json"));
   if (gbench) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

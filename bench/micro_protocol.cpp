@@ -16,7 +16,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 
 #include "bench_json.hpp"
 #include "common/rng.hpp"
@@ -422,15 +421,7 @@ void run_sweep(const std::string& out_path) {
   json.field("k", static_cast<std::size_t>(config.k));
   json.field("chunk_len", config.chunk_len);
   json.field("stripes_per_object", static_cast<std::size_t>(kStripesPerObject));
-  json.field("hardware_concurrency",
-             static_cast<std::size_t>(std::thread::hardware_concurrency()));
-  if (std::thread::hardware_concurrency() <= 1) {
-    // Marks this JSON as an acknowledged single-core emission: the
-    // regression guard downgrades its baseline-vs-multicore FAIL to a loud
-    // warning until a multi-core baseline replaces it (see
-    // scripts/check_bench_regression.py).
-    json.field("pending_multicore_baseline", static_cast<std::size_t>(1));
-  }
+  benchjson::stamp_host_fields(json);
 
   // The serial path: one shard, no pool, depth 1 — the pre-PR-2 ObjectStore
   // loop, modulo the batched per-stripe engine drive. Every other entry
@@ -602,11 +593,7 @@ void run_sweep(const std::string& out_path) {
   json.end_array();
   json.end_object();
 
-  if (!json.write_file(out_path)) {
-    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
-  } else {
-    std::printf("wrote %s\n%s\n", out_path.c_str(), json.str().c_str());
-  }
+  benchjson::emit(json, out_path);
 }
 
 }  // namespace
@@ -616,8 +603,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
   }
-  const char* out = std::getenv("TRAPERC_BENCH_OUT");
-  run_sweep(out != nullptr && out[0] != '\0' ? out : "BENCH_protocol.json");
+  run_sweep(benchjson::resolve_out_path("BENCH_protocol.json"));
   if (gbench) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

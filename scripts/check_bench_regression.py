@@ -5,10 +5,13 @@ committed baseline and fail on throughput regressions.
 Each BENCH file is one JSON object whose array-valued keys are sweep tables
 (lists of flat objects). Within a table, entries are matched between baseline
 and fresh by their identity fields (strings and integers: kernel, n, k, len,
-shards, threads, ...); the float-valued fields are the measured metrics. A
-fresh metric more than --tolerance below its baseline is a regression; a
-baseline entry with no fresh counterpart is a coverage loss. Both fail the
-check. Fresh-only entries and fresh-only metrics pass (new coverage).
+shards, threads, mix, ...); the float-valued fields are the measured metrics.
+Metrics are direction-aware: latency-shaped fields (percentiles, *_us, and
+tail ratios — see LOWER_IS_BETTER_RE) regress when the fresh value rises
+more than --tolerance above baseline; everything else (throughput, speedups)
+regresses when it falls more than --tolerance below. A baseline entry with
+no fresh counterpart is a coverage loss. Both fail the check. Fresh-only
+entries and fresh-only metrics pass (new coverage).
 
 Absolute MB/s numbers are machine-specific, so CI compares only the
 machine-relative ratio metrics (--fields speedup) against baselines committed
@@ -56,10 +59,18 @@ def format_identity(identity):
     return " ".join(f"{k}={v}" for k, v in identity) or "<unkeyed>"
 
 
-# Machine-relative ratios: speedup_vs_* (parallel vs serial) and ratio_vs_*
-# (e.g. degraded_get vs the healthy get loop). Both are comparable across
-# machines but meaningless as baselines when emitted on one core.
-SPEEDUP_RE = re.compile(r"speedup|ratio_vs")
+# Machine-relative ratios: speedup_vs_* (parallel vs serial), ratio_vs_*
+# (e.g. degraded_get vs the healthy get loop), and the workload bench's
+# *_over_* tail ratios (p99 over p50, faulted over healthy). All are
+# comparable across machines but meaningless as baselines when emitted on
+# one core (no real concurrency → no real tail).
+SPEEDUP_RE = re.compile(r"speedup|ratio_vs|_over_")
+
+# Lower-is-better metrics: latency percentiles / means (the workload bench
+# emits them as *_p50_us ... *_p999_us and *_mean_us) and tail-amplification
+# ratios (read_p99_over_p50, read_p99_over_healthy). A rise past tolerance
+# is the regression; a drop is an improvement.
+LOWER_IS_BETTER_RE = re.compile(r"_p\d+(_us)?$|_us$|_over_|latency")
 
 
 def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
@@ -99,12 +110,18 @@ def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
             if base_value <= 0:
                 continue
             ratio = fresh_value / base_value
+            lower_is_better = LOWER_IS_BETTER_RE.search(key) is not None
             line = (
                 f"{name}: {format_identity(identity)} {key} "
                 f"baseline={base_value:.2f} fresh={fresh_value:.2f} "
-                f"({ratio:.2f}x)"
+                f"({ratio:.2f}x{', lower is better' if lower_is_better else ''})"
             )
-            if ratio < 1.0 - tolerance:
+            regressed = (
+                ratio > 1.0 + tolerance
+                if lower_is_better
+                else ratio < 1.0 - tolerance
+            )
+            if regressed:
                 report.append("FAIL " + line)
                 failures += 1
             else:
@@ -124,7 +141,7 @@ def main():
     )
     parser.add_argument(
         "--fields",
-        default=r"mb_per_s|objects_per_s|speedup|ratio_vs",
+        default=r"mb_per_s|objects_per_s|ops_per_s|_us$|speedup|ratio_vs|_over_",
         help="regex selecting which float fields are guarded metrics",
     )
     parser.add_argument(

@@ -1,0 +1,77 @@
+#include "workload/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/protocol/sharded_store.hpp"
+
+namespace traperc::workload {
+
+void ShardedFaultTarget::kill_node(NodeId node) { store_->fail_node(node); }
+void ShardedFaultTarget::recover_node(NodeId node) {
+  store_->recover_node(node);
+}
+void ShardedFaultTarget::set_shard_down(unsigned shard, bool down) {
+  store_->set_shard_down(shard, down);
+}
+
+std::string FaultEvent::describe() const {
+  std::string what;
+  switch (kind) {
+    case Kind::kKillNode: what = "kill_node "; break;
+    case Kind::kRecoverNode: what = "recover_node "; break;
+    case Kind::kShardDown: what = "shard_down "; break;
+    case Kind::kShardUp: what = "shard_up "; break;
+  }
+  what += std::to_string(target);
+  what += " @ ";
+  what += std::to_string(at_progress);
+  return what;
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const auto& event : events_) {
+    TRAPERC_CHECK_MSG(event.at_progress >= 0.0 && event.at_progress <= 1.0,
+                      "fault progress points lie in [0, 1]");
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_progress < b.at_progress;
+                   });
+}
+
+void FaultSchedule::fire_due(std::uint64_t completed, std::uint64_t total,
+                             FaultTarget& target) {
+  for (;;) {
+    std::size_t index = cursor_.load(std::memory_order_acquire);
+    if (index >= events_.size()) return;
+    const FaultEvent& event = events_[index];
+    if (static_cast<double>(completed) <
+        event.at_progress * static_cast<double>(total)) {
+      return;
+    }
+    // Claim the event; a lost race means another completion fired it (or a
+    // later one) — re-read the cursor and retry.
+    if (!cursor_.compare_exchange_strong(index, index + 1,
+                                         std::memory_order_acq_rel)) {
+      continue;
+    }
+    switch (event.kind) {
+      case FaultEvent::Kind::kKillNode:
+        target.kill_node(static_cast<NodeId>(event.target));
+        break;
+      case FaultEvent::Kind::kRecoverNode:
+        target.recover_node(static_cast<NodeId>(event.target));
+        break;
+      case FaultEvent::Kind::kShardDown:
+        target.set_shard_down(event.target, true);
+        break;
+      case FaultEvent::Kind::kShardUp:
+        target.set_shard_down(event.target, false);
+        break;
+    }
+  }
+}
+
+}  // namespace traperc::workload

@@ -1,0 +1,101 @@
+// Mid-run fault injection for the workload harness.
+//
+// A FaultSchedule is a list of typed events pinned to *progress* points —
+// fractions of the run's total op count — rather than wall-clock times, so
+// "kill node 9 at 50%" fires at the same logical position on a fast
+// machine, a slow machine, and the deterministic threads==0 driver. Each
+// event fires exactly once: the completion that advances the global op
+// counter across an event's threshold claims it (an atomic cursor, so with
+// concurrent client threads exactly one thread injects).
+//
+// Events act on a FaultTarget — the thin injection interface the store
+// facades are adapted onto (ShardedFaultTarget wraps ShardedObjectStore's
+// fail_node / recover_node / set_shard_down fan-outs). The harness calls
+// FaultSchedule::fire_due after every completed op; tests and the bench
+// inspect fired() afterwards to assert every scheduled event ran.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace traperc::core {
+class ShardedObjectStore;
+}  // namespace traperc::core
+
+namespace traperc::workload {
+
+/// Injection surface the schedule drives. Implementations must be safe to
+/// call while harness clients have operations in flight (the sharded
+/// facade's liveness fan-outs are — the fault-matrix suites pin this).
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+  virtual void kill_node(NodeId node) = 0;
+  virtual void recover_node(NodeId node) = 0;
+  virtual void set_shard_down(unsigned shard, bool down) = 0;
+};
+
+/// FaultTarget over a ShardedObjectStore (node events fan out across every
+/// shard deployment; shard events mark one shard administratively down/up).
+class ShardedFaultTarget final : public FaultTarget {
+ public:
+  explicit ShardedFaultTarget(core::ShardedObjectStore& store) noexcept
+      : store_(&store) {}
+  void kill_node(NodeId node) override;
+  void recover_node(NodeId node) override;
+  void set_shard_down(unsigned shard, bool down) override;
+
+ private:
+  core::ShardedObjectStore* store_;
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kKillNode,     ///< target = node id
+    kRecoverNode,  ///< target = node id
+    kShardDown,    ///< target = shard index
+    kShardUp,      ///< target = shard index
+  };
+
+  double at_progress = 0.5;  ///< fires when completed/total >= this, [0, 1]
+  Kind kind = Kind::kKillNode;
+  std::uint32_t target = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  /// Events are sorted by at_progress (stable, so same-threshold events
+  /// fire in insertion order).
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Events fired so far (== events().size() after a completed run).
+  [[nodiscard]] std::size_t fired() const noexcept {
+    return cursor_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms every event (a schedule instance may drive several runs).
+  void reset() { cursor_.store(0, std::memory_order_release); }
+
+  /// Fires every not-yet-fired event whose threshold is covered by
+  /// `completed` out of `total` ops. The calling thread that wins the
+  /// cursor race performs the injection; others return immediately.
+  void fire_due(std::uint64_t completed, std::uint64_t total,
+                FaultTarget& target);
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::atomic<std::size_t> cursor_{0};  ///< next event to fire
+};
+
+}  // namespace traperc::workload

@@ -1,0 +1,293 @@
+#include "workload/harness.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace traperc::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using core::BatchResult;
+using core::OpTicket;
+using core::StoreClient;
+
+/// Completion side of the closed loop: the on_complete hook parks each
+/// finished ticket here (status, result id, completion timestamp); the
+/// submitting client blocks on its own ticket ids. Keyed by ticket id, so
+/// inline stores — whose callbacks fire *inside* submit_*, before the
+/// ticket is even returned to the client — work unchanged: the client
+/// finds its ticket already parked.
+struct Board {
+  struct Done {
+    core::Status status;
+    std::uint64_t result_id = 0;
+    Clock::time_point end{};
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, Done> done;
+
+  void park(const BatchResult& result) {
+    Done entry;
+    entry.status = result.status;
+    entry.result_id = result.id;
+    entry.end = Clock::now();
+    {
+      std::lock_guard lock(mutex);
+      done.emplace(result.ticket.id, std::move(entry));
+    }
+    cv.notify_all();
+  }
+
+  Done take(std::uint64_t ticket_id) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return done.count(ticket_id) != 0; });
+    auto it = done.find(ticket_id);
+    Done entry = std::move(it->second);
+    done.erase(it);
+    return entry;
+  }
+};
+
+/// The live object population: preloaded ids plus everything inserted
+/// mid-run. Append-only (the op mixes never forget), so a snapshot of
+/// (size, id-at-index) is all a client needs per draw.
+struct Population {
+  mutable std::mutex mutex;
+  std::vector<std::uint64_t> ids;
+
+  [[nodiscard]] std::uint64_t size() const {
+    std::lock_guard lock(mutex);
+    return ids.size();
+  }
+  [[nodiscard]] std::uint64_t at(std::uint64_t index) const {
+    std::lock_guard lock(mutex);
+    return ids[index];
+  }
+  void append(std::uint64_t id) {
+    std::lock_guard lock(mutex);
+    ids.push_back(id);
+  }
+};
+
+struct Client {
+  unsigned index = 0;
+  Rng rng{0};
+  std::unique_ptr<KeyChooser> chooser;
+  std::array<OpTypeReport, kOpTypes> types;
+  std::vector<OpRecord> trace;
+};
+
+std::vector<std::uint8_t> random_value(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> value(len);
+  for (auto& byte : value) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return value;
+}
+
+}  // namespace
+
+WorkloadHarness::WorkloadHarness(core::StoreClient& store,
+                                 WorkloadOptions options)
+    : store_(store), options_(std::move(options)) {
+  TRAPERC_CHECK_MSG(options_.clients >= 1, "need at least one client");
+  TRAPERC_CHECK_MSG(options_.ops_per_client >= 1, "need at least one op");
+  TRAPERC_CHECK_MSG(options_.initial_population >= 1,
+                    "key choosers need a non-empty population");
+  TRAPERC_CHECK_MSG(options_.value_len >= 1, "objects must be non-empty");
+  TRAPERC_CHECK_MSG(
+      options_.faults == nullptr || options_.faults->empty() ||
+          options_.fault_target != nullptr,
+      "a fault schedule with events needs a fault target to act on");
+}
+
+WorkloadReport WorkloadHarness::run() {
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(options_.clients) * options_.ops_per_client;
+
+  // -- preload (outside the measured window) ------------------------------
+  Population population;
+  Rng preload_rng = Rng(options_.seed).split(0);
+  for (std::uint64_t i = 0; i < options_.initial_population; ++i) {
+    const auto value = random_value(preload_rng, options_.value_len);
+    const auto id = store_.put(value);
+    TRAPERC_CHECK_MSG(id.ok(), "workload preload put failed");
+    population.append(*id);
+  }
+
+  // -- clients ------------------------------------------------------------
+  std::vector<Client> clients(options_.clients);
+  for (unsigned c = 0; c < options_.clients; ++c) {
+    clients[c].index = c;
+    clients[c].rng = Rng(options_.seed).split(c + 1);
+    clients[c].chooser =
+        make_key_chooser(options_.key_dist, options_.zipf_theta);
+    if (options_.record_trace) {
+      clients[c].trace.reserve(options_.ops_per_client);
+    }
+  }
+
+  Board board;
+  std::atomic<std::uint64_t> completed{0};
+  if (options_.faults != nullptr) options_.faults->reset();
+
+  // One closed-loop step of `client`: sample, submit, block on the
+  // completion board, account. Runs on the driver thread (client_threads ==
+  // 0) or on the client's OS thread.
+  const auto step = [&](Client& client) {
+    const OpType type = options_.mix.sample(client.rng);
+    const std::uint64_t pop_size = population.size();
+    OpRecord record;
+    record.type = type;
+
+    core::Status status;
+    Clock::time_point end;
+    const Clock::time_point start = Clock::now();
+    switch (type) {
+      case OpType::kInsert: {
+        record.key = pop_size;  // trace: the size the insert appended at
+        auto value = random_value(client.rng, options_.value_len);
+        const OpTicket ticket = store_.submit_put(std::move(value));
+        Board::Done done = board.take(ticket.id);
+        status = done.status;
+        end = done.end;
+        record.object = done.result_id;
+        if (status.ok()) population.append(done.result_id);
+        break;
+      }
+      case OpType::kRead: {
+        record.key = client.chooser->next(client.rng, pop_size);
+        record.object = population.at(record.key);
+        const OpTicket ticket =
+            store_.submit_get(record.object, options_.read_options);
+        Board::Done done = board.take(ticket.id);
+        status = done.status;
+        end = done.end;
+        break;
+      }
+      case OpType::kOverwrite: {
+        record.key = client.chooser->next(client.rng, pop_size);
+        record.object = population.at(record.key);
+        auto value = random_value(client.rng, options_.value_len);
+        const OpTicket ticket =
+            store_.submit_overwrite(record.object, std::move(value));
+        Board::Done done = board.take(ticket.id);
+        status = done.status;
+        end = done.end;
+        break;
+      }
+      case OpType::kScan: {
+        record.key = client.chooser->next(client.rng, pop_size);
+        record.object = population.at(record.key);
+        const std::vector<OpTicket> tickets =
+            store_.submit_get_streaming(record.object, options_.read_options);
+        end = start;
+        for (const OpTicket& ticket : tickets) {
+          Board::Done done = board.take(ticket.id);
+          if (status.ok() && !done.status.ok()) status = done.status;
+          if (done.end > end) end = done.end;
+        }
+        break;
+      }
+    }
+
+    OpTypeReport& report = client.types[static_cast<unsigned>(type)];
+    report.ops += 1;
+    if (status.ok()) {
+      report.ok += 1;
+    } else if (status.code() == core::ErrorCode::kLeaseConflict) {
+      report.lease_conflicts += 1;
+    } else {
+      report.failed += 1;
+    }
+    const auto latency =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    report.latency.record(latency > 0 ? static_cast<std::uint64_t>(latency)
+                                      : 0);
+    if (options_.record_trace) {
+      record.code = status.code();
+      client.trace.push_back(record);
+    }
+
+    const std::uint64_t done_now =
+        completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (options_.faults != nullptr && options_.fault_target != nullptr) {
+      options_.faults->fire_due(done_now, total_ops, *options_.fault_target);
+    }
+  };
+
+  // -- measured phase -----------------------------------------------------
+  store_.on_complete([&board](const BatchResult& result) {
+    board.park(result);
+  });
+  const Clock::time_point run_start = Clock::now();
+
+  if (options_.client_threads == 0) {
+    // Deterministic driver: strict round-robin, one op in flight globally.
+    for (unsigned op = 0; op < options_.ops_per_client; ++op) {
+      for (auto& client : clients) step(client);
+    }
+  } else {
+    const unsigned threads =
+        options_.client_threads < options_.clients ? options_.client_threads
+                                                   : options_.clients;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        // Thread t drives clients t, t+T, t+2T, ... round-robin, each op
+        // completing before the thread issues the next (closed loop per
+        // thread; at threads == clients, closed loop per client).
+        for (unsigned op = 0; op < options_.ops_per_client; ++op) {
+          for (unsigned c = t; c < options_.clients; c += threads) {
+            step(clients[c]);
+          }
+        }
+      });
+    }
+    for (auto& thread : pool) thread.join();
+  }
+
+  (void)store_.wait_all();  // flush barrier: every callback has fired
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  store_.on_complete(nullptr);
+  TRAPERC_CHECK_MSG(board.done.empty(),
+                    "every parked completion must have been consumed");
+
+  // -- report -------------------------------------------------------------
+  WorkloadReport report;
+  report.wall_seconds = wall;
+  report.total_ops = total_ops;
+  report.ops_per_s =
+      wall > 0.0 ? static_cast<double>(total_ops) / wall : 0.0;
+  for (auto& client : clients) {
+    for (unsigned t = 0; t < kOpTypes; ++t) {
+      report.per_type[t].merge(client.types[t]);
+    }
+  }
+  for (const auto& per_type : report.per_type) {
+    report.failed += per_type.failed;
+    report.lease_conflicts += per_type.lease_conflicts;
+  }
+  report.population_end = population.size();
+  if (options_.record_trace) {
+    report.traces.reserve(clients.size());
+    for (auto& client : clients) {
+      report.traces.push_back(std::move(client.trace));
+    }
+  }
+  return report;
+}
+
+}  // namespace traperc::workload

@@ -1,0 +1,144 @@
+// WorkloadHarness — N concurrent closed-loop clients over one StoreClient.
+//
+// The traffic model the ROADMAP's "millions of users" arc is measured
+// against: every client is a closed loop (one operation outstanding; the
+// next op is sampled only after the previous one's completion callback
+// fires), op types come from a YCSB-style OpMix, and the touched object
+// comes from a KeyChooser (zipfian by default) over the live population.
+// All clients share ONE StoreClient and drive it exclusively through the
+// async surface — submit_put / submit_get / submit_overwrite /
+// submit_get_streaming with an on_complete callback — so the harness
+// exercises exactly the batching engine production callers use, including
+// its in-flight window back-pressure (a submit blocks while the window is
+// full, and that stall is *part of the measured latency*, as it would be
+// for a real client).
+//
+// Latency is measured per operation from just before its submit_* call to
+// the completion callback of its final ticket (a scan's last stripe), on
+// the wall clock, and recorded into per-client, per-op-type
+// LatencyHistograms — merged only after the run, so the hot loop never
+// shares a cache line between clients.
+//
+// Determinism contract (the acceptance bar the tests pin): with
+// options.client_threads == 0 the harness drives every client round-robin
+// on the calling thread — client 0 op 0, client 1 op 0, ..., client 0
+// op 1, ... — each op completing before the next is issued. All randomness
+// comes from per-client split() streams of options.seed, so identical
+// seeds reproduce identical op sequences (type, key, target object, and —
+// over an inline store — identical result codes), regardless of wall-clock
+// noise. With client_threads > 0 the same per-client streams are driven
+// from OS threads: each client's own op sequence is still seed-determined;
+// only the cross-client interleaving (and therefore lease-conflict
+// outcomes and latency) varies.
+//
+// Fault injection: an optional FaultSchedule fires node-kill / shard-down
+// events when the global completed-op counter crosses configured progress
+// fractions — mid-run, while other clients have operations in flight. Runs
+// that must serve through the fault set options.read_options.allow_degraded
+// so reads fall back to survivor reconstruction; the report then shows
+// zero failed ops and the store's stats().degraded counters account for
+// every stripe served off the protocol path.
+//
+// Error accounting: a completion that reports kLeaseConflict is counted as
+// a *conflict*, not a failure — two closed-loop writers hitting the same
+// zipfian-hot object is the contention the lease layer exists to
+// serialize, and the loser's op completed with its contractual outcome.
+// Every other non-ok status counts as failed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol/store_client.hpp"
+#include "workload/fault_schedule.hpp"
+#include "workload/key_chooser.hpp"
+#include "workload/latency_histogram.hpp"
+#include "workload/op_mix.hpp"
+
+namespace traperc::workload {
+
+struct WorkloadOptions {
+  unsigned clients = 4;             ///< closed-loop clients (>= 1)
+  unsigned ops_per_client = 256;    ///< measured ops each client issues
+  std::uint64_t initial_population = 32;  ///< objects preloaded (>= 1)
+  std::size_t value_len = 4096;     ///< object size for preload/insert/overwrite
+  std::uint64_t seed = 1;           ///< root seed; client c uses split(c + 1)
+  /// 0 = deterministic round-robin on the calling thread (one op in flight
+  /// globally). T >= 1 = min(T, clients) OS threads, clients distributed
+  /// round-robin across them, each thread driving its clients closed-loop.
+  unsigned client_threads = 0;
+  OpMix mix = OpMix::ycsb_b();
+  KeyDist key_dist = KeyDist::kZipfian;
+  double zipf_theta = ZipfianGenerator::kDefaultTheta;
+  /// Read knobs for submit_get / submit_get_streaming (degraded serving).
+  core::ReadOptions read_options;
+  /// Optional mid-run fault injection; `fault_target` must be non-null when
+  /// `faults` has events. The schedule is reset() at run() entry.
+  FaultSchedule* faults = nullptr;
+  FaultTarget* fault_target = nullptr;
+  /// Record every issued op into WorkloadReport::traces (determinism tests).
+  bool record_trace = false;
+};
+
+/// One issued operation, as recorded in a client's trace.
+struct OpRecord {
+  OpType type = OpType::kRead;
+  std::uint64_t key = 0;     ///< population index drawn (insert: size at draw)
+  std::uint64_t object = 0;  ///< target object id (insert: the allocated id)
+  core::ErrorCode code = core::ErrorCode::kOk;
+
+  [[nodiscard]] friend bool operator==(const OpRecord&,
+                                       const OpRecord&) = default;
+};
+
+struct OpTypeReport {
+  std::uint64_t ops = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;           ///< non-ok, excluding lease conflicts
+  std::uint64_t lease_conflicts = 0;  ///< kLeaseConflict completions
+  LatencyHistogram latency;           ///< merged across clients
+
+  void merge(const OpTypeReport& other) {
+    ops += other.ops;
+    ok += other.ok;
+    failed += other.failed;
+    lease_conflicts += other.lease_conflicts;
+    latency.merge(other.latency);
+  }
+};
+
+struct WorkloadReport {
+  double wall_seconds = 0.0;  ///< measured phase only (preload excluded)
+  std::uint64_t total_ops = 0;
+  double ops_per_s = 0.0;
+  std::array<OpTypeReport, kOpTypes> per_type;
+  std::uint64_t failed = 0;
+  std::uint64_t lease_conflicts = 0;
+  std::uint64_t population_end = 0;  ///< objects live after the run
+  /// Per-client op traces (record_trace only), in issue order.
+  std::vector<std::vector<OpRecord>> traces;
+
+  [[nodiscard]] const OpTypeReport& type(OpType t) const {
+    return per_type[static_cast<unsigned>(t)];
+  }
+};
+
+class WorkloadHarness {
+ public:
+  /// The store must be idle (no async ops pending, no completion callback
+  /// installed); run() installs and uninstalls its own on_complete hook.
+  WorkloadHarness(core::StoreClient& store, WorkloadOptions options);
+
+  /// Preloads the population (outside the measured window), runs every
+  /// client to completion, flushes the async engine, and reports. May be
+  /// called again: each run preloads additional objects on top of the
+  /// store's existing contents and re-arms the fault schedule.
+  WorkloadReport run();
+
+ private:
+  core::StoreClient& store_;
+  WorkloadOptions options_;
+};
+
+}  // namespace traperc::workload

@@ -1,0 +1,87 @@
+#include "workload/key_chooser.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::workload {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : theta_(theta) {
+  TRAPERC_CHECK_MSG(items >= 1, "zipfian domain must be non-empty");
+  TRAPERC_CHECK_MSG(theta > 0.0 && theta < 1.0,
+                    "theta must lie in (0, 1)");
+  grow(items);
+}
+
+void ZipfianGenerator::grow(std::uint64_t items) {
+  if (items <= cdf_.size()) return;
+  cdf_.reserve(items);
+  double sum = cdf_.empty() ? 0.0 : cdf_.back();
+  for (std::uint64_t r = cdf_.size(); r < items; ++r) {
+    sum += std::pow(static_cast<double>(r + 1), -theta_);
+    cdf_.push_back(sum);
+  }
+}
+
+double ZipfianGenerator::probability(std::uint64_t rank) const {
+  TRAPERC_CHECK(rank < cdf_.size());
+  return std::pow(static_cast<double>(rank + 1), -theta_) / cdf_.back();
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  // Invert the exact CDF: u uniform in [0, zetan), rank = the first r with
+  // cdf_[r] > u. Ties (u exactly on a partial sum) have measure zero and
+  // resolve to the higher rank — irrelevant for the distribution.
+  const double u = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank =
+      static_cast<std::uint64_t>(std::distance(cdf_.begin(), it));
+  return rank >= cdf_.size() ? cdf_.size() - 1 : rank;
+}
+
+std::uint64_t UniformChooser::next(Rng& rng, std::uint64_t population) {
+  TRAPERC_CHECK(population >= 1);
+  return rng.next_below(population);
+}
+
+std::uint64_t ZipfianChooser::next(Rng& rng, std::uint64_t population) {
+  TRAPERC_CHECK(population >= 1);
+  if (zipf_ == nullptr) {
+    zipf_ = std::make_unique<ZipfianGenerator>(population, theta_);
+  } else {
+    zipf_->grow(population);
+  }
+  // The domain never shrinks (forget is not part of the op mixes), but a
+  // caller-supplied smaller population still gets a valid key.
+  const std::uint64_t rank = zipf_->next(rng);
+  return rank >= population ? population - 1 : rank;
+}
+
+std::uint64_t LatestChooser::next(Rng& rng, std::uint64_t population) {
+  TRAPERC_CHECK(population >= 1);
+  if (zipf_ == nullptr) {
+    zipf_ = std::make_unique<ZipfianGenerator>(population, theta_);
+  } else {
+    zipf_->grow(population);
+  }
+  std::uint64_t rank = zipf_->next(rng);
+  if (rank >= population) rank = population - 1;
+  return population - 1 - rank;
+}
+
+std::unique_ptr<KeyChooser> make_key_chooser(KeyDist dist, double theta) {
+  switch (dist) {
+    case KeyDist::kUniform:
+      return std::make_unique<UniformChooser>();
+    case KeyDist::kZipfian:
+      return std::make_unique<ZipfianChooser>(theta);
+    case KeyDist::kLatest:
+      return std::make_unique<LatestChooser>(theta);
+  }
+  TRAPERC_CHECK_MSG(false, "unknown KeyDist");
+  return nullptr;
+}
+
+}  // namespace traperc::workload

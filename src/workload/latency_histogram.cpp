@@ -1,0 +1,81 @@
+#include "workload/latency_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace traperc::workload {
+
+unsigned LatencyHistogram::bucket_index(std::uint64_t value_ns) noexcept {
+  if (value_ns < kLinearMax) return static_cast<unsigned>(value_ns);
+  // Octave e: 2^e <= value < 2^(e+1), e >= kSubBucketBits + 1. The top
+  // kSubBucketBits bits below the leading one select the linear sub-bucket.
+  const unsigned e = 63 - static_cast<unsigned>(std::countl_zero(value_ns));
+  const unsigned sub = static_cast<unsigned>(
+      (value_ns >> (e - kSubBucketBits)) - kSubBuckets);
+  const unsigned index =
+      static_cast<unsigned>(kLinearMax) +
+      (e - (kSubBucketBits + 1)) * kSubBuckets + sub;
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+LatencyHistogram::Bounds LatencyHistogram::bucket_bounds(
+    unsigned index) noexcept {
+  if (index < kLinearMax) return {index, index + 1};
+  const unsigned rel = index - static_cast<unsigned>(kLinearMax);
+  const unsigned e = kSubBucketBits + 1 + rel / kSubBuckets;
+  const unsigned sub = rel % kSubBuckets;
+  const std::uint64_t width = std::uint64_t{1} << (e - kSubBucketBits);
+  const std::uint64_t lower =
+      (std::uint64_t{kSubBuckets} + sub) << (e - kSubBucketBits);
+  return {lower, lower + width};
+}
+
+void LatencyHistogram::record(std::uint64_t value_ns) {
+  buckets_[bucket_index(value_ns)] += 1;
+  count_ += 1;
+  if (value_ns > max_) max_ = value_ns;
+  sum_ += static_cast<double>(value_ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (unsigned i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LatencyHistogram::min() const noexcept {
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] != 0) return bucket_bounds(i).lower;
+  }
+  return 0;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+LatencyHistogram::Bounds LatencyHistogram::quantile_bounds(double q) const {
+  TRAPERC_CHECK_MSG(count_ > 0, "quantile of an empty histogram");
+  TRAPERC_CHECK(q > 0.0 && q <= 1.0);
+  // Nearest-rank: the ceil(q * count)-th smallest sample (1-based).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) return bucket_bounds(i);
+  }
+  return bucket_bounds(kBucketCount - 1);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const Bounds b = quantile_bounds(q);
+  return (static_cast<double>(b.lower) + static_cast<double>(b.upper - 1)) /
+         2.0;
+}
+
+}  // namespace traperc::workload

@@ -1,0 +1,80 @@
+// Fixed-bucket log-linear latency histogram (HdrHistogram-style layout,
+// fixed footprint, no allocation after construction).
+//
+// Values are nanoseconds in [0, 2^63). Layout: values below 64 land in one
+// exact 1-ns bucket each; above that, every power-of-two octave [2^e,
+// 2^(e+1)) splits into kSubBuckets linear sub-buckets, so any recorded
+// value lands in a bucket whose width is at most value / kSubBuckets. A
+// quantile therefore comes back as a bucket interval [lower, upper) whose
+// relative width is <= 1/kSubBuckets (~3.1% at 32) — the exact error bound
+// the reference tests assert.
+//
+// Quantile convention: quantile_bounds(q) for q in (0, 1] locates the
+// bucket holding the ceil(q * count)-th smallest recorded value (1-based
+// rank, the "nearest-rank" definition). Because the histogram counts every
+// sample, the same rank computed over a fully sorted copy of the inputs
+// always falls inside the returned bucket — sorted-vector reference tests
+// are exact, not approximate.
+//
+// Histograms merge by bucket-count addition: merge() is associative and
+// commutative, so per-client histograms combine into per-op-type totals in
+// any order with identical results (tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace traperc::workload {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 5;  ///< 32 sub-buckets/octave
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+  /// Values below this are recorded exactly (1-ns buckets).
+  static constexpr std::uint64_t kLinearMax = 2 * kSubBuckets;
+  static constexpr unsigned kOctaves = 63 - (kSubBucketBits + 1);
+  static constexpr unsigned kBucketCount =
+      static_cast<unsigned>(kLinearMax) + kOctaves * kSubBuckets;
+
+  /// Bucket interval [lower, upper) handed back by quantile_bounds.
+  struct Bounds {
+    std::uint64_t lower = 0;
+    std::uint64_t upper = 0;  ///< exclusive
+  };
+
+  void record(std::uint64_t value_ns);
+
+  /// Adds `other`'s counts into this histogram (associative, commutative).
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  /// Mean of the exact recorded values (the sum is kept exactly).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Bucket holding the ceil(q * count)-th smallest sample, q in (0, 1].
+  /// Requires count() > 0.
+  [[nodiscard]] Bounds quantile_bounds(double q) const;
+
+  /// Point estimate for reporting: the bucket midpoint (exact for the 1-ns
+  /// linear buckets). Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket index for `value_ns` and the bucket's [lower, upper) interval
+  /// (exposed for the reference tests).
+  [[nodiscard]] static unsigned bucket_index(std::uint64_t value_ns) noexcept;
+  [[nodiscard]] static Bounds bucket_bounds(unsigned index) noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_count(unsigned index) const {
+    return buckets_[index];
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace traperc::workload

@@ -1,0 +1,62 @@
+#include "workload/op_mix.hpp"
+
+#include "common/check.hpp"
+
+namespace traperc::workload {
+
+const char* op_type_name(OpType type) noexcept {
+  switch (type) {
+    case OpType::kRead: return "read";
+    case OpType::kOverwrite: return "overwrite";
+    case OpType::kInsert: return "insert";
+    case OpType::kScan: return "scan";
+  }
+  return "unknown";
+}
+
+OpType OpMix::sample(Rng& rng) const {
+  double total = 0.0;
+  for (const double w : weights) {
+    TRAPERC_CHECK_MSG(w >= 0.0, "op-mix weights must be non-negative");
+    total += w;
+  }
+  TRAPERC_CHECK_MSG(total > 0.0, "op mix needs at least one positive weight");
+  double u = rng.next_double() * total;
+  for (unsigned i = 0; i < kOpTypes; ++i) {
+    u -= weights[i];
+    if (u < 0.0) return static_cast<OpType>(i);
+  }
+  // Floating-point tail: the last positively weighted type.
+  for (unsigned i = kOpTypes; i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<OpType>(i);
+  }
+  return OpType::kRead;
+}
+
+namespace {
+OpMix make(std::string name, double read, double overwrite, double insert,
+           double scan) {
+  OpMix mix;
+  mix.name = std::move(name);
+  mix.weights[static_cast<unsigned>(OpType::kRead)] = read;
+  mix.weights[static_cast<unsigned>(OpType::kOverwrite)] = overwrite;
+  mix.weights[static_cast<unsigned>(OpType::kInsert)] = insert;
+  mix.weights[static_cast<unsigned>(OpType::kScan)] = scan;
+  return mix;
+}
+}  // namespace
+
+OpMix OpMix::ycsb_a() { return make("ycsb_a", 0.50, 0.50, 0.0, 0.0); }
+OpMix OpMix::ycsb_b() { return make("ycsb_b", 0.95, 0.05, 0.0, 0.0); }
+OpMix OpMix::ycsb_c() { return make("ycsb_c", 1.0, 0.0, 0.0, 0.0); }
+OpMix OpMix::write_heavy() {
+  return make("write_heavy", 0.10, 0.40, 0.50, 0.0);
+}
+OpMix OpMix::overwrite_heavy() {
+  return make("overwrite_heavy", 0.10, 0.90, 0.0, 0.0);
+}
+OpMix OpMix::scan_streaming() {
+  return make("scan_streaming", 0.0, 0.05, 0.0, 0.95);
+}
+
+}  // namespace traperc::workload

@@ -1,0 +1,55 @@
+// YCSB-style operation mixes for the workload harness.
+//
+// An OpMix is a weighted distribution over the four client operations the
+// StoreClient surface offers the harness:
+//   kRead      — whole-object submit_get
+//   kOverwrite — in-place submit_overwrite (YCSB "update")
+//   kInsert    — submit_put of a fresh object (grows the population)
+//   kScan      — submit_get_streaming: one ticket per stripe, the whole
+//                object consumed in stripe order (YCSB "scan" analogue —
+//                the store is an object store, so a scan walks one object's
+//                stripes rather than a key range)
+//
+// The named profiles mirror the YCSB core workloads the evaluation
+// literature reports against (memec's experiment sweeps run exactly these
+// shapes): A (50/50 read/update), B (95/5 read-heavy), C (read-only — the
+// profile the fault-injection runs use so a mid-run node kill must be
+// absorbed by degraded reads, never by write-path errors), plus a
+// write-heavy ingest mix and a scan/streaming mix (YCSB E analogue).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace traperc::workload {
+
+enum class OpType : std::uint8_t { kRead, kOverwrite, kInsert, kScan };
+inline constexpr unsigned kOpTypes = 4;
+
+[[nodiscard]] const char* op_type_name(OpType type) noexcept;
+
+struct OpMix {
+  std::string name;
+  /// Non-negative weights, at least one positive; sample() normalizes.
+  std::array<double, kOpTypes> weights{};  ///< indexed by OpType
+
+  [[nodiscard]] double weight(OpType type) const noexcept {
+    return weights[static_cast<unsigned>(type)];
+  }
+
+  /// Draws one op type. Consumes exactly one next_double() from `rng`.
+  [[nodiscard]] OpType sample(Rng& rng) const;
+
+  // -- named profiles ------------------------------------------------------
+  static OpMix ycsb_a();          ///< 50% read / 50% overwrite
+  static OpMix ycsb_b();          ///< 95% read / 5% overwrite
+  static OpMix ycsb_c();          ///< 100% read
+  static OpMix write_heavy();     ///< 50% insert / 40% overwrite / 10% read
+  static OpMix overwrite_heavy(); ///< 90% overwrite / 10% read
+  static OpMix scan_streaming();  ///< 95% scan / 5% overwrite (YCSB E-ish)
+};
+
+}  // namespace traperc::workload

@@ -1,0 +1,287 @@
+// WorkloadHarness tests over both StoreClient facades: op-mix sampling and
+// accounting, the threads==0 determinism contract (identical seeds →
+// identical per-client op traces), mid-run fault injection absorbed by
+// degraded reads (zero failed ops, nonzero stats().degraded), shard-down
+// flaps absorbed by the remap ledger, and concurrent-client runs on a
+// pooled store.
+#include "workload/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/protocol/cluster.hpp"
+#include "core/protocol/object_store.hpp"
+#include "core/protocol/sharded_store.hpp"
+#include "workload/fault_schedule.hpp"
+
+namespace traperc::workload {
+namespace {
+
+using core::Mode;
+using core::ObjectStore;
+using core::ProtocolConfig;
+using core::ShardedObjectStore;
+using core::ShardedStoreOptions;
+using core::SimCluster;
+
+ProtocolConfig small_config() {
+  auto config = ProtocolConfig::for_code(15, 8, 1);
+  config.chunk_len = 64;  // stripe capacity = 8 * 64 = 512 bytes
+  return config;
+}
+
+std::unique_ptr<ShardedObjectStore> make_store(unsigned threads,
+                                               unsigned window = 8) {
+  ShardedStoreOptions options;
+  options.shards = 3;
+  options.threads = threads;
+  options.pipeline_depth = 2;
+  options.async_window = window;
+  return std::make_unique<ShardedObjectStore>(small_config(), options);
+}
+
+/// Quorum-starving kill set for (15, 8, 1): read quorums die, 9 >= k
+/// survivors keep every block reconstructible (see store_degraded_test).
+const NodeId kReadStarveKills[] = {0, 8, 9, 10, 11, 12};
+
+WorkloadOptions base_options() {
+  WorkloadOptions options;
+  options.clients = 4;
+  options.ops_per_client = 24;
+  options.initial_population = 12;
+  options.value_len = 700;  // 2 stripes at 512-byte capacity
+  options.seed = 11;
+  options.client_threads = 0;
+  options.record_trace = true;
+  return options;
+}
+
+// -- determinism ------------------------------------------------------------
+
+TEST(WorkloadHarness, IdenticalSeedAndInlineStoreReproduceIdenticalTraces) {
+  WorkloadReport reports[2];
+  for (int round = 0; round < 2; ++round) {
+    auto store = make_store(/*threads=*/0);  // inline, deterministic
+    auto options = base_options();
+    options.mix = OpMix::write_heavy();  // all four accounting paths
+    WorkloadHarness harness(*store, options);
+    reports[round] = harness.run();
+  }
+  ASSERT_EQ(reports[0].traces.size(), reports[1].traces.size());
+  for (std::size_t c = 0; c < reports[0].traces.size(); ++c) {
+    ASSERT_EQ(reports[0].traces[c].size(), reports[1].traces[c].size());
+    for (std::size_t i = 0; i < reports[0].traces[c].size(); ++i) {
+      ASSERT_EQ(reports[0].traces[c][i], reports[1].traces[c][i])
+          << "client " << c << " op " << i;
+    }
+  }
+  EXPECT_EQ(reports[0].population_end, reports[1].population_end);
+  EXPECT_EQ(reports[0].failed, 0u);
+  EXPECT_EQ(reports[1].failed, 0u);
+  // The serial driver has one op in flight globally: lease conflicts are
+  // impossible by construction.
+  EXPECT_EQ(reports[0].lease_conflicts, 0u);
+}
+
+TEST(WorkloadHarness, DifferentSeedsProduceDifferentTraces) {
+  WorkloadReport reports[2];
+  for (int round = 0; round < 2; ++round) {
+    auto store = make_store(0);
+    auto options = base_options();
+    options.seed = round == 0 ? 11 : 12;
+    WorkloadHarness harness(*store, options);
+    reports[round] = harness.run();
+  }
+  EXPECT_NE(reports[0].traces, reports[1].traces);
+}
+
+// -- accounting -------------------------------------------------------------
+
+TEST(WorkloadHarness, AccountingIsExactAcrossOpTypes) {
+  auto store = make_store(0);
+  auto options = base_options();
+  options.mix = OpMix::write_heavy();
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+
+  const std::uint64_t expected_ops =
+      static_cast<std::uint64_t>(options.clients) * options.ops_per_client;
+  EXPECT_EQ(report.total_ops, expected_ops);
+  std::uint64_t ops = 0;
+  std::uint64_t latencies = 0;
+  for (const auto& per_type : report.per_type) {
+    EXPECT_EQ(per_type.ops, per_type.ok + per_type.failed +
+                                per_type.lease_conflicts);
+    EXPECT_EQ(per_type.latency.count(), per_type.ops);
+    ops += per_type.ops;
+    latencies += per_type.latency.count();
+  }
+  EXPECT_EQ(ops, expected_ops);
+  EXPECT_EQ(latencies, expected_ops);
+  EXPECT_EQ(report.failed, 0u);
+  // Every successful insert grew the population past the preload.
+  EXPECT_EQ(report.population_end,
+            options.initial_population + report.type(OpType::kInsert).ok);
+  // write_heavy actually exercised inserts and overwrites.
+  EXPECT_GT(report.type(OpType::kInsert).ops, 0u);
+  EXPECT_GT(report.type(OpType::kOverwrite).ops, 0u);
+  EXPECT_GT(report.ops_per_s, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(WorkloadHarness, ScanMixStreamsMultiStripeObjects) {
+  auto store = make_store(0);
+  auto options = base_options();
+  options.mix = OpMix::scan_streaming();
+  options.value_len = 1300;  // 3 stripes — real multi-ticket streams
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.type(OpType::kScan).ops, 0u);
+  EXPECT_EQ(report.type(OpType::kScan).failed, 0u);
+  // Streaming tickets flowed through the same async engine.
+  EXPECT_GT(store->stats().ops_succeeded, 0u);
+}
+
+TEST(WorkloadHarness, RunsOverSingleDeploymentObjectStore) {
+  SimCluster cluster(small_config());
+  ObjectStore store(cluster);
+  auto options = base_options();
+  options.mix = OpMix::ycsb_a();
+  WorkloadHarness harness(store, options);
+  const auto report = harness.run();
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.type(OpType::kRead).ops, 0u);
+  EXPECT_GT(report.type(OpType::kOverwrite).ops, 0u);
+}
+
+// -- fault injection --------------------------------------------------------
+
+TEST(WorkloadHarness, MidRunNodeKillIsAbsorbedByDegradedReads) {
+  auto store = make_store(0);
+  std::vector<FaultEvent> events;
+  for (const NodeId node : kReadStarveKills) {
+    events.push_back({0.5, FaultEvent::Kind::kKillNode, node});
+  }
+  FaultSchedule faults(std::move(events));
+  ShardedFaultTarget target(*store);
+
+  auto options = base_options();
+  options.mix = OpMix::ycsb_c();  // read-only through the fault
+  options.read_options.allow_degraded = true;
+  options.faults = &faults;
+  options.fault_target = &target;
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+
+  // Every event fired, at mid-run, and the run completed clean: the kill
+  // set starves every read quorum, so the second half of the run can only
+  // have been served by degraded reconstruction.
+  EXPECT_EQ(faults.fired(), std::size(kReadStarveKills));
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.type(OpType::kRead).ok, report.type(OpType::kRead).ops);
+  const auto stats = store->stats();
+  EXPECT_GT(stats.degraded.stripe_reads, 0u);
+  EXPECT_GT(stats.degraded.blocks_decoded, 0u);
+}
+
+TEST(WorkloadHarness, FaultedRunIsDeterministicAtThreadsZero) {
+  WorkloadReport reports[2];
+  std::uint64_t degraded_reads[2] = {0, 0};
+  for (int round = 0; round < 2; ++round) {
+    auto store = make_store(0);
+    std::vector<FaultEvent> events;
+    for (const NodeId node : kReadStarveKills) {
+      events.push_back({0.5, FaultEvent::Kind::kKillNode, node});
+    }
+    FaultSchedule faults(std::move(events));
+    ShardedFaultTarget target(*store);
+    auto options = base_options();
+    options.mix = OpMix::ycsb_c();
+    options.read_options.allow_degraded = true;
+    options.faults = &faults;
+    options.fault_target = &target;
+    WorkloadHarness harness(*store, options);
+    reports[round] = harness.run();
+    degraded_reads[round] = store->stats().degraded.stripe_reads;
+  }
+  EXPECT_EQ(reports[0].traces, reports[1].traces);
+  // Same injection point + same op sequence = same degraded accounting.
+  EXPECT_EQ(degraded_reads[0], degraded_reads[1]);
+  EXPECT_GT(degraded_reads[0], 0u);
+}
+
+TEST(WorkloadHarness, ShardFlapIsAbsorbedByRemapLedgerAndDegradedReads) {
+  auto store = make_store(0);
+  std::vector<FaultEvent> events = {
+      {0.3, FaultEvent::Kind::kShardDown, 1},
+      {0.7, FaultEvent::Kind::kShardUp, 1},
+  };
+  FaultSchedule faults(std::move(events));
+  ShardedFaultTarget target(*store);
+
+  auto options = base_options();
+  options.mix = OpMix::ycsb_a();  // writes remap, reads serve degraded
+  options.read_options.allow_degraded = true;
+  options.faults = &faults;
+  options.fault_target = &target;
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+
+  EXPECT_EQ(faults.fired(), 2u);
+  EXPECT_EQ(report.failed, 0u);
+  const auto stats = store->stats();
+  // Overwrites hitting the down shard landed off-home via the ledger.
+  EXPECT_GT(stats.remap.stripes_remapped, 0u);
+  // After shard-up the ledger can be drained home.
+  const auto drained = store->drain_remaps();
+  EXPECT_EQ(store->stats().remap.entries_active, 0u);
+  EXPECT_EQ(drained.skipped, 0u);
+}
+
+// -- concurrent clients -----------------------------------------------------
+
+TEST(WorkloadHarness, ConcurrentClientsOnPooledStoreCompleteClean) {
+  auto store = make_store(/*threads=*/2, /*window=*/8);
+  auto options = base_options();
+  options.client_threads = 4;  // one OS thread per client
+  options.mix = OpMix::ycsb_b();
+  options.record_trace = false;
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.total_ops,
+            static_cast<std::uint64_t>(options.clients) *
+                options.ops_per_client);
+  // Reads never take leases; ycsb_b overwrites may conflict on the hot
+  // object — that is contention, not failure, and is counted separately.
+  std::uint64_t ops = 0;
+  for (const auto& per_type : report.per_type) ops += per_type.ops;
+  EXPECT_EQ(ops, report.total_ops);
+}
+
+TEST(WorkloadHarness, ConcurrentFaultInjectionCompletesClean) {
+  auto store = make_store(/*threads=*/2);
+  std::vector<FaultEvent> events;
+  for (const NodeId node : kReadStarveKills) {
+    events.push_back({0.5, FaultEvent::Kind::kKillNode, node});
+  }
+  FaultSchedule faults(std::move(events));
+  ShardedFaultTarget target(*store);
+  auto options = base_options();
+  options.client_threads = 4;
+  options.record_trace = false;
+  options.mix = OpMix::ycsb_c();
+  options.read_options.allow_degraded = true;
+  options.faults = &faults;
+  options.fault_target = &target;
+  WorkloadHarness harness(*store, options);
+  const auto report = harness.run();
+  EXPECT_EQ(faults.fired(), std::size(kReadStarveKills));
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(store->stats().degraded.stripe_reads, 0u);
+}
+
+}  // namespace
+}  // namespace traperc::workload

@@ -1,0 +1,167 @@
+// LatencyHistogram reference tests: every quantile is checked EXACTLY
+// against a fully sorted copy of the recorded samples — the nearest-rank
+// element must fall inside the bucket interval the histogram reports, and
+// the interval's relative width must respect the documented 1/kSubBuckets
+// bound. Merge is checked for associativity/commutativity down to exact
+// bucket counts.
+#include "workload/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace traperc::workload {
+namespace {
+
+/// Nearest-rank reference: the ceil(q * n)-th smallest sample (1-based).
+std::uint64_t reference_quantile(std::vector<std::uint64_t> samples,
+                                 double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[(rank == 0 ? 1 : rank) - 1];
+}
+
+/// Log-uniform latencies: exponents spread over ~9 decades, the shape real
+/// latency tails have. Deterministic per seed.
+std::vector<std::uint64_t> log_uniform_samples(std::uint64_t seed,
+                                               std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> samples(count);
+  for (auto& sample : samples) {
+    const double exponent = rng.next_double() * 30.0;  // [2^0, 2^30) ns
+    sample = static_cast<std::uint64_t>(std::exp2(exponent));
+  }
+  return samples;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999, 1.0};
+
+TEST(WorkloadHistogram, BucketBoundsContainValueWithinRelativeErrorBound) {
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t value =
+        rng.next_u64() >> (rng.next_below(50) + 8);  // spread magnitudes
+    const unsigned index = LatencyHistogram::bucket_index(value);
+    const auto bounds = LatencyHistogram::bucket_bounds(index);
+    ASSERT_LE(bounds.lower, value);
+    ASSERT_LT(value, bounds.upper);
+    if (value >= LatencyHistogram::kLinearMax) {
+      // Documented error bound: bucket width <= lower / kSubBuckets.
+      ASSERT_LE(bounds.upper - bounds.lower,
+                bounds.lower / LatencyHistogram::kSubBuckets);
+    } else {
+      ASSERT_EQ(bounds.upper - bounds.lower, 1u);  // exact 1-ns buckets
+    }
+  }
+}
+
+TEST(WorkloadHistogram, QuantilesMatchSortedVectorReferenceExactly) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 777ULL}) {
+    for (const std::size_t count : {1UL, 10UL, 1000UL, 20000UL}) {
+      const auto samples = log_uniform_samples(seed, count);
+      LatencyHistogram hist;
+      for (const auto sample : samples) hist.record(sample);
+      ASSERT_EQ(hist.count(), count);
+      for (const double q : kQuantiles) {
+        const std::uint64_t ref = reference_quantile(samples, q);
+        const auto bounds = hist.quantile_bounds(q);
+        // The histogram's bucket must contain the true nearest-rank
+        // element — exact by construction, not approximately.
+        ASSERT_LE(bounds.lower, ref)
+            << "seed " << seed << " n " << count << " q " << q;
+        ASSERT_LT(ref, bounds.upper)
+            << "seed " << seed << " n " << count << " q " << q;
+        // And the midpoint estimate stays within the relative error bound.
+        const double estimate = hist.quantile(q);
+        const double bound =
+            static_cast<double>(ref) / LatencyHistogram::kSubBuckets + 1.0;
+        ASSERT_NEAR(estimate, static_cast<double>(ref), bound);
+      }
+    }
+  }
+}
+
+TEST(WorkloadHistogram, MinMaxMeanAreExact) {
+  const std::vector<std::uint64_t> samples = {5, 900, 17, 123456789, 63, 64};
+  LatencyHistogram hist;
+  double sum = 0.0;
+  for (const auto sample : samples) {
+    hist.record(sample);
+    sum += static_cast<double>(sample);
+  }
+  EXPECT_EQ(hist.min(), 5u);
+  EXPECT_EQ(hist.max(), 123456789u);
+  EXPECT_DOUBLE_EQ(hist.mean(), sum / static_cast<double>(samples.size()));
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+void expect_identical(const LatencyHistogram& a, const LatencyHistogram& b) {
+  ASSERT_EQ(a.count(), b.count());
+  ASSERT_EQ(a.max(), b.max());
+  ASSERT_DOUBLE_EQ(a.mean(), b.mean());
+  for (unsigned i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(a.bucket_count(i), b.bucket_count(i)) << "bucket " << i;
+  }
+  for (const double q : kQuantiles) {
+    ASSERT_EQ(a.quantile_bounds(q).lower, b.quantile_bounds(q).lower) << q;
+    ASSERT_EQ(a.quantile_bounds(q).upper, b.quantile_bounds(q).upper) << q;
+  }
+}
+
+TEST(WorkloadHistogram, MergeIsAssociativeCommutativeAndLossless) {
+  const auto sa = log_uniform_samples(5, 4000);
+  const auto sb = log_uniform_samples(6, 2500);
+  const auto sc = log_uniform_samples(7, 1);
+  LatencyHistogram a, b, c;
+  for (const auto v : sa) a.record(v);
+  for (const auto v : sb) b.record(v);
+  for (const auto v : sc) c.record(v);
+
+  // (a + b) + c
+  LatencyHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram right = a;
+  right.merge(bc);
+  // c + (b + a): commutativity
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  LatencyHistogram swapped = c;
+  swapped.merge(ba);
+  // One histogram fed the union directly: merging loses nothing.
+  LatencyHistogram all;
+  for (const auto v : sa) all.record(v);
+  for (const auto v : sb) all.record(v);
+  for (const auto v : sc) all.record(v);
+
+  expect_identical(left, right);
+  expect_identical(left, swapped);
+  expect_identical(left, all);
+
+  // The merged quantiles still match the sorted reference over the union.
+  std::vector<std::uint64_t> merged_samples = sa;
+  merged_samples.insert(merged_samples.end(), sb.begin(), sb.end());
+  merged_samples.insert(merged_samples.end(), sc.begin(), sc.end());
+  for (const double q : kQuantiles) {
+    const std::uint64_t ref = reference_quantile(merged_samples, q);
+    const auto bounds = left.quantile_bounds(q);
+    ASSERT_LE(bounds.lower, ref) << q;
+    ASSERT_LT(ref, bounds.upper) << q;
+  }
+}
+
+}  // namespace
+}  // namespace traperc::workload

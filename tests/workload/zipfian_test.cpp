@@ -1,0 +1,162 @@
+// ZipfianGenerator + KeyChooser tests: golden-sequence determinism across
+// seeds, chi-square of realized vs expected frequencies (the CDF inversion
+// is exact, so the test holds a real statistical threshold), incremental
+// grow() equivalence, and the chooser orientation contracts.
+#include "workload/key_chooser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace traperc::workload {
+namespace {
+
+// -- golden sequences -------------------------------------------------------
+// First 16 draws of Zipf(theta=0.99) over 100 items, one Rng stream per
+// seed. Pins cross-run and cross-platform determinism of the CDF inversion
+// (the only float inputs are pow() partial sums; a libm change that moved a
+// draw across a bucket boundary would be a real distribution change and
+// should fail here).
+struct Golden {
+  std::uint64_t seed;
+  std::uint64_t expect[16];
+};
+
+TEST(WorkloadZipfian, GoldenSequences) {
+  const Golden goldens[] = {
+      {7, {21, 1, 44, 90, 95, 52, 0, 0, 4, 0, 9, 25, 73, 54, 5, 10}},
+      {21, {0, 37, 19, 2, 29, 0, 75, 5, 83, 0, 3, 16, 12, 72, 1, 8}},
+      {1234, {0, 44, 20, 51, 0, 58, 5, 1, 11, 16, 7, 1, 0, 16, 3, 42}},
+  };
+  for (const auto& golden : goldens) {
+    Rng rng(golden.seed);
+    ZipfianGenerator zipf(100, 0.99);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(zipf.next(rng), golden.expect[i])
+          << "seed " << golden.seed << " draw " << i;
+    }
+  }
+}
+
+TEST(WorkloadZipfian, IdenticalSeedsReproduceIdenticalSequences) {
+  for (const std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    ZipfianGenerator zipf_a(1000);
+    ZipfianGenerator zipf_b(1000);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_EQ(zipf_a.next(rng_a), zipf_b.next(rng_b)) << "seed " << seed;
+    }
+  }
+}
+
+// -- distribution -----------------------------------------------------------
+
+TEST(WorkloadZipfian, ProbabilitiesSumToOne) {
+  ZipfianGenerator zipf(20, 0.99);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 20; ++r) sum += zipf.probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Monotone decreasing: rank r is strictly hotter than rank r+1.
+  for (std::uint64_t r = 0; r + 1 < 20; ++r) {
+    EXPECT_GT(zipf.probability(r), zipf.probability(r + 1));
+  }
+}
+
+// Chi-square of realized frequencies against the exact expected counts,
+// df = 19. The 0.001 critical value is 43.82; the draws are deterministic
+// per seed, so this cannot flake — it fails only if the distribution the
+// generator realizes actually changes.
+TEST(WorkloadZipfian, ChiSquareMatchesExpectedFrequencies) {
+  constexpr std::uint64_t kItems = 20;
+  constexpr std::size_t kDraws = 200000;
+  constexpr double kCritical999 = 43.82;  // chi2_{0.999, df=19}
+  for (const std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+    Rng rng(seed);
+    ZipfianGenerator zipf(kItems, 0.99);
+    std::vector<std::uint64_t> counts(kItems, 0);
+    for (std::size_t i = 0; i < kDraws; ++i) counts[zipf.next(rng)] += 1;
+    double chi2 = 0.0;
+    for (std::uint64_t r = 0; r < kItems; ++r) {
+      const double expected =
+          zipf.probability(r) * static_cast<double>(kDraws);
+      const double delta = static_cast<double>(counts[r]) - expected;
+      chi2 += delta * delta / expected;
+    }
+    EXPECT_LT(chi2, kCritical999) << "seed " << seed;
+  }
+}
+
+// -- grow() -----------------------------------------------------------------
+
+TEST(WorkloadZipfian, GrowMatchesFreshConstruction) {
+  ZipfianGenerator grown(10, 0.99);
+  grown.grow(500);
+  grown.grow(500);  // no-op
+  grown.grow(100);  // shrink attempt: no-op
+  ZipfianGenerator fresh(500, 0.99);
+  ASSERT_EQ(grown.items(), fresh.items());
+  for (std::uint64_t r = 0; r < 500; ++r) {
+    ASSERT_DOUBLE_EQ(grown.probability(r), fresh.probability(r)) << r;
+  }
+  Rng rng_a(11);
+  Rng rng_b(11);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(grown.next(rng_a), fresh.next(rng_b));
+  }
+}
+
+// -- choosers ---------------------------------------------------------------
+
+TEST(WorkloadChooser, AllPoliciesStayInRangeAcrossGrowth) {
+  for (const KeyDist dist :
+       {KeyDist::kUniform, KeyDist::kZipfian, KeyDist::kLatest}) {
+    auto chooser = make_key_chooser(dist, 0.99);
+    Rng rng(5);
+    std::uint64_t population = 1;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = chooser->next(rng, population);
+      ASSERT_LT(key, population);
+      if (i % 3 == 0) population += 2;  // live growth, as inserts cause
+    }
+  }
+}
+
+TEST(WorkloadChooser, ZipfianFavorsOldestLatestFavorsNewest) {
+  constexpr std::uint64_t kPopulation = 50;
+  constexpr int kDraws = 20000;
+  auto zipf = make_key_chooser(KeyDist::kZipfian, 0.99);
+  auto latest = make_key_chooser(KeyDist::kLatest, 0.99);
+  Rng rng_z(7);
+  Rng rng_l(7);
+  std::uint64_t zipf_low = 0;
+  std::uint64_t latest_high = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf->next(rng_z, kPopulation) == 0) zipf_low += 1;
+    if (latest->next(rng_l, kPopulation) == kPopulation - 1) {
+      latest_high += 1;
+    }
+  }
+  // Rank 0 carries ~21% of the mass at theta=0.99, n=50; both orientations
+  // must put it where documented (oldest for zipfian, newest for latest).
+  EXPECT_GT(zipf_low, kDraws / 10);
+  EXPECT_GT(latest_high, kDraws / 10);
+  // Identical streams + mirrored mapping: the two hit counts are equal.
+  EXPECT_EQ(zipf_low, latest_high);
+}
+
+TEST(WorkloadChooser, UniformCoversTheWholePopulation) {
+  auto chooser = make_key_chooser(KeyDist::kUniform, 0.99);
+  Rng rng(9);
+  std::vector<int> hit(16, 0);
+  for (int i = 0; i < 4000; ++i) hit[chooser->next(rng, 16)] += 1;
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_GT(hit[k], 100) << "key " << k;  // expected 250 each
+  }
+}
+
+}  // namespace
+}  // namespace traperc::workload
