@@ -209,6 +209,7 @@ int main() {
       {"write_heavy", OpMix::write_heavy(), KeyDist::kLatest},
       {"scan_streaming", OpMix::scan_streaming(), KeyDist::kUniform,
        kScanValueLen},
+      {"partial_overwrite_heavy", OpMix::partial_overwrite_heavy()},
       {"ycsb_c_faulted", OpMix::ycsb_c(), KeyDist::kZipfian, kValueLen,
        /*faulted=*/true},
   };

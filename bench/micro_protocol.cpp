@@ -378,6 +378,74 @@ double measure_overwrite_objects_per_s(const ProtocolConfig& config,
   return static_cast<double>(ops) / sec;
 }
 
+/// Range-overwrite throughput via the parity delta path: `objects` puts up
+/// front, then `ops_per_object` small `range_len`-byte overwrites per
+/// object at rotating offsets. Reports the data blocks written per op from
+/// the shards' StripeSyncStats and ABORTS if it exceeds the touched-block
+/// bound (at most range_len/chunk_len + 2 boundary blocks — far below the
+/// touched + parity_count acceptance ceiling): a regression to full-stripe
+/// rewrites is a correctness failure of the cost contract, not just a perf
+/// drop.
+double measure_range_overwrite_ops_per_s(const ProtocolConfig& config,
+                                         const SweepPoint& point,
+                                         unsigned objects,
+                                         unsigned stripes_per_object,
+                                         std::size_t range_len,
+                                         unsigned ops_per_object,
+                                         double* blocks_written_per_op) {
+  const std::size_t capacity =
+      static_cast<std::size_t>(config.k) * config.chunk_len;
+  const auto object = sweep_object(capacity * stripes_per_object, 7);
+  const auto patch = sweep_object(range_len, 17);
+  ShardedStoreOptions options;
+  options.shards = point.shards;
+  options.threads = point.threads;
+  options.pipeline_depth = point.depth;
+  ShardedObjectStore store(config, options);
+  core::StoreClient& client = store;
+  std::vector<core::StoreClient::ObjectId> ids;
+  for (unsigned i = 0; i < objects; ++i) {
+    const auto id = store.put(object);
+    if (!id.ok()) std::abort();
+    ids.push_back(*id);
+  }
+  const auto blocks_written = [&] {
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < point.shards; ++s) {
+      total += store.shard_cluster(s).stripe_sync_stats().blocks_written;
+    }
+    return total;
+  };
+  const std::uint64_t blocks0 = blocks_written();
+  std::uint64_t total_ops = 0;
+  const double sec = best_seconds(2, [&] {
+    std::size_t offset = 1;
+    for (unsigned r = 0; r < ops_per_object; ++r) {
+      for (const auto id : ids) {
+        if (!client.overwrite_range(id, offset, patch).ok()) std::abort();
+        ++total_ops;
+        // Deterministic rotation over the object, block-straddling included.
+        offset = (offset * 2654435761ULL + 97) % (object.size() - range_len);
+      }
+    }
+  });
+  *blocks_written_per_op =
+      static_cast<double>(blocks_written() - blocks0) /
+      static_cast<double>(total_ops);
+  const double touched_max =
+      static_cast<double>(range_len / config.chunk_len + 2);
+  if (*blocks_written_per_op > touched_max) {
+    std::fprintf(stderr,
+                 "delta_overwrite: %.2f data blocks written per %zu-byte "
+                 "overwrite exceeds the touched-block bound %.0f — the "
+                 "delta path is rewriting untouched blocks\n",
+                 *blocks_written_per_op, range_len, touched_max);
+    std::abort();
+  }
+  return static_cast<double>(ops_per_object) *
+         static_cast<double>(objects) / sec;
+}
+
 /// Node-repair throughput: rebuild a wiped data node holding its share of
 /// `objects` × `stripes_per_object` stripes; wipe+repair repeats in place.
 double measure_repair_mb_per_s(const ProtocolConfig& config,
@@ -566,6 +634,31 @@ void run_sweep(const std::string& out_path) {
     json.field("mb_per_s",
                ops_per_s * static_cast<double>(object_bytes) / 1e6);
     json.field("speedup_vs_serial_overwrite", ops_per_s / overwrite_serial);
+    json.end_object();
+  }
+  json.end_array();
+
+  // Small range overwrites through the parity delta path against the
+  // serial full-object rewrite: the sub-stripe sector-update series. The
+  // ratio is the point of the path — a 512-KiB object's full rewrite costs
+  // k × stripes_per_object block writes, a small range costs the 1-2
+  // touched blocks — and the measurement aborts if blocks-written per op
+  // exceeds the touched-block bound (see measure_range_overwrite_ops_per_s).
+  constexpr std::size_t kRangeLens[] = {64, 512};
+  json.begin_array("delta_overwrite");
+  for (const std::size_t range_len : kRangeLens) {
+    double blocks_written_per_op = 0.0;
+    const double ops_per_s = measure_range_overwrite_ops_per_s(
+        config, serial, kPutOps, kStripesPerObject, range_len,
+        /*ops_per_object=*/8, &blocks_written_per_op);
+    json.begin_object();
+    json.field("shards", static_cast<std::size_t>(serial.shards));
+    json.field("threads", static_cast<std::size_t>(serial.threads));
+    json.field("pipeline_depth", static_cast<std::size_t>(serial.depth));
+    json.field("range_len", range_len);
+    json.field("ops_per_s", ops_per_s);
+    json.field("blocks_written_per_op", blocks_written_per_op);
+    json.field("ratio_vs_full_overwrite", ops_per_s / overwrite_serial);
     json.end_object();
   }
   json.end_array();

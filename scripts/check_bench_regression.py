@@ -67,10 +67,18 @@ def format_identity(identity):
 SPEEDUP_RE = re.compile(r"speedup|ratio_vs|_over_")
 
 # Lower-is-better metrics: latency percentiles / means (the workload bench
-# emits them as *_p50_us ... *_p999_us and *_mean_us) and tail-amplification
-# ratios (read_p99_over_p50, read_p99_over_healthy). A rise past tolerance
-# is the regression; a drop is an improvement.
-LOWER_IS_BETTER_RE = re.compile(r"_p\d+(_us)?$|_us$|_over_|latency")
+# emits them as *_p50_us ... *_p999_us and *_mean_us), latency-named fields,
+# and tail-amplification ratios whose numerator is a percentile
+# (read_p99_over_p50, read_p99_over_healthy). A rise past tolerance is the
+# regression; a drop is an improvement. The percentile must anchor the
+# _over_ match: a bare `_over_` (or `latency` substring) would also catch
+# higher-is-better ratios like speedup_over_serial or
+# ratio_vs_full_overwrite and guard them BACKWARDS — a real regression
+# (ratio falling) would pass while an improvement failed. --self-test pins
+# both directions.
+LOWER_IS_BETTER_RE = re.compile(
+    r"(^|_)p\d+(_us)?(_over_|$)|_us$|(^|_)latency(_|$)"
+)
 
 
 def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
@@ -129,10 +137,86 @@ def check_table(name, baseline_rows, fresh_rows, tolerance, fields_re, report,
     return failures
 
 
+DEFAULT_FIELDS = (
+    r"mb_per_s|objects_per_s|ops_per_s|_us$|speedup|ratio_vs|_over_"
+)
+
+
+def run_self_test():
+    """Pin the direction classification on synthetic rows.
+
+    Guards the guard: a metric classified with the wrong direction fails
+    open (real regressions pass, improvements fail), which no baseline
+    comparison would ever surface. CI runs this before the real checks.
+    """
+    fields_re = re.compile(DEFAULT_FIELDS)
+    # (metric key, baseline value, fresh value, should_flag_regression)
+    cases = [
+        # Higher-is-better ratios: a drop regresses, a rise passes. These
+        # two would be guarded backwards if `_over_` alone implied latency.
+        ("speedup_over_serial", 2.0, 1.0, True),
+        ("speedup_over_serial", 1.0, 2.0, False),
+        ("ratio_vs_full_overwrite", 8.0, 4.0, True),
+        ("ratio_vs_full_overwrite", 4.0, 8.0, False),
+        # Percentile-anchored tail ratios: a rise regresses.
+        ("read_p99_over_p50", 2.0, 4.0, True),
+        ("read_p99_over_p50", 4.0, 2.0, False),
+        ("read_p99_over_healthy", 1.0, 3.0, True),
+        # Latency percentiles / means: a rise regresses.
+        ("put_p99_us", 100.0, 300.0, True),
+        ("get_mean_us", 100.0, 50.0, False),
+        # Throughput: a drop regresses, a rise passes.
+        ("put_mb_per_s", 100.0, 50.0, True),
+        ("delta_ops_per_s", 100.0, 300.0, False),
+    ]
+    ok = True
+    for i, (key, base, fresh, should_fail) in enumerate(cases):
+        report = []
+        failures = check_table(
+            "self_test",
+            [{"case": i, key: base}],
+            [{"case": i, key: fresh}],
+            0.30,
+            fields_re,
+            report,
+        )
+        verdict = "flags" if should_fail else "passes"
+        if bool(failures) != should_fail:
+            ok = False
+            print(
+                f"SELF-TEST FAIL: {key} {base}->{fresh} should "
+                f"{verdict.rstrip('s')} but did not: {report}"
+            )
+        else:
+            print(f"self-test ok: {key} {base}->{fresh} {verdict}")
+    # A baseline entry with no fresh counterpart is a coverage loss.
+    report = []
+    if not check_table(
+        "self_test", [{"case": "gone", "x_mb_per_s": 1.0}], [], 0.30,
+        fields_re, report
+    ):
+        ok = False
+        print("SELF-TEST FAIL: dropped baseline entry not flagged")
+    else:
+        print("self-test ok: dropped baseline entry flags")
+    # Fresh-only entries are new coverage, not regressions.
+    report = []
+    if check_table(
+        "self_test", [], [{"case": "new", "x_mb_per_s": 1.0}], 0.30,
+        fields_re, report
+    ):
+        ok = False
+        print("SELF-TEST FAIL: fresh-only entry flagged")
+    else:
+        print("self-test ok: fresh-only entry passes")
+    print("self-test: " + ("all checks pinned" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="committed JSON")
-    parser.add_argument("--fresh", required=True, help="freshly emitted JSON")
+    parser.add_argument("--baseline", help="committed JSON")
+    parser.add_argument("--fresh", help="freshly emitted JSON")
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -141,7 +225,7 @@ def main():
     )
     parser.add_argument(
         "--fields",
-        default=r"mb_per_s|objects_per_s|ops_per_s|_us$|speedup|ratio_vs|_over_",
+        default=DEFAULT_FIELDS,
         help="regex selecting which float fields are guarded metrics",
     )
     parser.add_argument(
@@ -151,7 +235,16 @@ def main():
         "(catches a series silently dropped from the bench before a "
         "baseline ever recorded it)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the direction-classification self-test and exit",
+    )
     args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required (or --self-test)")
 
     with open(args.baseline) as f:
         baseline = json.load(f)

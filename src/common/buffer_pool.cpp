@@ -1,0 +1,66 @@
+#include "common/buffer_pool.hpp"
+
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace traperc::common {
+
+BufferPool::BufferPool(std::size_t buffer_len, std::size_t max_per_shard)
+    : buffer_len_(buffer_len), max_per_shard_(max_per_shard) {
+  TRAPERC_CHECK_MSG(buffer_len >= 1, "pooled buffers must be non-empty");
+}
+
+std::size_t BufferPool::home_shard() const noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire() {
+  const std::size_t home = home_shard();
+  for (std::size_t probe = 0; probe < kShards; ++probe) {
+    Shard& shard = shards_[(home + probe) % kShards];
+    std::lock_guard lock(shard.mutex);
+    if (probe == 0) shard.stats.acquires += 1;
+    if (!shard.free.empty()) {
+      std::vector<std::uint8_t> buffer = std::move(shard.free.back());
+      shard.free.pop_back();
+      std::memset(buffer.data(), 0, buffer_len_);
+      return buffer;
+    }
+    // Miss on the home shard: steal from neighbors before giving up. The
+    // acquire is attributed to the home shard either way.
+  }
+  Shard& shard = shards_[home];
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.stats.heap_refills += 1;
+  }
+  return std::vector<std::uint8_t>(buffer_len_, 0);
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buffer) {
+  Shard& shard = shards_[home_shard()];
+  std::lock_guard lock(shard.mutex);
+  if (buffer.size() != buffer_len_ || shard.free.size() >= max_per_shard_) {
+    shard.stats.dropped += 1;
+    return;  // the vector's destructor frees it
+  }
+  shard.stats.releases += 1;
+  shard.free.push_back(std::move(buffer));
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total.acquires += shard.stats.acquires;
+    total.releases += shard.stats.releases;
+    total.heap_refills += shard.stats.heap_refills;
+    total.dropped += shard.stats.dropped;
+  }
+  return total;
+}
+
+}  // namespace traperc::common

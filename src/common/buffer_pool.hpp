@@ -1,0 +1,85 @@
+// BufferPool — sharded freelist of fixed-size byte buffers for the store's
+// hot data path (memec chunk_pool/packet_pool lineage).
+//
+// Every steady-state put/get/overwrite moves chunk_len-sized buffers through
+// the same life cycle: facade assembles stripe chunks → coordinator carries
+// them through Algorithm 1 → storage-node replies carry payloads back up →
+// the facade copies bytes out and the buffer dies. Without a pool each hop
+// heap-allocates; with one, buffers cycle acquire() → ... → release() and
+// the heap is touched only to grow the pool (counted in stats().heap_refills,
+// which the model test asserts stays flat across steady-state ops).
+//
+// Design rules (see src/common/README.md):
+//  * One pool per cluster, sized off the stripe geometry: every buffer is
+//    exactly `buffer_len()` bytes (chunk_len). release() of any other size
+//    is counted in stats().dropped and the buffer is freed — callers may
+//    hand back foreign vectors without checking.
+//  * The API trades in plain std::vector<std::uint8_t> values, not RAII
+//    handles: pooled buffers cross RPC-lambda and callback boundaries where
+//    a handle type would force signature changes through the whole protocol
+//    layer. The convention is "whoever consumes the bytes releases", and
+//    forgetting to release is safe (the vector's destructor frees it; the
+//    pool just refills from the heap later).
+//  * Sharded freelist: kShards independent mutex+stack pairs, picked by
+//    thread-id hash, with neighbor stealing on a miss — concurrent shard
+//    pipelines don't serialize on one lock.
+//  * Bounded: each shard keeps at most `max_per_shard` free buffers;
+//    overflow is freed (counted in dropped) so a burst can't pin memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace traperc::common {
+
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;      ///< total acquire() calls
+  std::uint64_t releases = 0;      ///< buffers accepted back into a freelist
+  std::uint64_t heap_refills = 0;  ///< acquires served by a fresh heap alloc
+  std::uint64_t dropped = 0;       ///< releases freed instead (wrong size /
+                                   ///< freelist full)
+};
+
+class BufferPool {
+ public:
+  /// `buffer_len` is the fixed size of every pooled buffer (the cluster's
+  /// chunk_len). `max_per_shard` bounds each shard's freelist.
+  explicit BufferPool(std::size_t buffer_len, std::size_t max_per_shard = 64);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A zero-initialized buffer of buffer_len() bytes — recycled when the
+  /// freelist has one, freshly heap-allocated (heap_refills) otherwise.
+  [[nodiscard]] std::vector<std::uint8_t> acquire();
+
+  /// Returns a buffer to the freelist. Wrong-sized or surplus buffers are
+  /// freed in place (dropped); passing a moved-from/empty vector is a no-op
+  /// beyond the counter, so release(std::move(v)) is always safe.
+  void release(std::vector<std::uint8_t>&& buffer);
+
+  [[nodiscard]] std::size_t buffer_len() const noexcept { return buffer_len_; }
+
+  /// Lifetime counters, summed across shards (consistent per-shard, not
+  /// atomically across them — fine for the steady-state assertions).
+  [[nodiscard]] BufferPoolStats stats() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<std::vector<std::uint8_t>> free;
+    BufferPoolStats stats;
+  };
+
+  [[nodiscard]] std::size_t home_shard() const noexcept;
+
+  std::size_t buffer_len_;
+  std::size_t max_per_shard_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace traperc::common

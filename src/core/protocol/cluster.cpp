@@ -1,17 +1,21 @@
 #include "core/protocol/cluster.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/check.hpp"
 #include "core/protocol/repair.hpp"
 
 namespace traperc::core {
 
 SimCluster::SimCluster(ProtocolConfig config, std::uint64_t seed)
-    : config_(config), engine_(seed) {
+    : config_(config), buffer_pool_(config.chunk_len), engine_(seed) {
   config_.validate();
   nodes_.reserve(config_.n);
   for (NodeId id = 0; id < config_.n; ++id) {
     nodes_.push_back(std::make_unique<storage::StorageNode>(
         id, config_.k, config_.chunk_len));
+    nodes_.back()->set_buffer_pool(&buffer_pool_);
   }
   // Endpoint n is the coordinator (client); it is never fail-stop.
   network_ = std::make_unique<net::Network>(
@@ -29,6 +33,7 @@ SimCluster::SimCluster(ProtocolConfig config, std::uint64_t seed)
   for (auto& node : nodes_) node_ptrs.push_back(node.get());
   coordinator_ = std::make_unique<Coordinator>(
       config_, engine_, *network_, node_ptrs, code_.get(), leases_.get());
+  coordinator_->set_buffer_pool(&buffer_pool_);
   repair_ = std::make_unique<RepairManager>(config_, node_ptrs, code_.get());
   if (config_.read_repair && config_.mode == Mode::kErc) {
     coordinator_->set_stale_stripe_hook(
@@ -169,6 +174,49 @@ Status SimCluster::write_stripe_sync(
   TRAPERC_CHECK_MSG(done == blocks.size(),
                     "engine drained without completing the stripe write");
   return result;
+}
+
+Status SimCluster::write_stripe_range_sync(BlockId stripe,
+                                           std::size_t byte_offset,
+                                           std::span<const std::uint8_t> bytes) {
+  TRAPERC_CHECK_MSG(!bytes.empty(), "range write must be non-empty");
+  const std::size_t stripe_bytes =
+      static_cast<std::size_t>(config_.k) * config_.chunk_len;
+  TRAPERC_CHECK_MSG(byte_offset + bytes.size() <= stripe_bytes,
+                    "range write exceeds the stripe's data bytes");
+  const unsigned b0 = static_cast<unsigned>(byte_offset / config_.chunk_len);
+  const unsigned b1 = static_cast<unsigned>(
+      (byte_offset + bytes.size() - 1) / config_.chunk_len);
+
+  // Assemble full-block images for the touched blocks only. A block the
+  // range fully covers starts from a fresh pooled buffer; a partially
+  // covered boundary block (at most two) starts from its current content,
+  // fetched through the protocol read path, so the unwritten bytes survive.
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(b1 - b0 + 1);
+  for (unsigned b = b0; b <= b1; ++b) {
+    const std::size_t block_start =
+        static_cast<std::size_t>(b) * config_.chunk_len;
+    const std::size_t copy_begin = std::max(byte_offset, block_start);
+    const std::size_t copy_end = std::min(byte_offset + bytes.size(),
+                                          block_start + config_.chunk_len);
+    std::vector<std::uint8_t> image;
+    if (copy_begin > block_start || copy_end < block_start + config_.chunk_len) {
+      auto old = read_stripe_sync(stripe, b, 1);
+      if (!old.ok()) return std::move(old).status();
+      image = std::move((*old)[0].value);  // splice in place, reuse buffer
+    } else {
+      image = buffer_pool_.acquire();
+    }
+    std::memcpy(image.data() + (copy_begin - block_start),
+                bytes.data() + (copy_begin - byte_offset),
+                copy_end - copy_begin);
+    blocks.push_back(std::move(image));
+  }
+
+  // The coordinator's Alg. 1 write path delta-refreshes parity per touched
+  // block; untouched data blocks are never read or written.
+  return write_stripe_sync(stripe, b0, std::move(blocks));
 }
 
 Result<std::vector<BlockRead>> SimCluster::read_stripe_sync(

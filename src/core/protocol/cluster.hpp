@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "core/protocol/config.hpp"
 #include "core/protocol/coordinator.hpp"
 #include "core/protocol/lease.hpp"
@@ -73,6 +74,16 @@ class SimCluster {
     return code_ ? code_.get() : nullptr;
   }
 
+  /// The cluster's chunk BufferPool (buffers of exactly chunk_len bytes).
+  /// The coordinator and nodes recycle protocol buffers through it; the
+  /// facades acquire stripe-chunk images from it and release reply payloads
+  /// after copying bytes out. Its stats().heap_refills staying flat across
+  /// steady-state ops is the allocation-free-hot-path invariant the model
+  /// test asserts.
+  [[nodiscard]] common::BufferPool& buffer_pool() noexcept {
+    return buffer_pool_;
+  }
+
   // -- liveness control ---------------------------------------------------
   void fail_node(NodeId id);
   void recover_node(NodeId id);
@@ -121,6 +132,17 @@ class SimCluster {
   Status write_stripe_sync(BlockId stripe, unsigned first_index,
                            std::vector<std::vector<std::uint8_t>> blocks);
 
+  /// Partial-stripe write: overwrites the byte range [byte_offset,
+  /// byte_offset + bytes.size()) of the stripe's k·chunk_len data bytes by
+  /// writing ONLY the touched data blocks (parity refresh rides Alg. 1's
+  /// delta path, exactly as for a full-block write). Boundary blocks that
+  /// the range only partially covers are read first and spliced; fully
+  /// covered blocks skip the read. Cost: ≤ 2 block reads +
+  /// (touched blocks) block writes, vs k writes for a full-stripe rewrite.
+  /// The range must be non-empty and lie within the stripe.
+  Status write_stripe_range_sync(BlockId stripe, std::size_t byte_offset,
+                                 std::span<const std::uint8_t> bytes);
+
   /// Reads block indices [first_index, first_index+count) of `stripe`.
   /// On success, value[i] corresponds to block first_index+i; any block
   /// failure fails the whole stripe read with that block's Status.
@@ -154,6 +176,7 @@ class SimCluster {
 
  private:
   ProtocolConfig config_;
+  common::BufferPool buffer_pool_;
   sim::SimEngine engine_;
   std::vector<std::unique_ptr<storage::StorageNode>> nodes_;
   std::unique_ptr<net::Network> network_;

@@ -1,6 +1,7 @@
 #include "core/protocol/coordinator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <utility>
@@ -133,6 +134,16 @@ const analysis::BlockDeployment& Coordinator::deployment(
   return deployments_[index];
 }
 
+std::vector<std::uint8_t> Coordinator::acquire_chunk() {
+  return pool_ != nullptr
+             ? pool_->acquire()
+             : std::vector<std::uint8_t>(config_.chunk_len, 0);
+}
+
+void Coordinator::release_chunk(std::vector<std::uint8_t>&& buffer) {
+  if (pool_ != nullptr && !buffer.empty()) pool_->release(std::move(buffer));
+}
+
 // ---------------------------------------------------------------------------
 // Read path — Algorithm 2
 // ---------------------------------------------------------------------------
@@ -181,7 +192,7 @@ void Coordinator::read_check_level(std::shared_ptr<ReadState> st,
       network_.rpc<Version>(
           client_id(), target, /*approx_bytes=*/16,
           [node, stripe, index] {
-            return node->parity_versions(stripe)[index];
+            return node->parity_version(stripe, index);
           },
           [this, st, level, target](Version v) {
             read_level_response(st, level, target, v, /*is_data=*/false);
@@ -401,7 +412,7 @@ void Coordinator::read_case2(std::shared_ptr<ReadState> st, Version target) {
       present_ptrs.push_back(st->parity_replies[j].payload.data());
     }
 
-    std::vector<std::uint8_t> out(config_.chunk_len);
+    std::vector<std::uint8_t> out = acquire_chunk();
     const unsigned want[] = {i};
     std::uint8_t* outs[] = {out.data()};
     // The code decides decodability — a locality-aware family can express
@@ -542,10 +553,14 @@ void Coordinator::write_start(std::shared_ptr<WriteState> st) {
     st->old_version = outcome.version;
     st->new_version = outcome.version + 1;
     if (self->config_.mode == Mode::kErc) {
-      st->delta = st->value;
+      st->delta = self->acquire_chunk();
+      std::memcpy(st->delta.data(), st->value.data(),
+                  self->config_.chunk_len);
       gf::xor_region(outcome.value.data(), st->delta.data(),
                      self->config_.chunk_len);
     }
+    // The read prefix's payload (a pooled node reply) is consumed here.
+    self->release_chunk(std::move(outcome.value));
     self->write_run_level(st, 0);
   });
 }
@@ -566,12 +581,21 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
   for (NodeId target : members) {
     storage::StorageNode* node = nodes_[target];
     if (config_.mode == Mode::kFr || target == data_node) {
-      // Full replica write (Alg. 1 line 20).
+      // Full replica write (Alg. 1 line 20). The RPC ships a pooled COPY of
+      // the value — capturing a span of st->value would race write_finish
+      // releasing it while this request is still in flight — and the node
+      // handler releases the copy once the bytes are stored. A down target
+      // drops the request lambda unrun; the copy is then heap-freed (slow
+      // path).
       const Version version = st->new_version;
+      std::vector<std::uint8_t> value = acquire_chunk();
+      std::memcpy(value.data(), st->value.data(), config_.chunk_len);
       network_.rpc<bool>(
           client_id(), target, /*approx_bytes=*/config_.chunk_len,
-          [node, stripe, index, version, value = st->value] {
+          [node, stripe, index, version, value = std::move(value),
+           pool = pool_]() mutable {
             node->replica_write(stripe, index, version, value);
+            if (pool != nullptr) pool->release(std::move(value));
             return true;
           },
           [this, st, level, target](bool) {
@@ -580,9 +604,9 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
     } else {
       // Parity compare-and-add (Alg. 1 lines 25-31): the node applies
       // α_{j,i}·delta iff its contributor version matches the version the
-      // coordinator read.
+      // coordinator read. The scaled delta is pooled like the replica copy.
       const unsigned j = target - config_.k;
-      std::vector<std::uint8_t> scaled(config_.chunk_len);
+      std::vector<std::uint8_t> scaled = acquire_chunk();
       // A zero α_{j,i} (e.g. a parity outside an LRC local group) still
       // ships a zeroed delta so the node's contributor version advances.
       code_->scale_delta(j, index, st->delta, scaled);
@@ -590,9 +614,12 @@ void Coordinator::write_run_level(std::shared_ptr<WriteState> st,
       const Version next = st->new_version;
       network_.rpc<ParityAddReply>(
           client_id(), target, /*approx_bytes=*/config_.chunk_len,
-          [node, stripe, index, expected, next,
-           scaled = std::move(scaled)] {
-            return node->parity_add(stripe, index, expected, next, scaled);
+          [node, stripe, index, expected, next, scaled = std::move(scaled),
+           pool = pool_]() mutable {
+            auto reply = node->parity_add(stripe, index, expected, next,
+                                          scaled);
+            if (pool != nullptr) pool->release(std::move(scaled));
+            return reply;
           },
           [this, st, level, target](ParityAddReply reply) {
             write_level_ack(st, level, target, reply.applied);
@@ -668,6 +695,10 @@ void Coordinator::write_finish(std::shared_ptr<WriteState> st, OpStatus status,
   } else {
     ++stats_.writes_failed;
   }
+  // Give the write's working buffers back: every in-flight RPC carries its
+  // own pooled copy, so nothing aliases these after this point.
+  release_chunk(std::move(st->value));
+  release_chunk(std::move(st->delta));
   st->done(result);
 }
 

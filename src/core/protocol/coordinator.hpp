@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "analysis/predicates.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/types.hpp"
 #include "core/protocol/config.hpp"
 #include "core/protocol/lease.hpp"
@@ -117,6 +118,13 @@ class Coordinator {
     return config_;
   }
 
+  /// Attaches the cluster's chunk BufferPool. The write path then recycles
+  /// its working buffers (the value, the delta, the per-RPC copies and
+  /// scaled deltas) through it, and releases reply payloads it consumes —
+  /// closing the acquire/release cycle that keeps steady-state traffic off
+  /// the heap. Null (the default) keeps plain heap buffers everywhere.
+  void set_buffer_pool(common::BufferPool* pool) noexcept { pool_ = pool; }
+
   /// The per-block deployment (trapezoid levels as node ids).
   [[nodiscard]] const analysis::BlockDeployment& deployment(
       unsigned index) const;
@@ -148,12 +156,18 @@ class Coordinator {
   [[nodiscard]] std::vector<NodeId> write_suspects(
       const WriteState& st) const;
 
+  /// Pool helpers: a zeroed chunk_len buffer (pooled when attached) and a
+  /// safe give-back (empty/foreign buffers are handled by the pool).
+  [[nodiscard]] std::vector<std::uint8_t> acquire_chunk();
+  void release_chunk(std::vector<std::uint8_t>&& buffer);
+
   ProtocolConfig config_;
   sim::SimEngine& engine_;
   net::Network& network_;
   std::vector<storage::StorageNode*> nodes_;
   const erasure::ErasureCode* code_;
   LeaseManager* leases_;
+  common::BufferPool* pool_ = nullptr;
   StaleStripeHook stale_hook_;
   std::vector<analysis::BlockDeployment> deployments_;  // one per block
   CoordinatorStats stats_;

@@ -37,13 +37,16 @@ std::size_t ObjectStore::stripe_capacity() const {
 
 std::vector<std::vector<std::uint8_t>> ObjectStore::stripe_chunks(
     std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
-    std::size_t chunk_len) {
+    std::size_t chunk_len, common::BufferPool* pool) {
   std::vector<std::vector<std::uint8_t>> chunks;
   std::size_t offset =
       static_cast<std::size_t>(stripe_index) * k * chunk_len;
   for (unsigned block = 0; block < k && offset < object.size(); ++block) {
     const std::size_t take = std::min(chunk_len, object.size() - offset);
-    std::vector<std::uint8_t> chunk(chunk_len, 0);
+    // Pooled buffers arrive zeroed, matching the heap path's padding.
+    std::vector<std::uint8_t> chunk =
+        pool != nullptr ? pool->acquire()
+                        : std::vector<std::uint8_t>(chunk_len, 0);
     std::memcpy(chunk.data(), object.data() + offset, take);
     chunks.push_back(std::move(chunk));
     offset += take;
@@ -56,7 +59,8 @@ Status ObjectStore::write_extent(const Extent& extent,
   const std::size_t chunk_len = cluster_.config().chunk_len;
   const unsigned k = cluster_.config().k;
   for (unsigned s = 0; s < extent.stripe_count; ++s) {
-    auto chunks = stripe_chunks(object, s, k, chunk_len);
+    auto chunks =
+        stripe_chunks(object, s, k, chunk_len, &cluster_.buffer_pool());
     if (chunks.empty()) break;  // tail blocks untouched
     stripe_ops_in_flight_.fetch_add(1, std::memory_order_relaxed);
     QueueDepthLease lease(stripe_ops_in_flight_);
@@ -132,8 +136,54 @@ Status ObjectStore::overwrite_leased(ObjectId id,
   Extent extent = it->second;
   extent.size = padded.size();
   Status status = write_extent(extent, padded);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // The extent now mixes new bytes (stripes before the failure) with old
+    // ones: mark the object torn so reads cannot serve the mix as if it
+    // were consistent. A later successful full overwrite supersedes it.
+    torn_[id] = status.has_stripe() ? status.stripe() : extent.first_stripe;
+    return status;
+  }
+  torn_.erase(id);
   it->second.size = object.size();
+  return Status{};
+}
+
+Status ObjectStore::overwrite_range_leased(ObjectId id, std::size_t offset,
+                                           std::span<const std::uint8_t> bytes) {
+  const auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    return Status::error(ErrorCode::kUnknownObject);
+  }
+  if (const auto torn = torn_.find(id); torn != torn_.end()) {
+    // Delta-updating a torn extent would splice new bytes into an unknown
+    // old/new mix; only a full overwrite can re-establish the baseline.
+    return Status::error(ErrorCode::kTornWrite).at(torn->second);
+  }
+  const Extent& extent = it->second;
+  if (bytes.empty() || offset + bytes.size() > extent.size) {
+    return Status::error(ErrorCode::kInvalidArgument)
+        .at(extent.first_stripe);
+  }
+  const std::size_t capacity = stripe_capacity();
+  const auto s0 = static_cast<unsigned>(offset / capacity);
+  const auto s1 = static_cast<unsigned>((offset + bytes.size() - 1) / capacity);
+  for (unsigned s = s0; s <= s1; ++s) {
+    const std::size_t stripe_start = static_cast<std::size_t>(s) * capacity;
+    const std::size_t begin = std::max(offset, stripe_start);
+    const std::size_t end =
+        std::min(offset + bytes.size(), stripe_start + capacity);
+    stripe_ops_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    QueueDepthLease lease(stripe_ops_in_flight_);
+    object_leases_.tick();
+    Status status = cluster_.write_stripe_range_sync(
+        extent.first_stripe + s, begin - stripe_start,
+        bytes.subspan(begin - offset, end - begin));
+    if (!status.ok()) {
+      torn_[id] = status.has_stripe() ? status.stripe()
+                                      : extent.first_stripe + s;
+      return status;
+    }
+  }
   return Status{};
 }
 
@@ -185,9 +235,17 @@ Status ObjectStore::read_extent_stripe(ObjectId id, const Extent& extent,
     }
     degraded_.record(id, blocks_decoded, avoided);
     copy_stripe_bytes(*degraded, chunk_len, bytes, dest);
+    for (auto& block : *degraded) {
+      cluster_.buffer_pool().release(std::move(block.value));
+    }
     return Status{};
   }
   copy_stripe_bytes(*outcomes, chunk_len, bytes, dest);
+  // The reply payloads came out of the cluster pool (StorageNode acquires
+  // them per replica_read); recycling them here closes the read loop.
+  for (auto& block : *outcomes) {
+    cluster_.buffer_pool().release(std::move(block.value));
+  }
   return Status{};
 }
 
@@ -196,6 +254,9 @@ Result<std::vector<std::uint8_t>> ObjectStore::get(ObjectId id,
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
+  }
+  if (const auto torn = torn_.find(id); torn != torn_.end()) {
+    return Status::error(ErrorCode::kTornWrite).at(torn->second);
   }
   const Extent& extent = it->second;
   const std::size_t capacity = stripe_capacity();
@@ -215,6 +276,9 @@ Result<StoreClient::GetPlan> ObjectStore::plan_get(ObjectId id) const {
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
   }
+  if (const auto torn = torn_.find(id); torn != torn_.end()) {
+    return Status::error(ErrorCode::kTornWrite).at(torn->second);
+  }
   const std::size_t capacity = stripe_capacity();
   return GetPlan{it->second.size,
                  static_cast<unsigned>(
@@ -226,6 +290,9 @@ Result<std::vector<std::uint8_t>> ObjectStore::read_object_stripe(
   const auto it = catalog_.find(id);
   if (it == catalog_.end()) {
     return Status::error(ErrorCode::kUnknownObject);
+  }
+  if (const auto torn = torn_.find(id); torn != torn_.end()) {
+    return Status::error(ErrorCode::kTornWrite).at(torn->second);
   }
   const Extent& extent = it->second;
   const std::size_t capacity = stripe_capacity();
@@ -269,6 +336,7 @@ Status ObjectStore::forget_leased(ObjectId id) {
   if (catalog_.erase(id) == 0) {
     return Status::error(ErrorCode::kUnknownObject);
   }
+  torn_.erase(id);
   return Status{};
 }
 

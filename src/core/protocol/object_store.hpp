@@ -55,9 +55,12 @@ class ObjectStore : public StoreClient {
   /// out of `object`: up to k chunk_len-sized, zero-padded chunks, fewer for
   /// the tail stripe (blocks past the object's end are omitted entirely).
   /// Shared by the serial path and ShardedObjectStore's pipeline tasks.
+  /// With a pool (whose buffer_len must equal chunk_len) the chunk buffers
+  /// are acquired from it instead of the heap — the write path they feed
+  /// releases them after the bytes are stored.
   [[nodiscard]] static std::vector<std::vector<std::uint8_t>> stripe_chunks(
       std::span<const std::uint8_t> object, unsigned stripe_index, unsigned k,
-      std::size_t chunk_len);
+      std::size_t chunk_len, common::BufferPool* pool = nullptr);
 
   /// stripe_chunks' read-side inverse: copies `bytes` object bytes out of
   /// one stripe's block reads into `dest`, trimming the tail block. Shared
@@ -101,9 +104,20 @@ class ObjectStore : public StoreClient {
 
  protected:
   /// Rewrites an existing object in place with same-or-smaller size
-  /// (StoreClient::overwrite holds the object lease around this).
+  /// (StoreClient::overwrite holds the object lease around this). A failure
+  /// partway through leaves the object TORN — earlier stripes hold new
+  /// bytes, later ones old — so the object is marked in the torn ledger:
+  /// reads and range overwrites reject it with kTornWrite until a full
+  /// overwrite succeeds (or forget drops it).
   Status overwrite_leased(ObjectId id,
                           std::span<const std::uint8_t> object) override;
+
+  /// Range overwrite via the partial-stripe delta path: writes only the
+  /// data blocks the range touches (StoreClient::overwrite_range holds the
+  /// object lease around this). kTornWrite when the object is torn; a
+  /// failure here marks it torn as well.
+  Status overwrite_range_leased(ObjectId id, std::size_t offset,
+                                std::span<const std::uint8_t> bytes) override;
 
   /// Drops the catalog entry (storage is not reclaimed: the paper's model
   /// has no delete; stale stripes age out as versions 0 of future objects
@@ -135,6 +149,11 @@ class ObjectStore : public StoreClient {
   ObjectId next_object_ = 1;
   std::map<ObjectId, Extent> catalog_;
   std::vector<Extent> failed_extents_;
+  /// Objects whose last overwrite failed mid-extent (old/new byte mix on
+  /// disk), mapped to the absolute stripe where writing stopped. Reads and
+  /// range overwrites reject these with kTornWrite; a successful full
+  /// overwrite or forget clears the entry.
+  std::map<ObjectId, BlockId> torn_;
   /// Stripe ops currently running against the cluster (StoreStats).
   std::atomic<std::size_t> stripe_ops_in_flight_{0};
 };

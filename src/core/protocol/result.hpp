@@ -32,6 +32,9 @@ enum class ErrorCode : std::uint8_t {
   kShardDown,          ///< the shard hosting the stripe is administratively down
   kInvalidArgument,    ///< caller-supplied argument violates the API contract
   kCancelled,          ///< async op cancelled before admission (never executed)
+  kTornWrite,          ///< an overwrite failed mid-object; stripes hold a
+                       ///< mix of old and new bytes until a full overwrite
+                       ///< (or forget) supersedes them
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
@@ -44,6 +47,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kShardDown: return "SHARD_DOWN";
     case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kTornWrite: return "TORN_WRITE";
   }
   return "UNKNOWN";
 }

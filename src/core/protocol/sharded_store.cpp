@@ -135,7 +135,8 @@ Status ShardedObjectStore::write_remapped_stripe(
 
 Status ShardedObjectStore::write_stripes(
     ObjectId id, std::span<const std::uint8_t> object, unsigned total,
-    const std::vector<ShardExtent>& extents) {
+    const std::vector<ShardExtent>& extents,
+    std::atomic<unsigned>* writes_attempted) {
   const auto& config = shards_.front()->cluster->config();
   const unsigned k = config.k;
   const std::size_t chunk_len = config.chunk_len;
@@ -149,7 +150,8 @@ Status ShardedObjectStore::write_stripes(
       shards_[shard_of(i)]->queue_depth.fetch_add(1,
                                                   std::memory_order_relaxed);
       group.submit_bounded(
-          [this, &error, &extents, object, id, i, k, chunk_len] {
+          [this, &error, &extents, object, id, i, k, chunk_len,
+           writes_attempted] {
             const unsigned j = shard_of(i);
             Shard& shard = *shards_[j];
             QueueDepthLease lease(shard.queue_depth);
@@ -157,7 +159,11 @@ Status ShardedObjectStore::write_stripes(
             // One stripe write = one tick of the object-lease clock, so
             // unreleased (crashed-writer) leases age out under traffic.
             object_leases_.tick();
-            auto chunks = ObjectStore::stripe_chunks(object, i, k, chunk_len);
+            // Chunk images come from the home shard's pool; whichever
+            // cluster consumes them recycles them into its own pool (equal
+            // buffer sizes, bounded freelists — cross-shard drift is fine).
+            auto chunks = ObjectStore::stripe_chunks(
+                object, i, k, chunk_len, &shard.cluster->buffer_pool());
             // Ledger-first: a stripe already living away from home re-lands
             // at its recorded target (an overwrite must hit the bytes a
             // reader will be routed to).
@@ -173,6 +179,9 @@ Status ShardedObjectStore::write_stripes(
               // Refresh the entry: this overwrite is one more stripe write
               // served away from home.
               remap_ledger_.record(*entry);
+              if (writes_attempted != nullptr) {
+                writes_attempted->fetch_add(1, std::memory_order_relaxed);
+              }
               Status status = target.cluster->write_stripe_sync(
                   entry->target_stripe, 0, std::move(chunks));
               if (!status.ok()) {
@@ -184,6 +193,9 @@ Status ShardedObjectStore::write_stripes(
             {
               std::lock_guard lock(shard.mutex);
               if (!shard.down) {
+                if (writes_attempted != nullptr) {
+                  writes_attempted->fetch_add(1, std::memory_order_relaxed);
+                }
                 Status status = shard.cluster->write_stripe_sync(
                     stripe, 0, std::move(chunks));
                 if (!status.ok()) error.record(std::move(status).on_shard(j));
@@ -197,6 +209,9 @@ Status ShardedObjectStore::write_stripes(
               error.record(
                   Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
               return;
+            }
+            if (writes_attempted != nullptr) {
+              writes_attempted->fetch_add(1, std::memory_order_relaxed);
             }
             Status status =
                 write_remapped_stripe(id, i, j, std::move(chunks));
@@ -333,6 +348,9 @@ Status ShardedObjectStore::read_routed_stripe(ObjectId id,
     }
     degraded_.record(id, blocks_decoded, avoided);
     ObjectStore::copy_stripe_bytes(*degraded, chunk_len, bytes, dest);
+    for (auto& block : *degraded) {
+      shard.cluster->buffer_pool().release(std::move(block.value));
+    }
     return Status{};
   };
   std::lock_guard lock(shard.mutex);
@@ -358,7 +376,26 @@ Status ShardedObjectStore::read_routed_stripe(ObjectId id,
     return serve_degraded(std::move(avoid));
   }
   ObjectStore::copy_stripe_bytes(*outcomes, chunk_len, bytes, dest);
+  // Reply payloads are pooled (the shard's StorageNodes acquire them per
+  // replica_read); recycling them here closes the read loop.
+  for (auto& block : *outcomes) {
+    shard.cluster->buffer_pool().release(std::move(block.value));
+  }
   return Status{};
+}
+
+Status ShardedObjectStore::torn_status(ObjectId id) const {
+  std::lock_guard lock(catalog_mutex_);
+  if (const auto torn = torn_.find(id); torn != torn_.end()) {
+    return Status::error(ErrorCode::kTornWrite).at(torn->second);
+  }
+  return Status{};
+}
+
+void ShardedObjectStore::record_torn(ObjectId id, const Status& status,
+                                     BlockId fallback_stripe) {
+  std::lock_guard lock(catalog_mutex_);
+  torn_[id] = status.has_stripe() ? status.stripe() : fallback_stripe;
 }
 
 Result<std::vector<std::uint8_t>> ShardedObjectStore::get(
@@ -366,6 +403,7 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::get(
   std::vector<ShardExtent> extents;
   auto info = lookup(id, extents);
   if (!info.ok()) return std::move(info).status();
+  if (Status torn = torn_status(id); !torn.ok()) return torn;
 
   const std::size_t capacity = stripe_capacity();
   const auto& config = shards_.front()->cluster->config();
@@ -423,6 +461,7 @@ Result<StoreClient::GetPlan> ShardedObjectStore::plan_get(ObjectId id) const {
     }
     info = it->second;
   }
+  if (Status torn = torn_status(id); !torn.ok()) return torn;
   const std::size_t capacity = stripe_capacity();
   // After a shrinking overwrite the object spans fewer stripes than its
   // allocated extent; the stream covers only the used prefix (same rule as
@@ -437,6 +476,7 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::read_object_stripe(
   std::vector<ShardExtent> extents;
   auto info = lookup(id, extents);
   if (!info.ok()) return std::move(info).status();
+  if (Status torn = torn_status(id); !torn.ok()) return torn;
   const std::size_t capacity = stripe_capacity();
   const std::size_t object_size = info->size;
   const auto used = static_cast<unsigned>(std::min<std::size_t>(
@@ -500,12 +540,97 @@ Status ShardedObjectStore::overwrite_leased(
   if (padded.size() < info->size) padded.resize(info->size, 0);
   const auto covered = static_cast<unsigned>(
       (padded.size() + stripe_capacity() - 1) / stripe_capacity());
-  Status status = write_stripes(id, padded, covered, extents);
-  if (!status.ok()) return status;
+  std::atomic<unsigned> writes_attempted{0};
+  Status status = write_stripes(id, padded, covered, extents,
+                                &writes_attempted);
+  if (!status.ok()) {
+    // Some stripes may now hold new bytes while others kept old ones: mark
+    // the object torn so reads cannot serve the mix. A clean fail-fast
+    // (zero writes reached any cluster) leaves the old bytes fully intact,
+    // so the object stays readable. A later full overwrite supersedes the
+    // torn state.
+    if (writes_attempted.load(std::memory_order_relaxed) > 0) {
+      record_torn(id, status, extents[shard_of(0)].first_stripe);
+    }
+    return status;
+  }
   {
     std::lock_guard lock(catalog_mutex_);
     const auto it = catalog_.find(id);
     if (it != catalog_.end()) it->second.size = object.size();
+    torn_.erase(id);
+  }
+  return Status{};
+}
+
+Status ShardedObjectStore::overwrite_range_leased(
+    ObjectId id, std::size_t offset, std::span<const std::uint8_t> bytes) {
+  std::vector<ShardExtent> extents;
+  auto info = lookup(id, extents);
+  if (!info.ok()) return std::move(info).status();
+  // Delta-updating a torn object would splice new bytes into an unknown
+  // old/new mix; only a full overwrite can re-establish the baseline.
+  if (Status torn = torn_status(id); !torn.ok()) return torn;
+  if (bytes.empty() || offset + bytes.size() > info->size) {
+    return Status::error(ErrorCode::kInvalidArgument);
+  }
+  const std::size_t capacity = stripe_capacity();
+  const auto s0 = static_cast<unsigned>(offset / capacity);
+  const auto s1 = static_cast<unsigned>((offset + bytes.size() - 1) / capacity);
+  // Pre-scan the routes and fail fast before ANY byte lands: a delta write
+  // needs the stripe's old content co-located, so a down home shard (with
+  // no remap entry to follow) cannot take the remap detour — rejecting up
+  // front keeps the object un-torn. Each route is re-checked under its
+  // shard mutex below; a shard going down between scan and write still
+  // fails cleanly (and marks the object torn if earlier stripes landed).
+  for (unsigned s = s0; s <= s1; ++s) {
+    const StripeRoute route = route_stripe(id, extents, s);
+    if (shard_is_down(route.shard)) {
+      return Status::error(ErrorCode::kShardDown)
+          .at(route.stripe)
+          .on_shard(route.shard);
+    }
+  }
+  for (unsigned s = s0; s <= s1; ++s) {
+    const std::size_t stripe_start = static_cast<std::size_t>(s) * capacity;
+    const std::size_t begin = std::max(offset, stripe_start);
+    const std::size_t end =
+        std::min(offset + bytes.size(), stripe_start + capacity);
+    // Route per stripe at write time: a remapped stripe delta-updates its
+    // ledger target (the bytes a reader is routed to), refreshing the
+    // entry; otherwise the home slot.
+    const auto entry = remap_ledger_.find(id, s);
+    const unsigned j = entry ? entry->target_shard : shard_of(s);
+    const BlockId stripe =
+        entry ? entry->target_stripe
+              : extents[j].first_stripe + local_index(s);
+    Shard& shard = *shards_[j];
+    shard.queue_depth.fetch_add(1, std::memory_order_relaxed);
+    QueueDepthLease lease(shard.queue_depth);
+    Status status;
+    bool attempted = false;  // bytes may have landed (partially) this stripe
+    {
+      std::lock_guard lock(shard.mutex);
+      if (shard.down) {
+        status = Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j);
+      } else {
+        object_leases_.tick();
+        if (entry) remap_ledger_.record(*entry);
+        attempted = true;
+        status = shard.cluster
+                     ->write_stripe_range_sync(
+                         stripe, begin - stripe_start,
+                         bytes.subspan(begin - offset, end - begin))
+                     .on_shard(j);
+      }
+    }
+    if (!status.ok()) {
+      // Torn unless nothing of the range can have landed: earlier stripes
+      // carry new bytes, and a failed delta write may have applied some of
+      // its touched blocks.
+      if (attempted || s > s0) record_torn(id, status, stripe);
+      return status;
+    }
   }
   return Status{};
 }
@@ -516,6 +641,7 @@ Status ShardedObjectStore::forget_leased(ObjectId id) {
     if (catalog_.erase(id) == 0) {
       return Status::error(ErrorCode::kUnknownObject);
     }
+    torn_.erase(id);
   }
   for (auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);

@@ -172,9 +172,23 @@ class ShardedObjectStore : public StoreClient {
  protected:
   /// Rewrites an existing object in place (same-or-smaller size) through
   /// the stripe pipeline, reusing its allocated shard extents
-  /// (StoreClient::overwrite holds the object lease around this).
+  /// (StoreClient::overwrite holds the object lease around this). A failure
+  /// partway leaves an old/new byte mix across the shards, so the object is
+  /// marked torn: reads and range overwrites reject it with kTornWrite
+  /// until a full overwrite succeeds (or forget drops it).
   Status overwrite_leased(ObjectId id,
                           std::span<const std::uint8_t> object) override;
+
+  /// Range overwrite via the shards' partial-stripe delta path: each
+  /// covered stripe writes only its touched data blocks, at the stripe's
+  /// current route (remapped stripes delta-update their ledger target). A
+  /// stripe whose home shard is down fails fast with kShardDown BEFORE any
+  /// byte is written — a delta write needs the stripe's old content
+  /// co-located, so it never takes the remap detour, regardless of
+  /// remap_on_shard_down. kTornWrite when the object is torn; a mid-range
+  /// write failure marks it torn.
+  Status overwrite_range_leased(ObjectId id, std::size_t offset,
+                                std::span<const std::uint8_t> bytes) override;
 
   /// Drops the catalog entries (facade and per-shard); storage is not
   /// reclaimed, matching ObjectStore.
@@ -239,10 +253,14 @@ class ShardedObjectStore : public StoreClient {
                                std::vector<std::vector<std::uint8_t>> chunks);
 
   /// Pipelines `total` stripe writes of `object` into `extents`; `id`
-  /// routes remapped stripes and labels new ledger entries.
+  /// routes remapped stripes and labels new ledger entries. When
+  /// `writes_attempted` is non-null it counts the stripe writes that
+  /// actually reached a cluster — zero on failure means nothing landed
+  /// (the overwrite path uses this to decide whether a failure tore the
+  /// object).
   Status write_stripes(ObjectId id, std::span<const std::uint8_t> object,
-                       unsigned total,
-                       const std::vector<ShardExtent>& extents);
+                       unsigned total, const std::vector<ShardExtent>& extents,
+                       std::atomic<unsigned>* writes_attempted = nullptr);
 
   ShardedStoreOptions options_;
   ObjectLeaseManager object_leases_;
@@ -251,9 +269,23 @@ class ShardedObjectStore : public StoreClient {
   RemapLedger remap_ledger_;
   DegradedReadLedger degraded_;
 
+  /// kTornWrite status for `id` when its last overwrite failed mid-object,
+  /// carrying the stripe where writing stopped; ok otherwise. Takes
+  /// catalog_mutex_.
+  [[nodiscard]] Status torn_status(ObjectId id) const;
+  /// Marks `id` torn at the failing write's stripe (falls back to
+  /// `fallback_stripe` when the status carries none). Takes catalog_mutex_.
+  void record_torn(ObjectId id, const Status& status,
+                   BlockId fallback_stripe);
+
   mutable std::mutex catalog_mutex_;
   ObjectId next_object_ = 1;
   std::map<ObjectId, ObjectInfo> catalog_;
+  /// Objects whose last overwrite failed mid-object (old/new byte mix),
+  /// mapped to the stripe where writing stopped; guarded by catalog_mutex_.
+  /// Reads and range overwrites reject these with kTornWrite; a successful
+  /// full overwrite or forget clears the entry.
+  std::map<ObjectId, BlockId> torn_;
 };
 
 }  // namespace traperc::core

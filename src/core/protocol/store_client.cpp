@@ -40,6 +40,12 @@ Status StoreClient::overwrite(ObjectId id,
   return leased_op(id, [&] { return overwrite_leased(id, object); });
 }
 
+Status StoreClient::overwrite_range(ObjectId id, std::size_t offset,
+                                    std::span<const std::uint8_t> bytes) {
+  return leased_op(id,
+                   [&] { return overwrite_range_leased(id, offset, bytes); });
+}
+
 Status StoreClient::forget(ObjectId id) {
   return leased_op(id, [&] { return forget_leased(id); });
 }
@@ -96,6 +102,9 @@ void StoreClient::run_op(BatchResult result, std::vector<std::uint8_t> object,
       }
       case BatchResult::Op::kOverwrite:
         result.status = overwrite(result.id, object);
+        break;
+      case BatchResult::Op::kOverwriteRange:
+        result.status = overwrite_range(result.id, result.offset, object);
         break;
       case BatchResult::Op::kForget:
         result.status = forget(result.id);
@@ -233,6 +242,15 @@ OpTicket StoreClient::submit_overwrite(ObjectId id,
   seed.op = BatchResult::Op::kOverwrite;
   seed.id = id;
   return submit_op(std::move(seed), std::move(object));
+}
+
+OpTicket StoreClient::submit_overwrite_range(ObjectId id, std::size_t offset,
+                                             std::vector<std::uint8_t> bytes) {
+  BatchResult seed;
+  seed.op = BatchResult::Op::kOverwriteRange;
+  seed.id = id;
+  seed.offset = offset;
+  return submit_op(std::move(seed), std::move(bytes));
 }
 
 OpTicket StoreClient::submit_forget(ObjectId id) {

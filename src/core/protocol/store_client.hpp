@@ -104,7 +104,14 @@ struct OpTicket {
 
 /// Completion record for one async operation.
 struct BatchResult {
-  enum class Op : std::uint8_t { kPut, kGet, kOverwrite, kForget, kGetStripe };
+  enum class Op : std::uint8_t {
+    kPut,
+    kGet,
+    kOverwrite,
+    kOverwriteRange,
+    kForget,
+    kGetStripe,
+  };
 
   OpTicket ticket{};
   Op op = Op::kPut;
@@ -114,6 +121,8 @@ struct BatchResult {
   std::uint64_t id = 0;
   /// kGetStripe only: which object stripe (0-based) this ticket covers.
   unsigned stripe_index = 0;
+  /// kOverwriteRange only: the byte offset the range write starts at.
+  std::size_t offset = 0;
   /// kGet / kGetStripe only: the read knobs this ticket was submitted with
   /// (degraded serving, avoid set); defaults for every other op.
   ReadOptions read_options;
@@ -238,6 +247,20 @@ class StoreClient {
   /// kUnknownObject / kInvalidArgument / write failures as above.
   Status overwrite(ObjectId id, std::span<const std::uint8_t> object);
 
+  /// Overwrites bytes [offset, offset + bytes.size()) of an existing object
+  /// in place, under the object's write lease — without touching the rest:
+  /// only the stripes (and within them, only the data blocks) the range
+  /// lands on are written, with parity refreshed through the delta path, so
+  /// a small update costs ~(touched blocks + parity) block writes instead
+  /// of a full-object rewrite. The object's size never changes: the range
+  /// must be non-empty and lie within the current size (kInvalidArgument
+  /// otherwise). An object left torn by an earlier failed overwrite rejects
+  /// range writes with kTornWrite (the deltas would build on mixed bytes);
+  /// a successful full overwrite() clears the torn state first. Lease
+  /// semantics are identical to overwrite().
+  Status overwrite_range(ObjectId id, std::size_t offset,
+                         std::span<const std::uint8_t> bytes);
+
   /// Drops the catalog entry under the object's write lease (storage is
   /// not reclaimed; the paper's model has no delete). kUnknownObject when
   /// the id is not in the catalog, kLeaseConflict when a rival holds it.
@@ -286,6 +309,11 @@ class StoreClient {
   /// Enqueues an in-place rewrite of `id` with `object` (owned by the
   /// batch). Blocks while the in-flight window is full.
   OpTicket submit_overwrite(ObjectId id, std::vector<std::uint8_t> object);
+
+  /// Enqueues a range overwrite of `id` at `offset` with `bytes` (owned by
+  /// the batch). Blocks while the in-flight window is full.
+  OpTicket submit_overwrite_range(ObjectId id, std::size_t offset,
+                                  std::vector<std::uint8_t> bytes);
 
   /// Enqueues a catalog drop of `id`. Blocks while the in-flight window is
   /// full.
@@ -364,6 +392,9 @@ class StoreClient {
   /// diverge on the contract.
   virtual Status overwrite_leased(ObjectId id,
                                   std::span<const std::uint8_t> object) = 0;
+  virtual Status overwrite_range_leased(ObjectId id, std::size_t offset,
+                                        std::span<const std::uint8_t> bytes)
+      = 0;
   virtual Status forget_leased(ObjectId id) = 0;
 
   /// Attaches the async engine's executor. `pool` may be null (inline

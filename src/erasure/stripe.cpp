@@ -1,6 +1,7 @@
 #include "erasure/stripe.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -61,17 +62,30 @@ std::span<const std::uint8_t> Stripe::chunk(unsigned block_id) const {
 void Stripe::update_data(unsigned i, std::span<const std::uint8_t> new_chunk) {
   TRAPERC_CHECK_MSG(i < code_->k(), "data chunk index out of range");
   TRAPERC_CHECK_MSG(new_chunk.size() == chunk_len_, "chunk size mismatch");
-  // delta = new XOR old (addition == subtraction in GF(2^8)).
-  std::vector<std::uint8_t> delta(new_chunk.begin(), new_chunk.end());
-  gf::xor_region(chunks_[i].data(), delta.data(), chunk_len_);
+  // delta = new XOR old (addition == subtraction in GF(2^8)). The scratch
+  // buffer is a member: sized on first use, reused on every later call.
+  delta_scratch_.resize(chunk_len_);
+  std::memcpy(delta_scratch_.data(), new_chunk.data(), chunk_len_);
+  gf::xor_region(chunks_[i].data(), delta_scratch_.data(), chunk_len_);
   std::memcpy(chunks_[i].data(), new_chunk.data(), chunk_len_);
-  // Fused refresh: all n−k parity chunks in one pass (wide codes may have
-  // parity_count > 255, so the span table is heap-allocated here).
-  std::vector<std::span<std::uint8_t>> parity(code_->parity_count());
-  for (unsigned j = 0; j < code_->parity_count(); ++j) {
+  // Fused refresh: all n−k parity chunks in one pass. The span table lives
+  // on the stack for ordinary codes; only wide codes (parity_count > 32)
+  // pay a heap allocation for it.
+  constexpr unsigned kInlineParity = 32;
+  const unsigned parity_count = code_->parity_count();
+  std::array<std::span<std::uint8_t>, kInlineParity> inline_parity;
+  std::vector<std::span<std::uint8_t>> heap_parity;
+  std::span<std::span<std::uint8_t>> parity;
+  if (parity_count <= kInlineParity) {
+    parity = std::span(inline_parity.data(), parity_count);
+  } else {
+    heap_parity.resize(parity_count);
+    parity = heap_parity;
+  }
+  for (unsigned j = 0; j < parity_count; ++j) {
     parity[j] = chunks_[code_->k() + j];
   }
-  code_->apply_delta_all(i, delta, parity);
+  code_->apply_delta_all(i, delta_scratch_, parity);
 }
 
 void Stripe::encode_all() {

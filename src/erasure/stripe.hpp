@@ -61,6 +61,9 @@ class Stripe {
   const ErasureCode* code_;
   std::size_t chunk_len_;
   std::vector<std::vector<std::uint8_t>> chunks_;  // n buffers
+  /// update_data's delta scratch — sized once, reused every call, so the
+  /// delta-overwrite hot path never allocates here.
+  std::vector<std::uint8_t> delta_scratch_;
 };
 
 }  // namespace traperc::erasure

@@ -20,11 +20,18 @@ Version StorageNode::replica_version(BlockId stripe, unsigned index) const {
 
 ReplicaReadReply StorageNode::replica_read(BlockId stripe,
                                            unsigned index) const {
+  // Reply payloads come from the pool when one is attached; the reply's
+  // consumer (the coordinator's fetch/gather, then the facade) releases
+  // them after copying the bytes out.
+  std::vector<std::uint8_t> payload =
+      pool_ != nullptr ? pool_->acquire()
+                       : std::vector<std::uint8_t>(chunk_len_, 0);
   const auto it = replicas_.find({stripe, index});
   if (it == replicas_.end()) {
-    return ReplicaReadReply{0, std::vector<std::uint8_t>(chunk_len_, 0)};
+    return ReplicaReadReply{0, std::move(payload)};
   }
-  return ReplicaReadReply{it->second.version, it->second.payload};
+  std::memcpy(payload.data(), it->second.payload.data(), chunk_len_);
+  return ReplicaReadReply{it->second.version, std::move(payload)};
 }
 
 void StorageNode::replica_write(BlockId stripe, unsigned index,
@@ -41,6 +48,12 @@ std::vector<Version> StorageNode::parity_versions(BlockId stripe) const {
   const auto it = parity_.find(stripe);
   if (it == parity_.end()) return std::vector<Version>(k_, 0);
   return it->second.contrib;
+}
+
+Version StorageNode::parity_version(BlockId stripe, unsigned index) const {
+  TRAPERC_CHECK_MSG(index < k_, "data index out of range");
+  const auto it = parity_.find(stripe);
+  return it == parity_.end() ? 0 : it->second.contrib[index];
 }
 
 ParityReadReply StorageNode::parity_read(BlockId stripe) const {

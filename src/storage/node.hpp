@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/types.hpp"
 
 namespace traperc::storage {
@@ -57,6 +58,11 @@ class StorageNode {
   [[nodiscard]] bool up() const noexcept { return up_; }
   void set_up(bool up) noexcept { up_ = up; }
 
+  /// Attaches the cluster's chunk BufferPool: replica_read reply payloads
+  /// are acquired from it instead of the heap (the consumer of the reply
+  /// releases them). Null (the default) keeps plain heap buffers.
+  void set_buffer_pool(common::BufferPool* pool) noexcept { pool_ = pool; }
+
   // -- replica store ----------------------------------------------------
   [[nodiscard]] Version replica_version(BlockId stripe, unsigned index) const;
   [[nodiscard]] ReplicaReadReply replica_read(BlockId stripe,
@@ -67,6 +73,9 @@ class StorageNode {
   // -- parity store -----------------------------------------------------
   /// V(:, j−k) for a stripe (k zeros when never written).
   [[nodiscard]] std::vector<Version> parity_versions(BlockId stripe) const;
+  /// One contributor's version, V(i, j−k) — the per-level version check only
+  /// needs this scalar, so it skips parity_versions' vector copy.
+  [[nodiscard]] Version parity_version(BlockId stripe, unsigned index) const;
   [[nodiscard]] ParityReadReply parity_read(BlockId stripe) const;
 
   /// Alg. 1 lines 25–31 fused into one compare-and-add: iff the stored
@@ -107,6 +116,7 @@ class StorageNode {
   NodeId id_;
   unsigned k_;
   std::size_t chunk_len_;
+  common::BufferPool* pool_ = nullptr;
   bool up_ = true;
   std::size_t bytes_stored_ = 0;
   std::map<ReplicaKey, ReplicaEntry> replicas_;

@@ -185,6 +185,25 @@ WorkloadReport WorkloadHarness::run() {
         end = done.end;
         break;
       }
+      case OpType::kPartialOverwrite: {
+        record.key = client.chooser->next(client.rng, pop_size);
+        record.object = population.at(record.key);
+        // A virtual disk's sector update: a small random range (at most
+        // value_len/8, capped at 512 bytes) anywhere in the object, served
+        // by the parity delta path instead of a full-object rewrite.
+        const std::size_t max_len = std::min<std::size_t>(
+            std::max<std::size_t>(options_.value_len / 8, 1), 512);
+        const std::size_t len = 1 + client.rng.next_u64() % max_len;
+        const std::size_t offset =
+            client.rng.next_u64() % (options_.value_len - len + 1);
+        auto value = random_value(client.rng, len);
+        const OpTicket ticket = store_.submit_overwrite_range(
+            record.object, offset, std::move(value));
+        Board::Done done = board.take(ticket.id);
+        status = done.status;
+        end = done.end;
+        break;
+      }
       case OpType::kScan: {
         record.key = client.chooser->next(client.rng, pop_size);
         record.object = population.at(record.key);

@@ -10,6 +10,7 @@ const char* op_type_name(OpType type) noexcept {
     case OpType::kOverwrite: return "overwrite";
     case OpType::kInsert: return "insert";
     case OpType::kScan: return "scan";
+    case OpType::kPartialOverwrite: return "partial_overwrite";
   }
   return "unknown";
 }
@@ -35,13 +36,15 @@ OpType OpMix::sample(Rng& rng) const {
 
 namespace {
 OpMix make(std::string name, double read, double overwrite, double insert,
-           double scan) {
+           double scan, double partial_overwrite = 0.0) {
   OpMix mix;
   mix.name = std::move(name);
   mix.weights[static_cast<unsigned>(OpType::kRead)] = read;
   mix.weights[static_cast<unsigned>(OpType::kOverwrite)] = overwrite;
   mix.weights[static_cast<unsigned>(OpType::kInsert)] = insert;
   mix.weights[static_cast<unsigned>(OpType::kScan)] = scan;
+  mix.weights[static_cast<unsigned>(OpType::kPartialOverwrite)] =
+      partial_overwrite;
   return mix;
 }
 }  // namespace
@@ -57,6 +60,9 @@ OpMix OpMix::overwrite_heavy() {
 }
 OpMix OpMix::scan_streaming() {
   return make("scan_streaming", 0.0, 0.05, 0.0, 0.95);
+}
+OpMix OpMix::partial_overwrite_heavy() {
+  return make("partial_overwrite_heavy", 0.30, 0.10, 0.0, 0.0, 0.60);
 }
 
 }  // namespace traperc::workload

@@ -1,14 +1,17 @@
 // YCSB-style operation mixes for the workload harness.
 //
-// An OpMix is a weighted distribution over the four client operations the
+// An OpMix is a weighted distribution over the five client operations the
 // StoreClient surface offers the harness:
-//   kRead      — whole-object submit_get
-//   kOverwrite — in-place submit_overwrite (YCSB "update")
-//   kInsert    — submit_put of a fresh object (grows the population)
-//   kScan      — submit_get_streaming: one ticket per stripe, the whole
-//                object consumed in stripe order (YCSB "scan" analogue —
-//                the store is an object store, so a scan walks one object's
-//                stripes rather than a key range)
+//   kRead             — whole-object submit_get
+//   kOverwrite        — in-place submit_overwrite (YCSB "update")
+//   kInsert           — submit_put of a fresh object (grows the population)
+//   kScan             — submit_get_streaming: one ticket per stripe, the
+//                       whole object consumed in stripe order (YCSB "scan"
+//                       analogue — the store is an object store, so a scan
+//                       walks one object's stripes rather than a key range)
+//   kPartialOverwrite — submit_overwrite_range of a small random byte range
+//                       (a virtual disk's sub-stripe sector update, served
+//                       by the parity delta path)
 //
 // The named profiles mirror the YCSB core workloads the evaluation
 // literature reports against (memec's experiment sweeps run exactly these
@@ -26,8 +29,14 @@
 
 namespace traperc::workload {
 
-enum class OpType : std::uint8_t { kRead, kOverwrite, kInsert, kScan };
-inline constexpr unsigned kOpTypes = 4;
+enum class OpType : std::uint8_t {
+  kRead,
+  kOverwrite,
+  kInsert,
+  kScan,
+  kPartialOverwrite,
+};
+inline constexpr unsigned kOpTypes = 5;
 
 [[nodiscard]] const char* op_type_name(OpType type) noexcept;
 
@@ -50,6 +59,9 @@ struct OpMix {
   static OpMix write_heavy();     ///< 50% insert / 40% overwrite / 10% read
   static OpMix overwrite_heavy(); ///< 90% overwrite / 10% read
   static OpMix scan_streaming();  ///< 95% scan / 5% overwrite (YCSB E-ish)
+  /// 60% sub-stripe range overwrite / 30% read / 10% full overwrite — the
+  /// virtual-disk sector-update shape the delta path exists for.
+  static OpMix partial_overwrite_heavy();
 };
 
 }  // namespace traperc::workload

@@ -848,5 +848,54 @@ TEST(StoreModelDeterminism, InlineBatchTwinsSerialStore) {
   }
 }
 
+// Steady-state allocation audit: once a warmup pass has grown the cluster's
+// BufferPool, a random put/get/overwrite/overwrite_range sequence must be
+// served entirely from the pool's freelists — zero heap refills. This is
+// the pooling arc's acceptance gate: any hot-path hop that forgets to
+// release (or acquires a fresh vector instead of pooling) shows up here as
+// a refill, long before it shows up in a profile.
+TEST(StoreModelDeterminism, SteadyStateOpsServeFromBufferPool) {
+  SimCluster cluster(model_config());
+  ObjectStore store(cluster);
+  Rng rng(7);
+
+  const auto random_bytes = [&](std::size_t len) {
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.next_u64());
+    return bytes;
+  };
+  std::vector<StoreClient::ObjectId> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = store.put(random_bytes(1 + rng.next_below(700)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const auto episode = [&](unsigned ops) {
+    for (unsigned op = 0; op < ops; ++op) {
+      const auto id = ids[rng.next_below(ids.size())];
+      const std::size_t size = store.extent(id)->size;
+      switch (rng.next_below(4)) {
+        case 0: ASSERT_TRUE(store.get(id).ok()); break;
+        case 1: ASSERT_TRUE(store.overwrite(id, random_bytes(size)).ok()); break;
+        default: {
+          const std::size_t len = 1 + rng.next_below(size);
+          const std::size_t offset = rng.next_below(size - len + 1);
+          ASSERT_TRUE(
+              store.overwrite_range(id, offset, random_bytes(len)).ok());
+          break;
+        }
+      }
+    }
+  };
+
+  episode(/*ops=*/60);  // warmup: every buffer shape heap-refills once
+  const auto before = cluster.buffer_pool().stats();
+  episode(/*ops=*/120);
+  const auto after = cluster.buffer_pool().stats();
+  EXPECT_GT(after.acquires, before.acquires);
+  EXPECT_EQ(after.heap_refills - before.heap_refills, 0u)
+      << "a hot-path hop is heap-allocating instead of cycling the pool";
+}
+
 }  // namespace
 }  // namespace traperc::core
