@@ -314,6 +314,10 @@ Result<std::vector<std::uint8_t>> ObjectStore::read_object_stripe(
 void ObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.shard_queue_depth.assign(
       1, stripe_ops_in_flight_.load(std::memory_order_relaxed));
+  // One deployment = one pseudo-shard with unit weight and no injected
+  // load, so its score is just the depth.
+  stats.shard_load_score.assign(
+      1, static_cast<double>(stats.shard_queue_depth.front()));
   const auto cluster_stats = cluster_.stripe_sync_stats();
   stats.stripe_writes = cluster_stats.stripe_writes;
   stats.stripe_reads = cluster_stats.stripe_reads;

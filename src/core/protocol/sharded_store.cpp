@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/check.hpp"
@@ -47,6 +48,17 @@ ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
   TRAPERC_CHECK_MSG(options_.shards >= 1, "need at least one shard");
   TRAPERC_CHECK_MSG(options_.pipeline_depth >= 1,
                     "pipeline depth must be >= 1");
+  TRAPERC_CHECK_MSG(options_.shard_weights.empty() ||
+                        options_.shard_weights.size() == options_.shards,
+                    "shard_weights must be empty or one weight per shard");
+  for (const double weight : options_.shard_weights) {
+    TRAPERC_CHECK_MSG(weight > 0.0, "shard weights must be positive");
+  }
+  TRAPERC_CHECK_MSG(options_.overload_hysteresis >= 0.0 &&
+                        (options_.overload_threshold <= 0.0 ||
+                         options_.overload_hysteresis <=
+                             options_.overload_threshold),
+                    "overload hysteresis must lie in [0, threshold]");
   shards_.reserve(options_.shards);
   for (unsigned s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -61,8 +73,10 @@ ShardedObjectStore::ShardedObjectStore(ProtocolConfig config,
 
 ShardedObjectStore::~ShardedObjectStore() {
   // Batched ops still executing reference this object's shards; finish them
-  // before members tear down.
+  // before members tear down. Background drain workers do too, so the
+  // scheduled slot must retire before the pool and shards are destroyed.
   drain_async();
+  wait_background_drains();
 }
 
 std::size_t ShardedObjectStore::stripe_capacity() const {
@@ -82,8 +96,16 @@ SimCluster& ShardedObjectStore::shard_cluster(unsigned shard) {
 
 void ShardedObjectStore::set_shard_down(unsigned shard, bool down) {
   TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
-  std::lock_guard lock(shards_[shard]->mutex);
-  shards_[shard]->down = down;
+  bool came_up = false;
+  {
+    std::lock_guard lock(shards_[shard]->mutex);
+    came_up = shards_[shard]->down && !down;
+    shards_[shard]->down = down;
+  }
+  // A shard returning to service is the natural moment to migrate its
+  // remapped stripes home — scheduled after the mutex is released (the
+  // inline no-pool worker takes shard mutexes itself).
+  if (came_up) schedule_auto_drain(DrainCause::kShardUp);
 }
 
 bool ShardedObjectStore::shard_is_down(unsigned shard) const {
@@ -92,45 +114,81 @@ bool ShardedObjectStore::shard_is_down(unsigned shard) const {
   return shards_[shard]->down;
 }
 
+double ShardedObjectStore::load_score(unsigned shard) const {
+  TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  const Shard& s = *shards_[shard];
+  const auto raw =
+      static_cast<double>(s.queue_depth.load(std::memory_order_relaxed) +
+                          s.injected_load.load(std::memory_order_relaxed));
+  return options_.shard_weights.empty() ? raw
+                                        : raw / options_.shard_weights[shard];
+}
+
 Status ShardedObjectStore::write_remapped_stripe(
     ObjectId id, unsigned stripe_index, unsigned home_shard,
-    std::vector<std::vector<std::uint8_t>> chunks) {
-  for (;;) {
-    // Least-loaded healthy shard, ties to the lowest index (deterministic
-    // in idle runs). queue_depth is a relaxed atomic; the down flag needs
-    // the shard mutex, taken briefly per candidate — never while another
-    // shard mutex is held.
+    std::vector<std::vector<std::uint8_t>>& chunks, QueueDepthLease* depth,
+    bool overload_detour) {
+  // A reselect iteration can lose an admin-down race on its chosen target;
+  // 2x shard count attempts outlasts any non-adversarial race without
+  // spinning forever against one that flips shards on every selection.
+  const unsigned max_attempts = 2 * shard_count();
+  const double home_score = overload_detour ? load_score(home_shard) : 0.0;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    // Lowest-score healthy shard, preferring non-overloaded candidates and
+    // breaking score ties to the lowest index (deterministic in idle
+    // runs). The score reads relaxed atomics; the down flag needs the
+    // shard mutex, taken briefly per candidate — never while another shard
+    // mutex is held. An overload detour is pickier: landing home would
+    // defeat it, an overloaded target just moves the hotspot, and a target
+    // busier than home would invert the load balance — with no candidate
+    // left the caller writes home (kShardDown below, chunks untouched).
     unsigned best = shard_count();
-    std::size_t best_depth = 0;
+    double best_score = 0.0;
+    bool best_over = true;
     for (unsigned t = 0; t < shard_count(); ++t) {
+      if (overload_detour && t == home_shard) continue;
       {
         std::lock_guard lock(shards_[t]->mutex);
         if (shards_[t]->down) continue;
       }
-      const std::size_t depth =
-          shards_[t]->queue_depth.load(std::memory_order_relaxed);
-      if (best == shard_count() || depth < best_depth) {
+      const bool over =
+          shards_[t]->overloaded.load(std::memory_order_relaxed);
+      const double score = load_score(t);
+      if (overload_detour && (over || score >= home_score)) continue;
+      if (best == shard_count() ||
+          (over == best_over ? score < best_score : !over)) {
         best = t;
-        best_depth = depth;
+        best_score = score;
+        best_over = over;
       }
     }
     if (best == shard_count()) {
       return Status::error(ErrorCode::kShardDown).on_shard(home_shard);
     }
+    if (options_.on_remap_reselect) options_.on_remap_reselect(best);
     Shard& target = *shards_[best];
     std::lock_guard lock(target.mutex);
-    if (target.down) continue;  // raced an admin-down; reselect
+    if (target.down) continue;  // raced an admin-down; reselect (bounded)
+    // The detour commits here: re-attribute the stripe's queue-depth slot
+    // to the shard that executes the write (stats() and the selector above
+    // must see remap traffic on the target, not piled onto the home).
+    if (depth != nullptr) depth->rebind(target.queue_depth);
     const BlockId target_stripe = target.next_stripe++;
+    if (overload_detour) {
+      overload_remaps_.fetch_add(1, std::memory_order_relaxed);
+    }
     // Ledger before data (AWE's separate-metadata rule): once the entry is
     // visible, every read routes through the target — even if the write
     // below then partially fails, the stripe's state matches the ledger,
     // not a stale home slot (the protocol has no transactions).
     remap_ledger_.record(
         RemapEntry{id, stripe_index, home_shard, best, target_stripe});
+    notify_stripe_write(best);
     return target.cluster->write_stripe_sync(target_stripe, 0,
                                              std::move(chunks))
         .on_shard(best);
   }
+  return Status::error(ErrorCode::kShardDown).on_shard(home_shard);
 }
 
 Status ShardedObjectStore::write_stripes(
@@ -144,21 +202,34 @@ Status ShardedObjectStore::write_stripes(
   {
     TaskGroup group(pool_.get());
     for (unsigned i = 0; i < total; ++i) {
-      // Queue-depth accounting happens at admission: the producer knows the
-      // target shard here, so stats() sees stripes waiting in the pipeline,
-      // not just the ones holding a shard mutex.
-      shards_[shard_of(i)]->queue_depth.fetch_add(1,
-                                                  std::memory_order_relaxed);
+      // Queue-depth accounting happens at admission: the producer pins the
+      // stripe's route here — the ledger target for a remapped stripe, the
+      // home shard otherwise — so the depth lands on the shard that will
+      // execute the write, not blindly on its home. The pin is safe
+      // because the caller holds the object's write lease: no drain or
+      // forget can retire the entry between admission and execution.
+      const auto entry = remap_ledger_.find(id, i);
+      const unsigned admit = entry ? entry->target_shard : shard_of(i);
+      shards_[admit]->queue_depth.fetch_add(1, std::memory_order_relaxed);
       group.submit_bounded(
-          [this, &error, &extents, object, id, i, k, chunk_len,
+          [this, &error, &extents, object, id, i, k, chunk_len, entry, admit,
            writes_attempted] {
-            const unsigned j = shard_of(i);
-            Shard& shard = *shards_[j];
-            QueueDepthLease lease(shard.queue_depth);
+            QueueDepthLease lease(shards_[admit]->queue_depth);
             if (error.failed()) return;
             // One stripe write = one tick of the object-lease clock, so
             // unreleased (crashed-writer) leases age out under traffic.
             object_leases_.tick();
+            // At most one cluster write per stripe task reaches a cluster;
+            // count it once even when an overload detour falls back to the
+            // home write.
+            bool counted = false;
+            const auto count_attempt = [&] {
+              if (counted || writes_attempted == nullptr) return;
+              writes_attempted->fetch_add(1, std::memory_order_relaxed);
+              counted = true;
+            };
+            const unsigned j = shard_of(i);
+            Shard& shard = *shards_[j];
             // Chunk images come from the home shard's pool; whichever
             // cluster consumes them recycles them into its own pool (equal
             // buffer sizes, bounded freelists — cross-shard drift is fine).
@@ -167,7 +238,7 @@ Status ShardedObjectStore::write_stripes(
             // Ledger-first: a stripe already living away from home re-lands
             // at its recorded target (an overwrite must hit the bytes a
             // reader will be routed to).
-            if (const auto entry = remap_ledger_.find(id, i)) {
+            if (entry) {
               Shard& target = *shards_[entry->target_shard];
               std::lock_guard lock(target.mutex);
               if (target.down) {
@@ -179,9 +250,8 @@ Status ShardedObjectStore::write_stripes(
               // Refresh the entry: this overwrite is one more stripe write
               // served away from home.
               remap_ledger_.record(*entry);
-              if (writes_attempted != nullptr) {
-                writes_attempted->fetch_add(1, std::memory_order_relaxed);
-              }
+              count_attempt();
+              notify_stripe_write(entry->target_shard);
               Status status = target.cluster->write_stripe_sync(
                   entry->target_stripe, 0, std::move(chunks));
               if (!status.ok()) {
@@ -190,12 +260,25 @@ Status ShardedObjectStore::write_stripes(
               return;
             }
             const BlockId stripe = extents[j].first_stripe + local_index(i);
+            // Load-aware routing: a home shard past the overload threshold
+            // sheds this stripe to a strictly calmer shard under the remap
+            // ledger. kShardDown back from the detour means no such shard
+            // exists (or the candidates kept racing admin-downs) — the
+            // home write below is then both correct and the best left.
+            if (check_overloaded(j)) {
+              count_attempt();
+              Status status = write_remapped_stripe(id, i, j, chunks, &lease,
+                                                    /*overload_detour=*/true);
+              if (!(status == ErrorCode::kShardDown)) {
+                if (!status.ok()) error.record(std::move(status));
+                return;
+              }
+            }
             {
               std::lock_guard lock(shard.mutex);
               if (!shard.down) {
-                if (writes_attempted != nullptr) {
-                  writes_attempted->fetch_add(1, std::memory_order_relaxed);
-                }
+                count_attempt();
+                notify_stripe_write(j);
                 Status status = shard.cluster->write_stripe_sync(
                     stripe, 0, std::move(chunks));
                 if (!status.ok()) error.record(std::move(status).on_shard(j));
@@ -210,17 +293,21 @@ Status ShardedObjectStore::write_stripes(
                   Status::error(ErrorCode::kShardDown).at(stripe).on_shard(j));
               return;
             }
-            if (writes_attempted != nullptr) {
-              writes_attempted->fetch_add(1, std::memory_order_relaxed);
-            }
-            Status status =
-                write_remapped_stripe(id, i, j, std::move(chunks));
+            count_attempt();
+            Status status = write_remapped_stripe(id, i, j, chunks, &lease,
+                                                  /*overload_detour=*/false);
             if (!status.ok()) error.record(std::move(status));
           },
           options_.pipeline_depth);
     }
     group.wait();
   }
+  // Safe point: no shard mutex held, the pipeline is drained. Refresh
+  // every overload latch (ledger-entry traffic never consults its home
+  // shard's score, so latches would otherwise stick) and run the drain
+  // policy against the traffic this operation just generated.
+  update_overload_flags();
+  poll_drain_policy();
   return error.take();
 }
 
@@ -501,9 +588,12 @@ Result<std::vector<std::uint8_t>> ShardedObjectStore::read_object_stripe(
 
 void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.shard_queue_depth.reserve(shards_.size());
-  for (const auto& shard : shards_) {
+  stats.shard_load_score.reserve(shards_.size());
+  for (unsigned j = 0; j < shard_count(); ++j) {
+    const auto& shard = shards_[j];
     stats.shard_queue_depth.push_back(
         shard->queue_depth.load(std::memory_order_relaxed));
+    stats.shard_load_score.push_back(load_score(j));
     const auto cluster_stats = shard->cluster->stripe_sync_stats();
     stats.stripe_writes += cluster_stats.stripe_writes;
     stats.stripe_reads += cluster_stats.stripe_reads;
@@ -518,6 +608,12 @@ void ShardedObjectStore::fill_backend_stats(StoreStats& stats) const {
   stats.object_leases = object_leases_.stats();
   stats.degraded = degraded_.snapshot();
   stats.remap = remap_ledger_.stats();
+  stats.remap.overload_remaps =
+      overload_remaps_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(drain_mutex_);
+    stats.drain_triggers = drain_triggers_;
+  }
   // All shards share one config, so the first shard's code describes them
   // all.
   const auto* code = shards_.front()->cluster->code();
@@ -686,9 +782,34 @@ void ShardedObjectStore::wipe_node(NodeId id) {
 }
 
 RemapDrainReport ShardedObjectStore::drain_remaps() {
+  {
+    std::lock_guard lock(drain_mutex_);
+    ++drain_triggers_.explicit_calls;
+    ++drain_triggers_.passes;
+  }
+  return run_drain_pass();
+}
+
+RemapDrainReport ShardedObjectStore::run_drain_pass(
+    std::size_t* blocked_skips) {
   RemapDrainReport report;
   const std::size_t capacity = stripe_capacity();
   const std::size_t chunk_len = shards_.front()->cluster->config().chunk_len;
+  // An entry is event-blocked when migration is structurally impossible
+  // until a liveness/overload event releases it: either end down
+  // (kShardUp re-triggers) or the home still overloaded (kOverloadClear
+  // re-triggers — migrating into a hotspot would undo the detour that
+  // created the entry).
+  const auto entry_blocked = [this](const RemapEntry& entry) {
+    return shard_is_down(entry.target_shard) ||
+           shard_is_down(entry.home_shard) ||
+           shards_[entry.home_shard]->overloaded.load(
+               std::memory_order_relaxed);
+  };
+  const auto count_blocked = [&](unsigned n) {
+    report.skipped += n;
+    if (blocked_skips != nullptr) *blocked_skips += n;
+  };
   // Group the snapshot by object: migration rewrites home stripes, so each
   // object's group runs under its write lease — drain serializes with
   // overwrite/forget like any other writer, and a conflict just defers the
@@ -698,6 +819,13 @@ RemapDrainReport ShardedObjectStore::drain_remaps() {
     by_object[entry.object_id].push_back(entry);
   }
   for (const auto& [id, group] : by_object) {
+    if (std::all_of(group.begin(), group.end(), entry_blocked)) {
+      // Nothing in this group can move; skipping before the lease acquire
+      // keeps a parked group from stealing the lease out from under the
+      // object's live writers.
+      count_blocked(static_cast<unsigned>(group.size()));
+      continue;
+    }
     auto lease = object_leases_.try_acquire(id);
     if (!lease.ok()) {
       report.skipped += static_cast<unsigned>(group.size());
@@ -725,9 +853,8 @@ RemapDrainReport ShardedObjectStore::drain_remaps() {
         }
         continue;
       }
-      if (shard_is_down(entry.target_shard) ||
-          shard_is_down(entry.home_shard)) {
-        ++report.skipped;  // migration needs both ends serving
+      if (entry_blocked(entry)) {
+        count_blocked(1);
         continue;
       }
       const std::size_t offset =
@@ -781,6 +908,154 @@ RemapDrainReport ShardedObjectStore::drain_remaps() {
     object_leases_.release(*lease);
   }
   return report;
+}
+
+void ShardedObjectStore::inject_shard_load(unsigned shard, std::size_t load) {
+  TRAPERC_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  shards_[shard]->injected_load.store(load, std::memory_order_relaxed);
+  check_overloaded(shard);
+  // The caller holds no store locks (public entry point), so this is a
+  // drain-policy safe point: dropping the load can clear the overload
+  // latch, which should release the shard's parked entries promptly.
+  poll_drain_policy();
+}
+
+bool ShardedObjectStore::check_overloaded(unsigned shard) {
+  if (options_.overload_threshold <= 0.0) return false;
+  Shard& s = *shards_[shard];
+  const double score = load_score(shard);
+  if (s.overloaded.load(std::memory_order_relaxed)) {
+    if (score >
+        options_.overload_threshold - options_.overload_hysteresis) {
+      return true;  // still inside the hysteresis band
+    }
+    s.overloaded.store(false, std::memory_order_relaxed);
+    // Deferred to the next safe point: this may run deep inside a write
+    // task, and an inline (no-pool) drain must not start while the task's
+    // pipeline is mid-flight.
+    overload_clear_pending_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  if (score >= options_.overload_threshold) {
+    s.overloaded.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ShardedObjectStore::update_overload_flags() {
+  if (options_.overload_threshold <= 0.0) return;
+  for (unsigned j = 0; j < shard_count(); ++j) check_overloaded(j);
+}
+
+void ShardedObjectStore::poll_drain_policy() {
+  if (!options_.auto_drain) return;
+  if (overload_clear_pending_.exchange(false, std::memory_order_relaxed)) {
+    schedule_auto_drain(DrainCause::kOverloadClear);
+  }
+  if (options_.drain_watermark > 0) {
+    if (remap_ledger_.size() >= options_.drain_watermark) {
+      // One-shot until the ledger falls back below the watermark, so a
+      // ledger pinned above it (home shard down) doesn't re-trigger on
+      // every write.
+      if (watermark_armed_.exchange(false, std::memory_order_relaxed)) {
+        schedule_auto_drain(DrainCause::kWatermark);
+      }
+    } else {
+      watermark_armed_.store(true, std::memory_order_relaxed);
+    }
+  }
+  // A deferred retry (a previous pass left entries behind): new traffic may
+  // have released the leases or shards that pinned them.
+  bool retry = false;
+  {
+    std::lock_guard lock(drain_mutex_);
+    if (drain_pending_retry_ && !drain_scheduled_) {
+      drain_pending_retry_ = false;
+      retry = true;
+    }
+  }
+  if (retry && remap_ledger_.size() > 0) {
+    schedule_auto_drain(DrainCause::kRetry);
+  }
+}
+
+void ShardedObjectStore::schedule_auto_drain(DrainCause cause) {
+  if (!options_.auto_drain) return;
+  if (remap_ledger_.size() == 0) return;  // nothing to drain, not a trigger
+  {
+    std::lock_guard lock(drain_mutex_);
+    switch (cause) {
+      case DrainCause::kShardUp: ++drain_triggers_.shard_up; break;
+      case DrainCause::kOverloadClear: ++drain_triggers_.overload_clear;
+        break;
+      case DrainCause::kWatermark: ++drain_triggers_.watermark; break;
+      case DrainCause::kRetry: ++drain_triggers_.retry; break;
+    }
+    if (drain_scheduled_) {
+      // Fold into the running worker: it re-checks the ledger per pass,
+      // and anything it cannot finish becomes a deferred retry.
+      drain_pending_retry_ = true;
+      return;
+    }
+    drain_scheduled_ = true;
+  }
+  if (pool_ != nullptr) {
+    pool_->submit([this] { run_drain_worker(); });
+  } else {
+    run_drain_worker();  // deterministic inline fallback
+  }
+}
+
+void ShardedObjectStore::run_drain_worker() {
+  for (;;) {
+    {
+      std::lock_guard lock(drain_mutex_);
+      ++drain_triggers_.passes;
+    }
+    std::size_t blocked = 0;
+    const RemapDrainReport report = run_drain_pass(&blocked);
+    const bool progress = report.migrated + report.dropped > 0;
+    const std::size_t remaining = remap_ledger_.size();
+    if (progress && remaining > 0) continue;  // keep going while it helps
+    // Retry only for transient leftovers (held leases, failed migration
+    // steps): event-blocked entries wait for kShardUp / kOverloadClear,
+    // so a long overload window doesn't grind a futile full-scan pass on
+    // every write that polls the policy.
+    const bool retryable = remaining > 0 && report.skipped > blocked;
+    std::lock_guard lock(drain_mutex_);
+    if (retryable) drain_pending_retry_ = true;
+    drain_scheduled_ = false;
+    drain_cv_.notify_all();
+    return;
+  }
+}
+
+void ShardedObjectStore::wait_background_drains() {
+  auto last = std::numeric_limits<std::size_t>::max();
+  for (;;) {
+    {
+      std::unique_lock lock(drain_mutex_);
+      drain_cv_.wait(lock, [this] { return !drain_scheduled_; });
+      drain_pending_retry_ = false;  // this loop is the retry now
+    }
+    const std::size_t remaining = remap_ledger_.size();
+    // Stop at a balanced ledger, or when a full retry made no progress
+    // (entries pinned by a down shard or a held lease stay put).
+    if (remaining == 0 || remaining >= last) return;
+    last = remaining;
+    schedule_auto_drain(DrainCause::kRetry);
+  }
+}
+
+void ShardedObjectStore::notify_stripe_write(unsigned shard) const {
+  if (!options_.on_stripe_write) return;
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    depths.push_back(s->queue_depth.load(std::memory_order_relaxed));
+  }
+  options_.on_stripe_write(shard, depths);
 }
 
 Result<RepairReport> ShardedObjectStore::repair_node(NodeId id) {

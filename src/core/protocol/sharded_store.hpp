@@ -35,7 +35,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +71,47 @@ struct ShardedStoreOptions {
   /// the detour in the remap ledger; false keeps the PR-5 fail-fast
   /// contract (kShardDown, no bytes written).
   bool remap_on_shard_down = true;
+
+  // -- load-aware routing (MemEC-style remap-on-overload) ------------------
+  /// Per-shard capacity weights scaling the load score: shard j's score is
+  /// (queue_depth + injected load) / shard_weights[j], so a heavier
+  /// (higher-weight) shard tolerates proportionally more queued stripes
+  /// before looking loaded. Empty = uniform (weight 1.0 everywhere);
+  /// otherwise size must equal `shards` with every weight > 0.
+  std::vector<double> shard_weights;
+  /// Load score at which a shard is marked overloaded and put/overwrite
+  /// stripes homed on it detour to a calmer shard under the remap ledger
+  /// (the same detour machinery as remap_on_shard_down). 0 disables
+  /// load-aware routing entirely.
+  double overload_threshold = 0.0;
+  /// Hysteresis band below the threshold: an overloaded shard is only
+  /// cleared once its score falls to threshold - hysteresis, so routing
+  /// doesn't flap when the score hovers at the threshold. Must lie in
+  /// [0, overload_threshold].
+  double overload_hysteresis = 0.0;
+
+  // -- automatic drain policy ----------------------------------------------
+  /// Schedule background remap-ledger drains (over the thread pool; inline
+  /// when threads == 0) when a shard comes back up, when an overloaded
+  /// shard clears, and when the ledger crosses drain_watermark. The
+  /// explicit drain_remaps() call keeps working either way.
+  bool auto_drain = false;
+  /// Ledger size that fires a watermark drain (auto_drain only; 0 disables
+  /// the watermark trigger). Re-arms once the ledger falls back below it.
+  std::size_t drain_watermark = 0;
+
+  // -- test instrumentation (deterministic suites only) --------------------
+  /// Invoked just before each cluster stripe write on the write path, with
+  /// the executing shard and a relaxed snapshot of every shard's queue
+  /// depth (admission-time accounting). Called with the executing shard's
+  /// mutex held: the hook must not call back into the store.
+  std::function<void(unsigned shard, const std::vector<std::size_t>& depths)>
+      on_stripe_write;
+  /// Invoked once per remap-target reselect iteration, after the candidate
+  /// is chosen and before its mutex is taken (so a hook can race an
+  /// admin-down against the selection). No shard mutex is held; the hook
+  /// may call set_shard_down but must not write through the store.
+  std::function<void(unsigned selected)> on_remap_reselect;
 };
 
 /// Outcome of one drain_remaps() pass over the remap ledger.
@@ -159,6 +202,26 @@ class ShardedObjectStore : public StoreClient {
   /// ledger to zero (StoreStats::remap.entries_active == 0).
   RemapDrainReport drain_remaps();
 
+  /// Blocks until no background drain is scheduled or running, then keeps
+  /// scheduling retry passes while they shrink the ledger. On a quiesced
+  /// store with every shard up this balances the ledger to zero through the
+  /// auto-drain machinery alone — no explicit drain_remaps() call; entries
+  /// pinned by a down shard or a held lease are left in place (no
+  /// progress ends the wait). Safe to call with options.auto_drain off
+  /// (returns once nothing is scheduled).
+  void wait_background_drains();
+
+  /// Adds synthetic load to one shard's score (absolute, not cumulative):
+  /// the score becomes (queue_depth + load) / weight until overwritten.
+  /// Fault targets and tests use this to push a shard over the overload
+  /// threshold without real traffic; the overloaded flag is refreshed
+  /// immediately.
+  void inject_shard_load(unsigned shard, std::size_t load);
+
+  /// Shard j's current load score (see ShardedStoreOptions::shard_weights);
+  /// also published per shard in StoreStats::shard_load_score.
+  [[nodiscard]] double load_score(unsigned shard) const;
+
   /// The remap ledger's live view (tests, operators). Entries are also
   /// summarized in StoreStats::remap.
   [[nodiscard]] const RemapLedger& remap_ledger() const noexcept {
@@ -210,8 +273,15 @@ class ShardedObjectStore : public StoreClient {
     bool down = false;  ///< administratively down (kShardDown)
     std::map<ObjectId, ShardExtent> catalog;
     /// Stripe ops admitted to this shard's pipeline (submitted or running)
-    /// and not yet finished — StoreStats::shard_queue_depth.
+    /// and not yet finished — StoreStats::shard_queue_depth. Attributed to
+    /// the shard that executes the stripe (the ledger target for remapped
+    /// stripes), not blindly to its home.
     std::atomic<std::size_t> queue_depth{0};
+    /// Synthetic load added to the score (inject_shard_load).
+    std::atomic<std::size_t> injected_load{0};
+    /// Hysteresis latch: set when the score reaches overload_threshold,
+    /// cleared once it falls to threshold - hysteresis (check_overloaded).
+    std::atomic<bool> overloaded{false};
   };
 
   /// Shard hosting object stripe `index`, and its local position there.
@@ -243,14 +313,22 @@ class ShardedObjectStore : public StoreClient {
                             unsigned covered, std::size_t bytes,
                             std::uint8_t* dest, const ReadOptions& options);
 
-  /// Lands stripe `stripe_index` of `id` on the least-loaded healthy shard
-  /// after its home shard was found down (remap_on_shard_down). Records the
-  /// ledger entry before the data write (ledger-first: reads route through
-  /// the entry even if the write then partially fails — the no-transaction
-  /// rule). kShardDown when no healthy shard exists.
+  /// Lands stripe `stripe_index` of `id` on the lowest-score healthy shard
+  /// after its home shard was found down (remap_on_shard_down) or
+  /// overloaded (`overload_detour`). Records the ledger entry before the
+  /// data write (ledger-first: reads route through the entry even if the
+  /// write then partially fails — the no-transaction rule) and rebinds
+  /// `depth` to the chosen target so queue-depth accounting follows the
+  /// write. Selection prefers non-overloaded shards; an overload detour
+  /// additionally excludes the home shard, overloaded candidates, and
+  /// anything not strictly calmer than home — kShardDown then means "no
+  /// better target, write home" and `chunks` is left intact for the
+  /// caller. Reselects on an admin-down race, bounded at 2x shard count
+  /// attempts before failing with kShardDown carrying the home shard.
   Status write_remapped_stripe(ObjectId id, unsigned stripe_index,
                                unsigned home_shard,
-                               std::vector<std::vector<std::uint8_t>> chunks);
+                               std::vector<std::vector<std::uint8_t>>& chunks,
+                               QueueDepthLease* depth, bool overload_detour);
 
   /// Pipelines `total` stripe writes of `object` into `extents`; `id`
   /// routes remapped stripes and labels new ledger entries. When
@@ -262,12 +340,73 @@ class ShardedObjectStore : public StoreClient {
                        unsigned total, const std::vector<ShardExtent>& extents,
                        std::atomic<unsigned>* writes_attempted = nullptr);
 
+  /// Why an automatic drain pass was scheduled (DrainTriggerStats).
+  enum class DrainCause : std::uint8_t {
+    kShardUp,
+    kOverloadClear,
+    kWatermark,
+    kRetry,
+  };
+
+  /// Refreshes shard `shard`'s overloaded latch against the threshold /
+  /// hysteresis band and returns it. A true→false transition defers an
+  /// overload-clear drain to the next poll_drain_policy() safe point.
+  bool check_overloaded(unsigned shard);
+  /// check_overloaded over every shard — run after each write_stripes so
+  /// latches track load even when all traffic takes the ledger-entry path
+  /// (which never consults the home shard's score).
+  void update_overload_flags();
+  /// Safe-point drain-policy tick (must not hold any shard mutex):
+  /// consumes a pending overload-clear, fires/re-arms the watermark
+  /// trigger, and re-schedules a deferred retry.
+  void poll_drain_policy();
+  /// Counts the trigger and launches one background drain worker (pool
+  /// worker; inline without a pool) unless one is already scheduled — then
+  /// the work is folded into a deferred retry. No-op when auto_drain is
+  /// off or the ledger is empty.
+  void schedule_auto_drain(DrainCause cause);
+  /// The scheduled drain: runs passes while they make progress, then hands
+  /// the scheduled slot back. A deferred retry is flagged only when the
+  /// leftover entries are TRANSIENTLY skipped (a held lease, a failed
+  /// migration step) — entries parked behind a down or overloaded shard
+  /// wait for their releasing event (kShardUp / kOverloadClear) instead of
+  /// re-running a futile full scan on every subsequent write.
+  void run_drain_worker();
+  /// One full drain pass over the ledger snapshot (the drain_remaps()
+  /// body): migrate home under object leases, drop vanished/shrunk,
+  /// skip down or overloaded shards and held leases. When `blocked_skips`
+  /// is non-null it receives the subset of report.skipped that is
+  /// event-blocked (down/overloaded shard) rather than transient; groups
+  /// whose every entry is event-blocked are skipped before the lease
+  /// acquire, so parked entries never contend with live writers.
+  RemapDrainReport run_drain_pass(std::size_t* blocked_skips = nullptr);
+  /// on_stripe_write test hook dispatch (no-op when unset).
+  void notify_stripe_write(unsigned shard) const;
+
   ShardedStoreOptions options_;
   ObjectLeaseManager object_leases_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when options_.threads == 0
   RemapLedger remap_ledger_;
   DegradedReadLedger degraded_;
+
+  /// Stripes detoured because their home shard was overloaded (lifetime;
+  /// StoreStats::remap.overload_remaps).
+  std::atomic<std::uint64_t> overload_remaps_{0};
+  /// A shard's overloaded latch dropped (overload cleared) since the last
+  /// poll_drain_policy(); consumed there into an overload-clear drain.
+  std::atomic<bool> overload_clear_pending_{false};
+  /// One-shot watermark latch: fires when the ledger crosses
+  /// drain_watermark, re-arms once it falls back below.
+  std::atomic<bool> watermark_armed_{true};
+  /// Guards the drain scheduling state + trigger counters below.
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;  ///< signaled when a worker retires
+  bool drain_scheduled_ = false;      ///< a drain worker is queued/running
+  /// A pass left entries behind (conflicts, down shards) or a trigger was
+  /// coalesced into a running worker; re-fired at the next safe point.
+  bool drain_pending_retry_ = false;
+  DrainTriggerStats drain_triggers_;
 
   /// kTornWrite status for `id` when its last overwrite failed mid-object,
   /// carrying the stripe where writing stopped; ok otherwise. Takes

@@ -151,6 +151,23 @@ struct RemapStats {
   std::uint64_t entries_active = 0;    ///< remapped stripes not yet drained
   std::uint64_t stripes_drained = 0;   ///< entries migrated home (lifetime)
   std::uint64_t entries_dropped = 0;   ///< entries dropped: object forgotten
+  /// Of stripes_remapped: detours taken because the home shard was past the
+  /// overload threshold (load-aware routing), not administratively down.
+  std::uint64_t overload_remaps = 0;
+};
+
+/// Automatic-drain accounting (StoreStats::drain_triggers): why remap-ledger
+/// drains were scheduled, and how many passes ran. A trigger is counted when
+/// it actually schedules a pass (a trigger on an empty ledger is a no-op);
+/// one scheduled drain may run several passes (it keeps going while passes
+/// make progress). Sharded facade only.
+struct DrainTriggerStats {
+  std::uint64_t explicit_calls = 0;  ///< drain_remaps() invocations
+  std::uint64_t shard_up = 0;        ///< set_shard_down(s, false) transitions
+  std::uint64_t overload_clear = 0;  ///< a shard fell below the exit band
+  std::uint64_t watermark = 0;       ///< ledger size crossed drain_watermark
+  std::uint64_t retry = 0;           ///< deferred re-run after a partial pass
+  std::uint64_t passes = 0;          ///< drain passes executed (all causes)
 };
 
 /// Point-in-time observability snapshot of one StoreClient (stats()).
@@ -168,6 +185,10 @@ struct StoreStats {
   std::uint64_t ops_failed = 0;     ///< async ops finished with an error
   std::uint64_t ops_cancelled = 0;  ///< async ops aborted before admission
   std::vector<std::size_t> shard_queue_depth;  ///< per-shard pending stripes
+  /// Per-shard load score driving overload routing: (queue_depth +
+  /// injected load) / shard weight. Equals shard_queue_depth under uniform
+  /// weights and no injection. ObjectStore reports its pseudo-shard's depth.
+  std::vector<double> shard_load_score;
   std::uint64_t stripe_writes = 0;  ///< protocol stripe writes (all shards)
   std::uint64_t stripe_reads = 0;   ///< protocol stripe reads (all shards)
   /// Object-lease counters from the facade's ObjectLeaseManager: grants /
@@ -181,6 +202,8 @@ struct StoreStats {
   DegradedReadStats degraded;
   /// Remap-ledger accounting (sharded facade; see RemapStats).
   RemapStats remap;
+  /// Automatic-drain trigger accounting (sharded facade).
+  DrainTriggerStats drain_triggers;
   /// The erasure code behind the store — describe() of the code built from
   /// the config's ECPolicy, or "none (TRAP-FR replication)".
   std::string ec_policy;
@@ -212,6 +235,17 @@ class QueueDepthLease {
 
   QueueDepthLease(const QueueDepthLease&) = delete;
   QueueDepthLease& operator=(const QueueDepthLease&) = delete;
+
+  /// Moves the slot to another shard's counter mid-operation: a stripe
+  /// admitted against its home shard but detoured by the remap path
+  /// re-attributes its depth to the shard that actually executes the write
+  /// (increment-before-decrement, so neither counter dips below truth).
+  void rebind(std::atomic<std::size_t>& depth) noexcept {
+    if (&depth == depth_) return;
+    depth.fetch_add(1, std::memory_order_relaxed);
+    depth_->fetch_sub(1, std::memory_order_relaxed);
+    depth_ = &depth;
+  }
 
  private:
   std::atomic<std::size_t>* depth_;

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "core/protocol/sharded_store.hpp"
+#include "workload/flooder.hpp"
 
 namespace traperc::workload {
 
@@ -14,6 +15,18 @@ void ShardedFaultTarget::recover_node(NodeId node) {
 void ShardedFaultTarget::set_shard_down(unsigned shard, bool down) {
   store_->set_shard_down(shard, down);
 }
+void ShardedFaultTarget::set_overload(unsigned shard, bool on) {
+  // Flooder first, load second on start (the synthetic score lands once
+  // real traffic is already flowing); reversed on stop, so the score drops
+  // — and the overload-clear drain can fire — only after the flood ends.
+  if (on) {
+    if (flooder_ != nullptr) flooder_->start();
+    store_->inject_shard_load(shard, synthetic_load_);
+  } else {
+    store_->inject_shard_load(shard, 0);
+    if (flooder_ != nullptr) flooder_->stop();
+  }
+}
 
 std::string FaultEvent::describe() const {
   std::string what;
@@ -22,6 +35,8 @@ std::string FaultEvent::describe() const {
     case Kind::kRecoverNode: what = "recover_node "; break;
     case Kind::kShardDown: what = "shard_down "; break;
     case Kind::kShardUp: what = "shard_up "; break;
+    case Kind::kOverloadStart: what = "overload_start "; break;
+    case Kind::kOverloadStop: what = "overload_stop "; break;
   }
   what += std::to_string(target);
   what += " @ ";
@@ -69,6 +84,12 @@ void FaultSchedule::fire_due(std::uint64_t completed, std::uint64_t total,
         break;
       case FaultEvent::Kind::kShardUp:
         target.set_shard_down(event.target, false);
+        break;
+      case FaultEvent::Kind::kOverloadStart:
+        target.set_overload(event.target, true);
+        break;
+      case FaultEvent::Kind::kOverloadStop:
+        target.set_overload(event.target, false);
         break;
     }
   }

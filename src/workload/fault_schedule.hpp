@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,10 +38,21 @@ class FaultTarget {
   virtual void kill_node(NodeId node) = 0;
   virtual void recover_node(NodeId node) = 0;
   virtual void set_shard_down(unsigned shard, bool down) = 0;
+  /// Overload injection (kOverloadStart / kOverloadStop): flood `shard`
+  /// with hotspot traffic and/or synthetic load while `on`. Default no-op
+  /// so targets without a load concept ignore the events.
+  virtual void set_overload(unsigned shard, bool on) {
+    (void)shard;
+    (void)on;
+  }
 };
+
+class ShardFlooder;
 
 /// FaultTarget over a ShardedObjectStore (node events fan out across every
 /// shard deployment; shard events mark one shard administratively down/up).
+/// Overload events drive an attached ShardFlooder (real hotspot traffic)
+/// and/or inject_shard_load (synthetic score pressure) — see set_overload.
 class ShardedFaultTarget final : public FaultTarget {
  public:
   explicit ShardedFaultTarget(core::ShardedObjectStore& store) noexcept
@@ -48,17 +60,34 @@ class ShardedFaultTarget final : public FaultTarget {
   void kill_node(NodeId node) override;
   void recover_node(NodeId node) override;
   void set_shard_down(unsigned shard, bool down) override;
+  /// Starts/stops the attached flooder (if any) and sets the shard's
+  /// injected load to `synthetic_load` / 0. With no flooder and zero
+  /// synthetic load the event is a no-op.
+  void set_overload(unsigned shard, bool on) override;
+
+  /// Attaches the hotspot generator set_overload drives; may be null.
+  void attach_flooder(ShardFlooder* flooder) noexcept { flooder_ = flooder; }
+  /// Synthetic load injected while an overload window is open — pins the
+  /// shard's score above a configured threshold deterministically, on top
+  /// of whatever real depth the flooder creates.
+  void set_synthetic_load(std::size_t load) noexcept {
+    synthetic_load_ = load;
+  }
 
  private:
   core::ShardedObjectStore* store_;
+  ShardFlooder* flooder_ = nullptr;
+  std::size_t synthetic_load_ = 0;
 };
 
 struct FaultEvent {
   enum class Kind : std::uint8_t {
-    kKillNode,     ///< target = node id
-    kRecoverNode,  ///< target = node id
-    kShardDown,    ///< target = shard index
-    kShardUp,      ///< target = shard index
+    kKillNode,       ///< target = node id
+    kRecoverNode,    ///< target = node id
+    kShardDown,      ///< target = shard index
+    kShardUp,        ///< target = shard index
+    kOverloadStart,  ///< target = shard index (set_overload on)
+    kOverloadStop,   ///< target = shard index (set_overload off)
   };
 
   double at_progress = 0.5;  ///< fires when completed/total >= this, [0, 1]

@@ -1,0 +1,68 @@
+#include "workload/flooder.hpp"
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/protocol/store_client.hpp"
+
+namespace traperc::workload {
+
+ShardFlooder::ShardFlooder(core::StoreClient& store, FlooderOptions options)
+    : store_(&store), options_(options) {
+  TRAPERC_CHECK_MSG(options_.threads >= 1, "flooder needs a worker thread");
+  TRAPERC_CHECK_MSG(options_.objects >= 1, "flooder needs a flood object");
+  TRAPERC_CHECK_MSG(options_.value_len >= 1, "flood payload must be nonempty");
+}
+
+ShardFlooder::~ShardFlooder() { stop(); }
+
+void ShardFlooder::prepare() {
+  TRAPERC_CHECK_MSG(ids_.empty(), "prepare() runs once");
+  TRAPERC_CHECK_MSG(options_.value_len <= store_->stripe_capacity(),
+                    "flood objects must stay one stripe");
+  ids_.reserve(options_.objects);
+  std::vector<std::uint8_t> payload(options_.value_len, 0xF1);
+  for (std::size_t i = 0; i < options_.objects; ++i) {
+    auto put = store_->put(payload);
+    TRAPERC_CHECK_MSG(put.ok(), "flood object put succeeds");
+    ids_.push_back(put.value());
+  }
+}
+
+void ShardFlooder::start() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  TRAPERC_CHECK_MSG(!ids_.empty(), "prepare() before start()");
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.threads);
+  for (unsigned t = 0; t < options_.threads; ++t) {
+    workers_.emplace_back([this, t] { run_worker(t); });
+  }
+}
+
+void ShardFlooder::stop() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!running_.load(std::memory_order_relaxed)) return;
+  running_.store(false, std::memory_order_release);
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ShardFlooder::run_worker(std::size_t worker_index) {
+  // Each worker hammers one flood object; with threads > objects some
+  // objects get several writers and the fail-fast lease turns the extras
+  // into kLeaseConflict — still real admission traffic on the hot shard.
+  const core::StoreClient::ObjectId id = ids_[worker_index % ids_.size()];
+  std::vector<std::uint8_t> payload(options_.value_len, 0);
+  std::uint8_t fill = static_cast<std::uint8_t>(worker_index);
+  while (running_.load(std::memory_order_acquire)) {
+    payload.assign(options_.value_len, fill++);
+    const core::Status status = store_->overwrite(id, payload);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace traperc::workload

@@ -1,0 +1,81 @@
+// Hotspot traffic generator for overload fault injection.
+//
+// A ShardFlooder owns a small set of dedicated one-stripe "flood" objects
+// and a pool of OS threads that overwrite them in tight synchronous loops
+// while a flood window is open. Because every one-stripe object homes on
+// shard 0 (stripe i lives on shard i % N), the flood concentrates real
+// queue depth on a single shard — the overload the load-aware write path
+// is meant to detour around. The kOverloadStart / kOverloadStop fault
+// events drive start() / stop() through ShardedFaultTarget::set_overload.
+//
+// The flooder uses only the synchronous StoreClient surface (put /
+// overwrite); the async submit_* pipeline belongs to the harness clients
+// and its completion callback is not shared. Lease conflicts against
+// harness traffic on unrelated objects cannot happen (the flood objects
+// are private), so any non-OK overwrite is counted and the loop moves on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/protocol/store_client.hpp"
+
+namespace traperc::workload {
+
+struct FlooderOptions {
+  unsigned threads = 2;        ///< flood worker threads (>= 1)
+  std::size_t objects = 2;     ///< dedicated flood objects (>= 1)
+  std::size_t value_len = 64;  ///< flood object payload bytes (one stripe)
+};
+
+class ShardFlooder {
+ public:
+  ShardFlooder(core::StoreClient& store, FlooderOptions options);
+  ~ShardFlooder();  ///< stops and joins any open flood window
+
+  ShardFlooder(const ShardFlooder&) = delete;
+  ShardFlooder& operator=(const ShardFlooder&) = delete;
+
+  /// Puts the dedicated flood objects. Call once, before the run's client
+  /// traffic starts (each object must stay one stripe: value_len must not
+  /// exceed the store's stripe capacity — checked).
+  void prepare();
+
+  /// Opens a flood window: spawns the worker threads. Idempotent while a
+  /// window is open. prepare() must have run.
+  void start();
+
+  /// Closes the window: signals the workers and joins them. Idempotent;
+  /// safe to call with no window open. Called by the destructor.
+  void stop();
+
+  /// Overwrites completed across all windows so far (diagnostic).
+  [[nodiscard]] std::uint64_t writes() const noexcept {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  /// Overwrites that returned a non-OK status (diagnostic; lease conflicts
+  /// when threads > objects land here and are harmless).
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_worker(std::size_t worker_index);
+
+  core::StoreClient* store_;
+  FlooderOptions options_;
+  /// Flood objects, filled by prepare().
+  std::vector<core::StoreClient::ObjectId> ids_;
+
+  std::mutex mutex_;  ///< serialises start()/stop() transitions
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace traperc::workload

@@ -28,8 +28,9 @@
 //    (stripe serves, decodes, per-object counts, nodes avoided) exactly.
 //  * remap episodes (sharded fixtures) — an overwrite against a down shard
 //    must land remapped and keep serving byte-identically through the
-//    ledger; drain_remaps() after the shard returns must migrate exactly
-//    the remapped stripes and balance the ledger back to zero.
+//    ledger; the kShardUp auto-drain after the shard returns must migrate
+//    exactly the remapped stripes and balance the ledger back to zero with
+//    no explicit drain_remaps() call in the whole run.
 //
 // Every assertion carries the seed + facade + op index, so a failure
 // replays with a one-line filter:
@@ -124,6 +125,13 @@ std::vector<ModelFixture> model_fixtures() {
     options.threads = threads;
     options.pipeline_depth = 2;
     options.async_window = 4;
+    // Remap episodes rely on the drain POLICY (kShardUp when the bounced
+    // shard returns), never on explicit drain_remaps() calls. The tiny
+    // watermark also fires mid-window passes whose entries are all blocked
+    // behind the down shard — exercising the one-shot arm/re-arm without
+    // disturbing the exact ledger audits.
+    options.auto_drain = true;
+    options.drain_watermark = 2;
     auto store = std::make_unique<ShardedObjectStore>(
         lrc ? lrc_model_config() : model_config(), options);
     fixture.sharded = store.get();
@@ -583,8 +591,9 @@ class ModelHarness {
   // -- remap episode (sharded fixtures only) -------------------------------
   // An overwrite against a down shard lands its stripes remapped onto the
   // healthy shards and keeps serving byte-identically through the ledger;
-  // once the shard returns, drain_remaps() migrates exactly the remapped
-  // stripes home and the ledger balances back to zero.
+  // once the shard returns, the kShardUp AUTO-drain (no drain_remaps()
+  // call anywhere) migrates exactly the remapped stripes home and the
+  // ledger balances back to zero.
 
   void remap_episode() {
     if (sharded_ == nullptr) return;
@@ -624,20 +633,26 @@ class ModelHarness {
         << trace("remapped get while down");
     ASSERT_EQ(*through_ledger, entry.bytes)
         << trace("remapped get bytes while down");
-    sharded_->set_shard_down(kDownShard, false);
-
-    const auto report = sharded_->drain_remaps();
-    ASSERT_EQ(report.migrated, migratable) << trace("drain migrated");
-    ASSERT_EQ(report.dropped, remapped - migratable) << trace("drain dropped");
-    ASSERT_EQ(report.skipped, 0u) << trace("drain skipped");
-    const auto home = client_.get(id);
-    ASSERT_EQ(home.code(), ErrorCode::kOk) << trace("post-drain get");
-    ASSERT_EQ(*home, entry.bytes) << trace("post-drain bytes");
-    ops_ += 3;
+    sharded_->set_shard_down(kDownShard, false);  // fires the kShardUp drain
+    sharded_->wait_background_drains();
 
     expected_remap_recorded_ += remapped;
     expected_remap_drained_ += migratable;
     expected_remap_dropped_ += remapped - migratable;
+    // The shard-up trigger only counts when it had entries to schedule for.
+    if (remapped > 0) ++expected_shard_up_drains_;
+    const auto stats = client_.stats();
+    ASSERT_EQ(stats.remap.stripes_drained, expected_remap_drained_)
+        << trace("auto-drain migrated exact");
+    ASSERT_EQ(stats.remap.entries_dropped, expected_remap_dropped_)
+        << trace("auto-drain dropped exact");
+    ASSERT_EQ(stats.remap.entries_active, 0u) << trace("auto-drain balanced");
+    ASSERT_EQ(stats.drain_triggers.shard_up, expected_shard_up_drains_)
+        << trace("shard-up trigger exact");
+    const auto home = client_.get(id);
+    ASSERT_EQ(home.code(), ErrorCode::kOk) << trace("post-drain get");
+    ASSERT_EQ(*home, entry.bytes) << trace("post-drain bytes");
+    ops_ += 3;
   }
 
   // -- streaming episode --------------------------------------------------
@@ -754,8 +769,9 @@ class ModelHarness {
                                       expected_avoided_.end());
     ASSERT_EQ(stats.degraded.nodes_avoided, avoided)
         << trace("degraded avoided set exact");
-    // Remap ledger: every episode drains fully, so at idle the ledger is
-    // balanced — recorded == drained, nothing active, nothing dropped.
+    // Remap ledger: every episode auto-drains fully (kShardUp when the
+    // bounced shard returns), so at idle the ledger is balanced and no
+    // explicit drain was ever needed.
     ASSERT_EQ(stats.remap.stripes_remapped, expected_remap_recorded_)
         << trace("remap recorded exact");
     ASSERT_EQ(stats.remap.stripes_drained, expected_remap_drained_)
@@ -763,6 +779,10 @@ class ModelHarness {
     ASSERT_EQ(stats.remap.entries_active, 0u) << trace("remap ledger idle");
     ASSERT_EQ(stats.remap.entries_dropped, expected_remap_dropped_)
         << trace("remap drops exact");
+    ASSERT_EQ(stats.drain_triggers.explicit_calls, 0u)
+        << trace("no explicit drains");
+    ASSERT_EQ(stats.drain_triggers.shard_up, expected_shard_up_drains_)
+        << trace("shard-up triggers exact");
   }
 
   StoreClient& client_;
@@ -787,6 +807,7 @@ class ModelHarness {
   std::uint64_t expected_remap_recorded_ = 0;
   std::uint64_t expected_remap_drained_ = 0;
   std::uint64_t expected_remap_dropped_ = 0;
+  std::uint64_t expected_shard_up_drains_ = 0;
 };
 
 class StoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
